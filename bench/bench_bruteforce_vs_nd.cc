@@ -1,0 +1,104 @@
+// E2 — Proposition 11 vs Theorem 13: the brute-force parameter search costs
+// n^ℓ, the splitter-guided learner restricts the candidate set.
+//
+// Part A: ℓ sweep at small fixed n — brute force candidate count explodes
+// as n^ℓ (the Proposition 11 bound is tight); noisy labels keep the
+// early-exit from firing.
+// Part B: n sweep at ℓ = 1 — brute force vs the Theorem 13 learner on the
+// two-hubs workload; error parity and the candidate-count gap.
+
+#include <cstdio>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "learn/erm.h"
+#include "learn/nd_learner.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+namespace {
+
+// Two bounded-degree clusters; positives around hub A, negatives around
+// hub B, with label noise.
+struct Workload {
+  Graph graph;
+  TrainingSet examples;
+};
+
+Workload TwoHubs(int n_per_side, double noise, Rng& rng) {
+  Graph star = MakeStar(n_per_side - 1);
+  Workload w{DisjointCopies(star, 2), {}};
+  Vertex hub_a = 0;
+  Vertex source[] = {hub_a};
+  std::vector<int> dist = BfsDistances(w.graph, source);
+  for (Vertex v = 0; v < w.graph.order(); ++v) {
+    bool label = dist[v] != kUnreachable && dist[v] <= 1;
+    if (rng.Bernoulli(noise)) label = !label;
+    w.examples.push_back({{v}, label});
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+
+  std::printf("E2a: Proposition 11 brute force, candidates and time vs ℓ "
+              "(n = 24, noisy labels)\n\n");
+  {
+    Workload w = TwoHubs(12, 0.15, rng);
+    Table table({"ell", "candidates", "train err", "time ms"});
+    for (int ell : {0, 1, 2}) {
+      Stopwatch watch;
+      ErmResult result = BruteForceErm(w.graph, w.examples, ell, {1, 1},
+                                       nullptr, /*early_stop=*/false);
+      table.AddRow({std::to_string(ell),
+                    std::to_string(result.parameter_tuples_tried),
+                    FormatDouble(result.training_error, 3),
+                    FormatDouble(watch.ElapsedMillis(), 1)});
+    }
+    table.Print();
+    std::printf("\ncandidates = n^ℓ exactly (24^0, 24^1, 24^2): the "
+                "XP-not-FPT shape in ℓ.\n\n");
+  }
+
+  std::printf("E2b: brute force vs Theorem 13 at ℓ = 1, n sweep\n\n");
+  {
+    Table table({"n", "bf err", "bf cand", "bf ms", "nd err", "nd cand",
+                 "nd ms"});
+    for (int n_per_side : {25, 50, 100, 200}) {
+      Workload w = TwoHubs(n_per_side, 0.1, rng);
+      Stopwatch bf_watch;
+      ErmResult bf = BruteForceErm(w.graph, w.examples, 1, {1, 1}, nullptr,
+                                   /*early_stop=*/false);
+      double bf_ms = bf_watch.ElapsedMillis();
+
+      NdLearnerOptions options;
+      options.rank = 1;
+      options.radius = 1;
+      options.epsilon = 0.2;
+      auto splitter = MakeGreedyDegreeSplitter();
+      options.splitter = splitter.get();
+      Stopwatch nd_watch;
+      NdLearnerResult nd = LearnNowhereDense(w.graph, w.examples, options);
+      double nd_ms = nd_watch.ElapsedMillis();
+
+      table.AddRow({std::to_string(w.graph.order()),
+                    FormatDouble(bf.training_error, 3),
+                    std::to_string(bf.parameter_tuples_tried),
+                    FormatDouble(bf_ms, 1),
+                    FormatDouble(nd.erm.training_error, 3),
+                    std::to_string(nd.candidates_evaluated),
+                    FormatDouble(nd_ms, 1)});
+    }
+    table.Print();
+    std::printf("\nTheorem 13 evaluates a bounded candidate set (conflict "
+                "analysis + splitter moves)\nwhile matching brute-force "
+                "error within ε.\n");
+  }
+  return 0;
+}

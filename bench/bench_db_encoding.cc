@@ -1,0 +1,84 @@
+// E10 — the relational-database substrate: encoding cost/size scales
+// linearly in the database, and learning over the encoded graph reaches
+// zero training error for concepts definable over the schema (the paper's
+// "relational structures encode as graphs" claim, measured).
+
+#include <cstdio>
+
+#include "db/database.h"
+#include "db/encoding.h"
+#include "learn/erm.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+namespace {
+
+Database MakeRandomMovieDb(int people, int movies, Rng& rng) {
+  Schema schema;
+  schema.AddRelation("Person", 1);
+  schema.AddRelation("Movie", 1);
+  schema.AddRelation("Directed", 2);
+  schema.AddRelation("ActedIn", 2);
+  Database db(schema, people + movies);
+  for (int p = 0; p < people; ++p) db.AddTuple("Person", {p});
+  for (int m = 0; m < movies; ++m) db.AddTuple("Movie", {people + m});
+  for (int m = 0; m < movies; ++m) {
+    db.AddTuple("Directed",
+                {static_cast<int>(rng.UniformIndex(people)), people + m});
+    int cast = 2 + static_cast<int>(rng.UniformIndex(3));
+    for (int i = 0; i < cast; ++i) {
+      db.AddTuple("ActedIn",
+                  {static_cast<int>(rng.UniformIndex(people)), people + m});
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(1001);
+  std::printf("E10: relational encoding + learning over encoded databases\n"
+              "(concept: 'x directed a movie', rank-2 over the incidence "
+              "encoding)\n\n");
+  Table table({"people", "movies", "db tuples", "graph n", "graph m",
+               "encode ms", "learn ms", "train err"});
+  for (int scale : {1, 2, 4, 8}) {
+    int people = 25 * scale;
+    int movies = 20 * scale;
+    Database db = MakeRandomMovieDb(people, movies, rng);
+    Stopwatch encode_watch;
+    EncodedDatabase encoded = EncodeDatabase(db);
+    double encode_ms = encode_watch.ElapsedMillis();
+
+    TrainingSet examples;
+    for (int p = 0; p < people; ++p) {
+      bool directs = false;
+      for (const std::vector<int>& t : db.Tuples("Directed")) {
+        if (t[0] == p) {
+          directs = true;
+          break;
+        }
+      }
+      examples.push_back({{encoded.VertexOf(p)}, directs});
+    }
+    Stopwatch learn_watch;
+    ErmResult result = TypeMajorityErm(encoded.graph, examples, {}, {2, 2});
+    double learn_ms = learn_watch.ElapsedMillis();
+
+    table.AddRow({std::to_string(people), std::to_string(movies),
+                  std::to_string(db.TotalTuples()),
+                  std::to_string(encoded.graph.order()),
+                  std::to_string(encoded.graph.EdgeCount()),
+                  FormatDouble(encode_ms, 1), FormatDouble(learn_ms, 1),
+                  FormatDouble(result.training_error, 3)});
+  }
+  table.Print();
+  std::printf("\nGraph size is linear in Σ tuples·(1+arity); the learner "
+              "stays exact (0 training\nerror) because 'is a director' is "
+              "rank-2 definable over the encoding.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E9 — the executable form of "enumerate all rank-q formulas": type-majority
+// ERM vs literal formula enumeration on tiny instances.
+//   * optimality: the type optimum lower-bounds every enumerated formula
+//     (Corollary 6 made computational);
+//   * cost: the enumeration explodes combinatorially while the type count
+//     stays bounded by the number of realised local types.
+
+#include <cstdio>
+
+#include "fo/parser.h"
+#include "graph/generators.h"
+#include "learn/erm.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(777);
+  std::printf("E9: type-majority ERM vs literal formula enumeration "
+              "(noisy rank-1 target, k=1, ℓ=0)\n\n");
+
+  Table table({"n", "types err", "types seen", "types ms", "enum err",
+               "formulas tried", "enum ms"});
+  for (int n : {6, 8, 10, 12}) {
+    Graph graph = MakeRandomTree(n, rng);
+    AddRandomColors(graph, {"Red"}, 0.4, rng);
+    std::vector<std::vector<Vertex>> tuples =
+        SampleTuples(graph.order(), 1, 4 * n, rng);
+    TrainingSet examples = LabelByQuery(
+        graph, MustParseFormula("exists z. (E(x1, z) & Red(z))"),
+        QueryVars(1), tuples);
+    FlipLabels(examples, 0.15, rng);
+
+    Stopwatch type_watch;
+    ErmResult types = TypeMajorityErm(graph, examples, {}, {1, -1});
+    double type_ms = type_watch.ElapsedMillis();
+
+    EnumerationOptions enumeration;
+    enumeration.colors = {"Red"};
+    enumeration.max_quantifier_rank = 1;
+    enumeration.max_boolean_depth = 1;
+    enumeration.max_count = 4000;
+    Stopwatch enum_watch;
+    EnumerationErmResult enumerated =
+        EnumerationErm(graph, examples, 0, enumeration);
+    double enum_ms = enum_watch.ElapsedMillis();
+
+    table.AddRow({std::to_string(n), FormatDouble(types.training_error, 3),
+                  std::to_string(types.distinct_types_seen),
+                  FormatDouble(type_ms, 2),
+                  FormatDouble(enumerated.training_error, 3),
+                  std::to_string(enumerated.formulas_tried),
+                  FormatDouble(enum_ms, 1)});
+    if (types.training_error > enumerated.training_error + 1e-12) {
+      std::printf("VIOLATION: type ERM worse than an enumerated formula!\n");
+      return 1;
+    }
+  }
+  table.Print();
+  std::printf("\n'types err' ≤ 'enum err' on every row (Corollary 6: "
+              "rank-q hypotheses are unions of\nlocal types, and the "
+              "majority vote is the exact minimiser over those unions),\n"
+              "at a tiny fraction of the enumeration cost — and the "
+              "enumeration here covers only a\nbounded syntactic slice of "
+              "FO[τ, 1], while the type ERM covers ALL of it.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E4 — Lemma 7 (the Theorem 1 reduction) is a *polynomial* fpt Turing
+// reduction: oracle calls grow as O(n²) per quantifier level, the
+// representative set |T| stays bounded by the number of rank-(q−1) types
+// (not by n), and the recursion degree is |T|.
+
+#include <cstdio>
+
+#include "fo/parser.h"
+#include "graph/generators.h"
+#include "learn/hardness.h"
+#include "mc/evaluator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(1234);
+
+  std::printf("E4a: oracle calls vs n (sentence: ∃x(Red(x) ∧ ∃y(E(x,y) ∧ "
+              "¬Red(y))), q = 2)\n\n");
+  {
+    FormulaRef sentence = MustParseFormula(
+        "exists x. (Red(x) & exists y. (E(x, y) & !Red(y)))");
+    Table table({"n", "oracle calls", "calls / n^2", "max |T|",
+                 "recursion", "agrees"});
+    for (int n : {6, 8, 12, 16, 24}) {
+      Graph graph = MakeRandomTree(n, rng);
+      AddRandomColors(graph, {"Red"}, 0.4, rng);
+      TypeErmOracle oracle;
+      HardnessStats stats;
+      bool reduced = ModelCheckViaErm(graph, sentence, oracle, {}, &stats);
+      bool direct = EvaluateSentence(graph, sentence);
+      table.AddRow({std::to_string(n), std::to_string(stats.oracle_calls),
+                    FormatDouble(static_cast<double>(stats.oracle_calls) /
+                                     (static_cast<double>(n) * n),
+                                 2),
+                    std::to_string(stats.max_representatives),
+                    std::to_string(stats.recursion_nodes),
+                    reduced == direct ? "yes" : "NO"});
+    }
+    table.Print();
+    std::printf("\n|T| tracks the number of vertex types, NOT n — the "
+                "Ramsey pruning bounds the\nrecursion degree by a function "
+                "of the parameter alone.\n\n");
+  }
+
+  std::printf("E4b: quantifier-rank sweep at n = 10\n\n");
+  {
+    const char* sentences[] = {
+        "exists x. Red(x)",
+        "exists x. forall y. (E(x, y) -> Red(y))",
+        "exists x. forall y. (E(x, y) -> exists z. (E(y, z) & Red(z)))",
+    };
+    Graph graph = MakeRandomTree(10, rng);
+    AddRandomColors(graph, {"Red"}, 0.4, rng);
+    Table table({"q", "oracle calls", "max |T|", "recursion", "agrees"});
+    int q = 1;
+    for (const char* text : sentences) {
+      FormulaRef sentence = MustParseFormula(text);
+      TypeErmOracle oracle;
+      HardnessStats stats;
+      bool reduced = ModelCheckViaErm(graph, sentence, oracle, {}, &stats);
+      bool direct = EvaluateSentence(graph, sentence);
+      table.AddRow({std::to_string(q++),
+                    std::to_string(stats.oracle_calls),
+                    std::to_string(stats.max_representatives),
+                    std::to_string(stats.recursion_nodes),
+                    reduced == direct ? "yes" : "NO"});
+    }
+    table.Print();
+    std::printf("\nCost grows with q through |T|-ary recursion — the f(q) "
+                "factor of an fpt reduction —\nwhile staying polynomial in "
+                "n at each level.\n");
+  }
+  return 0;
+}

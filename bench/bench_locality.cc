@@ -1,0 +1,93 @@
+// E6 — Gaifman locality (Fact 5 / Corollary 6), measured:
+//  (a) refinement: equal (q, r(q))-local types never split a global q-type
+//      class (violations would falsify Fact 5 for our r(q));
+//  (b) class counts: #local-type classes ≥ #global-type classes, both
+//      bounded in n;
+//  (c) cost: classifying a vertex via its local type beats global type
+//      computation by orders of magnitude on large sparse graphs.
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "graph/generators.h"
+#include "types/type.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(5150);
+  const int q = 1;
+  const int r = GaifmanRadius(q);
+  std::printf("E6: Gaifman locality at q = %d, r(q) = %d\n\n", q, r);
+
+  std::printf("E6a/b: refinement check + class counts (random coloured "
+              "trees)\n\n");
+  {
+    Table table({"n", "global classes", "local classes", "violations"});
+    for (int n : {20, 40, 80, 160}) {
+      Graph graph = MakeRandomTree(n, rng);
+      AddRandomColors(graph, {"Red"}, 0.4, rng);
+      TypeRegistry registry(graph.vocabulary());
+      std::map<TypeId, std::set<TypeId>> local_to_global;
+      std::set<TypeId> global_classes;
+      std::set<TypeId> local_classes;
+      for (Vertex v = 0; v < graph.order(); ++v) {
+        Vertex tuple[] = {v};
+        TypeId global = ComputeType(graph, tuple, q, &registry);
+        TypeId local = ComputeLocalType(graph, tuple, q, r, &registry);
+        global_classes.insert(global);
+        local_classes.insert(local);
+        local_to_global[local].insert(global);
+      }
+      int violations = 0;
+      for (const auto& [local, globals] : local_to_global) {
+        if (globals.size() > 1) ++violations;
+      }
+      table.AddRow({std::to_string(n), std::to_string(global_classes.size()),
+                    std::to_string(local_classes.size()),
+                    std::to_string(violations)});
+    }
+    table.Print();
+    std::printf("\n0 violations = Fact 5 holds: local (q, r(q))-types "
+                "refine global q-types.\n\n");
+  }
+
+  std::printf("E6c: per-vertex classification cost, local vs global "
+              "(bounded-degree graphs, q = 1)\n\n");
+  {
+    Table table({"n", "global ms/vertex", "local ms/vertex", "speedup"});
+    for (int n : {200, 400, 800, 1600}) {
+      Graph graph = MakeBoundedDegree(n, 4, 3 * n / 2, rng);
+      AddRandomColors(graph, {"Red"}, 0.3, rng);
+      const int probes = 20;
+      TypeRegistry global_registry(graph.vocabulary());
+      TypeComputer computer(graph, &global_registry);
+      Stopwatch global_watch;
+      for (int i = 0; i < probes; ++i) {
+        Vertex tuple[] = {static_cast<Vertex>(i * (n / probes))};
+        computer.Type(tuple, q);
+      }
+      double global_ms = global_watch.ElapsedMillis() / probes;
+
+      TypeRegistry local_registry(graph.vocabulary());
+      Stopwatch local_watch;
+      for (int i = 0; i < probes; ++i) {
+        Vertex tuple[] = {static_cast<Vertex>(i * (n / probes))};
+        ComputeLocalType(graph, tuple, q, 2, &local_registry);
+      }
+      double local_ms = local_watch.ElapsedMillis() / probes;
+      table.AddRow({std::to_string(n), FormatDouble(global_ms, 3),
+                    FormatDouble(local_ms, 4),
+                    FormatDouble(global_ms / std::max(local_ms, 1e-6), 1)});
+    }
+    table.Print();
+    std::printf("\nLocal-type cost is flat in n (ball-sized); global-type "
+                "cost grows with n —\nthe reason every learner in the paper "
+                "works through Gaifman locality.\n");
+  }
+  return 0;
+}

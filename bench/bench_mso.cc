@@ -1,0 +1,70 @@
+// E14 — the MSO layer (Grohe–Turán heritage + the conclusion's MSO
+// direction): classic beyond-FO properties evaluated by subset
+// enumeration, with the 2^n cost curve that explains why the MSO side of
+// the framework needs automata/treewidth techniques rather than brute
+// force.
+
+#include <cstdio>
+
+#include "fo/mso.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mc/evaluator.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(8080);
+
+  std::printf("E14a: MSO properties across families (n = 12)\n\n");
+  {
+    struct Row {
+      const char* name;
+      Graph graph;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"path", MakePath(12)});
+    rows.push_back({"cycle C12 (even)", MakeCycle(12)});
+    rows.push_back({"cycle C11 (odd)", MakeCycle(11)});
+    rows.push_back({"two paths", DisjointUnion(MakePath(6), MakePath(6))});
+    rows.push_back({"star", MakeStar(11)});
+    rows.push_back({"K4 + path", DisjointUnion(MakeComplete(4),
+                                               MakePath(8))});
+    FormulaRef connected = MsoConnectivitySentence();
+    FormulaRef bipartite = MsoBipartiteSentence();
+    Table table({"graph", "connected (MSO)", "bipartite (MSO)"});
+    for (Row& row : rows) {
+      table.AddRow({row.name,
+                    EvaluateSentence(row.graph, connected) ? "yes" : "no",
+                    EvaluateSentence(row.graph, bipartite) ? "yes" : "no"});
+    }
+    table.Print();
+    std::printf("\nConnectivity and 2-colourability are NOT first-order "
+                "definable; one set quantifier\neach suffices in MSO.\n\n");
+  }
+
+  std::printf("E14b: the 2^n cost of subset enumeration (bipartiteness "
+              "check)\n\n");
+  {
+    FormulaRef bipartite = MsoBipartiteSentence();
+    Table table({"n", "time ms", "ratio"});
+    double previous = 0;
+    for (int n : {10, 12, 14, 16}) {
+      Graph g = MakeCycle(n);
+      Stopwatch watch;
+      EvaluateSentence(g, bipartite);
+      double ms = watch.ElapsedMillis();
+      table.AddRow({std::to_string(n), FormatDouble(ms, 2),
+                    previous > 0 ? FormatDouble(ms / previous, 1) : "-"});
+      previous = ms;
+    }
+    table.Print();
+    std::printf("\nTime roughly ×4 per +2 vertices (2^n subsets, each with "
+                "an O(n²) check inside) —\nwhy Grohe–Turán's MSO results "
+                "go through trees/automata, not enumeration.\n");
+  }
+  return 0;
+}

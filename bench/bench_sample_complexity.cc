@@ -1,0 +1,63 @@
+// E3 — PAC / uniform convergence (paper §3): generalisation error of the
+// ERM hypothesis vs training-set size m, against the
+// O((ln|H| + ln 1/δ)/ε²) bound.
+//
+// Realisable case (noise 0): error → 0.
+// Agnostic case (noise 0.2): error → the Bayes floor 0.2, train/test gap → 0.
+
+#include <cstdio>
+
+#include "fo/parser.h"
+#include "graph/generators.h"
+#include "learn/erm.h"
+#include "learn/pac.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(314);
+  Graph graph = MakeRandomTree(200, rng);
+  AddRandomColors(graph, {"Red"}, 0.3, rng);
+  FormulaRef target = MustParseFormula("exists z. (E(x1, z) & Red(z))");
+
+  double ln_h = EstimateLnHypothesisCount(graph, 1, 0, 1, 2, 500, rng);
+  std::printf("E3: sample complexity on a 200-vertex tree; "
+              "estimated ln|H| = %.1f\n", ln_h);
+  std::printf("uniform-convergence bound: m(ε=0.1, δ=0.05) = %lld samples\n\n",
+              static_cast<long long>(
+                  AgnosticSampleComplexity(ln_h, 0.1, 0.05)));
+
+  for (double noise : {0.0, 0.2}) {
+    std::printf("noise = %.1f (Bayes error %.1f):\n", noise, noise);
+    auto dist = MakeQueryDistribution(graph, target, QueryVars(1), 1, noise);
+    auto learner = [&](const TrainingSet& train) {
+      return TypeMajorityErm(graph, train, {}, {1, 2}).hypothesis;
+    };
+    Table table({"m", "train err", "test err", "gap"});
+    for (int m : {10, 25, 50, 100, 250, 500, 1000}) {
+      // Average over repetitions to stabilise the small-m rows.
+      const int reps = 5;
+      double train_sum = 0;
+      double test_sum = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        PacExperimentResult result =
+            RunPacExperiment(graph, *dist, m, 1500, learner, rng);
+        train_sum += result.training_error;
+        test_sum += result.generalization_error;
+      }
+      double train = train_sum / reps;
+      double test = test_sum / reps;
+      table.AddRow({std::to_string(m), FormatDouble(train, 3),
+                    FormatDouble(test, 3),
+                    FormatDouble(std::abs(test - train), 3)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf("Realisable: test error decays to ~0. Agnostic: both errors "
+              "converge to the 0.2\nnoise floor and the train/test gap "
+              "closes — uniform convergence in action.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E13 — sublinear learning (the paper's [22]/[21]/[19] line + conclusion):
+//  (a) degree-bounded sublinear ERM: runtime flat in n at fixed m, because
+//      the parameter pool is the examples' (2r+1)-neighbourhood, not V(G);
+//  (b) preprocessing + O(m) queries: LocalTypeIndex build cost grows with
+//      n once, after which each ERM query is n-independent.
+
+#include <cstdio>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "learn/sublinear.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(31337);
+
+  std::printf("E13a: degree-bounded sublinear ERM vs full brute force "
+              "(m = 40 fixed, ℓ = 1, degree ≤ 4)\n\n");
+  {
+    Table table({"n", "pool", "sub err", "sub ms", "bf err", "bf ms"});
+    for (int n : {250, 500, 1000, 2000, 4000}) {
+      Graph g = MakeBoundedDegree(n, 4, 3 * n / 2, rng);
+      Vertex w_star = static_cast<Vertex>(rng.UniformIndex(40));
+      Vertex source[] = {w_star};
+      std::vector<int> dist = BfsDistances(g, source, 1);
+      TrainingSet examples;
+      for (Vertex v = 0; v < 40; ++v) {
+        examples.push_back({{v}, dist[v] != kUnreachable && dist[v] <= 1});
+      }
+      ErmOptions options{1, 1};
+      Stopwatch sub_watch;
+      SublinearErmResult sub = SublinearErm(g, examples, 1, options);
+      double sub_ms = sub_watch.ElapsedMillis();
+      Stopwatch bf_watch;
+      ErmResult brute = BruteForceErm(g, examples, 1, options, nullptr,
+                                      /*early_stop=*/false);
+      double bf_ms = bf_watch.ElapsedMillis();
+      table.AddRow({std::to_string(n),
+                    std::to_string(sub.candidate_pool_size),
+                    FormatDouble(sub.erm.training_error, 3),
+                    FormatDouble(sub_ms, 1),
+                    FormatDouble(brute.training_error, 3),
+                    FormatDouble(bf_ms, 1)});
+    }
+    table.Print();
+    std::printf("\nThe pool (and the sublinear learner's time) is governed "
+                "by m·d^{O(r)}, flat in n;\nbrute force scans all n "
+                "parameters. Same training error on every row.\n\n");
+  }
+
+  std::printf("E13b: preprocessing + O(m) ERM queries (LocalTypeIndex, "
+              "k = 1, ℓ = 0)\n\n");
+  {
+    Table table({"n", "build ms", "query ms (m=100)", "queries/s equiv"});
+    for (int n : {500, 1000, 2000, 4000}) {
+      Graph g = MakeBoundedDegree(n, 4, 3 * n / 2, rng);
+      AddRandomColors(g, {"Red"}, 0.3, rng);
+      Stopwatch build_watch;
+      LocalTypeIndex index(g, 1, 2);
+      double build_ms = build_watch.ElapsedMillis();
+
+      TrainingSet examples;
+      for (int i = 0; i < 100; ++i) {
+        Vertex v = static_cast<Vertex>(rng.UniformIndex(g.order()));
+        examples.push_back({{v}, g.Degree(v) >= 2});
+      }
+      const int reps = 50;
+      Stopwatch query_watch;
+      for (int i = 0; i < reps; ++i) index.Erm(examples);
+      double query_ms = query_watch.ElapsedMillis() / reps;
+      table.AddRow({std::to_string(n), FormatDouble(build_ms, 1),
+                    FormatDouble(query_ms, 3),
+                    FormatDouble(1000.0 / std::max(query_ms, 1e-6), 0)});
+    }
+    table.Print();
+    std::printf("\nBuild cost scales with n (the one-off preprocessing "
+                "pass); the per-query cost is\nflat — the 'sublinear "
+                "learning after preprocessing' regime the conclusion "
+                "conjectures.\n");
+  }
+  return 0;
+}

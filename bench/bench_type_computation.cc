@@ -1,0 +1,96 @@
+// E5 — type computation cost: tp_q is n^{O(q)} (the f(q) factor of every
+// algorithm in the paper), local types ltp_{q,r} are |ball|^{O(q)} —
+// effectively constant per example on bounded-degree graphs.
+//
+// google-benchmark microbenchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "types/hintikka.h"
+#include "types/type.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+// Global type computation: rank sweep on a fixed random tree.
+void BM_GlobalType(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  Rng rng(5);
+  Graph graph = MakeRandomTree(40, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  Vertex tuple[] = {7};
+  for (auto _ : state) {
+    TypeRegistry registry(graph.vocabulary());
+    TypeComputer computer(graph, &registry);
+    benchmark::DoNotOptimize(computer.Type(tuple, rank));
+  }
+  state.SetLabel("n=40, rank=" + std::to_string(rank));
+}
+BENCHMARK(BM_GlobalType)->Arg(0)->Arg(1)->Arg(2);
+
+// Global type computation: n sweep at rank 2.
+void BM_GlobalTypeBySize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(6);
+  Graph graph = MakeRandomTree(n, rng);
+  Vertex tuple[] = {0};
+  for (auto _ : state) {
+    TypeRegistry registry(graph.vocabulary());
+    TypeComputer computer(graph, &registry);
+    benchmark::DoNotOptimize(computer.Type(tuple, 2));
+  }
+}
+BENCHMARK(BM_GlobalTypeBySize)->Arg(10)->Arg(20)->Arg(40)->Arg(80);
+
+// Local type computation: radius sweep at rank 2 — cost follows the ball
+// size, not n.
+void BM_LocalType(benchmark::State& state) {
+  const int radius = static_cast<int>(state.range(0));
+  Rng rng(7);
+  Graph graph = MakeBoundedDegree(2000, 4, 3000, rng);
+  Vertex tuple[] = {42};
+  for (auto _ : state) {
+    TypeRegistry registry(graph.vocabulary());
+    benchmark::DoNotOptimize(
+        ComputeLocalType(graph, tuple, 2, radius, &registry));
+  }
+  state.SetLabel("n=2000 (bounded degree), radius=" +
+                 std::to_string(radius));
+}
+BENCHMARK(BM_LocalType)->Arg(1)->Arg(2)->Arg(3);
+
+// Local types are n-independent on bounded-degree graphs.
+void BM_LocalTypeBySize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(8);
+  Graph graph = MakeBoundedDegree(n, 4, 3 * n / 2, rng);
+  Vertex tuple[] = {static_cast<Vertex>(n / 2)};
+  for (auto _ : state) {
+    TypeRegistry registry(graph.vocabulary());
+    benchmark::DoNotOptimize(
+        ComputeLocalType(graph, tuple, 2, 2, &registry));
+  }
+}
+BENCHMARK(BM_LocalTypeBySize)->Arg(500)->Arg(2000)->Arg(8000);
+
+// Hintikka emission from an interned type.
+void BM_HintikkaEmission(benchmark::State& state) {
+  Rng rng(9);
+  Graph graph = MakeRandomTree(30, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  TypeRegistry registry(graph.vocabulary());
+  Vertex tuple[] = {3};
+  TypeId type = ComputeType(graph, tuple, 2, &registry);
+  for (auto _ : state) {
+    HintikkaBuilder builder(registry);
+    benchmark::DoNotOptimize(builder.Build(type, {"x1"}));
+  }
+}
+BENCHMARK(BM_HintikkaEmission);
+
+}  // namespace
+}  // namespace folearn
+
+BENCHMARK_MAIN();

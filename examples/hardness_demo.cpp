@@ -1,0 +1,61 @@
+// Theorem 1 in action: deciding G ⊨ φ using ONLY a learning oracle.
+//
+// The Lemma 7 reduction asks the (L,Q)-FO-ERM oracle to separate pairs of
+// vertices, prunes the answers Ramsey-style down to a set of
+// type-representatives, recolours the graph to eliminate the outermost
+// quantifier, and recurses. This demo runs the reduction side by side with
+// the direct model checker and reports the oracle traffic — the empirical
+// face of "learning is at least as hard as model checking".
+//
+//   $ ./hardness_demo
+
+#include <cstdio>
+
+#include "fo/parser.h"
+#include "graph/generators.h"
+#include "learn/hardness.h"
+#include "mc/evaluator.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(64);
+  Graph graph = MakeRandomTree(10, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  std::printf("background    : random tree, %d vertices, Red ~ 40%%\n\n",
+              graph.order());
+
+  const char* sentences[] = {
+      "exists x. Red(x)",
+      "forall x. Red(x)",
+      "exists x. (Red(x) & exists y. (E(x, y) & !Red(y)))",
+      "exists x. forall y. (E(x, y) -> Red(y))",
+      "forall x. exists y. E(x, y)",
+  };
+
+  Table table({"sentence", "direct", "via ERM oracle", "oracle calls",
+               "max |T|", "recursion"});
+  for (const char* text : sentences) {
+    FormulaRef sentence = MustParseFormula(text);
+    bool direct = EvaluateSentence(graph, sentence);
+    TypeErmOracle oracle;
+    HardnessStats stats;
+    bool reduced = ModelCheckViaErm(graph, sentence, oracle, {}, &stats);
+    table.AddRow({text, direct ? "true" : "false",
+                  reduced ? "true" : "false",
+                  std::to_string(stats.oracle_calls),
+                  std::to_string(stats.max_representatives),
+                  std::to_string(stats.recursion_nodes)});
+    if (direct != reduced) {
+      std::printf("MISMATCH on %s\n", text);
+      return 1;
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nEvery answer agrees with direct model checking. |T| collapses to "
+      "the number of\nfirst-order types — the Ramsey pruning at work.\n");
+  return 0;
+}

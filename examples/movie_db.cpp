@@ -1,0 +1,105 @@
+// Learning over a relational database: the paper's setting is "learning
+// first-order queries over a relational database instance"; this example
+// builds a synthetic movie database, encodes it as a coloured graph
+// (db/encoding.h), and learns the concept "x directed a movie" purely from
+// labelled examples — then compares the learned classifier to the intended
+// relational query.
+//
+//   $ ./movie_db
+
+#include <cstdio>
+
+#include "db/database.h"
+#include "db/encoding.h"
+#include "fo/printer.h"
+#include "learn/erm.h"
+#include "mc/evaluator.h"
+#include "util/rng.h"
+
+using namespace folearn;
+
+namespace {
+
+// A random movie database: people 0..people−1, movies people..people+movies−1.
+Database MakeRandomMovieDb(int people, int movies, Rng& rng) {
+  Schema schema;
+  schema.AddRelation("Person", 1);
+  schema.AddRelation("Movie", 1);
+  schema.AddRelation("Directed", 2);
+  schema.AddRelation("ActedIn", 2);
+  Database db(schema, people + movies);
+  for (int p = 0; p < people; ++p) db.AddTuple("Person", {p});
+  for (int m = 0; m < movies; ++m) db.AddTuple("Movie", {people + m});
+  for (int m = 0; m < movies; ++m) {
+    // Every movie has one director and 2-4 actors.
+    int director = static_cast<int>(rng.UniformIndex(people));
+    db.AddTuple("Directed", {director, people + m});
+    int cast = 2 + static_cast<int>(rng.UniformIndex(3));
+    for (int i = 0; i < cast; ++i) {
+      db.AddTuple("ActedIn",
+                  {static_cast<int>(rng.UniformIndex(people)), people + m});
+    }
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(404);
+  const int people = 40;
+  const int movies = 30;
+  Database db = MakeRandomMovieDb(people, movies, rng);
+  EncodedDatabase encoded = EncodeDatabase(db);
+  std::printf("database      : %d elements, %lld tuples → graph with %d "
+              "vertices / %lld edges\n",
+              db.domain_size(), static_cast<long long>(db.TotalTuples()),
+              encoded.graph.order(),
+              static_cast<long long>(encoded.graph.EdgeCount()));
+
+  // The intended query, stated relationally and translated to the graph:
+  // director(x) ≡ ∃m (Movie(m) ∧ Directed(x, m)).
+  FormulaRef intended = ExistsElem(
+      "m", Formula::And(RelationAtom("Movie", {"m"}),
+                        RelationAtom("Directed", {"x1", "m"})));
+  std::printf("intended query: %s\n", DescribeFormula(intended).c_str());
+
+  // Labelled examples over PEOPLE only (realistic: we label known entities).
+  TrainingSet examples;
+  for (int p = 0; p < people; ++p) {
+    Vertex v = encoded.VertexOf(p);
+    std::string vars[] = {"x1"};
+    Vertex tuple[] = {v};
+    bool label = EvaluateQuery(encoded.graph, intended, vars, tuple);
+    examples.push_back({{v}, label});
+  }
+  auto [positives, negatives] = CountLabels(examples);
+  std::printf("examples      : %zu (%lld directors, %lld non-directors)\n",
+              examples.size(), static_cast<long long>(positives),
+              static_cast<long long>(negatives));
+
+  // Learn at rank 2 (one hop to the tuple vertex, one to the position).
+  ErmOptions options;
+  options.rank = 2;
+  options.radius = 2;  // tuple gadget fits in a radius-2 ball
+  ErmResult result = TypeMajorityErm(encoded.graph, examples, {}, options);
+  std::printf("learned       : training error %.4f, %lld local types\n",
+              result.training_error,
+              static_cast<long long>(result.distinct_types_seen));
+
+  // Compare learned classifier vs intended query on every element.
+  int agreements = 0;
+  for (int e = 0; e < db.domain_size(); ++e) {
+    Vertex v = encoded.VertexOf(e);
+    std::string vars[] = {"x1"};
+    Vertex tuple[] = {v};
+    bool intended_label = EvaluateQuery(encoded.graph, intended, vars, tuple);
+    Vertex htuple[] = {v};
+    bool learned_label = result.hypothesis.Classify(encoded.graph, htuple);
+    if (intended_label == learned_label) ++agreements;
+  }
+  std::printf("agreement     : %d / %d elements (including unlabelled "
+              "movie entities)\n",
+              agreements, db.domain_size());
+  return result.training_error == 0.0 ? 0 : 1;
+}

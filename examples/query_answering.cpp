@@ -1,0 +1,108 @@
+// Query answering over an encoded database: the FO-MC substrate used the
+// way a database system would — compute the FULL answer relation of a
+// query with the bottom-up algebraic evaluator, compare against per-tuple
+// probing, and then close the learning loop: learn the query back from its
+// own answer set and verify the learned model answers identically.
+//
+//   $ ./query_answering
+
+#include <cstdio>
+#include <set>
+
+#include "db/database.h"
+#include "db/encoding.h"
+#include "fo/printer.h"
+#include "learn/erm.h"
+#include "mc/bottom_up.h"
+#include "mc/evaluator.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+using namespace folearn;
+
+int main() {
+  Rng rng(808);
+  // A small social database: Follows(a, b), Verified(x).
+  Schema schema;
+  schema.AddRelation("Follows", 2);
+  schema.AddRelation("Verified", 1);
+  const int people = 60;
+  Database db(schema, people);
+  for (int i = 0; i < people; i += 5) db.AddTuple("Verified", {i});
+  for (int i = 0; i < 150; ++i) {
+    int a = static_cast<int>(rng.UniformIndex(people));
+    int b = static_cast<int>(rng.UniformIndex(people));
+    if (a != b) db.AddTuple("Follows", {a, b});
+  }
+  EncodedDatabase encoded = EncodeDatabase(db);
+  std::printf("database      : %d people, %lld tuples → graph n=%d m=%lld\n",
+              people, static_cast<long long>(db.TotalTuples()),
+              encoded.graph.order(),
+              static_cast<long long>(encoded.graph.EdgeCount()));
+
+  // Query: "x1 follows a verified account".
+  FormulaRef query = ExistsElem(
+      "v", Formula::And(RelationAtom("Verified", {"v"}),
+                        RelationAtom("Follows", {"x1", "v"})));
+  std::printf("query         : %s\n", DescribeFormula(query).c_str());
+
+  // Full answer set via the bottom-up evaluator.
+  Stopwatch bottom_up_watch;
+  Relation relation = EvaluateBottomUp(encoded.graph, query);
+  double bottom_up_ms = bottom_up_watch.ElapsedMillis();
+  std::set<Vertex> answers;
+  for (const auto& row : relation.rows) answers.insert(row[0]);
+
+  // Cross-check with per-element probing via the recursive evaluator.
+  Stopwatch probe_watch;
+  std::string vars[] = {"x1"};
+  int probe_answers = 0;
+  for (int e = 0; e < people; ++e) {
+    Vertex tuple[] = {encoded.VertexOf(e)};
+    if (EvaluateQuery(encoded.graph, query, vars, tuple)) {
+      ++probe_answers;
+      if (answers.count(encoded.VertexOf(e)) == 0) {
+        std::printf("MISMATCH at element %d\n", e);
+        return 1;
+      }
+    }
+  }
+  double probe_ms = probe_watch.ElapsedMillis();
+  std::printf("answers       : %d of %d people (bottom-up %.1f ms, "
+              "probing %.1f ms)\n",
+              probe_answers, people, bottom_up_ms, probe_ms);
+
+  // Close the loop on a locally-definable query: learn "x follows someone"
+  // back from its own answer set. (The verified-follow query above reaches
+  // graph distance 6 in the encoding — answerable, but beyond the small
+  // type radii that keep learning cheap; the locality budget is a real
+  // modelling decision, not a free parameter.)
+  FormulaRef local_query = ExistsElem("b", RelationAtom("Follows",
+                                                        {"x1", "b"}));
+  std::vector<std::vector<Vertex>> follow_answers =
+      AnswerQuery(encoded.graph, local_query, {"x1"});
+  std::set<Vertex> follows;
+  for (const auto& row : follow_answers) follows.insert(row[0]);
+  TrainingSet examples;
+  for (int e = 0; e < people; ++e) {
+    Vertex v = encoded.VertexOf(e);
+    examples.push_back({{v}, follows.count(v) > 0});
+  }
+  ErmResult learned = TypeMajorityErm(encoded.graph, examples, {}, {2, 2});
+  std::printf("learned       : 'follows someone' with training error %.4f "
+              "(%lld local types)\n",
+              learned.training_error,
+              static_cast<long long>(learned.distinct_types_seen));
+  int agreements = 0;
+  for (int e = 0; e < people; ++e) {
+    Vertex tuple[] = {encoded.VertexOf(e)};
+    bool learned_label = learned.hypothesis.Classify(encoded.graph, tuple);
+    if (learned_label == (follows.count(encoded.VertexOf(e)) > 0)) {
+      ++agreements;
+    }
+  }
+  std::printf("agreement     : %d / %d — the learned model answers the "
+              "query it was trained on\n",
+              agreements, people);
+  return learned.training_error == 0.0 ? 0 : 1;
+}

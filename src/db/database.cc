@@ -1,0 +1,56 @@
+#include "db/database.h"
+
+namespace folearn {
+
+void Schema::AddRelation(std::string name, int arity) {
+  FOLEARN_CHECK(!name.empty());
+  FOLEARN_CHECK_GE(arity, 1);
+  FOLEARN_CHECK(index_.find(name) == index_.end())
+      << "duplicate relation '" << name << "'";
+  index_.emplace(name, static_cast<int>(relations_.size()));
+  relations_.push_back({std::move(name), arity});
+}
+
+const RelationSchema* Schema::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &relations_[it->second];
+}
+
+void Database::AddTuple(const std::string& relation, std::vector<int> tuple) {
+  const RelationSchema* rel = schema_.Find(relation);
+  FOLEARN_CHECK(rel != nullptr) << "unknown relation '" << relation << "'";
+  FOLEARN_CHECK_EQ(static_cast<int>(tuple.size()), rel->arity);
+  for (int element : tuple) {
+    FOLEARN_CHECK(element >= 0 && element < domain_size_)
+        << "element " << element << " outside domain";
+  }
+  relations_[relation].insert(std::move(tuple));
+}
+
+bool Database::Contains(const std::string& relation,
+                        const std::vector<int>& tuple) const {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) return false;
+  return it->second.count(tuple) > 0;
+}
+
+const std::set<std::vector<int>>& Database::Tuples(
+    const std::string& relation) const {
+  static const std::set<std::vector<int>>* empty =
+      new std::set<std::vector<int>>();
+  FOLEARN_CHECK(schema_.Find(relation) != nullptr)
+      << "unknown relation '" << relation << "'";
+  auto it = relations_.find(relation);
+  return it == relations_.end() ? *empty : it->second;
+}
+
+int64_t Database::TotalTuples() const {
+  int64_t total = 0;
+  for (const auto& [name, tuples] : relations_) {
+    total += static_cast<int64_t>(tuples.size());
+  }
+  return total;
+}
+
+}  // namespace folearn

@@ -1,0 +1,73 @@
+#ifndef FOLEARN_DB_DATABASE_H_
+#define FOLEARN_DB_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace folearn {
+
+// A relational database substrate. The paper states all results for
+// coloured graphs and notes that "arbitrary relational structures can
+// easily be encoded as graphs"; this module is that encoding, so the
+// learners can be exercised on genuinely relational data (see
+// db/encoding.h).
+
+// One relation symbol with fixed arity.
+struct RelationSchema {
+  std::string name;
+  int arity = 0;
+};
+
+// A relational schema: named relations with arities.
+class Schema {
+ public:
+  Schema() = default;
+
+  // Declares a relation; names must be unique, arity ≥ 1.
+  void AddRelation(std::string name, int arity);
+
+  const RelationSchema* Find(const std::string& name) const;
+
+  const std::vector<RelationSchema>& relations() const { return relations_; }
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::map<std::string, int> index_;
+};
+
+// A database instance: a finite domain {0, …, domain_size−1} plus a set of
+// tuples per relation.
+class Database {
+ public:
+  Database(Schema schema, int domain_size)
+      : schema_(std::move(schema)), domain_size_(domain_size) {
+    FOLEARN_CHECK_GE(domain_size, 0);
+  }
+
+  const Schema& schema() const { return schema_; }
+  int domain_size() const { return domain_size_; }
+
+  // Inserts a tuple into `relation`; arity and domain bounds are checked.
+  // Idempotent.
+  void AddTuple(const std::string& relation, std::vector<int> tuple);
+
+  bool Contains(const std::string& relation,
+                const std::vector<int>& tuple) const;
+
+  const std::set<std::vector<int>>& Tuples(const std::string& relation) const;
+
+  int64_t TotalTuples() const;
+
+ private:
+  Schema schema_;
+  int domain_size_;
+  std::map<std::string, std::set<std::vector<int>>> relations_;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_DB_DATABASE_H_

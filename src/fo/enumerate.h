@@ -1,0 +1,42 @@
+#ifndef FOLEARN_FO_ENUMERATE_H_
+#define FOLEARN_FO_ENUMERATE_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/formula.h"
+
+namespace folearn {
+
+// Bounded syntactic formula enumeration.
+//
+// The paper leans on the fact that FO[τ, q] is finite up to logical
+// equivalence, but the count is astronomically large; the library's learners
+// therefore work with types instead (see src/types). This enumerator exists
+// for the *cross-checking* experiments (E9): on tiny instances it
+// exhaustively materialises a syntactic slice of FO[τ, q] so the
+// type-majority ERM optimum can be validated against literal
+// try-every-formula search.
+struct EnumerationOptions {
+  // Free variables the formulas may use.
+  std::vector<std::string> free_variables;
+  // Colour names available for colour atoms.
+  std::vector<std::string> colors;
+  // Maximum quantifier rank.
+  int max_quantifier_rank = 1;
+  // Maximum boolean-combination depth applied per quantifier layer.
+  int max_boolean_depth = 1;
+  // Hard cap on the number of formulas produced.
+  int max_count = 100000;
+  // Include negations of generated formulas.
+  bool include_negations = true;
+};
+
+// Enumerates distinct formulas (deduplicated by printed form), smaller
+// strata first: atoms, then boolean combinations, then one quantifier layer,
+// and so on up to max_quantifier_rank. Stops at max_count.
+std::vector<FormulaRef> EnumerateFormulas(const EnumerationOptions& options);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_FO_ENUMERATE_H_

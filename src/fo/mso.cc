@@ -1,0 +1,65 @@
+#include "fo/mso.h"
+
+namespace folearn {
+
+namespace {
+
+// ∀u∀v (u∈X ∧ E(u,v) → v∈X).
+FormulaRef EdgeClosed(const std::string& set_var) {
+  return Formula::Forall(
+      "_u", Formula::Forall(
+                "_v", Formula::Implies(
+                          Formula::And(Formula::SetMember("_u", set_var),
+                                       Formula::Edge("_u", "_v")),
+                          Formula::SetMember("_v", set_var))));
+}
+
+}  // namespace
+
+FormulaRef MsoConnectivitySentence() {
+  FormulaRef nonempty =
+      Formula::Exists("_x", Formula::SetMember("_x", "X"));
+  FormulaRef all = Formula::Forall("_w", Formula::SetMember("_w", "X"));
+  return Formula::ForallSet(
+      "X", Formula::Implies(Formula::And(nonempty, EdgeClosed("X")), all));
+}
+
+FormulaRef MsoBipartiteSentence() {
+  FormulaRef proper = Formula::Forall(
+      "_u",
+      Formula::Forall(
+          "_v", Formula::Implies(
+                    Formula::Edge("_u", "_v"),
+                    Formula::Iff(Formula::SetMember("_u", "X"),
+                                 Formula::Not(
+                                     Formula::SetMember("_v", "X"))))));
+  return Formula::ExistsSet("X", proper);
+}
+
+FormulaRef MsoSameComponentFormula(const std::string& x,
+                                   const std::string& y) {
+  return Formula::ForallSet(
+      "X", Formula::Implies(
+               Formula::And(Formula::SetMember(x, "X"), EdgeClosed("X")),
+               Formula::SetMember(y, "X")));
+}
+
+FormulaRef MsoIndependentDominatingSetSentence() {
+  // independent: no edge inside X; dominating: every vertex is in X or has
+  // a neighbour in X.
+  FormulaRef independent = Formula::Forall(
+      "_u", Formula::Forall(
+                "_v", Formula::Implies(
+                          Formula::And(Formula::SetMember("_u", "X"),
+                                       Formula::SetMember("_v", "X")),
+                          Formula::Not(Formula::Edge("_u", "_v")))));
+  FormulaRef dominating = Formula::Forall(
+      "_w", Formula::Or(
+                Formula::SetMember("_w", "X"),
+                Formula::Exists(
+                    "_z", Formula::And(Formula::Edge("_w", "_z"),
+                                       Formula::SetMember("_z", "X")))));
+  return Formula::ExistsSet("X", Formula::And(independent, dominating));
+}
+
+}  // namespace folearn

@@ -1,0 +1,237 @@
+#include "fo/normal_form.h"
+
+#include <unordered_set>
+
+#include "fo/transform.h"
+
+namespace folearn {
+
+namespace {
+
+FormulaRef NnfRec(const FormulaRef& f, bool negated) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      return negated ? Formula::False() : f;
+    case FormulaKind::kFalse:
+      return negated ? Formula::True() : f;
+    case FormulaKind::kEdge:
+    case FormulaKind::kEquals:
+    case FormulaKind::kColor:
+      return negated ? Formula::Not(f) : f;
+    case FormulaKind::kNot:
+      return NnfRec(f->child(0), !negated);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaRef> children;
+      children.reserve(f->children().size());
+      for (const FormulaRef& child : f->children()) {
+        children.push_back(NnfRec(child, negated));
+      }
+      const bool make_and = (f->kind() == FormulaKind::kAnd) != negated;
+      return make_and ? Formula::And(std::move(children))
+                      : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      FormulaRef body = NnfRec(f->child(0), negated);
+      const bool make_exists = (f->kind() == FormulaKind::kExists) != negated;
+      return make_exists ? Formula::Exists(f->quantified_var(),
+                                           std::move(body))
+                         : Formula::Forall(f->quantified_var(),
+                                           std::move(body));
+    }
+    case FormulaKind::kCountExists: {
+      // No positive dual for ¬∃^{≥t}: normalise the body and keep the
+      // outer negation if present.
+      FormulaRef body = NnfRec(f->child(0), false);
+      FormulaRef rebuilt = Formula::CountExists(
+          f->threshold(), f->quantified_var(), std::move(body));
+      return negated ? Formula::Not(std::move(rebuilt)) : rebuilt;
+    }
+    case FormulaKind::kSetMember:
+      return negated ? Formula::Not(f) : f;
+    case FormulaKind::kExistsSet:
+    case FormulaKind::kForallSet: {
+      FormulaRef body = NnfRec(f->child(0), negated);
+      const bool make_exists =
+          (f->kind() == FormulaKind::kExistsSet) != negated;
+      return make_exists
+                 ? Formula::ExistsSet(f->quantified_var(), std::move(body))
+                 : Formula::ForallSet(f->quantified_var(), std::move(body));
+    }
+  }
+  FOLEARN_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+struct PrefixEntry {
+  bool is_exists;
+  std::string var;
+};
+
+// Pulls quantifiers out of an NNF formula; appends prefix entries
+// outermost-first and returns the matrix.
+FormulaRef PullQuantifiers(const FormulaRef& f,
+                           std::vector<PrefixEntry>& prefix,
+                           FreshVariablePool& pool) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEdge:
+    case FormulaKind::kEquals:
+    case FormulaKind::kColor:
+      return f;
+    case FormulaKind::kNot:
+      // NNF: child is an atom.
+      return f;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      std::vector<FormulaRef> children;
+      for (const FormulaRef& child : f->children()) {
+        children.push_back(PullQuantifiers(child, prefix, pool));
+      }
+      return f->kind() == FormulaKind::kAnd
+                 ? Formula::And(std::move(children))
+                 : Formula::Or(std::move(children));
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall: {
+      // Rename the bound variable to a globally fresh one so pulling it out
+      // cannot capture anything.
+      std::string fresh = pool.Fresh(f->quantified_var());
+      FormulaRef body =
+          RenameFreeVariables(f->child(0), {{f->quantified_var(), fresh}});
+      prefix.push_back({f->kind() == FormulaKind::kExists, fresh});
+      return PullQuantifiers(body, prefix, pool);
+    }
+    case FormulaKind::kCountExists:
+      FOLEARN_CHECK(false)
+          << "prenex normal form requires a counting-free formula";
+      return nullptr;
+    case FormulaKind::kSetMember:
+    case FormulaKind::kExistsSet:
+    case FormulaKind::kForallSet:
+      FOLEARN_CHECK(false)
+          << "prenex normal form requires a first-order formula";
+      return nullptr;
+  }
+  FOLEARN_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace
+
+FormulaRef ToNegationNormalForm(const FormulaRef& f) {
+  return NnfRec(f, false);
+}
+
+FormulaRef ToPrenexNormalForm(const FormulaRef& f) {
+  FormulaRef nnf = ToNegationNormalForm(f);
+  FreshVariablePool pool(CollectVariableNames(nnf));
+  std::vector<PrefixEntry> prefix;
+  FormulaRef matrix = PullQuantifiers(nnf, prefix, pool);
+  // Wrap innermost-last: the prefix list is outermost-first.
+  for (auto it = prefix.rbegin(); it != prefix.rend(); ++it) {
+    matrix = it->is_exists ? Formula::Exists(it->var, std::move(matrix))
+                           : Formula::Forall(it->var, std::move(matrix));
+  }
+  return matrix;
+}
+
+bool IsPrenex(const FormulaRef& f) {
+  const Formula* node = f.get();
+  while (node->kind() == FormulaKind::kExists ||
+         node->kind() == FormulaKind::kForall ||
+         node->kind() == FormulaKind::kCountExists) {
+    node = node->child(0).get();
+  }
+  // The matrix must be quantifier-free.
+  std::vector<const Formula*> stack = {node};
+  while (!stack.empty()) {
+    const Formula* current = stack.back();
+    stack.pop_back();
+    switch (current->kind()) {
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+      case FormulaKind::kCountExists:
+      case FormulaKind::kExistsSet:
+      case FormulaKind::kForallSet:
+        return false;
+      default:
+        break;
+    }
+    for (const FormulaRef& child : current->children()) {
+      stack.push_back(child.get());
+    }
+  }
+  return true;
+}
+
+bool IsNegationNormalForm(const FormulaRef& f) {
+  std::vector<const Formula*> stack = {f.get()};
+  while (!stack.empty()) {
+    const Formula* node = stack.back();
+    stack.pop_back();
+    if (node->kind() == FormulaKind::kNot) {
+      switch (node->child(0)->kind()) {
+        case FormulaKind::kEdge:
+        case FormulaKind::kEquals:
+        case FormulaKind::kColor:
+        case FormulaKind::kSetMember:
+        case FormulaKind::kCountExists:  // ¬∃^{≥t} is irreducible here
+          break;
+        default:
+          return false;
+      }
+    }
+    for (const FormulaRef& child : node->children()) {
+      stack.push_back(child.get());
+    }
+  }
+  return true;
+}
+
+FormulaStats ComputeFormulaStats(const FormulaRef& f) {
+  FormulaStats stats;
+  stats.quantifier_rank = f->quantifier_rank();
+  stats.dag_nodes = f->DagSize();
+  // Occurrence counts are over the TREE unfolding but computed on the DAG
+  // with per-node multiplicities capped implicitly by revisiting shared
+  // nodes once per parent — here we simply walk the DAG once (occurrence
+  // counts of shared nodes are counted once; documented behaviour).
+  std::unordered_set<const Formula*> seen;
+  std::vector<const Formula*> stack = {f.get()};
+  while (!stack.empty()) {
+    const Formula* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    switch (node->kind()) {
+      case FormulaKind::kEdge:
+      case FormulaKind::kEquals:
+      case FormulaKind::kColor:
+      case FormulaKind::kSetMember:
+      case FormulaKind::kTrue:
+      case FormulaKind::kFalse:
+        ++stats.atom_occurrences;
+        break;
+      case FormulaKind::kNot:
+      case FormulaKind::kAnd:
+      case FormulaKind::kOr:
+        ++stats.connective_occurrences;
+        break;
+      case FormulaKind::kExists:
+      case FormulaKind::kForall:
+      case FormulaKind::kCountExists:
+      case FormulaKind::kExistsSet:
+      case FormulaKind::kForallSet:
+        ++stats.quantifier_occurrences;
+        break;
+    }
+    for (const FormulaRef& child : node->children()) {
+      stack.push_back(child.get());
+    }
+  }
+  return stats;
+}
+
+}  // namespace folearn

@@ -1,0 +1,44 @@
+#ifndef FOLEARN_FO_NORMAL_FORM_H_
+#define FOLEARN_FO_NORMAL_FORM_H_
+
+#include "fo/formula.h"
+
+namespace folearn {
+
+// Normal forms (the paper's §2 "we syntactically define a normal form…"
+// device that makes FO[τ, q] finite, plus standard shapes the hardness
+// reduction and tests rely on).
+
+// Negation normal form: negations pushed to the atoms (¬∃ ↦ ∀¬, ¬∀ ↦ ∃¬,
+// De Morgan over ∧/∨). Counting quantifiers keep their negation (¬∃^{≥t}
+// has no positive dual in this syntax). Preserves semantics and quantifier
+// rank.
+FormulaRef ToNegationNormalForm(const FormulaRef& f);
+
+// Prenex normal form: all (plain) quantifiers pulled to an outer prefix
+// with capture-avoiding renaming; input must be counting-free. The matrix
+// is quantifier-free; the prefix length equals the number of quantifier
+// occurrences (not the rank). Preserves semantics.
+FormulaRef ToPrenexNormalForm(const FormulaRef& f);
+
+// True iff no quantifier occurs under a boolean connective or another
+// quantifier's sibling (i.e. the formula is a quantifier prefix followed
+// by a quantifier-free matrix).
+bool IsPrenex(const FormulaRef& f);
+
+// True iff every kNot has an atom directly beneath it.
+bool IsNegationNormalForm(const FormulaRef& f);
+
+// Structural statistics used by the experiment harnesses.
+struct FormulaStats {
+  int quantifier_rank = 0;
+  int64_t quantifier_occurrences = 0;
+  int64_t atom_occurrences = 0;
+  int64_t connective_occurrences = 0;
+  int64_t dag_nodes = 0;
+};
+FormulaStats ComputeFormulaStats(const FormulaRef& f);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_FO_NORMAL_FORM_H_

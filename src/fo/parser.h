@@ -1,0 +1,37 @@
+#ifndef FOLEARN_FO_PARSER_H_
+#define FOLEARN_FO_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fo/formula.h"
+
+namespace folearn {
+
+// Parses the concrete formula syntax produced by ToString:
+//
+//   formula    := or_expr [ '->' formula ]
+//   or_expr    := and_expr ( '|' and_expr )*
+//   and_expr   := unary ( '&' unary )*
+//   unary      := '!' unary
+//              |  ('exists' | 'forall') ident '.' formula
+//              |  '(' formula ')'
+//              |  'true' | 'false'
+//              |  'E' '(' ident ',' ident ')'
+//              |  ident '(' ident ')'          (colour atom)
+//              |  ident '=' ident              (equality atom)
+//
+// Identifiers are [A-Za-z_][A-Za-z0-9_]*; 'E', 'exists', 'forall', 'true',
+// 'false' are reserved. Implication is desugared at construction.
+//
+// Returns std::nullopt on syntax errors (and fills *error if non-null).
+std::optional<FormulaRef> ParseFormula(std::string_view text,
+                                       std::string* error = nullptr);
+
+// CHECK-failing convenience wrapper for literals in tests and examples.
+FormulaRef MustParseFormula(std::string_view text);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_FO_PARSER_H_

@@ -1,0 +1,119 @@
+#include "fo/printer.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace folearn {
+
+namespace {
+
+// Precedence levels: higher binds tighter. Quantifiers bind weakest: their
+// body extends maximally to the right (matching the parser), so they are
+// parenthesised in any non-trailing position.
+enum Precedence {
+  kPrecQuantifier = 1,
+  kPrecOr = 2,
+  kPrecAnd = 3,
+  kPrecUnary = 4,  // ¬
+  kPrecAtom = 5,
+};
+
+void Render(const FormulaRef& f, int parent_precedence, std::ostream& out) {
+  auto parenthesize = [&](int self_precedence, auto&& body) {
+    bool need = self_precedence < parent_precedence;
+    if (need) out << '(';
+    body();
+    if (need) out << ')';
+  };
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+      out << "true";
+      return;
+    case FormulaKind::kFalse:
+      out << "false";
+      return;
+    case FormulaKind::kEdge:
+      out << "E(" << f->var1() << ", " << f->var2() << ")";
+      return;
+    case FormulaKind::kColor:
+      out << f->color_name() << "(" << f->var1() << ")";
+      return;
+    case FormulaKind::kEquals:
+      parenthesize(kPrecAtom, [&] { out << f->var1() << " = " << f->var2(); });
+      return;
+    case FormulaKind::kNot:
+      parenthesize(kPrecUnary, [&] {
+        out << '!';
+        Render(f->child(0), kPrecAtom, out);
+      });
+      return;
+    case FormulaKind::kAnd:
+      parenthesize(kPrecAnd, [&] {
+        bool first = true;
+        for (const FormulaRef& child : f->children()) {
+          if (!first) out << " & ";
+          Render(child, kPrecAnd + 1, out);
+          first = false;
+        }
+      });
+      return;
+    case FormulaKind::kOr:
+      parenthesize(kPrecOr, [&] {
+        bool first = true;
+        for (const FormulaRef& child : f->children()) {
+          if (!first) out << " | ";
+          Render(child, kPrecOr + 1, out);
+          first = false;
+        }
+      });
+      return;
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+      parenthesize(kPrecQuantifier, [&] {
+        out << (f->kind() == FormulaKind::kExists ? "exists " : "forall ")
+            << f->quantified_var() << ". ";
+        Render(f->child(0), kPrecQuantifier, out);
+      });
+      return;
+    case FormulaKind::kCountExists:
+      parenthesize(kPrecQuantifier, [&] {
+        out << "exists>=" << f->threshold() << ' ' << f->quantified_var()
+            << ". ";
+        Render(f->child(0), kPrecQuantifier, out);
+      });
+      return;
+    case FormulaKind::kSetMember:
+      parenthesize(kPrecAtom,
+                   [&] { out << f->var1() << " in " << f->set_name(); });
+      return;
+    case FormulaKind::kExistsSet:
+    case FormulaKind::kForallSet:
+      parenthesize(kPrecQuantifier, [&] {
+        out << (f->kind() == FormulaKind::kExistsSet ? "existsset "
+                                                     : "forallset ")
+            << f->quantified_var() << ". ";
+        Render(f->child(0), kPrecQuantifier, out);
+      });
+      return;
+  }
+}
+
+}  // namespace
+
+std::string ToString(const FormulaRef& formula) {
+  FOLEARN_CHECK(formula != nullptr);
+  std::ostringstream out;
+  Render(formula, 0, out);
+  return out.str();
+}
+
+std::string DescribeFormula(const FormulaRef& formula) {
+  std::ostringstream out;
+  out << "qrank=" << formula->quantifier_rank() << " free=["
+      << Join(formula->free_variables(), ", ") << "] dag="
+      << formula->DagSize();
+  return out.str();
+}
+
+}  // namespace folearn

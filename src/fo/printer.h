@@ -1,0 +1,25 @@
+#ifndef FOLEARN_FO_PRINTER_H_
+#define FOLEARN_FO_PRINTER_H_
+
+#include <string>
+
+#include "fo/formula.h"
+
+namespace folearn {
+
+// Renders a formula in the concrete syntax accepted by ParseFormula:
+//
+//   E(x, y)   Red(x)   x = y   true   false
+//   !φ        φ & ψ    φ | ψ   exists x. φ   forall x. φ
+//
+// Parenthesised minimally (precedence ! > & > |; quantifier bodies extend
+// maximally to the right). Round-trips through the parser up to the
+// constructor-level simplifications.
+std::string ToString(const FormulaRef& formula);
+
+// One-line summary "qrank=… free=[…] dag=…" used in logs and examples.
+std::string DescribeFormula(const FormulaRef& formula);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_FO_PRINTER_H_

@@ -1,0 +1,188 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace folearn {
+
+std::vector<int> BfsDistances(const Graph& graph,
+                              std::span<const Vertex> sources,
+                              int radius_cap) {
+  std::vector<int> dist(graph.order(), kUnreachable);
+  std::deque<Vertex> queue;
+  for (Vertex s : sources) {
+    FOLEARN_CHECK(graph.IsValidVertex(s));
+    if (dist[s] == kUnreachable) {
+      dist[s] = 0;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    Vertex v = queue.front();
+    queue.pop_front();
+    if (radius_cap >= 0 && dist[v] >= radius_cap) continue;
+    for (Vertex u : graph.Neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+int Distance(const Graph& graph, Vertex u, Vertex v) {
+  Vertex sources[] = {u};
+  return BfsDistances(graph, sources)[v];
+}
+
+int TupleDistance(const Graph& graph, std::span<const Vertex> us,
+                  std::span<const Vertex> vs) {
+  std::vector<int> dist = BfsDistances(graph, us);
+  int best = kUnreachable;
+  for (Vertex v : vs) {
+    if (dist[v] == kUnreachable) continue;
+    if (best == kUnreachable || dist[v] < best) best = dist[v];
+  }
+  return best;
+}
+
+std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
+                         int radius) {
+  FOLEARN_CHECK_GE(radius, 0);
+  std::vector<int> dist = BfsDistances(graph, sources, radius);
+  std::vector<Vertex> ball;
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] <= radius) ball.push_back(v);
+  }
+  return ball;
+}
+
+std::vector<Vertex> InducedSubgraph::MapTuple(
+    std::span<const Vertex> tuple) const {
+  std::vector<Vertex> mapped;
+  mapped.reserve(tuple.size());
+  for (Vertex v : tuple) {
+    FOLEARN_CHECK_GE(v, 0);
+    FOLEARN_CHECK_LT(static_cast<size_t>(v), from_original.size());
+    FOLEARN_CHECK_NE(from_original[v], kNoVertex)
+        << "tuple entry " << v << " not in induced subgraph";
+    mapped.push_back(from_original[v]);
+  }
+  return mapped;
+}
+
+InducedSubgraph BuildInducedSubgraph(const Graph& graph,
+                                     std::span<const Vertex> vertices) {
+  InducedSubgraph result;
+  result.from_original.assign(graph.order(), kNoVertex);
+  std::vector<Vertex> sorted(vertices.begin(), vertices.end());
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  result.graph = Graph(static_cast<int>(sorted.size()),
+                       Vocabulary(graph.vocabulary()));
+  result.to_original = sorted;
+  for (Vertex i = 0; i < static_cast<Vertex>(sorted.size()); ++i) {
+    result.from_original[sorted[i]] = i;
+  }
+  for (Vertex i = 0; i < static_cast<Vertex>(sorted.size()); ++i) {
+    Vertex original = sorted[i];
+    for (ColorId c = 0; c < graph.vocabulary().size(); ++c) {
+      if (graph.HasColor(original, c)) result.graph.SetColor(i, c);
+    }
+    for (Vertex u : graph.Neighbors(original)) {
+      Vertex mapped = result.from_original[u];
+      if (mapped != kNoVertex && mapped > i) {
+        result.graph.AddEdge(i, mapped);
+      }
+    }
+  }
+  return result;
+}
+
+NeighborhoodGraph BuildNeighborhoodGraph(const Graph& graph,
+                                         std::span<const Vertex> tuple,
+                                         int radius) {
+  NeighborhoodGraph result;
+  std::vector<Vertex> ball = Ball(graph, tuple, radius);
+  result.induced = BuildInducedSubgraph(graph, ball);
+  result.tuple = result.induced.MapTuple(tuple);
+  return result;
+}
+
+Graph DisjointCopies(const Graph& graph, int copies) {
+  FOLEARN_CHECK_GE(copies, 1);
+  int n = graph.order();
+  Graph result(n * copies, Vocabulary(graph.vocabulary()));
+  for (int i = 0; i < copies; ++i) {
+    Vertex offset = i * n;
+    for (Vertex v = 0; v < n; ++v) {
+      for (ColorId c = 0; c < graph.vocabulary().size(); ++c) {
+        if (graph.HasColor(v, c)) result.SetColor(offset + v, c);
+      }
+      for (Vertex u : graph.Neighbors(v)) {
+        if (u > v) result.AddEdge(offset + v, offset + u);
+      }
+    }
+  }
+  return result;
+}
+
+Graph DisjointUnion(const Graph& a, const Graph& b) {
+  FOLEARN_CHECK(a.vocabulary() == b.vocabulary())
+      << "disjoint union requires matching vocabularies";
+  if (b.order() == 0) return a;
+  Graph result = a;
+  Vertex offset = result.AddVertices(b.order());
+  for (Vertex v = 0; v < b.order(); ++v) {
+    for (ColorId c = 0; c < b.vocabulary().size(); ++c) {
+      if (b.HasColor(v, c)) result.SetColor(offset + v, c);
+    }
+    for (Vertex u : b.Neighbors(v)) {
+      if (u > v) result.AddEdge(offset + v, offset + u);
+    }
+  }
+  return result;
+}
+
+std::pair<std::vector<int>, int> ConnectedComponents(const Graph& graph) {
+  std::vector<int> component(graph.order(), -1);
+  int count = 0;
+  std::deque<Vertex> queue;
+  for (Vertex start = 0; start < graph.order(); ++start) {
+    if (component[start] != -1) continue;
+    component[start] = count;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex u : graph.Neighbors(v)) {
+        if (component[u] == -1) {
+          component[u] = count;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++count;
+  }
+  return {std::move(component), count};
+}
+
+bool ValidateGraph(const Graph& graph) {
+  int64_t directed_edges = 0;
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    const auto& adj = graph.Neighbors(v);
+    if (!std::is_sorted(adj.begin(), adj.end())) return false;
+    if (std::adjacent_find(adj.begin(), adj.end()) != adj.end()) return false;
+    for (Vertex u : adj) {
+      if (u == v) return false;  // irreflexive
+      if (!graph.IsValidVertex(u)) return false;
+      if (!graph.HasEdge(u, v)) return false;  // symmetric
+    }
+    directed_edges += adj.size();
+  }
+  return directed_edges == 2 * graph.EdgeCount();
+}
+
+}  // namespace folearn

@@ -1,0 +1,80 @@
+#ifndef FOLEARN_GRAPH_ALGORITHMS_H_
+#define FOLEARN_GRAPH_ALGORITHMS_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace folearn {
+
+inline constexpr int kUnreachable = -1;
+
+// Multi-source BFS. Returns dist[v] = min distance from v to any source, or
+// kUnreachable if none is reachable (or beyond `radius_cap` when
+// radius_cap >= 0; vertices further than the cap report kUnreachable).
+std::vector<int> BfsDistances(const Graph& graph,
+                              std::span<const Vertex> sources,
+                              int radius_cap = -1);
+
+// Distance between a vertex and a tuple: min over entries (paper §2,
+// dist(u, v̄)). Returns kUnreachable if disconnected.
+int Distance(const Graph& graph, Vertex u, Vertex v);
+
+// Distance between two tuples: min over pairs (paper §2, dist(ū, v̄)).
+int TupleDistance(const Graph& graph, std::span<const Vertex> us,
+                  std::span<const Vertex> vs);
+
+// The r-ball N_r^G(sources) = { v : dist(v, sources) ≤ r }, sorted
+// increasingly (paper §2, r-neighbourhood of a tuple / set).
+std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
+                         int radius);
+
+// An induced subgraph G[S] together with the vertex renaming in both
+// directions (paper §2).
+struct InducedSubgraph {
+  Graph graph;
+  // to_original[new_vertex] = original vertex.
+  std::vector<Vertex> to_original;
+  // from_original[original_vertex] = new vertex, or kNoVertex if dropped.
+  std::vector<Vertex> from_original;
+
+  // Maps a tuple of original vertices into the subgraph. CHECK-fails if an
+  // entry was dropped.
+  std::vector<Vertex> MapTuple(std::span<const Vertex> tuple) const;
+};
+
+// Builds G[S]; `vertices` need not be sorted and may contain duplicates
+// (deduplicated). The subgraph keeps the full vocabulary.
+InducedSubgraph BuildInducedSubgraph(const Graph& graph,
+                                     std::span<const Vertex> vertices);
+
+// The induced r-neighbourhood graph N_r^G(tuple) (paper §2): ball +
+// induced subgraph, with the tuple mapped along.
+struct NeighborhoodGraph {
+  InducedSubgraph induced;
+  std::vector<Vertex> tuple;  // the tuple's image inside `induced.graph`
+};
+NeighborhoodGraph BuildNeighborhoodGraph(const Graph& graph,
+                                         std::span<const Vertex> tuple,
+                                         int radius);
+
+// Disjoint union of `copies` copies of `graph` (used by Lemma 7's general
+// case: Ĝ = union of 2ℓ copies of G). Copy i occupies vertex range
+// [i·n, (i+1)·n); the vocabulary is unchanged.
+Graph DisjointCopies(const Graph& graph, int copies);
+
+// Disjoint union of two graphs over the same vocabulary; `b`'s vertices are
+// shifted by a.order().
+Graph DisjointUnion(const Graph& a, const Graph& b);
+
+// Connected components: returns (component id per vertex, component count).
+std::pair<std::vector<int>, int> ConnectedComponents(const Graph& graph);
+
+// True iff the edge relation stored is symmetric, irreflexive, and sorted —
+// used by property tests and after surgery like Lemma 16's contraction.
+bool ValidateGraph(const Graph& graph);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,230 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace folearn {
+
+Graph MakePath(int n) {
+  FOLEARN_CHECK_GE(n, 0);
+  Graph graph(n);
+  for (Vertex v = 0; v + 1 < n; ++v) graph.AddEdge(v, v + 1);
+  return graph;
+}
+
+Graph MakeCycle(int n) {
+  FOLEARN_CHECK_GE(n, 3);
+  Graph graph = MakePath(n);
+  graph.AddEdge(n - 1, 0);
+  return graph;
+}
+
+Graph MakeGrid(int width, int height) {
+  FOLEARN_CHECK_GE(width, 1);
+  FOLEARN_CHECK_GE(height, 1);
+  Graph graph(width * height);
+  auto id = [width](int x, int y) { return x + y * width; };
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      if (x + 1 < width) graph.AddEdge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) graph.AddEdge(id(x, y), id(x, y + 1));
+    }
+  }
+  return graph;
+}
+
+Graph MakeComplete(int n) {
+  FOLEARN_CHECK_GE(n, 0);
+  Graph graph(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+Graph MakeCompleteBipartite(int a, int b) {
+  FOLEARN_CHECK_GE(a, 0);
+  FOLEARN_CHECK_GE(b, 0);
+  Graph graph(a + b);
+  for (Vertex u = 0; u < a; ++u) {
+    for (Vertex v = a; v < a + b; ++v) graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+Graph MakeStar(int leaves) {
+  FOLEARN_CHECK_GE(leaves, 0);
+  Graph graph(leaves + 1);
+  for (Vertex v = 1; v <= leaves; ++v) graph.AddEdge(0, v);
+  return graph;
+}
+
+Graph MakeCaterpillar(int spine, int legs) {
+  FOLEARN_CHECK_GE(spine, 1);
+  FOLEARN_CHECK_GE(legs, 0);
+  Graph graph(spine + spine * legs);
+  for (Vertex v = 0; v + 1 < spine; ++v) graph.AddEdge(v, v + 1);
+  Vertex next_leaf = spine;
+  for (Vertex v = 0; v < spine; ++v) {
+    for (int i = 0; i < legs; ++i) graph.AddEdge(v, next_leaf++);
+  }
+  return graph;
+}
+
+Graph MakeBinaryTree(int depth) {
+  FOLEARN_CHECK_GE(depth, 0);
+  int n = (1 << (depth + 1)) - 1;
+  Graph graph(n);
+  for (Vertex v = 1; v < n; ++v) graph.AddEdge(v, (v - 1) / 2);
+  return graph;
+}
+
+Graph MakeRandomTree(int n, Rng& rng) {
+  FOLEARN_CHECK_GE(n, 1);
+  Graph graph(n);
+  if (n == 1) return graph;
+  if (n == 2) {
+    graph.AddEdge(0, 1);
+    return graph;
+  }
+  // Decode a uniform random Prüfer sequence of length n−2.
+  std::vector<int> pruefer(n - 2);
+  for (int& entry : pruefer) {
+    entry = static_cast<int>(rng.UniformIndex(n));
+  }
+  std::vector<int> degree(n, 1);
+  for (int entry : pruefer) ++degree[entry];
+  // Min-leaf decoding via a pointer sweep.
+  std::vector<bool> used(n, false);
+  int ptr = 0;
+  while (degree[ptr] != 1) ++ptr;
+  int leaf = ptr;
+  for (int entry : pruefer) {
+    graph.AddEdge(leaf, entry);
+    if (--degree[entry] == 1 && entry < ptr) {
+      leaf = entry;
+    } else {
+      ++ptr;
+      while (degree[ptr] != 1) ++ptr;
+      leaf = ptr;
+    }
+  }
+  graph.AddEdge(leaf, n - 1);
+  return graph;
+}
+
+Graph MakeErdosRenyi(int n, double p, Rng& rng) {
+  FOLEARN_CHECK_GE(n, 0);
+  FOLEARN_CHECK(p >= 0.0 && p <= 1.0);
+  Graph graph(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      if (rng.Bernoulli(p)) graph.AddEdge(u, v);
+    }
+  }
+  return graph;
+}
+
+Graph MakeBoundedDegree(int n, int max_degree, int64_t target_edges,
+                        Rng& rng) {
+  FOLEARN_CHECK_GE(n, 2);
+  FOLEARN_CHECK_GE(max_degree, 1);
+  FOLEARN_CHECK_GE(target_edges, 0);
+  Graph graph(n);
+  int64_t attempts = 0;
+  const int64_t max_attempts = 20 * std::max<int64_t>(target_edges, 1);
+  while (graph.EdgeCount() < target_edges && attempts < max_attempts) {
+    ++attempts;
+    Vertex u = static_cast<Vertex>(rng.UniformIndex(n));
+    Vertex v = static_cast<Vertex>(rng.UniformIndex(n));
+    if (u == v || graph.HasEdge(u, v)) continue;
+    if (graph.Degree(u) >= max_degree || graph.Degree(v) >= max_degree) {
+      continue;
+    }
+    graph.AddEdge(u, v);
+  }
+  return graph;
+}
+
+Graph MakePreferentialAttachment(int n, int attach, Rng& rng) {
+  FOLEARN_CHECK_GE(n, 1);
+  FOLEARN_CHECK_GE(attach, 1);
+  Graph graph(n);
+  // Repeated-endpoint list: each vertex appears degree+1 times.
+  std::vector<Vertex> endpoints;
+  endpoints.push_back(0);
+  for (Vertex v = 1; v < n; ++v) {
+    int links = std::min<int>(attach, v);
+    std::vector<Vertex> chosen;
+    while (static_cast<int>(chosen.size()) < links) {
+      Vertex target = endpoints[rng.UniformIndex(
+          static_cast<int64_t>(endpoints.size()))];
+      if (target == v) continue;
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+    }
+    for (Vertex target : chosen) {
+      graph.AddEdge(v, target);
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+    endpoints.push_back(v);
+  }
+  return graph;
+}
+
+Graph MakeSubdividedComplete(int n) {
+  FOLEARN_CHECK_GE(n, 1);
+  Graph graph(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (Vertex v = u + 1; v < n; ++v) {
+      Vertex middle = graph.AddVertex();
+      graph.AddEdge(u, middle);
+      graph.AddEdge(middle, v);
+    }
+  }
+  return graph;
+}
+
+Graph MakeHypercube(int dimensions) {
+  FOLEARN_CHECK_GE(dimensions, 0);
+  FOLEARN_CHECK_LE(dimensions, 20);
+  int n = 1 << dimensions;
+  Graph graph(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for (int bit = 0; bit < dimensions; ++bit) {
+      Vertex u = v ^ (1 << bit);
+      if (u > v) graph.AddEdge(v, u);
+    }
+  }
+  return graph;
+}
+
+std::vector<ColorId> AddRandomColors(Graph& graph,
+                                     const std::vector<std::string>& names,
+                                     double probability, Rng& rng) {
+  std::vector<ColorId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    ColorId id = graph.AddColor(name);
+    ids.push_back(id);
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      if (rng.Bernoulli(probability)) graph.SetColor(v, id);
+    }
+  }
+  return ids;
+}
+
+ColorId AddPeriodicColor(Graph& graph, const std::string& name, int modulus,
+                         int residue) {
+  FOLEARN_CHECK_GT(modulus, 0);
+  ColorId id = graph.AddColor(name);
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    if (v % modulus == residue) graph.SetColor(v, id);
+  }
+  return id;
+}
+
+}  // namespace folearn

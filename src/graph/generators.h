@@ -1,0 +1,83 @@
+#ifndef FOLEARN_GRAPH_GENERATORS_H_
+#define FOLEARN_GRAPH_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace folearn {
+
+// Graph families used as the experiment substrate. Theorem 13 is about
+// nowhere dense classes; paths, trees, grids, caterpillars, and
+// bounded-degree graphs are nowhere dense, while cliques and dense random
+// graphs serve as somewhere-dense controls (E7).
+
+// Path P_n: vertices 0—1—…—(n−1).
+Graph MakePath(int n);
+
+// Cycle C_n (requires n ≥ 3).
+Graph MakeCycle(int n);
+
+// width × height grid; vertex (x, y) is x + y·width.
+Graph MakeGrid(int width, int height);
+
+// Complete graph K_n.
+Graph MakeComplete(int n);
+
+// Complete bipartite graph K_{a,b}; left part is [0, a).
+Graph MakeCompleteBipartite(int a, int b);
+
+// Star with `leaves` leaves; centre is vertex 0.
+Graph MakeStar(int leaves);
+
+// Caterpillar: a spine path of `spine` vertices, each with `legs` pendant
+// leaves. Spine vertices come first.
+Graph MakeCaterpillar(int spine, int legs);
+
+// Complete binary tree of the given depth (depth 0 = single root).
+Graph MakeBinaryTree(int depth);
+
+// Uniform random labelled tree on n vertices (random Prüfer sequence).
+Graph MakeRandomTree(int n, Rng& rng);
+
+// Erdős–Rényi G(n, p).
+Graph MakeErdosRenyi(int n, double p, Rng& rng);
+
+// Random graph with maximum degree ≤ max_degree: repeatedly samples
+// candidate edges, keeping those that respect the degree bound, targeting
+// roughly `target_edges` edges.
+Graph MakeBoundedDegree(int n, int max_degree, int64_t target_edges,
+                        Rng& rng);
+
+// Preferential attachment (Barabási–Albert): each new vertex attaches to
+// `attach` existing vertices sampled proportionally to degree + 1.
+Graph MakePreferentialAttachment(int n, int attach, Rng& rng);
+
+// The 1-subdivision of K_n: every clique edge replaced by a path of length
+// 2 through a fresh subdivision vertex. The TEXTBOOK separator between
+// degeneracy and nowhere denseness: each member is 2-degenerate, yet the
+// family contains every clique as a depth-1 shallow topological minor, so
+// it is SOMEWHERE dense — the splitter game at radius ≥ 2 takes Ω(n)
+// rounds on it (exercised in E7 and the nd tests). Branch vertices are
+// 0..n−1; subdivision vertices follow.
+Graph MakeSubdividedComplete(int n);
+
+// d-dimensional hypercube Q_d (2^d vertices); degree d, bipartite,
+// unbounded degree as d grows but locally sparse.
+Graph MakeHypercube(int dimensions);
+
+// Declares the colours in `names` on `graph` and assigns each vertex to each
+// colour independently with probability `probability`.
+std::vector<ColorId> AddRandomColors(Graph& graph,
+                                     const std::vector<std::string>& names,
+                                     double probability, Rng& rng);
+
+// Declares `name` and colours every vertex v with v % modulus == residue.
+ColorId AddPeriodicColor(Graph& graph, const std::string& name, int modulus,
+                         int residue);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_GRAPH_GENERATORS_H_

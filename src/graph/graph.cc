@@ -1,0 +1,120 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace folearn {
+
+ColorId Vocabulary::AddColor(std::string name) {
+  FOLEARN_CHECK(!name.empty()) << "colour name must be non-empty";
+  FOLEARN_CHECK(index_.find(name) == index_.end())
+      << "duplicate colour name '" << name << "'";
+  ColorId id = static_cast<ColorId>(names_.size());
+  index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+std::optional<ColorId> Vocabulary::FindColor(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Vocabulary::IsPrefixOf(const Vocabulary& other) const {
+  if (names_.size() > other.names_.size()) return false;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] != other.names_[i]) return false;
+  }
+  return true;
+}
+
+Graph::Graph(int order, Vocabulary vocabulary)
+    : vocabulary_(std::move(vocabulary)) {
+  FOLEARN_CHECK_GE(order, 0);
+  adjacency_.resize(order);
+  color_members_.resize(vocabulary_.size());
+  for (auto& members : color_members_) members.assign(order, false);
+}
+
+Vertex Graph::AddVertex() { return AddVertices(1); }
+
+Vertex Graph::AddVertices(int count) {
+  FOLEARN_CHECK_GT(count, 0);
+  Vertex first = order();
+  adjacency_.resize(adjacency_.size() + count);
+  for (auto& members : color_members_) {
+    members.resize(members.size() + count, false);
+  }
+  return first;
+}
+
+void Graph::AddEdge(Vertex u, Vertex v) {
+  CheckVertex(u);
+  CheckVertex(v);
+  FOLEARN_CHECK_NE(u, v) << "edge relation is irreflexive";
+  auto& adj_u = adjacency_[u];
+  auto it = std::lower_bound(adj_u.begin(), adj_u.end(), v);
+  if (it != adj_u.end() && *it == v) return;  // already present
+  adj_u.insert(it, v);
+  auto& adj_v = adjacency_[v];
+  adj_v.insert(std::lower_bound(adj_v.begin(), adj_v.end(), u), u);
+  ++edge_count_;
+}
+
+void Graph::RemoveEdge(Vertex u, Vertex v) {
+  CheckVertex(u);
+  CheckVertex(v);
+  auto& adj_u = adjacency_[u];
+  auto it = std::lower_bound(adj_u.begin(), adj_u.end(), v);
+  if (it == adj_u.end() || *it != v) return;
+  adj_u.erase(it);
+  auto& adj_v = adjacency_[v];
+  adj_v.erase(std::lower_bound(adj_v.begin(), adj_v.end(), u));
+  --edge_count_;
+}
+
+void Graph::IsolateVertex(Vertex v) {
+  CheckVertex(v);
+  std::vector<Vertex> neighbours = adjacency_[v];
+  for (Vertex u : neighbours) RemoveEdge(v, u);
+}
+
+bool Graph::HasEdge(Vertex u, Vertex v) const {
+  CheckVertex(u);
+  CheckVertex(v);
+  const auto& adj_u = adjacency_[u];
+  return std::binary_search(adj_u.begin(), adj_u.end(), v);
+}
+
+int Graph::MaxDegree() const {
+  int max_degree = 0;
+  for (const auto& adj : adjacency_) {
+    max_degree = std::max(max_degree, static_cast<int>(adj.size()));
+  }
+  return max_degree;
+}
+
+ColorId Graph::AddColor(std::string name) {
+  ColorId id = vocabulary_.AddColor(std::move(name));
+  color_members_.emplace_back(order(), false);
+  return id;
+}
+
+void Graph::SetColor(Vertex v, ColorId color, bool member) {
+  CheckVertex(v);
+  FOLEARN_CHECK_GE(color, 0);
+  FOLEARN_CHECK_LT(color, vocabulary_.size());
+  color_members_[color][v] = member;
+}
+
+std::vector<Vertex> Graph::VerticesWithColor(ColorId color) const {
+  FOLEARN_CHECK_GE(color, 0);
+  FOLEARN_CHECK_LT(color, vocabulary_.size());
+  std::vector<Vertex> result;
+  for (Vertex v = 0; v < order(); ++v) {
+    if (color_members_[color][v]) result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace folearn

@@ -1,0 +1,152 @@
+#ifndef FOLEARN_GRAPH_GRAPH_H_
+#define FOLEARN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace folearn {
+
+// A vertex is an index into the graph's vertex set.
+using Vertex = int32_t;
+inline constexpr Vertex kNoVertex = -1;
+
+// A colour (unary relation symbol) identifier within a Vocabulary.
+using ColorId = int32_t;
+
+// The vocabulary τ of a coloured graph: the binary edge relation E is
+// implicit, and τ additionally carries a finite list of named unary colour
+// predicates P_1, …, P_ℓ (paper §2, "τ-coloured graph").
+//
+// Colour identifiers are dense indices in declaration order, so a vocabulary
+// expansion (paper: "τ′-expansion") simply appends colours and preserves all
+// existing ids.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // Declares a new colour. The name must be distinct from existing colours.
+  ColorId AddColor(std::string name);
+
+  // Returns the id of `name` if declared.
+  std::optional<ColorId> FindColor(std::string_view name) const;
+
+  const std::string& Name(ColorId color) const {
+    FOLEARN_CHECK_GE(color, 0);
+    FOLEARN_CHECK_LT(static_cast<size_t>(color), names_.size());
+    return names_[color];
+  }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+  bool operator==(const Vocabulary& other) const {
+    return names_ == other.names_;
+  }
+
+  // True iff this vocabulary is a prefix (sub-vocabulary with identical ids)
+  // of `other`, i.e. `other` is an expansion of this one.
+  bool IsPrefixOf(const Vocabulary& other) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ColorId> index_;
+};
+
+// An undirected, simple, vertex-coloured graph G = (V, E, P_1, …, P_ℓ)
+// (paper §2). The edge relation is kept symmetric and irreflexive by
+// construction; adjacency lists are kept sorted so HasEdge is a binary
+// search and iteration order is deterministic.
+class Graph {
+ public:
+  // Creates a graph with `order` isolated vertices over `vocabulary`.
+  explicit Graph(int order = 0, Vocabulary vocabulary = Vocabulary());
+
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  // Number of vertices |V(G)| (paper: the "order" of G).
+  int order() const { return static_cast<int>(adjacency_.size()); }
+
+  // Number of undirected edges.
+  int64_t EdgeCount() const { return edge_count_; }
+
+  // Appends a fresh isolated vertex and returns it.
+  Vertex AddVertex();
+
+  // Appends `count` fresh isolated vertices; returns the first one.
+  Vertex AddVertices(int count);
+
+  // Inserts the undirected edge {u, v}. Requires u ≠ v. Idempotent.
+  void AddEdge(Vertex u, Vertex v);
+
+  // Removes the undirected edge {u, v} if present.
+  void RemoveEdge(Vertex u, Vertex v);
+
+  // Removes all edges incident to v (v stays in the graph, isolated).
+  void IsolateVertex(Vertex v);
+
+  bool HasEdge(Vertex u, Vertex v) const;
+
+  // Sorted neighbour list of v.
+  const std::vector<Vertex>& Neighbors(Vertex v) const {
+    CheckVertex(v);
+    return adjacency_[v];
+  }
+
+  int Degree(Vertex v) const {
+    return static_cast<int>(Neighbors(v).size());
+  }
+
+  int MaxDegree() const;
+
+  // --- Colours -------------------------------------------------------------
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  // Declares a new colour in this graph's vocabulary (a colour expansion;
+  // all vertices start outside the new colour).
+  ColorId AddColor(std::string name);
+
+  std::optional<ColorId> FindColor(std::string_view name) const {
+    return vocabulary_.FindColor(name);
+  }
+
+  void SetColor(Vertex v, ColorId color, bool member = true);
+
+  bool HasColor(Vertex v, ColorId color) const {
+    CheckVertex(v);
+    FOLEARN_CHECK_GE(color, 0);
+    FOLEARN_CHECK_LT(color, vocabulary_.size());
+    return color_members_[color][v];
+  }
+
+  // All vertices carrying `color`, in increasing order.
+  std::vector<Vertex> VerticesWithColor(ColorId color) const;
+
+  bool IsValidVertex(Vertex v) const { return v >= 0 && v < order(); }
+
+ private:
+  void CheckVertex(Vertex v) const {
+    FOLEARN_CHECK(IsValidVertex(v)) << "vertex " << v << " out of range [0,"
+                                    << order() << ")";
+  }
+
+  Vocabulary vocabulary_;
+  std::vector<std::vector<Vertex>> adjacency_;
+  // color_members_[c][v] == true iff v ∈ P_c(G).
+  std::vector<std::vector<bool>> color_members_;
+  int64_t edge_count_ = 0;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_GRAPH_GRAPH_H_

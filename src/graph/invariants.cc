@@ -1,0 +1,259 @@
+#include "graph/invariants.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "graph/algorithms.h"
+
+namespace folearn {
+
+DegeneracyResult ComputeDegeneracy(const Graph& graph) {
+  const int n = graph.order();
+  DegeneracyResult result;
+  std::vector<int> degree(n);
+  int max_degree = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // Bucket queue over current degrees.
+  std::vector<std::vector<Vertex>> buckets(max_degree + 1);
+  for (Vertex v = 0; v < n; ++v) buckets[degree[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  int floor = 0;
+  for (int step = 0; step < n; ++step) {
+    while (floor <= max_degree && buckets[floor].empty()) ++floor;
+    // Degrees only decrease, but a vertex may sit in a stale bucket; skip
+    // entries whose recorded degree no longer matches.
+    Vertex v = kNoVertex;
+    while (floor <= max_degree) {
+      if (buckets[floor].empty()) {
+        ++floor;
+        continue;
+      }
+      Vertex candidate = buckets[floor].back();
+      buckets[floor].pop_back();
+      if (!removed[candidate] && degree[candidate] == floor) {
+        v = candidate;
+        break;
+      }
+    }
+    FOLEARN_CHECK_NE(v, kNoVertex);
+    result.degeneracy = std::max(result.degeneracy, floor);
+    result.order.push_back(v);
+    removed[v] = true;
+    for (Vertex u : graph.Neighbors(v)) {
+      if (removed[u]) continue;
+      --degree[u];
+      buckets[degree[u]].push_back(u);
+      if (degree[u] < floor) floor = degree[u];
+    }
+  }
+  return result;
+}
+
+int ComputeDiameter(const Graph& graph) {
+  int diameter = 0;
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    Vertex source[] = {v};
+    std::vector<int> dist = BfsDistances(graph, source);
+    for (int d : dist) {
+      if (d != kUnreachable) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+int ComputeGirth(const Graph& graph) {
+  // For each start vertex, BFS; a non-tree edge between vertices at depths
+  // d(u), d(v) closes a cycle of length d(u) + d(v) + 1 through the root's
+  // BFS tree — the minimum over all starts is the girth.
+  int best = kNoGirth;
+  for (Vertex start = 0; start < graph.order(); ++start) {
+    std::vector<int> dist(graph.order(), kUnreachable);
+    std::vector<Vertex> parent(graph.order(), kNoVertex);
+    std::deque<Vertex> queue;
+    dist[start] = 0;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      Vertex v = queue.front();
+      queue.pop_front();
+      for (Vertex u : graph.Neighbors(v)) {
+        if (u == parent[v]) continue;
+        if (dist[u] == kUnreachable) {
+          dist[u] = dist[v] + 1;
+          parent[u] = v;
+          queue.push_back(u);
+        } else {
+          int cycle = dist[u] + dist[v] + 1;
+          if (best == kNoGirth || cycle < best) best = cycle;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool IsForest(const Graph& graph) {
+  auto [components, count] = ConnectedComponents(graph);
+  (void)components;
+  // A graph is a forest iff |E| = |V| − #components.
+  return graph.EdgeCount() ==
+         static_cast<int64_t>(graph.order()) - count;
+}
+
+namespace {
+
+// Size of each subtree when rooting the component at `root` (forest only).
+// Returns the subtree-size map via DFS; used by the centroid search.
+int CentroidDepth(const Graph& graph, std::vector<bool>& removed,
+                  Vertex start) {
+  // Collect the current component.
+  std::vector<Vertex> component;
+  std::deque<Vertex> queue = {start};
+  std::vector<bool> seen(graph.order(), false);
+  seen[start] = true;
+  while (!queue.empty()) {
+    Vertex v = queue.front();
+    queue.pop_front();
+    component.push_back(v);
+    for (Vertex u : graph.Neighbors(v)) {
+      if (!removed[u] && !seen[u]) {
+        seen[u] = true;
+        queue.push_back(u);
+      }
+    }
+  }
+  if (component.size() == 1) {
+    removed[start] = true;
+    return 1;
+  }
+  // Find a centroid: a vertex whose removal leaves components of size
+  // ≤ |component| / 2 (always exists in a tree).
+  const int total = static_cast<int>(component.size());
+  Vertex centroid = kNoVertex;
+  for (Vertex candidate : component) {
+    // Max component size after removing `candidate`.
+    int max_piece = 0;
+    std::vector<bool> visited(graph.order(), false);
+    visited[candidate] = true;
+    for (Vertex root : graph.Neighbors(candidate)) {
+      if (removed[root] || visited[root]) continue;
+      int piece = 0;
+      std::deque<Vertex> piece_queue = {root};
+      visited[root] = true;
+      while (!piece_queue.empty()) {
+        Vertex v = piece_queue.front();
+        piece_queue.pop_front();
+        ++piece;
+        for (Vertex u : graph.Neighbors(v)) {
+          if (!removed[u] && !visited[u]) {
+            visited[u] = true;
+            piece_queue.push_back(u);
+          }
+        }
+      }
+      max_piece = std::max(max_piece, piece);
+    }
+    if (max_piece <= total / 2) {
+      centroid = candidate;
+      break;
+    }
+  }
+  FOLEARN_CHECK_NE(centroid, kNoVertex) << "tree must have a centroid";
+  removed[centroid] = true;
+  int deepest = 0;
+  for (Vertex root : graph.Neighbors(centroid)) {
+    if (!removed[root]) {
+      deepest = std::max(deepest, CentroidDepth(graph, removed, root));
+    }
+  }
+  return deepest + 1;
+}
+
+}  // namespace
+
+int TreedepthUpperBoundForest(const Graph& graph) {
+  FOLEARN_CHECK(IsForest(graph)) << "centroid bound requires a forest";
+  std::vector<bool> removed(graph.order(), false);
+  int depth = 0;
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    if (!removed[v]) {
+      depth = std::max(depth, CentroidDepth(graph, removed, v));
+    }
+  }
+  return depth;
+}
+
+namespace {
+
+// Canonical key of an induced subgraph given by a sorted vertex subset.
+using SubsetKey = std::vector<Vertex>;
+
+int TreedepthRec(const Graph& graph, std::vector<Vertex> vertices,
+                 std::map<SubsetKey, int>& memo, int64_t& budget) {
+  if (vertices.empty()) return 0;
+  auto it = memo.find(vertices);
+  if (it != memo.end()) return it->second;
+  FOLEARN_CHECK_GT(budget--, 0) << "ExactTreedepth budget exhausted";
+
+  // Split into connected components within `vertices`.
+  std::vector<bool> in_set(graph.order(), false);
+  for (Vertex v : vertices) in_set[v] = true;
+  std::vector<bool> seen(graph.order(), false);
+  std::vector<std::vector<Vertex>> components;
+  for (Vertex start : vertices) {
+    if (seen[start]) continue;
+    std::vector<Vertex> component;
+    std::deque<Vertex> queue = {start};
+    seen[start] = true;
+    while (!queue.empty()) {
+      Vertex v = queue.front();
+      queue.pop_front();
+      component.push_back(v);
+      for (Vertex u : graph.Neighbors(v)) {
+        if (in_set[u] && !seen[u]) {
+          seen[u] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+
+  int result;
+  if (components.size() > 1) {
+    result = 0;
+    for (std::vector<Vertex>& component : components) {
+      result = std::max(
+          result, TreedepthRec(graph, std::move(component), memo, budget));
+    }
+  } else {
+    result = static_cast<int>(vertices.size());
+    for (Vertex v : vertices) {
+      std::vector<Vertex> rest;
+      rest.reserve(vertices.size() - 1);
+      for (Vertex u : vertices) {
+        if (u != v) rest.push_back(u);
+      }
+      result = std::min(
+          result, 1 + TreedepthRec(graph, std::move(rest), memo, budget));
+      if (result == 1) break;
+    }
+  }
+  memo.emplace(std::move(vertices), result);
+  return result;
+}
+
+}  // namespace
+
+int ExactTreedepth(const Graph& graph, int64_t budget) {
+  std::vector<Vertex> all(graph.order());
+  for (Vertex v = 0; v < graph.order(); ++v) all[v] = v;
+  std::map<SubsetKey, int> memo;
+  return TreedepthRec(graph, std::move(all), memo, budget);
+}
+
+}  // namespace folearn

@@ -1,0 +1,48 @@
+#ifndef FOLEARN_GRAPH_INVARIANTS_H_
+#define FOLEARN_GRAPH_INVARIANTS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace folearn {
+
+// Sparsity invariants of the graph families the experiments run on. These
+// quantify *why* a family is nowhere dense (bounded degeneracy / treedepth
+// along the sparse hierarchy) and power the profiling experiments.
+
+// Degeneracy: the smallest d such that every subgraph has a vertex of
+// degree ≤ d, with the witnessing (min-degree peeling) elimination order.
+struct DegeneracyResult {
+  int degeneracy = 0;
+  // Peeling order: order[i] was removed i-th (each had degree ≤ degeneracy
+  // among the not-yet-removed vertices).
+  std::vector<Vertex> order;
+};
+DegeneracyResult ComputeDegeneracy(const Graph& graph);
+
+// Exact diameter (max eccentricity over the largest reachable pairs);
+// disconnected graphs report the max finite component diameter.
+int ComputeDiameter(const Graph& graph);
+
+// Girth (length of a shortest cycle), or kNoGirth for forests.
+inline constexpr int kNoGirth = -1;
+int ComputeGirth(const Graph& graph);
+
+// True iff the graph is acyclic.
+bool IsForest(const Graph& graph);
+
+// Upper bound on the treedepth of a FOREST via centroid decomposition:
+// td ≤ ⌈log₂(n+1)⌉ per component, and the bound is tight on paths.
+// CHECK-fails on non-forests.
+int TreedepthUpperBoundForest(const Graph& graph);
+
+// Exact treedepth by exhaustive recursion with memoisation:
+// td(∅) = 0; td(G) = max over components; td(connected G) =
+// 1 + min_v td(G − v). Exponential — intended for graphs up to ~10
+// vertices (tests and ground truth for the bound above).
+int ExactTreedepth(const Graph& graph, int64_t budget = 2000000);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_GRAPH_INVARIANTS_H_

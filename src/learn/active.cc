@@ -1,0 +1,46 @@
+#include "learn/active.h"
+
+#include <map>
+
+namespace folearn {
+
+ActiveLearnResult LearnWithMembershipQueries(
+    const Graph& graph,
+    const std::vector<std::vector<Vertex>>& candidate_tuples,
+    std::span<const Vertex> parameters, const ErmOptions& options,
+    const MembershipOracle& oracle) {
+  ActiveLearnResult result;
+  auto registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  const int radius = options.EffectiveRadius();
+
+  TypeSetHypothesis& h = result.hypothesis;
+  h.rank = options.rank;
+  h.radius = radius;
+  h.parameters.assign(parameters.begin(), parameters.end());
+  h.registry = registry;
+  h.k = candidate_tuples.empty()
+            ? 0
+            : static_cast<int>(candidate_tuples[0].size());
+
+  // One representative per realised local type.
+  std::map<TypeId, const std::vector<Vertex>*> representatives;
+  for (const std::vector<Vertex>& tuple : candidate_tuples) {
+    FOLEARN_CHECK_EQ(static_cast<int>(tuple.size()), h.k);
+    std::vector<Vertex> combined = tuple;
+    combined.insert(combined.end(), parameters.begin(), parameters.end());
+    TypeId type = ComputeLocalType(graph, combined, options.rank, radius,
+                                   registry.get());
+    representatives.emplace(type, &tuple);
+  }
+  result.distinct_types = static_cast<int64_t>(representatives.size());
+
+  // One membership query per class decides the class's label.
+  for (const auto& [type, tuple] : representatives) {
+    ++result.membership_queries;
+    if (oracle(*tuple)) h.accepted.push_back(type);
+  }
+  // map iteration is sorted, so `accepted` is sorted.
+  return result;
+}
+
+}  // namespace folearn

@@ -1,0 +1,47 @@
+#ifndef FOLEARN_LEARN_ACTIVE_H_
+#define FOLEARN_LEARN_ACTIVE_H_
+
+#include <functional>
+#include <span>
+
+#include "graph/graph.h"
+#include "learn/erm.h"
+
+namespace folearn {
+
+// Active learning with membership queries — the OTHER query-learning model
+// the paper's related-work section contrasts itself against (ten
+// Cate–Dalmau ICDT 2021 and the classical exact-learning line): instead of
+// a fixed labelled sample, the learner may ASK the target for labels.
+//
+// For the local-type hypothesis class, exact identification is cheap: two
+// tuples with the same local type receive the same label under EVERY
+// hypothesis in the class, so one membership query per REALISED type
+// pins the target down exactly. Query complexity = #realised types —
+// a function of the parameters and the local structure, not of n.
+
+// The membership oracle: the hidden target's label for a tuple.
+using MembershipOracle = std::function<bool(std::span<const Vertex>)>;
+
+struct ActiveLearnResult {
+  TypeSetHypothesis hypothesis;
+  int64_t membership_queries = 0;
+  int64_t distinct_types = 0;
+};
+
+// Exactly learns any target REALISABLE in the type-set class over
+// (k, rank, radius, parameters): enumerates the candidate tuples, groups
+// them by local type, and spends one membership query per class.
+//
+// `candidate_tuples` is the instance space slice to identify the target
+// on (e.g. AllTuples(n, k) for total identification, or any subset of
+// interest). If the target is NOT realisable in the class, the result is
+// the best class-approximation of the queried representatives.
+ActiveLearnResult LearnWithMembershipQueries(
+    const Graph& graph, const std::vector<std::vector<Vertex>>& candidate_tuples,
+    std::span<const Vertex> parameters, const ErmOptions& options,
+    const MembershipOracle& oracle);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_ACTIVE_H_

@@ -1,0 +1,161 @@
+#include "learn/algorithm2.h"
+
+#include <set>
+
+#include "fo/transform.h"
+#include "mc/evaluator.h"
+#include "types/hintikka.h"
+#include "types/type.h"
+
+namespace folearn {
+
+namespace {
+
+constexpr char kPositiveColor[] = "_Pplus";
+constexpr char kNegativeColor[] = "_Pminus";
+
+std::string PrefixColor(int j) { return "_S" + std::to_string(j); }
+
+// Ψ_i(x, y_{i+1}, …, y_ℓ) = ∃y_1 … ∃y_i (⋀_{j ≤ i} S_j(y_j) ∧ φ).
+FormulaRef PrefixFormula(const FormulaRef& phi, int prefix_length) {
+  FormulaRef body = phi;
+  std::vector<FormulaRef> guards;
+  for (int j = 1; j <= prefix_length; ++j) {
+    guards.push_back(Formula::Color(PrefixColor(j), ParamVar(j)));
+  }
+  guards.push_back(body);
+  FormulaRef result = Formula::And(std::move(guards));
+  for (int j = prefix_length; j >= 1; --j) {
+    result = Formula::Exists(ParamVar(j), result);
+  }
+  return result;
+}
+
+// ∃y_{i+1} … ∃y_ℓ ∀x ((P₊x → Ψ) ∧ (P₋x → ¬Ψ)).
+FormulaRef ConsistencySentence(const FormulaRef& phi, int prefix_length,
+                               int ell) {
+  FormulaRef psi = PrefixFormula(phi, prefix_length);
+  FormulaRef x_condition = Formula::And(
+      Formula::Implies(Formula::Color(kPositiveColor, QueryVar(1)), psi),
+      Formula::Implies(Formula::Color(kNegativeColor, QueryVar(1)),
+                       Formula::Not(psi)));
+  FormulaRef sentence = Formula::Forall(QueryVar(1), std::move(x_condition));
+  for (int j = ell; j > prefix_length; --j) {
+    sentence = Formula::Exists(ParamVar(j), sentence);
+  }
+  return sentence;
+}
+
+}  // namespace
+
+Algorithm2Result RealizableUnaryErm(
+    const Graph& graph, const TrainingSet& examples, int ell,
+    const std::vector<FormulaRef>& candidate_formulas) {
+  FOLEARN_CHECK_GE(ell, 0);
+  Algorithm2Result result;
+  if (graph.order() == 0) return result;
+
+  // Colour expansion: S_1, …, S_ℓ (parameter prefix markers), P₊, P₋.
+  Graph expanded = graph;
+  std::vector<ColorId> prefix_colors;
+  for (int j = 1; j <= ell; ++j) {
+    prefix_colors.push_back(expanded.AddColor(PrefixColor(j)));
+  }
+  ColorId positive = expanded.AddColor(kPositiveColor);
+  ColorId negative = expanded.AddColor(kNegativeColor);
+  for (const LabeledExample& example : examples) {
+    FOLEARN_CHECK_EQ(example.tuple.size(), 1u) << "Algorithm 2 requires k=1";
+    expanded.SetColor(example.tuple[0], example.label ? positive : negative);
+  }
+
+  for (const FormulaRef& phi : candidate_formulas) {
+    // Reset prefix colours from any previous candidate.
+    for (int j = 0; j < ell; ++j) {
+      for (Vertex v : expanded.VerticesWithColor(prefix_colors[j])) {
+        expanded.SetColor(v, prefix_colors[j], false);
+      }
+    }
+    std::vector<Vertex> prefix;
+    bool consistent = true;
+    if (ell == 0) {
+      ++result.model_checking_calls;
+      consistent = EvaluateSentence(expanded, ConsistencySentence(phi, 0, 0));
+    }
+    for (int i = 1; i <= ell && consistent; ++i) {
+      FormulaRef sentence = ConsistencySentence(phi, i, ell);
+      bool found_wi = false;
+      for (Vertex u = 0; u < expanded.order(); ++u) {
+        expanded.SetColor(u, prefix_colors[i - 1], true);
+        ++result.model_checking_calls;
+        if (EvaluateSentence(expanded, sentence)) {
+          prefix.push_back(u);
+          found_wi = true;
+          break;
+        }
+        expanded.SetColor(u, prefix_colors[i - 1], false);
+      }
+      consistent = found_wi;
+    }
+    if (!consistent) continue;
+
+    Hypothesis hypothesis{phi, QueryVars(1), ParamVars(ell), prefix};
+    // The prefix search certifies consistency; verify against the raw
+    // examples on the original graph as a defence-in-depth check.
+    if (TrainingError(graph, hypothesis, examples) == 0.0) {
+      result.found = true;
+      result.hypothesis = std::move(hypothesis);
+      return result;
+    }
+  }
+  return result;
+}
+
+std::vector<FormulaRef> DefaultUnaryCandidates(const Graph& graph,
+                                               const TrainingSet& examples,
+                                               int ell, int rank,
+                                               int radius) {
+  FOLEARN_CHECK_GE(ell, 0);
+  FOLEARN_CHECK_GE(radius, 0);
+  std::vector<FormulaRef> candidates;
+
+  // Distance templates: x1 within distance d of some parameter.
+  std::vector<FormulaRef> distance_templates;
+  for (int d = 0; d <= radius && ell > 0; ++d) {
+    FreshVariablePool pool;
+    pool.Reserve(QueryVar(1));
+    for (int j = 1; j <= ell; ++j) pool.Reserve(ParamVar(j));
+    distance_templates.push_back(
+        DistToTupleAtMost(QueryVar(1), ParamVars(ell), d, pool));
+  }
+
+  // The disjunction of the positive examples' local types.
+  auto registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  std::set<TypeId> positive_types;
+  for (const LabeledExample& example : examples) {
+    if (!example.label) continue;
+    FOLEARN_CHECK_EQ(example.tuple.size(), 1u);
+    positive_types.insert(ComputeLocalType(graph, example.tuple, rank,
+                                           radius, registry.get()));
+  }
+  FormulaRef type_disjunction;
+  if (!positive_types.empty()) {
+    HintikkaBuilder builder(*registry);
+    std::vector<FormulaRef> parts;
+    for (TypeId type : positive_types) {
+      parts.push_back(builder.BuildLocal(type, {QueryVar(1)}, radius));
+    }
+    type_disjunction = Formula::Or(std::move(parts));
+  }
+
+  for (const FormulaRef& d : distance_templates) candidates.push_back(d);
+  if (type_disjunction != nullptr) {
+    candidates.push_back(type_disjunction);
+    for (const FormulaRef& d : distance_templates) {
+      candidates.push_back(Formula::Or(d, type_disjunction));
+      candidates.push_back(Formula::And(d, type_disjunction));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace folearn

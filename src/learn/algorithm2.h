@@ -1,0 +1,51 @@
+#ifndef FOLEARN_LEARN_ALGORITHM2_H_
+#define FOLEARN_LEARN_ALGORITHM2_H_
+
+#include <vector>
+
+#include "fo/formula.h"
+#include "graph/graph.h"
+#include "learn/dataset.h"
+#include "learn/hypothesis.h"
+
+namespace folearn {
+
+// Proposition 12 / Algorithm 2: the realisable unary case (k = 1).
+//
+// Given unary examples that some hypothesis in H_{1,ℓ,q}(G) classifies
+// perfectly, find a consistent hypothesis with ℓ·n model-checking calls per
+// candidate formula instead of n^ℓ parameter enumeration: a parameter
+// prefix (w_1, …, w_i) is tested for extendability by evaluating
+//
+//   ∃y_{i+1} … ∃y_ℓ ∀x ((P₊x → φ_i) ∧ (P₋x → ¬φ_i))
+//
+// on the colour expansion of G with S_j = {w_j}, P₊/P₋ = positive/negative
+// example sets; extendable prefixes are grown one vertex at a time.
+//
+// The paper iterates over the (finite but astronomical) set of all
+// normal-form formulas; this implementation takes the candidate formulas
+// φ(x, y1, …, yℓ) as an explicit argument (see DESIGN.md §4).
+struct Algorithm2Result {
+  bool found = false;
+  Hypothesis hypothesis;  // valid iff found
+  int64_t model_checking_calls = 0;
+};
+
+Algorithm2Result RealizableUnaryErm(
+    const Graph& graph, const TrainingSet& examples, int ell,
+    const std::vector<FormulaRef>& candidate_formulas);
+
+// A default candidate family for RealizableUnaryErm when no hand-written
+// formulas are available: distance templates "dist(x1, ȳ) ≤ d" for
+// d ≤ radius, the disjunction of the positive examples' local-type
+// (Hintikka) formulas, and their unions. Covers the common realisable
+// shapes "near some parameter" / "locally looks like a positive" /
+// "either".
+std::vector<FormulaRef> DefaultUnaryCandidates(const Graph& graph,
+                                               const TrainingSet& examples,
+                                               int ell, int rank,
+                                               int radius);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_ALGORITHM2_H_

@@ -1,0 +1,126 @@
+#include "learn/counting_erm.h"
+
+#include <algorithm>
+#include <map>
+
+#include "fo/transform.h"
+#include "util/combinatorics.h"
+
+namespace folearn {
+
+bool CountingHypothesis::Classify(const Graph& graph,
+                                  std::span<const Vertex> tuple) const {
+  FOLEARN_CHECK_EQ(static_cast<int>(tuple.size()), k);
+  FOLEARN_CHECK(registry != nullptr);
+  std::vector<Vertex> combined(tuple.begin(), tuple.end());
+  combined.insert(combined.end(), parameters.begin(), parameters.end());
+  TypeId type = ComputeLocalCountingType(graph, combined, rank, radius,
+                                         registry.get());
+  return std::binary_search(accepted.begin(), accepted.end(), type);
+}
+
+double CountingHypothesis::Error(const Graph& graph,
+                                 const TrainingSet& examples) const {
+  if (examples.empty()) return 0.0;
+  int64_t wrong = 0;
+  for (const LabeledExample& example : examples) {
+    if (Classify(graph, example.tuple) != example.label) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(examples.size());
+}
+
+Hypothesis CountingHypothesis::ToExplicit() const {
+  FOLEARN_CHECK(registry != nullptr);
+  Hypothesis result;
+  result.query_vars = QueryVars(k);
+  result.param_vars = ParamVars(static_cast<int>(parameters.size()));
+  result.parameters = parameters;
+  std::vector<std::string> all_vars = result.query_vars;
+  all_vars.insert(all_vars.end(), result.param_vars.begin(),
+                  result.param_vars.end());
+  CountingHintikkaBuilder builder(*registry);
+  std::vector<FormulaRef> parts;
+  parts.reserve(accepted.size());
+  for (TypeId type : accepted) {
+    parts.push_back(
+        RelativizeToBall(builder.Build(type, all_vars), all_vars, radius));
+  }
+  result.formula = Formula::Or(std::move(parts));
+  return result;
+}
+
+CountingErmResult CountingTypeMajorityErm(
+    const Graph& graph, const TrainingSet& examples,
+    std::span<const Vertex> parameters, const CountingErmOptions& options,
+    std::shared_ptr<CountingTypeRegistry> registry) {
+  if (registry == nullptr) {
+    registry = std::make_shared<CountingTypeRegistry>(graph.vocabulary(),
+                                                      options.cap);
+  }
+  FOLEARN_CHECK_EQ(registry->cap(), options.cap);
+  const int radius = options.EffectiveRadius();
+
+  CountingErmResult result;
+  result.parameter_tuples_tried = 1;
+  CountingHypothesis& h = result.hypothesis;
+  h.rank = options.rank;
+  h.radius = radius;
+  h.parameters.assign(parameters.begin(), parameters.end());
+  h.registry = registry;
+  h.k = examples.empty() ? 0 : static_cast<int>(examples[0].tuple.size());
+
+  std::map<TypeId, std::pair<int64_t, int64_t>> counts;
+  for (const LabeledExample& example : examples) {
+    FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), h.k);
+    std::vector<Vertex> combined = example.tuple;
+    combined.insert(combined.end(), parameters.begin(), parameters.end());
+    TypeId type = ComputeLocalCountingType(graph, combined, options.rank,
+                                           radius, registry.get());
+    auto& entry = counts[type];
+    (example.label ? entry.first : entry.second) += 1;
+  }
+  result.distinct_types_seen = static_cast<int64_t>(counts.size());
+
+  int64_t wrong = 0;
+  for (const auto& [type, count] : counts) {
+    if (count.first > count.second) {
+      h.accepted.push_back(type);
+      wrong += count.second;
+    } else {
+      wrong += count.first;
+    }
+  }
+  result.training_error =
+      examples.empty()
+          ? 0.0
+          : static_cast<double>(wrong) / static_cast<double>(examples.size());
+  return result;
+}
+
+CountingErmResult CountingBruteForceErm(
+    const Graph& graph, const TrainingSet& examples, int ell,
+    const CountingErmOptions& options,
+    std::shared_ptr<CountingTypeRegistry> registry) {
+  FOLEARN_CHECK_GE(ell, 0);
+  if (registry == nullptr) {
+    registry = std::make_shared<CountingTypeRegistry>(graph.vocabulary(),
+                                                      options.cap);
+  }
+  CountingErmResult best;
+  int64_t tried = 0;
+  ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
+    std::vector<Vertex> parameters(raw.begin(), raw.end());
+    CountingErmResult candidate =
+        CountingTypeMajorityErm(graph, examples, parameters, options,
+                                registry);
+    ++tried;
+    if (tried == 1 || candidate.training_error < best.training_error) {
+      best = std::move(candidate);
+    }
+    return best.training_error > 0.0;
+  });
+  best.parameter_tuples_tried = tried;
+  return best;
+}
+
+}  // namespace folearn

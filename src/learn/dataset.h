@@ -1,0 +1,54 @@
+#ifndef FOLEARN_LEARN_DATASET_H_
+#define FOLEARN_LEARN_DATASET_H_
+
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fo/formula.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace folearn {
+
+// A labelled training example (v̄, λ) ∈ V(G)^k × {0, 1} (paper §3).
+struct LabeledExample {
+  std::vector<Vertex> tuple;
+  bool label = false;
+};
+
+// The training sequence Λ.
+using TrainingSet = std::vector<LabeledExample>;
+
+// Number of positive / negative examples.
+std::pair<int64_t, int64_t> CountLabels(const TrainingSet& examples);
+
+// All k-tuples over [0, n) in lexicographic order (n^k of them — small
+// inputs only; callers must bound n^k themselves).
+std::vector<std::vector<Vertex>> AllTuples(int n, int k);
+
+// `count` uniform k-tuples over [0, n).
+std::vector<std::vector<Vertex>> SampleTuples(int n, int k, int count,
+                                              Rng& rng);
+
+// Labels `tuples` by the hidden query φ(vars): the realisable-case training
+// data generator (target = h_{φ,w̄} with parameters already substituted into
+// the variable binding by the caller listing them in vars/appending them to
+// each tuple, or simply a parameter-free φ).
+TrainingSet LabelByQuery(const Graph& graph, const FormulaRef& query,
+                         std::span<const std::string> vars,
+                         const std::vector<std::vector<Vertex>>& tuples);
+
+// Flips each label independently with probability `rate` (agnostic noise).
+void FlipLabels(TrainingSet& examples, double rate, Rng& rng);
+
+// Random split into (train, test) with `train_fraction` of examples in the
+// first component.
+std::pair<TrainingSet, TrainingSet> SplitTrainTest(const TrainingSet& all,
+                                                   double train_fraction,
+                                                   Rng& rng);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_DATASET_H_

@@ -1,0 +1,118 @@
+#include "learn/erm.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/combinatorics.h"
+
+namespace folearn {
+
+ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
+                          std::span<const Vertex> parameters,
+                          const ErmOptions& options,
+                          std::shared_ptr<TypeRegistry> registry) {
+  if (registry == nullptr) {
+    registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  }
+  const int radius = options.EffectiveRadius();
+
+  ErmResult result;
+  result.parameter_tuples_tried = 1;
+  TypeSetHypothesis& h = result.hypothesis;
+  h.rank = options.rank;
+  h.radius = radius;
+  h.parameters.assign(parameters.begin(), parameters.end());
+  h.registry = registry;
+  h.k = examples.empty() ? 0 : static_cast<int>(examples[0].tuple.size());
+
+  // Count labels per local type of v̄w̄.
+  std::map<TypeId, std::pair<int64_t, int64_t>> counts;  // type → (pos, neg)
+  for (const LabeledExample& example : examples) {
+    FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), h.k);
+    std::vector<Vertex> combined = example.tuple;
+    combined.insert(combined.end(), parameters.begin(), parameters.end());
+    TypeId type = ComputeLocalType(graph, combined, options.rank, radius,
+                                   registry.get());
+    auto& entry = counts[type];
+    if (example.label) {
+      ++entry.first;
+    } else {
+      ++entry.second;
+    }
+  }
+  result.distinct_types_seen = static_cast<int64_t>(counts.size());
+
+  int64_t wrong = 0;
+  for (const auto& [type, count] : counts) {
+    if (count.first > count.second) {
+      h.accepted.push_back(type);  // majority-positive: accept
+      wrong += count.second;
+    } else {
+      wrong += count.first;
+    }
+  }
+  // counts is an ordered map, so `accepted` is already sorted.
+  result.training_error =
+      examples.empty()
+          ? 0.0
+          : static_cast<double>(wrong) / static_cast<double>(examples.size());
+  return result;
+}
+
+ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
+                        int ell, const ErmOptions& options,
+                        std::shared_ptr<TypeRegistry> registry,
+                        bool early_stop) {
+  FOLEARN_CHECK_GE(ell, 0);
+  if (registry == nullptr) {
+    registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  }
+  ErmResult best;
+  int64_t tried = 0;
+  ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
+    std::vector<Vertex> parameters(raw.begin(), raw.end());
+    ErmResult candidate =
+        TypeMajorityErm(graph, examples, parameters, options, registry);
+    ++tried;
+    if (tried == 1 || candidate.training_error < best.training_error) {
+      best = std::move(candidate);
+    }
+    return !early_stop || best.training_error > 0.0;
+  });
+  best.parameter_tuples_tried = tried;
+  return best;
+}
+
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    const EnumerationOptions& enumeration) {
+  const int k = examples.empty() ? 0
+                                 : static_cast<int>(examples[0].tuple.size());
+  std::vector<std::string> query_vars = QueryVars(k);
+  std::vector<std::string> param_vars = ParamVars(ell);
+
+  EnumerationOptions full = enumeration;
+  full.free_variables = query_vars;
+  full.free_variables.insert(full.free_variables.end(), param_vars.begin(),
+                             param_vars.end());
+  std::vector<FormulaRef> formulas = EnumerateFormulas(full);
+
+  EnumerationErmResult best;
+  ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
+    std::vector<Vertex> parameters(raw.begin(), raw.end());
+    for (const FormulaRef& formula : formulas) {
+      Hypothesis candidate{formula, query_vars, param_vars, parameters};
+      double error = TrainingError(graph, candidate, examples);
+      ++best.formulas_tried;
+      if (best.hypothesis.formula == nullptr || error < best.training_error) {
+        best.hypothesis = std::move(candidate);
+        best.training_error = error;
+        if (error == 0.0) return false;
+      }
+    }
+    return true;
+  });
+  return best;
+}
+
+}  // namespace folearn

@@ -1,0 +1,83 @@
+#ifndef FOLEARN_LEARN_ERM_H_
+#define FOLEARN_LEARN_ERM_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "fo/enumerate.h"
+#include "graph/graph.h"
+#include "learn/dataset.h"
+#include "learn/hypothesis.h"
+#include "types/type.h"
+
+namespace folearn {
+
+// Empirical risk minimisation (paper §3, FO-ERM).
+//
+// The hypothesis class H_{k,ℓ,q}(G) is "all rank-q formulas φ(x̄; ȳ) with
+// all parameter tuples w̄ ∈ V^ℓ". With w̄ fixed, Corollary 6 reduces the
+// formula dimension to an exactly solvable problem: every rank-q
+// hypothesis is a union of local (q, r(q))-types of v̄w̄, and the
+// per-type majority vote is the exact empirical risk minimiser over that
+// (strictly larger) class. The learners below differ only in how they
+// search the *parameter* dimension.
+
+struct ErmOptions {
+  int rank = 1;     // q: quantifier-rank budget of the hypothesis class
+  int radius = -1;  // r: locality radius; −1 ⇒ GaifmanRadius(rank)
+
+  int EffectiveRadius() const {
+    return radius >= 0 ? radius : GaifmanRadius(rank);
+  }
+};
+
+struct ErmResult {
+  TypeSetHypothesis hypothesis;
+  double training_error = 1.0;
+  // Diagnostics.
+  int64_t parameter_tuples_tried = 0;
+  int64_t distinct_types_seen = 0;
+};
+
+// Exact ERM for a FIXED parameter tuple w̄: groups the examples by
+// ltp_{q,r}(G, v̄w̄) and accepts exactly the types whose examples are
+// majority-positive. Error = Σ_θ min(pos_θ, neg_θ) / m — a lower bound for
+// every rank-q formula with these parameters, achieved by the returned
+// type-set hypothesis. Deterministic: ties (pos == neg) reject the type.
+//
+// `registry` may be shared across calls (same graph vocabulary) so that
+// TypeIds and output formulas are canonical across parameter candidates —
+// the hardness reduction depends on this canonicity.
+ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
+                          std::span<const Vertex> parameters,
+                          const ErmOptions& options,
+                          std::shared_ptr<TypeRegistry> registry = nullptr);
+
+// Algorithm 1 / Proposition 11: brute force over all w̄ ∈ V(G)^ℓ
+// (n^ℓ · m type computations; FPT for constant ℓ). Returns the best
+// hypothesis found; scans parameters in lexicographic order and keeps the
+// first minimiser, so the result is deterministic. With `early_stop` the
+// scan ends at the first zero-error candidate (disable it to measure the
+// full n^ℓ cost).
+ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
+                        int ell, const ErmOptions& options,
+                        std::shared_ptr<TypeRegistry> registry = nullptr,
+                        bool early_stop = true);
+
+// Literal "step through all formulas" ERM over an explicitly enumerated
+// syntactic slice (plus all parameter tuples): the cross-checking baseline
+// of experiment E9. Exponentially slower than TypeMajorityErm; only for
+// tiny instances.
+struct EnumerationErmResult {
+  Hypothesis hypothesis;
+  double training_error = 1.0;
+  int64_t formulas_tried = 0;
+};
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    const EnumerationOptions& enumeration);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_ERM_H_

@@ -1,0 +1,264 @@
+#include "learn/hardness.h"
+
+#include <optional>
+
+#include <algorithm>
+#include <map>
+
+#include "fo/printer.h"
+#include "fo/transform.h"
+#include "graph/algorithms.h"
+#include "learn/erm.h"
+#include "types/hintikka.h"
+#include "types/type.h"
+#include "util/strings.h"
+
+namespace folearn {
+
+namespace {
+
+std::string VocabularySignature(const Vocabulary& vocabulary) {
+  return Join(vocabulary.names(), "\x1f");
+}
+
+}  // namespace
+
+Hypothesis TypeErmOracle::Solve(const Graph& graph,
+                                const TrainingSet& examples, int k,
+                                int ell_star, int rank_star, double epsilon) {
+  (void)epsilon;  // the oracle returns the exact class optimum
+  FOLEARN_CHECK_GE(k, 1);
+  ++calls_;
+  // Canonical TypeIds across calls: share one registry per vocabulary, so
+  // equal local types yield syntactically identical answer formulas — the
+  // property Claim 9's monochromatic-triple search relies on.
+  static thread_local std::map<std::string, std::shared_ptr<TypeRegistry>>
+      registries;
+  std::string signature = VocabularySignature(graph.vocabulary());
+  auto& registry = registries[signature];
+  if (registry == nullptr ||
+      !(registry->vocabulary() == graph.vocabulary())) {
+    registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  }
+
+  ErmOptions options{rank_star, -1};
+  int ell = ell_star > 0 ? ell_star : relaxation_ell_;
+  ErmResult result =
+      ell == 0 ? TypeMajorityErm(graph, examples, {}, options, registry)
+               : BruteForceErm(graph, examples, ell, options, registry);
+  return result.hypothesis.ToExplicit();
+}
+
+namespace {
+
+class Reducer {
+ public:
+  Reducer(ErmOracle& oracle, const ModelCheckOptions& options,
+          HardnessStats* stats)
+      : oracle_(oracle), options_(options), stats_(stats) {}
+
+  bool Check(const Graph& graph, const FormulaRef& sentence, int depth) {
+    if (stats_ != nullptr) {
+      ++stats_->recursion_nodes;
+      stats_->max_depth = std::max(stats_->max_depth, depth);
+    }
+    switch (sentence->kind()) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kNot:
+        return !Check(graph, sentence->child(0), depth);
+      case FormulaKind::kAnd:
+        for (const FormulaRef& child : sentence->children()) {
+          if (!Check(graph, child, depth)) return false;
+        }
+        return true;
+      case FormulaKind::kOr:
+        for (const FormulaRef& child : sentence->children()) {
+          if (Check(graph, child, depth)) return true;
+        }
+        return false;
+      case FormulaKind::kForall: {
+        // ∀x ψ ≡ ¬∃x ¬ψ.
+        FormulaRef dual = Formula::Exists(sentence->quantified_var(),
+                                          Formula::Not(sentence->child(0)));
+        return !Check(graph, dual, depth);
+      }
+      case FormulaKind::kExists:
+        return CheckExists(graph, sentence->quantified_var(),
+                           sentence->child(0), depth);
+      default:
+        FOLEARN_CHECK(false) << "atom with free variables is not a sentence";
+        return false;
+    }
+  }
+
+ private:
+  // The core of Lemma 7: decide G ⊨ ∃x ψ(x) with oracle calls only.
+  bool CheckExists(const Graph& graph, const std::string& var,
+                   const FormulaRef& body, int depth) {
+    const int n = graph.order();
+    if (n == 0) return false;
+    const int rank_star = body->quantifier_rank();  // q − 1
+
+    // Pairwise separating formulas γ_{u,v} (compared as canonical strings).
+    std::map<std::pair<Vertex, Vertex>, std::string> gamma;
+    for (Vertex u = 0; u < n; ++u) {
+      for (Vertex v = u + 1; v < n; ++v) {
+        gamma[{u, v}] = SeparatingFormulaKey(graph, u, v, rank_star);
+      }
+    }
+
+    // Ramsey pruning: while a monochromatic triple exists, drop its middle
+    // vertex (Claim 9 guarantees it is type-redundant).
+    std::vector<Vertex> reps(n);
+    for (Vertex v = 0; v < n; ++v) reps[v] = v;
+    bool removed = true;
+    while (removed) {
+      removed = false;
+      for (size_t i = 0; i < reps.size() && !removed; ++i) {
+        for (size_t j = i + 1; j < reps.size() && !removed; ++j) {
+          const std::string& gij = gamma[{reps[i], reps[j]}];
+          for (size_t l = j + 1; l < reps.size(); ++l) {
+            if (gamma[{reps[i], reps[l]}] == gij &&
+                gamma[{reps[j], reps[l]}] == gij) {
+              reps.erase(reps.begin() + j);
+              removed = true;
+              if (stats_ != nullptr) ++stats_->triples_removed;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->max_representatives =
+          std::max(stats_->max_representatives, static_cast<int>(reps.size()));
+    }
+
+    // Recurse: G ⊨ ∃x ψ iff G ⊨ ψ(t) for some representative t, and ψ(t)
+    // is turned into a sentence over the expansion G_t via P_t, Q_t.
+    for (Vertex t : reps) {
+      Graph expanded = graph;
+      std::string pt_name = "_Pt" + std::to_string(depth);
+      std::string qt_name = "_Qt" + std::to_string(depth);
+      ColorId pt = expanded.AddColor(pt_name);
+      ColorId qt = expanded.AddColor(qt_name);
+      expanded.SetColor(t, pt);
+      for (Vertex u : graph.Neighbors(t)) expanded.SetColor(u, qt);
+      FormulaRef rewritten = EliminateVariableViaColors(
+          body, var, pt_name, qt_name, [&](const std::string& color) {
+            std::optional<ColorId> id = graph.FindColor(color);
+            FOLEARN_CHECK(id.has_value())
+                << "unknown colour '" << color << "' in sentence";
+            return graph.HasColor(t, *id);
+          });
+      FOLEARN_CHECK(rewritten->free_variables().empty());
+      if (Check(expanded, rewritten, depth + 1)) return true;
+    }
+    return false;
+  }
+
+  // Computes γ_{u,v} and returns its canonical string key.
+  std::string SeparatingFormulaKey(const Graph& graph, Vertex u, Vertex v,
+                                   int rank_star) {
+    if (stats_ != nullptr) ++stats_->oracle_calls;
+    if (!options_.use_general_case) {
+      // Base case L(1,0,q) = 0: the oracle must answer without parameters.
+      TrainingSet examples = {{{u}, false}, {{v}, true}};
+      Hypothesis h = oracle_.Solve(graph, examples, /*k=*/1, /*ell_star=*/0,
+                                   rank_star, /*epsilon=*/0.25);
+      FOLEARN_CHECK(h.parameters.empty())
+          << "base-case oracle returned parameters";
+      return ToString(h.formula);
+    }
+    return ToString(GeneralCaseGamma(graph, u, v, rank_star));
+  }
+
+  // Lemma 7, general case: the oracle may use up to ℓ parameters; defeat
+  // them with 2ℓ disjoint copies of G.
+  FormulaRef GeneralCaseGamma(const Graph& graph, Vertex u, Vertex v,
+                              int rank_star) {
+    const int ell = std::max(1, options_.general_case_ell);
+    const int n = graph.order();
+    Graph hat = DisjointCopies(graph, 2 * ell);
+    TrainingSet examples;
+    for (int i = 0; i < 2 * ell; ++i) {
+      examples.push_back({{u + i * n}, false});
+      examples.push_back({{v + i * n}, true});
+    }
+    Hypothesis h = oracle_.Solve(hat, examples, /*k=*/1, /*ell_star=*/0,
+                                 rank_star, /*epsilon=*/0.125);
+    FOLEARN_CHECK_LE(static_cast<int>(h.parameters.size()), ell)
+        << "oracle exceeded its parameter relaxation";
+
+    // An index i is covered if a parameter lies in copy i, wrong if the
+    // hypothesis misclassifies u^(i) or v^(i).
+    std::vector<bool> covered(2 * ell, false);
+    for (Vertex w : h.parameters) covered[w / n] = true;
+    int chosen = -1;
+    for (int i = 0; i < 2 * ell && chosen == -1; ++i) {
+      if (covered[i]) continue;
+      bool wrong = h.Classify(hat, std::vector<Vertex>{u + i * n}) ||
+                   !h.Classify(hat, std::vector<Vertex>{v + i * n});
+      if (!wrong) chosen = i;
+    }
+    if (chosen == -1) {
+      // The oracle violated its error guarantee (possible only with a
+      // misbehaving oracle); fall back to a vacuous answer.
+      return Formula::False();
+    }
+
+    // Locality fold (the executable Gaifman step, DESIGN.md §4): the
+    // uncovered copy contains no parameters, so within it the hypothesis is
+    // a function of the single-vertex local type alone. Collect the
+    // accepted local types of that copy; their Hintikka disjunction is the
+    // r-local, parameter-free γ, valid on G because copy ≅ G.
+    const int radius = GaifmanRadius(rank_star);
+    auto& registry = GammaRegistry(graph.vocabulary());
+    std::vector<TypeId> accepted;
+    for (Vertex z = 0; z < n; ++z) {
+      Vertex z_hat = z + chosen * n;
+      if (!h.Classify(hat, std::vector<Vertex>{z_hat})) continue;
+      Vertex tuple[] = {z_hat};
+      accepted.push_back(
+          ComputeLocalType(hat, tuple, rank_star, radius, registry.get()));
+    }
+    std::sort(accepted.begin(), accepted.end());
+    accepted.erase(std::unique(accepted.begin(), accepted.end()),
+                   accepted.end());
+    HintikkaBuilder builder(*registry);
+    std::vector<FormulaRef> parts;
+    for (TypeId type : accepted) {
+      parts.push_back(builder.BuildLocal(type, {QueryVar(1)}, radius));
+    }
+    return Formula::Or(std::move(parts));
+  }
+
+  std::shared_ptr<TypeRegistry>& GammaRegistry(const Vocabulary& vocabulary) {
+    auto& registry = gamma_registries_[VocabularySignature(vocabulary)];
+    if (registry == nullptr) {
+      registry = std::make_shared<TypeRegistry>(vocabulary);
+    }
+    return registry;
+  }
+
+  ErmOracle& oracle_;
+  const ModelCheckOptions& options_;
+  HardnessStats* stats_;
+  std::map<std::string, std::shared_ptr<TypeRegistry>> gamma_registries_;
+};
+
+}  // namespace
+
+bool ModelCheckViaErm(const Graph& graph, const FormulaRef& sentence,
+                      ErmOracle& oracle, const ModelCheckOptions& options,
+                      HardnessStats* stats) {
+  FOLEARN_CHECK(sentence->free_variables().empty())
+      << "model checking requires a sentence";
+  Reducer reducer(oracle, options, stats);
+  return reducer.Check(graph, sentence, 0);
+}
+
+}  // namespace folearn

@@ -1,0 +1,88 @@
+#ifndef FOLEARN_LEARN_HARDNESS_H_
+#define FOLEARN_LEARN_HARDNESS_H_
+
+#include <memory>
+
+#include "fo/formula.h"
+#include "graph/graph.h"
+#include "learn/dataset.h"
+#include "learn/hypothesis.h"
+
+namespace folearn {
+
+// Theorem 1 / Lemma 7: the hardness reduction, executable.
+//
+// FO model checking is solved using *only* an (L,Q)-FO-ERM oracle (plus
+// graph surgery): pairwise oracle calls on two-element training sets yield
+// separating formulas γ_{u,v}; a Ramsey-style pruning extracts a small set
+// T of rank-(q−1)-type representatives; and the outer ∃-quantifier is
+// eliminated by recolouring (P_t = {t}, Q_t = N(t)) and recursing on the
+// rewritten sentence.
+//
+// Substitutions from the paper (DESIGN.md §4): instead of invoking the
+// galactic bound h(p) = R(2, s, 3), the pruning directly searches for
+// monochromatic triples until none exists — the proof only needs that such
+// a triple exists *whenever* |T| exceeds the Ramsey bound, so searching
+// directly terminates strictly earlier with the same guarantee.
+
+// The learning oracle the reduction consumes. Implementations must return a
+// hypothesis whose training error is within ε of optimal for
+// H_{k,ℓ*,q*}(G), with the (L,Q) relaxation: the returned formula may have
+// larger rank and up to L(k,ℓ*,q*) parameters.
+class ErmOracle {
+ public:
+  virtual ~ErmOracle() = default;
+
+  virtual Hypothesis Solve(const Graph& graph, const TrainingSet& examples,
+                           int k, int ell_star, int rank_star,
+                           double epsilon) = 0;
+};
+
+// The canonical oracle: type-majority ERM (+ brute-force parameter search
+// when `relaxation_ell > 0`, exercising the reduction's general case).
+// Answers are canonical — equal inputs with equal local types produce
+// syntactically identical formulas — which Claim 9's triple search needs.
+class TypeErmOracle : public ErmOracle {
+ public:
+  // `relaxation_ell` = L(1, 0, q): how many parameters the oracle may use
+  // even when the caller asks for ℓ* = 0 (0 = the paper's base case).
+  explicit TypeErmOracle(int relaxation_ell = 0)
+      : relaxation_ell_(relaxation_ell) {}
+
+  Hypothesis Solve(const Graph& graph, const TrainingSet& examples, int k,
+                   int ell_star, int rank_star, double epsilon) override;
+
+  int64_t calls() const { return calls_; }
+
+ private:
+  int relaxation_ell_;
+  int64_t calls_ = 0;
+};
+
+struct HardnessStats {
+  int64_t oracle_calls = 0;
+  int64_t recursion_nodes = 0;
+  int64_t triples_removed = 0;
+  int max_representatives = 0;  // largest |T| after pruning
+  int max_depth = 0;
+};
+
+struct ModelCheckOptions {
+  // If true, γ_{u,v} is computed through the general-case construction
+  // (2ℓ disjoint copies Ĝ, covered/wrong index accounting, locality fold);
+  // if false, the base case L(1,0,q) = 0 is used directly.
+  bool use_general_case = false;
+  // ℓ for the general case (the oracle's parameter relaxation).
+  int general_case_ell = 1;
+};
+
+// Decides graph ⊨ sentence via the Lemma 7 reduction. The sentence may be
+// any FO sentence (∀ handled by dualisation, boolean structure by
+// recursion). CHECK-fails on non-sentences.
+bool ModelCheckViaErm(const Graph& graph, const FormulaRef& sentence,
+                      ErmOracle& oracle, const ModelCheckOptions& options = {},
+                      HardnessStats* stats = nullptr);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_HARDNESS_H_

@@ -1,0 +1,176 @@
+#include "learn/model_io.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "util/strings.h"
+
+namespace folearn {
+
+namespace {
+
+bool ParseInt(const std::string& token, int* out) {
+  if (token.empty()) return false;
+  int value = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> tokens = Split(line, ' ');
+  tokens.erase(std::remove(tokens.begin(), tokens.end(), std::string()),
+               tokens.end());
+  return tokens;
+}
+
+}  // namespace
+
+std::string TrainingSetToText(const TrainingSet& examples) {
+  std::ostringstream out;
+  int k = examples.empty() ? 0 : static_cast<int>(examples[0].tuple.size());
+  out << "examples " << k << "\n";
+  for (const LabeledExample& example : examples) {
+    out << (example.label ? '+' : '-');
+    for (Vertex v : example.tuple) out << ' ' << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::optional<TrainingSet> TrainingSetFromText(std::string_view text,
+                                               std::string* error) {
+  TrainingSet examples;
+  int k = -1;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens[0] == "examples") {
+      if (k != -1 || tokens.size() != 2 || !ParseInt(tokens[1], &k)) {
+        Fail(error, "malformed 'examples' header: " + line);
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (tokens[0] != "+" && tokens[0] != "-") {
+      Fail(error, "example lines must start with '+' or '-': " + line);
+      return std::nullopt;
+    }
+    if (k == -1) {
+      Fail(error, "'examples <k>' header must come first");
+      return std::nullopt;
+    }
+    if (static_cast<int>(tokens.size()) != k + 1) {
+      Fail(error, "expected " + std::to_string(k) + " vertices: " + line);
+      return std::nullopt;
+    }
+    LabeledExample example;
+    example.label = tokens[0] == "+";
+    for (int i = 1; i <= k; ++i) {
+      int v = 0;
+      if (!ParseInt(tokens[i], &v)) {
+        Fail(error, "bad vertex: " + tokens[i]);
+        return std::nullopt;
+      }
+      example.tuple.push_back(v);
+    }
+    examples.push_back(std::move(example));
+  }
+  if (k == -1) {
+    Fail(error, "missing 'examples <k>' header");
+    return std::nullopt;
+  }
+  return examples;
+}
+
+std::string HypothesisToText(const Hypothesis& hypothesis) {
+  std::ostringstream out;
+  out << "hypothesis k " << hypothesis.k() << " ell " << hypothesis.ell()
+      << "\n";
+  if (!hypothesis.parameters.empty()) {
+    out << "params";
+    for (Vertex v : hypothesis.parameters) out << ' ' << v;
+    out << "\n";
+  }
+  out << "formula " << ToString(hypothesis.formula) << "\n";
+  return out.str();
+}
+
+std::optional<Hypothesis> HypothesisFromText(std::string_view text,
+                                             std::string* error) {
+  Hypothesis hypothesis;
+  int k = -1;
+  int ell = -1;
+  bool have_formula = false;
+  for (const std::string& raw : Split(text, '\n')) {
+    std::string line(StripWhitespace(raw));
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> tokens = Tokens(line);
+    if (tokens[0] == "hypothesis") {
+      if (tokens.size() != 5 || tokens[1] != "k" || tokens[3] != "ell" ||
+          !ParseInt(tokens[2], &k) || !ParseInt(tokens[4], &ell)) {
+        Fail(error, "malformed 'hypothesis' header: " + line);
+        return std::nullopt;
+      }
+    } else if (tokens[0] == "params") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        int v = 0;
+        if (!ParseInt(tokens[i], &v)) {
+          Fail(error, "bad parameter vertex: " + tokens[i]);
+          return std::nullopt;
+        }
+        hypothesis.parameters.push_back(v);
+      }
+    } else if (tokens[0] == "formula") {
+      std::string formula_text = line.substr(std::string("formula").size());
+      std::string parse_error;
+      std::optional<FormulaRef> formula =
+          ParseFormula(formula_text, &parse_error);
+      if (!formula.has_value()) {
+        Fail(error, "formula parse error: " + parse_error);
+        return std::nullopt;
+      }
+      hypothesis.formula = *formula;
+      have_formula = true;
+    } else {
+      Fail(error, "unknown keyword: " + tokens[0]);
+      return std::nullopt;
+    }
+  }
+  if (k < 0 || ell < 0 || !have_formula) {
+    Fail(error, "hypothesis requires header and formula");
+    return std::nullopt;
+  }
+  if (static_cast<int>(hypothesis.parameters.size()) != ell) {
+    Fail(error, "parameter count does not match ell");
+    return std::nullopt;
+  }
+  hypothesis.query_vars = QueryVars(k);
+  hypothesis.param_vars = ParamVars(ell);
+  // The formula's free variables must be covered by x1..xk, y1..yℓ.
+  for (const std::string& var : hypothesis.formula->free_variables()) {
+    bool known =
+        std::find(hypothesis.query_vars.begin(), hypothesis.query_vars.end(),
+                  var) != hypothesis.query_vars.end() ||
+        std::find(hypothesis.param_vars.begin(), hypothesis.param_vars.end(),
+                  var) != hypothesis.param_vars.end();
+    if (!known) {
+      Fail(error, "formula uses unknown free variable '" + var + "'");
+      return std::nullopt;
+    }
+  }
+  return hypothesis;
+}
+
+}  // namespace folearn

@@ -1,0 +1,40 @@
+#ifndef FOLEARN_LEARN_MODEL_IO_H_
+#define FOLEARN_LEARN_MODEL_IO_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "learn/dataset.h"
+#include "learn/hypothesis.h"
+
+namespace folearn {
+
+// Text serialisation for training sets and learned hypotheses, so models
+// can be saved, shipped, and re-evaluated (and so the CLI tool has a wire
+// format). Deterministic, line-oriented, diff-friendly.
+
+// Training set format:
+//
+//   examples <k>
+//   + v1 v2 … vk        # one line per example, '+' positive / '-' negative
+//   - v1 v2 … vk
+std::string TrainingSetToText(const TrainingSet& examples);
+std::optional<TrainingSet> TrainingSetFromText(std::string_view text,
+                                               std::string* error = nullptr);
+
+// Hypothesis format (the explicit h_{φ,w̄} form):
+//
+//   hypothesis k <k> ell <ℓ>
+//   params v1 … vℓ       # omitted when ℓ = 0
+//   formula <φ in the parser syntax, one line>
+//
+// Round-trips through the formula parser; the query/parameter variables are
+// the canonical x1…xk / y1…yℓ.
+std::string HypothesisToText(const Hypothesis& hypothesis);
+std::optional<Hypothesis> HypothesisFromText(std::string_view text,
+                                             std::string* error = nullptr);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_MODEL_IO_H_

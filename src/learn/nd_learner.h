@@ -1,0 +1,89 @@
+#ifndef FOLEARN_LEARN_ND_LEARNER_H_
+#define FOLEARN_LEARN_ND_LEARNER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "learn/dataset.h"
+#include "learn/erm.h"
+#include "nd/splitter_game.h"
+
+namespace folearn {
+
+// Theorem 13: the fixed-parameter tractable (L,Q)-FO-ERM learner for
+// nowhere dense graphs.
+//
+// Pipeline per step i (paper §5):
+//  1. Conflicts Ξ: pairs of opposite-label examples with equal local
+//     (q*, r)-types; critical set Γ^i = examples involved in a conflict.
+//     Non-critical examples are classified by their local type alone.
+//  2. Lemma 14: greedily select centres X (pairwise distance > 4r+2,
+//     maximising the number of attended critical tuples |Γ^i(x)|, at most
+//     ⌈kℓ*s/ε⌉ of them) — parameters outside N_{4r+2}(X) can only
+//     discriminate an ε/(ℓ*s) fraction of Γ.
+//  3. Guess Y ⊆ X with |Y| ≤ ℓ* (deterministically unrolled; branches
+//     ranked by attended-conflict mass and capped).
+//  4. Lemma 3: covering Z ⊆ Y with radius R′ = 3^j·(k+2)(2r+1) and
+//     pairwise disjoint R′-balls.
+//  5. Splitter’s answers w_j to Connector picks z_j at radius R′ become
+//     this step’s parameters ŵ^i.
+//  6. Lemma 16: contract to G^{i+1} = induced N_{R′}(Z) plus carried-over
+//     isolated vertices, expanded by distance colours D_{j,d}, neighbour
+//     colours C_j, marker colours B_j, with Splitter’s vertices isolated,
+//     and examples projected component-wise (far components replaced by
+//     shared isolated type-vertices t_{I,θ}).
+//  7. Recurse; after ≤ s steps, evaluate every collected parameter
+//     candidate by type-majority ERM on the original graph and return the
+//     best hypothesis.
+//
+// Substitutions from the paper (all in DESIGN.md §4): type-majority ERM
+// instead of formula enumeration; realised types only for the t_{I,θ}
+// vertices; heuristic Splitter strategies with a round budget s;
+// branch/candidate caps for the nondeterministic Y guess.
+struct NdLearnerOptions {
+  int ell_star = 1;   // ℓ*: parameters per step
+  int rank = 1;       // q*: quantifier-rank budget
+  double epsilon = 0.25;
+  int radius = -1;    // r; −1 ⇒ GaifmanRadius(rank)
+  int splitter_rounds = -1;  // s; −1 ⇒ DefaultSplitterRounds(R)
+  SplitterStrategy* splitter = nullptr;  // default: tree splitter
+  int max_branches_per_step = 16;   // cap on Y-guess unrolling
+  int max_total_candidates = 256;   // cap on collected parameter tuples
+  int final_radius = -1;  // radius of the final type ERM; −1 ⇒ 2r+1
+
+  int EffectiveRadius() const {
+    return radius >= 0 ? radius : GaifmanRadius(rank);
+  }
+  // R = 3^{ℓ*−1} · (k+2)(2r+1): the splitter-game radius (paper §5).
+  int GameRadius(int k) const;
+  int EffectiveRounds(int k) const {
+    return splitter_rounds >= 0 ? splitter_rounds
+                                : DefaultSplitterRounds(GameRadius(k));
+  }
+};
+
+struct NdStepStats {
+  int step = 0;
+  int graph_order = 0;
+  int examples = 0;
+  int conflicts = 0;        // conflicting type classes
+  int critical = 0;         // |Γ^i|
+  int x_size = 0;           // |X|
+  int branches = 0;         // Y guesses explored
+};
+
+struct NdLearnerResult {
+  ErmResult erm;  // best hypothesis (types over the original graph) + error
+  std::vector<NdStepStats> steps;
+  int64_t candidates_evaluated = 0;
+  // Parameters of the winning candidate (original-graph vertices).
+  std::vector<Vertex> parameters;
+};
+
+NdLearnerResult LearnNowhereDense(const Graph& graph,
+                                  const TrainingSet& examples,
+                                  const NdLearnerOptions& options);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_ND_LEARNER_H_

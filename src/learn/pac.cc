@@ -1,0 +1,118 @@
+#include "learn/pac.h"
+
+#include <cmath>
+#include <set>
+
+#include "mc/evaluator.h"
+#include "types/type.h"
+
+namespace folearn {
+
+namespace {
+
+class QueryDistribution : public ExampleDistribution {
+ public:
+  QueryDistribution(const Graph& graph, FormulaRef query,
+                    std::vector<std::string> vars, int k, double noise_rate)
+      : graph_(graph),
+        query_(std::move(query)),
+        vars_(std::move(vars)),
+        k_(k),
+        noise_rate_(noise_rate) {
+    FOLEARN_CHECK_GT(graph.order(), 0);
+    FOLEARN_CHECK(noise_rate >= 0.0 && noise_rate <= 1.0);
+  }
+
+  LabeledExample Sample(Rng& rng) override {
+    std::vector<Vertex> tuple(k_);
+    for (Vertex& v : tuple) {
+      v = static_cast<Vertex>(rng.UniformIndex(graph_.order()));
+    }
+    bool label = EvaluateQuery(graph_, query_, vars_, tuple);
+    if (noise_rate_ > 0.0 && rng.Bernoulli(noise_rate_)) label = !label;
+    return {std::move(tuple), label};
+  }
+
+  int k() const override { return k_; }
+
+ private:
+  const Graph& graph_;
+  FormulaRef query_;
+  std::vector<std::string> vars_;
+  int k_;
+  double noise_rate_;
+};
+
+}  // namespace
+
+std::unique_ptr<ExampleDistribution> MakeQueryDistribution(
+    const Graph& graph, FormulaRef query, std::vector<std::string> vars,
+    int k, double noise_rate) {
+  return std::make_unique<QueryDistribution>(graph, std::move(query),
+                                             std::move(vars), k, noise_rate);
+}
+
+TrainingSet DrawSample(ExampleDistribution& distribution, int m, Rng& rng) {
+  TrainingSet examples;
+  examples.reserve(m);
+  for (int i = 0; i < m; ++i) examples.push_back(distribution.Sample(rng));
+  return examples;
+}
+
+double EstimateGeneralizationError(
+    const std::function<bool(std::span<const Vertex>)>& classify,
+    ExampleDistribution& distribution, int samples, Rng& rng) {
+  FOLEARN_CHECK_GT(samples, 0);
+  int64_t wrong = 0;
+  for (int i = 0; i < samples; ++i) {
+    LabeledExample example = distribution.Sample(rng);
+    if (classify(example.tuple) != example.label) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(samples);
+}
+
+int64_t AgnosticSampleComplexity(double ln_hypothesis_count, double epsilon,
+                                 double delta) {
+  FOLEARN_CHECK_GT(epsilon, 0.0);
+  FOLEARN_CHECK(delta > 0.0 && delta < 1.0);
+  double m = 2.0 * (ln_hypothesis_count + std::log(2.0 / delta)) /
+             (epsilon * epsilon);
+  return static_cast<int64_t>(std::ceil(m));
+}
+
+double EstimateLnHypothesisCount(const Graph& graph, int k, int ell, int rank,
+                                 int radius, int samples, Rng& rng) {
+  FOLEARN_CHECK_GT(graph.order(), 0);
+  TypeRegistry registry(graph.vocabulary());
+  std::set<TypeId> realized;
+  for (int i = 0; i < samples; ++i) {
+    std::vector<Vertex> tuple(k + ell);
+    for (Vertex& v : tuple) {
+      v = static_cast<Vertex>(rng.UniformIndex(graph.order()));
+    }
+    realized.insert(
+        ComputeLocalType(graph, tuple, rank, radius, &registry));
+  }
+  // |H| ≤ 2^T · n^ℓ  ⇒  ln|H| ≤ T·ln2 + ℓ·ln n.
+  return static_cast<double>(realized.size()) * std::log(2.0) +
+         ell * std::log(static_cast<double>(graph.order()));
+}
+
+PacExperimentResult RunPacExperiment(
+    const Graph& graph, ExampleDistribution& distribution, int m_train,
+    int m_test,
+    const std::function<TypeSetHypothesis(const TrainingSet&)>& learner,
+    Rng& rng) {
+  TrainingSet train = DrawSample(distribution, m_train, rng);
+  TypeSetHypothesis hypothesis = learner(train);
+  PacExperimentResult result;
+  result.training_error = hypothesis.Error(graph, train);
+  result.generalization_error = EstimateGeneralizationError(
+      [&](std::span<const Vertex> tuple) {
+        return hypothesis.Classify(graph, tuple);
+      },
+      distribution, m_test, rng);
+  return result;
+}
+
+}  // namespace folearn

@@ -1,0 +1,70 @@
+#ifndef FOLEARN_LEARN_PAC_H_
+#define FOLEARN_LEARN_PAC_H_
+
+#include <functional>
+#include <memory>
+
+#include "fo/formula.h"
+#include "graph/graph.h"
+#include "learn/dataset.h"
+#include "learn/hypothesis.h"
+#include "util/rng.h"
+
+namespace folearn {
+
+// The (agnostic) PAC layer (paper §3): unknown distributions D on
+// V(G)^k × {0,1}, sample-complexity bounds from uniform convergence, and
+// the ERM → PAC wrapper.
+
+// An example-generating distribution.
+class ExampleDistribution {
+ public:
+  virtual ~ExampleDistribution() = default;
+  virtual LabeledExample Sample(Rng& rng) = 0;
+  virtual int k() const = 0;
+};
+
+// Uniform tuples labelled by a hidden query h_{φ,w̄}, with optional label
+// noise (noise 0 = the realisable case; noise > 0 = agnostic, with best
+// possible generalisation error = noise_rate).
+std::unique_ptr<ExampleDistribution> MakeQueryDistribution(
+    const Graph& graph, FormulaRef query, std::vector<std::string> vars,
+    int k, double noise_rate = 0.0);
+
+// Draws m examples.
+TrainingSet DrawSample(ExampleDistribution& distribution, int m, Rng& rng);
+
+// Monte-Carlo estimate of the generalisation error of a classifier.
+double EstimateGeneralizationError(
+    const std::function<bool(std::span<const Vertex>)>& classify,
+    ExampleDistribution& distribution, int samples, Rng& rng);
+
+// Uniform-convergence sample bound for a finite hypothesis class
+// (paper §3): m ≥ (2/ε²)·(ln|H| + ln(2/δ)) guarantees that with
+// probability ≥ 1−δ every h ∈ H has |err_train − err_gen| ≤ ε. Takes
+// ln|H| directly (it is the quantity the theory is stated in).
+int64_t AgnosticSampleComplexity(double ln_hypothesis_count, double epsilon,
+                                 double delta);
+
+// ln|H_{k,ℓ,q}(G)| for the type-set hypothesis class the library actually
+// searches: |H| ≤ 2^T · n^ℓ where T is the number of distinct local
+// (q, r)-types realised by (k+ℓ)-tuples of G. T is estimated from
+// `samples` random tuples (an underestimate converging from below).
+double EstimateLnHypothesisCount(const Graph& graph, int k, int ell, int rank,
+                                 int radius, int samples, Rng& rng);
+
+// One PAC experiment: draw m training examples from the distribution, run
+// `learner`, and report training and (estimated) generalisation error.
+struct PacExperimentResult {
+  double training_error = 0.0;
+  double generalization_error = 0.0;
+};
+PacExperimentResult RunPacExperiment(
+    const Graph& graph, ExampleDistribution& distribution, int m_train,
+    int m_test,
+    const std::function<TypeSetHypothesis(const TrainingSet&)>& learner,
+    Rng& rng);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_PAC_H_

@@ -1,0 +1,121 @@
+#include "learn/sublinear.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "util/combinatorics.h"
+
+namespace folearn {
+
+SublinearErmResult SublinearErm(const Graph& graph,
+                                const TrainingSet& examples, int ell,
+                                const ErmOptions& options) {
+  FOLEARN_CHECK_GE(ell, 0);
+  SublinearErmResult result;
+  auto registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  if (examples.empty() || ell == 0) {
+    result.erm = TypeMajorityErm(graph, examples, {}, options, registry);
+    return result;
+  }
+  const int radius = options.EffectiveRadius();
+
+  // Candidate pool: the (2r+1)-neighbourhood of all example entries —
+  // parameters outside it add example-independent information only
+  // (Lemma 15 / the [22] locality argument) — plus one far representative
+  // so hypotheses that want an "inert" parameter slot still exist.
+  std::vector<Vertex> sources;
+  for (const LabeledExample& example : examples) {
+    sources.insert(sources.end(), example.tuple.begin(),
+                   example.tuple.end());
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  std::vector<int> dist = BfsDistances(graph, sources, 2 * radius + 1);
+  std::vector<Vertex> pool;
+  Vertex far_representative = kNoVertex;
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    if (dist[v] != kUnreachable) {
+      pool.push_back(v);
+    } else if (far_representative == kNoVertex) {
+      far_representative = v;
+    }
+  }
+  if (far_representative != kNoVertex) pool.push_back(far_representative);
+  result.candidate_pool_size = static_cast<int64_t>(pool.size());
+
+  // Brute force over pool^ell (pool is example-local, so this is
+  // m·d^{O(r)}-sized, not n-sized).
+  bool first = true;
+  int64_t tried = 0;
+  ForEachTuple(static_cast<int64_t>(pool.size()), ell,
+               [&](const std::vector<int64_t>& raw) {
+                 std::vector<Vertex> parameters;
+                 parameters.reserve(raw.size());
+                 for (int64_t index : raw) parameters.push_back(pool[index]);
+                 ErmResult candidate = TypeMajorityErm(
+                     graph, examples, parameters, options, registry);
+                 ++tried;
+                 if (first ||
+                     candidate.training_error < result.erm.training_error) {
+                   result.erm = std::move(candidate);
+                   first = false;
+                 }
+                 return result.erm.training_error > 0.0;
+               });
+  result.erm.parameter_tuples_tried = tried;
+  return result;
+}
+
+LocalTypeIndex::LocalTypeIndex(const Graph& graph, int rank, int radius)
+    : rank_(rank),
+      radius_(radius),
+      registry_(std::make_shared<TypeRegistry>(graph.vocabulary())) {
+  types_.reserve(graph.order());
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    Vertex tuple[] = {v};
+    types_.push_back(
+        ComputeLocalType(graph, tuple, rank, radius, registry_.get()));
+  }
+}
+
+ErmResult LocalTypeIndex::Erm(const TrainingSet& examples) const {
+  ErmResult result;
+  result.parameter_tuples_tried = 1;
+  TypeSetHypothesis& h = result.hypothesis;
+  h.rank = rank_;
+  h.radius = radius_;
+  h.registry = registry_;
+  h.k = 1;
+
+  std::map<TypeId, std::pair<int64_t, int64_t>> counts;
+  for (const LabeledExample& example : examples) {
+    FOLEARN_CHECK_EQ(example.tuple.size(), 1u)
+        << "LocalTypeIndex supports unary examples";
+    auto& entry = counts[Lookup(example.tuple[0])];
+    (example.label ? entry.first : entry.second) += 1;
+  }
+  result.distinct_types_seen = static_cast<int64_t>(counts.size());
+  int64_t wrong = 0;
+  for (const auto& [type, count] : counts) {
+    if (count.first > count.second) {
+      h.accepted.push_back(type);
+      wrong += count.second;
+    } else {
+      wrong += count.first;
+    }
+  }
+  result.training_error =
+      examples.empty()
+          ? 0.0
+          : static_cast<double>(wrong) / static_cast<double>(examples.size());
+  return result;
+}
+
+int64_t LocalTypeIndex::distinct_types() const {
+  std::set<TypeId> distinct(types_.begin(), types_.end());
+  return static_cast<int64_t>(distinct.size());
+}
+
+}  // namespace folearn

@@ -1,0 +1,141 @@
+#include "learn/vc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "learn/dataset.h"
+#include "util/combinatorics.h"
+
+namespace folearn {
+
+namespace {
+
+// Shattering check: every labelling of the sample must be constant on the
+// classes of at least one partition. `classes[p][i]` = class of sample
+// element i under partition p.
+bool IsShattered(const std::vector<std::vector<int>>& classes,
+                 int sample_size) {
+  const uint32_t total_masks = uint32_t{1} << sample_size;
+  std::vector<bool> achieved(total_masks, false);
+  uint32_t remaining = total_masks;
+  for (const std::vector<int>& partition : classes) {
+    // Collect the class membership bitmasks within the sample.
+    std::map<int, uint32_t> class_masks;
+    for (int i = 0; i < sample_size; ++i) {
+      class_masks[partition[i]] |= uint32_t{1} << i;
+    }
+    std::vector<uint32_t> masks;
+    masks.reserve(class_masks.size());
+    for (const auto& [cls, mask] : class_masks) masks.push_back(mask);
+    // All accept/reject combinations of the classes.
+    const uint32_t combos = uint32_t{1} << masks.size();
+    for (uint32_t combo = 0; combo < combos; ++combo) {
+      uint32_t labelling = 0;
+      for (size_t c = 0; c < masks.size(); ++c) {
+        if (combo & (uint32_t{1} << c)) labelling |= masks[c];
+      }
+      if (!achieved[labelling]) {
+        achieved[labelling] = true;
+        if (--remaining == 0) return true;
+      }
+    }
+  }
+  return remaining == 0;
+}
+
+}  // namespace
+
+VcResult ComputeVcDimension(const Graph& graph, int k,
+                            const VcOptions& options) {
+  FOLEARN_CHECK_GE(k, 1);
+  VcResult result;
+  if (graph.order() == 0) return result;
+  const int radius = options.EffectiveRadius();
+
+  std::vector<std::vector<Vertex>> pool = AllTuples(graph.order(), k);
+
+  // One partition of the pool per parameter tuple w̄, as dense class ids.
+  std::set<std::vector<int>> distinct;
+  TypeRegistry registry(graph.vocabulary());
+  ForEachTuple(graph.order(), options.ell,
+               [&](const std::vector<int64_t>& raw) {
+                 std::vector<Vertex> params(raw.begin(), raw.end());
+                 std::vector<int> partition;
+                 partition.reserve(pool.size());
+                 std::map<TypeId, int> dense;
+                 for (const std::vector<Vertex>& tuple : pool) {
+                   std::vector<Vertex> combined = tuple;
+                   combined.insert(combined.end(), params.begin(),
+                                   params.end());
+                   TypeId type = ComputeLocalType(
+                       graph, combined, options.rank, radius, &registry);
+                   auto [it, inserted] =
+                       dense.emplace(type, static_cast<int>(dense.size()));
+                   partition.push_back(it->second);
+                 }
+                 distinct.insert(std::move(partition));
+                 return true;
+               });
+  std::vector<std::vector<int>> partitions(distinct.begin(), distinct.end());
+  result.distinct_partitions = static_cast<int64_t>(partitions.size());
+
+  // Deduplicate pool elements with identical behaviour columns — two such
+  // elements can never be labelled independently, so shattered sets contain
+  // at most one of each column class.
+  std::map<std::vector<int>, int> column_index;
+  std::vector<int> representatives;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    std::vector<int> column;
+    column.reserve(partitions.size());
+    for (const std::vector<int>& partition : partitions) {
+      column.push_back(partition[i]);
+    }
+    if (column_index.emplace(std::move(column), static_cast<int>(i)).second) {
+      representatives.push_back(static_cast<int>(i));
+    }
+  }
+
+  // DFS for a maximum shattered subset of the representatives.
+  int64_t budget = options.search_budget;
+  std::vector<int> current;
+  std::vector<int> best;
+  // classes_for(sample) built incrementally: per partition the class ids of
+  // the selected sample elements.
+  std::vector<std::vector<int>> sample_classes(partitions.size());
+
+  std::function<void(size_t)> dfs = [&](size_t start) {
+    if (static_cast<int>(current.size()) > static_cast<int>(best.size())) {
+      best = current;
+    }
+    if (static_cast<int>(current.size()) >= options.max_dimension) return;
+    for (size_t idx = start; idx < representatives.size(); ++idx) {
+      if (budget-- <= 0) {
+        result.budget_exhausted = true;
+        return;
+      }
+      int pool_index = representatives[idx];
+      for (size_t p = 0; p < partitions.size(); ++p) {
+        sample_classes[p].push_back(partitions[p][pool_index]);
+      }
+      current.push_back(pool_index);
+      if (IsShattered(sample_classes, static_cast<int>(current.size()))) {
+        dfs(idx + 1);
+      }
+      current.pop_back();
+      for (size_t p = 0; p < partitions.size(); ++p) {
+        sample_classes[p].pop_back();
+      }
+      if (result.budget_exhausted) return;
+    }
+  };
+  dfs(0);
+
+  result.vc_dimension = static_cast<int>(best.size());
+  for (int pool_index : best) {
+    result.shattered_sample.push_back(pool[pool_index]);
+  }
+  return result;
+}
+
+}  // namespace folearn

@@ -1,0 +1,53 @@
+#ifndef FOLEARN_LEARN_VC_H_
+#define FOLEARN_LEARN_VC_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "types/type.h"
+
+namespace folearn {
+
+// VC dimension of the hypothesis classes H_{k,ℓ,q}(G) (paper §3: PAC
+// learnability ⟺ bounded VC dimension; Adler–Adler: nowhere dense classes
+// are exactly the subgraph-closed classes where FO has bounded VC
+// dimension).
+//
+// The library's realised hypothesis class for fixed (k, ℓ, q, r) is
+//   { v̄ ↦ [ltp_{q,r}(G, v̄w̄) ∈ Φ] : w̄ ∈ V^ℓ, Φ a set of types },
+// i.e. per parameter tuple w̄ an arbitrary union of the local-type classes
+// of the induced partition of V^k. A sample S is shattered iff every
+// labelling of S is constant on the classes of SOME w̄-partition — which is
+// exactly checkable, so the VC dimension is computable exactly on small
+// graphs.
+
+struct VcOptions {
+  int ell = 0;
+  int rank = 1;
+  int radius = -1;        // −1 ⇒ GaifmanRadius(rank)
+  int max_dimension = 8;  // stop growing shattered sets beyond this
+  // Budget on shattered-set search nodes (DFS over sample sets).
+  int64_t search_budget = 2000000;
+
+  int EffectiveRadius() const {
+    return radius >= 0 ? radius : GaifmanRadius(rank);
+  }
+};
+
+struct VcResult {
+  int vc_dimension = 0;
+  // A witnessing shattered sample (indices into AllTuples(n, k)).
+  std::vector<std::vector<Vertex>> shattered_sample;
+  // Number of distinct w̄-induced partitions of the tuple pool.
+  int64_t distinct_partitions = 0;
+  bool budget_exhausted = false;  // result is a lower bound if true
+};
+
+// Exact VC dimension of the type-set class over all k-tuples of G.
+// Cost: n^ℓ partitions × shattering DFS — small graphs only.
+VcResult ComputeVcDimension(const Graph& graph, int k,
+                            const VcOptions& options);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_LEARN_VC_H_

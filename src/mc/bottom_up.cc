@@ -1,0 +1,416 @@
+#include "mc/bottom_up.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace folearn {
+
+namespace {
+
+void SortRows(Relation& relation) {
+  std::sort(relation.rows.begin(), relation.rows.end());
+  relation.rows.erase(
+      std::unique(relation.rows.begin(), relation.rows.end()),
+      relation.rows.end());
+}
+
+Relation BooleanRelation(bool value) {
+  Relation result;
+  if (value) result.rows.push_back({});
+  return result;
+}
+
+// Positions of `subset` variables inside `superset` (both sorted).
+std::vector<int> Positions(const std::vector<std::string>& subset,
+                           const std::vector<std::string>& superset) {
+  std::vector<int> positions;
+  positions.reserve(subset.size());
+  for (const std::string& var : subset) {
+    auto it = std::lower_bound(superset.begin(), superset.end(), var);
+    FOLEARN_CHECK(it != superset.end() && *it == var);
+    positions.push_back(static_cast<int>(it - superset.begin()));
+  }
+  return positions;
+}
+
+// Expands `relation` to the variable set `target` ⊇ relation.vars by taking
+// the product with the full domain on the missing variables.
+Relation ExpandTo(const Relation& relation,
+                  const std::vector<std::string>& target, int domain) {
+  if (relation.vars == target) return relation;
+  Relation result;
+  result.vars = target;
+  std::vector<int> source_positions = Positions(relation.vars, target);
+  std::vector<bool> fixed(target.size(), false);
+  for (int p : source_positions) fixed[p] = true;
+  std::vector<int> free_positions;
+  for (size_t i = 0; i < target.size(); ++i) {
+    if (!fixed[i]) free_positions.push_back(static_cast<int>(i));
+  }
+  // Iterate rows × domain^(missing).
+  std::vector<Vertex> row(target.size());
+  for (const std::vector<Vertex>& source_row : relation.rows) {
+    for (size_t i = 0; i < source_positions.size(); ++i) {
+      row[source_positions[i]] = source_row[i];
+    }
+    // Odometer over the free positions.
+    std::vector<Vertex> counters(free_positions.size(), 0);
+    while (true) {
+      for (size_t i = 0; i < free_positions.size(); ++i) {
+        row[free_positions[i]] = counters[i];
+      }
+      result.rows.push_back(row);
+      int pos = static_cast<int>(counters.size()) - 1;
+      while (pos >= 0 && counters[pos] == domain - 1) counters[pos--] = 0;
+      if (pos < 0) break;
+      ++counters[pos];
+    }
+    if (free_positions.empty()) {
+      // Single row already pushed by the loop body above.
+    }
+  }
+  SortRows(result);
+  return result;
+}
+
+class BottomUpEvaluator {
+ public:
+  BottomUpEvaluator(const Graph& graph, EvalStats* stats)
+      : graph_(graph), stats_(stats) {}
+
+  const Relation& Eval(const Formula* f) {
+    auto it = memo_.find(f);
+    if (it != memo_.end()) return it->second;
+    Relation computed = Compute(f);
+    return memo_.emplace(f, std::move(computed)).first->second;
+  }
+
+ private:
+  Relation Compute(const Formula* f) {
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+        return BooleanRelation(true);
+      case FormulaKind::kFalse:
+        return BooleanRelation(false);
+      case FormulaKind::kEdge:
+        return EdgeRelation(f->var1(), f->var2());
+      case FormulaKind::kEquals:
+        return EqualsRelation(f->var1(), f->var2());
+      case FormulaKind::kColor:
+        return ColorRelation(f->color_name(), f->var1());
+      case FormulaKind::kNot:
+        return Complement(Eval(f->child(0).get()));
+      case FormulaKind::kAnd: {
+        Relation result = Eval(f->child(0).get());
+        for (size_t i = 1; i < f->children().size(); ++i) {
+          result = Join(result, Eval(f->child(i).get()));
+        }
+        return result;
+      }
+      case FormulaKind::kOr: {
+        // Union over the combined variable set.
+        std::vector<std::string> all_vars = f->free_variables();
+        Relation result;
+        result.vars = all_vars;
+        for (const FormulaRef& child : f->children()) {
+          Relation expanded =
+              ExpandTo(Eval(child.get()), all_vars, graph_.order());
+          result.rows.insert(result.rows.end(), expanded.rows.begin(),
+                             expanded.rows.end());
+        }
+        SortRows(result);
+        return result;
+      }
+      case FormulaKind::kExists:
+        return Project(Eval(f->child(0).get()), f->quantified_var());
+      case FormulaKind::kForall:
+        return ForallProject(Eval(f->child(0).get()), f->quantified_var());
+      case FormulaKind::kCountExists:
+        return CountProject(Eval(f->child(0).get()), f->quantified_var(),
+                            f->threshold());
+      case FormulaKind::kSetMember:
+      case FormulaKind::kExistsSet:
+      case FormulaKind::kForallSet:
+        FOLEARN_CHECK(false)
+            << "bottom-up evaluation does not support MSO set quantifiers";
+        return BooleanRelation(false);
+    }
+    FOLEARN_CHECK(false) << "unreachable";
+    return BooleanRelation(false);
+  }
+
+  Relation EdgeRelation(const std::string& x, const std::string& y) {
+    CountAtoms(2 * graph_.EdgeCount());
+    Relation result;
+    result.vars = {x, y};
+    std::sort(result.vars.begin(), result.vars.end());
+    const bool x_first = result.vars[0] == x;
+    for (Vertex u = 0; u < graph_.order(); ++u) {
+      for (Vertex v : graph_.Neighbors(u)) {
+        // Row in sorted-variable order.
+        if (x_first) {
+          result.rows.push_back({u, v});
+        } else {
+          result.rows.push_back({v, u});
+        }
+      }
+    }
+    SortRows(result);
+    return result;
+  }
+
+  Relation EqualsRelation(const std::string& x, const std::string& y) {
+    CountAtoms(graph_.order());
+    Relation result;
+    result.vars = {x, y};
+    std::sort(result.vars.begin(), result.vars.end());
+    for (Vertex v = 0; v < graph_.order(); ++v) {
+      result.rows.push_back({v, v});
+    }
+    return result;
+  }
+
+  Relation ColorRelation(const std::string& color, const std::string& x) {
+    CountAtoms(graph_.order());
+    std::optional<ColorId> id = graph_.FindColor(color);
+    FOLEARN_CHECK(id.has_value())
+        << "colour '" << color << "' not in the graph's vocabulary";
+    Relation result;
+    result.vars = {x};
+    for (Vertex v : graph_.VerticesWithColor(*id)) {
+      result.rows.push_back({v});
+    }
+    return result;
+  }
+
+  // ¬R = full product over R.vars minus R.
+  Relation Complement(const Relation& relation) {
+    Relation result;
+    result.vars = relation.vars;
+    std::vector<Vertex> row(relation.vars.size(), 0);
+    size_t next_excluded = 0;
+    // Enumerate the full product in lexicographic order and emit rows not
+    // present in `relation` (whose rows are sorted).
+    while (true) {
+      while (next_excluded < relation.rows.size() &&
+             relation.rows[next_excluded] < row) {
+        ++next_excluded;
+      }
+      if (next_excluded >= relation.rows.size() ||
+          relation.rows[next_excluded] != row) {
+        result.rows.push_back(row);
+      }
+      if (row.empty()) break;
+      int pos = static_cast<int>(row.size()) - 1;
+      while (pos >= 0 && row[pos] == graph_.order() - 1) row[pos--] = 0;
+      if (pos < 0) break;
+      ++row[pos];
+    }
+    return result;
+  }
+
+  // Natural join on shared variables.
+  Relation Join(const Relation& left, const Relation& right) {
+    // Shared and result variable sets.
+    std::vector<std::string> shared;
+    std::set_intersection(left.vars.begin(), left.vars.end(),
+                          right.vars.begin(), right.vars.end(),
+                          std::back_inserter(shared));
+    Relation result;
+    std::set_union(left.vars.begin(), left.vars.end(), right.vars.begin(),
+                   right.vars.end(), std::back_inserter(result.vars));
+    std::vector<int> left_shared = Positions(shared, left.vars);
+    std::vector<int> right_shared = Positions(shared, right.vars);
+    std::vector<int> left_in_result = Positions(left.vars, result.vars);
+    std::vector<int> right_in_result = Positions(right.vars, result.vars);
+
+    // Hash the smaller side by its shared-variable key.
+    const bool left_small = left.rows.size() <= right.rows.size();
+    const Relation& build = left_small ? left : right;
+    const Relation& probe = left_small ? right : left;
+    const std::vector<int>& build_key = left_small ? left_shared
+                                                   : right_shared;
+    const std::vector<int>& probe_key = left_small ? right_shared
+                                                   : left_shared;
+    const std::vector<int>& build_out = left_small ? left_in_result
+                                                   : right_in_result;
+    const std::vector<int>& probe_out = left_small ? right_in_result
+                                                   : left_in_result;
+
+    std::unordered_map<std::vector<Vertex>, std::vector<int>,
+                       VectorHash<Vertex>>
+        index;
+    for (size_t i = 0; i < build.rows.size(); ++i) {
+      std::vector<Vertex> key;
+      key.reserve(build_key.size());
+      for (int p : build_key) key.push_back(build.rows[i][p]);
+      index[std::move(key)].push_back(static_cast<int>(i));
+    }
+    std::vector<Vertex> out(result.vars.size());
+    for (const std::vector<Vertex>& probe_row : probe.rows) {
+      std::vector<Vertex> key;
+      key.reserve(probe_key.size());
+      for (int p : probe_key) key.push_back(probe_row[p]);
+      auto it = index.find(key);
+      if (it == index.end()) continue;
+      for (int build_index : it->second) {
+        const std::vector<Vertex>& build_row = build.rows[build_index];
+        for (size_t i = 0; i < build_row.size(); ++i) {
+          out[build_out[i]] = build_row[i];
+        }
+        for (size_t i = 0; i < probe_row.size(); ++i) {
+          out[probe_out[i]] = probe_row[i];
+        }
+        result.rows.push_back(out);
+      }
+    }
+    SortRows(result);
+    return result;
+  }
+
+  // ∃v: drop column v (deduplicating). If v is absent, ψ is independent of
+  // v and quantification over a non-empty domain is the identity.
+  Relation Project(const Relation& relation, const std::string& var) {
+    CheckNonEmptyDomain();
+    auto it = std::lower_bound(relation.vars.begin(), relation.vars.end(),
+                               var);
+    if (it == relation.vars.end() || *it != var) return relation;
+    int drop = static_cast<int>(it - relation.vars.begin());
+    Relation result;
+    result.vars = relation.vars;
+    result.vars.erase(result.vars.begin() + drop);
+    result.rows.reserve(relation.rows.size());
+    for (const std::vector<Vertex>& row : relation.rows) {
+      std::vector<Vertex> projected = row;
+      projected.erase(projected.begin() + drop);
+      result.rows.push_back(std::move(projected));
+    }
+    SortRows(result);
+    return result;
+  }
+
+  // ∀v: keep the groups (over the remaining variables) that have ALL n
+  // extensions in the relation.
+  Relation ForallProject(const Relation& relation, const std::string& var) {
+    CheckNonEmptyDomain();
+    auto it = std::lower_bound(relation.vars.begin(), relation.vars.end(),
+                               var);
+    if (it == relation.vars.end() || *it != var) return relation;
+    int drop = static_cast<int>(it - relation.vars.begin());
+    Relation result;
+    result.vars = relation.vars;
+    result.vars.erase(result.vars.begin() + drop);
+    std::map<std::vector<Vertex>, int64_t> group_counts;
+    for (const std::vector<Vertex>& row : relation.rows) {
+      std::vector<Vertex> group = row;
+      group.erase(group.begin() + drop);
+      ++group_counts[std::move(group)];
+    }
+    for (const auto& [group, count] : group_counts) {
+      if (count == graph_.order()) result.rows.push_back(group);
+    }
+    return result;  // map iteration is sorted
+  }
+
+  // ∃^{≥t} v: keep the groups with at least t extensions.
+  Relation CountProject(const Relation& relation, const std::string& var,
+                        int threshold) {
+    CheckNonEmptyDomain();
+    auto it = std::lower_bound(relation.vars.begin(), relation.vars.end(),
+                               var);
+    if (it == relation.vars.end() || *it != var) {
+      // ψ independent of v: ∃^{≥t} v ψ ≡ ψ ∧ (n ≥ t).
+      if (graph_.order() >= threshold) return relation;
+      Relation result;
+      result.vars = relation.vars;
+      return result;
+    }
+    int drop = static_cast<int>(it - relation.vars.begin());
+    Relation result;
+    result.vars = relation.vars;
+    result.vars.erase(result.vars.begin() + drop);
+    std::map<std::vector<Vertex>, int64_t> group_counts;
+    for (const std::vector<Vertex>& row : relation.rows) {
+      std::vector<Vertex> group = row;
+      group.erase(group.begin() + drop);
+      ++group_counts[std::move(group)];
+    }
+    for (const auto& [group, count] : group_counts) {
+      if (count >= threshold) result.rows.push_back(group);
+    }
+    return result;
+  }
+
+  void CheckNonEmptyDomain() {
+    FOLEARN_CHECK_GT(graph_.order(), 0)
+        << "quantifier evaluated on the empty graph";
+  }
+
+  void CountAtoms(int64_t scanned) {
+    if (stats_ != nullptr) stats_->atom_evaluations += scanned;
+  }
+
+  const Graph& graph_;
+  EvalStats* stats_;
+  std::unordered_map<const Formula*, Relation> memo_;
+};
+
+}  // namespace
+
+bool Relation::Contains(const Assignment& assignment) const {
+  std::vector<Vertex> row;
+  row.reserve(vars.size());
+  for (const std::string& var : vars) {
+    std::optional<Vertex> value = assignment.Lookup(var);
+    FOLEARN_CHECK(value.has_value()) << "unbound variable '" << var << "'";
+    row.push_back(*value);
+  }
+  return std::binary_search(rows.begin(), rows.end(), row);
+}
+
+Relation EvaluateBottomUp(const Graph& graph, const FormulaRef& formula,
+                          EvalStats* stats) {
+  FOLEARN_CHECK(formula != nullptr);
+  BottomUpEvaluator evaluator(graph, stats);
+  return evaluator.Eval(formula.get());
+}
+
+std::vector<std::vector<Vertex>> AnswerQuery(
+    const Graph& graph, const FormulaRef& formula,
+    const std::vector<std::string>& vars) {
+  for (const std::string& var : formula->free_variables()) {
+    FOLEARN_CHECK(std::find(vars.begin(), vars.end(), var) != vars.end())
+        << "output variables must cover free variable '" << var << "'";
+  }
+  Relation relation = EvaluateBottomUp(graph, formula);
+  // Expand to the full (sorted) output variable set, then permute columns
+  // into the requested order.
+  std::vector<std::string> sorted_vars = vars;
+  std::sort(sorted_vars.begin(), sorted_vars.end());
+  FOLEARN_CHECK(std::adjacent_find(sorted_vars.begin(), sorted_vars.end()) ==
+                sorted_vars.end())
+      << "duplicate output variable";
+  Relation expanded = ExpandTo(relation, sorted_vars, graph.order());
+  // Column i of the output = position of vars[i] in sorted_vars.
+  std::vector<int> order;
+  order.reserve(vars.size());
+  for (const std::string& var : vars) {
+    order.push_back(static_cast<int>(
+        std::lower_bound(sorted_vars.begin(), sorted_vars.end(), var) -
+        sorted_vars.begin()));
+  }
+  std::vector<std::vector<Vertex>> result;
+  result.reserve(expanded.rows.size());
+  for (const std::vector<Vertex>& row : expanded.rows) {
+    std::vector<Vertex> out(vars.size());
+    for (size_t i = 0; i < vars.size(); ++i) out[i] = row[order[i]];
+    result.push_back(std::move(out));
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace folearn

@@ -1,0 +1,56 @@
+#ifndef FOLEARN_MC_BOTTOM_UP_H_
+#define FOLEARN_MC_BOTTOM_UP_H_
+
+#include <string>
+#include <vector>
+
+#include "fo/formula.h"
+#include "graph/graph.h"
+#include "mc/evaluator.h"
+
+namespace folearn {
+
+// Bottom-up (algebraic) model checking: evaluates a formula to the full
+// RELATION of satisfying assignments instead of probing one assignment at a
+// time. This is the classical database-style evaluation of FO queries:
+//
+//   cost O(|φ| · n^w), where w = the maximum number of free variables of
+//   any subformula (the "width"),
+//
+// versus O(n^q) per probe × n^k probes for the recursive evaluator when
+// answering a query on all k-tuples. For the local, low-width formulas this
+// library produces, bottom-up answering is the right tool (experiment E6).
+//
+// Shared subformulas (Hintikka DAGs!) are evaluated once via pointer
+// memoisation.
+
+// A finite relation: sorted variable names plus sorted, duplicate-free rows
+// (row[i] binds vars[i]). A 0-ary relation is either {()} ("true") or {}
+// ("false").
+struct Relation {
+  std::vector<std::string> vars;
+  std::vector<std::vector<Vertex>> rows;
+
+  int arity() const { return static_cast<int>(vars.size()); }
+  bool IsBooleanTrue() const { return vars.empty() && !rows.empty(); }
+
+  // Membership test for an assignment covering (at least) `vars`.
+  bool Contains(const Assignment& assignment) const;
+};
+
+// Evaluates `formula` over `graph` to its relation of satisfying
+// assignments. Quantifiers follow the non-empty-structure convention
+// (CHECK-fails on quantified evaluation over the empty graph).
+Relation EvaluateBottomUp(const Graph& graph, const FormulaRef& formula,
+                          EvalStats* stats = nullptr);
+
+// Query answering: all tuples (v1, …, vk) with G ⊨ φ(v̄), in the given
+// variable order (vars must cover the formula's free variables; extra vars
+// range over all vertices). Lexicographically sorted.
+std::vector<std::vector<Vertex>> AnswerQuery(
+    const Graph& graph, const FormulaRef& formula,
+    const std::vector<std::string>& vars);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_MC_BOTTOM_UP_H_

@@ -1,0 +1,215 @@
+#include "mc/evaluator.h"
+
+#include <algorithm>
+
+namespace folearn {
+
+Assignment::Assignment(std::span<const std::string> vars,
+                       std::span<const Vertex> values) {
+  FOLEARN_CHECK_EQ(vars.size(), values.size());
+  for (size_t i = 0; i < vars.size(); ++i) Bind(vars[i], values[i]);
+}
+
+void Assignment::Unbind(const std::string& var) {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->first == var) {
+      entries_.erase(std::next(it).base());
+      return;
+    }
+  }
+  FOLEARN_CHECK(false) << "unbinding unbound variable '" << var << "'";
+}
+
+std::optional<Vertex> Assignment::Lookup(const std::string& var) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->first == var) return it->second;
+  }
+  return std::nullopt;
+}
+
+void Assignment::UnbindSet(const std::string& set_var) {
+  for (auto it = set_entries_.rbegin(); it != set_entries_.rend(); ++it) {
+    if (it->first == set_var) {
+      set_entries_.erase(std::next(it).base());
+      return;
+    }
+  }
+  FOLEARN_CHECK(false) << "unbinding unbound set variable '" << set_var
+                       << "'";
+}
+
+Assignment::SetValue Assignment::LookupSet(const std::string& set_var) const {
+  for (auto it = set_entries_.rbegin(); it != set_entries_.rend(); ++it) {
+    if (it->first == set_var) return it->second;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const Graph& graph, const EvalOptions& options, EvalStats* stats)
+      : graph_(graph), options_(options), stats_(stats) {}
+
+  bool Eval(const FormulaRef& f, Assignment& assignment) {
+    switch (f->kind()) {
+      case FormulaKind::kTrue:
+        return true;
+      case FormulaKind::kFalse:
+        return false;
+      case FormulaKind::kEdge: {
+        CountAtom();
+        return graph_.HasEdge(Value(assignment, f->var1()),
+                              Value(assignment, f->var2()));
+      }
+      case FormulaKind::kEquals: {
+        CountAtom();
+        return Value(assignment, f->var1()) == Value(assignment, f->var2());
+      }
+      case FormulaKind::kColor: {
+        CountAtom();
+        std::optional<ColorId> color = graph_.FindColor(f->color_name());
+        if (!color.has_value()) {
+          FOLEARN_CHECK(options_.missing_color_is_false)
+              << "colour '" << f->color_name()
+              << "' not in the graph's vocabulary";
+          return false;
+        }
+        return graph_.HasColor(Value(assignment, f->var1()), *color);
+      }
+      case FormulaKind::kNot:
+        return !Eval(f->child(0), assignment);
+      case FormulaKind::kAnd:
+        for (const FormulaRef& child : f->children()) {
+          if (!Eval(child, assignment)) return false;
+        }
+        return true;
+      case FormulaKind::kOr:
+        for (const FormulaRef& child : f->children()) {
+          if (Eval(child, assignment)) return true;
+        }
+        return false;
+      case FormulaKind::kSetMember: {
+        CountAtom();
+        Assignment::SetValue members = assignment.LookupSet(f->set_name());
+        FOLEARN_CHECK(members != nullptr)
+            << "unbound set variable '" << f->set_name() << "'";
+        Vertex v = Value(assignment, f->var1());
+        return (*members)[v];
+      }
+      case FormulaKind::kExistsSet:
+      case FormulaKind::kForallSet: {
+        FOLEARN_CHECK_LE(graph_.order(), 22)
+            << "MSO set quantification enumerates 2^n subsets; structure "
+               "too large";
+        const bool is_exists = f->kind() == FormulaKind::kExistsSet;
+        const std::string& set_var = f->quantified_var();
+        const uint64_t subsets = uint64_t{1} << graph_.order();
+        for (uint64_t mask = 0; mask < subsets; ++mask) {
+          if (stats_ != nullptr) ++stats_->quantifier_branches;
+          auto members = std::make_shared<std::vector<bool>>(graph_.order());
+          for (Vertex v = 0; v < graph_.order(); ++v) {
+            (*members)[v] = (mask >> v) & 1;
+          }
+          assignment.BindSet(set_var, std::move(members));
+          bool value = Eval(f->child(0), assignment);
+          assignment.UnbindSet(set_var);
+          if (value == is_exists) return is_exists;
+        }
+        return !is_exists;
+      }
+      case FormulaKind::kCountExists: {
+        FOLEARN_CHECK_GT(graph_.order(), 0)
+            << "quantifier evaluated on the empty graph";
+        const std::string& var = f->quantified_var();
+        int needed = f->threshold();
+        for (Vertex v = 0; v < graph_.order() && needed > 0; ++v) {
+          // Early abort: not enough vertices left to reach the threshold.
+          if (graph_.order() - v < needed) break;
+          if (stats_ != nullptr) ++stats_->quantifier_branches;
+          assignment.Bind(var, v);
+          if (Eval(f->child(0), assignment)) --needed;
+          assignment.Unbind(var);
+        }
+        return needed == 0;
+      }
+      case FormulaKind::kExists:
+      case FormulaKind::kForall: {
+        FOLEARN_CHECK_GT(graph_.order(), 0)
+            << "quantifier evaluated on the empty graph";
+        const bool is_exists = f->kind() == FormulaKind::kExists;
+        const std::string& var = f->quantified_var();
+        for (Vertex v = 0; v < graph_.order(); ++v) {
+          if (stats_ != nullptr) ++stats_->quantifier_branches;
+          assignment.Bind(var, v);
+          bool value = Eval(f->child(0), assignment);
+          assignment.Unbind(var);
+          if (value == is_exists) return is_exists;
+        }
+        return !is_exists;
+      }
+    }
+    FOLEARN_CHECK(false) << "unreachable";
+    return false;
+  }
+
+ private:
+  Vertex Value(const Assignment& assignment, const std::string& var) {
+    std::optional<Vertex> value = assignment.Lookup(var);
+    FOLEARN_CHECK(value.has_value()) << "unbound variable '" << var << "'";
+    FOLEARN_CHECK(graph_.IsValidVertex(*value))
+        << "variable '" << var << "' bound to invalid vertex " << *value;
+    return *value;
+  }
+
+  void CountAtom() {
+    if (stats_ != nullptr) ++stats_->atom_evaluations;
+  }
+
+  const Graph& graph_;
+  const EvalOptions& options_;
+  EvalStats* stats_;
+};
+
+}  // namespace
+
+bool Evaluate(const Graph& graph, const FormulaRef& formula,
+              const Assignment& assignment, const EvalOptions& options,
+              EvalStats* stats) {
+  FOLEARN_CHECK(formula != nullptr);
+  Assignment working = assignment;
+  return Evaluator(graph, options, stats).Eval(formula, working);
+}
+
+bool EvaluateSentence(const Graph& graph, const FormulaRef& sentence,
+                      const EvalOptions& options, EvalStats* stats) {
+  FOLEARN_CHECK(sentence->free_variables().empty())
+      << "sentence expected, but formula has free variables";
+  FOLEARN_CHECK(sentence->free_set_variables().empty())
+      << "sentence expected, but formula has free set variables";
+  return Evaluate(graph, sentence, Assignment(), options, stats);
+}
+
+bool EvaluateQuery(const Graph& graph, const FormulaRef& formula,
+                   std::span<const std::string> vars,
+                   std::span<const Vertex> tuple, const EvalOptions& options,
+                   EvalStats* stats) {
+  return Evaluate(graph, formula, Assignment(vars, tuple), options, stats);
+}
+
+std::vector<bool> EvaluateOnTuples(
+    const Graph& graph, const FormulaRef& formula,
+    std::span<const std::string> vars,
+    const std::vector<std::vector<Vertex>>& tuples, const EvalOptions& options,
+    EvalStats* stats) {
+  std::vector<bool> results;
+  results.reserve(tuples.size());
+  for (const std::vector<Vertex>& tuple : tuples) {
+    results.push_back(
+        EvaluateQuery(graph, formula, vars, tuple, options, stats));
+  }
+  return results;
+}
+
+}  // namespace folearn

@@ -1,0 +1,99 @@
+#ifndef FOLEARN_MC_EVALUATOR_H_
+#define FOLEARN_MC_EVALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fo/formula.h"
+#include "graph/graph.h"
+
+namespace folearn {
+
+// A variable assignment for formula evaluation. Bindings form a stack so
+// quantifier scoping (shadowing) works naturally.
+class Assignment {
+ public:
+  Assignment() = default;
+
+  // Builds an assignment binding vars[i] ↦ values[i].
+  Assignment(std::span<const std::string> vars,
+             std::span<const Vertex> values);
+
+  void Bind(const std::string& var, Vertex value) {
+    entries_.emplace_back(var, value);
+  }
+
+  // Pops the most recent binding of `var`.
+  void Unbind(const std::string& var);
+
+  // Innermost binding of `var`, if any.
+  std::optional<Vertex> Lookup(const std::string& var) const;
+
+  // --- MSO set bindings (set variables live in their own namespace) ------
+  using SetValue = std::shared_ptr<const std::vector<bool>>;
+
+  void BindSet(const std::string& set_var, SetValue members) {
+    set_entries_.emplace_back(set_var, std::move(members));
+  }
+  void UnbindSet(const std::string& set_var);
+  // Innermost binding of `set_var`, or nullptr.
+  SetValue LookupSet(const std::string& set_var) const;
+
+ private:
+  std::vector<std::pair<std::string, Vertex>> entries_;
+  std::vector<std::pair<std::string, SetValue>> set_entries_;
+};
+
+// Optional instrumentation for the evaluation experiments (E6).
+struct EvalStats {
+  int64_t atom_evaluations = 0;
+  int64_t quantifier_branches = 0;
+};
+
+struct EvalOptions {
+  // If true, colour atoms naming colours absent from the graph's vocabulary
+  // evaluate to false (used after vocabulary-erasing transformations); if
+  // false, such atoms CHECK-fail — the safer default for catching bugs.
+  bool missing_color_is_false = false;
+};
+
+// The FO-MC substrate (paper §4): decides G ⊨ φ under `assignment` by the
+// standard recursive semantics. All free variables of φ must be bound.
+// Cost O(n^q · |φ|) — XP in the quantifier rank; this is the library's
+// stand-in for an FPT model checker (see DESIGN.md §4 for the
+// substitution rationale). Graphs must be non-empty when a quantifier is
+// evaluated (finite-model-theory convention: no empty structures).
+//
+// MSO: set quantifiers are evaluated by enumerating all 2^n subsets —
+// structures up to ~22 vertices only (CHECK-enforced).
+bool Evaluate(const Graph& graph, const FormulaRef& formula,
+              const Assignment& assignment, const EvalOptions& options = {},
+              EvalStats* stats = nullptr);
+
+// G ⊨ φ for a sentence φ (no free variables).
+bool EvaluateSentence(const Graph& graph, const FormulaRef& sentence,
+                      const EvalOptions& options = {},
+                      EvalStats* stats = nullptr);
+
+// G ⊨ φ(v̄) binding vars[i] ↦ tuple[i].
+bool EvaluateQuery(const Graph& graph, const FormulaRef& formula,
+                   std::span<const std::string> vars,
+                   std::span<const Vertex> tuple,
+                   const EvalOptions& options = {},
+                   EvalStats* stats = nullptr);
+
+// Evaluates φ(x1, …, xk) on every k-tuple in `tuples` (query answering).
+std::vector<bool> EvaluateOnTuples(
+    const Graph& graph, const FormulaRef& formula,
+    std::span<const std::string> vars,
+    const std::vector<std::vector<Vertex>>& tuples,
+    const EvalOptions& options = {}, EvalStats* stats = nullptr);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_MC_EVALUATOR_H_

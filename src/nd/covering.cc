@@ -1,0 +1,109 @@
+#include "nd/covering.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace folearn {
+
+namespace {
+
+// Pairwise distances among `vertices` (kUnreachable when disconnected).
+std::vector<std::vector<int>> PairwiseDistances(
+    const Graph& graph, const std::vector<Vertex>& vertices) {
+  std::vector<std::vector<int>> result(vertices.size());
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    Vertex source[] = {vertices[i]};
+    std::vector<int> dist = BfsDistances(graph, source);
+    result[i].resize(vertices.size());
+    for (size_t j = 0; j < vertices.size(); ++j) {
+      result[i][j] = dist[vertices[j]];
+    }
+  }
+  return result;
+}
+
+// Balls N_R(u), N_R(v) are disjoint iff dist(u, v) > 2R.
+bool BallsDisjoint(int distance, int64_t radius) {
+  return distance == kUnreachable || distance > 2 * radius;
+}
+
+}  // namespace
+
+CoveringResult GreedyBallCovering(const Graph& graph,
+                                  std::span<const Vertex> centers, int r) {
+  FOLEARN_CHECK_GE(r, 1);
+  FOLEARN_CHECK(!centers.empty());
+  std::vector<Vertex> z(centers.begin(), centers.end());
+  std::sort(z.begin(), z.end());
+  z.erase(std::unique(z.begin(), z.end()), z.end());
+
+  std::vector<std::vector<int>> dist = PairwiseDistances(graph, z);
+  // active[i] marks membership of z[i] in the current Z_i.
+  std::vector<bool> active(z.size(), true);
+  int64_t radius = r;
+  int iterations = 0;
+  while (true) {
+    // Does some pair of active radius-balls intersect?
+    bool overlap = false;
+    for (size_t i = 0; i < z.size() && !overlap; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < z.size(); ++j) {
+        if (!active[j]) continue;
+        if (!BallsDisjoint(dist[i][j], radius)) {
+          overlap = true;
+          break;
+        }
+      }
+    }
+    if (!overlap) break;
+    // Inclusion-maximal subset with pairwise disjoint radius-balls: greedily
+    // keep centres that are disjoint from all already-kept ones.
+    std::vector<bool> kept(z.size(), false);
+    for (size_t i = 0; i < z.size(); ++i) {
+      if (!active[i]) continue;
+      bool ok = true;
+      for (size_t j = 0; j < i; ++j) {
+        if (kept[j] && !BallsDisjoint(dist[i][j], radius)) {
+          ok = false;
+          break;
+        }
+      }
+      kept[i] = ok;
+    }
+    active = kept;
+    radius *= 3;
+    ++iterations;
+    FOLEARN_CHECK_LE(iterations, static_cast<int>(z.size()))
+        << "covering exceeded the |X| − 1 iteration bound";
+    FOLEARN_CHECK_LE(radius, int64_t{1} << 30) << "covering radius overflow";
+  }
+
+  CoveringResult result;
+  for (size_t i = 0; i < z.size(); ++i) {
+    if (active[i]) result.centers.push_back(z[i]);
+  }
+  result.radius = static_cast<int>(radius);
+  result.iterations = iterations;
+  return result;
+}
+
+bool VerifyCovering(const Graph& graph, std::span<const Vertex> original,
+                    const CoveringResult& covering, int r) {
+  // (i) pairwise disjoint R-balls.
+  std::vector<std::vector<int>> dist =
+      PairwiseDistances(graph, covering.centers);
+  for (size_t i = 0; i < covering.centers.size(); ++i) {
+    for (size_t j = i + 1; j < covering.centers.size(); ++j) {
+      if (!BallsDisjoint(dist[i][j], covering.radius)) return false;
+    }
+  }
+  // (ii) N_r(X) ⊆ N_R(Z).
+  std::vector<Vertex> inner = Ball(graph, original, r);
+  std::vector<Vertex> outer =
+      Ball(graph, covering.centers, covering.radius);
+  return std::includes(outer.begin(), outer.end(), inner.begin(),
+                       inner.end());
+}
+
+}  // namespace folearn

@@ -1,0 +1,34 @@
+#ifndef FOLEARN_ND_COVERING_H_
+#define FOLEARN_ND_COVERING_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace folearn {
+
+// Lemma 3 (Vitali-style ball covering): for X ⊆ V(G) and r ≥ 1 there are
+// Z ⊆ X and R = 3^i·r (0 ≤ i ≤ |X|−1) such that
+//   (i)  the R-balls around distinct z, z′ ∈ Z are disjoint, and
+//   (ii) N_r(X) ⊆ N_R(Z).
+struct CoveringResult {
+  std::vector<Vertex> centers;  // Z, subset of the input X
+  int radius = 0;               // R = 3^i · r
+  int iterations = 0;           // the i with R = 3^i · r
+};
+
+// Implements the constructive proof: Z_0 = X; while some pair of R_i-balls
+// intersects, take an inclusion-maximal subset with pairwise disjoint
+// R_i-balls and triple the radius. Terminates after ≤ |X|−1 iterations.
+// Requires r ≥ 1 and X non-empty.
+CoveringResult GreedyBallCovering(const Graph& graph,
+                                  std::span<const Vertex> centers, int r);
+
+// Verification helper for tests: checks properties (i) and (ii).
+bool VerifyCovering(const Graph& graph, std::span<const Vertex> original,
+                    const CoveringResult& covering, int r);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_ND_COVERING_H_

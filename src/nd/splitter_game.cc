@@ -1,0 +1,285 @@
+#include "nd/splitter_game.h"
+
+#include <algorithm>
+#include <map>
+
+namespace folearn {
+
+namespace {
+
+class CenterSplitter : public SplitterStrategy {
+ public:
+  Vertex ChooseRemoval(const Graph& graph, Vertex pick, int radius) override {
+    (void)graph;
+    (void)radius;
+    return pick;
+  }
+  std::string name() const override { return "center"; }
+};
+
+class TreeSplitter : public SplitterStrategy {
+ public:
+  Vertex ChooseRemoval(const Graph& graph, Vertex pick, int radius) override {
+    // Root the component of `pick` at its minimum vertex; delete the ball
+    // vertex closest to that root. On a forest the topmost ball vertex
+    // separates the ball from the rest of its component, and its removal
+    // splits the remaining ball into strictly shallower subtrees.
+    Vertex pick_array[] = {pick};
+    std::vector<int> from_pick = BfsDistances(graph, pick_array);
+    Vertex root = kNoVertex;
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      if (from_pick[v] != kUnreachable) {
+        root = v;
+        break;
+      }
+    }
+    FOLEARN_CHECK_NE(root, kNoVertex);
+    Vertex root_array[] = {root};
+    std::vector<int> depth = BfsDistances(graph, root_array);
+    Vertex best = pick;
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      if (from_pick[v] == kUnreachable || from_pick[v] > radius) continue;
+      if (depth[v] < depth[best] || (depth[v] == depth[best] && v < best)) {
+        best = v;
+      }
+    }
+    return best;
+  }
+  std::string name() const override { return "tree"; }
+};
+
+class GreedyDegreeSplitter : public SplitterStrategy {
+ public:
+  Vertex ChooseRemoval(const Graph& graph, Vertex pick, int radius) override {
+    Vertex pick_array[] = {pick};
+    std::vector<Vertex> ball = Ball(graph, pick_array, radius);
+    Vertex best = ball.front();
+    for (Vertex v : ball) {
+      if (graph.Degree(v) > graph.Degree(best)) best = v;
+    }
+    return best;
+  }
+  std::string name() const override { return "greedy-degree"; }
+};
+
+// --- Minimax ---------------------------------------------------------------
+
+// Exact "rounds Splitter needs" computation on small graphs.
+class MinimaxSolver {
+ public:
+  explicit MinimaxSolver(int64_t budget) : budget_(budget) {}
+
+  // Minimal s such that Splitter wins the (radius, s)-game on `graph`,
+  // capped at `cap` (returns cap + 1 if more are needed or budget ran out).
+  int RoundsNeeded(const Graph& graph, int radius, int cap) {
+    if (graph.order() == 0) return 0;
+    if (cap <= 0) return 1;  // cannot finish in 0 rounds on non-empty graph
+    std::vector<int64_t> key = EncodeGraph(graph);
+    key.push_back(radius);
+    auto it = memo_.find(key);
+    // Memo holds only conclusive (un-capped) values, so any hit is exact.
+    if (it != memo_.end()) return std::min(it->second, cap + 1);
+    if (budget_ <= 0) return cap + 1;
+    --budget_;
+    int worst = 0;
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      Vertex pick_array[] = {v};
+      std::vector<Vertex> ball = Ball(graph, pick_array, radius);
+      int best_for_splitter = cap + 1;
+      for (Vertex w : ball) {
+        std::vector<Vertex> rest;
+        for (Vertex u : ball) {
+          if (u != w) rest.push_back(u);
+        }
+        Graph next = BuildInducedSubgraph(graph, rest).graph;
+        int rounds = RoundsNeeded(next, radius, best_for_splitter - 2);
+        best_for_splitter = std::min(best_for_splitter, rounds + 1);
+        if (best_for_splitter == 1) break;
+      }
+      worst = std::max(worst, best_for_splitter);
+      if (worst > cap) break;
+    }
+    if (worst <= cap) memo_[std::move(key)] = worst;  // conclusive only
+    return worst;
+  }
+
+  int64_t budget() const { return budget_; }
+
+ private:
+  static std::vector<int64_t> EncodeGraph(const Graph& graph) {
+    // Canonical encoding of the labelled graph: order, colour bits, edges.
+    std::vector<int64_t> key;
+    key.push_back(graph.order());
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      int64_t colors = 0;
+      for (ColorId c = 0; c < graph.vocabulary().size() && c < 62; ++c) {
+        if (graph.HasColor(v, c)) colors |= int64_t{1} << c;
+      }
+      key.push_back(colors);
+      for (Vertex u : graph.Neighbors(v)) {
+        if (u > v) key.push_back((static_cast<int64_t>(v) << 32) | u);
+      }
+    }
+    return key;
+  }
+
+  int64_t budget_;
+  std::map<std::vector<int64_t>, int> memo_;
+};
+
+class MinimaxSplitter : public SplitterStrategy {
+ public:
+  explicit MinimaxSplitter(int64_t budget) : budget_(budget) {}
+
+  Vertex ChooseRemoval(const Graph& graph, Vertex pick, int radius) override {
+    Vertex pick_array[] = {pick};
+    std::vector<Vertex> ball = Ball(graph, pick_array, radius);
+    MinimaxSolver solver(budget_);
+    Vertex best = ball.front();
+    int best_rounds = -1;
+    constexpr int kCap = 16;
+    for (Vertex w : ball) {
+      std::vector<Vertex> rest;
+      for (Vertex u : ball) {
+        if (u != w) rest.push_back(u);
+      }
+      Graph next = BuildInducedSubgraph(graph, rest).graph;
+      int rounds = solver.RoundsNeeded(next, radius, kCap);
+      if (best_rounds == -1 || rounds < best_rounds) {
+        best_rounds = rounds;
+        best = w;
+      }
+      if (solver.budget() <= 0) break;
+    }
+    if (solver.budget() <= 0 && best_rounds == -1) {
+      return GreedyDegreeSplitter().ChooseRemoval(graph, pick, radius);
+    }
+    return best;
+  }
+  std::string name() const override { return "minimax"; }
+
+ private:
+  int64_t budget_;
+};
+
+// --- Connectors --------------------------------------------------------------
+
+class RandomConnector : public ConnectorStrategy {
+ public:
+  explicit RandomConnector(Rng& rng) : rng_(rng) {}
+
+  Pick ChoosePick(const Graph& graph, int max_radius) override {
+    FOLEARN_CHECK_GT(graph.order(), 0);
+    return {static_cast<Vertex>(rng_.UniformIndex(graph.order())),
+            max_radius};
+  }
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng& rng_;
+};
+
+class GreedyBallConnector : public ConnectorStrategy {
+ public:
+  Pick ChoosePick(const Graph& graph, int max_radius) override {
+    FOLEARN_CHECK_GT(graph.order(), 0);
+    Vertex best = 0;
+    size_t best_size = 0;
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      Vertex pick_array[] = {v};
+      size_t size = Ball(graph, pick_array, max_radius).size();
+      if (size > best_size) {
+        best_size = size;
+        best = v;
+      }
+    }
+    return {best, max_radius};
+  }
+  std::string name() const override { return "greedy-ball"; }
+};
+
+}  // namespace
+
+std::unique_ptr<SplitterStrategy> MakeCenterSplitter() {
+  return std::make_unique<CenterSplitter>();
+}
+std::unique_ptr<SplitterStrategy> MakeTreeSplitter() {
+  return std::make_unique<TreeSplitter>();
+}
+std::unique_ptr<SplitterStrategy> MakeGreedyDegreeSplitter() {
+  return std::make_unique<GreedyDegreeSplitter>();
+}
+std::unique_ptr<SplitterStrategy> MakeMinimaxSplitter(int64_t budget) {
+  return std::make_unique<MinimaxSplitter>(budget);
+}
+std::unique_ptr<ConnectorStrategy> MakeRandomConnector(Rng& rng) {
+  return std::make_unique<RandomConnector>(rng);
+}
+std::unique_ptr<ConnectorStrategy> MakeGreedyBallConnector() {
+  return std::make_unique<GreedyBallConnector>();
+}
+
+SplitterGameResult PlaySplitterGame(const Graph& graph, int radius,
+                                    int max_rounds,
+                                    SplitterStrategy& splitter,
+                                    ConnectorStrategy& connector) {
+  FOLEARN_CHECK_GE(radius, 0);
+  FOLEARN_CHECK_GE(max_rounds, 0);
+  SplitterGameResult result;
+  Graph current = graph;
+  std::vector<Vertex> to_original(graph.order());
+  for (Vertex v = 0; v < graph.order(); ++v) to_original[v] = v;
+
+  while (result.rounds_used < max_rounds) {
+    if (current.order() == 0) {
+      result.splitter_won = true;
+      return result;
+    }
+    ConnectorStrategy::Pick pick = connector.ChoosePick(current, radius);
+    FOLEARN_CHECK(current.IsValidVertex(pick.vertex));
+    FOLEARN_CHECK(pick.radius >= 0 && pick.radius <= radius)
+        << "connector radius out of range";
+    Vertex removal = splitter.ChooseRemoval(current, pick.vertex, pick.radius);
+    Vertex pick_array[] = {pick.vertex};
+    std::vector<Vertex> ball = Ball(current, pick_array, pick.radius);
+    FOLEARN_CHECK(std::binary_search(ball.begin(), ball.end(), removal))
+        << "splitter strategy '" << splitter.name()
+        << "' chose a vertex outside the ball";
+    result.connector_picks.push_back(to_original[pick.vertex]);
+    result.splitter_moves.push_back(to_original[removal]);
+    ++result.rounds_used;
+
+    std::vector<Vertex> rest;
+    rest.reserve(ball.size() - 1);
+    for (Vertex u : ball) {
+      if (u != removal) rest.push_back(u);
+    }
+    InducedSubgraph next = BuildInducedSubgraph(current, rest);
+    std::vector<Vertex> next_to_original(next.graph.order());
+    for (Vertex v = 0; v < next.graph.order(); ++v) {
+      next_to_original[v] = to_original[next.to_original[v]];
+    }
+    current = std::move(next.graph);
+    to_original = std::move(next_to_original);
+  }
+  result.splitter_won = current.order() == 0;
+  return result;
+}
+
+int MeasureSplitterRounds(const Graph& graph, int radius, int max_rounds,
+                          SplitterStrategy& splitter,
+                          const std::vector<ConnectorStrategy*>& connectors) {
+  int worst = 0;
+  for (ConnectorStrategy* connector : connectors) {
+    SplitterGameResult result =
+        PlaySplitterGame(graph, radius, max_rounds, splitter, *connector);
+    int rounds =
+        result.splitter_won ? result.rounds_used : max_rounds + 1;
+    worst = std::max(worst, rounds);
+  }
+  return worst;
+}
+
+int DefaultSplitterRounds(int radius) { return radius + 2; }
+
+}  // namespace folearn

@@ -1,0 +1,116 @@
+#ifndef FOLEARN_ND_SPLITTER_GAME_H_
+#define FOLEARN_ND_SPLITTER_GAME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace folearn {
+
+// The (r, s)-splitter game (paper §2, Fact 4; Grohe–Kreutzer–Siebertz).
+//
+// Position: a graph G_i. In round i+1 Connector picks a vertex v ∈ V(G_i)
+// (in the modified game also a radius r′ ≤ r), Splitter answers with
+// w ∈ N_{r′}^{G_i}(v), and the game continues on
+// G_{i+1} := G_i[N_{r′}^{G_i}(v) \ {w}]. Splitter wins when G_{i+1} = ∅.
+// A class is nowhere dense iff for every r some finite s suffices for
+// Splitter on all its members (Fact 4).
+//
+// Theorem 13's learner replays Splitter's answers as hypothesis parameters,
+// so strategies are first-class objects here.
+
+// A Splitter strategy: given the current game graph and Connector's pick
+// (vertex + effective radius), choose the vertex to delete from the ball.
+class SplitterStrategy {
+ public:
+  virtual ~SplitterStrategy() = default;
+
+  // Must return a vertex in N_radius^{graph}(pick) (pick itself allowed).
+  virtual Vertex ChooseRemoval(const Graph& graph, Vertex pick,
+                               int radius) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// A Connector strategy: choose the next pick (vertex, radius ≤ max_radius).
+class ConnectorStrategy {
+ public:
+  virtual ~ConnectorStrategy() = default;
+
+  struct Pick {
+    Vertex vertex;
+    int radius;
+  };
+
+  virtual Pick ChoosePick(const Graph& graph, int max_radius) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// --- Splitter strategies ----------------------------------------------------
+
+// Deletes Connector's own vertex. Optimal on stars and radius-0 games;
+// the simplest baseline.
+std::unique_ptr<SplitterStrategy> MakeCenterSplitter();
+
+// Forest strategy: roots the component of the pick (deterministically at its
+// minimum vertex), then deletes the ball vertex closest to the root. On
+// forests this wins the radius-r game within r + 1 rounds.
+std::unique_ptr<SplitterStrategy> MakeTreeSplitter();
+
+// Deletes the maximum-degree vertex of the ball (hub removal) — an
+// effective heuristic on sparse graphs that are not forests.
+std::unique_ptr<SplitterStrategy> MakeGreedyDegreeSplitter();
+
+// Exact minimax play via game-tree search with memoisation. Exponential:
+// only usable for graphs up to ~a dozen vertices; `budget` caps explored
+// positions (falls back to the greedy choice when exhausted).
+std::unique_ptr<SplitterStrategy> MakeMinimaxSplitter(int64_t budget = 200000);
+
+// --- Connector strategies ---------------------------------------------------
+
+// Uniformly random vertex, full radius.
+std::unique_ptr<ConnectorStrategy> MakeRandomConnector(Rng& rng);
+
+// Picks the vertex whose r-ball is largest (an adversarial heuristic that
+// keeps the game graph as big as possible).
+std::unique_ptr<ConnectorStrategy> MakeGreedyBallConnector();
+
+// --- Game runner -------------------------------------------------------------
+
+struct SplitterGameResult {
+  bool splitter_won = false;
+  int rounds_used = 0;
+  // Splitter's deletions, as vertices of the *original* graph, in order.
+  std::vector<Vertex> splitter_moves;
+  // Connector's picks, as vertices of the original graph.
+  std::vector<Vertex> connector_picks;
+};
+
+// Plays the (radius, max_rounds)-splitter game.
+SplitterGameResult PlaySplitterGame(const Graph& graph, int radius,
+                                    int max_rounds,
+                                    SplitterStrategy& splitter,
+                                    ConnectorStrategy& connector);
+
+// Upper bound on the rounds Splitter needs on `graph` at `radius` when
+// playing `splitter` against the worst of the given connectors (each tried;
+// the maximum rounds over connectors is reported). Returns max_rounds + 1
+// if some connector survives max_rounds.
+int MeasureSplitterRounds(const Graph& graph, int radius, int max_rounds,
+                          SplitterStrategy& splitter,
+                          const std::vector<ConnectorStrategy*>& connectors);
+
+// The number of rounds the library budgets for Splitter on the nowhere
+// dense families it generates: s(r) = r + 2 — enough for forests with the
+// tree strategy, and used as the default `s` in the Theorem 13 learner
+// (effective nowhere denseness: s is a computable function of r).
+int DefaultSplitterRounds(int radius);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_ND_SPLITTER_GAME_H_

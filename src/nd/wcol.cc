@@ -1,0 +1,64 @@
+#include "nd/wcol.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/invariants.h"
+
+namespace folearn {
+
+int WeakColoringNumber(const Graph& graph, const std::vector<Vertex>& order,
+                       int radius) {
+  const int n = graph.order();
+  FOLEARN_CHECK_EQ(static_cast<int>(order.size()), n);
+  FOLEARN_CHECK_GE(radius, 0);
+  // rank[v] = position of v in the order (smaller = earlier = "smaller").
+  std::vector<int> rank(n);
+  for (int i = 0; i < n; ++i) {
+    FOLEARN_CHECK(graph.IsValidVertex(order[i]));
+    rank[order[i]] = i;
+  }
+  // wreach_count[v] = |WReach_r[L, v]| accumulated below.
+  std::vector<int> wreach_count(n, 0);
+  // Process u in increasing order. u is weakly r-reachable from every v
+  // reached by a BFS from u of depth ≤ r that only moves through vertices
+  // of rank ≥ rank[u] (u must be the path minimum). Every v itself also has
+  // rank ≥ rank[u] except v = u (v is on the path too) — note v ∈ the path,
+  // so v's rank must also be ≥ rank[u]; the BFS restriction enforces that.
+  std::vector<int> depth(n);
+  for (int i = 0; i < n; ++i) {
+    Vertex u = order[i];
+    std::fill(depth.begin(), depth.end(), -1);
+    depth[u] = 0;
+    std::deque<Vertex> queue = {u};
+    ++wreach_count[u];  // u reaches itself
+    while (!queue.empty()) {
+      Vertex v = queue.front();
+      queue.pop_front();
+      if (depth[v] >= radius) continue;
+      for (Vertex w : graph.Neighbors(v)) {
+        if (depth[w] != -1) continue;
+        if (rank[w] < rank[u]) continue;  // u must stay the path minimum
+        depth[w] = depth[v] + 1;
+        queue.push_back(w);
+        ++wreach_count[w];  // u ∈ WReach_r[L, w]
+      }
+    }
+  }
+  return *std::max_element(wreach_count.begin(), wreach_count.end());
+}
+
+int WeakColoringNumberDegeneracyOrder(const Graph& graph, int radius,
+                                      std::vector<Vertex>* order_out) {
+  DegeneracyResult degeneracy = ComputeDegeneracy(graph);
+  // The peeling order removes low-degree vertices first; for wcol we want
+  // the *reverse*: high-connectivity vertices should come early (small) so
+  // few vertices are weakly reachable. Empirically the reverse peeling
+  // order is the standard heuristic.
+  std::vector<Vertex> order(degeneracy.order.rbegin(),
+                            degeneracy.order.rend());
+  if (order_out != nullptr) *order_out = order;
+  return WeakColoringNumber(graph, order, radius);
+}
+
+}  // namespace folearn

@@ -1,0 +1,34 @@
+#ifndef FOLEARN_ND_WCOL_H_
+#define FOLEARN_ND_WCOL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace folearn {
+
+// Weak r-colouring numbers — the second classical yardstick for nowhere
+// denseness (besides the splitter game, Fact 4): a class C is nowhere dense
+// iff for every r, wcol_r(G) ∈ n^{o(1)} for G ∈ C; bounded-expansion
+// classes have wcol_r(G) ≤ f(r).
+//
+// A vertex u is *weakly r-reachable* from v under a linear order L if some
+// path from v to u of length ≤ r has u as its L-minimum. wcol_r(G, L) is
+// the maximum over v of |WReach_r[L, v]|; wcol_r(G) minimises over orders.
+// Computing the optimal order is NP-hard, so we evaluate the standard
+// degeneracy-order heuristic (and any caller-supplied order).
+
+// wcol_r of `graph` under `order` (order[i] = the i-th smallest vertex).
+// Cost O(n · ball_r) — one bounded BFS per vertex in increasing order.
+int WeakColoringNumber(const Graph& graph, const std::vector<Vertex>& order,
+                       int radius);
+
+// wcol_r under the min-degree-peeling (degeneracy) order, the common
+// heuristic; returns the number and (optionally) the order used.
+int WeakColoringNumberDegeneracyOrder(const Graph& graph, int radius,
+                                      std::vector<Vertex>* order_out =
+                                          nullptr);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_ND_WCOL_H_

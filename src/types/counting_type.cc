@@ -1,0 +1,171 @@
+#include "types/counting_type.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace folearn {
+
+TypeId CountingTypeRegistry::Intern(CountingTypeNode node) {
+  FOLEARN_CHECK(std::is_sorted(
+      node.children.begin(), node.children.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+  std::vector<int64_t> key;
+  key.reserve(4 + node.atomic.bits().size() + 2 * node.children.size());
+  key.push_back(node.arity);
+  key.push_back(node.rank);
+  key.push_back(node.cap);
+  key.push_back(static_cast<int64_t>(node.atomic.bits().size()));
+  for (uint64_t word : node.atomic.bits()) {
+    key.push_back(static_cast<int64_t>(word));
+  }
+  for (const auto& [child, count] : node.children) {
+    key.push_back(child);
+    key.push_back(count);
+  }
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TypeId id = static_cast<TypeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+namespace {
+
+class CountingTypeComputer {
+ public:
+  CountingTypeComputer(const Graph& graph, CountingTypeRegistry* registry)
+      : graph_(graph), registry_(registry) {
+    FOLEARN_CHECK(registry != nullptr);
+    FOLEARN_CHECK(graph.vocabulary() == registry->vocabulary())
+        << "CountingTypeRegistry vocabulary does not match the graph";
+  }
+
+  TypeId Type(std::span<const Vertex> tuple, int rank) {
+    FOLEARN_CHECK_GE(rank, 0);
+    std::vector<int64_t> key;
+    key.reserve(tuple.size() + 1);
+    key.push_back(rank);
+    for (Vertex v : tuple) key.push_back(v);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+
+    CountingTypeNode node;
+    node.arity = static_cast<int>(tuple.size());
+    node.rank = rank;
+    node.cap = registry_->cap();
+    node.atomic = AtomicType(graph_, tuple);
+    if (rank > 0) {
+      std::map<TypeId, int> counts;
+      std::vector<Vertex> extended(tuple.begin(), tuple.end());
+      extended.push_back(kNoVertex);
+      for (Vertex u = 0; u < graph_.order(); ++u) {
+        extended.back() = u;
+        ++counts[Type(extended, rank - 1)];
+      }
+      for (const auto& [child, count] : counts) {
+        node.children.emplace_back(child,
+                                   std::min(count, registry_->cap()));
+      }
+    }
+    TypeId id = registry_->Intern(std::move(node));
+    cache_.emplace(std::move(key), id);
+    return id;
+  }
+
+ private:
+  const Graph& graph_;
+  CountingTypeRegistry* registry_;
+  std::unordered_map<std::vector<int64_t>, TypeId, VectorHash<int64_t>>
+      cache_;
+};
+
+}  // namespace
+
+TypeId ComputeCountingType(const Graph& graph, std::span<const Vertex> tuple,
+                           int rank, CountingTypeRegistry* registry) {
+  CountingTypeComputer computer(graph, registry);
+  return computer.Type(tuple, rank);
+}
+
+TypeId ComputeLocalCountingType(const Graph& graph,
+                                std::span<const Vertex> tuple, int rank,
+                                int radius, CountingTypeRegistry* registry) {
+  NeighborhoodGraph neighborhood =
+      BuildNeighborhoodGraph(graph, tuple, radius);
+  return ComputeCountingType(neighborhood.induced.graph, neighborhood.tuple,
+                             rank, registry);
+}
+
+namespace {
+
+// The full quantifier-free description (shared logic with the FO Hintikka
+// builder, restated here to keep the modules independent).
+FormulaRef AtomicDescription(const CountingTypeRegistry& registry,
+                             const AtomicType& atomic,
+                             const std::vector<std::string>& vars) {
+  const Vocabulary& vocabulary = registry.vocabulary();
+  FOLEARN_CHECK_EQ(atomic.num_colors(), vocabulary.size());
+  std::vector<FormulaRef> parts;
+  for (int i = 0; i < atomic.arity(); ++i) {
+    for (ColorId c = 0; c < atomic.num_colors(); ++c) {
+      FormulaRef atom = Formula::Color(vocabulary.Name(c), vars[i]);
+      parts.push_back(atomic.HasColor(i, c) ? atom
+                                            : Formula::Not(std::move(atom)));
+    }
+    for (int j = i + 1; j < atomic.arity(); ++j) {
+      FormulaRef eq = Formula::Equals(vars[i], vars[j]);
+      parts.push_back(atomic.Equal(i, j) ? eq : Formula::Not(std::move(eq)));
+      FormulaRef edge = Formula::Edge(vars[i], vars[j]);
+      parts.push_back(atomic.Adjacent(i, j) ? edge
+                                            : Formula::Not(std::move(edge)));
+    }
+  }
+  return Formula::And(std::move(parts));
+}
+
+}  // namespace
+
+FormulaRef CountingHintikkaBuilder::Build(
+    TypeId type, const std::vector<std::string>& vars) {
+  const CountingTypeNode& node = registry_.Node(type);
+  FOLEARN_CHECK_EQ(static_cast<int>(vars.size()), node.arity);
+  std::ostringstream key_stream;
+  key_stream << type << '|' << Join(vars, ",");
+  std::string key = key_stream.str();
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  FormulaRef result = AtomicDescription(registry_, node.atomic, vars);
+  if (node.rank > 0) {
+    std::string fresh = "_c" + std::to_string(node.arity + 1);
+    for (const std::string& var : vars) {
+      FOLEARN_CHECK_NE(var, fresh)
+          << "variable clashes with counting-Hintikka-internal name";
+    }
+    std::vector<std::string> extended = vars;
+    extended.push_back(fresh);
+    std::vector<FormulaRef> parts = {std::move(result)};
+    std::vector<FormulaRef> some_child;
+    for (const auto& [child, count] : node.children) {
+      FormulaRef child_formula = Build(child, extended);
+      parts.push_back(Formula::CountExists(count, fresh, child_formula));
+      if (count < node.cap) {
+        // Exact multiplicity: not one more.
+        parts.push_back(Formula::Not(
+            Formula::CountExists(count + 1, fresh, child_formula)));
+      }
+      some_child.push_back(std::move(child_formula));
+    }
+    parts.push_back(
+        Formula::Forall(fresh, Formula::Or(std::move(some_child))));
+    result = Formula::And(std::move(parts));
+  }
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+}  // namespace folearn

@@ -1,0 +1,96 @@
+#ifndef FOLEARN_TYPES_COUNTING_TYPE_H_
+#define FOLEARN_TYPES_COUNTING_TYPE_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fo/formula.h"
+#include "types/type.h"
+
+namespace folearn {
+
+// Rank-q COUNTING types: the FO+C analogue of src/types/type.h, supporting
+// the threshold quantifiers ∃^{≥t} (the extension the paper's conclusion
+// asks for, following van Bergerem LICS 2019).
+//
+//   ctp_0(G, v̄)  = atomic type;
+//   ctp_q(G, v̄)  = (atomic type,
+//                    multiset { ctp_{q−1}(G, v̄u) : u ∈ V(G) } with
+//                    multiplicities CAPPED at `cap`).
+//
+// Two tuples with equal rank-q cap-T counting types satisfy exactly the
+// same FO+C formulas of quantifier rank ≤ q whose thresholds are ≤ T (the
+// counting Ehrenfeucht–Fraïssé argument): the capped multiplicities are
+// precisely what ∃^{≥t}, t ≤ T, can observe.
+//
+// cap = 1 degenerates to plain FO types.
+
+struct CountingTypeNode {
+  int arity = 0;
+  int rank = 0;
+  int cap = 1;
+  AtomicType atomic;
+  // (child type, multiplicity capped at `cap`), sorted by child id.
+  std::vector<std::pair<TypeId, int>> children;
+};
+
+// Interns counting types; ids live in the same TypeId space but are only
+// comparable within one registry (fixed vocabulary AND cap).
+class CountingTypeRegistry {
+ public:
+  CountingTypeRegistry(Vocabulary vocabulary, int cap)
+      : vocabulary_(std::move(vocabulary)), cap_(cap) {
+    FOLEARN_CHECK_GE(cap, 1);
+  }
+
+  TypeId Intern(CountingTypeNode node);
+
+  const CountingTypeNode& Node(TypeId id) const {
+    FOLEARN_CHECK_GE(id, 0);
+    FOLEARN_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+    return nodes_[id];
+  }
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+  int cap() const { return cap_; }
+  int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  Vocabulary vocabulary_;
+  int cap_;
+  std::vector<CountingTypeNode> nodes_;
+  std::unordered_map<std::vector<int64_t>, TypeId, VectorHash<int64_t>>
+      index_;
+};
+
+// ctp_rank(G, tuple) with the registry's cap.
+TypeId ComputeCountingType(const Graph& graph, std::span<const Vertex> tuple,
+                           int rank, CountingTypeRegistry* registry);
+
+// Local counting type: ctp of the induced radius-ball around the tuple.
+TypeId ComputeLocalCountingType(const Graph& graph,
+                                std::span<const Vertex> tuple, int rank,
+                                int radius, CountingTypeRegistry* registry);
+
+// Counting Hintikka formula: an FO+C formula of rank ≤ q (thresholds ≤
+// cap + 1) defining the counting type exactly:
+//   atomic ∧ ⋀_{(θ′,c)} ∃^{≥c} z φ_{θ′}
+//          ∧ ⋀_{(θ′,c), c < cap} ¬∃^{≥c+1} z φ_{θ′}
+//          ∧ ∀z ⋁_{(θ′,·)} φ_{θ′}.
+class CountingHintikkaBuilder {
+ public:
+  explicit CountingHintikkaBuilder(const CountingTypeRegistry& registry)
+      : registry_(registry) {}
+
+  FormulaRef Build(TypeId type, const std::vector<std::string>& vars);
+
+ private:
+  const CountingTypeRegistry& registry_;
+  std::unordered_map<std::string, FormulaRef> memo_;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_TYPES_COUNTING_TYPE_H_

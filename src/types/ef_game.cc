@@ -1,0 +1,116 @@
+#include "types/ef_game.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace folearn {
+
+namespace {
+
+// The partial-isomorphism check: colours per position, and pairwise
+// equality/adjacency patterns must agree.
+bool PartialIsomorphism(const Graph& g, std::span<const Vertex> g_tuple,
+                        const Graph& h, std::span<const Vertex> h_tuple) {
+  const size_t k = g_tuple.size();
+  for (size_t i = 0; i < k; ++i) {
+    for (ColorId c = 0; c < g.vocabulary().size(); ++c) {
+      if (g.HasColor(g_tuple[i], c) != h.HasColor(h_tuple[i], c)) {
+        return false;
+      }
+    }
+    for (size_t j = i + 1; j < k; ++j) {
+      if ((g_tuple[i] == g_tuple[j]) != (h_tuple[i] == h_tuple[j])) {
+        return false;
+      }
+      if (g.HasEdge(g_tuple[i], g_tuple[j]) !=
+          h.HasEdge(h_tuple[i], h_tuple[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+class EfSolver {
+ public:
+  EfSolver(const Graph& g, const Graph& h, EfGameStats* stats)
+      : g_(g), h_(h), stats_(stats) {}
+
+  bool DuplicatorWins(std::vector<Vertex>& g_tuple,
+                      std::vector<Vertex>& h_tuple, int rounds) {
+    if (stats_ != nullptr) ++stats_->positions_explored;
+    if (!PartialIsomorphism(g_, g_tuple, h_, h_tuple)) return false;
+    if (rounds == 0) return true;
+    std::vector<int64_t> key;
+    key.reserve(g_tuple.size() + h_tuple.size() + 1);
+    key.push_back(rounds);
+    for (Vertex v : g_tuple) key.push_back(v);
+    for (Vertex v : h_tuple) key.push_back(~static_cast<int64_t>(v));
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    // Spoiler may play in either structure; Duplicator needs an answer for
+    // every such move.
+    bool duplicator_wins = true;
+    // Spoiler in G.
+    for (Vertex u = 0; u < g_.order() && duplicator_wins; ++u) {
+      bool answered = false;
+      g_tuple.push_back(u);
+      for (Vertex v = 0; v < h_.order() && !answered; ++v) {
+        h_tuple.push_back(v);
+        answered = DuplicatorWins(g_tuple, h_tuple, rounds - 1);
+        h_tuple.pop_back();
+      }
+      g_tuple.pop_back();
+      duplicator_wins = answered;
+    }
+    // Spoiler in H.
+    for (Vertex v = 0; v < h_.order() && duplicator_wins; ++v) {
+      bool answered = false;
+      h_tuple.push_back(v);
+      for (Vertex u = 0; u < g_.order() && !answered; ++u) {
+        g_tuple.push_back(u);
+        answered = DuplicatorWins(g_tuple, h_tuple, rounds - 1);
+        g_tuple.pop_back();
+      }
+      h_tuple.pop_back();
+      duplicator_wins = answered;
+    }
+    memo_.emplace(std::move(key), duplicator_wins);
+    return duplicator_wins;
+  }
+
+ private:
+  const Graph& g_;
+  const Graph& h_;
+  EfGameStats* stats_;
+  std::unordered_map<std::vector<int64_t>, bool, VectorHash<int64_t>> memo_;
+};
+
+}  // namespace
+
+bool DuplicatorWins(const Graph& g, std::span<const Vertex> g_tuple,
+                    const Graph& h, std::span<const Vertex> h_tuple,
+                    int rounds, EfGameStats* stats) {
+  FOLEARN_CHECK(g.vocabulary() == h.vocabulary())
+      << "EF game requires a shared vocabulary";
+  FOLEARN_CHECK_EQ(g_tuple.size(), h_tuple.size());
+  FOLEARN_CHECK_GE(rounds, 0);
+  std::vector<Vertex> g_working(g_tuple.begin(), g_tuple.end());
+  std::vector<Vertex> h_working(h_tuple.begin(), h_tuple.end());
+  EfSolver solver(g, h, stats);
+  return solver.DuplicatorWins(g_working, h_working, rounds);
+}
+
+int SpoilerWinningRounds(const Graph& g, std::span<const Vertex> g_tuple,
+                         const Graph& h, std::span<const Vertex> h_tuple,
+                         int max_rounds) {
+  for (int rounds = 0; rounds <= max_rounds; ++rounds) {
+    if (!DuplicatorWins(g, g_tuple, h, h_tuple, rounds)) return rounds;
+  }
+  return max_rounds + 1;
+}
+
+}  // namespace folearn

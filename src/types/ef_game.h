@@ -1,0 +1,44 @@
+#ifndef FOLEARN_TYPES_EF_GAME_H_
+#define FOLEARN_TYPES_EF_GAME_H_
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace folearn {
+
+// The Ehrenfeucht–Fraïssé game, played explicitly.
+//
+// The q-round EF game on (G, ū) vs (H, v̄): each round Spoiler picks a
+// vertex in one structure, Duplicator answers in the other; Duplicator
+// wins if after every round the map ū ↦ v̄ is a partial isomorphism
+// (colours, equalities, adjacencies all match). The EF theorem:
+//
+//   Duplicator wins the q-round game  ⟺  tp_q(G, ū) = tp_q(H, v̄),
+//
+// which makes this module an independent oracle for the hash-consed type
+// machinery in types/type.h — the two are cross-validated in the test
+// suite. Cost O((|G|·|H|)^q): small structures only.
+
+struct EfGameStats {
+  int64_t positions_explored = 0;
+};
+
+// True iff Duplicator wins the `rounds`-round EF game on (g, g_tuple) vs
+// (h, h_tuple). The graphs must share a vocabulary and the tuples must have
+// equal arity.
+bool DuplicatorWins(const Graph& g, std::span<const Vertex> g_tuple,
+                    const Graph& h, std::span<const Vertex> h_tuple,
+                    int rounds, EfGameStats* stats = nullptr);
+
+// The least q such that Spoiler wins the q-round game (i.e. the structures
+// are distinguishable by a rank-q formula), or `max_rounds + 1` if
+// Duplicator survives all `max_rounds` rounds.
+int SpoilerWinningRounds(const Graph& g, std::span<const Vertex> g_tuple,
+                         const Graph& h, std::span<const Vertex> h_tuple,
+                         int max_rounds);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_TYPES_EF_GAME_H_

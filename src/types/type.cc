@@ -1,0 +1,168 @@
+#include "types/type.h"
+
+#include <algorithm>
+
+namespace folearn {
+
+AtomicType::AtomicType(const Graph& graph, std::span<const Vertex> tuple)
+    : arity_(static_cast<int>(tuple.size())),
+      num_colors_(graph.vocabulary().size()) {
+  int total_bits =
+      arity_ * num_colors_ + arity_ * (arity_ - 1);  // colours + eq + adj
+  bits_.assign((total_bits + 63) / 64, 0);
+  for (int i = 0; i < arity_; ++i) {
+    for (ColorId c = 0; c < num_colors_; ++c) {
+      if (graph.HasColor(tuple[i], c)) SetBit(BitIndexColor(i, c));
+    }
+    for (int j = i + 1; j < arity_; ++j) {
+      if (tuple[i] == tuple[j]) SetBit(BitIndexEqual(i, j));
+      if (graph.HasEdge(tuple[i], tuple[j])) SetBit(BitIndexAdjacent(i, j));
+    }
+  }
+}
+
+int AtomicType::BitIndexColor(int position, ColorId color) const {
+  return position * num_colors_ + color;
+}
+
+int AtomicType::BitIndexEqual(int i, int j) const {
+  FOLEARN_CHECK_LT(i, j);
+  // Pairs (i, j), i < j, enumerated row-wise.
+  int pair_index = i * arity_ - i * (i + 1) / 2 + (j - i - 1);
+  return arity_ * num_colors_ + pair_index;
+}
+
+int AtomicType::BitIndexAdjacent(int i, int j) const {
+  return BitIndexEqual(i, j) + arity_ * (arity_ - 1) / 2;
+}
+
+bool AtomicType::GetBit(int index) const {
+  return (bits_[index / 64] >> (index % 64)) & 1;
+}
+
+void AtomicType::SetBit(int index) {
+  bits_[index / 64] |= uint64_t{1} << (index % 64);
+}
+
+bool AtomicType::HasColor(int position, ColorId color) const {
+  FOLEARN_CHECK_GE(position, 0);
+  FOLEARN_CHECK_LT(position, arity_);
+  FOLEARN_CHECK_GE(color, 0);
+  FOLEARN_CHECK_LT(color, num_colors_);
+  return GetBit(BitIndexColor(position, color));
+}
+
+bool AtomicType::Equal(int i, int j) const {
+  FOLEARN_CHECK(i >= 0 && j >= 0 && i < arity_ && j < arity_);
+  if (i == j) return true;
+  if (i > j) std::swap(i, j);
+  return GetBit(BitIndexEqual(i, j));
+}
+
+bool AtomicType::Adjacent(int i, int j) const {
+  FOLEARN_CHECK(i >= 0 && j >= 0 && i < arity_ && j < arity_);
+  if (i == j) return false;
+  if (i > j) std::swap(i, j);
+  return GetBit(BitIndexAdjacent(i, j));
+}
+
+std::vector<int64_t> TypeRegistry::EncodeKey(const TypeNode& node) {
+  std::vector<int64_t> key;
+  key.reserve(3 + node.atomic.bits().size() + node.children.size());
+  key.push_back(node.arity);
+  key.push_back(node.rank);
+  key.push_back(static_cast<int64_t>(node.atomic.bits().size()));
+  for (uint64_t word : node.atomic.bits()) {
+    key.push_back(static_cast<int64_t>(word));
+  }
+  for (TypeId child : node.children) key.push_back(child);
+  return key;
+}
+
+TypeId TypeRegistry::Intern(TypeNode node) {
+  FOLEARN_CHECK(std::is_sorted(node.children.begin(), node.children.end()));
+  FOLEARN_CHECK(std::adjacent_find(node.children.begin(),
+                                   node.children.end()) ==
+                node.children.end());
+  std::vector<int64_t> key = EncodeKey(node);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TypeId id = static_cast<TypeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TypeComputer::TypeComputer(const Graph& graph, TypeRegistry* registry)
+    : graph_(graph), registry_(registry) {
+  FOLEARN_CHECK(registry != nullptr);
+  FOLEARN_CHECK(graph.vocabulary() == registry->vocabulary())
+      << "TypeRegistry vocabulary does not match the graph";
+}
+
+TypeId TypeComputer::Type(std::span<const Vertex> tuple, int rank) {
+  FOLEARN_CHECK_GE(rank, 0);
+  std::vector<int64_t> key;
+  key.reserve(tuple.size() + 1);
+  key.push_back(rank);
+  for (Vertex v : tuple) key.push_back(v);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  TypeNode node;
+  node.arity = static_cast<int>(tuple.size());
+  node.rank = rank;
+  node.atomic = AtomicType(graph_, tuple);
+  if (rank > 0) {
+    std::vector<Vertex> extended(tuple.begin(), tuple.end());
+    extended.push_back(kNoVertex);
+    for (Vertex u = 0; u < graph_.order(); ++u) {
+      extended.back() = u;
+      node.children.push_back(Type(extended, rank - 1));
+    }
+    std::sort(node.children.begin(), node.children.end());
+    node.children.erase(
+        std::unique(node.children.begin(), node.children.end()),
+        node.children.end());
+  }
+  TypeId id = registry_->Intern(std::move(node));
+  cache_.emplace(std::move(key), id);
+  return id;
+}
+
+TypeId ComputeType(const Graph& graph, std::span<const Vertex> tuple,
+                   int rank, TypeRegistry* registry) {
+  TypeComputer computer(graph, registry);
+  return computer.Type(tuple, rank);
+}
+
+TypeId ComputeLocalType(const Graph& graph, std::span<const Vertex> tuple,
+                        int rank, int radius, TypeRegistry* registry) {
+  NeighborhoodGraph neighborhood =
+      BuildNeighborhoodGraph(graph, tuple, radius);
+  return ComputeType(neighborhood.induced.graph, neighborhood.tuple, rank,
+                     registry);
+}
+
+std::vector<TypeId> ComputeLocalTypes(
+    const Graph& graph, const std::vector<std::vector<Vertex>>& tuples,
+    int rank, int radius, TypeRegistry* registry) {
+  std::vector<TypeId> ids;
+  ids.reserve(tuples.size());
+  for (const std::vector<Vertex>& tuple : tuples) {
+    ids.push_back(ComputeLocalType(graph, tuple, rank, radius, registry));
+  }
+  return ids;
+}
+
+int GaifmanRadius(int rank) {
+  FOLEARN_CHECK_GE(rank, 0);
+  // (7^q − 1) / 2: 0, 3, 24, 171, …
+  int64_t power = 1;
+  for (int i = 0; i < rank; ++i) power *= 7;
+  int64_t radius = (power - 1) / 2;
+  FOLEARN_CHECK_LE(radius, 1 << 28) << "Gaifman radius overflow";
+  return static_cast<int>(radius);
+}
+
+}  // namespace folearn

@@ -1,0 +1,152 @@
+#ifndef FOLEARN_TYPES_TYPE_H_
+#define FOLEARN_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "util/hash.h"
+
+namespace folearn {
+
+// Rank-q first-order types as concrete data (paper §2, "Types").
+//
+// The paper works with tp_q(G, v̄) = the set of all rank-q formulas
+// satisfied by v̄, made finite through a syntactic normal form. The
+// executable equivalent is the Ehrenfeucht–Fraïssé type tree:
+//
+//   tp_0(G, v̄)  = the atomic type of v̄ (colours, equalities, adjacencies);
+//   tp_q(G, v̄)  = (atomic type, { tp_{q−1}(G, v̄u) : u ∈ V(G) }).
+//
+// Two tuples receive the same TypeId iff they satisfy exactly the same
+// FO formulas of quantifier rank ≤ q (over the registry's vocabulary) — the
+// standard EF/Hintikka characterisation. Types are hash-consed into a
+// TypeRegistry, so comparing types is integer comparison.
+//
+// Local types ltp_{q,r}(G, v̄) = tp_q(N_r^G(v̄), v̄) (Fact 5) are types of
+// the induced r-ball with the tuple mapped along.
+
+using TypeId = int32_t;
+inline constexpr TypeId kNoType = -1;
+
+// The quantifier-free description of a k-tuple: per-entry colour
+// memberships, pairwise equalities, pairwise adjacencies, packed into bits.
+class AtomicType {
+ public:
+  AtomicType() = default;
+
+  // Reads the atomic type of `tuple` off `graph`.
+  AtomicType(const Graph& graph, std::span<const Vertex> tuple);
+
+  int arity() const { return arity_; }
+  int num_colors() const { return num_colors_; }
+
+  bool HasColor(int position, ColorId color) const;
+  bool Equal(int i, int j) const;
+  bool Adjacent(int i, int j) const;
+
+  bool operator==(const AtomicType& other) const {
+    return arity_ == other.arity_ && num_colors_ == other.num_colors_ &&
+           bits_ == other.bits_;
+  }
+
+  const std::vector<uint64_t>& bits() const { return bits_; }
+
+ private:
+  int BitIndexColor(int position, ColorId color) const;
+  int BitIndexEqual(int i, int j) const;
+  int BitIndexAdjacent(int i, int j) const;
+  bool GetBit(int index) const;
+  void SetBit(int index);
+
+  int arity_ = 0;
+  int num_colors_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+// One hash-consed type: the atomic part plus the sorted set of child types
+// (rank−1 types of the extended tuples). rank 0 ⇒ children empty.
+struct TypeNode {
+  int arity = 0;
+  int rank = 0;
+  AtomicType atomic;
+  std::vector<TypeId> children;  // sorted, unique
+};
+
+// Interns TypeNodes. A registry is bound to one vocabulary: TypeIds are
+// only comparable for types computed over graphs with that vocabulary
+// (colour names and ids must match — this matters because the learner's
+// contraction step and the hardness reduction both *expand* vocabularies,
+// and each expansion level gets its own registry).
+class TypeRegistry {
+ public:
+  explicit TypeRegistry(Vocabulary vocabulary)
+      : vocabulary_(std::move(vocabulary)) {}
+
+  TypeId Intern(TypeNode node);
+
+  const TypeNode& Node(TypeId id) const {
+    FOLEARN_CHECK_GE(id, 0);
+    FOLEARN_CHECK_LT(static_cast<size_t>(id), nodes_.size());
+    return nodes_[id];
+  }
+
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  // Number of distinct interned types.
+  int64_t size() const { return static_cast<int64_t>(nodes_.size()); }
+
+ private:
+  static std::vector<int64_t> EncodeKey(const TypeNode& node);
+
+  Vocabulary vocabulary_;
+  std::vector<TypeNode> nodes_;
+  std::unordered_map<std::vector<int64_t>, TypeId, VectorHash<int64_t>>
+      index_;
+};
+
+// Computes rank-q types of tuples over a fixed graph, memoising across
+// calls (the recursion for tp_q(v̄) visits tp_{q−1}(v̄u) for every u, so
+// repeated queries share work). The graph must outlive the computer.
+class TypeComputer {
+ public:
+  TypeComputer(const Graph& graph, TypeRegistry* registry);
+
+  // tp_rank(G, tuple).
+  TypeId Type(std::span<const Vertex> tuple, int rank);
+
+  int64_t cache_size() const { return static_cast<int64_t>(cache_.size()); }
+
+ private:
+  const Graph& graph_;
+  TypeRegistry* registry_;
+  std::unordered_map<std::vector<int64_t>, TypeId, VectorHash<int64_t>>
+      cache_;
+};
+
+// One-shot tp_q(G, v̄).
+TypeId ComputeType(const Graph& graph, std::span<const Vertex> tuple,
+                   int rank, TypeRegistry* registry);
+
+// Local type ltp_{q,r}(G, v̄) = tp_q(N_r^G(v̄), v̄) (paper §2 / Fact 5).
+TypeId ComputeLocalType(const Graph& graph, std::span<const Vertex> tuple,
+                        int rank, int radius, TypeRegistry* registry);
+
+// Batch variant sharing the ball computation per tuple; returns one TypeId
+// per tuple.
+std::vector<TypeId> ComputeLocalTypes(
+    const Graph& graph, const std::vector<std::vector<Vertex>>& tuples,
+    int rank, int radius, TypeRegistry* registry);
+
+// The Gaifman locality radius r(q) used for Fact 5: with
+// r = (7^q − 1) / 2, equal (q, r)-local types imply equal q-types. The
+// classical bound from Gaifman's theorem; configurable call sites may use
+// smaller radii as a heuristic (documented wherever they do).
+int GaifmanRadius(int rank);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_TYPES_TYPE_H_

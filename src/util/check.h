@@ -1,0 +1,66 @@
+#ifndef FOLEARN_UTIL_CHECK_H_
+#define FOLEARN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Invariant-checking macros for library code.
+//
+// The library is exception-free (Google style); internal invariants and
+// precondition violations abort with a source location and a message.
+// `FOLEARN_CHECK` is always on (the cost is negligible for this code base and
+// the algorithms here are subtle enough that silent corruption would be far
+// more expensive than the branch).
+
+namespace folearn::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "FOLEARN_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream sink that builds the optional message of a failed check.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace folearn::internal
+
+// Aborts with a diagnostic if `condition` is false. Supports streaming extra
+// context: FOLEARN_CHECK(x > 0) << "x=" << x;
+#define FOLEARN_CHECK(condition)                                     \
+  if (condition) {                                                   \
+  } else /* NOLINT */                                                \
+    ::folearn::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define FOLEARN_CHECK_EQ(a, b) FOLEARN_CHECK((a) == (b))
+#define FOLEARN_CHECK_NE(a, b) FOLEARN_CHECK((a) != (b))
+#define FOLEARN_CHECK_LT(a, b) FOLEARN_CHECK((a) < (b))
+#define FOLEARN_CHECK_LE(a, b) FOLEARN_CHECK((a) <= (b))
+#define FOLEARN_CHECK_GT(a, b) FOLEARN_CHECK((a) > (b))
+#define FOLEARN_CHECK_GE(a, b) FOLEARN_CHECK((a) >= (b))
+
+#endif  // FOLEARN_UTIL_CHECK_H_

@@ -1,0 +1,150 @@
+#include "util/combinatorics.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace folearn {
+
+namespace {
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+// a * b saturating at INT64_MAX; requires a, b >= 0.
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kInt64Max / b) return kInt64Max;
+  return a * b;
+}
+
+// a + b saturating at INT64_MAX; requires a, b >= 0.
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a > kInt64Max - b) return kInt64Max;
+  return a + b;
+}
+}  // namespace
+
+bool ForEachTuple(
+    int64_t base, int length,
+    const std::function<bool(const std::vector<int64_t>&)>& visit) {
+  FOLEARN_CHECK_GE(length, 0);
+  if (length > 0) {
+    FOLEARN_CHECK_GT(base, 0);
+  }
+  std::vector<int64_t> tuple(length, 0);
+  while (true) {
+    if (!visit(tuple)) return false;
+    int pos = length - 1;
+    while (pos >= 0 && tuple[pos] == base - 1) {
+      tuple[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) return true;
+    ++tuple[pos];
+  }
+}
+
+bool ForEachSubset(
+    int64_t n, int size,
+    const std::function<bool(const std::vector<int64_t>&)>& visit) {
+  FOLEARN_CHECK_GE(size, 0);
+  FOLEARN_CHECK_GE(n, 0);
+  if (size > n) return true;
+  std::vector<int64_t> subset(size);
+  for (int i = 0; i < size; ++i) subset[i] = i;
+  while (true) {
+    if (!visit(subset)) return false;
+    // Advance to the next increasing sequence.
+    int pos = size - 1;
+    while (pos >= 0 && subset[pos] == n - size + pos) --pos;
+    if (pos < 0) return true;
+    ++subset[pos];
+    for (int i = pos + 1; i < size; ++i) subset[i] = subset[i - 1] + 1;
+  }
+}
+
+bool ForEachSubsetUpTo(
+    int64_t n, int min_size, int max_size,
+    const std::function<bool(const std::vector<int64_t>&)>& visit) {
+  FOLEARN_CHECK_GE(min_size, 0);
+  FOLEARN_CHECK_GE(max_size, min_size);
+  for (int size = min_size; size <= max_size; ++size) {
+    if (!ForEachSubset(n, size, visit)) return false;
+  }
+  return true;
+}
+
+int64_t Binomial(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  int64_t result = 1;
+  for (int64_t i = 1; i <= k; ++i) {
+    // result = result * (n - k + i) / i, keeping exact integer arithmetic.
+    int64_t numerator = n - k + i;
+    // Divide first where possible to delay overflow.
+    int64_t g = result % i == 0 ? i : 1;
+    int64_t reduced = result / g;
+    int64_t rem_div = i / g;
+    if (numerator % rem_div == 0) {
+      numerator /= rem_div;
+      rem_div = 1;
+    }
+    result = SatMul(reduced, numerator);
+    if (rem_div != 1) result /= rem_div;
+    if (result == kInt64Max) return kInt64Max;
+  }
+  return result;
+}
+
+int64_t SaturatingPow(int64_t base, int exp) {
+  FOLEARN_CHECK_GE(base, 0);
+  FOLEARN_CHECK_GE(exp, 0);
+  int64_t result = 1;
+  for (int i = 0; i < exp; ++i) result = SatMul(result, base);
+  return result;
+}
+
+namespace {
+
+// R(2-subsets; colours; 3): monochromatic-triangle Ramsey number with
+// `colours` colours. Classical recurrence R_c ≤ c·(R_{c−1} − 1) + 2,
+// R_1 = 3 (any 3 vertices with one colour contain a mono triangle).
+int64_t PairTriangleRamsey(int64_t colours) {
+  int64_t r = 3;
+  for (int64_t c = 2; c <= colours; ++c) {
+    r = SatAdd(SatMul(c, r - 1), 2);
+    if (r == kInt64Max) return r;
+  }
+  return r;
+}
+
+// Two-colour graph Ramsey bound R(m, m) ≤ C(2m − 2, m − 1) ≤ 4^m.
+int64_t PairTwoColourRamsey(int m) { return Binomial(2 * m - 2, m - 1); }
+
+}  // namespace
+
+int64_t RamseyUpperBound(int k, int64_t colours, int m) {
+  FOLEARN_CHECK_GE(k, 1);
+  FOLEARN_CHECK_GE(colours, 1);
+  FOLEARN_CHECK_GE(m, 1);
+  if (m <= k) return m;      // any m-subset is trivially monochromatic
+  if (colours == 1) return m;
+  if (k == 1) {
+    // Pigeonhole: colours·(m−1) + 1 elements force m of one colour.
+    return SatAdd(SatMul(colours, m - 1), 1);
+  }
+  if (k == 2) {
+    if (m == 3) return PairTriangleRamsey(colours);
+    if (colours == 2) return PairTwoColourRamsey(m);
+    // Colour-merging bound: R_c(m) ≤ R_2(R_{c−1}(m), m) ≤ 4^{R_{c−1}(m)}.
+    int64_t inner = RamseyUpperBound(2, colours - 1, m);
+    if (inner >= 31) return kInt64Max;  // 4^31 overflows; saturate
+    return SaturatingPow(4, static_cast<int>(inner));
+  }
+  // Hypergraph step-down (Erdős–Rado): R_k ≤ 2^{C(R_{k−1}, k−1)}-ish; any
+  // finite certificate suffices for our callers, so saturate aggressively.
+  int64_t lower_order = RamseyUpperBound(k - 1, colours, m);
+  if (lower_order >= 62) return kInt64Max;
+  return SaturatingPow(2, static_cast<int>(lower_order));
+}
+
+}  // namespace folearn

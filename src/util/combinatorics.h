@@ -1,0 +1,52 @@
+#ifndef FOLEARN_UTIL_COMBINATORICS_H_
+#define FOLEARN_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace folearn {
+
+// Enumeration helpers shared by the brute-force learners (Proposition 11
+// iterates over all parameter tuples w̄ ∈ V(G)^ℓ), the type machinery, and
+// the hardness reduction (which enumerates pairs and subsets).
+
+// Calls `visit` on every tuple in {0, …, base−1}^length, in lexicographic
+// order. `length == 0` yields exactly the empty tuple. Stops early if
+// `visit` returns false; returns false iff it stopped early.
+bool ForEachTuple(int64_t base, int length,
+                  const std::function<bool(const std::vector<int64_t>&)>& visit);
+
+// Calls `visit` on every strictly increasing `size`-subset of
+// {0, …, n−1}. Stops early if `visit` returns false; returns false iff it
+// stopped early.
+bool ForEachSubset(int64_t n, int size,
+                   const std::function<bool(const std::vector<int64_t>&)>& visit);
+
+// Calls `visit` on every subset of {0, …, n−1} of size between `min_size`
+// and `max_size` (inclusive), smaller sizes first.
+bool ForEachSubsetUpTo(int64_t n, int min_size, int max_size,
+                       const std::function<bool(const std::vector<int64_t>&)>& visit);
+
+// n choose k, saturating at INT64_MAX.
+int64_t Binomial(int64_t n, int64_t k);
+
+// pow(base, exp) over int64, saturating at INT64_MAX.
+int64_t SaturatingPow(int64_t base, int exp);
+
+// A computable upper bound on the hypergraph Ramsey number R(k; colours; m):
+// the least r such that every colouring of the k-subsets of an r-set with
+// `colours` colours has a monochromatic m-subset.
+//
+// Used by the hardness reduction (Lemma 7) which sets h(p) = R(2, s, 3):
+// pair colourings with s colours force a monochromatic triangle once
+// |T| > h(p). For k = 2 we use the classical product bound
+// R_2(colours; 3) ≤ 3 · colours! (via the recurrence R ≤ colours·(R'−1)+2),
+// and for m > 3 the Greenwood–Gleason style recurrence. Values saturate at
+// INT64_MAX — they are galactic by design; the implementation never needs to
+// *reach* them, it only needs them as a termination certificate.
+int64_t RamseyUpperBound(int k, int64_t colours, int m);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_COMBINATORICS_H_

@@ -1,0 +1,41 @@
+#ifndef FOLEARN_UTIL_HASH_H_
+#define FOLEARN_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace folearn {
+
+// Mixes `value` into an accumulated hash (boost-style hash_combine with a
+// 64-bit golden-ratio constant).
+inline void HashCombine(size_t& seed, size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+// Hash functor for std::vector<T> where T is hashable.
+template <typename T>
+struct VectorHash {
+  size_t operator()(const std::vector<T>& values) const {
+    size_t seed = values.size();
+    std::hash<T> hasher;
+    for (const T& value : values) HashCombine(seed, hasher(value));
+    return seed;
+  }
+};
+
+// Hash functor for std::pair.
+template <typename A, typename B>
+struct PairHash {
+  size_t operator()(const std::pair<A, B>& p) const {
+    size_t seed = std::hash<A>()(p.first);
+    HashCombine(seed, std::hash<B>()(p.second));
+    return seed;
+  }
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_HASH_H_

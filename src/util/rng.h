@@ -1,0 +1,64 @@
+#ifndef FOLEARN_UTIL_RNG_H_
+#define FOLEARN_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.h"
+
+namespace folearn {
+
+// Deterministic random number generator used throughout the library.
+//
+// All randomised components (graph generators, example distributions, random
+// strategies) take an `Rng&` so experiments are reproducible from a single
+// seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    FOLEARN_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform index in [0, n). Requires n > 0.
+  int64_t UniformIndex(int64_t n) {
+    FOLEARN_CHECK_GT(n, 0);
+    return UniformInt(0, n - 1);
+  }
+
+  // Uniform real in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (int64_t i = static_cast<int64_t>(items.size()) - 1; i > 0; --i) {
+      std::swap(items[i], items[UniformInt(0, i)]);
+    }
+  }
+
+  // Picks a uniform element of a non-empty vector.
+  template <typename T>
+  const T& Choose(const std::vector<T>& items) {
+    FOLEARN_CHECK(!items.empty());
+    return items[UniformIndex(static_cast<int64_t>(items.size()))];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_RNG_H_

@@ -1,0 +1,32 @@
+#ifndef FOLEARN_UTIL_STRINGS_H_
+#define FOLEARN_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace folearn {
+
+// Joins `items` with `separator` using operator<< for each element.
+template <typename Container>
+std::string Join(const Container& items, std::string_view separator) {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out << separator;
+    out << item;
+    first = false;
+  }
+  return out.str();
+}
+
+// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_STRINGS_H_

@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace folearn {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  FOLEARN_CHECK(!headers_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  FOLEARN_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::ostringstream& out,
+                      const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << cells[c]
+          << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  std::ostringstream out;
+  emit_row(out, headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << (c == 0 ? "|" : "|") << std::string(widths[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit_row(out, row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string FormatDouble(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", digits, value);
+  return buffer;
+}
+
+}  // namespace folearn

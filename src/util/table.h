@@ -1,0 +1,37 @@
+#ifndef FOLEARN_UTIL_TABLE_H_
+#define FOLEARN_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace folearn {
+
+// Minimal fixed-column ASCII table printer used by the experiment harnesses
+// in bench/ to emit the per-experiment result tables recorded in
+// EXPERIMENTS.md.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row; the number of cells must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table (header, separator, rows) with aligned columns.
+  std::string ToString() const;
+
+  // Convenience: prints ToString() to stdout.
+  void Print() const;
+
+  int row_count() const { return static_cast<int>(rows_.size()); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `digits` significant decimal places.
+std::string FormatDouble(double value, int digits = 4);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_TABLE_H_

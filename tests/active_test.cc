@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "graph/generators.h"
+#include "learn/active.h"
+#include "mc/evaluator.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+TEST(ActiveLearning, ExactlyIdentifiesRealizableTarget) {
+  Rng rng(500);
+  Graph g = MakeRandomTree(40, rng);
+  AddRandomColors(g, {"Red"}, 0.4, rng);
+  FormulaRef target = MustParseFormula("exists z. (E(x1, z) & Red(z))");
+  std::vector<std::string> vars = QueryVars(1);
+  MembershipOracle oracle = [&](std::span<const Vertex> tuple) {
+    return EvaluateQuery(g, target, vars, tuple);
+  };
+  std::vector<std::vector<Vertex>> candidates = AllTuples(g.order(), 1);
+  ActiveLearnResult result =
+      LearnWithMembershipQueries(g, candidates, {}, {1, 2}, oracle);
+  // Exact identification on the whole instance space.
+  for (const std::vector<Vertex>& tuple : candidates) {
+    EXPECT_EQ(result.hypothesis.Classify(g, tuple), oracle(tuple));
+  }
+  // Query complexity = #types, far below n.
+  EXPECT_EQ(result.membership_queries, result.distinct_types);
+  EXPECT_LT(result.membership_queries, g.order() / 2);
+}
+
+TEST(ActiveLearning, QueryCountIndependentOfGraphSize) {
+  Rng rng(501);
+  int64_t small_queries = 0;
+  int64_t large_queries = 0;
+  // Cycles with n ≡ 0 (mod 3) are fully periodic — no endpoint types.
+  for (int n : {51, 402}) {
+    Graph g = MakeCycle(n);
+    AddPeriodicColor(g, "Red", 3, 0);
+    MembershipOracle oracle = [&](std::span<const Vertex> tuple) {
+      return g.HasColor(tuple[0], *g.FindColor("Red"));
+    };
+    ActiveLearnResult result = LearnWithMembershipQueries(
+        g, AllTuples(g.order(), 1), {}, {1, 1}, oracle);
+    (n == 51 ? small_queries : large_queries) = result.membership_queries;
+  }
+  // Periodic structure: type count (hence query count) is n-independent.
+  EXPECT_EQ(small_queries, large_queries);
+}
+
+TEST(ActiveLearning, WithParameters) {
+  Graph g = DisjointCopies(MakeStar(6), 2);
+  // Target: in the first star (hub 0's component).
+  MembershipOracle oracle = [](std::span<const Vertex> tuple) {
+    return tuple[0] <= 6;
+  };
+  Vertex params[] = {0};
+  ActiveLearnResult result = LearnWithMembershipQueries(
+      g, AllTuples(g.order(), 1), params, {1, 2}, oracle);
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    EXPECT_EQ(result.hypothesis.Classify(g, tuple), v <= 6) << v;
+  }
+}
+
+TEST(ActiveLearning, PairTuples) {
+  Graph g = MakePath(8);
+  // Target: the two entries are adjacent.
+  MembershipOracle oracle = [&](std::span<const Vertex> tuple) {
+    return g.HasEdge(tuple[0], tuple[1]);
+  };
+  ActiveLearnResult result = LearnWithMembershipQueries(
+      g, AllTuples(g.order(), 2), {}, {0, 0}, oracle);
+  for (Vertex a = 0; a < g.order(); ++a) {
+    for (Vertex b = 0; b < g.order(); ++b) {
+      Vertex tuple[] = {a, b};
+      EXPECT_EQ(result.hypothesis.Classify(g, tuple), g.HasEdge(a, b));
+    }
+  }
+  // Atomic pair types on an uncoloured path: equal / adjacent / far.
+  EXPECT_EQ(result.distinct_types, 3);
+}
+
+TEST(ActiveLearning, NonRealizableTargetGetsClassProjection) {
+  // Target distinguishes two same-type vertices: impossible in the class;
+  // the learner answers with the representative's label for both.
+  Graph g = MakePath(9);  // vertices 3 and 5 share all local types (r=1)
+  MembershipOracle oracle = [](std::span<const Vertex> tuple) {
+    return tuple[0] == 3;  // not type-definable
+  };
+  ActiveLearnResult result = LearnWithMembershipQueries(
+      g, AllTuples(g.order(), 1), {}, {1, 1}, oracle);
+  Vertex a[] = {3};
+  Vertex b[] = {5};
+  EXPECT_EQ(result.hypothesis.Classify(g, a),
+            result.hypothesis.Classify(g, b));
+}
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "learn/algorithm2.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+TEST(Algorithm2, ParameterFreeCandidate) {
+  Graph g = MakePath(8);
+  AddPeriodicColor(g, "Red", 2, 0);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    examples.push_back({{v}, v % 2 == 0});
+  }
+  std::vector<FormulaRef> candidates = {MustParseFormula("Red(x1)")};
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 0, candidates);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(TrainingError(g, result.hypothesis, examples), 0.0);
+}
+
+TEST(Algorithm2, FindsSingleParameter) {
+  // Target: x adjacent to the hub of the first star (y1 = hub).
+  Graph g = DisjointCopies(MakeStar(5), 2);  // hubs 0, 6
+  TrainingSet examples;
+  for (Vertex v = 1; v <= 5; ++v) examples.push_back({{v}, true});
+  for (Vertex v = 7; v <= 11; ++v) examples.push_back({{v}, false});
+  std::vector<FormulaRef> candidates = {MustParseFormula("E(x1, y1)")};
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 1, candidates);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.hypothesis.parameters.size(), 1u);
+  EXPECT_EQ(result.hypothesis.parameters[0], 0);  // the first hub
+  EXPECT_EQ(TrainingError(g, result.hypothesis, examples), 0.0);
+}
+
+TEST(Algorithm2, SkipsInconsistentCandidates) {
+  Graph g = MakeStar(4);
+  TrainingSet examples = {{{0}, true}, {{1}, false}};
+  std::vector<FormulaRef> candidates = {
+      MustParseFormula("Red(x1)"),   // no Red colour would even evaluate…
+      MustParseFormula("E(x1, y1)"),  // hub adjacent to any leaf: works
+  };
+  // Use only parseable/evaluable candidates over this vocabulary:
+  candidates.erase(candidates.begin());
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 1, candidates);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(TrainingError(g, result.hypothesis, examples), 0.0);
+}
+
+TEST(Algorithm2, TwoParameters) {
+  // Path; target: x is adjacent to y1 or adjacent to y2 for two hidden
+  // marks at 2 and 9.
+  Graph g = MakePath(12);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    bool label = std::abs(v - 2) == 1 || std::abs(v - 9) == 1;
+    examples.push_back({{v}, label});
+  }
+  std::vector<FormulaRef> candidates = {
+      MustParseFormula("E(x1, y1) | E(x1, y2)")};
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 2, candidates);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(TrainingError(g, result.hypothesis, examples), 0.0);
+  EXPECT_GT(result.model_checking_calls, 0);
+}
+
+TEST(Algorithm2, ReportsFailureWhenNoCandidateFits) {
+  Graph g = MakePath(4);
+  // Contradictory labels on the same vertex: nothing is consistent.
+  TrainingSet examples = {{{1}, true}, {{1}, false}};
+  std::vector<FormulaRef> candidates = {MustParseFormula("E(x1, y1)")};
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 1, candidates);
+  EXPECT_FALSE(result.found);
+}
+
+TEST(Algorithm2, PrefixSearchUsesLinearlyManyCalls) {
+  Graph g = MakePath(10);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    examples.push_back({{v}, std::abs(v - 4) <= 1});
+  }
+  std::vector<FormulaRef> candidates = {
+      MustParseFormula("E(x1, y1) | x1 = y1")};
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 1, candidates);
+  ASSERT_TRUE(result.found);
+  // ℓ·n = 10 calls upper-bounds the successful candidate's search (plus
+  // none for rejected prefixes since the first vertex tried may fail).
+  EXPECT_LE(result.model_checking_calls, 10);
+}
+
+TEST(Algorithm2, DefaultCandidatesSolveDistanceTargets) {
+  // Two disjoint stars; target: within distance 1 of the first hub. The
+  // default candidate family contains the dist(x1, ȳ) ≤ 1 template, so the
+  // prefix search must find the hub.
+  Graph g = DisjointCopies(MakeStar(6), 2);
+  TrainingSet examples;
+  examples.push_back({{0}, true});  // hub itself (distance 0)
+  for (Vertex v = 1; v <= 6; ++v) examples.push_back({{v}, true});
+  for (Vertex v = 7; v <= 13; ++v) examples.push_back({{v}, false});
+  std::vector<FormulaRef> candidates =
+      DefaultUnaryCandidates(g, examples, /*ell=*/1, /*rank=*/1,
+                             /*radius=*/1);
+  EXPECT_GE(candidates.size(), 2u);
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 1, candidates);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(TrainingError(g, result.hypothesis, examples), 0.0);
+}
+
+TEST(Algorithm2, DefaultCandidatesSolveTypeTargets) {
+  // Parameter-free target: "x is red" — covered by the positive-type
+  // disjunction in the default family.
+  Graph g = MakePath(12);
+  AddPeriodicColor(g, "Red", 3, 1);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    examples.push_back({{v}, v % 3 == 1});
+  }
+  std::vector<FormulaRef> candidates =
+      DefaultUnaryCandidates(g, examples, /*ell=*/0, /*rank=*/1,
+                             /*radius=*/1);
+  Algorithm2Result result = RealizableUnaryErm(g, examples, 0, candidates);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(TrainingError(g, result.hypothesis, examples), 0.0);
+}
+
+}  // namespace
+}  // namespace folearn

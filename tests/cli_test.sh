@@ -1,0 +1,60 @@
+#!/bin/sh
+# End-to-end test of the folearn_cli tool: generate → label → learn →
+# save → evaluate → model-check (direct and via the Theorem 1 reduction)
+# → profile. Invoked by ctest with the CLI path as $1.
+set -eu
+
+CLI="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# 1. Generate a coloured random tree.
+"$CLI" generate --family tree --n 40 --seed 11 --color Red:0.3 \
+    --out "$DIR/g.txt"
+grep -q '^graph 40$' "$DIR/g.txt"
+
+# 2. Build a dataset: label = vertex is Red (read off the graph file).
+reds=$(grep '^color Red' "$DIR/g.txt" | cut -d' ' -f3-)
+{
+  echo "examples 1"
+  v=0
+  while [ "$v" -lt 40 ]; do
+    label="-"
+    for r in $reds; do
+      [ "$r" = "$v" ] && label="+"
+    done
+    echo "$label $v"
+    v=$((v + 1))
+  done
+} > "$DIR/d.txt"
+
+# 3. Learn (brute force, then the nowhere-dense learner).
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --out "$DIR/m.txt" 2> "$DIR/learn.log"
+grep -q 'training error: 0.0000' "$DIR/learn.log"
+grep -q '^hypothesis k 1 ell 0$' "$DIR/m.txt"
+
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --learner nd --out "$DIR/m_nd.txt" 2> "$DIR/nd.log"
+grep -q 'training error: 0.0000' "$DIR/nd.log"
+
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --learner sublinear --out "$DIR/m_sub.txt" 2> "$DIR/sub.log"
+grep -q 'training error: 0.0000' "$DIR/sub.log"
+
+# 4. Evaluate the saved model.
+"$CLI" eval --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+    --model "$DIR/m.txt" | grep -q 'error: 0.0000'
+
+# 5. Model checking, direct and via the learning-oracle reduction, must
+#    agree (both say "true": some red vertex exists).
+direct=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" || true)
+reduced=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
+    --via-erm 1 2>/dev/null || true)
+[ "$direct" = "true" ]
+[ "$direct" = "$reduced" ]
+
+# 6. Profile prints the invariants table.
+"$CLI" profile --graph "$DIR/g.txt" --radius 2 | grep -q 'degeneracy'
+
+echo "CLI_TEST_OK"

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "test_helpers.h"
+#include "types/ef_game.h"
+#include "types/type.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+TEST(EfGame, ZeroRoundsIsAtomicCheck) {
+  Graph g = MakePath(3);
+  Vertex edge_pair[] = {0, 1};
+  Vertex far_pair[] = {0, 2};
+  EXPECT_TRUE(DuplicatorWins(g, edge_pair, g, edge_pair, 0));
+  EXPECT_FALSE(DuplicatorWins(g, edge_pair, g, far_pair, 0));
+}
+
+TEST(EfGame, IsomorphicGraphsAreEquivalentAtAnyRank) {
+  Rng rng(70);
+  Graph tree = MakeRandomTree(7, rng);
+  // An isomorphic copy via the disjoint-copies trick (copy 1 ≅ copy 0).
+  Graph two = DisjointCopies(tree, 2);
+  // Play on the induced copies (same graph `two`, shifted tuples).
+  Vertex a[] = {2};
+  Vertex b[] = {2 + 7};
+  Graph copy = tree;  // structurally identical graph object
+  EXPECT_TRUE(DuplicatorWins(tree, a, copy, a, 3));
+  (void)two;
+  (void)b;
+}
+
+TEST(EfGame, PathEndpointVsMidpoint) {
+  Graph g = MakePath(5);
+  Vertex end[] = {0};
+  Vertex mid[] = {2};
+  // Rank 1 cannot separate endpoint from midpoint (no counting); rank 2
+  // can ("has two distinct neighbours").
+  EXPECT_TRUE(DuplicatorWins(g, end, g, mid, 1));
+  EXPECT_FALSE(DuplicatorWins(g, end, g, mid, 2));
+  EXPECT_EQ(SpoilerWinningRounds(g, end, g, mid, 4), 2);
+}
+
+TEST(EfGame, PathsOfDifferentParityOfTypes) {
+  // P4 vs C4 as sentences (empty tuples): rank 2 equivalent, rank 3 not
+  // (mirrors Types.EmptyTupleDistinguishesGraphs).
+  Graph path = MakePath(4);
+  Graph cycle = MakeCycle(4);
+  std::span<const Vertex> empty;
+  EXPECT_TRUE(DuplicatorWins(path, empty, cycle, empty, 2));
+  EXPECT_FALSE(DuplicatorWins(path, empty, cycle, empty, 3));
+  EXPECT_EQ(SpoilerWinningRounds(path, empty, cycle, empty, 5), 3);
+}
+
+TEST(EfGame, LongPathsBecomeEquivalent) {
+  // Classical: sufficiently long paths are rank-q equivalent even when
+  // their lengths differ (threshold ~2^q).
+  Graph p20 = MakePath(20);
+  Graph p30 = MakePath(30);
+  std::span<const Vertex> empty;
+  EXPECT_TRUE(DuplicatorWins(p20, empty, p30, empty, 2));
+  EXPECT_TRUE(DuplicatorWins(p20, empty, p30, empty, 3));
+  // Short paths differ at low rank.
+  Graph p2 = MakePath(2);
+  Graph p3 = MakePath(3);
+  EXPECT_FALSE(DuplicatorWins(p2, empty, p3, empty, 3));
+}
+
+// The cross-validation that matters: the explicit game agrees with the
+// hash-consed type computation on random graphs, for all vertex pairs.
+struct EfParam {
+  GraphFamily family;
+  int seed;
+  int rounds;
+};
+
+class EfTypeAgreement : public ::testing::TestWithParam<EfParam> {};
+
+TEST_P(EfTypeAgreement, GameEqualsTypeEquality) {
+  Rng rng(GetParam().seed);
+  Graph g = MakeFamilyGraph(GetParam().family, 7, rng);
+  AddRandomColors(g, {"Red"}, 0.5, rng);
+  TypeRegistry registry(g.vocabulary());
+  const int q = GetParam().rounds;
+  std::vector<TypeId> types;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    types.push_back(ComputeType(g, tuple, q, &registry));
+  }
+  for (Vertex u = 0; u < g.order(); ++u) {
+    for (Vertex v = u; v < g.order(); ++v) {
+      Vertex a[] = {u};
+      Vertex b[] = {v};
+      bool same_type = types[u] == types[v];
+      bool duplicator = DuplicatorWins(g, a, g, b, q);
+      ASSERT_EQ(same_type, duplicator)
+          << FamilyName(GetParam().family) << " q=" << q << " u=" << u
+          << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndRanks, EfTypeAgreement,
+    ::testing::Values(EfParam{GraphFamily::kPath, 71, 1},
+                      EfParam{GraphFamily::kPath, 71, 2},
+                      EfParam{GraphFamily::kCycle, 72, 2},
+                      EfParam{GraphFamily::kRandomTree, 73, 1},
+                      EfParam{GraphFamily::kRandomTree, 73, 2},
+                      EfParam{GraphFamily::kErdosRenyiSparse, 74, 2},
+                      EfParam{GraphFamily::kStar, 75, 2}),
+    [](const ::testing::TestParamInfo<EfParam>& info) {
+      return std::string(FamilyName(info.param.family)) + "_s" +
+             std::to_string(info.param.seed) + "_q" +
+             std::to_string(info.param.rounds);
+    });
+
+TEST(EfGame, CrossGraphTypeAgreement) {
+  // Types interned in one registry across two graphs agree with the
+  // cross-graph game.
+  Rng rng(76);
+  Graph g = MakeRandomTree(6, rng);
+  Graph h = MakeCycle(6);
+  TypeRegistry registry(g.vocabulary());
+  const int q = 2;
+  for (Vertex u = 0; u < g.order(); ++u) {
+    for (Vertex v = 0; v < h.order(); ++v) {
+      Vertex a[] = {u};
+      Vertex b[] = {v};
+      bool same_type = ComputeType(g, a, q, &registry) ==
+                       ComputeType(h, b, q, &registry);
+      EXPECT_EQ(same_type, DuplicatorWins(g, a, h, b, q))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(EfGame, StatsCountPositions) {
+  Graph g = MakePath(4);
+  EfGameStats stats;
+  Vertex a[] = {0};
+  Vertex b[] = {1};
+  DuplicatorWins(g, a, g, b, 2, &stats);
+  EXPECT_GT(stats.positions_explored, 1);
+}
+
+TEST(EfGame, VocabularyMismatchDies) {
+  Graph g = MakePath(3);
+  Graph h = MakePath(3);
+  h.AddColor("Red");
+  std::span<const Vertex> empty;
+  EXPECT_DEATH(DuplicatorWins(g, empty, h, empty, 1), "vocabulary");
+}
+
+}  // namespace
+}  // namespace folearn

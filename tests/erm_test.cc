@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "graph/generators.h"
+#include "learn/erm.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+// Labels all k-tuples of `graph` by `query` (over x1..xk).
+TrainingSet LabelAll(const Graph& graph, const std::string& query, int k) {
+  FormulaRef f = MustParseFormula(query);
+  std::vector<std::string> vars = QueryVars(k);
+  return LabelByQuery(graph, f, vars, AllTuples(graph.order(), k));
+}
+
+TEST(TypeMajorityErm, PerfectFitOnDefinableConcept) {
+  Graph g = MakePath(10);
+  AddPeriodicColor(g, "Red", 3, 0);
+  // Target: x has a red neighbour (rank 1).
+  TrainingSet examples = LabelAll(g, "exists z. (E(x1, z) & Red(z))", 1);
+  ErmResult result = TypeMajorityErm(g, examples, {}, {1, -1});
+  EXPECT_EQ(result.training_error, 0.0);
+  EXPECT_EQ(result.hypothesis.Error(g, examples), 0.0);
+  EXPECT_GT(result.distinct_types_seen, 1);
+}
+
+TEST(TypeMajorityErm, ErrorMatchesMinorityCounts) {
+  // Two examples with the same tuple and contradictory labels force
+  // exactly one error.
+  Graph g = MakePath(5);
+  TrainingSet examples = {{{2}, true}, {{2}, false}, {{0}, true}};
+  ErmResult result = TypeMajorityErm(g, examples, {}, {1, -1});
+  EXPECT_DOUBLE_EQ(result.training_error, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(result.hypothesis.Error(g, examples), 1.0 / 3.0);
+}
+
+TEST(TypeMajorityErm, TieRejectsType) {
+  Graph g = MakePath(3);
+  TrainingSet examples = {{{1}, true}, {{1}, false}};
+  ErmResult result = TypeMajorityErm(g, examples, {}, {0, 0});
+  EXPECT_TRUE(result.hypothesis.accepted.empty());
+  EXPECT_DOUBLE_EQ(result.training_error, 0.5);
+}
+
+TEST(TypeMajorityErm, EmptyTrainingSetIsPerfect) {
+  Graph g = MakePath(3);
+  ErmResult result = TypeMajorityErm(g, {}, {}, {1, -1});
+  EXPECT_EQ(result.training_error, 0.0);
+}
+
+TEST(TypeMajorityErm, ExplicitFormulaAgreesWithTypeClassifier) {
+  Rng rng(17);
+  Graph g = MakeRandomTree(12, rng);
+  AddRandomColors(g, {"Red"}, 0.4, rng);
+  TrainingSet examples = LabelAll(g, "Red(x1) | exists z. (E(x1, z) & Red(z))", 1);
+  ErmResult result = TypeMajorityErm(g, examples, {}, {1, 2});
+  Hypothesis explicit_h = result.hypothesis.ToExplicit();
+  EXPECT_LE(explicit_h.formula->quantifier_rank(),
+            1 + 3);  // rank + O(log radius)
+  for (const LabeledExample& example : examples) {
+    EXPECT_EQ(explicit_h.Classify(g, example.tuple),
+              result.hypothesis.Classify(g, example.tuple))
+        << ToString(explicit_h.formula);
+  }
+}
+
+TEST(TypeMajorityErm, ParametersEnableSeparation) {
+  // Target: x is within distance 1 of the marked hub w. Without parameters
+  // the two star leaves are indistinguishable; with w̄ = (hub) the concept
+  // is rank-0 definable on the combined tuple.
+  Graph g = MakeStar(6);          // hub = 0
+  Graph h = DisjointCopies(g, 2);  // two stars: hubs 0 and 7
+  // Positives: leaves of star 0; negatives: leaves of star 1.
+  TrainingSet examples;
+  for (Vertex v = 1; v <= 6; ++v) examples.push_back({{v}, true});
+  for (Vertex v = 8; v <= 13; ++v) examples.push_back({{v}, false});
+  // Parameter-free: leaves all share one local type → majority everything.
+  ErmResult without = TypeMajorityErm(h, examples, {}, {1, 2});
+  EXPECT_GT(without.training_error, 0.4);
+  // Parameter = hub of star 0.
+  Vertex params[] = {0};
+  ErmResult with = TypeMajorityErm(h, examples, params, {1, 2});
+  EXPECT_EQ(with.training_error, 0.0);
+}
+
+TEST(BruteForceErm, FindsDiscriminatingParameter) {
+  Graph g = DisjointCopies(MakeStar(5), 2);
+  TrainingSet examples;
+  for (Vertex v = 1; v <= 5; ++v) examples.push_back({{v}, true});
+  for (Vertex v = 7; v <= 11; ++v) examples.push_back({{v}, false});
+  ErmResult result = BruteForceErm(g, examples, 1, {1, 2});
+  EXPECT_EQ(result.training_error, 0.0);
+  EXPECT_EQ(result.hypothesis.parameters.size(), 1u);
+}
+
+TEST(BruteForceErm, EllZeroEqualsFixedEmptyParameters) {
+  Graph g = MakePath(8);
+  AddPeriodicColor(g, "Red", 2, 0);
+  TrainingSet examples = LabelAll(g, "Red(x1)", 1);
+  ErmResult brute = BruteForceErm(g, examples, 0, {1, -1});
+  ErmResult fixed = TypeMajorityErm(g, examples, {}, {1, -1});
+  EXPECT_EQ(brute.training_error, fixed.training_error);
+  EXPECT_EQ(brute.parameter_tuples_tried, 1);
+}
+
+TEST(BruteForceErm, NeverWorseThanAnySingleParameter) {
+  Rng rng(23);
+  Graph g = MakeRandomTree(9, rng);
+  AddRandomColors(g, {"Red"}, 0.5, rng);
+  std::vector<std::vector<Vertex>> tuples = SampleTuples(g.order(), 1, 30, rng);
+  TrainingSet examples =
+      LabelByQuery(g, MustParseFormula("exists z. (E(x1, z) & Red(z))"),
+                   QueryVars(1), tuples);
+  FlipLabels(examples, 0.15, rng);
+  ErmOptions options{1, 2};
+  ErmResult best = BruteForceErm(g, examples, 1, options);
+  for (Vertex w = 0; w < g.order(); ++w) {
+    Vertex params[] = {w};
+    ErmResult candidate = TypeMajorityErm(g, examples, params, options);
+    EXPECT_LE(best.training_error, candidate.training_error) << "w=" << w;
+  }
+}
+
+// E9's core assertion in miniature: the type-majority optimum lower-bounds
+// every explicitly enumerated formula of the same rank (Corollary 6).
+TEST(TypeMajorityErm, LowerBoundsEnumeratedFormulas) {
+  Graph g = MakePath(6);
+  AddPeriodicColor(g, "Red", 2, 0);
+  Rng rng(31);
+  std::vector<std::vector<Vertex>> tuples = SampleTuples(g.order(), 1, 40, rng);
+  TrainingSet examples =
+      LabelByQuery(g, MustParseFormula("Red(x1) & exists z. E(x1, z)"),
+                   QueryVars(1), tuples);
+  FlipLabels(examples, 0.2, rng);
+
+  ErmResult type_best = TypeMajorityErm(g, examples, {}, {1, -1});
+
+  EnumerationOptions enumeration;
+  enumeration.colors = {"Red"};
+  enumeration.max_quantifier_rank = 1;
+  enumeration.max_boolean_depth = 1;
+  enumeration.max_count = 2000;
+  EnumerationErmResult formula_best = EnumerationErm(g, examples, 0,
+                                                     enumeration);
+  EXPECT_LE(type_best.training_error, formula_best.training_error + 1e-12);
+}
+
+TEST(EnumerationErm, SolvesTinyRealizableInstanceExactly) {
+  Graph g = MakePath(4);
+  AddPeriodicColor(g, "Red", 2, 1);
+  TrainingSet examples = LabelAll(g, "Red(x1)", 1);
+  EnumerationOptions enumeration;
+  enumeration.colors = {"Red"};
+  enumeration.max_quantifier_rank = 0;
+  enumeration.max_count = 200;
+  EnumerationErmResult result = EnumerationErm(g, examples, 0, enumeration);
+  EXPECT_EQ(result.training_error, 0.0);
+  EXPECT_EQ(ToString(result.hypothesis.formula), "Red(x1)");
+}
+
+TEST(Dataset, CountAndSplitAndFlip) {
+  Graph g = MakePath(6);
+  TrainingSet examples = LabelAll(g, "exists z. E(x1, z)", 1);
+  auto [pos, neg] = CountLabels(examples);
+  EXPECT_EQ(pos, 6);
+  EXPECT_EQ(neg, 0);
+  Rng rng(3);
+  FlipLabels(examples, 1.0, rng);
+  auto [pos2, neg2] = CountLabels(examples);
+  EXPECT_EQ(pos2, 0);
+  EXPECT_EQ(neg2, 6);
+  auto [train, test] = SplitTrainTest(examples, 0.5, rng);
+  EXPECT_EQ(train.size(), 3u);
+  EXPECT_EQ(test.size(), 3u);
+}
+
+TEST(Dataset, AllTuplesPairs) {
+  std::vector<std::vector<Vertex>> tuples = AllTuples(3, 2);
+  EXPECT_EQ(tuples.size(), 9u);
+  EXPECT_EQ(tuples[0], (std::vector<Vertex>{0, 0}));
+  EXPECT_EQ(tuples[5], (std::vector<Vertex>{1, 2}));
+}
+
+// Binary classification of PAIRS (k = 2).
+TEST(TypeMajorityErm, PairQueries) {
+  Graph g = MakePath(7);
+  // Target: dist(x1, x2) ≤ 2 — rank-1 definable (common neighbour or edge
+  // or equal).
+  TrainingSet examples =
+      LabelAll(g, "x1 = x2 | E(x1, x2) | exists z. (E(x1, z) & E(z, x2))", 2);
+  ErmResult result = TypeMajorityErm(g, examples, {}, {1, -1});
+  EXPECT_EQ(result.training_error, 0.0);
+  EXPECT_EQ(result.hypothesis.k, 2);
+}
+
+}  // namespace
+}  // namespace folearn

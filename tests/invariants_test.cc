@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/invariants.h"
+#include "nd/wcol.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(ComputeDegeneracy(MakePath(10)).degeneracy, 1);
+  EXPECT_EQ(ComputeDegeneracy(MakeCycle(10)).degeneracy, 2);
+  EXPECT_EQ(ComputeDegeneracy(MakeComplete(6)).degeneracy, 5);
+  EXPECT_EQ(ComputeDegeneracy(MakeStar(20)).degeneracy, 1);
+  EXPECT_EQ(ComputeDegeneracy(MakeGrid(5, 5)).degeneracy, 2);
+  EXPECT_EQ(ComputeDegeneracy(MakeCompleteBipartite(3, 7)).degeneracy, 3);
+}
+
+TEST(Degeneracy, TreesAreOneDegenerate) {
+  Rng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph tree = MakeRandomTree(40, rng);
+    DegeneracyResult result = ComputeDegeneracy(tree);
+    EXPECT_EQ(result.degeneracy, 1);
+    EXPECT_EQ(result.order.size(), 40u);
+  }
+}
+
+TEST(Degeneracy, OrderIsAPermutation) {
+  Rng rng(13);
+  Graph g = MakeErdosRenyi(30, 0.2, rng);
+  DegeneracyResult result = ComputeDegeneracy(g);
+  std::vector<Vertex> sorted = result.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (Vertex v = 0; v < g.order(); ++v) EXPECT_EQ(sorted[v], v);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(ComputeDiameter(MakePath(10)), 9);
+  EXPECT_EQ(ComputeDiameter(MakeCycle(10)), 5);
+  EXPECT_EQ(ComputeDiameter(MakeComplete(5)), 1);
+  EXPECT_EQ(ComputeDiameter(MakeGrid(4, 3)), 5);
+  EXPECT_EQ(ComputeDiameter(Graph(3)), 0);  // isolated vertices
+}
+
+TEST(Girth, KnownValues) {
+  EXPECT_EQ(ComputeGirth(MakeCycle(5)), 5);
+  EXPECT_EQ(ComputeGirth(MakeCycle(8)), 8);
+  EXPECT_EQ(ComputeGirth(MakeComplete(4)), 3);
+  EXPECT_EQ(ComputeGirth(MakeGrid(3, 3)), 4);
+  EXPECT_EQ(ComputeGirth(MakePath(10)), kNoGirth);
+  EXPECT_EQ(ComputeGirth(MakeStar(5)), kNoGirth);
+  EXPECT_EQ(ComputeGirth(MakeCompleteBipartite(2, 3)), 4);
+}
+
+TEST(IsForest, DetectsForests) {
+  Rng rng(14);
+  EXPECT_TRUE(IsForest(MakeRandomTree(25, rng)));
+  EXPECT_TRUE(IsForest(MakeStar(9)));
+  EXPECT_TRUE(IsForest(DisjointUnion(MakePath(4), MakePath(5))));
+  EXPECT_FALSE(IsForest(MakeCycle(3)));
+  EXPECT_FALSE(IsForest(MakeGrid(2, 2)));
+}
+
+TEST(Treedepth, ExactKnownValues) {
+  EXPECT_EQ(ExactTreedepth(Graph(1)), 1);
+  EXPECT_EQ(ExactTreedepth(MakePath(1)), 1);
+  EXPECT_EQ(ExactTreedepth(MakePath(2)), 2);
+  EXPECT_EQ(ExactTreedepth(MakePath(3)), 2);
+  EXPECT_EQ(ExactTreedepth(MakePath(7)), 3);   // ⌈log₂(n+1)⌉
+  EXPECT_EQ(ExactTreedepth(MakePath(8)), 4);
+  EXPECT_EQ(ExactTreedepth(MakeStar(6)), 2);
+  EXPECT_EQ(ExactTreedepth(MakeComplete(5)), 5);
+  EXPECT_EQ(ExactTreedepth(MakeCycle(4)), 3);
+}
+
+TEST(Treedepth, CentroidBoundIsSoundAndTightOnPaths) {
+  // Sound: bound ≥ exact; tight on paths.
+  for (int n : {1, 2, 3, 7, 8, 9}) {
+    Graph path = MakePath(n);
+    int bound = TreedepthUpperBoundForest(path);
+    int exact = ExactTreedepth(path);
+    EXPECT_GE(bound, exact) << "n=" << n;
+    EXPECT_EQ(bound, exact) << "n=" << n;  // centroid is optimal on paths
+  }
+  Rng rng(15);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph tree = MakeRandomTree(9, rng);
+    EXPECT_GE(TreedepthUpperBoundForest(tree), ExactTreedepth(tree));
+  }
+}
+
+TEST(Treedepth, CentroidBoundLogarithmicOnLargePaths) {
+  EXPECT_LE(TreedepthUpperBoundForest(MakePath(1000)), 11);
+  EXPECT_LE(TreedepthUpperBoundForest(MakePath(255)), 8);
+}
+
+TEST(Treedepth, NonForestDiesOnCentroidBound) {
+  EXPECT_DEATH(TreedepthUpperBoundForest(MakeCycle(4)), "forest");
+}
+
+TEST(Degeneracy, SubdividedCliqueIsTwoDegenerate) {
+  // The degeneracy-vs-nowhere-density separator: 2-degenerate…
+  EXPECT_EQ(ComputeDegeneracy(MakeSubdividedComplete(8)).degeneracy, 2);
+}
+
+// --- Weak colouring numbers ----------------------------------------------------
+
+TEST(Wcol, RadiusZeroIsOne) {
+  Rng rng(16);
+  Graph g = MakeErdosRenyi(15, 0.3, rng);
+  EXPECT_EQ(WeakColoringNumberDegeneracyOrder(g, 0), 1);
+}
+
+TEST(Wcol, RadiusOneIsColoringNumberBound) {
+  // wcol_1 under the reverse degeneracy order ≤ degeneracy + 1.
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = MakeErdosRenyi(25, 0.15, rng);
+    int degeneracy = ComputeDegeneracy(g).degeneracy;
+    EXPECT_LE(WeakColoringNumberDegeneracyOrder(g, 1), degeneracy + 1);
+  }
+}
+
+TEST(Wcol, MonotoneInRadius) {
+  Rng rng(18);
+  Graph g = MakeRandomTree(40, rng);
+  int previous = 0;
+  for (int r = 0; r <= 4; ++r) {
+    int wcol = WeakColoringNumberDegeneracyOrder(g, r);
+    EXPECT_GE(wcol, previous);
+    previous = wcol;
+  }
+}
+
+TEST(Wcol, CliqueIsN) {
+  // On K_n any order gives wcol_r = n for r ≥ 1: from the largest vertex
+  // every other vertex is a direct neighbour and path-minimal.
+  Graph g = MakeComplete(7);
+  EXPECT_EQ(WeakColoringNumberDegeneracyOrder(g, 1), 7);
+}
+
+TEST(Wcol, PathIsSmall) {
+  // Paths have wcol_r ≤ r + 1 under a good order; the heuristic should
+  // stay well below n.
+  Graph g = MakePath(200);
+  for (int r : {1, 2, 3}) {
+    EXPECT_LE(WeakColoringNumberDegeneracyOrder(g, r), 2 * r + 2) << r;
+  }
+}
+
+TEST(Wcol, IdentityOrderOnPath) {
+  // Under the identity order on a path, from vertex v only vertices
+  // u ≤ v with u ≥ v − r are weakly reachable (the path to smaller u
+  // passes through even smaller ranks… actually through decreasing
+  // vertices, each ≥ u). |WReach_r| = min(v, r) + 1 ≤ r + 1.
+  Graph g = MakePath(50);
+  std::vector<Vertex> identity(g.order());
+  for (Vertex v = 0; v < g.order(); ++v) identity[v] = v;
+  EXPECT_EQ(WeakColoringNumber(g, identity, 3), 4);
+}
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "nd/covering.h"
+#include "nd/splitter_game.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+// --- Lemma 3: the ball covering ----------------------------------------------
+
+TEST(Covering, SingleCenterIsItself) {
+  Graph g = MakePath(10);
+  Vertex x[] = {4};
+  CoveringResult covering = GreedyBallCovering(g, x, 2);
+  EXPECT_EQ(covering.centers, std::vector<Vertex>{4});
+  EXPECT_EQ(covering.radius, 2);
+  EXPECT_EQ(covering.iterations, 0);
+  EXPECT_TRUE(VerifyCovering(g, x, covering, 2));
+}
+
+TEST(Covering, DisjointCentersKeepRadius) {
+  Graph g = MakePath(30);
+  Vertex x[] = {2, 15, 27};
+  CoveringResult covering = GreedyBallCovering(g, x, 2);
+  EXPECT_EQ(covering.centers.size(), 3u);
+  EXPECT_EQ(covering.radius, 2);
+  EXPECT_TRUE(VerifyCovering(g, x, covering, 2));
+}
+
+TEST(Covering, OverlappingCentersTripleRadius) {
+  Graph g = MakePath(30);
+  Vertex x[] = {10, 12};  // balls of radius 2 overlap at 11
+  CoveringResult covering = GreedyBallCovering(g, x, 2);
+  EXPECT_EQ(covering.centers.size(), 1u);
+  EXPECT_EQ(covering.radius, 6);
+  EXPECT_TRUE(VerifyCovering(g, x, covering, 2));
+}
+
+TEST(Covering, WorstCaseGeometricChain) {
+  // Centres at positions 3^i·r on a path: each iteration merges one.
+  Graph g = MakePath(200);
+  std::vector<Vertex> x = {0, 3, 9, 27, 81};
+  CoveringResult covering = GreedyBallCovering(g, x, 1);
+  EXPECT_TRUE(VerifyCovering(g, x, covering, 1));
+  EXPECT_LE(covering.iterations, static_cast<int>(x.size()) - 1);
+}
+
+TEST(Covering, PropertyOnRandomTrees) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = MakeRandomTree(40, rng);
+    int count = 1 + static_cast<int>(rng.UniformIndex(6));
+    std::vector<Vertex> x;
+    for (int i = 0; i < count; ++i) {
+      x.push_back(static_cast<Vertex>(rng.UniformIndex(g.order())));
+    }
+    int r = 1 + static_cast<int>(rng.UniformIndex(3));
+    CoveringResult covering = GreedyBallCovering(g, x, r);
+    EXPECT_TRUE(VerifyCovering(g, x, covering, r))
+        << "trial=" << trial << " r=" << r;
+    for (Vertex z : covering.centers) {
+      EXPECT_TRUE(std::find(x.begin(), x.end(), z) != x.end())
+          << "Z must be a subset of X";
+    }
+  }
+}
+
+TEST(Covering, DisconnectedComponentsAreDisjoint) {
+  Graph g = DisjointUnion(MakePath(5), MakePath(5));
+  Vertex x[] = {2, 7};
+  CoveringResult covering = GreedyBallCovering(g, x, 3);
+  // Different components: balls can never intersect.
+  EXPECT_EQ(covering.centers.size(), 2u);
+  EXPECT_EQ(covering.radius, 3);
+}
+
+// --- Splitter game -------------------------------------------------------------
+
+TEST(SplitterGame, EmptyGraphImmediateWin) {
+  Graph g(0);
+  auto splitter = MakeCenterSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult result = PlaySplitterGame(g, 1, 5, *splitter, *connector);
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_EQ(result.rounds_used, 0);
+}
+
+TEST(SplitterGame, SingleVertexOneRound) {
+  Graph g(1);
+  auto splitter = MakeCenterSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult result = PlaySplitterGame(g, 2, 5, *splitter, *connector);
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_EQ(result.rounds_used, 1);
+}
+
+TEST(SplitterGame, StarCenterStrategyRadiusOne) {
+  // On a star at radius 1: Connector picks the centre (largest ball);
+  // Splitter deleting the centre leaves isolated leaves — each later round
+  // kills one leaf-ball. With the centre gone, any pick's 1-ball is a
+  // single leaf, so the game ends in 2 rounds with the greedy connector.
+  Graph g = MakeStar(10);
+  auto splitter = MakeGreedyDegreeSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult result =
+      PlaySplitterGame(g, 1, 10, *splitter, *connector);
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_LE(result.rounds_used, 2);
+}
+
+TEST(SplitterGame, MovesAreRecordedInOriginalIds) {
+  Graph g = MakePath(9);
+  auto splitter = MakeTreeSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult result = PlaySplitterGame(g, 2, 20, *splitter,
+                                               *connector);
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_EQ(result.splitter_moves.size(),
+            static_cast<size_t>(result.rounds_used));
+  for (Vertex v : result.splitter_moves) {
+    EXPECT_TRUE(g.IsValidVertex(v));
+  }
+}
+
+TEST(SplitterGame, TreeStrategyWinsOnTreesWithinBudget) {
+  Rng rng(5);
+  auto splitter = MakeTreeSplitter();
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = MakeRandomTree(60, rng);
+    for (int radius : {1, 2}) {
+      auto random_connector = MakeRandomConnector(rng);
+      auto greedy_connector = MakeGreedyBallConnector();
+      int budget = DefaultSplitterRounds(radius) + radius + 4;
+      for (ConnectorStrategy* connector :
+           {random_connector.get(), greedy_connector.get()}) {
+        SplitterGameResult result =
+            PlaySplitterGame(g, radius, budget, *splitter, *connector);
+        EXPECT_TRUE(result.splitter_won)
+            << "trial=" << trial << " radius=" << radius
+            << " connector=" << connector->name();
+      }
+    }
+  }
+}
+
+TEST(SplitterGame, CliqueNeedsManyRounds) {
+  // On K_n at any radius ≥ 1, each round removes exactly one vertex, so
+  // Splitter needs exactly n rounds — the somewhere-dense signature.
+  Graph g = MakeComplete(7);
+  auto splitter = MakeGreedyDegreeSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult result =
+      PlaySplitterGame(g, 1, 20, *splitter, *connector);
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_EQ(result.rounds_used, 7);
+}
+
+TEST(SplitterGame, SubdividedCliqueIsSomewhereDenseAtRadiusThree) {
+  // …but the family contains every clique as a depth-1 topological minor,
+  // and at radius 3 (a branch vertex's 3-ball covers the whole structure,
+  // including the far subdivision vertices at distance 3) the rounds grow
+  // linearly with n — the somewhere-dense signature that degeneracy alone
+  // cannot see. At radius 2 the 3-balls do NOT cover the far subdivision
+  // vertices, so the game stays short.
+  auto splitter = MakeGreedyDegreeSplitter();
+  auto connector = MakeGreedyBallConnector();
+  int rounds_small =
+      PlaySplitterGame(MakeSubdividedComplete(5), 3, 100, *splitter,
+                       *connector)
+          .rounds_used;
+  int rounds_large =
+      PlaySplitterGame(MakeSubdividedComplete(10), 3, 100, *splitter,
+                       *connector)
+          .rounds_used;
+  EXPECT_GT(rounds_large, rounds_small);
+  EXPECT_GE(rounds_large, 10);  // measured: n + 1
+  int rounds_r2 =
+      PlaySplitterGame(MakeSubdividedComplete(10), 2, 100, *splitter,
+                       *connector)
+          .rounds_used;
+  EXPECT_LT(rounds_r2, rounds_large);
+}
+
+TEST(SplitterGame, MinimaxOptimalOnTinyGraphs) {
+  // Minimax must not be worse than the tree heuristic on small trees.
+  Rng rng(21);
+  auto minimax = MakeMinimaxSplitter();
+  auto tree = MakeTreeSplitter();
+  auto connector = MakeGreedyBallConnector();
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = MakeRandomTree(8, rng);
+    SplitterGameResult with_minimax =
+        PlaySplitterGame(g, 1, 12, *minimax, *connector);
+    SplitterGameResult with_tree =
+        PlaySplitterGame(g, 1, 12, *tree, *connector);
+    EXPECT_TRUE(with_minimax.splitter_won);
+    EXPECT_TRUE(with_tree.splitter_won);
+    EXPECT_LE(with_minimax.rounds_used, with_tree.rounds_used)
+        << "trial " << trial;
+  }
+}
+
+TEST(SplitterGame, MeasureRoundsTakesWorstConnector) {
+  Graph g = MakePath(15);
+  auto splitter = MakeTreeSplitter();
+  Rng rng(9);
+  auto random_connector = MakeRandomConnector(rng);
+  auto greedy_connector = MakeGreedyBallConnector();
+  std::vector<ConnectorStrategy*> connectors = {random_connector.get(),
+                                                greedy_connector.get()};
+  int rounds = MeasureSplitterRounds(g, 1, 10, *splitter, connectors);
+  EXPECT_GE(rounds, 1);
+  EXPECT_LE(rounds, 10);
+}
+
+TEST(SplitterGame, RadiusZeroKillsOneVertexPerRound) {
+  Graph g = MakePath(4);
+  auto splitter = MakeCenterSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult result =
+      PlaySplitterGame(g, 0, 10, *splitter, *connector);
+  // Radius-0 ball is the pick itself; removing it empties the game in one
+  // round (the next graph is the empty ball minus nothing = ∅).
+  EXPECT_TRUE(result.splitter_won);
+  EXPECT_EQ(result.rounds_used, 1);
+}
+
+}  // namespace
+}  // namespace folearn

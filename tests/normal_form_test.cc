@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "fo/normal_form.h"
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "mc/evaluator.h"
+#include "test_helpers.h"
+
+namespace folearn {
+namespace {
+
+TEST(NegationNormalForm, PushesNegationsToAtoms) {
+  FormulaRef f = MustParseFormula("!(exists z. (E(x, z) & !Red(z)))");
+  FormulaRef nnf = ToNegationNormalForm(f);
+  EXPECT_TRUE(IsNegationNormalForm(nnf));
+  EXPECT_EQ(ToString(nnf), "forall z. !E(x, z) | Red(z)");
+  EXPECT_EQ(nnf->quantifier_rank(), f->quantifier_rank());
+}
+
+TEST(NegationNormalForm, DeMorganOverNaryConnectives) {
+  FormulaRef f = MustParseFormula("!(A(x) & B(x) & C(x))");
+  FormulaRef nnf = ToNegationNormalForm(f);
+  EXPECT_EQ(ToString(nnf), "!A(x) | !B(x) | !C(x)");
+}
+
+TEST(NegationNormalForm, CountingNegationIsKept) {
+  FormulaRef f = MustParseFormula("!(exists>=2 z. E(x, z))");
+  FormulaRef nnf = ToNegationNormalForm(f);
+  EXPECT_TRUE(IsNegationNormalForm(nnf));
+  EXPECT_EQ(nnf->kind(), FormulaKind::kNot);
+  EXPECT_EQ(nnf->child(0)->kind(), FormulaKind::kCountExists);
+}
+
+TEST(PrenexNormalForm, ProducesPrefixMatrixShape) {
+  FormulaRef f = MustParseFormula(
+      "(exists z. E(x, z)) & (forall w. (E(x, w) -> Red(w)))");
+  EXPECT_FALSE(IsPrenex(f));
+  FormulaRef prenex = ToPrenexNormalForm(f);
+  EXPECT_TRUE(IsPrenex(prenex));
+  EXPECT_EQ(prenex->free_variables(), f->free_variables());
+}
+
+TEST(PrenexNormalForm, AvoidsVariableCapture) {
+  // Both conjuncts bind z; pulling them out must rename apart.
+  FormulaRef f = MustParseFormula(
+      "(exists z. E(x, z)) & (exists z. Red(z))");
+  FormulaRef prenex = ToPrenexNormalForm(f);
+  EXPECT_TRUE(IsPrenex(prenex));
+  // Two quantifier occurrences survive.
+  EXPECT_EQ(ComputeFormulaStats(prenex).quantifier_occurrences, 2);
+}
+
+// Semantics preservation over random formulas and graphs.
+TEST(NormalForms, PreserveSemantics) {
+  Rng rng(55);
+  Graph g = MakeFamilyGraph(GraphFamily::kRandomTree, 7, rng);
+  AddRandomColors(g, {"Red"}, 0.5, rng);
+  std::string vars[] = {"x1"};
+  for (int i = 0; i < 40; ++i) {
+    FormulaRef f = RandomFormula(rng, {"x1"}, {"Red"}, 2, 4);
+    FormulaRef nnf = ToNegationNormalForm(f);
+    FormulaRef prenex = ToPrenexNormalForm(f);
+    EXPECT_TRUE(IsNegationNormalForm(nnf)) << ToString(f);
+    EXPECT_TRUE(IsPrenex(prenex)) << ToString(f);
+    for (Vertex v = 0; v < g.order(); ++v) {
+      Vertex tuple[] = {v};
+      bool original = EvaluateQuery(g, f, vars, tuple);
+      ASSERT_EQ(original, EvaluateQuery(g, nnf, vars, tuple))
+          << "NNF broke " << ToString(f) << " at " << v;
+      ASSERT_EQ(original, EvaluateQuery(g, prenex, vars, tuple))
+          << "PNF broke " << ToString(f) << " at " << v;
+    }
+  }
+}
+
+TEST(NormalForms, NnfIsIdempotent) {
+  Rng rng(56);
+  for (int i = 0; i < 20; ++i) {
+    FormulaRef f = RandomFormula(rng, {"x1"}, {"Red"}, 2, 3);
+    FormulaRef once = ToNegationNormalForm(f);
+    FormulaRef twice = ToNegationNormalForm(once);
+    EXPECT_EQ(ToString(once), ToString(twice));
+  }
+}
+
+TEST(PrenexNormalForm, DiesOnCountingQuantifiers) {
+  FormulaRef f = MustParseFormula("Red(x) & exists>=2 z. E(x, z)");
+  EXPECT_DEATH(ToPrenexNormalForm(f), "counting-free");
+}
+
+TEST(FormulaStats, CountsShape) {
+  FormulaRef f = MustParseFormula(
+      "exists z. (E(x, z) & forall w. (E(z, w) -> Red(w)))");
+  FormulaStats stats = ComputeFormulaStats(f);
+  EXPECT_EQ(stats.quantifier_rank, 2);
+  EXPECT_EQ(stats.quantifier_occurrences, 2);
+  EXPECT_GE(stats.atom_occurrences, 3);
+  EXPECT_GT(stats.connective_occurrences, 0);
+  EXPECT_GT(stats.dag_nodes, 5);
+}
+
+}  // namespace
+}  // namespace folearn

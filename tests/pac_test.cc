@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "graph/generators.h"
+#include "learn/erm.h"
+#include "learn/pac.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+TEST(Pac, DrawSampleRespectsDistribution) {
+  Graph g = MakePath(10);
+  AddPeriodicColor(g, "Red", 2, 0);
+  auto dist = MakeQueryDistribution(g, MustParseFormula("Red(x1)"),
+                                    QueryVars(1), 1, 0.0);
+  Rng rng(4);
+  TrainingSet sample = DrawSample(*dist, 200, rng);
+  EXPECT_EQ(sample.size(), 200u);
+  for (const LabeledExample& example : sample) {
+    EXPECT_EQ(example.label, example.tuple[0] % 2 == 0);
+  }
+}
+
+TEST(Pac, NoiseFlipsRoughlyTheRightFraction) {
+  Graph g = MakePath(10);
+  AddPeriodicColor(g, "Red", 2, 0);
+  auto dist = MakeQueryDistribution(g, MustParseFormula("Red(x1)"),
+                                    QueryVars(1), 1, 0.3);
+  Rng rng(4);
+  TrainingSet sample = DrawSample(*dist, 3000, rng);
+  int64_t flipped = 0;
+  for (const LabeledExample& example : sample) {
+    if (example.label != (example.tuple[0] % 2 == 0)) ++flipped;
+  }
+  double rate = static_cast<double>(flipped) / sample.size();
+  EXPECT_NEAR(rate, 0.3, 0.05);
+}
+
+TEST(Pac, SampleComplexityBoundBehaviour) {
+  // Bound shrinks with ε², grows with ln|H| and ln(1/δ).
+  EXPECT_GT(AgnosticSampleComplexity(10.0, 0.05, 0.05),
+            AgnosticSampleComplexity(10.0, 0.1, 0.05));
+  EXPECT_GT(AgnosticSampleComplexity(20.0, 0.1, 0.05),
+            AgnosticSampleComplexity(10.0, 0.1, 0.05));
+  EXPECT_GT(AgnosticSampleComplexity(10.0, 0.1, 0.001),
+            AgnosticSampleComplexity(10.0, 0.1, 0.1));
+  // Concrete value: 2(10 + ln 40)/0.01 = 2000 + 200·ln40 ≈ 2738.
+  EXPECT_EQ(AgnosticSampleComplexity(10.0, 0.1, 0.05), 2738);
+}
+
+TEST(Pac, LnHypothesisCountGrowsWithEll) {
+  Rng rng(9);
+  Graph g = MakeRandomTree(30, rng);
+  double ell0 = EstimateLnHypothesisCount(g, 1, 0, 1, 2, 200, rng);
+  double ell2 = EstimateLnHypothesisCount(g, 1, 2, 1, 2, 200, rng);
+  EXPECT_GT(ell2, ell0);
+  EXPECT_GT(ell0, 0.0);
+}
+
+TEST(Pac, RealisableExperimentGeneralisesWithEnoughData) {
+  Rng rng(12);
+  Graph g = MakeCaterpillar(15, 2);
+  AddPeriodicColor(g, "Red", 3, 0);
+  auto dist = MakeQueryDistribution(
+      g, MustParseFormula("exists z. (E(x1, z) & Red(z))"), QueryVars(1), 1,
+      0.0);
+  auto learner = [&](const TrainingSet& train) {
+    return TypeMajorityErm(g, train, {}, {1, -1}).hypothesis;
+  };
+  PacExperimentResult small =
+      RunPacExperiment(g, *dist, /*m_train=*/5, /*m_test=*/500, learner, rng);
+  PacExperimentResult big =
+      RunPacExperiment(g, *dist, /*m_train=*/200, /*m_test=*/500, learner,
+                       rng);
+  EXPECT_EQ(big.training_error, 0.0);  // realisable: ERM fits exactly
+  EXPECT_LE(big.generalization_error, 0.05);
+  // More data can only help (weak assertion to avoid flakiness).
+  EXPECT_LE(big.generalization_error, small.generalization_error + 0.05);
+}
+
+TEST(Pac, AgnosticErrorApproachesNoiseFloor) {
+  Rng rng(21);
+  Graph g = MakePath(20);
+  AddPeriodicColor(g, "Red", 2, 0);
+  const double noise = 0.2;
+  auto dist = MakeQueryDistribution(g, MustParseFormula("Red(x1)"),
+                                    QueryVars(1), 1, noise);
+  auto learner = [&](const TrainingSet& train) {
+    return TypeMajorityErm(g, train, {}, {1, -1}).hypothesis;
+  };
+  PacExperimentResult result =
+      RunPacExperiment(g, *dist, /*m_train=*/400, /*m_test=*/1000, learner,
+                       rng);
+  // Bayes error = noise; ERM should land near it, not at 0.
+  EXPECT_GE(result.generalization_error, noise - 0.07);
+  EXPECT_LE(result.generalization_error, noise + 0.07);
+  EXPECT_GE(result.training_error, noise - 0.1);
+}
+
+TEST(Pac, EstimateGeneralizationErrorOfConstantClassifier) {
+  Graph g = MakePath(10);
+  AddPeriodicColor(g, "Red", 2, 0);  // half the vertices
+  auto dist = MakeQueryDistribution(g, MustParseFormula("Red(x1)"),
+                                    QueryVars(1), 1, 0.0);
+  Rng rng(2);
+  double error = EstimateGeneralizationError(
+      [](std::span<const Vertex>) { return true; }, *dist, 2000, rng);
+  EXPECT_NEAR(error, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,197 @@
+// Property tests (TEST_P sweeps) for the type machinery: Fact 5 refinement,
+// Hintikka self-description, type/formula agreement, and counting-type
+// invariants across graph families and seeds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fo/parser.h"
+#include "mc/evaluator.h"
+#include "test_helpers.h"
+#include "types/counting_type.h"
+#include "types/hintikka.h"
+#include "types/type.h"
+
+namespace folearn {
+namespace {
+
+struct FamilySeedParam {
+  GraphFamily family;
+  int seed;
+};
+
+std::string FamilySeedName(
+    const ::testing::TestParamInfo<FamilySeedParam>& info) {
+  return std::string(FamilyName(info.param.family)) + "_" +
+         std::to_string(info.param.seed);
+}
+
+class TypesProperty : public ::testing::TestWithParam<FamilySeedParam> {
+ protected:
+  Graph MakeGraph(int n) {
+    Rng rng(GetParam().seed);
+    Graph g = MakeFamilyGraph(GetParam().family, n, rng);
+    AddRandomColors(g, {"Red"}, 0.4, rng);
+    return g;
+  }
+};
+
+// Fact 5: equal (q, r(q))-local types ⇒ equal q-types.
+TEST_P(TypesProperty, Fact5LocalTypesRefineGlobalTypes) {
+  Graph g = MakeGraph(14);
+  TypeRegistry registry(g.vocabulary());
+  const int q = 1;
+  const int r = GaifmanRadius(q);
+  for (Vertex u = 0; u < g.order(); ++u) {
+    for (Vertex v = u + 1; v < g.order(); ++v) {
+      Vertex a[] = {u};
+      Vertex b[] = {v};
+      if (ComputeLocalType(g, a, q, r, &registry) ==
+          ComputeLocalType(g, b, q, r, &registry)) {
+        ASSERT_EQ(ComputeType(g, a, q, &registry),
+                  ComputeType(g, b, q, &registry))
+            << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+// Rank monotonicity: rank-(q+1) types refine rank-q types.
+TEST_P(TypesProperty, HigherRankRefines) {
+  Graph g = MakeGraph(12);
+  TypeRegistry registry(g.vocabulary());
+  std::map<TypeId, std::set<TypeId>> coarse_of_fine;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    TypeId fine = ComputeType(g, tuple, 2, &registry);
+    TypeId coarse = ComputeType(g, tuple, 1, &registry);
+    coarse_of_fine[fine].insert(coarse);
+  }
+  for (const auto& [fine, coarse_set] : coarse_of_fine) {
+    EXPECT_EQ(coarse_set.size(), 1u)
+        << "a rank-2 class split across rank-1 classes";
+  }
+}
+
+// Hintikka formulas define their types exactly, at rank 1 and 2.
+TEST_P(TypesProperty, HintikkaSelfDescription) {
+  Graph g = MakeGraph(9);
+  TypeRegistry registry(g.vocabulary());
+  HintikkaBuilder builder(registry);
+  std::string vars[] = {"x1"};
+  for (int rank : {1, 2}) {
+    std::vector<TypeId> types;
+    for (Vertex v = 0; v < g.order(); ++v) {
+      Vertex tuple[] = {v};
+      types.push_back(ComputeType(g, tuple, rank, &registry));
+    }
+    for (Vertex v = 0; v < g.order(); v += 2) {
+      FormulaRef phi = builder.Build(types[v], {"x1"});
+      EXPECT_LE(phi->quantifier_rank(), rank);
+      for (Vertex u = 0; u < g.order(); ++u) {
+        Vertex tuple[] = {u};
+        ASSERT_EQ(EvaluateQuery(g, phi, vars, tuple), types[u] == types[v])
+            << "rank=" << rank << " u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+// Local Hintikka formulas relativised to radius r define local types on
+// the full graph.
+TEST_P(TypesProperty, LocalHintikkaOnFullGraph) {
+  Graph g = MakeGraph(10);
+  TypeRegistry registry(g.vocabulary());
+  HintikkaBuilder builder(registry);
+  const int rank = 1;
+  const int radius = 2;
+  std::vector<TypeId> local_types;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    local_types.push_back(
+        ComputeLocalType(g, tuple, rank, radius, &registry));
+  }
+  std::string vars[] = {"x1"};
+  for (Vertex v = 0; v < g.order(); v += 3) {
+    FormulaRef phi = builder.BuildLocal(local_types[v], {"x1"}, radius);
+    for (Vertex u = 0; u < g.order(); ++u) {
+      Vertex tuple[] = {u};
+      ASSERT_EQ(EvaluateQuery(g, phi, vars, tuple),
+                local_types[u] == local_types[v])
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+// Counting types with cap T refine plain types; counting Hintikka formulas
+// self-describe.
+TEST_P(TypesProperty, CountingTypesRefinePlainTypes) {
+  Graph g = MakeGraph(12);
+  TypeRegistry plain(g.vocabulary());
+  CountingTypeRegistry counting(g.vocabulary(), 3);
+  std::map<TypeId, std::set<TypeId>> plain_of_counting;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    TypeId c = ComputeCountingType(g, tuple, 1, &counting);
+    TypeId p = ComputeType(g, tuple, 1, &plain);
+    plain_of_counting[c].insert(p);
+  }
+  for (const auto& [c, plain_set] : plain_of_counting) {
+    EXPECT_EQ(plain_set.size(), 1u)
+        << "a counting class split across plain classes";
+  }
+}
+
+// Pair types: equal pair types imply equal evaluation of a fixed slice of
+// rank-1 pair formulas.
+TEST_P(TypesProperty, PairTypeAgreement) {
+  Graph g = MakeGraph(8);
+  TypeRegistry registry(g.vocabulary());
+  const char* formulas[] = {
+      "E(x1, x2)",
+      "x1 = x2",
+      "exists z. (E(x1, z) & E(z, x2))",
+      "exists z. (E(x1, z) & Red(z))",
+      "forall z. (E(x1, z) -> !E(x2, z))",
+  };
+  std::string vars[] = {"x1", "x2"};
+  std::map<TypeId, std::vector<std::pair<Vertex, Vertex>>> classes;
+  TypeComputer computer(g, &registry);
+  for (Vertex a = 0; a < g.order(); ++a) {
+    for (Vertex b = 0; b < g.order(); ++b) {
+      Vertex tuple[] = {a, b};
+      classes[computer.Type(tuple, 1)].push_back({a, b});
+    }
+  }
+  for (const char* text : formulas) {
+    FormulaRef f = MustParseFormula(text);
+    if (f->quantifier_rank() > 1) continue;
+    for (const auto& [type, members] : classes) {
+      Vertex first[] = {members[0].first, members[0].second};
+      bool expected = EvaluateQuery(g, f, vars, first);
+      for (const auto& [a, b] : members) {
+        Vertex tuple[] = {a, b};
+        ASSERT_EQ(EvaluateQuery(g, f, vars, tuple), expected)
+            << text << " (" << a << "," << b << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, TypesProperty,
+    ::testing::Values(FamilySeedParam{GraphFamily::kPath, 31},
+                      FamilySeedParam{GraphFamily::kCycle, 32},
+                      FamilySeedParam{GraphFamily::kRandomTree, 33},
+                      FamilySeedParam{GraphFamily::kRandomTree, 34},
+                      FamilySeedParam{GraphFamily::kCaterpillar, 35},
+                      FamilySeedParam{GraphFamily::kGrid, 36},
+                      FamilySeedParam{GraphFamily::kBoundedDegree, 37},
+                      FamilySeedParam{GraphFamily::kErdosRenyiSparse, 38},
+                      FamilySeedParam{GraphFamily::kStar, 39}),
+    FamilySeedName);
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,88 @@
+// Determinism pinning: the whole pipeline is seeded, so these exact values
+// must reproduce run after run and machine after machine. A change here
+// means an algorithm changed behaviour (intended: update the constants;
+// unintended: a nondeterminism or logic regression slipped in).
+//
+// Values were captured from a reference run; they are *behavioural*
+// fingerprints, not correctness oracles — correctness is covered by the
+// rest of the suite.
+
+#include <gtest/gtest.h>
+
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "graph/generators.h"
+#include "graph/invariants.h"
+#include "learn/erm.h"
+#include "learn/vc.h"
+#include "nd/wcol.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+class RegressionFixture : public ::testing::Test {
+ protected:
+  RegressionFixture() : rng_(424242) {
+    graph_ = MakeRandomTree(45, rng_);
+    AddRandomColors(graph_, {"Red"}, 0.35, rng_);
+  }
+
+  Rng rng_;
+  Graph graph_{0};
+};
+
+TEST_F(RegressionFixture, GeneratorFingerprint) {
+  EXPECT_EQ(graph_.order(), 45);
+  EXPECT_EQ(graph_.EdgeCount(), 44);
+  EXPECT_EQ(graph_.MaxDegree(), 5);
+}
+
+TEST_F(RegressionFixture, InvariantFingerprint) {
+  EXPECT_EQ(ComputeDegeneracy(graph_).degeneracy, 1);
+  EXPECT_EQ(ComputeDiameter(graph_), 18);
+  EXPECT_EQ(WeakColoringNumberDegeneracyOrder(graph_, 2), 3);
+}
+
+TEST_F(RegressionFixture, LearningFingerprint) {
+  TrainingSet examples = LabelByQuery(
+      graph_, MustParseFormula("exists z. (E(x1, z) & Red(z))"),
+      QueryVars(1), AllTuples(graph_.order(), 1));
+  FlipLabels(examples, 0.1, rng_);
+
+  ErmResult erm = TypeMajorityErm(graph_, examples, {}, {1, 2});
+  EXPECT_NEAR(erm.training_error, 0.022222, 1e-6);
+  EXPECT_EQ(erm.distinct_types_seen, 14);
+  EXPECT_EQ(erm.hypothesis.accepted.size(), 8u);
+
+  ErmResult brute = BruteForceErm(graph_, examples, 1, {1, 1});
+  EXPECT_EQ(brute.training_error, 0.0);
+  ASSERT_EQ(brute.hypothesis.parameters.size(), 1u);
+  EXPECT_EQ(brute.hypothesis.parameters[0], 6);
+  EXPECT_EQ(brute.parameter_tuples_tried, 7);
+}
+
+TEST_F(RegressionFixture, VcFingerprint) {
+  VcOptions options;
+  options.rank = 1;
+  options.radius = 1;
+  EXPECT_EQ(ComputeVcDimension(graph_, 1, options).vc_dimension, 6);
+}
+
+// Two independent constructions from the same seed must agree bit-for-bit
+// on a learned hypothesis's serialised form.
+TEST(Regression, LearnedFormulaIsStableAcrossRuns) {
+  auto run = [] {
+    Rng rng(777);
+    Graph g = MakeCaterpillar(8, 2);
+    AddRandomColors(g, {"Red"}, 0.4, rng);
+    TrainingSet ex = LabelByQuery(g, MustParseFormula("Red(x1)"),
+                                  QueryVars(1), AllTuples(g.order(), 1));
+    ErmResult r = TypeMajorityErm(g, ex, {}, {1, 1});
+    return ToString(r.hypothesis.ToExplicit().formula);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace folearn

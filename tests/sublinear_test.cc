@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "learn/sublinear.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+// The sublinear learner must match the full brute force on workloads whose
+// optimal parameter is near the examples (which, by the locality argument,
+// is every workload — far parameters cannot help).
+TEST(SublinearErm, MatchesBruteForceOnHubWorkloads) {
+  Rng rng(90);
+  for (int trial = 0; trial < 4; ++trial) {
+    Graph g = MakeBoundedDegree(60, 4, 90, rng);
+    Vertex w_star = static_cast<Vertex>(rng.UniformIndex(g.order()));
+    Vertex source[] = {w_star};
+    std::vector<int> dist = BfsDistances(g, source);
+    TrainingSet examples;
+    for (Vertex v = 0; v < g.order(); v += 2) {
+      examples.push_back({{v}, dist[v] != kUnreachable && dist[v] <= 1});
+    }
+    ErmOptions options{1, 1};
+    SublinearErmResult sub = SublinearErm(g, examples, 1, options);
+    ErmResult brute = BruteForceErm(g, examples, 1, options);
+    EXPECT_EQ(sub.erm.training_error, brute.training_error)
+        << "trial " << trial;
+  }
+}
+
+TEST(SublinearErm, PoolSmallerThanGraphWhenExamplesAreClustered) {
+  Rng rng(91);
+  Graph g = MakeBoundedDegree(400, 3, 550, rng);
+  // Examples concentrated on 10 vertices.
+  TrainingSet examples;
+  for (Vertex v = 0; v < 10; ++v) {
+    examples.push_back({{v}, v % 2 == 0});
+  }
+  SublinearErmResult result = SublinearErm(g, examples, 1, {1, 1});
+  EXPECT_LT(result.candidate_pool_size, g.order() / 2);
+  EXPECT_GT(result.candidate_pool_size, 0);
+}
+
+TEST(SublinearErm, EllZeroDelegatesToPlainErm) {
+  Graph g = MakePath(10);
+  AddPeriodicColor(g, "Red", 2, 0);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    examples.push_back({{v}, v % 2 == 0});
+  }
+  SublinearErmResult sub = SublinearErm(g, examples, 0, {1, 1});
+  ErmResult plain = TypeMajorityErm(g, examples, {}, {1, 1});
+  EXPECT_EQ(sub.erm.training_error, plain.training_error);
+}
+
+TEST(SublinearErm, FarRepresentativeCoversInertSlots) {
+  // Examples in one component; a second far component exists. A hypothesis
+  // whose best parameter placement is "anywhere far" must still be
+  // representable through the single far representative.
+  Graph g = DisjointUnion(MakeStar(5), MakePath(20));
+  TrainingSet examples;
+  for (Vertex v = 0; v <= 5; ++v) {
+    examples.push_back({{v}, v == 0});
+  }
+  SublinearErmResult result = SublinearErm(g, examples, 1, {1, 1});
+  // Pool = star (within 3 of examples) + 1 far path vertex.
+  EXPECT_LE(result.candidate_pool_size, 6 + 1 + 3);
+  EXPECT_EQ(result.erm.training_error, 0.0);
+}
+
+// --- LocalTypeIndex -----------------------------------------------------------
+
+TEST(LocalTypeIndex, LookupMatchesDirectComputation) {
+  Rng rng(92);
+  Graph g = MakeRandomTree(40, rng);
+  AddRandomColors(g, {"Red"}, 0.4, rng);
+  LocalTypeIndex index(g, 1, 2);
+  // Types computed through the index's own registry must agree.
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    TypeId direct = ComputeLocalType(g, tuple, 1, 2,
+                                     index.registry().get());
+    EXPECT_EQ(index.Lookup(v), direct) << v;
+  }
+  EXPECT_GT(index.distinct_types(), 1);
+}
+
+TEST(LocalTypeIndex, ErmMatchesDirectTypeMajority) {
+  Rng rng(93);
+  Graph g = MakeCaterpillar(12, 2);
+  AddRandomColors(g, {"Red"}, 0.3, rng);
+  LocalTypeIndex index(g, 1, 2);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    bool label = g.Degree(v) == 1;
+    if (rng.Bernoulli(0.1)) label = !label;
+    examples.push_back({{v}, label});
+  }
+  ErmResult indexed = index.Erm(examples);
+  ErmResult direct = TypeMajorityErm(g, examples, {}, {1, 2});
+  EXPECT_EQ(indexed.training_error, direct.training_error);
+  // And the indexed hypothesis classifies identically.
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    EXPECT_EQ(indexed.hypothesis.Classify(g, tuple),
+              direct.hypothesis.Classify(g, tuple));
+  }
+}
+
+TEST(LocalTypeIndex, RejectsNonUnaryExamples) {
+  Graph g = MakePath(5);
+  LocalTypeIndex index(g, 1, 1);
+  TrainingSet pairs = {{{0, 1}, true}};
+  EXPECT_DEATH(index.Erm(pairs), "unary");
+}
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "fo/enumerate.h"
+#include "fo/printer.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mc/evaluator.h"
+#include "types/hintikka.h"
+#include "types/type.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+TEST(AtomicType, EncodesColorsEqualityAdjacency) {
+  Graph g = MakePath(4);
+  ColorId red = AddPeriodicColor(g, "Red", 2, 0);
+  Vertex tuple[] = {0, 1, 0};
+  AtomicType atomic(g, tuple);
+  EXPECT_EQ(atomic.arity(), 3);
+  EXPECT_TRUE(atomic.HasColor(0, red));
+  EXPECT_FALSE(atomic.HasColor(1, red));
+  EXPECT_TRUE(atomic.Equal(0, 2));
+  EXPECT_FALSE(atomic.Equal(0, 1));
+  EXPECT_TRUE(atomic.Adjacent(0, 1));
+  EXPECT_TRUE(atomic.Adjacent(1, 2));
+  EXPECT_FALSE(atomic.Adjacent(0, 2));
+  EXPECT_TRUE(atomic.Equal(1, 1));
+  EXPECT_FALSE(atomic.Adjacent(1, 1));
+}
+
+TEST(TypeRegistry, InterningIsCanonical) {
+  Graph g = MakeCycle(6);
+  TypeRegistry registry(g.vocabulary());
+  Vertex a[] = {0};
+  Vertex b[] = {3};
+  // Vertex-transitive graph: all vertices have the same rank-2 type.
+  EXPECT_EQ(ComputeType(g, a, 2, &registry), ComputeType(g, b, 2, &registry));
+}
+
+TEST(Types, RankZeroIsAtomic) {
+  Graph g = MakePath(4);
+  AddPeriodicColor(g, "Red", 2, 0);
+  TypeRegistry registry(g.vocabulary());
+  Vertex a[] = {0};
+  Vertex b[] = {2};
+  Vertex c[] = {1};
+  // 0 and 2 share the atomic type (both red); 1 differs.
+  EXPECT_EQ(ComputeType(g, a, 0, &registry), ComputeType(g, b, 0, &registry));
+  EXPECT_NE(ComputeType(g, a, 0, &registry), ComputeType(g, c, 0, &registry));
+}
+
+TEST(Types, RankOneSeparatesEndpointsFromMidpoints) {
+  Graph g = MakePath(4);
+  TypeRegistry registry(g.vocabulary());
+  Vertex end[] = {0};
+  Vertex other_end[] = {3};
+  Vertex mid[] = {1};
+  // Endpoints have one neighbour type, midpoints see both sides — but with
+  // rank 1 on an uncoloured path, endpoints vs midpoints differ because
+  // only midpoints have two distinct neighbours… rank 1 can count
+  // neighbour *types*, not multiplicity; 0 and 3 must agree.
+  EXPECT_EQ(ComputeType(g, end, 1, &registry),
+            ComputeType(g, other_end, 1, &registry));
+  // Rank 2 separates endpoints from midpoints (the neighbour of an endpoint
+  // has a neighbour adjacent to it on one side only, etc.).
+  EXPECT_NE(ComputeType(g, end, 2, &registry),
+            ComputeType(g, mid, 2, &registry));
+}
+
+TEST(Types, HigherRankRefines) {
+  // If rank-q types differ, rank-(q+1) types must differ as well.
+  Rng rng(99);
+  Graph g = MakeRandomTree(14, rng);
+  AddRandomColors(g, {"Red"}, 0.5, rng);
+  TypeRegistry registry(g.vocabulary());
+  for (Vertex u = 0; u < g.order(); ++u) {
+    for (Vertex v = u + 1; v < g.order(); ++v) {
+      Vertex a[] = {u};
+      Vertex b[] = {v};
+      if (ComputeType(g, a, 1, &registry) !=
+          ComputeType(g, b, 1, &registry)) {
+        EXPECT_NE(ComputeType(g, a, 2, &registry),
+                  ComputeType(g, b, 2, &registry));
+      }
+    }
+  }
+}
+
+// The defining property of EF types: equal rank-q types ⟺ agreement on all
+// rank-q formulas. We verify both directions against a syntactic slice.
+TEST(Types, TypeEqualityMatchesFormulaAgreement) {
+  Rng rng(7);
+  Graph g = MakeRandomTree(9, rng);
+  AddRandomColors(g, {"Red"}, 0.4, rng);
+  TypeRegistry registry(g.vocabulary());
+
+  EnumerationOptions options;
+  options.free_variables = {"x1"};
+  options.colors = {"Red"};
+  options.max_quantifier_rank = 1;
+  options.max_boolean_depth = 1;
+  options.max_count = 3000;
+  std::vector<FormulaRef> formulas = EnumerateFormulas(options);
+
+  std::string vars[] = {"x1"};
+  for (Vertex u = 0; u < g.order(); ++u) {
+    for (Vertex v = u + 1; v < g.order(); ++v) {
+      Vertex a[] = {u};
+      Vertex b[] = {v};
+      bool same_type =
+          ComputeType(g, a, 1, &registry) == ComputeType(g, b, 1, &registry);
+      bool agree_everywhere = true;
+      for (const FormulaRef& f : formulas) {
+        if (f->quantifier_rank() > 1) continue;
+        Vertex ta[] = {u};
+        Vertex tb[] = {v};
+        if (EvaluateQuery(g, f, vars, ta) != EvaluateQuery(g, f, vars, tb)) {
+          agree_everywhere = false;
+          break;
+        }
+      }
+      // Equal type ⇒ agreement on every rank-1 formula. (The converse may
+      // fail for a *slice*, so we assert one direction only.)
+      if (same_type) {
+        EXPECT_TRUE(agree_everywhere) << "u=" << u << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(Types, PairTypesSeeDistanceWithinRank) {
+  Graph g = MakePath(7);
+  TypeRegistry registry(g.vocabulary());
+  Vertex close_pair[] = {1, 2};
+  Vertex far_pair[] = {1, 5};
+  // Adjacent pair vs distant pair differ already atomically.
+  EXPECT_NE(ComputeType(g, close_pair, 0, &registry),
+            ComputeType(g, far_pair, 0, &registry));
+  Vertex d2[] = {1, 3};
+  Vertex d3[] = {2, 5};
+  // Distance 2 vs 3: atomically equal (both non-adjacent), rank 1
+  // distinguishes them via a common neighbour.
+  EXPECT_EQ(ComputeType(g, d2, 0, &registry),
+            ComputeType(g, d3, 0, &registry));
+  EXPECT_NE(ComputeType(g, d2, 1, &registry),
+            ComputeType(g, d3, 1, &registry));
+}
+
+TEST(LocalTypes, ComputedInsideInducedBall) {
+  Graph g = MakePath(20);
+  TypeRegistry registry(g.vocabulary());
+  // With radius 2, vertices ≥ 2 from both ends look identical at any rank.
+  Vertex a[] = {5};
+  Vertex b[] = {12};
+  EXPECT_EQ(ComputeLocalType(g, a, 2, 2, &registry),
+            ComputeLocalType(g, b, 2, 2, &registry));
+  // An endpoint differs from an interior vertex.
+  Vertex end[] = {0};
+  EXPECT_NE(ComputeLocalType(g, end, 2, 2, &registry),
+            ComputeLocalType(g, a, 2, 2, &registry));
+}
+
+TEST(LocalTypes, BatchMatchesSingle) {
+  Rng rng(3);
+  Graph g = MakeRandomTree(15, rng);
+  TypeRegistry registry(g.vocabulary());
+  std::vector<std::vector<Vertex>> tuples = {{0, 3}, {5, 5}, {14, 1}};
+  std::vector<TypeId> batch = ComputeLocalTypes(g, tuples, 1, 2, &registry);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(batch[i],
+              ComputeLocalType(g, tuples[i], 1, 2, &registry));
+  }
+}
+
+// Fact 5 (Gaifman): equal (q, r(q))-local types imply equal q-types.
+TEST(Fact5, LocalTypesRefineGlobalTypes) {
+  Rng rng(41);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = MakeRandomTree(12, rng);
+    AddRandomColors(g, {"Red"}, 0.5, rng);
+    TypeRegistry registry(g.vocabulary());
+    const int q = 1;
+    const int r = GaifmanRadius(q);
+    for (Vertex u = 0; u < g.order(); ++u) {
+      for (Vertex v = u + 1; v < g.order(); ++v) {
+        Vertex a[] = {u};
+        Vertex b[] = {v};
+        if (ComputeLocalType(g, a, q, r, &registry) ==
+            ComputeLocalType(g, b, q, r, &registry)) {
+          EXPECT_EQ(ComputeType(g, a, q, &registry),
+                    ComputeType(g, b, q, &registry))
+              << "trial=" << trial << " u=" << u << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+TEST(GaifmanRadius, ClassicalValues) {
+  EXPECT_EQ(GaifmanRadius(0), 0);
+  EXPECT_EQ(GaifmanRadius(1), 3);
+  EXPECT_EQ(GaifmanRadius(2), 24);
+  EXPECT_EQ(GaifmanRadius(3), 171);
+}
+
+// Hintikka correctness: H ⊨ φ_θ(ū) ⟺ tp_q(H, ū) = θ, across graphs.
+TEST(Hintikka, DefinesItsTypeExactly) {
+  Rng rng(13);
+  Graph g = MakeRandomTree(8, rng);
+  AddRandomColors(g, {"Red"}, 0.5, rng);
+  TypeRegistry registry(g.vocabulary());
+
+  const int q = 1;
+  std::vector<TypeId> types;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    types.push_back(ComputeType(g, tuple, q, &registry));
+  }
+  HintikkaBuilder builder(registry);
+  std::string vars[] = {"x1"};
+  for (Vertex v = 0; v < g.order(); ++v) {
+    FormulaRef phi = builder.Build(types[v], {"x1"});
+    EXPECT_LE(phi->quantifier_rank(), q);
+    for (Vertex u = 0; u < g.order(); ++u) {
+      Vertex tuple[] = {u};
+      EXPECT_EQ(EvaluateQuery(g, phi, vars, tuple), types[u] == types[v])
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(Hintikka, WorksAcrossGraphs) {
+  // A type computed on one graph is defined by its Hintikka formula on a
+  // DIFFERENT graph over the same vocabulary.
+  Graph path = MakePath(5);
+  Graph cycle = MakeCycle(5);
+  TypeRegistry registry(path.vocabulary());
+  Vertex mid[] = {2};
+  TypeId path_mid = ComputeType(path, mid, 1, &registry);
+  FormulaRef phi = HintikkaFormula(registry, path_mid, {"x1"});
+  std::string vars[] = {"x1"};
+  TypeComputer cycle_types(cycle, &registry);
+  for (Vertex v = 0; v < cycle.order(); ++v) {
+    Vertex tuple[] = {v};
+    bool same = cycle_types.Type(tuple, 1) == path_mid;
+    EXPECT_EQ(EvaluateQuery(cycle, phi, vars, tuple), same) << v;
+  }
+}
+
+TEST(Hintikka, PairTypes) {
+  Graph g = MakePath(5);
+  TypeRegistry registry(g.vocabulary());
+  Vertex pair[] = {1, 3};
+  TypeId theta = ComputeType(g, pair, 1, &registry);
+  FormulaRef phi = HintikkaFormula(registry, theta, {"x1", "x2"});
+  std::string vars[] = {"x1", "x2"};
+  TypeComputer computer(g, &registry);
+  for (Vertex u = 0; u < g.order(); ++u) {
+    for (Vertex v = 0; v < g.order(); ++v) {
+      Vertex tuple[] = {u, v};
+      bool same = computer.Type(tuple, 1) == theta;
+      EXPECT_EQ(EvaluateQuery(g, phi, vars, tuple), same)
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(LocalHintikka, DefinesLocalTypeOnFullGraph) {
+  Graph g = MakePath(12);
+  AddPeriodicColor(g, "Red", 4, 0);
+  TypeRegistry registry(g.vocabulary());
+  const int q = 1;
+  const int r = 2;
+  std::vector<TypeId> local_types;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    Vertex tuple[] = {v};
+    local_types.push_back(ComputeLocalType(g, tuple, q, r, &registry));
+  }
+  HintikkaBuilder builder(registry);
+  std::string vars[] = {"x1"};
+  for (Vertex v : {0, 3, 6}) {
+    FormulaRef phi = builder.BuildLocal(local_types[v], {"x1"}, r);
+    for (Vertex u = 0; u < g.order(); ++u) {
+      Vertex tuple[] = {u};
+      EXPECT_EQ(EvaluateQuery(g, phi, vars, tuple),
+                local_types[u] == local_types[v])
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(TypeComputer, CacheGrowsAndIsReused) {
+  Graph g = MakeCycle(8);
+  TypeRegistry registry(g.vocabulary());
+  TypeComputer computer(g, &registry);
+  Vertex tuple[] = {0};
+  computer.Type(tuple, 2);
+  int64_t after_first = computer.cache_size();
+  computer.Type(tuple, 2);
+  EXPECT_EQ(computer.cache_size(), after_first);
+  EXPECT_GT(after_first, 0);
+}
+
+TEST(TypeRegistry, VocabularyMismatchDies) {
+  Graph g = MakePath(3);
+  Graph colored = MakePath(3);
+  colored.AddColor("Red");
+  TypeRegistry registry(g.vocabulary());
+  Vertex tuple[] = {0};
+  EXPECT_DEATH(ComputeType(colored, tuple, 1, &registry), "vocabulary");
+}
+
+// Types of empty tuples = sentence-level equivalence.
+TEST(Types, EmptyTupleDistinguishesGraphs) {
+  Graph path = MakePath(4);
+  Graph cycle = MakeCycle(4);
+  TypeRegistry registry(path.vocabulary());
+  std::span<const Vertex> empty;
+  // Rank 2 does NOT separate P4 from C4 (Duplicator survives two EF
+  // rounds); rank 3 does, via "there is a degree-1 vertex".
+  EXPECT_EQ(ComputeType(path, empty, 2, &registry),
+            ComputeType(cycle, empty, 2, &registry));
+  TypeId path_type = ComputeType(path, empty, 3, &registry);
+  TypeId cycle_type = ComputeType(cycle, empty, 3, &registry);
+  EXPECT_NE(path_type, cycle_type);
+  // And two isomorphic graphs agree.
+  Graph path2 = MakePath(4);
+  EXPECT_EQ(ComputeType(path2, empty, 3, &registry), path_type);
+}
+
+}  // namespace
+}  // namespace folearn

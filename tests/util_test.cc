@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace folearn {
+namespace {
+
+TEST(ForEachTuple, EnumeratesAllTuplesInOrder) {
+  std::vector<std::vector<int64_t>> tuples;
+  ForEachTuple(3, 2, [&](const std::vector<int64_t>& t) {
+    tuples.push_back(t);
+    return true;
+  });
+  ASSERT_EQ(tuples.size(), 9u);
+  EXPECT_EQ(tuples.front(), (std::vector<int64_t>{0, 0}));
+  EXPECT_EQ(tuples[1], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(tuples.back(), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(ForEachTuple, LengthZeroYieldsEmptyTuple) {
+  int count = 0;
+  ForEachTuple(5, 0, [&](const std::vector<int64_t>& t) {
+    EXPECT_TRUE(t.empty());
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ForEachTuple, EarlyStopReturnsFalse) {
+  int count = 0;
+  bool completed = ForEachTuple(10, 2, [&](const std::vector<int64_t>&) {
+    return ++count < 5;
+  });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(ForEachSubset, CountsMatchBinomial) {
+  for (int n = 0; n <= 7; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      int64_t count = 0;
+      ForEachSubset(n, k, [&](const std::vector<int64_t>& s) {
+        EXPECT_EQ(static_cast<int>(s.size()), k);
+        EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+        ++count;
+        return true;
+      });
+      EXPECT_EQ(count, Binomial(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ForEachSubsetUpTo, SmallerSizesFirst) {
+  std::vector<size_t> sizes;
+  ForEachSubsetUpTo(4, 0, 2, [&](const std::vector<int64_t>& s) {
+    sizes.push_back(s.size());
+    return true;
+  });
+  EXPECT_TRUE(std::is_sorted(sizes.begin(), sizes.end()));
+  EXPECT_EQ(sizes.size(), 1u + 4u + 6u);
+}
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(Binomial(0, 0), 1);
+  EXPECT_EQ(Binomial(5, 2), 10);
+  EXPECT_EQ(Binomial(10, 5), 252);
+  EXPECT_EQ(Binomial(52, 5), 2598960);
+  EXPECT_EQ(Binomial(5, 7), 0);
+}
+
+TEST(SaturatingPow, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(SaturatingPow(2, 10), 1024);
+  EXPECT_EQ(SaturatingPow(10, 0), 1);
+  EXPECT_EQ(SaturatingPow(2, 63), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(SaturatingPow(1000000, 5), std::numeric_limits<int64_t>::max());
+}
+
+TEST(RamseyUpperBound, PigeonholeForSingletons) {
+  // k=1: colours·(m−1)+1.
+  EXPECT_EQ(RamseyUpperBound(1, 3, 4), 10);
+}
+
+TEST(RamseyUpperBound, TriangleBoundsAreClassical) {
+  // R(3,3) = 6 ≤ our bound; 1-colour is trivial.
+  EXPECT_EQ(RamseyUpperBound(2, 1, 3), 3);
+  EXPECT_GE(RamseyUpperBound(2, 2, 3), 6);
+  // 2-colour bound is the recurrence value 2·2+2 = 6 (tight!).
+  EXPECT_EQ(RamseyUpperBound(2, 2, 3), 6);
+  // 3 colours: R(3,3,3) = 17 ≤ bound.
+  EXPECT_GE(RamseyUpperBound(2, 3, 3), 17);
+}
+
+TEST(RamseyUpperBound, MonotoneInColours) {
+  int64_t previous = 0;
+  for (int64_t colours = 1; colours <= 8; ++colours) {
+    int64_t bound = RamseyUpperBound(2, colours, 3);
+    EXPECT_GE(bound, previous);
+    previous = bound;
+  }
+}
+
+TEST(RamseyUpperBound, TrivialWhenSubsetFits) {
+  EXPECT_EQ(RamseyUpperBound(2, 100, 2), 2);
+  EXPECT_EQ(RamseyUpperBound(3, 5, 3), 3);
+}
+
+TEST(Rng, DeterministicAcrossSeeds) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(3);
+  std::vector<int> values = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Strings, SplitAndStrip) {
+  std::vector<std::string> pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(Join(std::vector<std::string>{"x", "y"}, "+"), "x+y");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "100"});
+  std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("| b     | 100   |"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2);
+}
+
+TEST(FormatDouble, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,344 @@
+// folearn command-line tool: learn first-order queries over coloured
+// graphs, evaluate saved models, model-check sentences (directly or
+// through the Theorem 1 learning-oracle reduction), generate graphs, and
+// profile nowhere-density.
+//
+//   folearn_cli generate --family tree --n 50 --seed 7 --color Red:0.3
+//   folearn_cli learn    --graph g.txt --data d.txt --rank 1 --ell 1
+//   folearn_cli eval     --graph g.txt --data d.txt --model m.txt
+//   folearn_cli mc       --graph g.txt --sentence "exists x. Red(x)"
+//   folearn_cli profile  --graph g.txt --radius 2
+//
+// Graph files use graph/io.h's text format, datasets/models learn/model_io.h.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "graph/generators.h"
+#include "graph/invariants.h"
+#include "graph/io.h"
+#include "learn/erm.h"
+#include "learn/hardness.h"
+#include "learn/model_io.h"
+#include "learn/nd_learner.h"
+#include "learn/sublinear.h"
+#include "mc/evaluator.h"
+#include "nd/splitter_game.h"
+#include "nd/wcol.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace folearn {
+namespace {
+
+// Minimal --flag value parser: flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.size() < 3 || key[0] != '-' || key[1] != '-') {
+        error_ = "expected --flag, got '" + key + "'";
+        return;
+      }
+      values_[key.substr(2)] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      error_ = "flags must come in --key value pairs";
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+std::optional<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << content;
+  return true;
+}
+
+std::optional<Graph> LoadGraph(const Args& args) {
+  std::string path = args.Get("graph");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --graph <file>\n");
+    return std::nullopt;
+  }
+  std::optional<std::string> text = ReadFile(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "cannot read graph file '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<Graph> graph = FromText(*text, &error);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "graph parse error: %s\n", error.c_str());
+  }
+  return graph;
+}
+
+std::optional<TrainingSet> LoadData(const Args& args) {
+  std::string path = args.Get("data");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing --data <file>\n");
+    return std::nullopt;
+  }
+  std::optional<std::string> text = ReadFile(path);
+  if (!text.has_value()) {
+    std::fprintf(stderr, "cannot read data file '%s'\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  std::optional<TrainingSet> data = TrainingSetFromText(*text, &error);
+  if (!data.has_value()) {
+    std::fprintf(stderr, "data parse error: %s\n", error.c_str());
+  }
+  return data;
+}
+
+int CmdGenerate(const Args& args) {
+  Rng rng(args.GetInt("seed", 1));
+  int n = args.GetInt("n", 50);
+  std::string family = args.Get("family", "tree");
+  Graph graph(0);
+  if (family == "tree") {
+    graph = MakeRandomTree(n, rng);
+  } else if (family == "path") {
+    graph = MakePath(n);
+  } else if (family == "cycle") {
+    graph = MakeCycle(std::max(n, 3));
+  } else if (family == "grid") {
+    int side = 1;
+    while (side * side < n) ++side;
+    graph = MakeGrid(side, side);
+  } else if (family == "bounded-degree") {
+    graph = MakeBoundedDegree(n, args.GetInt("degree", 4), 3 * n / 2, rng);
+  } else if (family == "er") {
+    graph = MakeErdosRenyi(n, args.GetDouble("p", 2.0 / n), rng);
+  } else if (family == "star") {
+    graph = MakeStar(std::max(n - 1, 1));
+  } else if (family == "pa") {
+    graph = MakePreferentialAttachment(n, args.GetInt("attach", 1), rng);
+  } else {
+    std::fprintf(stderr,
+                 "unknown family '%s' (tree|path|cycle|grid|"
+                 "bounded-degree|er|star|pa)\n",
+                 family.c_str());
+    return 1;
+  }
+  // --color Name:prob, repeatable via comma.
+  if (args.Has("color")) {
+    for (const std::string& spec : Split(args.Get("color"), ',')) {
+      std::vector<std::string> parts = Split(spec, ':');
+      if (parts.size() != 2) {
+        std::fprintf(stderr, "bad --color spec '%s' (Name:prob)\n",
+                     spec.c_str());
+        return 1;
+      }
+      AddRandomColors(graph, {parts[0]}, std::stod(parts[1]), rng);
+    }
+  }
+  std::string text = ToText(graph);
+  std::string out_path = args.Get("out");
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else if (!WriteFile(out_path, text)) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdLearn(const Args& args) {
+  std::optional<Graph> graph = LoadGraph(args);
+  std::optional<TrainingSet> data = LoadData(args);
+  if (!graph.has_value() || !data.has_value()) return 1;
+  ErmOptions options;
+  options.rank = args.GetInt("rank", 1);
+  options.radius = args.GetInt("radius", -1);
+  int ell = args.GetInt("ell", 0);
+  std::string learner = args.Get("learner", "brute");
+
+  ErmResult result;
+  if (learner == "brute") {
+    result = BruteForceErm(*graph, *data, ell, options);
+  } else if (learner == "sublinear") {
+    result = SublinearErm(*graph, *data, ell, options).erm;
+  } else if (learner == "nd") {
+    NdLearnerOptions nd;
+    nd.rank = options.rank;
+    nd.radius = options.radius;
+    nd.ell_star = std::max(ell, 1);
+    nd.epsilon = args.GetDouble("epsilon", 0.2);
+    result = LearnNowhereDense(*graph, *data, nd).erm;
+  } else {
+    std::fprintf(stderr, "unknown learner '%s' (brute|sublinear|nd)\n",
+                 learner.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "training error: %.4f over %lld local types\n",
+               result.training_error,
+               static_cast<long long>(result.distinct_types_seen));
+  Hypothesis hypothesis = result.hypothesis.ToExplicit();
+  std::string text = HypothesisToText(hypothesis);
+  std::string out_path = args.Get("out");
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else if (!WriteFile(out_path, text)) {
+    std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  std::optional<Graph> graph = LoadGraph(args);
+  std::optional<TrainingSet> data = LoadData(args);
+  if (!graph.has_value() || !data.has_value()) return 1;
+  std::string model_path = args.Get("model");
+  std::optional<std::string> model_text = ReadFile(model_path);
+  if (!model_text.has_value()) {
+    std::fprintf(stderr, "cannot read model '%s'\n", model_path.c_str());
+    return 1;
+  }
+  std::string error;
+  std::optional<Hypothesis> hypothesis =
+      HypothesisFromText(*model_text, &error);
+  if (!hypothesis.has_value()) {
+    std::fprintf(stderr, "model parse error: %s\n", error.c_str());
+    return 1;
+  }
+  double err = TrainingError(*graph, *hypothesis, *data);
+  std::printf("error: %.4f on %zu examples\n", err, data->size());
+  return 0;
+}
+
+int CmdMc(const Args& args) {
+  std::optional<Graph> graph = LoadGraph(args);
+  if (!graph.has_value()) return 1;
+  std::string sentence_text = args.Get("sentence");
+  std::string error;
+  std::optional<FormulaRef> sentence = ParseFormula(sentence_text, &error);
+  if (!sentence.has_value()) {
+    std::fprintf(stderr, "sentence parse error: %s\n", error.c_str());
+    return 1;
+  }
+  bool value;
+  if (args.Has("via-erm")) {
+    TypeErmOracle oracle;
+    HardnessStats stats;
+    value = ModelCheckViaErm(*graph, *sentence, oracle, {}, &stats);
+    std::fprintf(stderr,
+                 "via ERM oracle: %lld oracle calls, max |T| = %d, %lld "
+                 "recursion nodes\n",
+                 static_cast<long long>(stats.oracle_calls),
+                 stats.max_representatives,
+                 static_cast<long long>(stats.recursion_nodes));
+  } else {
+    value = EvaluateSentence(*graph, *sentence);
+  }
+  std::printf("%s\n", value ? "true" : "false");
+  return value ? 0 : 2;
+}
+
+int CmdProfile(const Args& args) {
+  std::optional<Graph> graph = LoadGraph(args);
+  if (!graph.has_value()) return 1;
+  int radius = args.GetInt("radius", 2);
+  Table table({"invariant", "value"});
+  table.AddRow({"order", std::to_string(graph->order())});
+  table.AddRow({"edges", std::to_string(graph->EdgeCount())});
+  table.AddRow({"max degree", std::to_string(graph->MaxDegree())});
+  table.AddRow({"degeneracy",
+                std::to_string(ComputeDegeneracy(*graph).degeneracy)});
+  int girth = ComputeGirth(*graph);
+  table.AddRow({"girth", girth == kNoGirth ? "∞ (forest)"
+                                           : std::to_string(girth)});
+  table.AddRow({"diameter", std::to_string(ComputeDiameter(*graph))});
+  table.AddRow(
+      {"wcol_" + std::to_string(radius),
+       std::to_string(WeakColoringNumberDegeneracyOrder(*graph, radius))});
+  auto splitter = IsForest(*graph) ? MakeTreeSplitter()
+                                   : MakeGreedyDegreeSplitter();
+  auto connector = MakeGreedyBallConnector();
+  SplitterGameResult game =
+      PlaySplitterGame(*graph, radius, 3 * radius + 20, *splitter,
+                       *connector);
+  table.AddRow({"splitter rounds (r=" + std::to_string(radius) + ")",
+                game.splitter_won ? std::to_string(game.rounds_used)
+                                  : "> budget"});
+  table.Print();
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: folearn_cli <command> [--flag value]...\n"
+      "  generate --family tree|path|cycle|grid|bounded-degree|er|star|pa\n"
+      "           --n N [--seed S] [--color Name:prob[,Name:prob]]\n"
+      "           [--out g.txt]\n"
+      "  learn    --graph g.txt --data d.txt [--rank q] [--radius r]\n"
+      "           [--ell l] [--learner brute|sublinear|nd] [--out m.txt]\n"
+      "  eval     --graph g.txt --data d.txt --model m.txt\n"
+      "  mc       --graph g.txt --sentence \"...\" [--via-erm 1]\n"
+      "  profile  --graph g.txt [--radius r]\n");
+  return 64;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.error().empty()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return 64;
+  }
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "learn") return CmdLearn(args);
+  if (command == "eval") return CmdEval(args);
+  if (command == "mc") return CmdMc(args);
+  if (command == "profile") return CmdProfile(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace folearn
+
+int main(int argc, char** argv) { return folearn::Main(argc, argv); }
