@@ -1,8 +1,62 @@
 #include "fo/mso.h"
 
+#include <algorithm>
+#include <limits>
+
 namespace folearn {
 
 namespace {
+
+// Saturation ceiling for work bounds; far above any budget a caller would
+// actually set, far below INT64_MAX so sums of bounds cannot overflow.
+constexpr int64_t kWorkBoundCap = std::numeric_limits<int64_t>::max() / 8;
+
+int64_t SaturatingAdd(int64_t a, int64_t b) {
+  return (a >= kWorkBoundCap - b) ? kWorkBoundCap : a + b;
+}
+
+// branches · (1 + per-branch work), saturating.
+int64_t BranchWork(int64_t branches, int64_t child_work) {
+  if (branches <= 0) return 0;
+  if (child_work >= kWorkBoundCap / branches) return kWorkBoundCap;
+  int64_t per_branch = SaturatingAdd(child_work, 1);
+  if (per_branch >= kWorkBoundCap / branches) return kWorkBoundCap;
+  return branches * per_branch;
+}
+
+int64_t WorkBound(const Formula* f, int order) {
+  switch (f->kind()) {
+    case FormulaKind::kTrue:
+    case FormulaKind::kFalse:
+    case FormulaKind::kEdge:
+    case FormulaKind::kEquals:
+    case FormulaKind::kColor:
+    case FormulaKind::kSetMember:
+      return 0;
+    case FormulaKind::kNot:
+      return WorkBound(f->child(0).get(), order);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr: {
+      int64_t total = 0;
+      for (const FormulaRef& child : f->children()) {
+        total = SaturatingAdd(total, WorkBound(child.get(), order));
+      }
+      return total;
+    }
+    case FormulaKind::kExists:
+    case FormulaKind::kForall:
+    case FormulaKind::kCountExists:
+      return BranchWork(order, WorkBound(f->child(0).get(), order));
+    case FormulaKind::kExistsSet:
+    case FormulaKind::kForallSet: {
+      int64_t subsets = order >= 62 ? kWorkBoundCap
+                                    : (int64_t{1} << std::max(order, 0));
+      return BranchWork(subsets, WorkBound(f->child(0).get(), order));
+    }
+  }
+  FOLEARN_CHECK(false) << "unreachable";
+  return 0;
+}
 
 // ∀u∀v (u∈X ∧ E(u,v) → v∈X).
 FormulaRef EdgeClosed(const std::string& set_var) {
@@ -60,6 +114,12 @@ FormulaRef MsoIndependentDominatingSetSentence() {
                     "_z", Formula::And(Formula::Edge("_w", "_z"),
                                        Formula::SetMember("_z", "X")))));
   return Formula::ExistsSet("X", Formula::And(independent, dominating));
+}
+
+int64_t MsoEvaluationWorkBound(const FormulaRef& formula, int order) {
+  FOLEARN_CHECK(formula != nullptr);
+  FOLEARN_CHECK_GE(order, 0);
+  return WorkBound(formula.get(), order);
 }
 
 }  // namespace folearn

@@ -1,6 +1,8 @@
 #ifndef FOLEARN_FO_MSO_H_
 #define FOLEARN_FO_MSO_H_
 
+#include <cstdint>
+
 #include "fo/formula.h"
 
 namespace folearn {
@@ -25,6 +27,13 @@ FormulaRef MsoSameComponentFormula(const std::string& x,
 // "G has an independent dominating set":
 //   ∃X (independent(X) ∧ dominating(X)).
 FormulaRef MsoIndependentDominatingSetSentence();
+
+// Upper bound on the number of quantifier branches (= governor checkpoints)
+// the recursive evaluator can spend on `formula` over a structure with
+// `order` vertices. Set quantifiers contribute 2^order branches each, so
+// this is the right scale for GovernorLimits::max_work when budgeting an
+// MSO evaluation. Saturates instead of overflowing.
+int64_t MsoEvaluationWorkBound(const FormulaRef& formula, int order);
 
 }  // namespace folearn
 

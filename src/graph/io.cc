@@ -59,11 +59,13 @@ bool Fail(std::string* error, const std::string& message) {
 
 std::optional<Graph> FromText(std::string_view text, std::string* error) {
   std::optional<Graph> graph;
+  int line_number = 0;  // 1-based; prefixed to every parse error
   auto fail = [&](const std::string& message) -> std::optional<Graph> {
-    Fail(error, message);
+    Fail(error, "line " + std::to_string(line_number) + ": " + message);
     return std::nullopt;
   };
   for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
     std::string line(StripWhitespace(raw_line));
     if (line.empty() || line[0] == '#') continue;
     std::vector<std::string> tokens = Split(line, ' ');

@@ -20,7 +20,9 @@ namespace folearn {
 std::string ToText(const Graph& graph);
 
 // Parses the format produced by ToText. Returns std::nullopt on malformed
-// input (and fills *error if non-null).
+// input (and fills *error if non-null). Error messages are prefixed with
+// the offending 1-based line number ("line 3: ..."); the "empty input"
+// error has no line to point at and carries no prefix.
 std::optional<Graph> FromText(std::string_view text,
                               std::string* error = nullptr);
 

@@ -25,14 +25,18 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
   h.registry = registry;
   h.k = examples.empty() ? 0 : static_cast<int>(examples[0].tuple.size());
 
-  // Count labels per local type of v̄w̄.
+  // Count labels per local type of v̄w̄. Checkpoint per type computation;
+  // an interrupted run majority-votes over the examples seen so far.
   std::map<TypeId, std::pair<int64_t, int64_t>> counts;  // type → (pos, neg)
+  int64_t seen = 0;
   for (const LabeledExample& example : examples) {
+    if (!GovernorCheckpoint(options.governor)) break;
     FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), h.k);
     std::vector<Vertex> combined = example.tuple;
     combined.insert(combined.end(), parameters.begin(), parameters.end());
     TypeId type = ComputeLocalType(graph, combined, options.rank, radius,
                                    registry.get());
+    ++seen;
     auto& entry = counts[type];
     if (example.label) {
       ++entry.first;
@@ -40,6 +44,7 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
       ++entry.second;
     }
   }
+  result.status = GovernorStatus(options.governor);
   result.distinct_types_seen = static_cast<int64_t>(counts.size());
 
   int64_t wrong = 0;
@@ -52,10 +57,14 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
     }
   }
   // counts is an ordered map, so `accepted` is already sorted.
-  result.training_error =
-      examples.empty()
-          ? 0.0
-          : static_cast<double>(wrong) / static_cast<double>(examples.size());
+  if (seen > 0) {
+    result.training_error =
+        static_cast<double>(wrong) / static_cast<double>(seen);
+  } else {
+    // Vacuously perfect on an empty training set; pessimistic when the
+    // governor tripped before the first example.
+    result.training_error = examples.empty() ? 0.0 : 1.0;
+  }
   return result;
 }
 
@@ -68,24 +77,44 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
     registry = std::make_shared<TypeRegistry>(graph.vocabulary());
   }
   ErmResult best;
+  bool have_complete = false;
   int64_t tried = 0;
   ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
+    if (!GovernorCheckpoint(options.governor)) return false;
     std::vector<Vertex> parameters(raw.begin(), raw.end());
     ErmResult candidate =
         TypeMajorityErm(graph, examples, parameters, options, registry);
     ++tried;
-    if (tried == 1 || candidate.training_error < best.training_error) {
+    if (candidate.status == RunStatus::kComplete) {
+      if (!have_complete || candidate.training_error < best.training_error) {
+        best = std::move(candidate);
+        have_complete = true;
+      }
+    } else if (tried == 1) {
+      // Interrupted mid-candidate with nothing better: keep the partial
+      // majority vote rather than returning an empty hypothesis.
       best = std::move(candidate);
     }
-    return !early_stop || best.training_error > 0.0;
+    if (GovernorInterrupted(options.governor)) return false;
+    return !early_stop || best.training_error > 0.0 || !have_complete;
   });
+  if (tried == 0) {
+    // Governor tripped before the first candidate: still return a
+    // well-formed (vacuous) hypothesis rather than a default-constructed
+    // shell, so callers can serialise the result unconditionally.
+    best = TypeMajorityErm(graph, examples,
+                           std::vector<Vertex>(static_cast<size_t>(ell), 0),
+                           options, registry);
+  }
   best.parameter_tuples_tried = tried;
+  best.status = GovernorStatus(options.governor);
   return best;
 }
 
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
-                                    const EnumerationOptions& enumeration) {
+                                    const EnumerationOptions& enumeration,
+                                    ResourceGovernor* governor) {
   const int k = examples.empty() ? 0
                                  : static_cast<int>(examples[0].tuple.size());
   std::vector<std::string> query_vars = QueryVars(k);
@@ -101,6 +130,7 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
   ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
     std::vector<Vertex> parameters(raw.begin(), raw.end());
     for (const FormulaRef& formula : formulas) {
+      if (!GovernorCheckpoint(governor)) return false;
       Hypothesis candidate{formula, query_vars, param_vars, parameters};
       double error = TrainingError(graph, candidate, examples);
       ++best.formulas_tried;
@@ -112,6 +142,7 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
     }
     return true;
   });
+  best.status = GovernorStatus(governor);
   return best;
 }
 

@@ -10,6 +10,7 @@
 #include "learn/dataset.h"
 #include "learn/hypothesis.h"
 #include "types/type.h"
+#include "util/governor.h"
 
 namespace folearn {
 
@@ -26,6 +27,10 @@ namespace folearn {
 struct ErmOptions {
   int rank = 1;     // q: quantifier-rank budget of the hypothesis class
   int radius = -1;  // r: locality radius; −1 ⇒ GaifmanRadius(rank)
+  // Optional resource governor (nullptr = ungoverned). Work unit: one
+  // local-type computation. Shared across nested calls — BruteForceErm's
+  // per-candidate TypeMajorityErm calls draw from the same budget.
+  ResourceGovernor* governor = nullptr;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);
@@ -35,6 +40,10 @@ struct ErmOptions {
 struct ErmResult {
   TypeSetHypothesis hypothesis;
   double training_error = 1.0;
+  // kComplete: exact class optimum. Otherwise the governor tripped and the
+  // hypothesis is the best found so far; `training_error` is then measured
+  // over the examples processed before the interruption (1.0 if none).
+  RunStatus status = RunStatus::kComplete;
   // Diagnostics.
   int64_t parameter_tuples_tried = 0;
   int64_t distinct_types_seen = 0;
@@ -59,7 +68,10 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
 // hypothesis found; scans parameters in lexicographic order and keeps the
 // first minimiser, so the result is deterministic. With `early_stop` the
 // scan ends at the first zero-error candidate (disable it to measure the
-// full n^ℓ cost).
+// full n^ℓ cost). Anytime: if `options.governor` trips mid-scan, the best
+// candidate fully evaluated so far is returned (deterministically for a
+// work-budget or injected trip — same inputs + same budget ⇒ identical
+// result).
 ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
                         int ell, const ErmOptions& options,
                         std::shared_ptr<TypeRegistry> registry = nullptr,
@@ -72,11 +84,13 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
 struct EnumerationErmResult {
   Hypothesis hypothesis;
   double training_error = 1.0;
+  RunStatus status = RunStatus::kComplete;  // best-so-far when interrupted
   int64_t formulas_tried = 0;
 };
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
-                                    const EnumerationOptions& enumeration);
+                                    const EnumerationOptions& enumeration,
+                                    ResourceGovernor* governor = nullptr);
 
 }  // namespace folearn
 

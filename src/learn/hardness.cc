@@ -41,7 +41,7 @@ Hypothesis TypeErmOracle::Solve(const Graph& graph,
     registry = std::make_shared<TypeRegistry>(graph.vocabulary());
   }
 
-  ErmOptions options{rank_star, -1};
+  ErmOptions options{rank_star, -1, governor_};
   int ell = ell_star > 0 ? ell_star : relaxation_ell_;
   ErmResult result =
       ell == 0 ? TypeMajorityErm(graph, examples, {}, options, registry)
@@ -58,6 +58,7 @@ class Reducer {
       : oracle_(oracle), options_(options), stats_(stats) {}
 
   bool Check(const Graph& graph, const FormulaRef& sentence, int depth) {
+    if (!GovernorCheckpoint(options_.governor)) return false;
     if (stats_ != nullptr) {
       ++stats_->recursion_nodes;
       stats_->max_depth = std::max(stats_->max_depth, depth);
@@ -106,6 +107,7 @@ class Reducer {
     std::map<std::pair<Vertex, Vertex>, std::string> gamma;
     for (Vertex u = 0; u < n; ++u) {
       for (Vertex v = u + 1; v < n; ++v) {
+        if (!GovernorCheckpoint(options_.governor)) return false;
         gamma[{u, v}] = SeparatingFormulaKey(graph, u, v, rank_star);
       }
     }
@@ -117,6 +119,7 @@ class Reducer {
     bool removed = true;
     while (removed) {
       removed = false;
+      if (!GovernorCheckpoint(options_.governor)) return false;
       for (size_t i = 0; i < reps.size() && !removed; ++i) {
         for (size_t j = i + 1; j < reps.size() && !removed; ++j) {
           const std::string& gij = gamma[{reps[i], reps[j]}];
@@ -140,6 +143,7 @@ class Reducer {
     // Recurse: G ⊨ ∃x ψ iff G ⊨ ψ(t) for some representative t, and ψ(t)
     // is turned into a sentence over the expansion G_t via P_t, Q_t.
     for (Vertex t : reps) {
+      if (!GovernorCheckpoint(options_.governor)) return false;
       Graph expanded = graph;
       std::string pt_name = "_Pt" + std::to_string(depth);
       std::string qt_name = "_Qt" + std::to_string(depth);
@@ -258,7 +262,9 @@ bool ModelCheckViaErm(const Graph& graph, const FormulaRef& sentence,
   FOLEARN_CHECK(sentence->free_variables().empty())
       << "model checking requires a sentence";
   Reducer reducer(oracle, options, stats);
-  return reducer.Check(graph, sentence, 0);
+  bool value = reducer.Check(graph, sentence, 0);
+  if (stats != nullptr) stats->status = GovernorStatus(options.governor);
+  return value;
 }
 
 }  // namespace folearn

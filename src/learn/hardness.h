@@ -7,6 +7,7 @@
 #include "graph/graph.h"
 #include "learn/dataset.h"
 #include "learn/hypothesis.h"
+#include "util/governor.h"
 
 namespace folearn {
 
@@ -46,8 +47,11 @@ class TypeErmOracle : public ErmOracle {
  public:
   // `relaxation_ell` = L(1, 0, q): how many parameters the oracle may use
   // even when the caller asks for ℓ* = 0 (0 = the paper's base case).
-  explicit TypeErmOracle(int relaxation_ell = 0)
-      : relaxation_ell_(relaxation_ell) {}
+  // `governor` (optional) bounds each Solve call's inner ERM scan; share it
+  // with ModelCheckOptions::governor to bound a whole reduction run.
+  explicit TypeErmOracle(int relaxation_ell = 0,
+                         ResourceGovernor* governor = nullptr)
+      : relaxation_ell_(relaxation_ell), governor_(governor) {}
 
   Hypothesis Solve(const Graph& graph, const TrainingSet& examples, int k,
                    int ell_star, int rank_star, double epsilon) override;
@@ -56,6 +60,7 @@ class TypeErmOracle : public ErmOracle {
 
  private:
   int relaxation_ell_;
+  ResourceGovernor* governor_;
   int64_t calls_ = 0;
 };
 
@@ -65,6 +70,11 @@ struct HardnessStats {
   int64_t triples_removed = 0;
   int max_representatives = 0;  // largest |T| after pruning
   int max_depth = 0;
+  // kComplete: the returned truth value is exact. Otherwise the governor
+  // tripped mid-reduction and the returned value is unspecified (the
+  // recursion unwound early, possibly under a negation) — check this
+  // before trusting the answer.
+  RunStatus status = RunStatus::kComplete;
 };
 
 struct ModelCheckOptions {
@@ -74,11 +84,17 @@ struct ModelCheckOptions {
   bool use_general_case = false;
   // ℓ for the general case (the oracle's parameter relaxation).
   int general_case_ell = 1;
+  // Optional resource governor (nullptr = ungoverned). Work unit: one
+  // oracle call / pruning scan / recursion step. Interruption is recorded
+  // in HardnessStats::status.
+  ResourceGovernor* governor = nullptr;
 };
 
 // Decides graph ⊨ sentence via the Lemma 7 reduction. The sentence may be
 // any FO sentence (∀ handled by dualisation, boolean structure by
-// recursion). CHECK-fails on non-sentences.
+// recursion). CHECK-fails on non-sentences. If `options.governor` trips,
+// the reduction unwinds and returns false with stats->status (when stats
+// are requested) describing the interruption.
 bool ModelCheckViaErm(const Graph& graph, const FormulaRef& sentence,
                       ErmOracle& oracle, const ModelCheckOptions& options = {},
                       HardnessStats* stats = nullptr);

@@ -40,12 +40,14 @@ struct ConflictInfo {
   std::vector<int> critical_indices;  // indices into level.examples (Γ^i)
 };
 
-ConflictInfo AnalyzeConflicts(const Level& level, int rank, int radius) {
+ConflictInfo AnalyzeConflicts(const Level& level, int rank, int radius,
+                              ResourceGovernor* governor) {
   ConflictInfo info;
   TypeRegistry registry(level.graph.vocabulary());
   info.example_types.reserve(level.examples.size());
   std::map<TypeId, std::pair<int64_t, int64_t>> counts;
   for (const LabeledExample& example : level.examples) {
+    if (!GovernorCheckpoint(governor)) return info;  // caller checks status
     TypeId type =
         ComputeLocalType(level.graph, example.tuple, rank, radius, &registry);
     info.example_types.push_back(type);
@@ -74,10 +76,12 @@ ConflictInfo AnalyzeConflicts(const Level& level, int rank, int radius) {
 // useful parameters).
 std::vector<Vertex> SelectCenters(const Level& level,
                                   const std::vector<int>& critical_indices,
-                                  int radius, int max_centers) {
+                                  int radius, int max_centers,
+                                  ResourceGovernor* governor) {
   const int attend_radius = 2 * radius + 1;
   std::vector<int64_t> attended(level.graph.order(), 0);
   for (int index : critical_indices) {
+    if (!GovernorCheckpoint(governor)) return {};
     std::vector<Vertex> ball =
         Ball(level.graph, level.examples[index].tuple, attend_radius);
     for (Vertex v : ball) ++attended[v];
@@ -124,7 +128,8 @@ std::optional<Level> ContractLevel(const Level& level,
                                    const std::vector<Vertex>& z_set,
                                    int r_prime,
                                    const std::vector<Vertex>& splitter_moves,
-                                   int k, int rank, int radius, int step) {
+                                   int k, int rank, int radius, int step,
+                                   ResourceGovernor* governor) {
   const Graph& g = level.graph;
   const int keep_radius = 6 * radius + 3;        // N_{6r+3}(Y)
   const int comp_radius = 2 * radius + 1;        // H_v̄ edge threshold
@@ -195,6 +200,7 @@ std::optional<Level> ContractLevel(const Level& level,
   std::map<ComponentKey, Vertex> type_vertices;
   int type_vertex_counter = 0;
   for (const LabeledExample& example : level.examples) {
+    if (!GovernorCheckpoint(governor)) return std::nullopt;
     bool touches_y = false;
     for (Vertex v : example.tuple) {
       if (dist_to_y[v] != kUnreachable && dist_to_y[v] <= keep_radius) {
@@ -295,7 +301,9 @@ class CandidateCollector {
     if (Full()) return;
 
     const int radius = options_.EffectiveRadius();
-    ConflictInfo conflicts = AnalyzeConflicts(level, options_.rank, radius);
+    ConflictInfo conflicts =
+        AnalyzeConflicts(level, options_.rank, radius, options_.governor);
+    if (GovernorInterrupted(options_.governor)) return;
     NdStepStats stats;
     stats.step = step;
     stats.graph_order = level.graph.order();
@@ -315,10 +323,11 @@ class CandidateCollector {
     int max_centers = static_cast<int>(
         std::min<double>(64.0, std::ceil(k_ * options_.ell_star * rounds_ /
                                          options_.epsilon)));
-    std::vector<Vertex> x_set = SelectCenters(
-        level, conflicts.critical_indices, radius, max_centers);
+    std::vector<Vertex> x_set =
+        SelectCenters(level, conflicts.critical_indices, radius, max_centers,
+                      options_.governor);
     result_->steps[stats_index].x_size = static_cast<int>(x_set.size());
-    if (x_set.empty()) return;
+    if (x_set.empty() || GovernorInterrupted(options_.governor)) return;
 
     // Unroll the nondeterministic guess Y ⊆ X, |Y| ≤ ℓ*. X is sorted by
     // impact, so lexicographically early subsets carry the most attended
@@ -337,6 +346,7 @@ class CandidateCollector {
     int branches = 0;
     for (const std::vector<int64_t>& subset : subsets) {
       if (Full()) break;
+      if (!GovernorCheckpoint(options_.governor)) break;
       ++branches;
       std::vector<Vertex> y_set;
       for (int64_t index : subset) y_set.push_back(x_set[index]);
@@ -373,7 +383,7 @@ class CandidateCollector {
     }
     std::optional<Level> next =
         ContractLevel(level, y_set, covering.centers, covering.radius, moves,
-                      k_, options_.rank, radius, step);
+                      k_, options_.rank, radius, step, options_.governor);
     if (!next.has_value()) {
       AddCandidate(prefix_extension);
       return;
@@ -431,20 +441,32 @@ NdLearnerResult LearnNowhereDense(const Graph& graph,
   const int final_radius = options.final_radius >= 0
                                ? options.final_radius
                                : 2 * options.EffectiveRadius() + 1;
-  ErmOptions erm_options{options.rank, final_radius};
+  ErmOptions erm_options{options.rank, final_radius, options.governor};
   auto registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  bool have_complete = false;
   bool first = true;
   for (const std::vector<Vertex>& candidate : collector.candidates()) {
+    // The first candidate is evaluated even under an already-tripped
+    // governor (yielding a partial majority vote) so the result always
+    // carries a well-formed hypothesis; later candidates stop the scan.
+    if (!first && !GovernorCheckpoint(options.governor)) break;
     ErmResult erm =
         TypeMajorityErm(graph, examples, candidate, erm_options, registry);
     ++result.candidates_evaluated;
-    if (first || erm.training_error < result.erm.training_error) {
+    const bool complete = erm.status == RunStatus::kComplete;
+    if (first || (complete &&
+                  (!have_complete ||
+                   erm.training_error < result.erm.training_error))) {
       result.erm = std::move(erm);
       result.parameters = candidate;
-      first = false;
     }
-    if (result.erm.training_error == 0.0) break;
+    first = false;
+    have_complete = have_complete || complete;
+    if (have_complete && result.erm.training_error == 0.0) break;
+    if (GovernorInterrupted(options.governor)) break;
   }
+  result.status = GovernorStatus(options.governor);
+  result.erm.status = result.status;
   return result;
 }
 

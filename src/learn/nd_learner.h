@@ -50,6 +50,11 @@ struct NdLearnerOptions {
   int max_branches_per_step = 16;   // cap on Y-guess unrolling
   int max_total_candidates = 256;   // cap on collected parameter tuples
   int final_radius = -1;  // radius of the final type ERM; −1 ⇒ 2r+1
+  // Optional resource governor (nullptr = ungoverned), shared by the
+  // candidate-collection recursion and the final ERM phase. Work unit: one
+  // local-type computation / branch exploration. On interruption the best
+  // candidate evaluated so far is returned (anytime semantics).
+  ResourceGovernor* governor = nullptr;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);
@@ -74,6 +79,9 @@ struct NdStepStats {
 
 struct NdLearnerResult {
   ErmResult erm;  // best hypothesis (types over the original graph) + error
+  // kComplete: the full pipeline ran. Otherwise the governor tripped and
+  // `erm` is the best candidate evaluated before the interruption.
+  RunStatus status = RunStatus::kComplete;
   std::vector<NdStepStats> steps;
   int64_t candidates_evaluated = 0;
   // Parameters of the winning candidate (original-graph vertices).

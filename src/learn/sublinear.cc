@@ -46,38 +46,50 @@ SublinearErmResult SublinearErm(const Graph& graph,
   result.candidate_pool_size = static_cast<int64_t>(pool.size());
 
   // Brute force over pool^ell (pool is example-local, so this is
-  // m·d^{O(r)}-sized, not n-sized).
-  bool first = true;
+  // m·d^{O(r)}-sized, not n-sized). Anytime: keeps the best fully
+  // evaluated candidate when the governor trips mid-scan.
+  bool have_complete = false;
   int64_t tried = 0;
   ForEachTuple(static_cast<int64_t>(pool.size()), ell,
                [&](const std::vector<int64_t>& raw) {
+                 if (!GovernorCheckpoint(options.governor)) return false;
                  std::vector<Vertex> parameters;
                  parameters.reserve(raw.size());
                  for (int64_t index : raw) parameters.push_back(pool[index]);
                  ErmResult candidate = TypeMajorityErm(
                      graph, examples, parameters, options, registry);
                  ++tried;
-                 if (first ||
-                     candidate.training_error < result.erm.training_error) {
+                 if (candidate.status == RunStatus::kComplete) {
+                   if (!have_complete ||
+                       candidate.training_error <
+                           result.erm.training_error) {
+                     result.erm = std::move(candidate);
+                     have_complete = true;
+                   }
+                 } else if (tried == 1) {
                    result.erm = std::move(candidate);
-                   first = false;
                  }
-                 return result.erm.training_error > 0.0;
+                 if (GovernorInterrupted(options.governor)) return false;
+                 return result.erm.training_error > 0.0 || !have_complete;
                });
   result.erm.parameter_tuples_tried = tried;
+  result.erm.status = GovernorStatus(options.governor);
   return result;
 }
 
-LocalTypeIndex::LocalTypeIndex(const Graph& graph, int rank, int radius)
+LocalTypeIndex::LocalTypeIndex(const Graph& graph, int rank, int radius,
+                               ResourceGovernor* governor)
     : rank_(rank),
       radius_(radius),
       registry_(std::make_shared<TypeRegistry>(graph.vocabulary())) {
   types_.reserve(graph.order());
   for (Vertex v = 0; v < graph.order(); ++v) {
+    if (!GovernorCheckpoint(governor)) break;
     Vertex tuple[] = {v};
     types_.push_back(
         ComputeLocalType(graph, tuple, rank, radius, registry_.get()));
   }
+  build_status_ = GovernorStatus(governor);
 }
 
 ErmResult LocalTypeIndex::Erm(const TrainingSet& examples) const {

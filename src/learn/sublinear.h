@@ -30,7 +30,7 @@ namespace folearn {
 // --- Degree-bounded sublinear ERM (no preprocessing) --------------------------
 
 struct SublinearErmResult {
-  ErmResult erm;
+  ErmResult erm;  // erm.status records governor interruption (best-so-far)
   // |N_{2r+1}(examples)|: the actual candidate pool (≪ n on bounded-degree
   // graphs).
   int64_t candidate_pool_size = 0;
@@ -52,12 +52,18 @@ SublinearErmResult SublinearErm(const Graph& graph,
 // ERM is O(m log m).
 class LocalTypeIndex {
  public:
-  // Builds the index (the "polynomial-time preprocessing phase").
-  LocalTypeIndex(const Graph& graph, int rank, int radius);
+  // Builds the index (the "polynomial-time preprocessing phase"). With a
+  // governor (work unit: one vertex type computation) the build may stop
+  // early; `build_status()` reports it and Lookup CHECK-fails on vertices
+  // past the interruption point.
+  LocalTypeIndex(const Graph& graph, int rank, int radius,
+                 ResourceGovernor* governor = nullptr);
 
   TypeId Lookup(Vertex v) const {
     FOLEARN_CHECK_GE(v, 0);
-    FOLEARN_CHECK_LT(static_cast<size_t>(v), types_.size());
+    FOLEARN_CHECK_LT(static_cast<size_t>(v), types_.size())
+        << "vertex " << v << " not indexed (build status: "
+        << RunStatusName(build_status_) << ")";
     return types_[v];
   }
 
@@ -66,12 +72,17 @@ class LocalTypeIndex {
 
   int rank() const { return rank_; }
   int radius() const { return radius_; }
+  RunStatus build_status() const { return build_status_; }
+  int64_t indexed_vertices() const {
+    return static_cast<int64_t>(types_.size());
+  }
   int64_t distinct_types() const;
   const std::shared_ptr<TypeRegistry>& registry() const { return registry_; }
 
  private:
   int rank_;
   int radius_;
+  RunStatus build_status_ = RunStatus::kComplete;
   std::shared_ptr<TypeRegistry> registry_;
   std::vector<TypeId> types_;
 };

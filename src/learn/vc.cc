@@ -65,6 +65,10 @@ VcResult ComputeVcDimension(const Graph& graph, int k,
                  partition.reserve(pool.size());
                  std::map<TypeId, int> dense;
                  for (const std::vector<Vertex>& tuple : pool) {
+                   // A partial partition would mislead the shattering
+                   // search, so an interrupted parameter tuple is dropped
+                   // whole.
+                   if (!GovernorCheckpoint(options.governor)) return false;
                    std::vector<Vertex> combined = tuple;
                    combined.insert(combined.end(), params.begin(),
                                    params.end());
@@ -110,6 +114,7 @@ VcResult ComputeVcDimension(const Graph& graph, int k,
     }
     if (static_cast<int>(current.size()) >= options.max_dimension) return;
     for (size_t idx = start; idx < representatives.size(); ++idx) {
+      if (!GovernorCheckpoint(options.governor)) return;
       if (budget-- <= 0) {
         result.budget_exhausted = true;
         return;
@@ -126,10 +131,13 @@ VcResult ComputeVcDimension(const Graph& graph, int k,
       for (size_t p = 0; p < partitions.size(); ++p) {
         sample_classes[p].pop_back();
       }
-      if (result.budget_exhausted) return;
+      if (result.budget_exhausted || GovernorInterrupted(options.governor)) {
+        return;
+      }
     }
   };
   dfs(0);
+  result.status = GovernorStatus(options.governor);
 
   result.vc_dimension = static_cast<int>(best.size());
   for (int pool_index : best) {

@@ -5,6 +5,7 @@
 
 #include "graph/graph.h"
 #include "types/type.h"
+#include "util/governor.h"
 
 namespace folearn {
 
@@ -28,6 +29,11 @@ struct VcOptions {
   int max_dimension = 8;  // stop growing shattered sets beyond this
   // Budget on shattered-set search nodes (DFS over sample sets).
   int64_t search_budget = 2000000;
+  // Optional resource governor (nullptr = ungoverned). Work unit: one
+  // type computation in the partition phase, one DFS node in the search
+  // phase. On interruption the result is a lower bound (like
+  // budget_exhausted) with `status` recording why.
+  ResourceGovernor* governor = nullptr;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);
@@ -41,6 +47,9 @@ struct VcResult {
   // Number of distinct w̄-induced partitions of the tuple pool.
   int64_t distinct_partitions = 0;
   bool budget_exhausted = false;  // result is a lower bound if true
+  // Governor outcome; interrupted ⇒ vc_dimension is a lower bound over the
+  // partitions/sets examined before the trip.
+  RunStatus status = RunStatus::kComplete;
 };
 
 // Exact VC dimension of the type-set class over all k-tuples of G.

@@ -39,7 +39,8 @@ std::vector<int> Positions(const std::vector<std::string>& subset,
 // Expands `relation` to the variable set `target` ⊇ relation.vars by taking
 // the product with the full domain on the missing variables.
 Relation ExpandTo(const Relation& relation,
-                  const std::vector<std::string>& target, int domain) {
+                  const std::vector<std::string>& target, int domain,
+                  ResourceGovernor* governor = nullptr) {
   if (relation.vars == target) return relation;
   Relation result;
   result.vars = target;
@@ -58,7 +59,12 @@ Relation ExpandTo(const Relation& relation,
     }
     // Odometer over the free positions.
     std::vector<Vertex> counters(free_positions.size(), 0);
+    bool tripped = false;
     while (true) {
+      if (!GovernorCheckpoint(governor)) {
+        tripped = true;
+        break;
+      }
       for (size_t i = 0; i < free_positions.size(); ++i) {
         row[free_positions[i]] = counters[i];
       }
@@ -68,6 +74,7 @@ Relation ExpandTo(const Relation& relation,
       if (pos < 0) break;
       ++counters[pos];
     }
+    if (tripped) break;
     if (free_positions.empty()) {
       // Single row already pushed by the loop body above.
     }
@@ -78,8 +85,9 @@ Relation ExpandTo(const Relation& relation,
 
 class BottomUpEvaluator {
  public:
-  BottomUpEvaluator(const Graph& graph, EvalStats* stats)
-      : graph_(graph), stats_(stats) {}
+  BottomUpEvaluator(const Graph& graph, const EvalOptions& options,
+                    EvalStats* stats)
+      : graph_(graph), governor_(options.governor), stats_(stats) {}
 
   const Relation& Eval(const Formula* f) {
     auto it = memo_.find(f);
@@ -117,7 +125,8 @@ class BottomUpEvaluator {
         result.vars = all_vars;
         for (const FormulaRef& child : f->children()) {
           Relation expanded =
-              ExpandTo(Eval(child.get()), all_vars, graph_.order());
+              ExpandTo(Eval(child.get()), all_vars, graph_.order(),
+                       governor_);
           result.rows.insert(result.rows.end(), expanded.rows.begin(),
                              expanded.rows.end());
         }
@@ -149,6 +158,7 @@ class BottomUpEvaluator {
     std::sort(result.vars.begin(), result.vars.end());
     const bool x_first = result.vars[0] == x;
     for (Vertex u = 0; u < graph_.order(); ++u) {
+      if (!GovernorCheckpoint(governor_)) break;
       for (Vertex v : graph_.Neighbors(u)) {
         // Row in sorted-variable order.
         if (x_first) {
@@ -195,6 +205,7 @@ class BottomUpEvaluator {
     // Enumerate the full product in lexicographic order and emit rows not
     // present in `relation` (whose rows are sorted).
     while (true) {
+      if (!GovernorCheckpoint(governor_)) break;
       while (next_excluded < relation.rows.size() &&
              relation.rows[next_excluded] < row) {
         ++next_excluded;
@@ -251,6 +262,7 @@ class BottomUpEvaluator {
     }
     std::vector<Vertex> out(result.vars.size());
     for (const std::vector<Vertex>& probe_row : probe.rows) {
+      if (!GovernorCheckpoint(governor_)) break;
       std::vector<Vertex> key;
       key.reserve(probe_key.size());
       for (int p : probe_key) key.push_back(probe_row[p]);
@@ -284,6 +296,7 @@ class BottomUpEvaluator {
     result.vars.erase(result.vars.begin() + drop);
     result.rows.reserve(relation.rows.size());
     for (const std::vector<Vertex>& row : relation.rows) {
+      if (!GovernorCheckpoint(governor_)) break;
       std::vector<Vertex> projected = row;
       projected.erase(projected.begin() + drop);
       result.rows.push_back(std::move(projected));
@@ -305,6 +318,7 @@ class BottomUpEvaluator {
     result.vars.erase(result.vars.begin() + drop);
     std::map<std::vector<Vertex>, int64_t> group_counts;
     for (const std::vector<Vertex>& row : relation.rows) {
+      if (!GovernorCheckpoint(governor_)) break;
       std::vector<Vertex> group = row;
       group.erase(group.begin() + drop);
       ++group_counts[std::move(group)];
@@ -334,6 +348,7 @@ class BottomUpEvaluator {
     result.vars.erase(result.vars.begin() + drop);
     std::map<std::vector<Vertex>, int64_t> group_counts;
     for (const std::vector<Vertex>& row : relation.rows) {
+      if (!GovernorCheckpoint(governor_)) break;
       std::vector<Vertex> group = row;
       group.erase(group.begin() + drop);
       ++group_counts[std::move(group)];
@@ -354,6 +369,7 @@ class BottomUpEvaluator {
   }
 
   const Graph& graph_;
+  ResourceGovernor* governor_;
   EvalStats* stats_;
   std::unordered_map<const Formula*, Relation> memo_;
 };
@@ -373,19 +389,26 @@ bool Relation::Contains(const Assignment& assignment) const {
 
 Relation EvaluateBottomUp(const Graph& graph, const FormulaRef& formula,
                           EvalStats* stats) {
+  return EvaluateBottomUp(graph, formula, EvalOptions{}, stats);
+}
+
+Relation EvaluateBottomUp(const Graph& graph, const FormulaRef& formula,
+                          const EvalOptions& options, EvalStats* stats) {
   FOLEARN_CHECK(formula != nullptr);
-  BottomUpEvaluator evaluator(graph, stats);
-  return evaluator.Eval(formula.get());
+  BottomUpEvaluator evaluator(graph, options, stats);
+  Relation relation = evaluator.Eval(formula.get());
+  if (stats != nullptr) stats->status = GovernorStatus(options.governor);
+  return relation;
 }
 
 std::vector<std::vector<Vertex>> AnswerQuery(
     const Graph& graph, const FormulaRef& formula,
-    const std::vector<std::string>& vars) {
+    const std::vector<std::string>& vars, const EvalOptions& options) {
   for (const std::string& var : formula->free_variables()) {
     FOLEARN_CHECK(std::find(vars.begin(), vars.end(), var) != vars.end())
         << "output variables must cover free variable '" << var << "'";
   }
-  Relation relation = EvaluateBottomUp(graph, formula);
+  Relation relation = EvaluateBottomUp(graph, formula, options);
   // Expand to the full (sorted) output variable set, then permute columns
   // into the requested order.
   std::vector<std::string> sorted_vars = vars;
@@ -393,7 +416,8 @@ std::vector<std::vector<Vertex>> AnswerQuery(
   FOLEARN_CHECK(std::adjacent_find(sorted_vars.begin(), sorted_vars.end()) ==
                 sorted_vars.end())
       << "duplicate output variable";
-  Relation expanded = ExpandTo(relation, sorted_vars, graph.order());
+  Relation expanded =
+      ExpandTo(relation, sorted_vars, graph.order(), options.governor);
   // Column i of the output = position of vars[i] in sorted_vars.
   std::vector<int> order;
   order.reserve(vars.size());

@@ -44,12 +44,21 @@ struct Relation {
 Relation EvaluateBottomUp(const Graph& graph, const FormulaRef& formula,
                           EvalStats* stats = nullptr);
 
+// Governed variant. options.governor is checkpointed once per
+// relational-algebra row processed; on a trip the returned relation is
+// unspecified (built from partially evaluated operands) — check
+// `stats->status` or the governor itself.
+Relation EvaluateBottomUp(const Graph& graph, const FormulaRef& formula,
+                          const EvalOptions& options,
+                          EvalStats* stats = nullptr);
+
 // Query answering: all tuples (v1, …, vk) with G ⊨ φ(v̄), in the given
 // variable order (vars must cover the formula's free variables; extra vars
-// range over all vertices). Lexicographically sorted.
+// range over all vertices). Lexicographically sorted. Under a governor the
+// returned set may be incomplete (same caveat as above).
 std::vector<std::vector<Vertex>> AnswerQuery(
     const Graph& graph, const FormulaRef& formula,
-    const std::vector<std::string>& vars);
+    const std::vector<std::string>& vars, const EvalOptions& options = {});
 
 }  // namespace folearn
 

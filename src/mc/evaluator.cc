@@ -107,6 +107,7 @@ class Evaluator {
         const std::string& set_var = f->quantified_var();
         const uint64_t subsets = uint64_t{1} << graph_.order();
         for (uint64_t mask = 0; mask < subsets; ++mask) {
+          if (!GovernorCheckpoint(options_.governor)) return false;
           if (stats_ != nullptr) ++stats_->quantifier_branches;
           auto members = std::make_shared<std::vector<bool>>(graph_.order());
           for (Vertex v = 0; v < graph_.order(); ++v) {
@@ -127,6 +128,7 @@ class Evaluator {
         for (Vertex v = 0; v < graph_.order() && needed > 0; ++v) {
           // Early abort: not enough vertices left to reach the threshold.
           if (graph_.order() - v < needed) break;
+          if (!GovernorCheckpoint(options_.governor)) return false;
           if (stats_ != nullptr) ++stats_->quantifier_branches;
           assignment.Bind(var, v);
           if (Eval(f->child(0), assignment)) --needed;
@@ -141,6 +143,7 @@ class Evaluator {
         const bool is_exists = f->kind() == FormulaKind::kExists;
         const std::string& var = f->quantified_var();
         for (Vertex v = 0; v < graph_.order(); ++v) {
+          if (!GovernorCheckpoint(options_.governor)) return false;
           if (stats_ != nullptr) ++stats_->quantifier_branches;
           assignment.Bind(var, v);
           bool value = Eval(f->child(0), assignment);
@@ -179,7 +182,9 @@ bool Evaluate(const Graph& graph, const FormulaRef& formula,
               EvalStats* stats) {
   FOLEARN_CHECK(formula != nullptr);
   Assignment working = assignment;
-  return Evaluator(graph, options, stats).Eval(formula, working);
+  bool value = Evaluator(graph, options, stats).Eval(formula, working);
+  if (stats != nullptr) stats->status = GovernorStatus(options.governor);
+  return value;
 }
 
 bool EvaluateSentence(const Graph& graph, const FormulaRef& sentence,

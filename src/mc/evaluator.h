@@ -11,6 +11,7 @@
 
 #include "fo/formula.h"
 #include "graph/graph.h"
+#include "util/governor.h"
 
 namespace folearn {
 
@@ -53,6 +54,10 @@ class Assignment {
 struct EvalStats {
   int64_t atom_evaluations = 0;
   int64_t quantifier_branches = 0;
+  // kComplete: the returned truth value is exact. Otherwise the governor
+  // tripped mid-evaluation and the returned value is unspecified (the
+  // recursion unwound early, possibly under a negation).
+  RunStatus status = RunStatus::kComplete;
 };
 
 struct EvalOptions {
@@ -60,6 +65,11 @@ struct EvalOptions {
   // evaluate to false (used after vocabulary-erasing transformations); if
   // false, such atoms CHECK-fail — the safer default for catching bugs.
   bool missing_color_is_false = false;
+  // Optional resource governor (nullptr = ungoverned). Work unit: one
+  // quantifier branch (one vertex binding or one MSO subset). On a trip the
+  // evaluation unwinds immediately; the returned bool is then unspecified —
+  // check `stats->status` or the governor itself.
+  ResourceGovernor* governor = nullptr;
 };
 
 // The FO-MC substrate (paper §4): decides G ⊨ φ under `assignment` by the

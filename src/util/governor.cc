@@ -1,0 +1,20 @@
+#include "util/governor.h"
+
+namespace folearn {
+
+const char* RunStatusName(RunStatus status) {
+  switch (status) {
+    case RunStatus::kComplete:
+      return "complete";
+    case RunStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case RunStatus::kBudgetExhausted:
+      return "budget-exhausted";
+    case RunStatus::kCancelled:
+      return "cancelled";
+  }
+  FOLEARN_CHECK(false) << "unreachable";
+  return "unknown";
+}
+
+}  // namespace folearn

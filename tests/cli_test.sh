@@ -57,4 +57,56 @@ reduced=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
 # 6. Profile prints the invariants table.
 "$CLI" profile --graph "$DIR/g.txt" --radius 2 | grep -q 'degeneracy'
 
+# 7. Flag hygiene: duplicates and unknown flags are rejected (exit 64).
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --graph "$DIR/g.txt" \
+    --data "$DIR/d.txt" 2> "$DIR/dup.log" || rc=$?
+[ "$rc" -eq 64 ]
+grep -q "duplicate flag '--graph'" "$DIR/dup.log"
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+    --bogus 1 2> "$DIR/unknown.log" || rc=$?
+[ "$rc" -eq 64 ]
+grep -q "unknown flag '--bogus' for command 'learn'" "$DIR/unknown.log"
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+    --max-work 0 2> /dev/null || rc=$?
+[ "$rc" -eq 64 ]
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+    --max-work abc 2> "$DIR/badnum.log" || rc=$?
+[ "$rc" -eq 64 ]
+grep -q "invalid value 'abc' for flag '--max-work'" "$DIR/badnum.log"
+
+# 8. Resource limits: a generous work budget completes normally (exit 0);
+#    a tiny one degrades gracefully — best-so-far model, exit 3.
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --max-work 100000000 --out "$DIR/m_full.txt" 2> /dev/null
+cmp -s "$DIR/m.txt" "$DIR/m_full.txt"
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --ell 1 --max-work 25 --out "$DIR/m_cut.txt" \
+    2> "$DIR/cut.log" || rc=$?
+[ "$rc" -eq 3 ]
+grep -q 'resource limit hit (budget-exhausted)' "$DIR/cut.log"
+grep -q '^hypothesis ' "$DIR/m_cut.txt"
+
+# Same budget twice: the degraded model is deterministic.
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --ell 1 --max-work 25 --out "$DIR/m_cut2.txt" \
+    2> /dev/null || true
+cmp -s "$DIR/m_cut.txt" "$DIR/m_cut2.txt"
+
+# mc under a tiny budget refuses to report a truth value (exit 3).
+rc=0
+out=$("$CLI" mc --graph "$DIR/g.txt" \
+    --sentence "forall x. exists y. E(x, y)" --max-work 2 \
+    2> /dev/null) || rc=$?
+[ "$rc" -eq 3 ]
+[ "$out" = "indeterminate" ]
+
 echo "CLI_TEST_OK"

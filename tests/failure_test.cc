@@ -15,9 +15,11 @@
 #include "mc/evaluator.h"
 #include "nd/covering.h"
 #include "nd/wcol.h"
+#include "learn/model_io.h"
 #include "types/counting_type.h"
 #include "types/type.h"
 #include "util/combinatorics.h"
+#include "util/governor.h"
 #include "util/rng.h"
 
 namespace folearn {
@@ -125,6 +127,56 @@ TEST(FailureRng, EmptyChooseRejected) {
 TEST(FailureVc, RequiresPositiveK) {
   Graph g = MakePath(3);
   EXPECT_DEATH(ComputeVcDimension(g, 0, {}), "");
+}
+
+TEST(FailureGovernor, NegativeDeadlineRejected) {
+  GovernorLimits limits;
+  limits.deadline_ms = -5;
+  EXPECT_DEATH(ResourceGovernor governor(limits), "negative deadline");
+}
+
+TEST(FailureGovernor, NonPositiveWorkBudgetRejected) {
+  GovernorLimits zero;
+  zero.max_work = 0;
+  EXPECT_DEATH(ResourceGovernor governor(zero),
+               "work budget must be positive");
+  GovernorLimits negative;
+  negative.max_work = -7;  // any negative value except the kNoLimit sentinel
+  EXPECT_DEATH(ResourceGovernor governor(negative),
+               "work budget must be positive");
+}
+
+TEST(FailureGovernor, InjectorPreconditions) {
+  EXPECT_DEATH(FaultInjector injector(0), "positive checkpoint");
+  EXPECT_DEATH(FaultInjector injector(-3), "positive checkpoint");
+  EXPECT_DEATH(FaultInjector injector(1, RunStatus::kComplete),
+               "cannot inject");
+}
+
+// Regression pin: an injected trip at a fixed checkpoint N must always
+// yield the same best-so-far hypothesis — anytime degradation is part of
+// the deterministic contract, not an accident of timing.
+TEST(FailureGovernor, InjectedTripIsReproducible) {
+  Graph g = MakePath(9);
+  AddPeriodicColor(g, "Red", 3, 0);
+  TrainingSet examples;
+  for (Vertex v = 0; v < g.order(); ++v) {
+    examples.push_back({{v}, v % 3 == 1});
+  }
+  auto run = [&]() {
+    FaultInjector injector(7);
+    ResourceGovernor governor(GovernorLimits{}, nullptr, &injector);
+    ErmOptions options;
+    options.governor = &governor;
+    return BruteForceErm(g, examples, 1, options);
+  };
+  ErmResult first = run();
+  ErmResult second = run();
+  EXPECT_TRUE(IsInterrupted(first.status));
+  EXPECT_EQ(first.status, second.status);
+  EXPECT_EQ(first.training_error, second.training_error);
+  EXPECT_EQ(HypothesisToText(first.hypothesis.ToExplicit()),
+            HypothesisToText(second.hypothesis.ToExplicit()));
 }
 
 }  // namespace

@@ -307,6 +307,33 @@ TEST(GraphIo, RejectsMalformedInput) {
   EXPECT_FALSE(FromText("graph 1\nbogus 3", &error).has_value());
 }
 
+// Every parse error names the offending 1-based line and quotes enough of
+// the line to find it in the input.
+TEST(GraphIo, ParseErrorsCarryLineNumbers) {
+  std::string error;
+  EXPECT_FALSE(FromText("edge 0 1", &error).has_value());
+  EXPECT_TRUE(error.starts_with("line 1: ")) << error;
+
+  EXPECT_FALSE(FromText("graph 2\nedge 0 2", &error).has_value());
+  EXPECT_TRUE(error.starts_with("line 2: ")) << error;
+  EXPECT_NE(error.find("edge 0 2"), std::string::npos) << error;
+
+  EXPECT_FALSE(FromText("graph 1\ngraph 1", &error).has_value());
+  EXPECT_TRUE(error.starts_with("line 2: ")) << error;
+
+  // Blank and comment lines still advance the counter.
+  EXPECT_FALSE(FromText("# header\n\ngraph 2\n\nbogus 3", &error).has_value());
+  EXPECT_TRUE(error.starts_with("line 5: ")) << error;
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+
+  EXPECT_FALSE(FromText("graph 2\ncolor Red two", &error).has_value());
+  EXPECT_TRUE(error.starts_with("line 2: ")) << error;
+
+  // "empty input" has no line to blame and carries no prefix.
+  EXPECT_FALSE(FromText("", &error).has_value());
+  EXPECT_EQ(error, "empty input");
+}
+
 TEST(GraphIo, DotOutputMentionsVerticesAndEdges) {
   Graph g = MakePath(3);
   ColorId c = g.AddColor("Red");

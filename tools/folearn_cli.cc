@@ -12,9 +12,13 @@
 // Graph files use graph/io.h's text format, datasets/models learn/model_io.h.
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <map>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "fo/parser.h"
@@ -30,6 +34,7 @@
 #include "mc/evaluator.h"
 #include "nd/splitter_game.h"
 #include "nd/wcol.h"
+#include "util/governor.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -37,7 +42,9 @@
 namespace folearn {
 namespace {
 
-// Minimal --flag value parser: flags may appear in any order.
+// Minimal --flag value parser: flags may appear in any order, each at most
+// once (a repeated flag is almost always a typo'd invocation, and silently
+// keeping one of the two values hides it).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -47,7 +54,10 @@ class Args {
         error_ = "expected --flag, got '" + key + "'";
         return;
       }
-      values_[key.substr(2)] = argv[i + 1];
+      if (!values_.emplace(key.substr(2), argv[i + 1]).second) {
+        error_ = "duplicate flag '" + key + "'";
+        return;
+      }
     }
     if ((argc - first) % 2 != 0) {
       error_ = "flags must come in --key value pairs";
@@ -63,21 +73,98 @@ class Args {
   }
 
   int GetInt(const std::string& key, int fallback) const {
+    return static_cast<int>(GetInt64(key, fallback));
+  }
+
+  int64_t GetInt64(const std::string& key, int64_t fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stoi(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t pos = 0;
+      int64_t value = std::stoll(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument(key);
+      return value;
+    } catch (const std::exception&) {
+      DieInvalidValue(key, it->second);
+    }
   }
 
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) return fallback;
+    try {
+      size_t pos = 0;
+      double value = std::stod(it->second, &pos);
+      if (pos != it->second.size()) throw std::invalid_argument(key);
+      return value;
+    } catch (const std::exception&) {
+      DieInvalidValue(key, it->second);
+    }
   }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
 
+  // First flag not in `allowed`, or "" if all are known.
+  std::string FirstUnknown(std::initializer_list<const char*> allowed) const {
+    for (const auto& [key, value] : values_) {
+      bool known = false;
+      for (const char* candidate : allowed) {
+        if (key == candidate) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) return key;
+    }
+    return "";
+  }
+
  private:
+  // Malformed numeric flag values are usage errors, same as unknown
+  // flags: report which flag and exit 64 rather than crash in stoll.
+  [[noreturn]] static void DieInvalidValue(const std::string& key,
+                                           const std::string& value) {
+    std::fprintf(stderr, "invalid value '%s' for flag '--%s'\n",
+                 value.c_str(), key.c_str());
+    std::exit(64);
+  }
+
   std::map<std::string, std::string> values_;
   std::string error_;
 };
+
+// Exit code for a command that hit a resource limit and produced a
+// degraded (best-so-far or partial) result — distinct from hard failure
+// (1) and from mc's "sentence is false" (2).
+constexpr int kExitDegraded = 3;
+
+// Builds the optional governor from --timeout-ms / --max-work. Returns
+// false (after printing an error) on invalid values; leaves `governor`
+// empty when neither flag is given.
+bool MakeGovernor(const Args& args,
+                  std::optional<ResourceGovernor>& governor) {
+  int64_t timeout_ms = args.GetInt64("timeout-ms", kNoLimit);
+  int64_t max_work = args.GetInt64("max-work", kNoLimit);
+  if (timeout_ms != kNoLimit && timeout_ms < 0) {
+    std::fprintf(stderr, "--timeout-ms must be >= 0\n");
+    return false;
+  }
+  if (max_work != kNoLimit && max_work <= 0) {
+    std::fprintf(stderr, "--max-work must be positive\n");
+    return false;
+  }
+  if (timeout_ms == kNoLimit && max_work == kNoLimit) return true;
+  governor.emplace(GovernorLimits{timeout_ms, max_work});
+  return true;
+}
+
+void ReportInterruption(const ResourceGovernor& governor) {
+  std::fprintf(stderr,
+               "resource limit hit (%s) after %lld work units; result is "
+               "best-so-far\n",
+               RunStatusName(governor.status()),
+               static_cast<long long>(governor.work_used()));
+}
 
 std::optional<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
@@ -185,13 +272,14 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
-int CmdLearn(const Args& args) {
+int CmdLearn(const Args& args, ResourceGovernor* governor) {
   std::optional<Graph> graph = LoadGraph(args);
   std::optional<TrainingSet> data = LoadData(args);
   if (!graph.has_value() || !data.has_value()) return 1;
   ErmOptions options;
   options.rank = args.GetInt("rank", 1);
   options.radius = args.GetInt("radius", -1);
+  options.governor = governor;
   int ell = args.GetInt("ell", 0);
   std::string learner = args.Get("learner", "brute");
 
@@ -206,13 +294,17 @@ int CmdLearn(const Args& args) {
     nd.radius = options.radius;
     nd.ell_star = std::max(ell, 1);
     nd.epsilon = args.GetDouble("epsilon", 0.2);
+    nd.governor = governor;
     result = LearnNowhereDense(*graph, *data, nd).erm;
   } else {
     std::fprintf(stderr, "unknown learner '%s' (brute|sublinear|nd)\n",
                  learner.c_str());
     return 1;
   }
-  std::fprintf(stderr, "training error: %.4f over %lld local types\n",
+  // An interrupted scan reports the error over the examples it saw
+  // before the cut, which can be optimistic; `eval` gives the true one.
+  std::fprintf(stderr, "training error%s: %.4f over %lld local types\n",
+               IsInterrupted(result.status) ? " (partial)" : "",
                result.training_error,
                static_cast<long long>(result.distinct_types_seen));
   Hypothesis hypothesis = result.hypothesis.ToExplicit();
@@ -224,10 +316,15 @@ int CmdLearn(const Args& args) {
     std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
     return 1;
   }
+  if (IsInterrupted(result.status)) {
+    FOLEARN_CHECK(governor != nullptr);
+    ReportInterruption(*governor);
+    return kExitDegraded;
+  }
   return 0;
 }
 
-int CmdEval(const Args& args) {
+int CmdEval(const Args& args, ResourceGovernor* governor) {
   std::optional<Graph> graph = LoadGraph(args);
   std::optional<TrainingSet> data = LoadData(args);
   if (!graph.has_value() || !data.has_value()) return 1;
@@ -244,12 +341,18 @@ int CmdEval(const Args& args) {
     std::fprintf(stderr, "model parse error: %s\n", error.c_str());
     return 1;
   }
-  double err = TrainingError(*graph, *hypothesis, *data);
+  EvalOptions eval_options;
+  eval_options.governor = governor;
+  double err = TrainingError(*graph, *hypothesis, *data, eval_options);
   std::printf("error: %.4f on %zu examples\n", err, data->size());
+  if (GovernorInterrupted(governor)) {
+    ReportInterruption(*governor);
+    return kExitDegraded;
+  }
   return 0;
 }
 
-int CmdMc(const Args& args) {
+int CmdMc(const Args& args, ResourceGovernor* governor) {
   std::optional<Graph> graph = LoadGraph(args);
   if (!graph.has_value()) return 1;
   std::string sentence_text = args.Get("sentence");
@@ -261,9 +364,11 @@ int CmdMc(const Args& args) {
   }
   bool value;
   if (args.Has("via-erm")) {
-    TypeErmOracle oracle;
+    TypeErmOracle oracle(/*relaxation_ell=*/0, governor);
+    ModelCheckOptions mc_options;
+    mc_options.governor = governor;
     HardnessStats stats;
-    value = ModelCheckViaErm(*graph, *sentence, oracle, {}, &stats);
+    value = ModelCheckViaErm(*graph, *sentence, oracle, mc_options, &stats);
     std::fprintf(stderr,
                  "via ERM oracle: %lld oracle calls, max |T| = %d, %lld "
                  "recursion nodes\n",
@@ -271,7 +376,16 @@ int CmdMc(const Args& args) {
                  stats.max_representatives,
                  static_cast<long long>(stats.recursion_nodes));
   } else {
-    value = EvaluateSentence(*graph, *sentence);
+    EvalOptions eval_options;
+    eval_options.governor = governor;
+    value = EvaluateSentence(*graph, *sentence, eval_options);
+  }
+  if (GovernorInterrupted(governor)) {
+    // The truth value is unspecified once the evaluation was cut short —
+    // do not report one.
+    std::printf("indeterminate\n");
+    ReportInterruption(*governor);
+    return kExitDegraded;
   }
   std::printf("%s\n", value ? "true" : "false");
   return value ? 0 : 2;
@@ -318,7 +432,9 @@ int Usage() {
       "           [--ell l] [--learner brute|sublinear|nd] [--out m.txt]\n"
       "  eval     --graph g.txt --data d.txt --model m.txt\n"
       "  mc       --graph g.txt --sentence \"...\" [--via-erm 1]\n"
-      "  profile  --graph g.txt [--radius r]\n");
+      "  profile  --graph g.txt [--radius r]\n"
+      "every command accepts [--timeout-ms T] [--max-work W]; a run cut\n"
+      "short by either limit emits its best-so-far result and exits 3\n");
   return 64;
 }
 
@@ -330,12 +446,45 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return 64;
   }
+
+  std::string unknown;
+  if (command == "generate") {
+    unknown = args.FirstUnknown({"family", "n", "seed", "color", "degree",
+                                 "p", "attach", "out", "timeout-ms",
+                                 "max-work"});
+  } else if (command == "learn") {
+    unknown = args.FirstUnknown({"graph", "data", "rank", "radius", "ell",
+                                 "learner", "epsilon", "out", "timeout-ms",
+                                 "max-work"});
+  } else if (command == "eval") {
+    unknown = args.FirstUnknown(
+        {"graph", "data", "model", "timeout-ms", "max-work"});
+  } else if (command == "mc") {
+    unknown = args.FirstUnknown(
+        {"graph", "sentence", "via-erm", "timeout-ms", "max-work"});
+  } else if (command == "profile") {
+    unknown = args.FirstUnknown({"graph", "radius", "timeout-ms",
+                                 "max-work"});
+  } else {
+    return Usage();
+  }
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "unknown flag '--%s' for command '%s'\n",
+                 unknown.c_str(), command.c_str());
+    return 64;
+  }
+
+  std::optional<ResourceGovernor> governor;
+  if (!MakeGovernor(args, governor)) return 64;
+  ResourceGovernor* gov = governor.has_value() ? &*governor : nullptr;
+
+  // generate and profile run no governed search loops; the limits are
+  // accepted for interface uniformity but cannot trip there.
   if (command == "generate") return CmdGenerate(args);
-  if (command == "learn") return CmdLearn(args);
-  if (command == "eval") return CmdEval(args);
-  if (command == "mc") return CmdMc(args);
-  if (command == "profile") return CmdProfile(args);
-  return Usage();
+  if (command == "learn") return CmdLearn(args, gov);
+  if (command == "eval") return CmdEval(args, gov);
+  if (command == "mc") return CmdMc(args, gov);
+  return CmdProfile(args);
 }
 
 }  // namespace
