@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "learn/erm.h"
@@ -44,7 +45,8 @@ Workload TwoHubs(int n_per_side, double noise, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
   Rng rng(99);
 
   std::printf("E2a: Proposition 11 brute force, candidates and time vs ℓ "
@@ -56,10 +58,13 @@ int main() {
       Stopwatch watch;
       ErmResult result = BruteForceErm(w.graph, w.examples, ell, {1, 1},
                                        nullptr, /*early_stop=*/false);
+      double ms = watch.ElapsedMillis();
       table.AddRow({std::to_string(ell),
                     std::to_string(result.parameter_tuples_tried),
                     FormatDouble(result.training_error, 3),
-                    FormatDouble(watch.ElapsedMillis(), 1)});
+                    FormatDouble(ms, 1)});
+      json.Record("bruteforce_vs_nd/ell_sweep", "ell=" + std::to_string(ell),
+                  ms, result.parameter_tuples_tried);
     }
     table.Print();
     std::printf("\ncandidates = n^ℓ exactly (24^0, 24^1, 24^2): the "
@@ -68,14 +73,26 @@ int main() {
 
   std::printf("E2b: brute force vs Theorem 13 at ℓ = 1, n sweep\n\n");
   {
-    Table table({"n", "bf err", "bf cand", "bf ms", "nd err", "nd cand",
-                 "nd ms"});
+    Table table({"n", "bf err", "bf cand", "bf ms", "bf ms (4t)", "nd err",
+                 "nd cand", "nd ms"});
     for (int n_per_side : {25, 50, 100, 200}) {
       Workload w = TwoHubs(n_per_side, 0.1, rng);
       Stopwatch bf_watch;
       ErmResult bf = BruteForceErm(w.graph, w.examples, 1, {1, 1}, nullptr,
                                    /*early_stop=*/false);
       double bf_ms = bf_watch.ElapsedMillis();
+
+      ErmOptions threaded{1, 1};
+      threaded.threads = 4;
+      Stopwatch bf4_watch;
+      ErmResult bf4 = BruteForceErm(w.graph, w.examples, 1, threaded,
+                                    nullptr, /*early_stop=*/false);
+      double bf4_ms = bf4_watch.ElapsedMillis();
+      if (bf4.training_error != bf.training_error) {
+        std::printf("VIOLATION: --threads 4 changed the brute-force "
+                    "result!\n");
+        return 1;
+      }
 
       NdLearnerOptions options;
       options.rank = 1;
@@ -90,10 +107,19 @@ int main() {
       table.AddRow({std::to_string(w.graph.order()),
                     FormatDouble(bf.training_error, 3),
                     std::to_string(bf.parameter_tuples_tried),
-                    FormatDouble(bf_ms, 1),
+                    FormatDouble(bf_ms, 1), FormatDouble(bf4_ms, 1),
                     FormatDouble(nd.erm.training_error, 3),
                     std::to_string(nd.candidates_evaluated),
                     FormatDouble(nd_ms, 1)});
+      json.Record("bruteforce_vs_nd/n_sweep_bf",
+                  "n=" + std::to_string(w.graph.order()) + " threads=1",
+                  bf_ms, bf.parameter_tuples_tried);
+      json.Record("bruteforce_vs_nd/n_sweep_bf",
+                  "n=" + std::to_string(w.graph.order()) + " threads=4",
+                  bf4_ms, bf4.parameter_tuples_tried);
+      json.Record("bruteforce_vs_nd/n_sweep_nd",
+                  "n=" + std::to_string(w.graph.order()), nd_ms,
+                  nd.candidates_evaluated);
     }
     table.Print();
     std::printf("\nTheorem 13 evaluates a bounded candidate set (conflict "

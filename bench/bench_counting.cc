@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <set>
 
+#include "bench_json.h"
 #include "graph/generators.h"
 #include "learn/counting_erm.h"
 #include "learn/erm.h"
@@ -17,7 +18,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "counting");
   Rng rng(4242);
 
   std::printf("E11a: degree-threshold concepts on random trees "

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "db/database.h"
 #include "db/encoding.h"
 #include "learn/erm.h"
@@ -39,7 +40,9 @@ Database MakeRandomMovieDb(int people, int movies, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "db_encoding");
   Rng rng(1001);
   std::printf("E10: relational encoding + learning over encoded databases\n"
               "(concept: 'x directed a movie', rank-2 over the incidence "

@@ -8,10 +8,13 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fo/parser.h"
+#include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "learn/erm.h"
 #include "util/governor.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -22,7 +25,7 @@ using namespace folearn;
 // checkpoint must stay under ~2% overhead (it is a couple of branches and
 // two increments; the wall clock is only probed every 256 checkpoints).
 // Fixed workload (early_stop off), best-of-k timing to suppress noise.
-int BenchGovernorOverhead(Rng& rng) {
+int BenchGovernorOverhead(Rng& rng, BenchJsonWriter& json) {
   Graph graph = MakeRandomTree(60, rng);
   AddRandomColors(graph, {"Red"}, 0.4, rng);
   std::vector<std::vector<Vertex>> tuples =
@@ -84,10 +87,96 @@ int BenchGovernorOverhead(Rng& rng) {
               "%.3f identical across variants;\ntarget: < 2%% overhead "
               "per variant (best-of-%d timing)\n",
               graph.order(), examples.size(), plain_error, kReps);
+  const long long scan = static_cast<long long>(graph.order());
+  json.Record("erm_core/governor", "variant=ungoverned", plain_ms, scan);
+  json.Record("erm_core/governor", "variant=work-budget", work_ms, scan);
+  json.Record("erm_core/governor", "variant=deadline", deadline_ms, scan);
   return 0;
 }
 
-int main() {
+// Thread sweep on the full brute-force parameter scan plus cold-vs-warm
+// ball-cache timings. The determinism contract means every row computes
+// the same result; only the wall clock may move. On a single-core host
+// the threaded rows measure the coordination overhead, not a speedup —
+// the JSON records whatever this machine actually does.
+int BenchParallelSweep(Rng& rng, BenchJsonWriter& json) {
+  Graph graph = MakeRandomTree(60, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  std::vector<std::vector<Vertex>> tuples =
+      SampleTuples(graph.order(), 1, 4 * graph.order(), rng);
+  TrainingSet examples = LabelByQuery(
+      graph, MustParseFormula("exists z. (E(x1, z) & Red(z))"),
+      QueryVars(1), tuples);
+  FlipLabels(examples, 0.3, rng);
+
+  const int kReps = 5;
+  std::printf("\nparallel brute-force sweep (full n^ℓ scan, n = %d, "
+              "m = %zu, best-of-%d):\n\n",
+              graph.order(), examples.size(), kReps);
+  Table table({"threads", "best ms", "speedup", "error"});
+  double base_ms = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    double best_ms = 1e300;
+    double error = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      ErmOptions options;
+      options.threads = threads;
+      Stopwatch watch;
+      ErmResult result = BruteForceErm(graph, examples, 1, options, nullptr,
+                                       /*early_stop=*/false);
+      best_ms = std::min(best_ms, watch.ElapsedMillis());
+      error = result.training_error;
+    }
+    if (threads == 1) base_ms = best_ms;
+    table.AddRow({std::to_string(threads), FormatDouble(best_ms, 3),
+                  FormatDouble(base_ms / best_ms, 2),
+                  FormatDouble(error, 3)});
+    json.Record("erm_core/thread_sweep",
+                "threads=" + std::to_string(threads) +
+                    " n=" + std::to_string(graph.order()),
+                best_ms, static_cast<long long>(graph.order()));
+  }
+  table.Print();
+  std::printf("(hardware threads available: %d)\n", EffectiveThreads(0));
+
+  std::printf("\nball cache, cold vs warm (same scan, threads = 1):\n\n");
+  Table cache_table({"variant", "best ms", "hits", "misses"});
+  double cold_ms = 1e300;
+  double warm_ms = 1e300;
+  long long hits = 0;
+  long long misses = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    BallCache cold_cache(graph);
+    ErmOptions cold_options;
+    cold_options.ball_cache = &cold_cache;
+    Stopwatch cold_watch;
+    BruteForceErm(graph, examples, 1, cold_options, nullptr,
+                  /*early_stop=*/false);
+    cold_ms = std::min(cold_ms, cold_watch.ElapsedMillis());
+
+    // Warm: same cache reused — every per-vertex ball is already there.
+    ErmOptions warm_options;
+    warm_options.ball_cache = &cold_cache;
+    Stopwatch warm_watch;
+    BruteForceErm(graph, examples, 1, warm_options, nullptr,
+                  /*early_stop=*/false);
+    warm_ms = std::min(warm_ms, warm_watch.ElapsedMillis());
+    hits = cold_cache.hits();
+    misses = cold_cache.misses();
+  }
+  cache_table.AddRow({"cold", FormatDouble(cold_ms, 3), "-", "-"});
+  cache_table.AddRow({"warm", FormatDouble(warm_ms, 3),
+                      std::to_string(hits), std::to_string(misses)});
+  cache_table.Print();
+  json.Record("erm_core/ball_cache", "variant=cold", cold_ms,
+              static_cast<long long>(examples.size()));
+  json.Record("erm_core/ball_cache", "variant=warm", warm_ms,
+              static_cast<long long>(examples.size()));
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
   Rng rng(777);
   std::printf("E9: type-majority ERM vs literal formula enumeration "
               "(noisy rank-1 target, k=1, ℓ=0)\n\n");
@@ -124,6 +213,10 @@ int main() {
                   FormatDouble(enumerated.training_error, 3),
                   std::to_string(enumerated.formulas_tried),
                   FormatDouble(enum_ms, 1)});
+    json.Record("erm_core/e9_types", "n=" + std::to_string(n), type_ms,
+                types.distinct_types_seen);
+    json.Record("erm_core/e9_enumeration", "n=" + std::to_string(n), enum_ms,
+                enumerated.formulas_tried);
     if (types.training_error > enumerated.training_error + 1e-12) {
       std::printf("VIOLATION: type ERM worse than an enumerated formula!\n");
       return 1;
@@ -138,5 +231,6 @@ int main() {
               "FO[τ, 1], while the type ERM covers ALL of it.\n");
 
   std::printf("\ngovernor checkpoint overhead on the ERM core:\n\n");
-  return BenchGovernorOverhead(rng);
+  if (int rc = BenchGovernorOverhead(rng, json); rc != 0) return rc;
+  return BenchParallelSweep(rng, json);
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "learn/nd_learner.h"
@@ -33,7 +34,9 @@ TrainingSet DistanceOneWorkload(const Graph& graph, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "fpt_scaling");
   std::printf("E1: Theorem 13 learner, runtime vs n "
               "(k=1, ℓ*=1, q*=1, r=1, ε=0.2 fixed)\n\n");
   Rng rng(2024);

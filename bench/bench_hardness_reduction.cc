@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fo/parser.h"
 #include "graph/generators.h"
 #include "learn/hardness.h"
@@ -14,7 +15,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "hardness_reduction");
   Rng rng(1234);
 
   std::printf("E4a: oracle calls vs n (sentence: ∃x(Red(x) ∧ ∃y(E(x,y) ∧ "

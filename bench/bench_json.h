@@ -1,0 +1,125 @@
+#ifndef FOLEARN_BENCH_BENCH_JSON_H_
+#define FOLEARN_BENCH_BENCH_JSON_H_
+
+// Machine-readable bench output, shared by every bench_* binary.
+//
+// Usage:
+//   int main(int argc, char** argv) {
+//     BenchJsonWriter json(argc, argv);   // consumes --json <path>
+//     ...
+//     json.Record("erm_core/threads", "threads=8 n=60", wall_ms, items);
+//   }
+//
+// With `--json <path>` the writer appends one JSON object per line
+// (JSONL) of the form
+//   {"bench": "...", "config": "...", "wall_ms": 12.34, "work_units": 56}
+// and tools/run_benches.sh aggregates the per-binary files into
+// BENCH_parallel.json. Without the flag the writer is inert, so the
+// human-readable tables stay the default. Unknown arguments are left
+// untouched for the binary's own parsing (bench_type_computation hands
+// the remainder to google-benchmark).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace folearn {
+
+class BenchJsonWriter {
+ public:
+  // Scans argv for "--json <path>" (or "--json=<path>") and removes it
+  // from the argument list, adjusting argc in place.
+  BenchJsonWriter(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string path;
+      int consumed = 0;
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        path = argv[i + 1];
+        consumed = 2;
+      } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        path = argv[i] + 7;
+        consumed = 1;
+      }
+      if (consumed == 0) continue;
+      for (int j = i + consumed; j < argc; ++j) argv[j - consumed] = argv[j];
+      argc -= consumed;
+      file_ = std::fopen(path.c_str(), "w");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+        std::exit(64);
+      }
+      break;
+    }
+  }
+
+  ~BenchJsonWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  bool enabled() const { return file_ != nullptr; }
+
+  // One measurement: `bench` names the experiment, `config` the knob
+  // setting (free-form "key=value key=value" text), `wall_ms` the wall
+  // time, `work_units` the size of the work done (items scanned, types
+  // computed, …) so speedups can be normalised.
+  void Record(const std::string& bench, const std::string& config,
+              double wall_ms, long long work_units) {
+    if (file_ == nullptr) return;
+    std::fprintf(file_,
+                 "{\"bench\": \"%s\", \"config\": \"%s\", \"wall_ms\": %.3f, "
+                 "\"work_units\": %lld}\n",
+                 Escaped(bench).c_str(), Escaped(config).c_str(), wall_ms,
+                 work_units);
+    std::fflush(file_);
+  }
+
+ private:
+  // The fields are programmer-chosen ASCII; escape just enough to keep
+  // the output valid JSON if a quote or backslash ever slips in.
+  static std::string Escaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::FILE* file_ = nullptr;
+};
+
+// Records the binary's total wall time on destruction: the coarse default
+// for bench binaries whose tables don't break down into individually
+// re-runnable measurements. Declare it right after the writer in main().
+class BenchTotalTimer {
+ public:
+  BenchTotalTimer(BenchJsonWriter& json, std::string bench)
+      : json_(json),
+        bench_(std::move(bench)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~BenchTotalTimer() {
+    std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start_;
+    json_.Record(bench_, "total", elapsed.count(), 1);
+  }
+
+  BenchTotalTimer(const BenchTotalTimer&) = delete;
+  BenchTotalTimer& operator=(const BenchTotalTimer&) = delete;
+
+ private:
+  BenchJsonWriter& json_;
+  std::string bench_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_BENCH_BENCH_JSON_H_

@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 
+#include "bench_json.h"
 #include "graph/generators.h"
 #include "types/type.h"
 #include "util/rng.h"
@@ -18,7 +19,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "locality");
   Rng rng(5150);
   const int q = 1;
   const int r = GaifmanRadius(q);

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fo/mso.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -16,7 +17,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "mso");
   Rng rng(8080);
 
   std::printf("E14a: MSO properties across families (n = 12)\n\n");

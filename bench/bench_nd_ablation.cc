@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "learn/erm.h"
@@ -41,7 +42,9 @@ Workload ThreeHubs(int leaves, double noise, Rng& rng) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "nd_ablation");
   Rng rng(2468);
   Workload w = ThreeHubs(30, 0.05, rng);
   ErmResult brute = BruteForceErm(w.graph, w.examples, 1, {1, 1});

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "fo/parser.h"
 #include "graph/generators.h"
 #include "learn/erm.h"
@@ -16,7 +17,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "sample_complexity");
   Rng rng(314);
   Graph graph = MakeRandomTree(200, rng);
   AddRandomColors(graph, {"Red"}, 0.3, rng);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "graph/generators.h"
 #include "nd/splitter_game.h"
 #include "util/rng.h"
@@ -11,7 +12,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "splitter_game");
   std::printf("E7: (r, s)-splitter game profile — rounds needed vs family, "
               "n, and r\n\n");
   Rng rng(860);

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "learn/sublinear.h"
@@ -15,7 +16,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "sublinear");
   Rng rng(31337);
 
   std::printf("E13a: degree-bounded sublinear ERM vs full brute force "

@@ -6,10 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
+#include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "types/hintikka.h"
 #include "types/type.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace folearn {
 namespace {
@@ -75,6 +78,43 @@ void BM_LocalTypeBySize(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalTypeBySize)->Arg(500)->Arg(2000)->Arg(8000);
 
+// Local types through a cold ball cache: every per-vertex ball is a fresh
+// BFS, same as the uncached path plus bookkeeping.
+void BM_LocalTypeColdCache(benchmark::State& state) {
+  Rng rng(7);
+  Graph graph = MakeBoundedDegree(2000, 4, 3000, rng);
+  Vertex tuple[] = {42, 1042};
+  for (auto _ : state) {
+    BallCache cache(graph);
+    TypeRegistry registry(graph.vocabulary());
+    benchmark::DoNotOptimize(
+        ComputeLocalType(graph, tuple, 2, 2, &registry, &cache));
+  }
+  state.SetLabel("n=2000 (bounded degree), radius=2, fresh cache");
+}
+BENCHMARK(BM_LocalTypeColdCache);
+
+// Warm cache: the balls are already there, only the induced-subgraph type
+// computation remains. The gap to the cold variant is what every ERM sweep
+// saves from the second candidate on.
+void BM_LocalTypeWarmCache(benchmark::State& state) {
+  Rng rng(7);
+  Graph graph = MakeBoundedDegree(2000, 4, 3000, rng);
+  Vertex tuple[] = {42, 1042};
+  BallCache cache(graph);
+  {
+    TypeRegistry registry(graph.vocabulary());
+    ComputeLocalType(graph, tuple, 2, 2, &registry, &cache);  // prime
+  }
+  for (auto _ : state) {
+    TypeRegistry registry(graph.vocabulary());
+    benchmark::DoNotOptimize(
+        ComputeLocalType(graph, tuple, 2, 2, &registry, &cache));
+  }
+  state.SetLabel("n=2000 (bounded degree), radius=2, primed cache");
+}
+BENCHMARK(BM_LocalTypeWarmCache);
+
 // Hintikka emission from an interned type.
 void BM_HintikkaEmission(benchmark::State& state) {
   Rng rng(9);
@@ -90,7 +130,61 @@ void BM_HintikkaEmission(benchmark::State& state) {
 }
 BENCHMARK(BM_HintikkaEmission);
 
+// Manual cold-vs-warm timing for the JSON report (google-benchmark owns
+// its own reporting; the machine-readable record is measured directly).
+void RecordCacheJson(folearn::BenchJsonWriter& json) {
+  if (!json.enabled()) return;
+  Rng rng(7);
+  Graph graph = MakeBoundedDegree(2000, 4, 3000, rng);
+  const int kTuples = 200;
+  std::vector<std::vector<Vertex>> tuples;
+  for (int i = 0; i < kTuples; ++i) {
+    tuples.push_back({static_cast<Vertex>((i * 37) % graph.order()),
+                      static_cast<Vertex>((i * 101 + 9) % graph.order())});
+  }
+  BallCache cache(graph);
+  TypeRegistry cold_registry(graph.vocabulary());
+  Stopwatch cold_watch;
+  for (const auto& tuple : tuples) {
+    ComputeLocalType(graph, tuple, 2, 2, &cold_registry, &cache);
+  }
+  json.Record("type_computation/ball_cache", "variant=cold",
+              cold_watch.ElapsedMillis(), kTuples);
+  TypeRegistry warm_registry(graph.vocabulary());
+  Stopwatch warm_watch;
+  for (const auto& tuple : tuples) {
+    ComputeLocalType(graph, tuple, 2, 2, &warm_registry, &cache);
+  }
+  json.Record("type_computation/ball_cache", "variant=warm",
+              warm_watch.ElapsedMillis(), kTuples);
+
+  // Ball assembly alone (the part the cache actually replaces): fresh
+  // multi-source BFS per tuple vs union of cached per-vertex balls.
+  Stopwatch bfs_watch;
+  for (const auto& tuple : tuples) {
+    benchmark::DoNotOptimize(Ball(graph, tuple, 2));
+  }
+  json.Record("type_computation/ball_assembly", "variant=bfs",
+              bfs_watch.ElapsedMillis(), kTuples);
+  Stopwatch cached_watch;
+  for (const auto& tuple : tuples) {
+    benchmark::DoNotOptimize(cache.TupleBall(tuple, 2));
+  }
+  json.Record("type_computation/ball_assembly", "variant=cached",
+              cached_watch.ElapsedMillis(), kTuples);
+}
+
 }  // namespace
 }  // namespace folearn
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN rejects arguments it does not recognise, so --json must
+// be stripped before benchmark::Initialize sees it.
+int main(int argc, char** argv) {
+  folearn::BenchJsonWriter json(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  folearn::RecordCacheJson(json);
+  return 0;
+}

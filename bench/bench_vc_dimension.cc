@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_json.h"
 #include "graph/generators.h"
 #include "learn/pac.h"
 #include "learn/vc.h"
@@ -15,7 +16,9 @@
 
 using namespace folearn;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchJsonWriter json(argc, argv);
+  BenchTotalTimer bench_total(json, "vc_dimension");
   Rng rng(90210);
 
   std::printf("E12a: VC dimension vs n (k=1, ℓ=0, q=1, r=1), nowhere dense "

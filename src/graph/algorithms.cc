@@ -59,6 +59,33 @@ std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
   return ball;
 }
 
+const std::vector<Vertex>& BallCache::VertexBall(Vertex v, int radius) {
+  FOLEARN_CHECK_GE(radius, 0);
+  FOLEARN_CHECK(graph_->IsValidVertex(v));
+  const int64_t key =
+      static_cast<int64_t>(radius) * graph_->order() + static_cast<int64_t>(v);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  Vertex sources[] = {v};
+  return cache_.emplace(key, Ball(*graph_, sources, radius)).first->second;
+}
+
+std::vector<Vertex> BallCache::TupleBall(std::span<const Vertex> tuple,
+                                         int radius) {
+  std::vector<Vertex> merged;
+  for (Vertex v : tuple) {
+    const std::vector<Vertex>& ball = VertexBall(v, radius);
+    merged.insert(merged.end(), ball.begin(), ball.end());
+  }
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
 std::vector<Vertex> InducedSubgraph::MapTuple(
     std::span<const Vertex> tuple) const {
   std::vector<Vertex> mapped;

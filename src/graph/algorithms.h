@@ -1,7 +1,9 @@
 #ifndef FOLEARN_GRAPH_ALGORITHMS_H_
 #define FOLEARN_GRAPH_ALGORITHMS_H_
 
+#include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
@@ -29,6 +31,42 @@ int TupleDistance(const Graph& graph, std::span<const Vertex> us,
 // increasingly (paper §2, r-neighbourhood of a tuple / set).
 std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
                          int radius);
+
+// Memoises single-source balls per (vertex, radius), so the BFS for a
+// recurring vertex is paid once and reused across examples and parameter
+// candidates. A tuple ball N_r(v̄) is the union of the per-entry balls
+// N_r(v) (immediate from the definition dist(u, v̄) = min_i dist(u, v_i)),
+// so `TupleBall` merges cached per-vertex balls instead of running a
+// multi-source BFS — the dominant saving in the ERM sweeps, where every
+// example tuple reappears under each of the n^ℓ parameter candidates.
+//
+// Memory: one sorted vertex vector per cached (vertex, radius) pair, so at
+// most (distinct radii) · n vectors of ≤ n entries. Not thread-safe —
+// parallel sweeps keep one cache per worker. The graph must outlive the
+// cache, and the cache must be dropped when the graph mutates.
+class BallCache {
+ public:
+  explicit BallCache(const Graph& graph) : graph_(&graph) {}
+
+  // N_radius(v), sorted increasingly; computed on first use.
+  const std::vector<Vertex>& VertexBall(Vertex v, int radius);
+
+  // N_radius(tuple), sorted increasingly — set-equal to
+  // Ball(graph, tuple, radius).
+  std::vector<Vertex> TupleBall(std::span<const Vertex> tuple, int radius);
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+  int64_t cached_balls() const { return static_cast<int64_t>(cache_.size()); }
+
+ private:
+  const Graph* graph_;
+  // Key: radius * order + vertex (both bounded by the graph order for all
+  // realistic radii; radius values are small constants here).
+  std::unordered_map<int64_t, std::vector<Vertex>> cache_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
 
 // An induced subgraph G[S] together with the vertex renaming in both
 // directions (paper §2).

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <utility>
 
 #include "util/combinatorics.h"
+#include "util/parallel.h"
 
 namespace folearn {
 
@@ -29,13 +32,15 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
   // an interrupted run majority-votes over the examples seen so far.
   std::map<TypeId, std::pair<int64_t, int64_t>> counts;  // type → (pos, neg)
   int64_t seen = 0;
+  std::vector<Vertex> combined;
+  combined.reserve(static_cast<size_t>(h.k) + parameters.size());
   for (const LabeledExample& example : examples) {
     if (!GovernorCheckpoint(options.governor)) break;
     FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), h.k);
-    std::vector<Vertex> combined = example.tuple;
+    combined.assign(example.tuple.begin(), example.tuple.end());
     combined.insert(combined.end(), parameters.begin(), parameters.end());
     TypeId type = ComputeLocalType(graph, combined, options.rank, radius,
-                                   registry.get());
+                                   registry.get(), options.ball_cache);
     ++seen;
     auto& entry = counts[type];
     if (example.label) {
@@ -68,14 +73,19 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
   return result;
 }
 
-ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
-                        int ell, const ErmOptions& options,
-                        std::shared_ptr<TypeRegistry> registry,
-                        bool early_stop) {
-  FOLEARN_CHECK_GE(ell, 0);
-  if (registry == nullptr) {
-    registry = std::make_shared<TypeRegistry>(graph.vocabulary());
-  }
+namespace {
+
+// The original single-threaded scan, kept verbatim as the fallback for
+// ranges the deterministic allowance cannot fit even one candidate into
+// (the governor then trips inside the first candidate, and the partial
+// majority vote / pessimistic-fallback semantics of PR 2 apply
+// unchanged). The unified parallel path below reproduces this loop's
+// results exactly whenever at least one candidate completes.
+ErmResult BruteForceErmSequential(const Graph& graph,
+                                  const TrainingSet& examples, int ell,
+                                  const ErmOptions& options,
+                                  std::shared_ptr<TypeRegistry> registry,
+                                  bool early_stop) {
   ErmResult best;
   bool have_complete = false;
   int64_t tried = 0;
@@ -111,21 +121,135 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
   return best;
 }
 
-EnumerationErmResult EnumerationErm(const Graph& graph,
-                                    const TrainingSet& examples, int ell,
-                                    const EnumerationOptions& enumeration,
-                                    ResourceGovernor* governor) {
-  const int k = examples.empty() ? 0
-                                 : static_cast<int>(examples[0].tuple.size());
-  std::vector<std::string> query_vars = QueryVars(k);
-  std::vector<std::string> param_vars = ParamVars(ell);
+}  // namespace
 
-  EnumerationOptions full = enumeration;
-  full.free_variables = query_vars;
-  full.free_variables.insert(full.free_variables.end(), param_vars.begin(),
-                             param_vars.end());
-  std::vector<FormulaRef> formulas = EnumerateFormulas(full);
+ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
+                        int ell, const ErmOptions& options,
+                        std::shared_ptr<TypeRegistry> registry,
+                        bool early_stop) {
+  FOLEARN_CHECK_GE(ell, 0);
+  if (registry == nullptr) {
+    registry = std::make_shared<TypeRegistry>(graph.vocabulary());
+  }
+  const int64_t n_items = SaturatingPow(graph.order(), ell);
+  const int64_t m = static_cast<int64_t>(examples.size());
+  // Sequential checkpoint cost per candidate: one outer checkpoint in the
+  // scan plus one per example inside TypeMajorityErm.
+  const int64_t unit = m + 1;
+  ResourceGovernor* governor = options.governor;
 
+  // Deterministic limits fix the number of candidates that can complete
+  // *before* the sweep runs, so an interrupted run picks its winner from
+  // the same range for every thread count.
+  const int64_t allowance =
+      governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+  const int64_t full =
+      allowance == kNoLimit ? n_items : std::min(n_items, allowance / unit);
+  if (full == 0) {
+    // Not even one candidate fits (or the range is empty): the sequential
+    // loop's partial-candidate semantics apply.
+    return BruteForceErmSequential(graph, examples, ell, options, registry,
+                                   early_stop);
+  }
+
+  // Evaluate candidate errors in [0, full). Workers share nothing mutable:
+  // each lazily builds its own registry shard and ball cache; the governor
+  // is only polled read-only for deadline/cancellation. The hypotheses
+  // built here are discarded — only (error, index) feeds the reduction —
+  // so shard-local TypeIds never leak into the result.
+  const int workers = EffectiveThreads(options.threads);
+  std::vector<std::shared_ptr<TypeRegistry>> shards(workers);
+  std::vector<std::unique_ptr<BallCache>> caches(workers);
+  ErmOptions shard_options = options;
+  shard_options.governor = nullptr;
+  shard_options.threads = 1;
+
+  SweepOptions sweep;
+  sweep.threads = workers;
+  sweep.chunk_size = 8;
+  sweep.governor = governor;
+  sweep.stop_on_hit = early_stop;
+  SweepOutcome outcome = ParallelSweep(
+      full, sweep, [&](int64_t index, int worker) -> std::pair<double, bool> {
+        if (shards[worker] == nullptr) {
+          shards[worker] = std::make_shared<TypeRegistry>(graph.vocabulary());
+          caches[worker] = std::make_unique<BallCache>(graph);
+        }
+        std::vector<int64_t> raw = NthTuple(graph.order(), ell, index);
+        std::vector<Vertex> parameters(raw.begin(), raw.end());
+        ErmOptions local = shard_options;
+        local.ball_cache = caches[worker].get();
+        ErmResult candidate = TypeMajorityErm(graph, examples, parameters,
+                                              local, shards[worker]);
+        return {candidate.training_error,
+                early_stop && candidate.training_error == 0.0};
+      });
+
+  // Settle the governor with the sequential-equivalent charge and work out
+  // which candidate the sequential scan would have returned.
+  int64_t winner = -1;
+  int64_t tried = 0;
+  if (outcome.passive_stop) {
+    // Deadline/cancellation: best over the candidates that finished before
+    // the stop (timing-dependent, like the sequential deadline path). The
+    // trailing charge latches the trip.
+    if (governor != nullptr) {
+      governor->CheckpointBatch(outcome.evaluated * unit + 1);
+    }
+    winner = outcome.best_index;
+    tried = outcome.evaluated;
+  } else if (outcome.first_hit >= 0) {
+    // Early stop at the first zero-error candidate.
+    if (governor != nullptr) {
+      governor->CheckpointBatch((outcome.first_hit + 1) * unit);
+    }
+    winner = outcome.first_hit;
+    tried = outcome.first_hit + 1;
+  } else if (full < n_items) {
+    // The deterministic limit trips mid-scan, possibly inside a partial
+    // candidate the sequential loop would still have counted.
+    const int64_t partial = allowance - full * unit;
+    if (governor != nullptr) governor->CheckpointBatch(allowance + 1);
+    winner = outcome.best_index;
+    tried = full + (partial > 0 ? 1 : 0);
+  } else {
+    if (governor != nullptr) governor->CheckpointBatch(n_items * unit);
+    winner = outcome.best_index;
+    tried = full;
+  }
+
+  ErmResult best;
+  if (winner < 0) {
+    // Nothing completed (a passive stop before the first candidate):
+    // mirror the sequential tried == 0 fallback, evaluating the vacuous
+    // candidate under the (now tripped) governor.
+    best = TypeMajorityErm(graph, examples,
+                           std::vector<Vertex>(static_cast<size_t>(ell), 0),
+                           options, registry);
+  } else {
+    // Re-evaluate only the winner on the caller's registry, ungoverned
+    // (its work is already charged above): TypeIds and serialised bytes
+    // come out exactly as in a single-threaded run that interned only the
+    // winning candidate, independent of thread count.
+    std::vector<int64_t> raw = NthTuple(graph.order(), ell, winner);
+    std::vector<Vertex> parameters(raw.begin(), raw.end());
+    ErmOptions winner_options = options;
+    winner_options.governor = nullptr;
+    best = TypeMajorityErm(graph, examples, parameters, winner_options,
+                           registry);
+  }
+  best.parameter_tuples_tried = tried;
+  best.status = GovernorStatus(governor);
+  return best;
+}
+
+namespace {
+
+EnumerationErmResult EnumerationErmSequential(
+    const Graph& graph, const TrainingSet& examples, int ell,
+    const std::vector<FormulaRef>& formulas,
+    const std::vector<std::string>& query_vars,
+    const std::vector<std::string>& param_vars, ResourceGovernor* governor) {
   EnumerationErmResult best;
   ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
     std::vector<Vertex> parameters(raw.begin(), raw.end());
@@ -142,6 +266,88 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
     }
     return true;
   });
+  best.status = GovernorStatus(governor);
+  return best;
+}
+
+}  // namespace
+
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    const EnumerationOptions& enumeration,
+                                    ResourceGovernor* governor, int threads) {
+  const int k = examples.empty() ? 0
+                                 : static_cast<int>(examples[0].tuple.size());
+  std::vector<std::string> query_vars = QueryVars(k);
+  std::vector<std::string> param_vars = ParamVars(ell);
+
+  EnumerationOptions full_options = enumeration;
+  full_options.free_variables = query_vars;
+  full_options.free_variables.insert(full_options.free_variables.end(),
+                                     param_vars.begin(), param_vars.end());
+  std::vector<FormulaRef> formulas = EnumerateFormulas(full_options);
+
+  // Flattened grid in scan order: index = tuple_index · |formulas| +
+  // formula_index. One sequential checkpoint per grid item.
+  const int64_t num_formulas = static_cast<int64_t>(formulas.size());
+  const int64_t num_tuples = SaturatingPow(graph.order(), ell);
+  const int64_t n_items =
+      num_formulas == 0 ? 0 : SaturatingMul(num_tuples, num_formulas);
+  const int64_t allowance =
+      governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+  const int64_t full =
+      allowance == kNoLimit ? n_items : std::min(n_items, allowance);
+  if (full == 0) {
+    return EnumerationErmSequential(graph, examples, ell, formulas,
+                                    query_vars, param_vars, governor);
+  }
+
+  SweepOptions sweep;
+  sweep.threads = EffectiveThreads(threads);
+  sweep.chunk_size = 64;
+  sweep.governor = governor;
+  sweep.stop_on_hit = true;  // the sequential loop always stops at zero
+  SweepOutcome outcome = ParallelSweep(
+      full, sweep, [&](int64_t index, int) -> std::pair<double, bool> {
+        std::vector<int64_t> raw =
+            NthTuple(graph.order(), ell, index / num_formulas);
+        std::vector<Vertex> parameters(raw.begin(), raw.end());
+        Hypothesis candidate{formulas[index % num_formulas], query_vars,
+                             param_vars, parameters};
+        double error = TrainingError(graph, candidate, examples);
+        return {error, error == 0.0};
+      });
+
+  int64_t winner = -1;
+  EnumerationErmResult best;
+  if (outcome.passive_stop) {
+    if (governor != nullptr) governor->CheckpointBatch(outcome.evaluated + 1);
+    winner = outcome.best_index;
+    best.formulas_tried = outcome.evaluated;
+  } else if (outcome.first_hit >= 0) {
+    if (governor != nullptr) governor->CheckpointBatch(outcome.first_hit + 1);
+    winner = outcome.first_hit;
+    best.formulas_tried = outcome.first_hit + 1;
+  } else if (full < n_items) {
+    if (governor != nullptr) governor->CheckpointBatch(allowance + 1);
+    winner = outcome.best_index;
+    best.formulas_tried = full;
+  } else {
+    if (governor != nullptr) governor->CheckpointBatch(n_items);
+    winner = outcome.best_index;
+    best.formulas_tried = full;
+  }
+  if (winner >= 0) {
+    std::vector<int64_t> raw =
+        NthTuple(graph.order(), ell, winner / num_formulas);
+    std::vector<Vertex> parameters(raw.begin(), raw.end());
+    best.hypothesis = Hypothesis{formulas[winner % num_formulas], query_vars,
+                                 param_vars, parameters};
+    best.training_error = outcome.best_key;
+    if (outcome.first_hit >= 0 && !outcome.passive_stop) {
+      best.training_error = 0.0;
+    }
+  }
   best.status = GovernorStatus(governor);
   return best;
 }

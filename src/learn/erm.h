@@ -31,6 +31,17 @@ struct ErmOptions {
   // local-type computation. Shared across nested calls — BruteForceErm's
   // per-candidate TypeMajorityErm calls draw from the same budget.
   ResourceGovernor* governor = nullptr;
+  // Worker threads for the parameter sweep in BruteForceErm (resolved via
+  // EffectiveThreads: 0 = hardware concurrency). The result — hypothesis,
+  // error, serialised model bytes, diagnostics — is byte-identical for
+  // every thread count; see BruteForceErm below. TypeMajorityErm itself is
+  // always single-threaded (it is the per-candidate work unit).
+  int threads = 1;
+  // Optional per-vertex ball cache bound to the same graph (nullptr =
+  // fresh BFS per type computation). Not thread-safe: only consulted on
+  // single-threaded paths; parallel sweeps create one cache per worker
+  // internally.
+  BallCache* ball_cache = nullptr;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);
@@ -72,6 +83,16 @@ ErmResult TypeMajorityErm(const Graph& graph, const TrainingSet& examples,
 // candidate fully evaluated so far is returned (deterministically for a
 // work-budget or injected trip — same inputs + same budget ⇒ identical
 // result).
+//
+// With options.threads > 1 the candidate errors are evaluated in parallel
+// (per-worker type-registry shards and ball caches; deterministic
+// index-ordered argmin), and the winning candidate is then re-evaluated
+// single-threaded on `registry`, so TypeIds, serialised model bytes,
+// governor work accounting, and every diagnostic are identical to the
+// single-threaded scan. Deterministic governor limits (work budget, fault
+// injector) fix the evaluated range up front and are charged as the
+// sequential-equivalent batch; the wall-clock deadline is polled
+// cooperatively per candidate.
 ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
                         int ell, const ErmOptions& options,
                         std::shared_ptr<TypeRegistry> registry = nullptr,
@@ -87,10 +108,14 @@ struct EnumerationErmResult {
   RunStatus status = RunStatus::kComplete;  // best-so-far when interrupted
   int64_t formulas_tried = 0;
 };
+// `threads` parallelises the tuple×formula grid exactly like
+// BruteForceErm's sweep (same determinism guarantees; 0 = hardware
+// concurrency).
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     const EnumerationOptions& enumeration,
-                                    ResourceGovernor* governor = nullptr);
+                                    ResourceGovernor* governor = nullptr,
+                                    int threads = 1);
 
 }  // namespace folearn
 

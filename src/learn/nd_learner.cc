@@ -10,6 +10,7 @@
 #include "nd/covering.h"
 #include "types/type.h"
 #include "util/combinatorics.h"
+#include "util/parallel.h"
 
 namespace folearn {
 
@@ -443,29 +444,122 @@ NdLearnerResult LearnNowhereDense(const Graph& graph,
                                : 2 * options.EffectiveRadius() + 1;
   ErmOptions erm_options{options.rank, final_radius, options.governor};
   auto registry = std::make_shared<TypeRegistry>(graph.vocabulary());
-  bool have_complete = false;
-  bool first = true;
-  for (const std::vector<Vertex>& candidate : collector.candidates()) {
-    // The first candidate is evaluated even under an already-tripped
-    // governor (yielding a partial majority vote) so the result always
-    // carries a well-formed hypothesis; later candidates stop the scan.
-    if (!first && !GovernorCheckpoint(options.governor)) break;
-    ErmResult erm =
-        TypeMajorityErm(graph, examples, candidate, erm_options, registry);
-    ++result.candidates_evaluated;
-    const bool complete = erm.status == RunStatus::kComplete;
-    if (first || (complete &&
-                  (!have_complete ||
-                   erm.training_error < result.erm.training_error))) {
-      result.erm = std::move(erm);
-      result.parameters = candidate;
+  const std::vector<std::vector<Vertex>>& candidates = collector.candidates();
+  const int64_t num_candidates = static_cast<int64_t>(candidates.size());
+  const int64_t m = static_cast<int64_t>(examples.size());
+  // Sequential checkpoint cost: candidate 0 pays m (no leading outer
+  // checkpoint — it runs even under a tripped governor); every later
+  // candidate pays 1 + m. After p ≥ 1 complete candidates the scan has
+  // spent p·(m+1) − 1 checkpoints.
+  const int64_t unit = m + 1;
+  ResourceGovernor* governor = options.governor;
+  const int64_t allowance =
+      governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+  const int64_t full = allowance == kNoLimit
+                           ? num_candidates
+                           : std::min(num_candidates, (allowance + 1) / unit);
+  if (full == 0) {
+    // Not even the first candidate can complete (or there are none): keep
+    // the sequential loop, whose partial-first-candidate semantics the
+    // parallel path cannot reproduce more cheaply.
+    bool have_complete = false;
+    bool first = true;
+    for (const std::vector<Vertex>& candidate : candidates) {
+      if (!first && !GovernorCheckpoint(governor)) break;
+      ErmResult erm =
+          TypeMajorityErm(graph, examples, candidate, erm_options, registry);
+      ++result.candidates_evaluated;
+      const bool complete = erm.status == RunStatus::kComplete;
+      if (first || (complete &&
+                    (!have_complete ||
+                     erm.training_error < result.erm.training_error))) {
+        result.erm = std::move(erm);
+        result.parameters = candidate;
+      }
+      first = false;
+      have_complete = have_complete || complete;
+      if (have_complete && result.erm.training_error == 0.0) break;
+      if (GovernorInterrupted(governor)) break;
     }
-    first = false;
-    have_complete = have_complete || complete;
-    if (have_complete && result.erm.training_error == 0.0) break;
-    if (GovernorInterrupted(options.governor)) break;
+    result.status = GovernorStatus(governor);
+    result.erm.status = result.status;
+    return result;
   }
-  result.status = GovernorStatus(options.governor);
+
+  // Same evaluate-then-settle scheme as BruteForceErm: errors in [0, full)
+  // on per-worker registry shards and ball caches, deterministic argmin
+  // with ties to the lowest index, then the winner alone is re-evaluated
+  // on the shared registry so its TypeIds are thread-count independent.
+  const int workers = EffectiveThreads(options.threads);
+  std::vector<std::shared_ptr<TypeRegistry>> shards(workers);
+  std::vector<std::unique_ptr<BallCache>> caches(workers);
+  ErmOptions shard_base = erm_options;
+  shard_base.governor = nullptr;
+
+  SweepOptions sweep;
+  sweep.threads = workers;
+  sweep.chunk_size = 1;  // few, expensive candidates
+  sweep.governor = governor;
+  sweep.stop_on_hit = true;  // the sequential loop stops at zero error
+  SweepOutcome outcome = ParallelSweep(
+      full, sweep, [&](int64_t index, int worker) -> std::pair<double, bool> {
+        if (shards[worker] == nullptr) {
+          shards[worker] = std::make_shared<TypeRegistry>(graph.vocabulary());
+          caches[worker] = std::make_unique<BallCache>(graph);
+        }
+        ErmOptions local = shard_base;
+        local.ball_cache = caches[worker].get();
+        ErmResult erm = TypeMajorityErm(graph, examples, candidates[index],
+                                        local, shards[worker]);
+        return {erm.training_error, erm.training_error == 0.0};
+      });
+
+  int64_t winner = -1;
+  if (outcome.passive_stop) {
+    if (governor != nullptr && outcome.evaluated > 0) {
+      governor->CheckpointBatch(outcome.evaluated * unit);
+    }
+    winner = outcome.best_index;
+    result.candidates_evaluated = outcome.evaluated;
+  } else if (outcome.first_hit >= 0) {
+    if (governor != nullptr) {
+      governor->CheckpointBatch((outcome.first_hit + 1) * unit - 1);
+    }
+    winner = outcome.first_hit;
+    result.candidates_evaluated = outcome.first_hit + 1;
+  } else if (full < num_candidates) {
+    // Deterministic trip mid-scan; the sequential loop may still have
+    // started (and counted) one partial candidate beyond the last
+    // complete one.
+    const int64_t partial = allowance - (full * unit - 1);
+    if (governor != nullptr) governor->CheckpointBatch(allowance + 1);
+    winner = outcome.best_index;
+    result.candidates_evaluated = full + (partial > 0 ? 1 : 0);
+  } else {
+    if (governor != nullptr) {
+      governor->CheckpointBatch(num_candidates * unit - 1);
+    }
+    winner = outcome.best_index;
+    result.candidates_evaluated = full;
+  }
+
+  if (winner < 0) {
+    // Passive stop before the first candidate finished: evaluate it under
+    // the (about to latch) governor, like the sequential loop's
+    // unconditional first iteration.
+    if (governor != nullptr) governor->CheckpointBatch(1);
+    result.erm = TypeMajorityErm(graph, examples, candidates[0], erm_options,
+                                 registry);
+    result.parameters = candidates[0];
+    result.candidates_evaluated = 1;
+  } else {
+    ErmOptions winner_options = erm_options;
+    winner_options.governor = nullptr;
+    result.erm = TypeMajorityErm(graph, examples, candidates[winner],
+                                 winner_options, registry);
+    result.parameters = candidates[winner];
+  }
+  result.status = GovernorStatus(governor);
   result.erm.status = result.status;
   return result;
 }

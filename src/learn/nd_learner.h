@@ -55,6 +55,12 @@ struct NdLearnerOptions {
   // local-type computation / branch exploration. On interruption the best
   // candidate evaluated so far is returned (anytime semantics).
   ResourceGovernor* governor = nullptr;
+  // Worker threads for the final candidate-evaluation phase (0 = hardware
+  // concurrency). Deterministic: the returned hypothesis, error, and
+  // diagnostics are identical for any value — see BruteForceErm for the
+  // mechanism. The collection recursion itself stays single-threaded (its
+  // steps are sequentially dependent).
+  int threads = 1;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);

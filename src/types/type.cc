@@ -93,6 +93,24 @@ TypeId TypeRegistry::Intern(TypeNode node) {
   return id;
 }
 
+std::vector<TypeId> TypeRegistry::MergeFrom(const TypeRegistry& other) {
+  FOLEARN_CHECK(vocabulary_ == other.vocabulary())
+      << "registry merge across vocabularies";
+  std::vector<TypeId> translation(other.nodes_.size(), kNoType);
+  for (TypeId id = 0; id < static_cast<TypeId>(other.nodes_.size()); ++id) {
+    TypeNode node = other.nodes_[id];
+    for (TypeId& child : node.children) {
+      FOLEARN_CHECK_LT(child, id) << "registry ids not topologically ordered";
+      child = translation[child];
+    }
+    // Remapped children keep set semantics but may lose sortedness under
+    // the new numbering (the translation is injective, so no duplicates).
+    std::sort(node.children.begin(), node.children.end());
+    translation[id] = Intern(std::move(node));
+  }
+  return translation;
+}
+
 TypeComputer::TypeComputer(const Graph& graph, TypeRegistry* registry)
     : graph_(graph), registry_(registry) {
   FOLEARN_CHECK(registry != nullptr);
@@ -137,11 +155,17 @@ TypeId ComputeType(const Graph& graph, std::span<const Vertex> tuple,
 }
 
 TypeId ComputeLocalType(const Graph& graph, std::span<const Vertex> tuple,
-                        int rank, int radius, TypeRegistry* registry) {
-  NeighborhoodGraph neighborhood =
-      BuildNeighborhoodGraph(graph, tuple, radius);
-  return ComputeType(neighborhood.induced.graph, neighborhood.tuple, rank,
-                     registry);
+                        int rank, int radius, TypeRegistry* registry,
+                        BallCache* ball_cache) {
+  if (ball_cache == nullptr) {
+    NeighborhoodGraph neighborhood =
+        BuildNeighborhoodGraph(graph, tuple, radius);
+    return ComputeType(neighborhood.induced.graph, neighborhood.tuple, rank,
+                       registry);
+  }
+  std::vector<Vertex> ball = ball_cache->TupleBall(tuple, radius);
+  InducedSubgraph induced = BuildInducedSubgraph(graph, ball);
+  return ComputeType(induced.graph, induced.MapTuple(tuple), rank, registry);
 }
 
 std::vector<TypeId> ComputeLocalTypes(

@@ -88,6 +88,17 @@ class TypeRegistry {
 
   TypeId Intern(TypeNode node);
 
+  // Re-interns every node of `other` (same vocabulary) into this registry,
+  // children before parents (registry ids are topologically ordered by
+  // construction — a node's children are interned before the node itself).
+  // Returns the id translation: translation[id in other] = id here.
+  // Idempotent on content: merging a registry into an equal one adds
+  // nothing. Used to fold per-worker registry shards from parallel sweeps
+  // into one canonical registry deterministically (shard merge order is
+  // fixed by the caller, and hash-consing makes re-interning
+  // order-insensitive for types already present).
+  std::vector<TypeId> MergeFrom(const TypeRegistry& other);
+
   const TypeNode& Node(TypeId id) const {
     FOLEARN_CHECK_GE(id, 0);
     FOLEARN_CHECK_LT(static_cast<size_t>(id), nodes_.size());
@@ -132,8 +143,13 @@ TypeId ComputeType(const Graph& graph, std::span<const Vertex> tuple,
                    int rank, TypeRegistry* registry);
 
 // Local type ltp_{q,r}(G, v̄) = tp_q(N_r^G(v̄), v̄) (paper §2 / Fact 5).
+// With a non-null `ball_cache` (bound to `graph`) the r-ball is assembled
+// from cached per-vertex balls instead of a fresh multi-source BFS —
+// semantically identical, and much cheaper when tuple entries recur across
+// calls (as the example tuples do in every ERM sweep).
 TypeId ComputeLocalType(const Graph& graph, std::span<const Vertex> tuple,
-                        int rank, int radius, TypeRegistry* registry);
+                        int rank, int radius, TypeRegistry* registry,
+                        BallCache* ball_cache = nullptr);
 
 // Batch variant sharing the ball computation per tuple; returns one TypeId
 // per tuple.

@@ -73,6 +73,27 @@ bool ForEachSubsetUpTo(
   return true;
 }
 
+std::vector<int64_t> NthTuple(int64_t base, int length, int64_t index) {
+  FOLEARN_CHECK_GE(length, 0);
+  FOLEARN_CHECK_GE(index, 0);
+  if (length > 0) {
+    FOLEARN_CHECK_GT(base, 0);
+  }
+  std::vector<int64_t> tuple(length, 0);
+  for (int pos = length - 1; pos >= 0; --pos) {
+    tuple[pos] = index % base;
+    index /= base;
+  }
+  FOLEARN_CHECK_EQ(index, 0) << "tuple index out of range";
+  return tuple;
+}
+
+int64_t SaturatingMul(int64_t a, int64_t b) {
+  FOLEARN_CHECK_GE(a, 0);
+  FOLEARN_CHECK_GE(b, 0);
+  return SatMul(a, b);
+}
+
 int64_t Binomial(int64_t n, int64_t k) {
   if (k < 0 || k > n) return 0;
   k = std::min(k, n - k);

@@ -28,8 +28,19 @@ bool ForEachSubset(int64_t n, int size,
 bool ForEachSubsetUpTo(int64_t n, int min_size, int max_size,
                        const std::function<bool(const std::vector<int64_t>&)>& visit);
 
+// The `index`-th tuple (0-based) of the lexicographic enumeration that
+// ForEachTuple(base, length, …) produces — i.e. `index` written in base
+// `base` with `length` digits, most significant first. Random access into
+// the tuple space is what lets the parallel sweeps hand out index ranges
+// without replaying the enumeration. Requires 0 ≤ index < base^length
+// (CHECK-fails otherwise; length == 0 admits only index 0).
+std::vector<int64_t> NthTuple(int64_t base, int length, int64_t index);
+
 // n choose k, saturating at INT64_MAX.
 int64_t Binomial(int64_t n, int64_t k);
+
+// a * b over non-negative int64, saturating at INT64_MAX.
+int64_t SaturatingMul(int64_t a, int64_t b);
 
 // pow(base, exp) over int64, saturating at INT64_MAX.
 int64_t SaturatingPow(int64_t base, int exp);

@@ -1,6 +1,7 @@
 #ifndef FOLEARN_UTIL_GOVERNOR_H_
 #define FOLEARN_UTIL_GOVERNOR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -138,6 +139,87 @@ class ResourceGovernor {
       }
     }
     return true;
+  }
+
+  // How many further unit Checkpoint() calls are guaranteed to pass
+  // considering only the *deterministic* limits (work budget and fault
+  // injector): kNoLimit if neither is configured, 0 if already tripped.
+  // Deadline and cancellation are deliberately excluded — they are
+  // timing-dependent and polled separately via PassiveLimitHit(). Parallel
+  // sweeps use this to fix their evaluation range up front so an
+  // interrupted run selects the same winner for any thread count.
+  int64_t DeterministicAllowance() const {
+    if (status_ != RunStatus::kComplete) return 0;
+    int64_t allowance = kNoLimit;
+    if (injector_ != nullptr) {
+      int64_t left = injector_->trip_at() - 1 - checkpoints_;
+      allowance = left > 0 ? left : 0;
+    }
+    if (limits_.max_work != kNoLimit) {
+      int64_t left = limits_.max_work - work_;
+      if (left < 0) left = 0;
+      allowance = allowance == kNoLimit ? left : std::min(allowance, left);
+    }
+    return allowance;
+  }
+
+  // Equivalent of `count` sequential unit Checkpoint() calls, in O(1).
+  // Returns how many of them would have returned true. If the
+  // deterministic limits trip inside the batch, the failing call is
+  // counted (like Checkpoint()) and the status latches exactly as the
+  // sequential loop would have latched it; otherwise cancellation and the
+  // wall clock are probed once at the end of the batch. Parallel sweeps
+  // use this to charge the sequential-equivalent work after evaluating a
+  // pre-sized range, keeping work_used() and trip points identical to the
+  // single-threaded scan.
+  int64_t CheckpointBatch(int64_t count) {
+    if (count <= 0 || status_ != RunStatus::kComplete) return 0;
+    const int64_t allowance = DeterministicAllowance();
+    if (allowance != kNoLimit && count > allowance) {
+      checkpoints_ += allowance + 1;
+      work_ += allowance + 1;
+      if (injector_ != nullptr && checkpoints_ >= injector_->trip_at()) {
+        status_ = injector_->status();
+      } else {
+        status_ = RunStatus::kBudgetExhausted;
+      }
+      return allowance;
+    }
+    checkpoints_ += count;
+    work_ += count;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      status_ = RunStatus::kCancelled;
+      return count - 1;
+    }
+    if (limits_.deadline_ms != kNoLimit) {
+      next_clock_probe_ = checkpoints_ + kClockProbeStride;
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Clock::now() - start_)
+                         .count();
+      if (elapsed >= limits_.deadline_ms) {
+        status_ = RunStatus::kDeadlineExceeded;
+        return count - 1;
+      }
+    }
+    return count;
+  }
+
+  // Read-only poll of the timing-dependent limits (deadline elapsed,
+  // cancellation flag set, or an already-latched trip). Never mutates the
+  // governor, so concurrent calls from worker threads are safe while the
+  // owner is not checkpointing.
+  bool PassiveLimitHit() const {
+    if (status_ != RunStatus::kComplete) return true;
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    if (limits_.deadline_ms != kNoLimit) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         Clock::now() - start_)
+                         .count();
+      if (elapsed >= limits_.deadline_ms) return true;
+    }
+    return false;
   }
 
   RunStatus status() const { return status_; }

@@ -1,0 +1,178 @@
+// Stress test for the sharded TypeRegistry strategy used by the parallel
+// sweeps: many workers intern overlapping local types into per-worker
+// shards concurrently, the shards are folded with MergeFrom in fixed
+// worker order, and the merged registry must be content-identical to the
+// registry a sequential scan builds. Run under TSan in CI to certify the
+// shard-confinement scheme is race-free.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "graph/generators.h"
+#include "types/type.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+constexpr int kWorkers = 8;
+constexpr int kRank = 1;
+constexpr int kRadius = 1;
+
+struct Workload {
+  Graph graph{0};
+  std::vector<std::vector<Vertex>> tuples;
+
+  Workload() {
+    Rng rng(1234);
+    graph = MakeRandomTree(30, rng);
+    AddRandomColors(graph, {"Red", "Blue"}, 0.3, rng);
+    // Every pair, so each worker's slice shares many types with the
+    // others — the merge has to dedup aggressively.
+    for (Vertex u = 0; u < graph.order(); ++u) {
+      for (Vertex v = 0; v < graph.order(); v += 3) {
+        tuples.push_back({u, v});
+      }
+    }
+  }
+};
+
+// Two registries have the same content iff merging either into (a copy
+// of) the other adds nothing.
+void ExpectSameContent(const TypeRegistry& a, const TypeRegistry& b) {
+  ASSERT_EQ(a.size(), b.size());
+  TypeRegistry a_copy = a;
+  a_copy.MergeFrom(b);
+  EXPECT_EQ(a_copy.size(), a.size());
+  TypeRegistry b_copy = b;
+  b_copy.MergeFrom(a);
+  EXPECT_EQ(b_copy.size(), b.size());
+}
+
+TEST(RegistryStress, ConcurrentShardsMergeToSequentialRegistry) {
+  Workload w;
+
+  // Sequential reference: one registry, tuples in order.
+  TypeRegistry sequential(w.graph.vocabulary());
+  std::vector<TypeId> sequential_ids;
+  {
+    BallCache cache(w.graph);
+    for (const auto& tuple : w.tuples) {
+      sequential_ids.push_back(ComputeLocalType(w.graph, tuple, kRank,
+                                                kRadius, &sequential, &cache));
+    }
+  }
+
+  // Parallel: worker i interns the tuples congruent to i mod kWorkers
+  // into its own shard, all workers running at once.
+  std::vector<std::unique_ptr<TypeRegistry>> shards;
+  std::vector<std::unique_ptr<BallCache>> caches;
+  for (int i = 0; i < kWorkers; ++i) {
+    shards.push_back(std::make_unique<TypeRegistry>(w.graph.vocabulary()));
+    caches.push_back(std::make_unique<BallCache>(w.graph));
+  }
+  std::vector<std::vector<TypeId>> shard_ids(kWorkers);
+  ThreadPool::Global().RunParallel(kWorkers, [&](int worker) {
+    for (size_t i = worker; i < w.tuples.size(); i += kWorkers) {
+      shard_ids[worker].push_back(
+          ComputeLocalType(w.graph, w.tuples[i], kRank, kRadius,
+                           shards[worker].get(), caches[worker].get()));
+    }
+  });
+
+  // Deterministic fold, worker order.
+  TypeRegistry merged(w.graph.vocabulary());
+  std::vector<std::vector<TypeId>> translations;
+  for (int i = 0; i < kWorkers; ++i) {
+    translations.push_back(merged.MergeFrom(*shards[i]));
+  }
+
+  ExpectSameContent(merged, sequential);
+
+  // The translated per-tuple ids must induce the same partition of the
+  // tuples as the sequential ids: equal sequential type ⟺ equal merged
+  // type (the numbering may differ, the classification may not).
+  std::map<TypeId, TypeId> seq_to_merged;
+  std::map<TypeId, TypeId> merged_to_seq;
+  for (size_t i = 0; i < w.tuples.size(); ++i) {
+    const int worker = static_cast<int>(i % kWorkers);
+    const size_t slot = i / kWorkers;
+    const TypeId shard_id = shard_ids[worker][slot];
+    ASSERT_GE(shard_id, 0);
+    ASSERT_LT(static_cast<size_t>(shard_id), translations[worker].size());
+    const TypeId merged_id = translations[worker][shard_id];
+    const TypeId seq_id = sequential_ids[i];
+    auto [it_fwd, fwd_new] = seq_to_merged.emplace(seq_id, merged_id);
+    EXPECT_EQ(it_fwd->second, merged_id) << "tuple " << i;
+    auto [it_bwd, bwd_new] = merged_to_seq.emplace(merged_id, seq_id);
+    EXPECT_EQ(it_bwd->second, seq_id) << "tuple " << i;
+  }
+  EXPECT_EQ(seq_to_merged.size(), merged_to_seq.size());
+}
+
+TEST(RegistryStress, MergeFromIsIdempotent) {
+  Workload w;
+  TypeRegistry shard(w.graph.vocabulary());
+  for (size_t i = 0; i < w.tuples.size(); i += 5) {
+    ComputeLocalType(w.graph, w.tuples[i], kRank, kRadius, &shard);
+  }
+  TypeRegistry merged(w.graph.vocabulary());
+  std::vector<TypeId> first = merged.MergeFrom(shard);
+  const int64_t size_after_first = merged.size();
+  EXPECT_EQ(size_after_first, shard.size());
+  std::vector<TypeId> second = merged.MergeFrom(shard);
+  EXPECT_EQ(merged.size(), size_after_first);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RegistryStress, MergeOrderDoesNotChangeContent) {
+  Workload w;
+  TypeRegistry even(w.graph.vocabulary());
+  TypeRegistry odd(w.graph.vocabulary());
+  for (size_t i = 0; i < w.tuples.size(); ++i) {
+    ComputeLocalType(w.graph, w.tuples[i], kRank, kRadius,
+                     (i % 2 == 0) ? &even : &odd);
+  }
+  TypeRegistry ab(w.graph.vocabulary());
+  ab.MergeFrom(even);
+  ab.MergeFrom(odd);
+  TypeRegistry ba(w.graph.vocabulary());
+  ba.MergeFrom(odd);
+  ba.MergeFrom(even);
+  ExpectSameContent(ab, ba);
+}
+
+// Repeated concurrent rounds against one long-lived set of shards — the
+// pattern the ERM sweeps follow across governor restarts. Exercises the
+// pool's job reuse; TSan certifies no cross-worker interference.
+TEST(RegistryStress, RepeatedRoundsStayConsistent) {
+  Workload w;
+  std::vector<std::unique_ptr<TypeRegistry>> shards;
+  for (int i = 0; i < kWorkers; ++i) {
+    shards.push_back(std::make_unique<TypeRegistry>(w.graph.vocabulary()));
+  }
+  for (int round = 0; round < 4; ++round) {
+    ThreadPool::Global().RunParallel(kWorkers, [&](int worker) {
+      for (size_t i = worker; i < w.tuples.size(); i += kWorkers) {
+        ComputeLocalType(w.graph, w.tuples[i], kRank, kRadius,
+                         shards[worker].get());
+      }
+    });
+  }
+  // Every round re-interns the same types, so shard sizes are stable and
+  // the merged registry matches a fresh sequential pass.
+  TypeRegistry merged(w.graph.vocabulary());
+  for (int i = 0; i < kWorkers; ++i) merged.MergeFrom(*shards[i]);
+  TypeRegistry sequential(w.graph.vocabulary());
+  for (const auto& tuple : w.tuples) {
+    ComputeLocalType(w.graph, tuple, kRank, kRadius, &sequential);
+  }
+  ExpectSameContent(merged, sequential);
+}
+
+}  // namespace
+}  // namespace folearn

@@ -158,6 +158,17 @@ bool MakeGovernor(const Args& args,
   return true;
 }
 
+// Worker threads for the parallel sweeps (0 = hardware concurrency).
+// Results are identical for every value; exits 64 on a negative count.
+int GetThreads(const Args& args) {
+  int threads = args.GetInt("threads", 1);
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+    std::exit(64);
+  }
+  return threads;
+}
+
 void ReportInterruption(const ResourceGovernor& governor) {
   std::fprintf(stderr,
                "resource limit hit (%s) after %lld work units; result is "
@@ -280,6 +291,7 @@ int CmdLearn(const Args& args, ResourceGovernor* governor) {
   options.rank = args.GetInt("rank", 1);
   options.radius = args.GetInt("radius", -1);
   options.governor = governor;
+  options.threads = GetThreads(args);
   int ell = args.GetInt("ell", 0);
   std::string learner = args.Get("learner", "brute");
 
@@ -295,6 +307,7 @@ int CmdLearn(const Args& args, ResourceGovernor* governor) {
     nd.ell_star = std::max(ell, 1);
     nd.epsilon = args.GetDouble("epsilon", 0.2);
     nd.governor = governor;
+    nd.threads = options.threads;
     result = LearnNowhereDense(*graph, *data, nd).erm;
   } else {
     std::fprintf(stderr, "unknown learner '%s' (brute|sublinear|nd)\n",
@@ -433,8 +446,10 @@ int Usage() {
       "  eval     --graph g.txt --data d.txt --model m.txt\n"
       "  mc       --graph g.txt --sentence \"...\" [--via-erm 1]\n"
       "  profile  --graph g.txt [--radius r]\n"
-      "every command accepts [--timeout-ms T] [--max-work W]; a run cut\n"
-      "short by either limit emits its best-so-far result and exits 3\n");
+      "every command accepts [--timeout-ms T] [--max-work W] and\n"
+      "[--threads N] (0 = all cores; results are identical for any N);\n"
+      "a run cut short by a limit emits its best-so-far result and "
+      "exits 3\n");
   return 64;
 }
 
@@ -451,20 +466,20 @@ int Main(int argc, char** argv) {
   if (command == "generate") {
     unknown = args.FirstUnknown({"family", "n", "seed", "color", "degree",
                                  "p", "attach", "out", "timeout-ms",
-                                 "max-work"});
+                                 "max-work", "threads"});
   } else if (command == "learn") {
     unknown = args.FirstUnknown({"graph", "data", "rank", "radius", "ell",
                                  "learner", "epsilon", "out", "timeout-ms",
-                                 "max-work"});
+                                 "max-work", "threads"});
   } else if (command == "eval") {
     unknown = args.FirstUnknown(
-        {"graph", "data", "model", "timeout-ms", "max-work"});
+        {"graph", "data", "model", "timeout-ms", "max-work", "threads"});
   } else if (command == "mc") {
-    unknown = args.FirstUnknown(
-        {"graph", "sentence", "via-erm", "timeout-ms", "max-work"});
+    unknown = args.FirstUnknown({"graph", "sentence", "via-erm",
+                                 "timeout-ms", "max-work", "threads"});
   } else if (command == "profile") {
     unknown = args.FirstUnknown({"graph", "radius", "timeout-ms",
-                                 "max-work"});
+                                 "max-work", "threads"});
   } else {
     return Usage();
   }

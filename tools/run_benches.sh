@@ -1,0 +1,64 @@
+#!/bin/sh
+# Runs every bench_* binary with --json and aggregates the per-binary
+# JSONL records into one JSON array.
+#
+# Usage: tools/run_benches.sh [build_dir] [output.json]
+#   build_dir   directory containing the bench binaries (default: build)
+#   output.json aggregated report (default: BENCH_parallel.json in the
+#               repo root)
+#
+# Binaries that fail (a VIOLATION self-check, a missing build) are
+# reported on stderr and skipped; the aggregate contains whatever the
+# successful runs produced. Human-readable tables still go to stdout.
+
+set -u
+
+repo_root=$(dirname "$0")/..
+build_dir=${1:-"$repo_root/build"}
+out=${2:-"$repo_root/BENCH_parallel.json"}
+
+if [ ! -d "$build_dir" ]; then
+  echo "run_benches.sh: build dir '$build_dir' not found" >&2
+  exit 1
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+failures=0
+ran=0
+for bench_path in "$build_dir"/bench/bench_*; do
+  [ -f "$bench_path" ] && [ -x "$bench_path" ] || continue
+  bench=$(basename "$bench_path")
+  echo "=== $bench ==="
+  if "$bench_path" --json "$tmpdir/$bench.jsonl"; then
+    ran=$((ran + 1))
+  else
+    echo "run_benches.sh: $bench failed, skipping its records" >&2
+    rm -f "$tmpdir/$bench.jsonl"
+    failures=$((failures + 1))
+  fi
+done
+
+if [ "$ran" -eq 0 ]; then
+  echo "run_benches.sh: no bench binaries found under $build_dir/bench" >&2
+  exit 1
+fi
+
+# JSONL -> one JSON array. Pure shell: join all record lines with commas.
+{
+  printf '[\n'
+  first=1
+  for jsonl in "$tmpdir"/*.jsonl; do
+    [ -f "$jsonl" ] || continue
+    while IFS= read -r line; do
+      [ -n "$line" ] || continue
+      if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+      printf '  %s' "$line"
+    done < "$jsonl"
+  done
+  printf '\n]\n'
+} > "$out"
+
+echo "wrote $out ($ran benches, $failures failures)"
+[ "$failures" -eq 0 ]
