@@ -179,46 +179,77 @@ int main(int argc, char** argv) {
   BenchJsonWriter json(argc, argv);
   Rng rng(777);
   std::printf("E9: type-majority ERM vs literal formula enumeration "
-              "(noisy rank-1 target, k=1, ℓ=0)\n\n");
+              "(noisy rank-1 target, rank-2 slice, k=1, ℓ=0)\n\n");
 
   Table table({"n", "types err", "types seen", "types ms", "enum err",
-               "formulas tried", "enum ms"});
-  for (int n : {6, 8, 10, 12}) {
+               "formulas tried", "compiled ms", "interp ms", "speedup"});
+  for (int n : {12, 16, 20, 24}) {
     Graph graph = MakeRandomTree(n, rng);
     AddRandomColors(graph, {"Red"}, 0.4, rng);
     std::vector<std::vector<Vertex>> tuples =
-        SampleTuples(graph.order(), 1, 4 * n, rng);
+        SampleTuples(graph.order(), 1, 8 * n, rng);
     TrainingSet examples = LabelByQuery(
         graph, MustParseFormula("exists z. (E(x1, z) & Red(z))"),
         QueryVars(1), tuples);
     FlipLabels(examples, 0.15, rng);
 
     Stopwatch type_watch;
-    ErmResult types = TypeMajorityErm(graph, examples, {}, {1, -1});
+    ErmResult types = TypeMajorityErm(graph, examples, {}, {2, -1});
     double type_ms = type_watch.ElapsedMillis();
 
+    // Enumerate the rank-2 syntactic slice ONCE, outside the stopwatches:
+    // the enumeration is pure formula syntax (identical for both eval
+    // modes) and would otherwise swamp the grid-search timing. The span
+    // overload then measures the search itself — compiled plans (the
+    // default) vs the interpreted reference oracle, the engine's headline
+    // speedup.
     EnumerationOptions enumeration;
+    enumeration.free_variables = QueryVars(1);
     enumeration.colors = {"Red"};
-    enumeration.max_quantifier_rank = 1;
+    enumeration.max_quantifier_rank = 2;
     enumeration.max_boolean_depth = 1;
     enumeration.max_count = 4000;
-    Stopwatch enum_watch;
-    EnumerationErmResult enumerated =
-        EnumerationErm(graph, examples, 0, enumeration);
-    double enum_ms = enum_watch.ElapsedMillis();
+    std::vector<FormulaRef> formulas = EnumerateFormulas(enumeration);
+
+    const int kGridReps = 3;  // best-of-k: the ratio, not the noise
+    double enum_ms = 1e300;
+    double interp_ms = 1e300;
+    EnumerationErmResult enumerated;
+    EnumerationErmResult interpreted;
+    for (int rep = 0; rep < kGridReps; ++rep) {
+      Stopwatch enum_watch;
+      enumerated = EnumerationErm(graph, examples, 0, formulas);
+      enum_ms = std::min(enum_ms, enum_watch.ElapsedMillis());
+
+      EvalOptions interpreted_eval;
+      interpreted_eval.force_interpreter = true;
+      Stopwatch interp_watch;
+      interpreted = EnumerationErm(graph, examples, 0, formulas, nullptr, 1,
+                                   interpreted_eval);
+      interp_ms = std::min(interp_ms, interp_watch.ElapsedMillis());
+    }
 
     table.AddRow({std::to_string(n), FormatDouble(types.training_error, 3),
                   std::to_string(types.distinct_types_seen),
                   FormatDouble(type_ms, 2),
                   FormatDouble(enumerated.training_error, 3),
                   std::to_string(enumerated.formulas_tried),
-                  FormatDouble(enum_ms, 1)});
+                  FormatDouble(enum_ms, 1), FormatDouble(interp_ms, 1),
+                  FormatDouble(interp_ms / enum_ms, 2)});
     json.Record("erm_core/e9_types", "n=" + std::to_string(n), type_ms,
                 types.distinct_types_seen);
     json.Record("erm_core/e9_enumeration", "n=" + std::to_string(n), enum_ms,
                 enumerated.formulas_tried);
+    json.Record("erm_core/e9_enumeration_interpreted",
+                "n=" + std::to_string(n), interp_ms,
+                interpreted.formulas_tried);
     if (types.training_error > enumerated.training_error + 1e-12) {
       std::printf("VIOLATION: type ERM worse than an enumerated formula!\n");
+      return 1;
+    }
+    if (interpreted.training_error != enumerated.training_error ||
+        interpreted.formulas_tried != enumerated.formulas_tried) {
+      std::printf("VIOLATION: interpreted and compiled grids disagree!\n");
       return 1;
     }
   }
@@ -228,7 +259,7 @@ int main(int argc, char** argv) {
               "majority vote is the exact minimiser over those unions),\n"
               "at a tiny fraction of the enumeration cost — and the "
               "enumeration here covers only a\nbounded syntactic slice of "
-              "FO[τ, 1], while the type ERM covers ALL of it.\n");
+              "FO[τ, 2], while the type ERM covers ALL of it.\n");
 
   std::printf("\ngovernor checkpoint overhead on the ERM core:\n\n");
   if (int rc = BenchGovernorOverhead(rng, json); rc != 0) return rc;

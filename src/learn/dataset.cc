@@ -41,11 +41,13 @@ std::vector<std::vector<Vertex>> SampleTuples(int n, int k, int count,
 TrainingSet LabelByQuery(const Graph& graph, const FormulaRef& query,
                          std::span<const std::string> vars,
                          const std::vector<std::vector<Vertex>>& tuples) {
+  // Batched evaluation: the query is compiled once and the plan reused
+  // across all tuples (mc/compiled_eval.h).
+  std::vector<bool> labels = EvaluateOnTuples(graph, query, vars, tuples);
   TrainingSet examples;
   examples.reserve(tuples.size());
-  for (const std::vector<Vertex>& tuple : tuples) {
-    bool label = EvaluateQuery(graph, query, vars, tuple);
-    examples.push_back({tuple, label});
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    examples.push_back({tuples[i], labels[i]});
   }
   return examples;
 }

@@ -5,6 +5,8 @@
 #include <memory>
 #include <utility>
 
+#include "mc/compiled_eval.h"
+#include "mc/compiler.h"
 #include "util/combinatorics.h"
 #include "util/parallel.h"
 
@@ -247,16 +249,17 @@ namespace {
 
 EnumerationErmResult EnumerationErmSequential(
     const Graph& graph, const TrainingSet& examples, int ell,
-    const std::vector<FormulaRef>& formulas,
+    std::span<const FormulaRef> formulas,
     const std::vector<std::string>& query_vars,
-    const std::vector<std::string>& param_vars, ResourceGovernor* governor) {
+    const std::vector<std::string>& param_vars, ResourceGovernor* governor,
+    const EvalOptions& eval) {
   EnumerationErmResult best;
   ForEachTuple(graph.order(), ell, [&](const std::vector<int64_t>& raw) {
     std::vector<Vertex> parameters(raw.begin(), raw.end());
     for (const FormulaRef& formula : formulas) {
       if (!GovernorCheckpoint(governor)) return false;
       Hypothesis candidate{formula, query_vars, param_vars, parameters};
-      double error = TrainingError(graph, candidate, examples);
+      double error = TrainingError(graph, candidate, examples, eval);
       ++best.formulas_tried;
       if (best.hypothesis.formula == nullptr || error < best.training_error) {
         best.hypothesis = std::move(candidate);
@@ -270,22 +273,47 @@ EnumerationErmResult EnumerationErmSequential(
   return best;
 }
 
+// Per-worker compiled-plan cache for the enumeration grid: each worker
+// compiles a candidate formula at most once and keeps the evaluator (with
+// its per-graph memo) alive across all parameter tuples and examples.
+struct EnumerationPlanCache {
+  std::vector<std::unique_ptr<CompiledFormula>> plans;
+  std::vector<std::unique_ptr<CompiledEvaluator>> evaluators;
+  std::vector<Vertex> env;
+};
+
 }  // namespace
 
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     const EnumerationOptions& enumeration,
-                                    ResourceGovernor* governor, int threads) {
+                                    ResourceGovernor* governor, int threads,
+                                    const EvalOptions& eval) {
+  const int k = examples.empty() ? 0
+                                 : static_cast<int>(examples[0].tuple.size());
+  EnumerationOptions full_options = enumeration;
+  full_options.free_variables = QueryVars(k);
+  std::vector<std::string> param_vars = ParamVars(ell);
+  full_options.free_variables.insert(full_options.free_variables.end(),
+                                     param_vars.begin(), param_vars.end());
+  std::vector<FormulaRef> formulas = EnumerateFormulas(full_options);
+  return EnumerationErm(graph, examples, ell, formulas, governor, threads,
+                        eval);
+}
+
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    std::span<const FormulaRef> formulas,
+                                    ResourceGovernor* governor, int threads,
+                                    const EvalOptions& eval) {
   const int k = examples.empty() ? 0
                                  : static_cast<int>(examples[0].tuple.size());
   std::vector<std::string> query_vars = QueryVars(k);
   std::vector<std::string> param_vars = ParamVars(ell);
-
-  EnumerationOptions full_options = enumeration;
-  full_options.free_variables = query_vars;
-  full_options.free_variables.insert(full_options.free_variables.end(),
-                                     param_vars.begin(), param_vars.end());
-  std::vector<FormulaRef> formulas = EnumerateFormulas(full_options);
+  // The grid governor is the budget; per-candidate evaluation is always
+  // ungoverned (matching the TrainingError default of the PR 2 code).
+  EvalOptions candidate_eval = eval;
+  candidate_eval.governor = nullptr;
 
   // Flattened grid in scan order: index = tuple_index · |formulas| +
   // formula_index. One sequential checkpoint per grid item.
@@ -299,22 +327,60 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
       allowance == kNoLimit ? n_items : std::min(n_items, allowance);
   if (full == 0) {
     return EnumerationErmSequential(graph, examples, ell, formulas,
-                                    query_vars, param_vars, governor);
+                                    query_vars, param_vars, governor,
+                                    candidate_eval);
   }
+
+  std::vector<std::string> all_vars = query_vars;
+  all_vars.insert(all_vars.end(), param_vars.begin(), param_vars.end());
+  const int64_t m = static_cast<int64_t>(examples.size());
 
   SweepOptions sweep;
   sweep.threads = EffectiveThreads(threads);
   sweep.chunk_size = 64;
   sweep.governor = governor;
   sweep.stop_on_hit = true;  // the sequential loop always stops at zero
+  std::vector<EnumerationPlanCache> plan_caches(sweep.threads);
   SweepOutcome outcome = ParallelSweep(
-      full, sweep, [&](int64_t index, int) -> std::pair<double, bool> {
+      full, sweep, [&](int64_t index, int worker) -> std::pair<double, bool> {
+        const int64_t formula_index = index % num_formulas;
         std::vector<int64_t> raw =
             NthTuple(graph.order(), ell, index / num_formulas);
-        std::vector<Vertex> parameters(raw.begin(), raw.end());
-        Hypothesis candidate{formulas[index % num_formulas], query_vars,
-                             param_vars, parameters};
-        double error = TrainingError(graph, candidate, examples);
+        if (candidate_eval.force_interpreter) {
+          std::vector<Vertex> parameters(raw.begin(), raw.end());
+          Hypothesis candidate{formulas[formula_index], query_vars,
+                               param_vars, parameters};
+          double error =
+              TrainingError(graph, candidate, examples, candidate_eval);
+          return {error, error == 0.0};
+        }
+        EnumerationPlanCache& cache = plan_caches[worker];
+        if (cache.plans.empty()) {
+          cache.plans.resize(num_formulas);
+          cache.evaluators.resize(num_formulas);
+          cache.env.resize(all_vars.size());
+        }
+        if (cache.evaluators[formula_index] == nullptr) {
+          cache.plans[formula_index] = std::make_unique<CompiledFormula>(
+              CompileFormula(formulas[formula_index], all_vars));
+          cache.evaluators[formula_index] =
+              std::make_unique<CompiledEvaluator>(
+                  *cache.plans[formula_index], graph, candidate_eval);
+        }
+        CompiledEvaluator& evaluator = *cache.evaluators[formula_index];
+        for (int j = 0; j < ell; ++j) {
+          cache.env[k + j] = static_cast<Vertex>(raw[j]);
+        }
+        int64_t wrong = 0;
+        for (const LabeledExample& example : examples) {
+          FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), k);
+          std::copy(example.tuple.begin(), example.tuple.end(),
+                    cache.env.begin());
+          if (evaluator.Eval(cache.env) != example.label) ++wrong;
+        }
+        double error =
+            m == 0 ? 0.0
+                   : static_cast<double>(wrong) / static_cast<double>(m);
         return {error, error == 0.0};
       });
 

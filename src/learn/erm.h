@@ -111,11 +111,33 @@ struct EnumerationErmResult {
 // `threads` parallelises the tuple×formula grid exactly like
 // BruteForceErm's sweep (same determinism guarantees; 0 = hardware
 // concurrency).
+//
+// Candidate formulas are compiled once per worker and the plans (plus
+// their per-graph subformula memos) are reused across every parameter
+// tuple and training example — the compiled engine's headline win on the
+// E9 grid. `eval` controls the per-candidate evaluation only
+// (force_interpreter routes through the reference evaluator;
+// eval.governor is ignored — the grid-level `governor` parameter is the
+// budget, charged one unit per candidate in both modes).
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     const EnumerationOptions& enumeration,
                                     ResourceGovernor* governor = nullptr,
-                                    int threads = 1);
+                                    int threads = 1,
+                                    const EvalOptions& eval = {});
+
+// Same grid search over an explicitly pre-enumerated candidate slice. The
+// formulas must use the canonical frame QueryVars(k) · ParamVars(ell)
+// (what the EnumerationOptions overload enumerates with) — anything else
+// CHECK-fails at compile/evaluation time as an unbound variable. Lets
+// callers amortise the (substantial) syntactic enumeration across
+// repeated runs, and lets bench_erm_core time the search itself.
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    std::span<const FormulaRef> formulas,
+                                    ResourceGovernor* governor = nullptr,
+                                    int threads = 1,
+                                    const EvalOptions& eval = {});
 
 }  // namespace folearn
 

@@ -2,28 +2,61 @@
 
 #include <algorithm>
 
+#include "mc/compiled_eval.h"
+#include "mc/compiler.h"
 #include "types/hintikka.h"
 
 namespace folearn {
+
+std::vector<std::string> Hypothesis::AllVars() const {
+  std::vector<std::string> vars = query_vars;
+  vars.insert(vars.end(), param_vars.begin(), param_vars.end());
+  return vars;
+}
 
 bool Hypothesis::Classify(const Graph& graph, std::span<const Vertex> tuple,
                           const EvalOptions& options) const {
   FOLEARN_CHECK_EQ(tuple.size(), query_vars.size());
   FOLEARN_CHECK_EQ(parameters.size(), param_vars.size());
-  Assignment assignment(query_vars, tuple);
-  for (size_t i = 0; i < param_vars.size(); ++i) {
-    assignment.Bind(param_vars[i], parameters[i]);
+  if (options.force_interpreter) {
+    Assignment assignment(query_vars, tuple);
+    for (size_t i = 0; i < param_vars.size(); ++i) {
+      assignment.Bind(param_vars[i], parameters[i]);
+    }
+    return Evaluate(graph, formula, assignment, options);
   }
-  return Evaluate(graph, formula, assignment, options);
+  std::vector<Vertex> values(tuple.begin(), tuple.end());
+  values.insert(values.end(), parameters.begin(), parameters.end());
+  return EvaluateQuery(graph, formula, AllVars(), values, options);
 }
 
 double TrainingError(const Graph& graph, const Hypothesis& hypothesis,
                      const TrainingSet& examples, const EvalOptions& options) {
   if (examples.empty()) return 0.0;
   int64_t wrong = 0;
-  for (const LabeledExample& example : examples) {
-    if (hypothesis.Classify(graph, example.tuple, options) != example.label) {
-      ++wrong;
+  if (options.force_interpreter) {
+    for (const LabeledExample& example : examples) {
+      if (hypothesis.Classify(graph, example.tuple, options) !=
+          example.label) {
+        ++wrong;
+      }
+    }
+  } else {
+    // Compile φ(x̄; ȳ) once and sweep the example tuples over one slot
+    // environment, with the parameters written into the tail up front.
+    FOLEARN_CHECK_EQ(hypothesis.parameters.size(),
+                     hypothesis.param_vars.size());
+    CompiledFormula plan =
+        CompileFormula(hypothesis.formula, hypothesis.AllVars());
+    CompiledEvaluator evaluator(plan, graph, options);
+    const size_t k = hypothesis.query_vars.size();
+    std::vector<Vertex> env(k + hypothesis.parameters.size());
+    std::copy(hypothesis.parameters.begin(), hypothesis.parameters.end(),
+              env.begin() + static_cast<ptrdiff_t>(k));
+    for (const LabeledExample& example : examples) {
+      FOLEARN_CHECK_EQ(example.tuple.size(), k);
+      std::copy(example.tuple.begin(), example.tuple.end(), env.begin());
+      if (evaluator.Eval(env) != example.label) ++wrong;
     }
   }
   return static_cast<double>(wrong) / static_cast<double>(examples.size());

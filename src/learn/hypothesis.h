@@ -26,12 +26,22 @@ struct Hypothesis {
   int k() const { return static_cast<int>(query_vars.size()); }
   int ell() const { return static_cast<int>(param_vars.size()); }
 
-  // h(v̄): evaluates φ with x̄ ↦ tuple, ȳ ↦ parameters.
+  // The concatenated frame x̄·ȳ — the free-variable order used when the
+  // formula is compiled (mc/compiler.h).
+  std::vector<std::string> AllVars() const;
+
+  // h(v̄): evaluates φ with x̄ ↦ tuple, ȳ ↦ parameters. Compiled unless
+  // options.force_interpreter is set; verdicts are identical either way.
   bool Classify(const Graph& graph, std::span<const Vertex> tuple,
                 const EvalOptions& options = {}) const;
 };
 
 // err_Λ(h): the fraction of examples classified wrongly (paper §3).
+// Compiles φ once and reuses the plan across all examples (per-graph
+// memoization of sentence-valued subformulas included); with
+// options.force_interpreter it loops Classify through the reference
+// evaluator instead. Governor checkpoints fire at identical points in
+// both modes.
 double TrainingError(const Graph& graph, const Hypothesis& hypothesis,
                      const TrainingSet& examples,
                      const EvalOptions& options = {});

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <set>
 
+#include "mc/compiled_eval.h"
+#include "mc/compiler.h"
 #include "mc/evaluator.h"
 #include "types/type.h"
 
@@ -21,6 +23,10 @@ class QueryDistribution : public ExampleDistribution {
         noise_rate_(noise_rate) {
     FOLEARN_CHECK_GT(graph.order(), 0);
     FOLEARN_CHECK(noise_rate >= 0.0 && noise_rate <= 1.0);
+    // The hidden query is fixed for the distribution's lifetime: compile
+    // it once and label every sample through the same plan.
+    plan_ = std::make_unique<CompiledFormula>(CompileFormula(query_, vars_));
+    evaluator_ = std::make_unique<CompiledEvaluator>(*plan_, graph_);
   }
 
   LabeledExample Sample(Rng& rng) override {
@@ -28,7 +34,7 @@ class QueryDistribution : public ExampleDistribution {
     for (Vertex& v : tuple) {
       v = static_cast<Vertex>(rng.UniformIndex(graph_.order()));
     }
-    bool label = EvaluateQuery(graph_, query_, vars_, tuple);
+    bool label = evaluator_->Eval(tuple);
     if (noise_rate_ > 0.0 && rng.Bernoulli(noise_rate_)) label = !label;
     return {std::move(tuple), label};
   }
@@ -39,6 +45,8 @@ class QueryDistribution : public ExampleDistribution {
   const Graph& graph_;
   FormulaRef query_;
   std::vector<std::string> vars_;
+  std::unique_ptr<CompiledFormula> plan_;
+  std::unique_ptr<CompiledEvaluator> evaluator_;
   int k_;
   double noise_rate_;
 };

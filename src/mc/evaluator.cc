@@ -1,6 +1,10 @@
 #include "mc/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "mc/compiled_eval.h"
+#include "mc/compiler.h"
 
 namespace folearn {
 
@@ -10,39 +14,81 @@ Assignment::Assignment(std::span<const std::string> vars,
   for (size_t i = 0; i < vars.size(); ++i) Bind(vars[i], values[i]);
 }
 
-void Assignment::Unbind(const std::string& var) {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->first == var) {
-      entries_.erase(std::next(it).base());
-      return;
+Assignment::VarStack& Assignment::FindOrCreate(const std::string& var) {
+  if (last_hit_ < stacks_.size() && stacks_[last_hit_].name == var) {
+    return stacks_[last_hit_];
+  }
+  for (size_t i = 0; i < stacks_.size(); ++i) {
+    if (stacks_[i].name == var) {
+      last_hit_ = i;
+      return stacks_[i];
     }
   }
-  FOLEARN_CHECK(false) << "unbinding unbound variable '" << var << "'";
+  last_hit_ = stacks_.size();
+  stacks_.push_back(VarStack{var, {}});
+  return stacks_.back();
+}
+
+const Assignment::VarStack* Assignment::Find(const std::string& var) const {
+  if (last_hit_ < stacks_.size() && stacks_[last_hit_].name == var) {
+    return &stacks_[last_hit_];
+  }
+  for (size_t i = 0; i < stacks_.size(); ++i) {
+    if (stacks_[i].name == var) {
+      last_hit_ = i;
+      return &stacks_[i];
+    }
+  }
+  return nullptr;
+}
+
+void Assignment::Rebind(const std::string& var, Vertex value) {
+  VarStack* stack = const_cast<VarStack*>(Find(var));
+  FOLEARN_CHECK(stack != nullptr && !stack->values.empty())
+      << "rebinding unbound variable '" << var << "'";
+  stack->values.back() = value;
+}
+
+void Assignment::Unbind(const std::string& var) {
+  VarStack* stack = const_cast<VarStack*>(Find(var));
+  FOLEARN_CHECK(stack != nullptr && !stack->values.empty())
+      << "unbinding unbound variable '" << var << "'";
+  stack->values.pop_back();
 }
 
 std::optional<Vertex> Assignment::Lookup(const std::string& var) const {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    if (it->first == var) return it->second;
+  const VarStack* stack = Find(var);
+  if (stack == nullptr || stack->values.empty()) return std::nullopt;
+  return stack->values.back();
+}
+
+Assignment::SetStack& Assignment::FindOrCreateSet(const std::string& set_var) {
+  for (size_t i = 0; i < set_stacks_.size(); ++i) {
+    if (set_stacks_[i].name == set_var) return set_stacks_[i];
   }
-  return std::nullopt;
+  set_stacks_.push_back(SetStack{set_var, {}});
+  return set_stacks_.back();
+}
+
+const Assignment::SetStack* Assignment::FindSet(
+    const std::string& set_var) const {
+  for (size_t i = 0; i < set_stacks_.size(); ++i) {
+    if (set_stacks_[i].name == set_var) return &set_stacks_[i];
+  }
+  return nullptr;
 }
 
 void Assignment::UnbindSet(const std::string& set_var) {
-  for (auto it = set_entries_.rbegin(); it != set_entries_.rend(); ++it) {
-    if (it->first == set_var) {
-      set_entries_.erase(std::next(it).base());
-      return;
-    }
-  }
-  FOLEARN_CHECK(false) << "unbinding unbound set variable '" << set_var
-                       << "'";
+  SetStack* stack = const_cast<SetStack*>(FindSet(set_var));
+  FOLEARN_CHECK(stack != nullptr && !stack->values.empty())
+      << "unbinding unbound set variable '" << set_var << "'";
+  stack->values.pop_back();
 }
 
 Assignment::SetValue Assignment::LookupSet(const std::string& set_var) const {
-  for (auto it = set_entries_.rbegin(); it != set_entries_.rend(); ++it) {
-    if (it->first == set_var) return it->second;
-  }
-  return nullptr;
+  const SetStack* stack = FindSet(set_var);
+  if (stack == nullptr || stack->values.empty()) return nullptr;
+  return stack->values.back();
 }
 
 namespace {
@@ -175,6 +221,32 @@ class Evaluator {
   EvalStats* stats_;
 };
 
+using SteadyClock = std::chrono::steady_clock;
+
+double MsSince(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start)
+      .count();
+}
+
+// Compile-then-evaluate for the one-shot entry points. The clock is read
+// only when a stats sink is attached.
+bool CompiledEvalOnce(const Graph& graph, const FormulaRef& formula,
+                      std::span<const std::string> vars,
+                      std::span<const Vertex> tuple,
+                      const EvalOptions& options, EvalStats* stats) {
+  SteadyClock::time_point start;
+  if (stats != nullptr) start = SteadyClock::now();
+  CompiledFormula plan = CompileFormula(formula, vars);
+  CompiledEvaluator evaluator(plan, graph, options);
+  if (stats != nullptr) {
+    stats->compile_ms += MsSince(start);
+    start = SteadyClock::now();
+  }
+  bool value = evaluator.Eval(tuple, stats);
+  if (stats != nullptr) stats->eval_ms += MsSince(start);
+  return value;
+}
+
 }  // namespace
 
 bool Evaluate(const Graph& graph, const FormulaRef& formula,
@@ -193,14 +265,22 @@ bool EvaluateSentence(const Graph& graph, const FormulaRef& sentence,
       << "sentence expected, but formula has free variables";
   FOLEARN_CHECK(sentence->free_set_variables().empty())
       << "sentence expected, but formula has free set variables";
-  return Evaluate(graph, sentence, Assignment(), options, stats);
+  if (options.force_interpreter) {
+    return Evaluate(graph, sentence, Assignment(), options, stats);
+  }
+  return CompiledEvalOnce(graph, sentence, {}, {}, options, stats);
 }
 
 bool EvaluateQuery(const Graph& graph, const FormulaRef& formula,
                    std::span<const std::string> vars,
                    std::span<const Vertex> tuple, const EvalOptions& options,
                    EvalStats* stats) {
-  return Evaluate(graph, formula, Assignment(vars, tuple), options, stats);
+  if (options.force_interpreter) {
+    return Evaluate(graph, formula, Assignment(vars, tuple), options, stats);
+  }
+  FOLEARN_CHECK(formula != nullptr);
+  FOLEARN_CHECK_EQ(vars.size(), tuple.size());
+  return CompiledEvalOnce(graph, formula, vars, tuple, options, stats);
 }
 
 std::vector<bool> EvaluateOnTuples(
@@ -208,12 +288,45 @@ std::vector<bool> EvaluateOnTuples(
     std::span<const std::string> vars,
     const std::vector<std::vector<Vertex>>& tuples, const EvalOptions& options,
     EvalStats* stats) {
+  FOLEARN_CHECK(formula != nullptr);
   std::vector<bool> results;
   results.reserve(tuples.size());
-  for (const std::vector<Vertex>& tuple : tuples) {
-    results.push_back(
-        EvaluateQuery(graph, formula, vars, tuple, options, stats));
+  if (tuples.empty()) return results;
+
+  if (!options.force_interpreter) {
+    // One plan, one evaluator, all tuples — the batched fast path.
+    SteadyClock::time_point start;
+    if (stats != nullptr) start = SteadyClock::now();
+    CompiledFormula plan = CompileFormula(formula, vars);
+    CompiledEvaluator evaluator(plan, graph, options);
+    if (stats != nullptr) {
+      stats->compile_ms += MsSince(start);
+      start = SteadyClock::now();
+    }
+    for (const std::vector<Vertex>& tuple : tuples) {
+      FOLEARN_CHECK_EQ(tuple.size(), vars.size());
+      results.push_back(evaluator.Eval(tuple, stats));
+    }
+    if (stats != nullptr) stats->eval_ms += MsSince(start);
+    return results;
   }
+
+  // Interpreted fallback: build the assignment once and rebind per tuple
+  // (the evaluator restores the binding stacks after every call, even when
+  // the governor trips mid-recursion, so reuse is sound).
+  Evaluator evaluator(graph, options, stats);
+  Assignment assignment(vars, tuples.front());
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    const std::vector<Vertex>& tuple = tuples[i];
+    FOLEARN_CHECK_EQ(tuple.size(), vars.size());
+    if (i > 0) {
+      for (size_t j = 0; j < vars.size(); ++j) {
+        assignment.Rebind(vars[j], tuple[j]);
+      }
+    }
+    results.push_back(evaluator.Eval(formula, assignment));
+  }
+  if (stats != nullptr) stats->status = GovernorStatus(options.governor);
   return results;
 }
 

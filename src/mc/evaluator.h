@@ -17,6 +17,12 @@ namespace folearn {
 
 // A variable assignment for formula evaluation. Bindings form a stack so
 // quantifier scoping (shadowing) works naturally.
+//
+// Internally each distinct name owns its own value stack (evaluation
+// touches a handful of names, so the name list is a small vector), and the
+// index of the most recently touched name is cached: the common pattern —
+// a quantifier loop binding/reading/unbinding the same variable — runs
+// without any string comparison after the first access.
 class Assignment {
  public:
   Assignment() = default;
@@ -26,8 +32,12 @@ class Assignment {
              std::span<const Vertex> values);
 
   void Bind(const std::string& var, Vertex value) {
-    entries_.emplace_back(var, value);
+    FindOrCreate(var).values.push_back(value);
   }
+
+  // Overwrites the innermost binding of `var` (which must exist) — the
+  // re-binding idiom of batched evaluation loops.
+  void Rebind(const std::string& var, Vertex value);
 
   // Pops the most recent binding of `var`.
   void Unbind(const std::string& var);
@@ -39,21 +49,45 @@ class Assignment {
   using SetValue = std::shared_ptr<const std::vector<bool>>;
 
   void BindSet(const std::string& set_var, SetValue members) {
-    set_entries_.emplace_back(set_var, std::move(members));
+    FindOrCreateSet(set_var).values.push_back(std::move(members));
   }
   void UnbindSet(const std::string& set_var);
   // Innermost binding of `set_var`, or nullptr.
   SetValue LookupSet(const std::string& set_var) const;
 
  private:
-  std::vector<std::pair<std::string, Vertex>> entries_;
-  std::vector<std::pair<std::string, SetValue>> set_entries_;
+  // Per-name binding stack. Emptied stacks stay in place so repeated
+  // bind/unbind cycles reuse their capacity and keep the cache index valid.
+  struct VarStack {
+    std::string name;
+    std::vector<Vertex> values;
+  };
+  struct SetStack {
+    std::string name;
+    std::vector<SetValue> values;
+  };
+
+  VarStack& FindOrCreate(const std::string& var);
+  const VarStack* Find(const std::string& var) const;
+  SetStack& FindOrCreateSet(const std::string& set_var);
+  const SetStack* FindSet(const std::string& set_var) const;
+
+  std::vector<VarStack> stacks_;
+  std::vector<SetStack> set_stacks_;
+  // Index into stacks_ of the most recently accessed name.
+  mutable size_t last_hit_ = 0;
 };
 
 // Optional instrumentation for the evaluation experiments (E6).
 struct EvalStats {
   int64_t atom_evaluations = 0;
   int64_t quantifier_branches = 0;
+  // Wall-clock split of the compiled path: plan construction vs plan
+  // execution, accumulated across calls like the counters above. Both stay
+  // zero on the interpreted path (and when no stats sink is attached the
+  // clock is never read at all).
+  double compile_ms = 0.0;
+  double eval_ms = 0.0;
   // kComplete: the returned truth value is exact. Otherwise the governor
   // tripped mid-evaluation and the returned value is unspecified (the
   // recursion unwound early, possibly under a negation).
@@ -65,6 +99,13 @@ struct EvalOptions {
   // evaluate to false (used after vocabulary-erasing transformations); if
   // false, such atoms CHECK-fail — the safer default for catching bugs.
   bool missing_color_is_false = false;
+  // Escape hatch: route EvaluateSentence/EvaluateQuery/EvaluateOnTuples
+  // (and everything layered on them — training error, dataset labelling,
+  // enumeration ERM) through the interpreted reference evaluator instead of
+  // compiled plans. Verdicts, work counts, and governor cut points are
+  // identical either way (enforced by compiled_vs_interpreted_test); the
+  // interpreter is simply slower.
+  bool force_interpreter = false;
   // Optional resource governor (nullptr = ungoverned). Work unit: one
   // quantifier branch (one vertex binding or one MSO subset). On a trip the
   // evaluation unwinds immediately; the returned bool is then unspecified —
@@ -81,16 +122,23 @@ struct EvalOptions {
 //
 // MSO: set quantifiers are evaluated by enumerating all 2^n subsets —
 // structures up to ~22 vertices only (CHECK-enforced).
+//
+// This entry point always runs the recursive interpreter: it is the
+// reference oracle the compiled engine (mc/compiler.h, mc/compiled_eval.h)
+// is differentially tested against. The sentence/query/tuple-batch helpers
+// below compile by default and honour `options.force_interpreter`.
 bool Evaluate(const Graph& graph, const FormulaRef& formula,
               const Assignment& assignment, const EvalOptions& options = {},
               EvalStats* stats = nullptr);
 
-// G ⊨ φ for a sentence φ (no free variables).
+// G ⊨ φ for a sentence φ (no free variables). Compiled unless
+// options.force_interpreter is set.
 bool EvaluateSentence(const Graph& graph, const FormulaRef& sentence,
                       const EvalOptions& options = {},
                       EvalStats* stats = nullptr);
 
-// G ⊨ φ(v̄) binding vars[i] ↦ tuple[i].
+// G ⊨ φ(v̄) binding vars[i] ↦ tuple[i]. Compiled unless
+// options.force_interpreter is set.
 bool EvaluateQuery(const Graph& graph, const FormulaRef& formula,
                    std::span<const std::string> vars,
                    std::span<const Vertex> tuple,
@@ -98,6 +146,8 @@ bool EvaluateQuery(const Graph& graph, const FormulaRef& formula,
                    EvalStats* stats = nullptr);
 
 // Evaluates φ(x1, …, xk) on every k-tuple in `tuples` (query answering).
+// One plan is compiled and reused across all tuples (the interpreted
+// fallback likewise builds its assignment once and rebinds per tuple).
 std::vector<bool> EvaluateOnTuples(
     const Graph& graph, const FormulaRef& formula,
     std::span<const std::string> vars,

@@ -54,6 +54,19 @@ reduced=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
 [ "$direct" = "true" ]
 [ "$direct" = "$reduced" ]
 
+# 5b. The interpreted reference evaluator agrees with the compiled
+#     default, for both eval and mc; a bad --eval value exits 64.
+"$CLI" eval --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+    --model "$DIR/m.txt" --eval interpreted | grep -q 'error: 0.0000'
+interp=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
+    --eval interpreted || true)
+[ "$interp" = "$direct" ]
+rc=0
+"$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
+    --eval fast 2> "$DIR/badeval.log" || rc=$?
+[ "$rc" -eq 64 ]
+grep -q "\-\-eval must be 'interpreted' or 'compiled'" "$DIR/badeval.log"
+
 # 6. Profile prints the invariants table.
 "$CLI" profile --graph "$DIR/g.txt" --radius 2 | grep -q 'degeneracy'
 

@@ -1,0 +1,460 @@
+// Differential testing of the compiled evaluation engine (mc/compiler.h,
+// mc/compiled_eval.h) against the recursive interpreter it replaces on
+// the hot paths. The contract under test: for every formula, graph, and
+// tuple, the two engines return identical verdicts, identical EvalStats
+// work counts, and — under a governor — identical cut points (status,
+// work_used, checkpoints_passed), including trips injected at every
+// single checkpoint of a run. The ERM grid must likewise be bit-for-bit
+// reproducible across eval modes and thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fo/enumerate.h"
+#include "fo/parser.h"
+#include "fo/printer.h"
+#include "graph/generators.h"
+#include "learn/dataset.h"
+#include "learn/erm.h"
+#include "learn/model_io.h"
+#include "mc/compiled_eval.h"
+#include "mc/compiler.h"
+#include "mc/evaluator.h"
+#include "test_helpers.h"
+#include "util/governor.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+EvalOptions Interpreted() {
+  EvalOptions options;
+  options.force_interpreter = true;
+  return options;
+}
+
+// Runs one query through both engines and checks verdict + work counts.
+// The compiled engine is exercised twice: once with a stats sink (the
+// counting lane, which must mirror the interpreter's loop structure
+// exactly) and once bare (the fast lane with guard specialisation and
+// subformula memoization, which must still agree on the verdict).
+void ExpectQueryParity(const Graph& graph, const FormulaRef& formula,
+                       const std::vector<std::string>& vars,
+                       const std::vector<Vertex>& tuple,
+                       const std::string& label) {
+  EvalStats interpreted_stats;
+  bool interpreted = EvaluateQuery(graph, formula, vars, tuple, Interpreted(),
+                                   &interpreted_stats);
+  EvalStats compiled_stats;
+  bool compiled =
+      EvaluateQuery(graph, formula, vars, tuple, {}, &compiled_stats);
+  EXPECT_EQ(compiled, interpreted) << label;
+  EXPECT_EQ(compiled_stats.atom_evaluations,
+            interpreted_stats.atom_evaluations)
+      << label;
+  EXPECT_EQ(compiled_stats.quantifier_branches,
+            interpreted_stats.quantifier_branches)
+      << label;
+  // The interpreted path never touches the compiled-path timers.
+  EXPECT_EQ(interpreted_stats.compile_ms, 0.0) << label;
+  EXPECT_EQ(interpreted_stats.eval_ms, 0.0) << label;
+  bool fast_lane = EvaluateQuery(graph, formula, vars, tuple);
+  EXPECT_EQ(fast_lane, interpreted) << label << " (fast lane)";
+}
+
+TEST(CompiledVsInterpreted, RandomFormulasAcrossFamilies) {
+  const std::vector<std::string> vars = QueryVars(2);
+  const std::vector<std::string> colors = {"Red", "Blue"};
+  const GraphFamily families[] = {GraphFamily::kPath, GraphFamily::kCycle,
+                                  GraphFamily::kErdosRenyiSparse,
+                                  GraphFamily::kRandomTree};
+  Rng rng(2024);
+  for (GraphFamily family : families) {
+    Graph graph = MakeFamilyGraph(family, 9, rng);
+    AddRandomColors(graph, colors, 0.4, rng);
+    for (int i = 0; i < 25; ++i) {
+      FormulaRef formula = RandomFormula(rng, vars, colors,
+                                         /*quantifier_budget=*/2,
+                                         /*depth=*/3, /*allow_counting=*/true);
+      for (int t = 0; t < 6; ++t) {
+        std::vector<Vertex> tuple = {
+            static_cast<Vertex>(rng.UniformIndex(graph.order())),
+            static_cast<Vertex>(rng.UniformIndex(graph.order()))};
+        ExpectQueryParity(graph, formula, vars, tuple,
+                          std::string(FamilyName(family)) + " formula " +
+                              ToString(formula) + " tuple " +
+                              std::to_string(tuple[0]) + "," +
+                              std::to_string(tuple[1]));
+      }
+    }
+  }
+}
+
+TEST(CompiledVsInterpreted, EnumeratedSliceOnAllTuplesAgrees) {
+  Rng rng(7);
+  Graph graph = MakeRandomTree(8, rng);
+  AddRandomColors(graph, {"Red"}, 0.5, rng);
+  EnumerationOptions enumeration;
+  enumeration.free_variables = {"x1"};
+  enumeration.colors = {"Red"};
+  enumeration.max_quantifier_rank = 2;
+  enumeration.max_boolean_depth = 1;
+  enumeration.max_count = 300;
+  std::vector<FormulaRef> formulas = EnumerateFormulas(enumeration);
+  ASSERT_GT(formulas.size(), 50u);
+  const std::vector<std::string> vars = {"x1"};
+  std::vector<std::vector<Vertex>> tuples = AllTuples(graph.order(), 1);
+  for (const FormulaRef& formula : formulas) {
+    EvalStats interpreted_stats;
+    std::vector<bool> interpreted = EvaluateOnTuples(
+        graph, formula, vars, tuples, Interpreted(), &interpreted_stats);
+    EvalStats compiled_stats;
+    std::vector<bool> compiled =
+        EvaluateOnTuples(graph, formula, vars, tuples, {}, &compiled_stats);
+    EXPECT_EQ(compiled, interpreted) << ToString(formula);
+    EXPECT_EQ(compiled_stats.atom_evaluations,
+              interpreted_stats.atom_evaluations)
+        << ToString(formula);
+    EXPECT_EQ(compiled_stats.quantifier_branches,
+              interpreted_stats.quantifier_branches)
+        << ToString(formula);
+  }
+  // Batched and tuple-at-a-time compiled evaluation agree too.
+  const FormulaRef spot = formulas[formulas.size() / 2];
+  std::vector<bool> batched = EvaluateOnTuples(graph, spot, vars, tuples);
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    EXPECT_EQ(EvaluateQuery(graph, spot, vars, tuples[i]), batched[i])
+        << ToString(spot) << " tuple " << i;
+  }
+}
+
+TEST(CompiledVsInterpreted, GuardedShapesSpecialiseAndAgree) {
+  Rng rng(41);
+  Graph graph = MakeErdosRenyi(11, 0.3, rng);
+  AddRandomColors(graph, {"Red"}, 0.5, rng);
+  const std::vector<std::string> vars = {"x"};
+  // The guard shapes the compiler recognises — the edge guard may sit
+  // anywhere in the body's connective list — plus decoys with no
+  // specialisable guard (wrong connective or degenerate atom) that must
+  // stay unspecialised yet agree.
+  struct Shape {
+    const char* text;
+    bool expect_guarded;
+  };
+  const Shape shapes[] = {
+      {"exists y. (E(x, y) & Red(y))", true},
+      {"forall y. (!E(x, y) | Red(y))", true},
+      {"exists y. (Red(y) & E(x, y))", true},
+      {"forall y. (Red(y) | !E(x, y))", true},
+      {"exists y. (Red(y) & !E(x, y))", true},   // colour guard
+      {"forall y. (!Red(y) | E(x, y))", true},   // ¬colour guard
+      {"exists y. (Red(y) | E(x, y))", false},
+      {"forall y. (E(x, y) | Red(y))", false},
+      {"exists y. E(y, y)", false},
+  };
+  for (const Shape& shape : shapes) {
+    FormulaRef formula = MustParseFormula(shape.text);
+    CompiledFormula plan = CompileFormula(formula, vars);
+    if (shape.expect_guarded) {
+      EXPECT_GT(plan.guarded_nodes(), 0) << shape.text;
+    } else {
+      EXPECT_EQ(plan.guarded_nodes(), 0) << shape.text;
+    }
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      ExpectQueryParity(graph, formula, vars, {v},
+                        std::string(shape.text) + " @" + std::to_string(v));
+    }
+  }
+  // A maximal same-kind run fuses into one block; parity must survive it.
+  // (No edge or colour guard in the inner body — a guardable inner level
+  // would break the run in favour of the guarded loop.)
+  FormulaRef fused =
+      MustParseFormula("exists y. exists z. (Red(y) | Red(z))");
+  CompiledFormula fused_plan = CompileFormula(fused, vars);
+  EXPECT_GT(fused_plan.fused_levels(), 0) << "no fused quantifier block";
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    ExpectQueryParity(graph, fused, vars, {v}, "fused @" + std::to_string(v));
+  }
+}
+
+TEST(CompiledVsInterpreted, ClosedSubformulasMemoiseOncePerGraph) {
+  Rng rng(5);
+  Graph graph = MakePath(10);
+  AddRandomColors(graph, {"Red"}, 0.5, rng);
+  // "exists z. Red(z)" is sentence-valued under the outer quantifier: the
+  // plan must give it a memo slot and the fast lane must compute it once.
+  FormulaRef formula =
+      MustParseFormula("forall y. (Red(y) | exists z. Red(z))");
+  const std::vector<std::string> vars = {"x"};
+  CompiledFormula plan = CompileFormula(formula, vars);
+  EXPECT_GT(plan.num_memo_slots(), 0);
+  CompiledEvaluator evaluator(plan, graph);
+  for (Vertex v = 0; v < graph.order(); ++v) {
+    const std::vector<Vertex> tuple = {v};
+    bool interpreted =
+        EvaluateQuery(graph, formula, vars, tuple, Interpreted());
+    EXPECT_EQ(evaluator.Eval(tuple), interpreted) << "memo @" << v;
+  }
+}
+
+TEST(CompiledVsInterpreted, CountingAndMsoQuantifiersAgree) {
+  Rng rng(13);
+  Graph graph = MakeCycle(6);
+  AddRandomColors(graph, {"Red"}, 0.5, rng);
+  const std::vector<std::string> vars = {"x"};
+  // Counting quantifiers (threshold reachable and unreachable — the
+  // unreachable case exercises the early-abort branch-count parity).
+  for (const char* text : {"exists>=2 y. E(x, y)", "exists>=3 y. E(x, y)",
+                           "exists>=7 y. Red(y)"}) {
+    FormulaRef formula = MustParseFormula(text);
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      ExpectQueryParity(graph, formula, vars, {v},
+                        std::string(text) + " @" + std::to_string(v));
+    }
+  }
+  // MSO set quantifiers enumerate all 2^n masks in the same order.
+  FormulaRef mso = Formula::ExistsSet(
+      "S", Formula::And(Formula::SetMember("x", "S"),
+                        Formula::Exists("y", Formula::And(
+                                                 Formula::Edge("x", "y"),
+                                                 Formula::Not(Formula::SetMember(
+                                                     "y", "S"))))));
+  FormulaRef mso_forall = Formula::ForallSet(
+      "S", Formula::Or(Formula::SetMember("x", "S"),
+                       Formula::Not(Formula::SetMember("x", "S"))));
+  for (const FormulaRef& formula : {mso, mso_forall}) {
+    for (Vertex v = 0; v < graph.order(); ++v) {
+      ExpectQueryParity(graph, formula, vars, {v},
+                        ToString(formula) + " @" + std::to_string(v));
+    }
+  }
+}
+
+// Sweeps a fault injector over EVERY checkpoint of a run: at each trip
+// point the two engines must latch the same status after the same number
+// of checkpoints and work units — the governed compiled path may not
+// reorder, batch, or skip a single checkpoint the interpreter performs.
+void ExpectCutPointParity(const Graph& graph, const FormulaRef& formula,
+                          const std::vector<std::string>& vars,
+                          const std::vector<Vertex>& tuple) {
+  ResourceGovernor baseline;
+  EvalOptions interpreted_options = Interpreted();
+  interpreted_options.governor = &baseline;
+  bool complete_verdict =
+      EvaluateQuery(graph, formula, vars, tuple, interpreted_options);
+  const int64_t total = baseline.checkpoints_passed();
+  for (int64_t trip = 1; trip <= total + 1; ++trip) {
+    FaultInjector interpreted_injector(trip);
+    ResourceGovernor interpreted_governor(GovernorLimits{}, nullptr,
+                                          &interpreted_injector);
+    EvalOptions iopts = Interpreted();
+    iopts.governor = &interpreted_governor;
+    EvalStats istats;
+    bool iverdict = EvaluateQuery(graph, formula, vars, tuple, iopts, &istats);
+
+    FaultInjector compiled_injector(trip);
+    ResourceGovernor compiled_governor(GovernorLimits{}, nullptr,
+                                       &compiled_injector);
+    EvalOptions copts;
+    copts.governor = &compiled_governor;
+    EvalStats cstats;
+    bool cverdict = EvaluateQuery(graph, formula, vars, tuple, copts, &cstats);
+
+    const std::string label = ToString(formula) + " trip=" +
+                              std::to_string(trip) + "/" +
+                              std::to_string(total);
+    EXPECT_EQ(cstats.status, istats.status) << label;
+    EXPECT_EQ(compiled_governor.status(), interpreted_governor.status())
+        << label;
+    EXPECT_EQ(compiled_governor.work_used(),
+              interpreted_governor.work_used())
+        << label;
+    EXPECT_EQ(compiled_governor.checkpoints_passed(),
+              interpreted_governor.checkpoints_passed())
+        << label;
+    EXPECT_EQ(cstats.quantifier_branches, istats.quantifier_branches)
+        << label;
+    EXPECT_EQ(cstats.atom_evaluations, istats.atom_evaluations) << label;
+    if (!interpreted_governor.Interrupted()) {
+      // Past the last checkpoint the run completes and the verdict binds.
+      EXPECT_EQ(iverdict, complete_verdict) << label;
+      EXPECT_EQ(cverdict, complete_verdict) << label;
+    }
+  }
+}
+
+TEST(CompiledVsInterpreted, GovernorCutPointsMatchAtEveryCheckpoint) {
+  Rng rng(99);
+  Graph graph = MakeErdosRenyi(8, 0.35, rng);
+  AddRandomColors(graph, {"Red"}, 0.5, rng);
+  const std::vector<std::string> vars = {"x"};
+  for (const char* text : {
+           "forall y. exists z. E(y, z)",
+           "exists y. (E(x, y) & Red(y))",     // guarded counting lane
+           "forall y. (!E(x, y) | Red(y))",    // guarded counting lane
+           "exists y. exists z. (Red(y) & E(y, z))",  // fused block
+           "exists>=2 y. E(x, y)",
+       }) {
+    ExpectCutPointParity(graph, MustParseFormula(text), vars, {0});
+  }
+  // MSO cut points: one checkpoint per subset mask.
+  Graph small = MakeCycle(4);
+  ExpectCutPointParity(
+      small,
+      Formula::ExistsSet("S", Formula::Forall(
+                                  "y", Formula::SetMember("y", "S"))),
+      vars, {0});
+}
+
+TEST(CompiledVsInterpreted, WorkBudgetsTripIdentically) {
+  Rng rng(17);
+  Graph graph = MakeErdosRenyi(9, 0.3, rng);
+  FormulaRef formula = MustParseFormula("forall y. exists z. E(y, z)");
+  for (int64_t budget : {int64_t{1}, int64_t{3}, int64_t{10}, int64_t{64}}) {
+    ResourceGovernor interpreted_governor(
+        GovernorLimits{kNoLimit, budget});
+    EvalOptions iopts = Interpreted();
+    iopts.governor = &interpreted_governor;
+    EvaluateSentence(graph, formula, iopts);
+    ResourceGovernor compiled_governor(GovernorLimits{kNoLimit, budget});
+    EvalOptions copts;
+    copts.governor = &compiled_governor;
+    EvaluateSentence(graph, formula, copts);
+    const std::string label = "budget=" + std::to_string(budget);
+    EXPECT_EQ(compiled_governor.status(), interpreted_governor.status())
+        << label;
+    EXPECT_EQ(compiled_governor.work_used(),
+              interpreted_governor.work_used())
+        << label;
+  }
+}
+
+// The E9 grid: training error, formulas tried, run status, and serialised
+// model bytes must be identical across {interpreted, compiled} × {1, 4}
+// threads, with and without an injected governor trip mid-grid.
+TEST(CompiledVsInterpreted, EnumerationErmGridIsModeAndThreadInvariant) {
+  Rng rng(321);
+  Graph graph = MakeRandomTree(12, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  std::vector<std::vector<Vertex>> tuples =
+      SampleTuples(graph.order(), 1, 2 * graph.order(), rng);
+  TrainingSet examples = LabelByQuery(
+      graph, MustParseFormula("exists z. (E(x1, z) & Red(z))"), QueryVars(1),
+      tuples);
+  FlipLabels(examples, 0.3, rng);
+  EnumerationOptions enumeration;
+  enumeration.colors = {"Red"};
+  enumeration.max_quantifier_rank = 1;
+  enumeration.max_boolean_depth = 1;
+  enumeration.max_count = 400;
+
+  for (int64_t trip : {int64_t{0}, int64_t{57}}) {  // 0 = no fault
+    EnumerationErmResult base;
+    bool first = true;
+    for (int threads : {1, 4}) {
+      for (bool interpreted : {false, true}) {
+        FaultInjector injector(trip > 0 ? trip : 1);
+        ResourceGovernor governor(GovernorLimits{}, nullptr,
+                                  trip > 0 ? &injector : nullptr);
+        EvalOptions eval;
+        eval.force_interpreter = interpreted;
+        EnumerationErmResult result =
+            EnumerationErm(graph, examples, 0, enumeration,
+                           trip > 0 ? &governor : nullptr, threads, eval);
+        const std::string label =
+            "trip=" + std::to_string(trip) +
+            " threads=" + std::to_string(threads) +
+            (interpreted ? " interpreted" : " compiled");
+        if (trip > 0) {
+          EXPECT_TRUE(IsInterrupted(result.status)) << label;
+        } else {
+          EXPECT_EQ(result.status, RunStatus::kComplete) << label;
+        }
+        if (first) {
+          base = result;
+          first = false;
+          continue;
+        }
+        EXPECT_EQ(result.training_error, base.training_error) << label;
+        EXPECT_EQ(result.formulas_tried, base.formulas_tried) << label;
+        EXPECT_EQ(result.status, base.status) << label;
+        ASSERT_EQ(result.hypothesis.formula != nullptr,
+                  base.hypothesis.formula != nullptr)
+            << label;
+        if (base.hypothesis.formula != nullptr) {
+          EXPECT_EQ(HypothesisToText(result.hypothesis),
+                    HypothesisToText(base.hypothesis))
+              << label;
+        }
+      }
+    }
+  }
+}
+
+TEST(CompiledVsInterpreted, TrainingErrorMatchesAcrossModes) {
+  Rng rng(55);
+  Graph graph = MakeRandomTree(15, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  std::vector<std::vector<Vertex>> tuples =
+      SampleTuples(graph.order(), 1, 40, rng);
+  TrainingSet examples = LabelByQuery(
+      graph, MustParseFormula("exists z. E(x1, z)"), QueryVars(1), tuples);
+  FlipLabels(examples, 0.25, rng);
+  Hypothesis hypothesis;
+  hypothesis.query_vars = QueryVars(1);
+  hypothesis.param_vars = {"y1"};
+  hypothesis.parameters = {Vertex{2}};
+  hypothesis.formula = MustParseFormula("E(x1, y1) | Red(x1)");
+  EvalOptions compiled;
+  EXPECT_EQ(TrainingError(graph, hypothesis, examples, compiled),
+            TrainingError(graph, hypothesis, examples, Interpreted()));
+  for (const LabeledExample& example : examples) {
+    EXPECT_EQ(hypothesis.Classify(graph, example.tuple, compiled),
+              hypothesis.Classify(graph, example.tuple, Interpreted()));
+  }
+}
+
+// The Assignment rework (per-name stacks + last-binding cache) must keep
+// the stack semantics and the fatal misuse diagnostics.
+TEST(CompiledVsInterpreted, AssignmentStackSemanticsSurviveRework) {
+  Assignment assignment;
+  assignment.Bind("x", 1);
+  assignment.Bind("y", 2);
+  assignment.Bind("x", 3);  // shadows
+  EXPECT_EQ(assignment.Lookup("x"), std::optional<Vertex>(3));
+  assignment.Rebind("x", 4);  // overwrites the innermost binding only
+  EXPECT_EQ(assignment.Lookup("x"), std::optional<Vertex>(4));
+  assignment.Unbind("x");
+  EXPECT_EQ(assignment.Lookup("x"), std::optional<Vertex>(1));
+  EXPECT_EQ(assignment.Lookup("y"), std::optional<Vertex>(2));
+  assignment.Unbind("x");
+  EXPECT_EQ(assignment.Lookup("x"), std::nullopt);
+  // Emptied stacks are retained for reuse; binding again works.
+  assignment.Bind("x", 7);
+  EXPECT_EQ(assignment.Lookup("x"), std::optional<Vertex>(7));
+}
+
+TEST(CompiledVsInterpretedDeath, AssignmentMisuseStillDies) {
+  Assignment assignment;
+  EXPECT_DEATH(assignment.Rebind("ghost", 0),
+               "rebinding unbound variable 'ghost'");
+  EXPECT_DEATH(assignment.Unbind("ghost"),
+               "unbinding unbound variable 'ghost'");
+}
+
+TEST(CompiledVsInterpretedDeath, BothEnginesRejectInvalidVertices) {
+  Graph graph = MakePath(3);
+  FormulaRef formula = MustParseFormula("E(x, y)");
+  const std::vector<std::string> vars = {"x", "y"};
+  const std::vector<Vertex> bad = {Vertex{0}, Vertex{9}};
+  EXPECT_DEATH(EvaluateQuery(graph, formula, vars, bad),
+               "variable 'y' bound to invalid vertex 9");
+  EXPECT_DEATH(EvaluateQuery(graph, formula, vars, bad, Interpreted()),
+               "variable 'y' bound to invalid vertex 9");
+}
+
+}  // namespace
+}  // namespace folearn

@@ -158,6 +158,20 @@ bool MakeGovernor(const Args& args,
   return true;
 }
 
+// Parses --eval interpreted|compiled (default compiled) into
+// EvalOptions::force_interpreter. Verdicts, stats, and governor cut
+// points are identical in both modes; the interpreter is the slow
+// reference oracle. Exits 64 on any other value.
+bool GetForceInterpreter(const Args& args) {
+  std::string mode = args.Get("eval", "compiled");
+  if (mode == "compiled") return false;
+  if (mode == "interpreted") return true;
+  std::fprintf(stderr,
+               "--eval must be 'interpreted' or 'compiled', got '%s'\n",
+               mode.c_str());
+  std::exit(64);
+}
+
 // Worker threads for the parallel sweeps (0 = hardware concurrency).
 // Results are identical for every value; exits 64 on a negative count.
 int GetThreads(const Args& args) {
@@ -356,6 +370,7 @@ int CmdEval(const Args& args, ResourceGovernor* governor) {
   }
   EvalOptions eval_options;
   eval_options.governor = governor;
+  eval_options.force_interpreter = GetForceInterpreter(args);
   double err = TrainingError(*graph, *hypothesis, *data, eval_options);
   std::printf("error: %.4f on %zu examples\n", err, data->size());
   if (GovernorInterrupted(governor)) {
@@ -391,6 +406,7 @@ int CmdMc(const Args& args, ResourceGovernor* governor) {
   } else {
     EvalOptions eval_options;
     eval_options.governor = governor;
+    eval_options.force_interpreter = GetForceInterpreter(args);
     value = EvaluateSentence(*graph, *sentence, eval_options);
   }
   if (GovernorInterrupted(governor)) {
@@ -448,8 +464,10 @@ int Usage() {
       "  profile  --graph g.txt [--radius r]\n"
       "every command accepts [--timeout-ms T] [--max-work W] and\n"
       "[--threads N] (0 = all cores; results are identical for any N);\n"
-      "a run cut short by a limit emits its best-so-far result and "
-      "exits 3\n");
+      "eval and mc also accept [--eval interpreted|compiled] (default\n"
+      "compiled; results are identical, interpreted is the reference\n"
+      "oracle); a run cut short by a limit emits its best-so-far result "
+      "and exits 3\n");
   return 64;
 }
 
@@ -472,10 +490,10 @@ int Main(int argc, char** argv) {
                                  "learner", "epsilon", "out", "timeout-ms",
                                  "max-work", "threads"});
   } else if (command == "eval") {
-    unknown = args.FirstUnknown(
-        {"graph", "data", "model", "timeout-ms", "max-work", "threads"});
+    unknown = args.FirstUnknown({"graph", "data", "model", "eval",
+                                 "timeout-ms", "max-work", "threads"});
   } else if (command == "mc") {
-    unknown = args.FirstUnknown({"graph", "sentence", "via-erm",
+    unknown = args.FirstUnknown({"graph", "sentence", "via-erm", "eval",
                                  "timeout-ms", "max-work", "threads"});
   } else if (command == "profile") {
     unknown = args.FirstUnknown({"graph", "radius", "timeout-ms",

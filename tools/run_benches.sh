@@ -7,6 +7,10 @@
 #   output.json aggregated report (default: BENCH_parallel.json in the
 #               repo root)
 #
+# Compare mode: tools/run_benches.sh --compare baseline.json other.json
+#   joins two aggregated reports on (bench, config) and prints a per-row
+#   speedup table (baseline_ms / other_ms > 1 means `other` is faster).
+#
 # Binaries that fail (a VIOLATION self-check, a missing build) are
 # reported on stderr and skipped; the aggregate contains whatever the
 # successful runs produced. Human-readable tables still go to stdout.
@@ -14,6 +18,48 @@
 set -u
 
 repo_root=$(dirname "$0")/..
+
+if [ "${1:-}" = "--compare" ]; then
+  baseline=${2:-}
+  other=${3:-}
+  if [ -z "$baseline" ] || [ -z "$other" ]; then
+    echo "usage: run_benches.sh --compare baseline.json other.json" >&2
+    exit 64
+  fi
+  for f in "$baseline" "$other"; do
+    if [ ! -f "$f" ]; then
+      echo "run_benches.sh: '$f' not found" >&2
+      exit 1
+    fi
+  done
+  # The reports are the writer's own one-record-per-line output wrapped in
+  # [ ... ], so a line-oriented awk join on (bench, config) is reliable.
+  awk '
+    function field(line, name,    rest) {
+      rest = line
+      if (!sub(".*\"" name "\": \"?", "", rest)) return ""
+      sub("\"?[,}].*", "", rest)
+      return rest
+    }
+    /"bench"/ {
+      key = field($0, "bench") "|" field($0, "config")
+      ms = field($0, "wall_ms") + 0
+      if (NR == FNR) { base[key] = ms; order[n++] = key; next }
+      if (key in base) seen[key] = ms
+    }
+    END {
+      printf "%-58s %12s %12s %9s\n", "bench | config", "baseline ms", \
+             "other ms", "speedup"
+      for (i = 0; i < n; i++) {
+        key = order[i]
+        if (!(key in seen)) continue
+        printf "%-58s %12.3f %12.3f %8.2fx\n", key, base[key], seen[key], \
+               seen[key] > 0 ? base[key] / seen[key] : 0
+      }
+    }
+  ' "$baseline" "$other"
+  exit 0
+fi
 build_dir=${1:-"$repo_root/build"}
 out=${2:-"$repo_root/BENCH_parallel.json"}
 
