@@ -71,7 +71,23 @@ const std::vector<Vertex>& BallCache::VertexBall(Vertex v, int radius) {
   }
   ++misses_;
   Vertex sources[] = {v};
-  return cache_.emplace(key, Ball(*graph_, sources, radius)).first->second;
+  std::vector<Vertex>& entry =
+      cache_.emplace(key, Ball(*graph_, sources, radius)).first->second;
+  if (max_bytes_ >= 0) {
+    insertion_order_.push_back(key);
+    bytes_ += EntryBytes(entry);
+    // FIFO eviction; the entry just inserted (at the back) always survives
+    // its own call so the returned reference stays valid.
+    while (bytes_ > max_bytes_ && insertion_order_.size() > 1) {
+      const int64_t oldest = insertion_order_.front();
+      insertion_order_.pop_front();
+      auto old_it = cache_.find(oldest);
+      bytes_ -= EntryBytes(old_it->second);
+      cache_.erase(old_it);
+      ++evictions_;
+    }
+  }
+  return entry;
 }
 
 std::vector<Vertex> BallCache::TupleBall(std::span<const Vertex> tuple,

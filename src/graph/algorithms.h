@@ -2,6 +2,7 @@
 #define FOLEARN_GRAPH_ALGORITHMS_H_
 
 #include <cstdint>
+#include <deque>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -41,12 +42,26 @@ std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
 // example tuple reappears under each of the n^ℓ parameter candidates.
 //
 // Memory: one sorted vertex vector per cached (vertex, radius) pair, so at
-// most (distinct radii) · n vectors of ≤ n entries. Not thread-safe —
-// parallel sweeps keep one cache per worker. The graph must outlive the
-// cache, and the cache must be dropped when the graph mutates.
+// most (distinct radii) · n vectors of ≤ n entries — unbounded by default.
+// With `max_bytes` ≥ 0 the cache holds at most that many payload bytes:
+// when an insertion pushes it over budget, the oldest entries (insertion
+// order — a deterministic FIFO independent of hash iteration order) are
+// evicted until it fits, except the entry just inserted, which always
+// survives its own call. Eviction invalidates references returned by
+// *earlier* VertexBall calls, so under a budget a returned reference is
+// only valid until the next call (TupleBall consumes each ball
+// immediately and is always safe).
+//
+// Not thread-safe — parallel sweeps keep one cache per worker. The graph
+// must outlive the cache, and the cache must be dropped when the graph
+// mutates.
 class BallCache {
  public:
-  explicit BallCache(const Graph& graph) : graph_(&graph) {}
+  // kNoBudget (< 0) = unbounded, the historical behaviour.
+  static constexpr int64_t kNoBudget = -1;
+
+  explicit BallCache(const Graph& graph, int64_t max_bytes = kNoBudget)
+      : graph_(&graph), max_bytes_(max_bytes) {}
 
   // N_radius(v), sorted increasingly; computed on first use.
   const std::vector<Vertex>& VertexBall(Vertex v, int radius);
@@ -58,14 +73,26 @@ class BallCache {
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   int64_t cached_balls() const { return static_cast<int64_t>(cache_.size()); }
+  // Approximate payload bytes currently held / entries evicted so far.
+  int64_t bytes() const { return bytes_; }
+  int64_t evictions() const { return evictions_; }
 
  private:
+  static int64_t EntryBytes(const std::vector<Vertex>& ball) {
+    // Payload plus a flat allowance for the map node and order queue.
+    return static_cast<int64_t>(ball.capacity() * sizeof(Vertex)) + 64;
+  }
+
   const Graph* graph_;
+  int64_t max_bytes_;
   // Key: radius * order + vertex (both bounded by the graph order for all
   // realistic radii; radius values are small constants here).
   std::unordered_map<int64_t, std::vector<Vertex>> cache_;
+  std::deque<int64_t> insertion_order_;  // oldest key at the front
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t bytes_ = 0;
+  int64_t evictions_ = 0;
 };
 
 // An induced subgraph G[S] together with the vertex renaming in both

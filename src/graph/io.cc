@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
+#include "util/checkpoint.h"
 #include "util/strings.h"
 
 namespace folearn {
@@ -113,6 +115,24 @@ std::optional<Graph> FromText(std::string_view text, std::string* error) {
     }
   }
   if (!graph.has_value()) Fail(error, "empty input");
+  return graph;
+}
+
+StatusOr<Graph> ParseGraph(std::string_view text) {
+  std::string error;
+  std::optional<Graph> graph = FromText(text, &error);
+  if (!graph.has_value()) return InvalidArgumentError(error);
+  return *std::move(graph);
+}
+
+StatusOr<Graph> LoadGraphFile(const std::string& path) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  StatusOr<Graph> graph = ParseGraph(*text);
+  if (!graph.ok()) {
+    return Status(graph.status().code(),
+                  path + ": " + graph.status().message());
+  }
   return graph;
 }
 

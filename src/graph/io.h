@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace folearn {
 
@@ -25,6 +26,15 @@ std::string ToText(const Graph& graph);
 // error has no line to point at and carries no prefix.
 std::optional<Graph> FromText(std::string_view text,
                               std::string* error = nullptr);
+
+// Status-typed variants for callers that need recoverable errors (the CLI,
+// checkpoint loading): malformed text is kInvalidArgument with the FromText
+// diagnostic, never a crash.
+StatusOr<Graph> ParseGraph(std::string_view text);
+
+// Reads and parses `path`. A missing/unreadable file is kNotFound; malformed
+// contents are kInvalidArgument. Diagnostics are prefixed with the path.
+StatusOr<Graph> LoadGraphFile(const std::string& path);
 
 // Graphviz DOT rendering (undirected), colours emitted as vertex labels.
 std::string ToDot(const Graph& graph, std::string_view name = "G");

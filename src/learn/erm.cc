@@ -5,6 +5,9 @@
 #include <memory>
 #include <utility>
 
+#include <deque>
+
+#include "learn/search_state.h"
 #include "mc/compiled_eval.h"
 #include "mc/compiler.h"
 #include "util/combinatorics.h"
@@ -140,25 +143,29 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
   const int64_t unit = m + 1;
   ResourceGovernor* governor = options.governor;
 
-  // Deterministic limits fix the number of candidates that can complete
-  // *before* the sweep runs, so an interrupted run picks its winner from
-  // the same range for every thread count.
-  const int64_t allowance =
-      governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
-  const int64_t full =
-      allowance == kNoLimit ? n_items : std::min(n_items, allowance / unit);
-  if (full == 0) {
-    // Not even one candidate fits (or the range is empty): the sequential
-    // loop's partial-candidate semantics apply.
-    return BruteForceErmSequential(graph, examples, ell, options, registry,
-                                   early_stop);
+  if (options.scan.resume == nullptr) {
+    // Deterministic limits fix the number of candidates that can complete
+    // before anything runs; if not even one fits (or the range is empty),
+    // the sequential loop's partial-candidate semantics apply. A resumed
+    // scan never takes this path — its first candidate completed in the
+    // original process.
+    const int64_t allowance =
+        governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+    const int64_t full =
+        allowance == kNoLimit ? n_items : std::min(n_items, allowance / unit);
+    if (full == 0) {
+      return BruteForceErmSequential(graph, examples, ell, options, registry,
+                                     early_stop);
+    }
   }
 
-  // Evaluate candidate errors in [0, full). Workers share nothing mutable:
-  // each lazily builds its own registry shard and ball cache; the governor
-  // is only polled read-only for deadline/cancellation. The hypotheses
-  // built here are discarded — only (error, index) feeds the reduction —
-  // so shard-local TypeIds never leak into the result.
+  // Evaluate candidate errors over the budgeted range. Workers share
+  // nothing mutable: each lazily builds its own registry shard and ball
+  // cache; the governor is only polled read-only for deadline/cancellation.
+  // The hypotheses built here are discarded — only (error, index) feeds the
+  // reduction — so shard-local TypeIds never leak into the result. This is
+  // also what makes checkpoints tiny: no shard, cache, or registry state
+  // needs to survive a crash, only the scan frontier.
   const int workers = EffectiveThreads(options.threads);
   std::vector<std::shared_ptr<TypeRegistry>> shards(workers);
   std::vector<std::unique_ptr<BallCache>> caches(workers);
@@ -166,16 +173,23 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
   shard_options.governor = nullptr;
   shard_options.threads = 1;
 
-  SweepOptions sweep;
-  sweep.threads = workers;
-  sweep.chunk_size = 8;
-  sweep.governor = governor;
-  sweep.stop_on_hit = early_stop;
-  SweepOutcome outcome = ParallelSweep(
-      full, sweep, [&](int64_t index, int worker) -> std::pair<double, bool> {
+  ScanSpec spec;
+  spec.n_items = n_items;
+  spec.unit = unit;
+  spec.early_stop = early_stop;
+  spec.threads = workers;
+  spec.chunk_size = 8;
+  spec.governor = governor;
+  spec.checkpointer = options.scan.checkpointer;
+  spec.resume = options.scan.resume;
+  spec.learner = "brute";
+  spec.fingerprint = options.scan.fingerprint;
+  ScanOutcome outcome = RunResumableScan(
+      spec, [&](int64_t index, int worker) -> std::pair<double, bool> {
         if (shards[worker] == nullptr) {
           shards[worker] = std::make_shared<TypeRegistry>(graph.vocabulary());
-          caches[worker] = std::make_unique<BallCache>(graph);
+          caches[worker] =
+              std::make_unique<BallCache>(graph, options.cache_bytes);
         }
         std::vector<int64_t> raw = NthTuple(graph.order(), ell, index);
         std::vector<Vertex> parameters(raw.begin(), raw.end());
@@ -186,39 +200,8 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
         return {candidate.training_error,
                 early_stop && candidate.training_error == 0.0};
       });
-
-  // Settle the governor with the sequential-equivalent charge and work out
-  // which candidate the sequential scan would have returned.
-  int64_t winner = -1;
-  int64_t tried = 0;
-  if (outcome.passive_stop) {
-    // Deadline/cancellation: best over the candidates that finished before
-    // the stop (timing-dependent, like the sequential deadline path). The
-    // trailing charge latches the trip.
-    if (governor != nullptr) {
-      governor->CheckpointBatch(outcome.evaluated * unit + 1);
-    }
-    winner = outcome.best_index;
-    tried = outcome.evaluated;
-  } else if (outcome.first_hit >= 0) {
-    // Early stop at the first zero-error candidate.
-    if (governor != nullptr) {
-      governor->CheckpointBatch((outcome.first_hit + 1) * unit);
-    }
-    winner = outcome.first_hit;
-    tried = outcome.first_hit + 1;
-  } else if (full < n_items) {
-    // The deterministic limit trips mid-scan, possibly inside a partial
-    // candidate the sequential loop would still have counted.
-    const int64_t partial = allowance - full * unit;
-    if (governor != nullptr) governor->CheckpointBatch(allowance + 1);
-    winner = outcome.best_index;
-    tried = full + (partial > 0 ? 1 : 0);
-  } else {
-    if (governor != nullptr) governor->CheckpointBatch(n_items * unit);
-    winner = outcome.best_index;
-    tried = full;
-  }
+  const int64_t winner = outcome.winner;
+  const int64_t tried = outcome.tried;
 
   ErmResult best;
   if (winner < 0) {
@@ -276,10 +259,35 @@ EnumerationErmResult EnumerationErmSequential(
 // Per-worker compiled-plan cache for the enumeration grid: each worker
 // compiles a candidate formula at most once and keeps the evaluator (with
 // its per-graph memo) alive across all parameter tuples and examples.
+// With a byte budget (EvalOptions::cache_bytes ≥ 0) the oldest compiled
+// plans are dropped FIFO when the estimated footprint exceeds it — they
+// recompile on next use, so only speed, never results, depends on the
+// budget.
 struct EnumerationPlanCache {
   std::vector<std::unique_ptr<CompiledFormula>> plans;
   std::vector<std::unique_ptr<CompiledEvaluator>> evaluators;
   std::vector<Vertex> env;
+  std::deque<int64_t> compiled_order;  // oldest formula index at the front
+  int64_t bytes = 0;
+  int64_t evictions = 0;
+
+  static int64_t PlanBytes(const CompiledFormula& plan) {
+    // Nodes dominate; a flat allowance covers the evaluator's buffers.
+    return static_cast<int64_t>(plan.nodes().size()) * 64 + 512;
+  }
+
+  void EnforceBudget(int64_t max_bytes) {
+    if (max_bytes < 0) return;
+    // The entry just compiled (at the back) always survives its own call.
+    while (bytes > max_bytes && compiled_order.size() > 1) {
+      const int64_t oldest = compiled_order.front();
+      compiled_order.pop_front();
+      bytes -= PlanBytes(*plans[oldest]);
+      evaluators[oldest].reset();  // references the plan: drop it first
+      plans[oldest].reset();
+      ++evictions;
+    }
+  }
 };
 
 }  // namespace
@@ -288,7 +296,8 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     const EnumerationOptions& enumeration,
                                     ResourceGovernor* governor, int threads,
-                                    const EvalOptions& eval) {
+                                    const EvalOptions& eval,
+                                    const ScanHooks& hooks) {
   const int k = examples.empty() ? 0
                                  : static_cast<int>(examples[0].tuple.size());
   EnumerationOptions full_options = enumeration;
@@ -298,14 +307,15 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
                                      param_vars.begin(), param_vars.end());
   std::vector<FormulaRef> formulas = EnumerateFormulas(full_options);
   return EnumerationErm(graph, examples, ell, formulas, governor, threads,
-                        eval);
+                        eval, hooks);
 }
 
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     std::span<const FormulaRef> formulas,
                                     ResourceGovernor* governor, int threads,
-                                    const EvalOptions& eval) {
+                                    const EvalOptions& eval,
+                                    const ScanHooks& hooks) {
   const int k = examples.empty() ? 0
                                  : static_cast<int>(examples[0].tuple.size());
   std::vector<std::string> query_vars = QueryVars(k);
@@ -321,28 +331,36 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
   const int64_t num_tuples = SaturatingPow(graph.order(), ell);
   const int64_t n_items =
       num_formulas == 0 ? 0 : SaturatingMul(num_tuples, num_formulas);
-  const int64_t allowance =
-      governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
-  const int64_t full =
-      allowance == kNoLimit ? n_items : std::min(n_items, allowance);
-  if (full == 0) {
-    return EnumerationErmSequential(graph, examples, ell, formulas,
-                                    query_vars, param_vars, governor,
-                                    candidate_eval);
+  if (hooks.resume == nullptr) {
+    const int64_t allowance =
+        governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+    const int64_t full =
+        allowance == kNoLimit ? n_items : std::min(n_items, allowance);
+    if (full == 0) {
+      return EnumerationErmSequential(graph, examples, ell, formulas,
+                                      query_vars, param_vars, governor,
+                                      candidate_eval);
+    }
   }
 
   std::vector<std::string> all_vars = query_vars;
   all_vars.insert(all_vars.end(), param_vars.begin(), param_vars.end());
   const int64_t m = static_cast<int64_t>(examples.size());
 
-  SweepOptions sweep;
-  sweep.threads = EffectiveThreads(threads);
-  sweep.chunk_size = 64;
-  sweep.governor = governor;
-  sweep.stop_on_hit = true;  // the sequential loop always stops at zero
-  std::vector<EnumerationPlanCache> plan_caches(sweep.threads);
-  SweepOutcome outcome = ParallelSweep(
-      full, sweep, [&](int64_t index, int worker) -> std::pair<double, bool> {
+  ScanSpec spec;
+  spec.n_items = n_items;
+  spec.unit = 1;
+  spec.early_stop = true;  // the sequential loop always stops at zero
+  spec.threads = EffectiveThreads(threads);
+  spec.chunk_size = 64;
+  spec.governor = governor;
+  spec.checkpointer = hooks.checkpointer;
+  spec.resume = hooks.resume;
+  spec.learner = "enumeration";
+  spec.fingerprint = hooks.fingerprint;
+  std::vector<EnumerationPlanCache> plan_caches(spec.threads);
+  ScanOutcome outcome = RunResumableScan(
+      spec, [&](int64_t index, int worker) -> std::pair<double, bool> {
         const int64_t formula_index = index % num_formulas;
         std::vector<int64_t> raw =
             NthTuple(graph.order(), ell, index / num_formulas);
@@ -366,6 +384,10 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
           cache.evaluators[formula_index] =
               std::make_unique<CompiledEvaluator>(
                   *cache.plans[formula_index], graph, candidate_eval);
+          cache.compiled_order.push_back(formula_index);
+          cache.bytes +=
+              EnumerationPlanCache::PlanBytes(*cache.plans[formula_index]);
+          cache.EnforceBudget(candidate_eval.cache_bytes);
         }
         CompiledEvaluator& evaluator = *cache.evaluators[formula_index];
         for (int j = 0; j < ell; ++j) {
@@ -384,35 +406,18 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
         return {error, error == 0.0};
       });
 
-  int64_t winner = -1;
   EnumerationErmResult best;
-  if (outcome.passive_stop) {
-    if (governor != nullptr) governor->CheckpointBatch(outcome.evaluated + 1);
-    winner = outcome.best_index;
-    best.formulas_tried = outcome.evaluated;
-  } else if (outcome.first_hit >= 0) {
-    if (governor != nullptr) governor->CheckpointBatch(outcome.first_hit + 1);
-    winner = outcome.first_hit;
-    best.formulas_tried = outcome.first_hit + 1;
-  } else if (full < n_items) {
-    if (governor != nullptr) governor->CheckpointBatch(allowance + 1);
-    winner = outcome.best_index;
-    best.formulas_tried = full;
-  } else {
-    if (governor != nullptr) governor->CheckpointBatch(n_items);
-    winner = outcome.best_index;
-    best.formulas_tried = full;
+  best.formulas_tried = outcome.tried;
+  for (const EnumerationPlanCache& cache : plan_caches) {
+    best.plan_cache_evictions += cache.evictions;
   }
-  if (winner >= 0) {
+  if (outcome.winner >= 0) {
     std::vector<int64_t> raw =
-        NthTuple(graph.order(), ell, winner / num_formulas);
+        NthTuple(graph.order(), ell, outcome.winner / num_formulas);
     std::vector<Vertex> parameters(raw.begin(), raw.end());
-    best.hypothesis = Hypothesis{formulas[winner % num_formulas], query_vars,
-                                 param_vars, parameters};
-    best.training_error = outcome.best_key;
-    if (outcome.first_hit >= 0 && !outcome.passive_stop) {
-      best.training_error = 0.0;
-    }
+    best.hypothesis = Hypothesis{formulas[outcome.winner % num_formulas],
+                                 query_vars, param_vars, parameters};
+    best.training_error = outcome.best_error;
   }
   best.status = GovernorStatus(governor);
   return best;

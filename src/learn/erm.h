@@ -9,6 +9,7 @@
 #include "graph/graph.h"
 #include "learn/dataset.h"
 #include "learn/hypothesis.h"
+#include "learn/search_state.h"
 #include "types/type.h"
 #include "util/governor.h"
 
@@ -42,6 +43,16 @@ struct ErmOptions {
   // single-threaded paths; parallel sweeps create one cache per worker
   // internally.
   BallCache* ball_cache = nullptr;
+  // Byte budget for each internally created per-worker ball cache
+  // (BallCache::kNoBudget = unbounded). Purely a memory/perf knob —
+  // results are identical with any budget.
+  int64_t cache_bytes = BallCache::kNoBudget;
+  // Checkpoint/resume hooks for BruteForceErm's parameter scan (default:
+  // off). With a checkpointer the scan persists its frontier between
+  // candidate segments; with `scan.resume` it continues a saved scan and
+  // produces the byte-identical result (model, error, governor ledger) of
+  // the uninterrupted run. See learn/search_state.h.
+  ScanHooks scan;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);
@@ -107,6 +118,12 @@ struct EnumerationErmResult {
   double training_error = 1.0;
   RunStatus status = RunStatus::kComplete;  // best-so-far when interrupted
   int64_t formulas_tried = 0;
+  // Compiled plans dropped from the per-worker caches to honour
+  // EvalOptions::cache_bytes. Thread- and timing-dependent telemetry (a
+  // worker's compilation order depends on chunk claiming), deliberately
+  // excluded from the byte-identity contract; everything else in this
+  // struct is deterministic.
+  int64_t plan_cache_evictions = 0;
 };
 // `threads` parallelises the tuple×formula grid exactly like
 // BruteForceErm's sweep (same determinism guarantees; 0 = hardware
@@ -119,12 +136,15 @@ struct EnumerationErmResult {
 // (force_interpreter routes through the reference evaluator;
 // eval.governor is ignored — the grid-level `governor` parameter is the
 // budget, charged one unit per candidate in both modes).
+// `hooks` enables checkpoint/resume of the grid scan (learner tag
+// "enumeration"), with the same byte-identity guarantee as BruteForceErm.
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     const EnumerationOptions& enumeration,
                                     ResourceGovernor* governor = nullptr,
                                     int threads = 1,
-                                    const EvalOptions& eval = {});
+                                    const EvalOptions& eval = {},
+                                    const ScanHooks& hooks = {});
 
 // Same grid search over an explicitly pre-enumerated candidate slice. The
 // formulas must use the canonical frame QueryVars(k) · ParamVars(ell)
@@ -137,7 +157,8 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
                                     std::span<const FormulaRef> formulas,
                                     ResourceGovernor* governor = nullptr,
                                     int threads = 1,
-                                    const EvalOptions& eval = {});
+                                    const EvalOptions& eval = {},
+                                    const ScanHooks& hooks = {});
 
 }  // namespace folearn
 

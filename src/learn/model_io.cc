@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "fo/parser.h"
 #include "fo/printer.h"
+#include "util/checkpoint.h"
 #include "util/strings.h"
 
 namespace folearn {
@@ -171,6 +173,48 @@ std::optional<Hypothesis> HypothesisFromText(std::string_view text,
     }
   }
   return hypothesis;
+}
+
+namespace {
+
+// Shared shape of the four Status-typed wrappers below: run the optional+
+// error-string parser, lift failures to kInvalidArgument; for files, read
+// first (kNotFound on a missing path) and prefix diagnostics with the path.
+template <typename T>
+StatusOr<T> LiftParse(std::optional<T> parsed, const std::string& error) {
+  if (!parsed.has_value()) return InvalidArgumentError(error);
+  return *std::move(parsed);
+}
+
+template <typename T>
+StatusOr<T> PrefixPath(StatusOr<T> parsed, const std::string& path) {
+  if (parsed.ok()) return parsed;
+  return Status(parsed.status().code(),
+                path + ": " + parsed.status().message());
+}
+
+}  // namespace
+
+StatusOr<TrainingSet> ParseTrainingSet(std::string_view text) {
+  std::string error;
+  return LiftParse(TrainingSetFromText(text, &error), error);
+}
+
+StatusOr<TrainingSet> LoadTrainingSetFile(const std::string& path) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return PrefixPath(ParseTrainingSet(*text), path);
+}
+
+StatusOr<Hypothesis> ParseHypothesis(std::string_view text) {
+  std::string error;
+  return LiftParse(HypothesisFromText(text, &error), error);
+}
+
+StatusOr<Hypothesis> LoadHypothesisFile(const std::string& path) {
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return PrefixPath(ParseHypothesis(*text), path);
 }
 
 }  // namespace folearn

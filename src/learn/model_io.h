@@ -7,6 +7,7 @@
 
 #include "learn/dataset.h"
 #include "learn/hypothesis.h"
+#include "util/status.h"
 
 namespace folearn {
 
@@ -34,6 +35,16 @@ std::optional<TrainingSet> TrainingSetFromText(std::string_view text,
 std::string HypothesisToText(const Hypothesis& hypothesis);
 std::optional<Hypothesis> HypothesisFromText(std::string_view text,
                                              std::string* error = nullptr);
+
+// Status-typed variants (recoverable errors for the CLI and other loaders):
+// malformed text is kInvalidArgument with the parser diagnostic; the file
+// loaders report a missing/unreadable path as kNotFound and prefix parse
+// diagnostics with the path. Truncated or bit-flipped inputs come back as
+// errors, never aborts (tests/corrupt_input_test.cc).
+StatusOr<TrainingSet> ParseTrainingSet(std::string_view text);
+StatusOr<TrainingSet> LoadTrainingSetFile(const std::string& path);
+StatusOr<Hypothesis> ParseHypothesis(std::string_view text);
+StatusOr<Hypothesis> LoadHypothesisFile(const std::string& path);
 
 }  // namespace folearn
 

@@ -434,7 +434,16 @@ NdLearnerResult LearnNowhereDense(const Graph& graph,
   for (Vertex v = 0; v < graph.order(); ++v) root.to_original[v] = v;
   root.examples = examples;
 
-  CandidateCollector collector(options, k, splitter, rounds, &result);
+  // Resuming: the saved frontier was written during the final phase, so the
+  // original process completed collection before dying, and collection is a
+  // deterministic pure function of the inputs — replay it ungoverned. Its
+  // original charge is part of the restored ledger, which RunResumableScan
+  // primes below; charging the replay too would double-count it.
+  const bool resuming = options.scan.resume != nullptr;
+  NdLearnerOptions collect_options = options;
+  if (resuming) collect_options.governor = nullptr;
+
+  CandidateCollector collector(collect_options, k, splitter, rounds, &result);
   collector.Collect(root, 0, {});
 
   // Final phase: evaluate every candidate parameter tuple by type-majority
@@ -454,11 +463,12 @@ NdLearnerResult LearnNowhereDense(const Graph& graph,
   const int64_t unit = m + 1;
   ResourceGovernor* governor = options.governor;
   const int64_t allowance =
-      governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+      governor == nullptr || resuming ? kNoLimit
+                                      : governor->DeterministicAllowance();
   const int64_t full = allowance == kNoLimit
                            ? num_candidates
                            : std::min(num_candidates, (allowance + 1) / unit);
-  if (full == 0) {
+  if (full == 0 && !resuming) {
     // Not even the first candidate can complete (or there are none): keep
     // the sequential loop, whose partial-first-candidate semantics the
     // parallel path cannot reproduce more cheaply.
@@ -496,16 +506,27 @@ NdLearnerResult LearnNowhereDense(const Graph& graph,
   ErmOptions shard_base = erm_options;
   shard_base.governor = nullptr;
 
-  SweepOptions sweep;
-  sweep.threads = workers;
-  sweep.chunk_size = 1;  // few, expensive candidates
-  sweep.governor = governor;
-  sweep.stop_on_hit = true;  // the sequential loop stops at zero error
-  SweepOutcome outcome = ParallelSweep(
-      full, sweep, [&](int64_t index, int worker) -> std::pair<double, bool> {
+  ScanSpec spec;
+  spec.n_items = num_candidates;
+  spec.unit = unit;
+  // Candidate 0 of a fresh scan pays m, not m + 1 (no leading outer
+  // checkpoint); RunResumableScan's discount reproduces the sequential
+  // ledger exactly, resumed or not.
+  spec.first_item_discount = 1;
+  spec.early_stop = true;  // the sequential loop stops at zero error
+  spec.threads = workers;
+  spec.chunk_size = 1;  // few, expensive candidates
+  spec.governor = governor;
+  spec.checkpointer = options.scan.checkpointer;
+  spec.resume = options.scan.resume;
+  spec.learner = "nd";
+  spec.fingerprint = options.scan.fingerprint;
+  ScanOutcome outcome = RunResumableScan(
+      spec, [&](int64_t index, int worker) -> std::pair<double, bool> {
         if (shards[worker] == nullptr) {
           shards[worker] = std::make_shared<TypeRegistry>(graph.vocabulary());
-          caches[worker] = std::make_unique<BallCache>(graph);
+          caches[worker] =
+              std::make_unique<BallCache>(graph, options.cache_bytes);
         }
         ErmOptions local = shard_base;
         local.ball_cache = caches[worker].get();
@@ -513,40 +534,15 @@ NdLearnerResult LearnNowhereDense(const Graph& graph,
                                         local, shards[worker]);
         return {erm.training_error, erm.training_error == 0.0};
       });
-
-  int64_t winner = -1;
-  if (outcome.passive_stop) {
-    if (governor != nullptr && outcome.evaluated > 0) {
-      governor->CheckpointBatch(outcome.evaluated * unit);
-    }
-    winner = outcome.best_index;
-    result.candidates_evaluated = outcome.evaluated;
-  } else if (outcome.first_hit >= 0) {
-    if (governor != nullptr) {
-      governor->CheckpointBatch((outcome.first_hit + 1) * unit - 1);
-    }
-    winner = outcome.first_hit;
-    result.candidates_evaluated = outcome.first_hit + 1;
-  } else if (full < num_candidates) {
-    // Deterministic trip mid-scan; the sequential loop may still have
-    // started (and counted) one partial candidate beyond the last
-    // complete one.
-    const int64_t partial = allowance - (full * unit - 1);
-    if (governor != nullptr) governor->CheckpointBatch(allowance + 1);
-    winner = outcome.best_index;
-    result.candidates_evaluated = full + (partial > 0 ? 1 : 0);
-  } else {
-    if (governor != nullptr) {
-      governor->CheckpointBatch(num_candidates * unit - 1);
-    }
-    winner = outcome.best_index;
-    result.candidates_evaluated = full;
-  }
+  const int64_t winner = outcome.winner;
+  result.candidates_evaluated = outcome.tried;
 
   if (winner < 0) {
     // Passive stop before the first candidate finished: evaluate it under
     // the (about to latch) governor, like the sequential loop's
-    // unconditional first iteration.
+    // unconditional first iteration. The parallel path only runs with at
+    // least one candidate (full >= 1, or a resumed scan of such a run).
+    FOLEARN_CHECK_GT(num_candidates, 0);
     if (governor != nullptr) governor->CheckpointBatch(1);
     result.erm = TypeMajorityErm(graph, examples, candidates[0], erm_options,
                                  registry);

@@ -61,6 +61,16 @@ struct NdLearnerOptions {
   // mechanism. The collection recursion itself stays single-threaded (its
   // steps are sequentially dependent).
   int threads = 1;
+  // Byte budget for the final phase's per-worker ball caches
+  // (BallCache::kNoBudget = unbounded); results are budget-independent.
+  int64_t cache_bytes = BallCache::kNoBudget;
+  // Checkpoint/resume hooks for the final candidate-evaluation scan
+  // (learner tag "nd"). Checkpoints are only written during the final
+  // phase, so a resumable state implies candidate collection completed in
+  // the original process; the resumed run replays the (deterministic)
+  // collection ungoverned — its charge is already part of the restored
+  // governor ledger — and continues the scan. See learn/search_state.h.
+  ScanHooks scan;
 
   int EffectiveRadius() const {
     return radius >= 0 ? radius : GaifmanRadius(rank);

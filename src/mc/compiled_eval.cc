@@ -27,6 +27,11 @@ void CompiledEvaluator::ResetMemo() {
   memo_.assign(memo_.size(), -1);
   for (std::vector<Vertex>& members : color_members_) members.clear();
   color_members_ready_.assign(color_members_ready_.size(), false);
+  // Condemned lists are gone now; count them so eviction reporting stays
+  // monotone across an explicit reset.
+  cache_evictions_ += static_cast<int64_t>(color_members_transient_.size());
+  color_members_transient_.clear();
+  color_member_bytes_ = 0;
 }
 
 const std::vector<Vertex>& CompiledEvaluator::ColorMembers(int32_t index) {
@@ -37,12 +42,36 @@ const std::vector<Vertex>& CompiledEvaluator::ColorMembers(int32_t index) {
     for (Vertex v = 0; v < graph_.order(); ++v) {
       if (graph_.HasColor(v, color)) members.push_back(v);
     }
+    color_member_bytes_ +=
+        static_cast<int64_t>(members.capacity() * sizeof(Vertex));
+    // Over budget: keep the list for the remainder of this Eval call (live
+    // references into it may sit in enclosing quantifier frames) and mark
+    // it transient; Eval's prologue drops transients between calls, so the
+    // retained footprint is bounded while any single call stays correct.
+    if (options_.cache_bytes >= 0 &&
+        color_member_bytes_ > options_.cache_bytes) {
+      color_members_transient_.push_back(index);
+    }
   }
   return members;
 }
 
+void CompiledEvaluator::DropTransientColorMembers() {
+  for (int32_t index : color_members_transient_) {
+    std::vector<Vertex>& members = color_members_[index];
+    color_member_bytes_ -=
+        static_cast<int64_t>(members.capacity() * sizeof(Vertex));
+    members.clear();
+    members.shrink_to_fit();
+    color_members_ready_[index] = false;
+  }
+  cache_evictions_ += static_cast<int64_t>(color_members_transient_.size());
+  color_members_transient_.clear();
+}
+
 bool CompiledEvaluator::Eval(std::span<const Vertex> tuple, EvalStats* stats) {
   FOLEARN_CHECK_EQ(tuple.size(), plan_.free_vars().size());
+  DropTransientColorMembers();
   stats_ = stats;
   counting_ = stats != nullptr || options_.governor != nullptr;
   for (size_t i = 0; i < tuple.size(); ++i) {
@@ -54,7 +83,16 @@ bool CompiledEvaluator::Eval(std::span<const Vertex> tuple, EvalStats* stats) {
         << "' bound to invalid vertex " << env_[slot];
   }
   bool value = EvalNode(plan_.root());
-  if (stats != nullptr) stats->status = GovernorStatus(options_.governor);
+  if (stats != nullptr) {
+    stats->status = GovernorStatus(options_.governor);
+    // Evictions since the last report: lists marked transient during this
+    // call are counted now (they are already condemned — the next call's
+    // prologue frees them).
+    const int64_t total =
+        cache_evictions_ + static_cast<int64_t>(color_members_transient_.size());
+    stats->cache_evictions += total - reported_evictions_;
+    reported_evictions_ = total;
+  }
   return value;
 }
 

@@ -59,7 +59,13 @@ class CompiledEvaluator {
   bool EvalSetQuantifier(const CompiledNode& node);
   // Vertices of the plan's colour `index`, computed on first use and kept
   // until ResetMemo (colour-guarded quantifiers scan this instead of V(G)).
+  // Under EvalOptions::cache_bytes, lists past the budget survive only the
+  // current Eval call (see DropTransientColorMembers).
   const std::vector<Vertex>& ColorMembers(int32_t index);
+  // Frees colour-member lists marked transient by the byte budget. Called
+  // between Eval calls only: during a call, enclosing quantifier frames may
+  // hold live spans into the lists.
+  void DropTransientColorMembers();
 
   void CountAtom() {
     if (stats_ != nullptr) ++stats_->atom_evaluations;
@@ -78,6 +84,13 @@ class CompiledEvaluator {
   std::vector<int8_t> memo_;  // -1 unknown, else the cached verdict
   std::vector<std::vector<Vertex>> color_members_;  // per plan colour
   std::vector<bool> color_members_ready_;
+  // Byte budget bookkeeping (EvalOptions::cache_bytes): payload bytes held,
+  // slots to free at the next call boundary, and eviction counters
+  // (cumulative / last value surfaced into an EvalStats sink).
+  int64_t color_member_bytes_ = 0;
+  std::vector<int32_t> color_members_transient_;
+  int64_t cache_evictions_ = 0;
+  int64_t reported_evictions_ = 0;
   EvalStats* stats_ = nullptr;
   bool counting_ = false;
 };

@@ -88,6 +88,11 @@ struct EvalStats {
   // clock is never read at all).
   double compile_ms = 0.0;
   double eval_ms = 0.0;
+  // Memo-table entries dropped to honour EvalOptions::cache_bytes
+  // (compiled path only; stays 0 when the budget is unlimited). Purely a
+  // performance signal: verdicts and work counts are identical with any
+  // budget.
+  int64_t cache_evictions = 0;
   // kComplete: the returned truth value is exact. Otherwise the governor
   // tripped mid-evaluation and the returned value is unspecified (the
   // recursion unwound early, possibly under a negation).
@@ -111,6 +116,13 @@ struct EvalOptions {
   // evaluation unwinds immediately; the returned bool is then unspecified —
   // check `stats->status` or the governor itself.
   ResourceGovernor* governor = nullptr;
+  // Byte budget for the evaluation-side memo tables (the compiled
+  // evaluator's colour-member lists and the enumeration-ERM plan caches);
+  // −1 = unbounded. Memos over budget are recomputed on demand instead of
+  // retained, with deterministic (insertion-order) eviction; results are
+  // identical with any budget. Evictions are reported via
+  // EvalStats::cache_evictions.
+  int64_t cache_bytes = -1;
 };
 
 // The FO-MC substrate (paper §4): decides G ⊨ φ under `assignment` by the

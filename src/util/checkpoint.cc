@@ -1,0 +1,173 @@
+#include "util/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace folearn {
+
+namespace {
+
+constexpr char kMagic[] = "folearn-checkpoint";
+constexpr char kVersion[] = "v1";
+
+std::string HexU64(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// Parses exactly 16 lower-case hex digits; returns false otherwise.
+bool ParseHexU64(std::string_view text, uint64_t* value) {
+  if (text.size() != 16) return false;
+  uint64_t result = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    result = (result << 4) | static_cast<uint64_t>(digit);
+  }
+  *value = result;
+  return true;
+}
+
+bool ParseInt64(std::string_view text, int64_t* value) {
+  if (text.empty() || text.size() > 19) return false;
+  int64_t result = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    result = result * 10 + (c - '0');
+  }
+  *value = result;
+  return true;
+}
+
+// Takes the next '\n'-terminated line off `rest`. Returns false if no
+// newline remains (truncated header).
+bool TakeLine(std::string_view* rest, std::string_view* line) {
+  size_t pos = rest->find('\n');
+  if (pos == std::string_view::npos) return false;
+  *line = rest->substr(0, pos);
+  *rest = rest->substr(pos + 1);
+  return true;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed) {
+  uint64_t hash = seed;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  return Fnv1a64(bytes, 0xcbf29ce484222325ULL);
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content) {
+  const std::string temp = path + ".tmp";
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return UnavailableError("cannot open '" + temp + "' for writing");
+    }
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) {
+      std::remove(temp.c_str());
+      return UnavailableError("short write to '" + temp + "'");
+    }
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return UnavailableError("cannot rename '" + temp + "' to '" + path +
+                            "'");
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return NotFoundError("cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteCheckpointFile(const std::string& path,
+                           std::string_view payload) {
+  std::string content;
+  content.reserve(payload.size() + 64);
+  content += kMagic;
+  content += ' ';
+  content += kVersion;
+  content += '\n';
+  content += "length " + std::to_string(payload.size()) + '\n';
+  content += "crc " + HexU64(Fnv1a64(payload)) + '\n';
+  content += payload;
+  return WriteFileAtomic(path, content);
+}
+
+StatusOr<std::string> ReadCheckpointFile(const std::string& path) {
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  std::string_view rest = *content;
+
+  std::string_view line;
+  if (!TakeLine(&rest, &line)) {
+    return DataLossError(path + ": line 1: truncated header (not a folearn "
+                         "checkpoint)");
+  }
+  std::vector<std::string> header = Split(std::string(line), ' ');
+  if (header.size() != 2 || header[0] != kMagic) {
+    return DataLossError(path + ": line 1: not a folearn checkpoint");
+  }
+  if (header[1] != kVersion) {
+    return DataLossError(path + ": line 1: unsupported checkpoint version '" +
+                         header[1] + "' (this build reads " + kVersion + ")");
+  }
+
+  if (!TakeLine(&rest, &line) || line.substr(0, 7) != "length ") {
+    return DataLossError(path + ": line 2: expected 'length <bytes>'");
+  }
+  int64_t length = 0;
+  if (!ParseInt64(line.substr(7), &length)) {
+    return DataLossError(path + ": line 2: malformed length '" +
+                         std::string(line.substr(7)) + "'");
+  }
+
+  if (!TakeLine(&rest, &line) || line.substr(0, 4) != "crc ") {
+    return DataLossError(path + ": line 3: expected 'crc <16 hex digits>'");
+  }
+  uint64_t crc = 0;
+  if (!ParseHexU64(line.substr(4), &crc)) {
+    return DataLossError(path + ": line 3: malformed checksum '" +
+                         std::string(line.substr(4)) + "'");
+  }
+
+  if (static_cast<int64_t>(rest.size()) != length) {
+    return DataLossError(
+        path + ": truncated payload: header promises " +
+        std::to_string(length) + " bytes, file carries " +
+        std::to_string(rest.size()));
+  }
+  if (Fnv1a64(rest) != crc) {
+    return DataLossError(path +
+                         ": line 3: checksum mismatch (file is corrupt)");
+  }
+  return std::string(rest);
+}
+
+}  // namespace folearn

@@ -1,0 +1,52 @@
+#ifndef FOLEARN_UTIL_CHECKPOINT_H_
+#define FOLEARN_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace folearn {
+
+// Durable, tamper-evident state files for crash-safe checkpoint/resume.
+//
+// A checkpoint file is a small text envelope around an opaque payload:
+//
+//   folearn-checkpoint v1
+//   length <payload bytes>
+//   crc <16 hex digits, FNV-1a 64 of the payload>
+//   <payload>
+//
+// Writes go through a temp file in the same directory followed by an
+// atomic rename, so a reader (or a crash mid-write) never observes a
+// half-written checkpoint: either the previous complete file or the new
+// complete file exists. Reads validate magic, version, length, and
+// checksum before handing the payload back; every failure mode — missing
+// file, foreign bytes, truncation, bit flips, version skew — comes back as
+// a Status with a line-level diagnostic, never UB.
+
+// FNV-1a 64-bit hash; the checkpoint checksum and the problem fingerprint
+// both use it (stable across platforms, trivially reimplementable).
+uint64_t Fnv1a64(std::string_view bytes);
+// Continues an FNV-1a accumulation (chain fields without concatenating).
+uint64_t Fnv1a64(std::string_view bytes, uint64_t seed);
+
+// Writes `content` to `path` via temp file + rename. On failure the
+// original file (if any) is untouched.
+Status WriteFileAtomic(const std::string& path, std::string_view content);
+
+// Reads a whole file. NotFound if it cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Wraps `payload` in the checkpoint envelope and writes it atomically.
+Status WriteCheckpointFile(const std::string& path, std::string_view payload);
+
+// Reads and validates a checkpoint envelope, returning the payload.
+// NotFound if the file is missing; DataLoss with a diagnostic naming the
+// offending line for anything corrupt, truncated, or version-skewed.
+StatusOr<std::string> ReadCheckpointFile(const std::string& path);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_CHECKPOINT_H_

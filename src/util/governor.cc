@@ -1,6 +1,16 @@
 #include "util/governor.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace folearn {
+
+void InjectedCrash(const char* where, int64_t at) {
+  std::fprintf(stderr, "crash injection: dying at %s %lld\n", where,
+               static_cast<long long>(at));
+  std::fflush(stderr);
+  std::_Exit(kCrashExitCode);
+}
 
 const char* RunStatusName(RunStatus status) {
   switch (status) {

@@ -60,9 +60,23 @@ struct GovernorLimits {
   int64_t max_work = kNoLimit;
 };
 
+// Exit code of a process killed by crash-point injection (FaultInjector::
+// CrashAt or a checkpointer's crash-after-save hook). Distinct from every
+// ordinary CLI exit code so crash-loop harnesses can tell an injected
+// death from a real failure.
+inline constexpr int kCrashExitCode = 70;
+
+// Immediate process death for crash-point injection: prints a one-line
+// notice and _Exits with kCrashExitCode (no atexit handlers, no flushes —
+// the point is to model a kill, not a clean shutdown).
+[[noreturn]] void InjectedCrash(const char* where, int64_t at);
+
 // Test-only hook: deterministically trips the governor at exactly the Nth
 // checkpoint (1-based), reporting `status`. Lets tests exercise every
-// interruption path without timing flakiness.
+// interruption path without timing flakiness. `CrashAt` builds the harsher
+// variant: instead of latching a status, the process dies on the spot
+// (exit code kCrashExitCode), modelling an OOM kill or power loss for the
+// checkpoint/resume tests.
 class FaultInjector {
  public:
   explicit FaultInjector(int64_t trip_at_checkpoint,
@@ -74,12 +88,21 @@ class FaultInjector {
         << "fault injector cannot inject 'complete'";
   }
 
+  // Die (std::_Exit(kCrashExitCode)) at exactly the Nth checkpoint.
+  static FaultInjector CrashAt(int64_t trip_at_checkpoint) {
+    FaultInjector injector(trip_at_checkpoint);
+    injector.crash_ = true;
+    return injector;
+  }
+
   int64_t trip_at() const { return trip_at_; }
   RunStatus status() const { return status_; }
+  bool crash() const { return crash_; }
 
  private:
   int64_t trip_at_;
   RunStatus status_;
+  bool crash_ = false;
 };
 
 class ResourceGovernor {
@@ -117,6 +140,7 @@ class ResourceGovernor {
     ++checkpoints_;
     work_ += units;
     if (injector_ != nullptr && checkpoints_ >= injector_->trip_at()) {
+      if (injector_->crash()) InjectedCrash("checkpoint", checkpoints_);
       status_ = injector_->status();
       return false;
     }
@@ -179,6 +203,7 @@ class ResourceGovernor {
       checkpoints_ += allowance + 1;
       work_ += allowance + 1;
       if (injector_ != nullptr && checkpoints_ >= injector_->trip_at()) {
+        if (injector_->crash()) InjectedCrash("checkpoint", checkpoints_);
         status_ = injector_->status();
       } else {
         status_ = RunStatus::kBudgetExhausted;
@@ -220,6 +245,24 @@ class ResourceGovernor {
       if (elapsed >= limits_.deadline_ms) return true;
     }
     return false;
+  }
+
+  // Primes the ledger with work already accounted by an earlier process of
+  // the same logical run (checkpoint/resume): restored units count against
+  // max_work and the fault injector exactly as if they had been charged
+  // here, so budget trips and diagnostics land at the same cut points as an
+  // uninterrupted run. Must be called before the first Checkpoint()/
+  // CheckpointBatch(); the wall-clock deadline is NOT restored — it
+  // restarts at construction (deadlines are per-process by design).
+  void RestoreLedger(int64_t work, int64_t checkpoints) {
+    FOLEARN_CHECK_GE(work, 0);
+    FOLEARN_CHECK_GE(checkpoints, 0);
+    FOLEARN_CHECK_EQ(work_, 0)
+        << "RestoreLedger after work was already charged";
+    FOLEARN_CHECK_EQ(checkpoints_, 0);
+    FOLEARN_CHECK(status_ == RunStatus::kComplete);
+    work_ = work;
+    checkpoints_ = checkpoints;
   }
 
   RunStatus status() const { return status_; }

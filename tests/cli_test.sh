@@ -122,4 +122,114 @@ out=$("$CLI" mc --graph "$DIR/g.txt" \
 [ "$rc" -eq 3 ]
 [ "$out" = "indeterminate" ]
 
+# 9. Input-file failure modes use sysexits codes: missing file 66
+#    (EX_NOINPUT), malformed contents 65 (EX_DATAERR) — diagnostics name
+#    the path and the offending line, never a crash.
+rc=0
+"$CLI" learn --graph "$DIR/absent.txt" --data "$DIR/d.txt" \
+    2> "$DIR/noinput.log" || rc=$?
+[ "$rc" -eq 66 ]
+grep -q "absent.txt" "$DIR/noinput.log"
+
+printf 'graph zz\n' > "$DIR/badg.txt"
+rc=0
+"$CLI" learn --graph "$DIR/badg.txt" --data "$DIR/d.txt" \
+    2> "$DIR/badg.log" || rc=$?
+[ "$rc" -eq 65 ]
+grep -q "badg.txt: line 1:" "$DIR/badg.log"
+
+rc=0
+"$CLI" eval --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+    --model "$DIR/badg.txt" 2> /dev/null || rc=$?
+[ "$rc" -eq 65 ]
+
+# 10. Checkpoint/resume flag matrix. A hard dataset (labels periodic in
+#     the vertex id, so no zero-error hypothesis exists and the scan runs
+#     all candidate segments) exercises save, crash, and resume.
+{
+  echo "examples 1"
+  v=0
+  while [ "$v" -lt 40 ]; do
+    if [ $((v % 7)) -lt 3 ]; then echo "+ $v"; else echo "- $v"; fi
+    v=$((v + 1))
+  done
+} > "$DIR/dh.txt"
+
+# Reference run, then a crash-injected checkpointing run (exit 70), then
+# a resume that must reproduce the reference model byte-for-byte.
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --out "$DIR/ck_ref.model" 2> "$DIR/ck_ref.log"
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --checkpoint "$DIR/c.ckpt" --crash-at-save 2 \
+    --out "$DIR/ck_crash.model" 2> "$DIR/crash.log" || rc=$?
+[ "$rc" -eq 70 ]
+grep -q 'crash injection' "$DIR/crash.log"
+grep -q '^folearn-checkpoint v1$' "$DIR/c.ckpt"
+
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --resume "$DIR/c.ckpt" \
+    --out "$DIR/ck_res.model" 2> "$DIR/ck_res.log"
+cmp -s "$DIR/ck_ref.model" "$DIR/ck_res.model"
+cmp -s "$DIR/ck_ref.log" "$DIR/ck_res.log"
+
+# Resuming with a different thread count changes nothing.
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --resume "$DIR/c.ckpt" --threads 4 \
+    --out "$DIR/ck_res4.model" 2> /dev/null
+cmp -s "$DIR/ck_ref.model" "$DIR/ck_res4.model"
+
+# --resume failure matrix: missing file 66; truncated/corrupt 65;
+# version skew 65; different problem instance (fingerprint) 65;
+# different learner 65; checkpoint modifiers without --checkpoint 64.
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" \
+    --resume "$DIR/absent.ckpt" 2> /dev/null || rc=$?
+[ "$rc" -eq 66 ]
+
+head -c 60 "$DIR/c.ckpt" > "$DIR/trunc.ckpt"
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --resume "$DIR/trunc.ckpt" \
+    2> "$DIR/trunc.log" || rc=$?
+[ "$rc" -eq 65 ]
+grep -q 'truncated' "$DIR/trunc.log"
+
+sed 's/^folearn-checkpoint v1$/folearn-checkpoint v9/' "$DIR/c.ckpt" \
+    > "$DIR/v9.ckpt"
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --resume "$DIR/v9.ckpt" 2> "$DIR/v9.log" || rc=$?
+[ "$rc" -eq 65 ]
+grep -q "unsupported checkpoint version 'v9'" "$DIR/v9.log"
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 2 \
+    --radius 1 --ell 2 --resume "$DIR/c.ckpt" 2> "$DIR/fp.log" || rc=$?
+[ "$rc" -eq 65 ]
+grep -q 'fingerprint' "$DIR/fp.log"
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --learner nd --resume "$DIR/c.ckpt" \
+    2> /dev/null || rc=$?
+[ "$rc" -eq 65 ]
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" \
+    --checkpoint-every-ms 50 2> /dev/null || rc=$?
+[ "$rc" -eq 64 ]
+
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" \
+    --crash-at-save 1 2> /dev/null || rc=$?
+[ "$rc" -eq 64 ]
+
+# 11. --cache-bytes is a pure memory knob: a tiny budget must not change
+#     the learned model.
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/dh.txt" --rank 1 \
+    --radius 1 --ell 2 --cache-bytes 1024 --out "$DIR/cb.model" \
+    2> /dev/null
+cmp -s "$DIR/ck_ref.model" "$DIR/cb.model"
+
 echo "CLI_TEST_OK"

@@ -1,0 +1,91 @@
+#!/bin/sh
+# Crash-loop harness for the checkpoint/resume subsystem: a learn run is
+# repeatedly killed by injected crash points (--crash-at-save, exit 70),
+# resumed from its checkpoint, and the survivor's model + diagnostics are
+# compared byte-for-byte against an uninterrupted reference run. Covers
+# both the ungoverned path and a --max-work budget (the governor ledger
+# must be restored so the budget trips at the original cut point).
+#
+# Usage: crash_resume_test.sh <path-to-folearn_cli> [threads]
+set -eu
+
+CLI="$1"
+THREADS="${2:-1}"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+# Inputs: a coloured tree and labels no rank-1 hypothesis fits exactly
+# (periodic in the vertex id), so the scan cannot early-stop at zero error
+# and must walk all of pool^2.
+"$CLI" generate --family tree --n 60 --seed 11 --color Red:0.3 \
+    --out "$DIR/g.txt"
+{
+  echo "examples 1"
+  v=0
+  while [ "$v" -lt 60 ]; do
+    if [ $((v % 7)) -lt 3 ]; then echo "+ $v"; else echo "- $v"; fi
+    v=$((v + 1))
+  done
+} > "$DIR/d.txt"
+
+# Runs learn to completion through a crash-resume loop. $1: extra flags
+# for every invocation; $2: output prefix. Each process is allowed two
+# checkpoint saves, then dies with exit 70; the next iteration resumes.
+# Progress (one 64-candidate segment per save) guarantees termination; the
+# iteration bound is the backstop that turns a livelock into a failure.
+crash_loop() {
+  extra="$1"
+  prefix="$2"
+  ckpt="$DIR/$prefix.ckpt"
+  rc=0
+  "$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+      --radius 1 --ell 2 --threads "$THREADS" $extra \
+      --checkpoint "$ckpt" --crash-at-save 2 \
+      --out "$DIR/$prefix.model" 2> "$DIR/$prefix.log" || rc=$?
+  iterations=0
+  while [ "$rc" -eq 70 ]; do
+    iterations=$((iterations + 1))
+    if [ "$iterations" -gt 40 ]; then
+      echo "FAIL: crash loop did not terminate after 40 resumes" >&2
+      exit 1
+    fi
+    rc=0
+    "$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+        --radius 1 --ell 2 --threads "$THREADS" $extra \
+        --checkpoint "$ckpt" --crash-at-save 2 --resume "$ckpt" \
+        --out "$DIR/$prefix.model" 2> "$DIR/$prefix.log" || rc=$?
+  done
+  if [ "$iterations" -lt 1 ]; then
+    echo "FAIL: $prefix never crashed — injection did not fire" >&2
+    exit 1
+  fi
+  echo "$prefix: $iterations resumes, final rc=$rc"
+  return "$rc"
+}
+
+# 1. Ungoverned: the crash-looped run must finish cleanly (exit 0) and
+#    reproduce the uninterrupted model and training-error line exactly.
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --ell 2 --threads "$THREADS" \
+    --out "$DIR/ref.model" 2> "$DIR/ref.log"
+crash_loop "" plain
+cmp "$DIR/ref.model" "$DIR/plain.model"
+cmp "$DIR/ref.log" "$DIR/plain.log"
+
+# 2. Governed: with a --max-work budget that trips mid-scan, the resumed
+#    runs must land on the byte-identical degraded model, the same
+#    "resource limit hit ... after N work units" line, and exit 3.
+rc=0
+"$CLI" learn --graph "$DIR/g.txt" --data "$DIR/d.txt" --rank 1 \
+    --radius 1 --ell 2 --threads "$THREADS" --max-work 30000 \
+    --out "$DIR/gref.model" 2> "$DIR/gref.log" || rc=$?
+[ "$rc" -eq 3 ]
+grep -q 'resource limit hit (budget-exhausted)' "$DIR/gref.log"
+
+rc=0
+crash_loop "--max-work 30000" governed || rc=$?
+[ "$rc" -eq 3 ]
+cmp "$DIR/gref.model" "$DIR/governed.model"
+cmp "$DIR/gref.log" "$DIR/governed.log"
+
+echo "CRASH_RESUME_TEST_OK threads=$THREADS"

@@ -30,12 +30,15 @@
 #include "learn/hardness.h"
 #include "learn/model_io.h"
 #include "learn/nd_learner.h"
+#include "learn/search_state.h"
 #include "learn/sublinear.h"
 #include "mc/evaluator.h"
 #include "nd/splitter_game.h"
 #include "nd/wcol.h"
+#include "util/checkpoint.h"
 #include "util/governor.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -191,14 +194,6 @@ void ReportInterruption(const ResourceGovernor& governor) {
                static_cast<long long>(governor.work_used()));
 }
 
-std::optional<std::string> ReadFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
 bool WriteFile(const std::string& path, const std::string& content) {
   std::ofstream out(path);
   if (!out) return false;
@@ -206,42 +201,38 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return true;
 }
 
-std::optional<Graph> LoadGraph(const Args& args) {
-  std::string path = args.Get("graph");
-  if (path.empty()) {
-    std::fprintf(stderr, "missing --graph <file>\n");
-    return std::nullopt;
-  }
-  std::optional<std::string> text = ReadFile(path);
-  if (!text.has_value()) {
-    std::fprintf(stderr, "cannot read graph file '%s'\n", path.c_str());
-    return std::nullopt;
-  }
-  std::string error;
-  std::optional<Graph> graph = FromText(*text, &error);
-  if (!graph.has_value()) {
-    std::fprintf(stderr, "graph parse error: %s\n", error.c_str());
-  }
-  return graph;
+// Input-file failures are recoverable errors with sysexits-style codes:
+// a missing/unreadable file exits 66 (EX_NOINPUT), malformed or corrupt
+// contents exit 65 (EX_DATAERR) — never a crash, never UB (the Status
+// loaders validate before constructing anything).
+[[noreturn]] void DieStatus(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.message().c_str());
+  std::exit(StatusExitCode(status));
 }
 
-std::optional<TrainingSet> LoadData(const Args& args) {
-  std::string path = args.Get("data");
+// A required file flag that was not given is a usage error (64), in line
+// with unknown/duplicate flags.
+std::string GetRequiredPath(const Args& args, const char* key) {
+  std::string path = args.Get(key);
   if (path.empty()) {
-    std::fprintf(stderr, "missing --data <file>\n");
-    return std::nullopt;
+    std::fprintf(stderr, "missing --%s <file>\n", key);
+    std::exit(64);
   }
-  std::optional<std::string> text = ReadFile(path);
-  if (!text.has_value()) {
-    std::fprintf(stderr, "cannot read data file '%s'\n", path.c_str());
-    return std::nullopt;
-  }
-  std::string error;
-  std::optional<TrainingSet> data = TrainingSetFromText(*text, &error);
-  if (!data.has_value()) {
-    std::fprintf(stderr, "data parse error: %s\n", error.c_str());
-  }
-  return data;
+  return path;
+}
+
+// Reads + parses --graph; exits 64/65/66 on failure (see DieStatus).
+Graph LoadGraph(const Args& args) {
+  StatusOr<Graph> graph = LoadGraphFile(GetRequiredPath(args, "graph"));
+  if (!graph.ok()) DieStatus(graph.status());
+  return *std::move(graph);
+}
+
+TrainingSet LoadData(const Args& args) {
+  StatusOr<TrainingSet> data =
+      LoadTrainingSetFile(GetRequiredPath(args, "data"));
+  if (!data.ok()) DieStatus(data.status());
+  return *std::move(data);
 }
 
 int CmdGenerate(const Args& args) {
@@ -297,36 +288,121 @@ int CmdGenerate(const Args& args) {
   return 0;
 }
 
+// FNV-1a fingerprint of the learning problem: the input files plus every
+// parameter that changes the candidate scan. Thread count, evaluation
+// mode, and resource limits are deliberately excluded — they never change
+// the scan's semantics, so a checkpoint written under one of them resumes
+// under another (e.g. save with --threads 8, resume with --threads 1).
+uint64_t ProblemFingerprint(const std::string& graph_text,
+                            const std::string& data_text,
+                            const std::string& learner, int rank, int radius,
+                            int ell, double epsilon) {
+  uint64_t fp = Fnv1a64(graph_text);
+  fp = Fnv1a64(data_text, fp);
+  char knobs[160];
+  std::snprintf(knobs, sizeof(knobs),
+                "learner=%s rank=%d radius=%d ell=%d epsilon=%.17g",
+                learner.c_str(), rank, radius, ell, epsilon);
+  return Fnv1a64(knobs, fp);
+}
+
 int CmdLearn(const Args& args, ResourceGovernor* governor) {
-  std::optional<Graph> graph = LoadGraph(args);
-  std::optional<TrainingSet> data = LoadData(args);
-  if (!graph.has_value() || !data.has_value()) return 1;
+  // learn reads the raw file bytes itself (rather than using the one-shot
+  // Load*File wrappers) because they feed the problem fingerprint below.
+  const std::string graph_path = GetRequiredPath(args, "graph");
+  const std::string data_path = GetRequiredPath(args, "data");
+  StatusOr<std::string> graph_text = ReadFileToString(graph_path);
+  if (!graph_text.ok()) DieStatus(graph_text.status());
+  StatusOr<std::string> data_text = ReadFileToString(data_path);
+  if (!data_text.ok()) DieStatus(data_text.status());
+  StatusOr<Graph> graph = ParseGraph(*graph_text);
+  if (!graph.ok()) {
+    DieStatus(Status(graph.status().code(),
+                     graph_path + ": " + graph.status().message()));
+  }
+  StatusOr<TrainingSet> data = ParseTrainingSet(*data_text);
+  if (!data.ok()) {
+    DieStatus(Status(data.status().code(),
+                     data_path + ": " + data.status().message()));
+  }
+
   ErmOptions options;
   options.rank = args.GetInt("rank", 1);
   options.radius = args.GetInt("radius", -1);
   options.governor = governor;
   options.threads = GetThreads(args);
+  options.cache_bytes = args.GetInt64("cache-bytes", BallCache::kNoBudget);
   int ell = args.GetInt("ell", 0);
   std::string learner = args.Get("learner", "brute");
+  double epsilon = args.GetDouble("epsilon", 0.2);
+  if (learner != "brute" && learner != "sublinear" && learner != "nd") {
+    std::fprintf(stderr, "unknown learner '%s' (brute|sublinear|nd)\n",
+                 learner.c_str());
+    return 64;
+  }
+
+  // Checkpoint/resume wiring. --checkpoint-every-ms and --crash-at-save
+  // modulate saving, so they require --checkpoint; --resume alone is fine
+  // (finish an interrupted run without writing further checkpoints).
+  std::string checkpoint_path = args.Get("checkpoint");
+  if (checkpoint_path.empty() &&
+      (args.Has("checkpoint-every-ms") || args.Has("crash-at-save"))) {
+    std::fprintf(stderr,
+                 "--checkpoint-every-ms/--crash-at-save require "
+                 "--checkpoint <file>\n");
+    return 64;
+  }
+  int64_t every_ms = args.GetInt64("checkpoint-every-ms", 0);
+  if (every_ms < 0) {
+    std::fprintf(stderr, "--checkpoint-every-ms must be >= 0\n");
+    return 64;
+  }
+  const uint64_t fingerprint = ProblemFingerprint(
+      *graph_text, *data_text, learner, options.rank, options.radius, ell,
+      epsilon);
+  std::optional<SearchFrontier> frontier;
+  if (args.Has("resume")) {
+    StatusOr<SearchFrontier> loaded = LoadFrontier(args.Get("resume"));
+    if (!loaded.ok()) DieStatus(loaded.status());
+    Status compatible =
+        CheckFrontierCompatible(*loaded, learner, fingerprint);
+    if (!compatible.ok()) DieStatus(compatible);
+    frontier = *std::move(loaded);
+  }
+  std::optional<SearchCheckpointer> checkpointer;
+  if (!checkpoint_path.empty()) {
+    checkpointer.emplace(checkpoint_path,
+                         static_cast<double>(every_ms));
+    if (args.Has("crash-at-save")) {
+      int64_t crash_at = args.GetInt64("crash-at-save", -1);
+      if (crash_at <= 0) {
+        std::fprintf(stderr, "--crash-at-save must be positive\n");
+        return 64;
+      }
+      checkpointer->set_crash_after_saves(crash_at);
+    }
+  }
+  options.scan.checkpointer =
+      checkpointer.has_value() ? &*checkpointer : nullptr;
+  options.scan.resume = frontier.has_value() ? &*frontier : nullptr;
+  options.scan.fingerprint = fingerprint;
 
   ErmResult result;
   if (learner == "brute") {
     result = BruteForceErm(*graph, *data, ell, options);
   } else if (learner == "sublinear") {
     result = SublinearErm(*graph, *data, ell, options).erm;
-  } else if (learner == "nd") {
+  } else {
     NdLearnerOptions nd;
     nd.rank = options.rank;
     nd.radius = options.radius;
     nd.ell_star = std::max(ell, 1);
-    nd.epsilon = args.GetDouble("epsilon", 0.2);
+    nd.epsilon = epsilon;
     nd.governor = governor;
     nd.threads = options.threads;
+    nd.cache_bytes = options.cache_bytes;
+    nd.scan = options.scan;
     result = LearnNowhereDense(*graph, *data, nd).erm;
-  } else {
-    std::fprintf(stderr, "unknown learner '%s' (brute|sublinear|nd)\n",
-                 learner.c_str());
-    return 1;
   }
   // An interrupted scan reports the error over the examples it saw
   // before the cut, which can be optimistic; `eval` gives the true one.
@@ -352,27 +428,17 @@ int CmdLearn(const Args& args, ResourceGovernor* governor) {
 }
 
 int CmdEval(const Args& args, ResourceGovernor* governor) {
-  std::optional<Graph> graph = LoadGraph(args);
-  std::optional<TrainingSet> data = LoadData(args);
-  if (!graph.has_value() || !data.has_value()) return 1;
-  std::string model_path = args.Get("model");
-  std::optional<std::string> model_text = ReadFile(model_path);
-  if (!model_text.has_value()) {
-    std::fprintf(stderr, "cannot read model '%s'\n", model_path.c_str());
-    return 1;
-  }
-  std::string error;
-  std::optional<Hypothesis> hypothesis =
-      HypothesisFromText(*model_text, &error);
-  if (!hypothesis.has_value()) {
-    std::fprintf(stderr, "model parse error: %s\n", error.c_str());
-    return 1;
-  }
+  Graph graph = LoadGraph(args);
+  TrainingSet data = LoadData(args);
+  StatusOr<Hypothesis> hypothesis =
+      LoadHypothesisFile(GetRequiredPath(args, "model"));
+  if (!hypothesis.ok()) DieStatus(hypothesis.status());
   EvalOptions eval_options;
   eval_options.governor = governor;
   eval_options.force_interpreter = GetForceInterpreter(args);
-  double err = TrainingError(*graph, *hypothesis, *data, eval_options);
-  std::printf("error: %.4f on %zu examples\n", err, data->size());
+  eval_options.cache_bytes = args.GetInt64("cache-bytes", -1);
+  double err = TrainingError(graph, *hypothesis, data, eval_options);
+  std::printf("error: %.4f on %zu examples\n", err, data.size());
   if (GovernorInterrupted(governor)) {
     ReportInterruption(*governor);
     return kExitDegraded;
@@ -381,8 +447,7 @@ int CmdEval(const Args& args, ResourceGovernor* governor) {
 }
 
 int CmdMc(const Args& args, ResourceGovernor* governor) {
-  std::optional<Graph> graph = LoadGraph(args);
-  if (!graph.has_value()) return 1;
+  Graph graph = LoadGraph(args);
   std::string sentence_text = args.Get("sentence");
   std::string error;
   std::optional<FormulaRef> sentence = ParseFormula(sentence_text, &error);
@@ -396,7 +461,7 @@ int CmdMc(const Args& args, ResourceGovernor* governor) {
     ModelCheckOptions mc_options;
     mc_options.governor = governor;
     HardnessStats stats;
-    value = ModelCheckViaErm(*graph, *sentence, oracle, mc_options, &stats);
+    value = ModelCheckViaErm(graph, *sentence, oracle, mc_options, &stats);
     std::fprintf(stderr,
                  "via ERM oracle: %lld oracle calls, max |T| = %d, %lld "
                  "recursion nodes\n",
@@ -407,7 +472,8 @@ int CmdMc(const Args& args, ResourceGovernor* governor) {
     EvalOptions eval_options;
     eval_options.governor = governor;
     eval_options.force_interpreter = GetForceInterpreter(args);
-    value = EvaluateSentence(*graph, *sentence, eval_options);
+    eval_options.cache_bytes = args.GetInt64("cache-bytes", -1);
+    value = EvaluateSentence(graph, *sentence, eval_options);
   }
   if (GovernorInterrupted(governor)) {
     // The truth value is unspecified once the evaluation was cut short —
@@ -421,27 +487,26 @@ int CmdMc(const Args& args, ResourceGovernor* governor) {
 }
 
 int CmdProfile(const Args& args) {
-  std::optional<Graph> graph = LoadGraph(args);
-  if (!graph.has_value()) return 1;
+  Graph graph = LoadGraph(args);
   int radius = args.GetInt("radius", 2);
   Table table({"invariant", "value"});
-  table.AddRow({"order", std::to_string(graph->order())});
-  table.AddRow({"edges", std::to_string(graph->EdgeCount())});
-  table.AddRow({"max degree", std::to_string(graph->MaxDegree())});
+  table.AddRow({"order", std::to_string(graph.order())});
+  table.AddRow({"edges", std::to_string(graph.EdgeCount())});
+  table.AddRow({"max degree", std::to_string(graph.MaxDegree())});
   table.AddRow({"degeneracy",
-                std::to_string(ComputeDegeneracy(*graph).degeneracy)});
-  int girth = ComputeGirth(*graph);
+                std::to_string(ComputeDegeneracy(graph).degeneracy)});
+  int girth = ComputeGirth(graph);
   table.AddRow({"girth", girth == kNoGirth ? "∞ (forest)"
                                            : std::to_string(girth)});
-  table.AddRow({"diameter", std::to_string(ComputeDiameter(*graph))});
+  table.AddRow({"diameter", std::to_string(ComputeDiameter(graph))});
   table.AddRow(
       {"wcol_" + std::to_string(radius),
-       std::to_string(WeakColoringNumberDegeneracyOrder(*graph, radius))});
-  auto splitter = IsForest(*graph) ? MakeTreeSplitter()
-                                   : MakeGreedyDegreeSplitter();
+       std::to_string(WeakColoringNumberDegeneracyOrder(graph, radius))});
+  auto splitter = IsForest(graph) ? MakeTreeSplitter()
+                                  : MakeGreedyDegreeSplitter();
   auto connector = MakeGreedyBallConnector();
   SplitterGameResult game =
-      PlaySplitterGame(*graph, radius, 3 * radius + 20, *splitter,
+      PlaySplitterGame(graph, radius, 3 * radius + 20, *splitter,
                        *connector);
   table.AddRow({"splitter rounds (r=" + std::to_string(radius) + ")",
                 game.splitter_won ? std::to_string(game.rounds_used)
@@ -459,15 +524,21 @@ int Usage() {
       "           [--out g.txt]\n"
       "  learn    --graph g.txt --data d.txt [--rank q] [--radius r]\n"
       "           [--ell l] [--learner brute|sublinear|nd] [--out m.txt]\n"
-      "  eval     --graph g.txt --data d.txt --model m.txt\n"
+      "           [--checkpoint c.ckpt] [--checkpoint-every-ms T]\n"
+      "           [--resume c.ckpt] [--cache-bytes B]\n"
+      "  eval     --graph g.txt --data d.txt --model m.txt [--cache-bytes B]\n"
       "  mc       --graph g.txt --sentence \"...\" [--via-erm 1]\n"
       "  profile  --graph g.txt [--radius r]\n"
       "every command accepts [--timeout-ms T] [--max-work W] and\n"
       "[--threads N] (0 = all cores; results are identical for any N);\n"
       "eval and mc also accept [--eval interpreted|compiled] (default\n"
       "compiled; results are identical, interpreted is the reference\n"
-      "oracle); a run cut short by a limit emits its best-so-far result "
-      "and exits 3\n");
+      "oracle); a run cut short by a limit emits its best-so-far result\n"
+      "and exits 3. learn --checkpoint persists the search frontier so a\n"
+      "killed run can be continued with --resume (byte-identical result\n"
+      "to an uninterrupted run, for any --threads). exit codes: 64 usage,\n"
+      "65 corrupt/malformed input, 66 missing input file, 70 injected\n"
+      "crash (--crash-at-save, tests only)\n");
   return 64;
 }
 
@@ -488,13 +559,17 @@ int Main(int argc, char** argv) {
   } else if (command == "learn") {
     unknown = args.FirstUnknown({"graph", "data", "rank", "radius", "ell",
                                  "learner", "epsilon", "out", "timeout-ms",
-                                 "max-work", "threads"});
+                                 "max-work", "threads", "checkpoint",
+                                 "checkpoint-every-ms", "resume",
+                                 "crash-at-save", "cache-bytes"});
   } else if (command == "eval") {
     unknown = args.FirstUnknown({"graph", "data", "model", "eval",
-                                 "timeout-ms", "max-work", "threads"});
+                                 "timeout-ms", "max-work", "threads",
+                                 "cache-bytes"});
   } else if (command == "mc") {
     unknown = args.FirstUnknown({"graph", "sentence", "via-erm", "eval",
-                                 "timeout-ms", "max-work", "threads"});
+                                 "timeout-ms", "max-work", "threads",
+                                 "cache-bytes"});
   } else if (command == "profile") {
     unknown = args.FirstUnknown({"graph", "radius", "timeout-ms",
                                  "max-work", "threads"});

@@ -11,9 +11,11 @@
 #   joins two aggregated reports on (bench, config) and prints a per-row
 #   speedup table (baseline_ms / other_ms > 1 means `other` is faster).
 #
-# Binaries that fail (a VIOLATION self-check, a missing build) are
-# reported on stderr and skipped; the aggregate contains whatever the
-# successful runs produced. Human-readable tables still go to stdout.
+# A binary that fails (a VIOLATION self-check, a crash) aborts the whole
+# run immediately — a partial aggregate silently missing benches has
+# repeatedly been mistaken for a complete one. Each bench's JSONL is also
+# validated (object-per-line, required fields) before the aggregate is
+# declared good. Human-readable tables still go to stdout.
 
 set -u
 
@@ -71,19 +73,42 @@ fi
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 
-failures=0
+# Every record line must be a single JSON object carrying the fields the
+# aggregate and --compare mode rely on. Pure awk (no jq in the image):
+# brace-delimited, balanced quotes, and the two join keys present.
+validate_jsonl() {
+  awk '
+    {
+      if ($0 !~ /^\{.*\}$/) {
+        printf "line %d is not a JSON object: %s\n", NR, $0; bad = 1; exit 1
+      }
+      if ($0 !~ /"bench"/ || $0 !~ /"wall_ms"/) {
+        printf "line %d lacks bench/wall_ms: %s\n", NR, $0; bad = 1; exit 1
+      }
+      quotes = gsub(/"/, "\"")
+      if (quotes % 2 != 0) {
+        printf "line %d has unbalanced quotes\n", NR; bad = 1; exit 1
+      }
+      n++
+    }
+    END { if (!bad && n == 0) { print "no records"; exit 1 } }
+  ' "$1"
+}
+
 ran=0
 for bench_path in "$build_dir"/bench/bench_*; do
   [ -f "$bench_path" ] && [ -x "$bench_path" ] || continue
   bench=$(basename "$bench_path")
   echo "=== $bench ==="
-  if "$bench_path" --json "$tmpdir/$bench.jsonl"; then
-    ran=$((ran + 1))
-  else
-    echo "run_benches.sh: $bench failed, skipping its records" >&2
-    rm -f "$tmpdir/$bench.jsonl"
-    failures=$((failures + 1))
+  if ! "$bench_path" --json "$tmpdir/$bench.jsonl"; then
+    echo "run_benches.sh: $bench exited non-zero, aborting" >&2
+    exit 1
   fi
+  if ! err=$(validate_jsonl "$tmpdir/$bench.jsonl"); then
+    echo "run_benches.sh: $bench wrote invalid JSONL: $err" >&2
+    exit 1
+  fi
+  ran=$((ran + 1))
 done
 
 if [ "$ran" -eq 0 ]; then
@@ -106,5 +131,12 @@ fi
   printf '\n]\n'
 } > "$out"
 
-echo "wrote $out ($ran benches, $failures failures)"
-[ "$failures" -eq 0 ]
+# Final sanity pass over the aggregate: the array must open, close, and
+# contain exactly the validated record count.
+records=$(grep -c '"bench"' "$out" || true)
+if ! head -1 "$out" | grep -q '^\[' || ! tail -1 "$out" | grep -q '^\]'; then
+  echo "run_benches.sh: aggregate $out is not a JSON array" >&2
+  exit 1
+fi
+
+echo "wrote $out ($ran benches, $records records)"
