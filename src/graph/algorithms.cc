@@ -71,23 +71,36 @@ const std::vector<Vertex>& BallCache::VertexBall(Vertex v, int radius) {
   }
   ++misses_;
   Vertex sources[] = {v};
-  std::vector<Vertex>& entry =
-      cache_.emplace(key, Ball(*graph_, sources, radius)).first->second;
-  if (max_bytes_ >= 0) {
-    insertion_order_.push_back(key);
-    bytes_ += EntryBytes(entry);
-    // FIFO eviction; the entry just inserted (at the back) always survives
-    // its own call so the returned reference stays valid.
-    while (bytes_ > max_bytes_ && insertion_order_.size() > 1) {
-      const int64_t oldest = insertion_order_.front();
-      insertion_order_.pop_front();
-      auto old_it = cache_.find(oldest);
-      bytes_ -= EntryBytes(old_it->second);
-      cache_.erase(old_it);
-      ++evictions_;
-    }
+  if (max_bytes_ < 0) {
+    return cache_.emplace(key, Ball(*graph_, sources, radius)).first->second;
   }
-  return entry;
+  // Budgeted path: materialise the ball first (trimmed — the BFS builder
+  // may over-reserve) and charge its accurate footprint before deciding
+  // whether it may live in the cache at all.
+  std::vector<Vertex> ball = Ball(*graph_, sources, radius);
+  ball.shrink_to_fit();
+  const int64_t cost = EntryBytes(ball);
+  if (cost > max_bytes_) {
+    // This one ball is bigger than the whole budget: serve it from the
+    // scratch slot instead of breaking the bytes() <= max_bytes invariant.
+    ++oversize_misses_;
+    scratch_ = std::move(ball);
+    return scratch_;
+  }
+  // FIFO eviction until the new entry fits. The loop always terminates
+  // below budget because cost <= max_bytes_.
+  while (bytes_ + cost > max_bytes_) {
+    FOLEARN_CHECK(!insertion_order_.empty());
+    const int64_t oldest = insertion_order_.front();
+    insertion_order_.pop_front();
+    auto old_it = cache_.find(oldest);
+    bytes_ -= EntryBytes(old_it->second);
+    cache_.erase(old_it);
+    ++evictions_;
+  }
+  insertion_order_.push_back(key);
+  bytes_ += cost;
+  return cache_.emplace(key, std::move(ball)).first->second;
 }
 
 std::vector<Vertex> BallCache::TupleBall(std::span<const Vertex> tuple,

@@ -43,14 +43,19 @@ std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
 //
 // Memory: one sorted vertex vector per cached (vertex, radius) pair, so at
 // most (distinct radii) · n vectors of ≤ n entries — unbounded by default.
-// With `max_bytes` ≥ 0 the cache holds at most that many payload bytes:
-// when an insertion pushes it over budget, the oldest entries (insertion
-// order — a deterministic FIFO independent of hash iteration order) are
-// evicted until it fits, except the entry just inserted, which always
-// survives its own call. Eviction invalidates references returned by
-// *earlier* VertexBall calls, so under a budget a returned reference is
-// only valid until the next call (TupleBall consumes each ball
-// immediately and is always safe).
+// With `max_bytes` ≥ 0 the cache never holds more than that many bytes,
+// where each entry is charged its full footprint — payload, vector header,
+// hash-map node (key, hash links, bucket share), and insertion-queue slot —
+// so `bytes() <= max_bytes` is an invariant after every call, not just a
+// payload approximation (many small balls previously overshot the budget
+// by the uncounted per-entry overhead). When an insertion would push the
+// cache over budget, the oldest entries (insertion order — a deterministic
+// FIFO independent of hash iteration order) are evicted until it fits; a
+// single ball whose footprint alone exceeds the budget is served from a
+// scratch slot and never cached at all. Eviction (and the scratch slot)
+// invalidate references returned by *earlier* VertexBall calls, so under a
+// budget a returned reference is only valid until the next call (TupleBall
+// consumes each ball immediately and is always safe).
 //
 // Not thread-safe — parallel sweeps keep one cache per worker. The graph
 // must outlive the cache, and the cache must be dropped when the graph
@@ -73,14 +78,29 @@ class BallCache {
   int64_t hits() const { return hits_; }
   int64_t misses() const { return misses_; }
   int64_t cached_balls() const { return static_cast<int64_t>(cache_.size()); }
-  // Approximate payload bytes currently held / entries evicted so far.
+  // Accounted bytes currently held (full per-entry footprint; always
+  // ≤ max_bytes under a budget) / entries evicted so far.
   int64_t bytes() const { return bytes_; }
   int64_t evictions() const { return evictions_; }
+  // Balls whose footprint alone exceeded the budget, served uncached.
+  int64_t oversize_misses() const { return oversize_misses_; }
+  int64_t max_bytes() const { return max_bytes_; }
 
  private:
+  // Accounted footprint of one cached entry. Beyond the payload this
+  // charges the vector header, the unordered_map node (int64 key + hash
+  // link + cached hash + bucket-array share, libstdc++ layout) and the
+  // insertion-order queue slot — the overhead that dominates on
+  // many-small-ball workloads.
+  static constexpr int64_t kPerEntryOverhead =
+      static_cast<int64_t>(sizeof(std::vector<Vertex>))  // map node payload
+      + 4 * sizeof(void*)   // hash node header + bucket share
+      + sizeof(int64_t)     // key
+      + sizeof(int64_t);    // insertion_order_ slot
   static int64_t EntryBytes(const std::vector<Vertex>& ball) {
-    // Payload plus a flat allowance for the map node and order queue.
-    return static_cast<int64_t>(ball.capacity() * sizeof(Vertex)) + 64;
+    return static_cast<int64_t>(ball.capacity()) *
+               static_cast<int64_t>(sizeof(Vertex)) +
+           kPerEntryOverhead;
   }
 
   const Graph* graph_;
@@ -89,10 +109,13 @@ class BallCache {
   // realistic radii; radius values are small constants here).
   std::unordered_map<int64_t, std::vector<Vertex>> cache_;
   std::deque<int64_t> insertion_order_;  // oldest key at the front
+  // Holds the most recent over-budget ball (see class comment).
+  std::vector<Vertex> scratch_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t bytes_ = 0;
   int64_t evictions_ = 0;
+  int64_t oversize_misses_ = 0;
 };
 
 // An induced subgraph G[S] together with the vertex renaming in both

@@ -262,6 +262,22 @@ ScanOutcome RunResumableScan(
   sweep.governor = governor;
   sweep.stop_on_hit = spec.early_stop;
 
+  // Last fully-settled frontier: the state after the most recent completed
+  // segment (initially the scan entry state). Periodic saves write it, and
+  // an interrupted scan writes it once more on the way out, so a Ctrl-C or
+  // tripped budget never discards progress past the last save interval.
+  SearchFrontier settled;
+  settled.learner = spec.learner;
+  settled.fingerprint = spec.fingerprint;
+  settled.cursor = start;
+  settled.best_index = out.winner;
+  settled.best_error = out.best_error;
+  settled.tried = out.tried;
+  if (governor != nullptr) {
+    settled.governor_work = governor->work_used();
+    settled.governor_checkpoints = governor->checkpoints_passed();
+  }
+
   int64_t cursor = start;
   bool passive = false;
   bool hit = false;
@@ -307,20 +323,18 @@ ScanOutcome RunResumableScan(
     if (governor != nullptr) governor->CheckpointBatch(charge);
     cursor = seg_end;
 
-    if (!passive && !hit && spec.checkpointer != nullptr &&
-        spec.checkpointer->Due()) {
-      SearchFrontier frontier;
-      frontier.learner = spec.learner;
-      frontier.fingerprint = spec.fingerprint;
-      frontier.cursor = cursor;
-      frontier.best_index = out.winner;
-      frontier.best_error = out.best_error;
-      frontier.tried = out.tried;
+    if (!passive && !hit) {
+      settled.cursor = cursor;
+      settled.best_index = out.winner;
+      settled.best_error = out.best_error;
+      settled.tried = out.tried;
       if (governor != nullptr) {
-        frontier.governor_work = governor->work_used();
-        frontier.governor_checkpoints = governor->checkpoints_passed();
+        settled.governor_work = governor->work_used();
+        settled.governor_checkpoints = governor->checkpoints_passed();
       }
-      spec.checkpointer->Save(frontier);
+      if (spec.checkpointer != nullptr && spec.checkpointer->Due()) {
+        spec.checkpointer->Save(settled);
+      }
     }
   }
 
@@ -332,6 +346,18 @@ ScanOutcome RunResumableScan(
         allowance - (budget_items * spec.unit - discount);
     if (governor != nullptr) governor->CheckpointBatch(leftover + 1);
     if (leftover > 0) out.tried += 1;
+  }
+
+  // Interrupted (cancellation, deadline, or a tripped deterministic
+  // limit): persist the last settled frontier regardless of the save
+  // interval, so the interruption exits through the same final-checkpoint
+  // path as a periodic save and `--resume` continues from the cut instead
+  // of losing everything since the last interval. A resumed run re-charges
+  // any partial trailing work exactly as the interrupted one did, so the
+  // byte-identity guarantee is unchanged.
+  if (spec.checkpointer != nullptr &&
+      (passive || GovernorInterrupted(governor))) {
+    spec.checkpointer->Save(settled);
   }
   return out;
 }

@@ -1,0 +1,129 @@
+#include "mc/plan_cache.h"
+
+#include <utility>
+
+#include "fo/printer.h"
+#include "util/check.h"
+
+namespace folearn {
+
+namespace {
+
+std::string MakeKey(const FormulaRef& formula,
+                    std::span<const std::string> free_var_order) {
+  std::string key = ToString(formula);
+  for (const std::string& var : free_var_order) {
+    key.push_back('\x1f');  // unit separator: cannot occur in formula text
+    key.append(var);
+  }
+  return key;
+}
+
+int64_t StringBytes(const std::string& s) {
+  return static_cast<int64_t>(sizeof(std::string)) +
+         static_cast<int64_t>(s.capacity());
+}
+
+int64_t PlanPayloadBytes(const CompiledFormula& plan) {
+  int64_t bytes = static_cast<int64_t>(sizeof(CompiledFormula));
+  bytes += static_cast<int64_t>(plan.nodes().capacity()) *
+           static_cast<int64_t>(sizeof(CompiledNode));
+  // The child-id array is not directly exposed; every child id appears in
+  // exactly one node's window, so summing the windows counts it exactly.
+  for (const CompiledNode& node : plan.nodes()) {
+    bytes += static_cast<int64_t>(node.num_children) *
+             static_cast<int64_t>(sizeof(int32_t));
+  }
+  for (const std::string& s : plan.free_vars()) bytes += StringBytes(s);
+  for (const std::string& s : plan.color_names()) bytes += StringBytes(s);
+  for (const std::string& s : plan.set_slot_names()) bytes += StringBytes(s);
+  for (const std::string& s : plan.free_set_names()) bytes += StringBytes(s);
+  bytes += static_cast<int64_t>(plan.used_free_slots().capacity()) *
+           static_cast<int64_t>(sizeof(int32_t));
+  return bytes;
+}
+
+}  // namespace
+
+int64_t PlanCache::EntryBytes(const std::string& key,
+                              const CompiledFormula& plan) {
+  // Key is stored twice (map key + FIFO queue), plus hash-map node and
+  // control-block overhead, estimated the same way BallCache does.
+  constexpr int64_t kPerEntryOverhead =
+      4 * sizeof(void*) + sizeof(std::shared_ptr<const CompiledFormula>) +
+      2 * sizeof(int64_t);
+  return PlanPayloadBytes(plan) + 2 * StringBytes(key) + kPerEntryOverhead;
+}
+
+std::shared_ptr<const CompiledFormula> PlanCache::GetOrCompile(
+    const FormulaRef& formula, std::span<const std::string> free_var_order) {
+  std::string key = MakeKey(formula, free_var_order);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compile outside the lock: plans can take a while and the cache must
+  // not serialise unrelated requests behind one compilation.
+  auto plan = std::make_shared<const CompiledFormula>(
+      CompileFormula(formula, free_var_order));
+  const int64_t cost = EntryBytes(key, *plan);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;  // a racing compile won
+  if (max_bytes_ >= 0 && cost > max_bytes_) {
+    ++oversize_misses_;
+    return plan;  // caller keeps it alive; too big to ever cache
+  }
+  if (max_bytes_ >= 0) {
+    while (bytes_ + cost > max_bytes_) {
+      FOLEARN_CHECK(!insertion_order_.empty());
+      auto old_it = cache_.find(insertion_order_.front());
+      insertion_order_.pop_front();
+      FOLEARN_CHECK(old_it != cache_.end());
+      bytes_ -= EntryBytes(old_it->first, *old_it->second);
+      cache_.erase(old_it);
+      ++evictions_;
+    }
+  }
+  insertion_order_.push_back(key);
+  bytes_ += cost;
+  cache_.emplace(std::move(key), plan);
+  return plan;
+}
+
+int64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t PlanCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+int64_t PlanCache::oversize_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return oversize_misses_;
+}
+
+int64_t PlanCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t PlanCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(cache_.size());
+}
+
+}  // namespace folearn

@@ -1,0 +1,85 @@
+#ifndef FOLEARN_MC_PLAN_CACHE_H_
+#define FOLEARN_MC_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "fo/formula.h"
+#include "mc/compiler.h"
+
+namespace folearn {
+
+// A thread-safe, byte-budgeted cache of compiled evaluation plans.
+//
+// CompileFormula is cheap relative to a single quantifier sweep but far
+// from free, and a long-lived process (the folearnd server, a batched
+// experiment driver) sees the same handful of formula shapes over and
+// over — every `evaluate` of a saved model, every repeat of a `query`.
+// Plans are immutable and explicitly shareable across threads and graphs
+// (mc/compiler.h), which makes them the one compilation artefact a server
+// can safely keep warm globally; the per-graph state (memo tables, colour
+// classes) lives in each CompiledEvaluator instead.
+//
+// Keying: (printed formula, free-variable frame). Printing canonicalises
+// structurally equal formulas parsed from different requests, and the
+// frame is part of the key because slot assignment depends on it.
+//
+// Budgeting mirrors BallCache: `bytes() <= max_bytes` is a hard invariant
+// maintained by FIFO eviction, the accounting covers the plan's node and
+// string payloads plus per-entry key/metadata overhead, and a single plan
+// larger than the whole budget is returned uncached (shared_ptr keeps it
+// alive for the caller; the cache remembers only that it happened).
+class PlanCache {
+ public:
+  static constexpr int64_t kNoBudget = -1;
+
+  explicit PlanCache(int64_t max_bytes = kNoBudget) : max_bytes_(max_bytes) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  // Returns the cached plan for (formula, free_var_order), compiling and
+  // (budget permitting) inserting it on a miss. Safe to call from any
+  // number of threads; compilation happens outside the lock, so two
+  // threads racing on the same key may both compile — the first insert
+  // wins and both get a usable plan.
+  std::shared_ptr<const CompiledFormula> GetOrCompile(
+      const FormulaRef& formula,
+      std::span<const std::string> free_var_order);
+
+  // Diagnostics (snapshot under the lock).
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t evictions() const;
+  int64_t oversize_misses() const;
+  int64_t bytes() const;
+  int64_t entries() const;
+  int64_t max_bytes() const { return max_bytes_; }
+
+  // Full footprint of one cache entry: plan payload + key string + map and
+  // FIFO bookkeeping. Exposed for tests asserting the budget invariant.
+  static int64_t EntryBytes(const std::string& key,
+                            const CompiledFormula& plan);
+
+ private:
+  const int64_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledFormula>>
+      cache_;
+  std::deque<std::string> insertion_order_;  // FIFO eviction
+  int64_t bytes_ = 0;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+  int64_t oversize_misses_ = 0;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_MC_PLAN_CACHE_H_

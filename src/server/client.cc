@@ -1,0 +1,126 @@
+#include "server/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace folearn {
+
+StatusOr<Client> Client::Connect(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("bad socket path: '" + socket_path + "'");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return UnavailableError(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    return UnavailableError("cannot connect to " + socket_path + ": " +
+                            std::strerror(saved));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<Message> Client::Call(const Message& request) {
+  if (fd_ < 0) return UnavailableError("client is not connected");
+  Status written = WriteFrame(fd_, request);
+  if (!written.ok()) return written;
+  StatusOr<Message> response = ReadFrame(fd_);
+  if (!response.ok() &&
+      response.status().code() == StatusCode::kNotFound) {
+    // A clean close where a response was due means the daemon went away
+    // mid-request — surface it as a transport failure, not "no message".
+    return UnavailableError("server closed the connection mid-request");
+  }
+  return response;
+}
+
+Status Client::Ping() {
+  Message request;
+  request.Set("op", "ping");
+  StatusOr<Message> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->Get("status") != kStatusOk) {
+    return UnavailableError("ping failed: " + response->Get("error"));
+  }
+  return OkStatus();
+}
+
+StatusOr<uint64_t> Client::LoadGraph(const std::string& graph_text) {
+  Message request;
+  request.Set("op", "load-graph");
+  request.Set("graph", graph_text);
+  StatusOr<Message> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->Get("status") != kStatusOk) {
+    return Status(StatusCode::kInvalidArgument,
+                  "load-graph failed: " + response->Get("error"));
+  }
+  try {
+    return static_cast<uint64_t>(std::stoull(response->Get("session")));
+  } catch (const std::exception&) {
+    return DataLossError("load-graph response carries no session id");
+  }
+}
+
+Status Client::CloseSession(uint64_t session) {
+  Message request;
+  request.Set("op", "close-session");
+  request.Set("session", std::to_string(session));
+  StatusOr<Message> response = Call(request);
+  if (!response.ok()) return response.status();
+  if (response->Get("status") != kStatusOk) {
+    return InvalidArgumentError("close-session failed: " +
+                                response->Get("error"));
+  }
+  return OkStatus();
+}
+
+Status Client::RequestShutdown() {
+  Message request;
+  request.Set("op", "shutdown");
+  StatusOr<Message> response = Call(request);
+  if (!response.ok()) return response.status();
+  return OkStatus();
+}
+
+int ResponseExitCode(const Message& response) {
+  const std::string status = response.Get("status");
+  if (status == kStatusOk) return 0;
+  if (status == kStatusPartial || status == kStatusShed) return 3;
+  try {
+    size_t pos = 0;
+    int code = std::stoi(response.Get("code", "1"), &pos);
+    return code > 0 ? code : 1;
+  } catch (const std::exception&) {
+    return 1;
+  }
+}
+
+}  // namespace folearn

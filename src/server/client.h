@@ -1,0 +1,53 @@
+#ifndef FOLEARN_SERVER_CLIENT_H_
+#define FOLEARN_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace folearn {
+
+// Blocking client for the folearnd socket protocol. One connection per
+// Client; requests on one client are sequential (the protocol is strict
+// request/response). Not thread-safe — use one Client per thread; the
+// server multiplexes connections, not frames.
+class Client {
+ public:
+  // Connects to a folearnd socket. kUnavailable if the daemon is not
+  // listening there.
+  static StatusOr<Client> Connect(const std::string& socket_path);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  // One request/response round trip. Transport failures (daemon died,
+  // corrupt frame) are kUnavailable/kDataLoss; a response frame with
+  // status=error/shed/partial is still an OK Call — interpret the
+  // "status"/"code" fields (or use ResponseExitCode below).
+  StatusOr<Message> Call(const Message& request);
+
+  // Convenience wrappers over Call.
+  Status Ping();
+  StatusOr<uint64_t> LoadGraph(const std::string& graph_text);
+  Status CloseSession(uint64_t session);
+  Status RequestShutdown();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+// Maps a response's status/code fields onto the CLI exit-code
+// convention: ok → 0, partial/shed → 3, error → its "code" field
+// (64/65/66, defaulting to 1 when absent or unparsable).
+int ResponseExitCode(const Message& response);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_SERVER_CLIENT_H_

@@ -1,0 +1,713 @@
+#include "server/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "fo/parser.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+#include "learn/erm.h"
+#include "learn/hypothesis.h"
+#include "learn/model_io.h"
+#include "mc/compiled_eval.h"
+#include "types/type.h"
+
+namespace folearn {
+
+namespace {
+
+// Substantive operations count against max_inflight; control-plane ops
+// (ping, stats, close-session, shutdown) are always admitted so a loaded
+// server stays observable and stoppable.
+bool IsSubstantive(const std::string& op) {
+  return op == "learn" || op == "evaluate" || op == "query" ||
+         op == "load-graph";
+}
+
+Message MakeError(int code, std::string_view message) {
+  Message response;
+  response.Set("status", kStatusError);
+  response.Set("code", std::to_string(code));
+  response.Set("error", message);
+  return response;
+}
+
+Message MakeErrorFromStatus(const Status& status) {
+  return MakeError(StatusExitCode(status), status.message());
+}
+
+Message MakeOk() {
+  Message response;
+  response.Set("status", kStatusOk);
+  response.Set("code", "0");
+  return response;
+}
+
+// Parses a decimal int64 request field. Returns false (with *error named
+// after the field) on trailing garbage, overflow, or non-numeric input —
+// the protocol mirror of the CLI's exit-64 flag validation.
+bool ParseInt64Field(const Message& request, const char* key,
+                     int64_t fallback, int64_t* value, std::string* error) {
+  const std::string* raw = request.Find(key);
+  if (raw == nullptr) {
+    *value = fallback;
+    return true;
+  }
+  try {
+    size_t pos = 0;
+    *value = std::stoll(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument(*raw);
+  } catch (const std::exception&) {
+    *error = "invalid value '" + *raw + "' for field '" + key + "'";
+    return false;
+  }
+  return true;
+}
+
+bool ParseIntField(const Message& request, const char* key, int fallback,
+                   int* value, std::string* error) {
+  int64_t wide = 0;
+  if (!ParseInt64Field(request, key, fallback, &wide, error)) return false;
+  if (wide < INT32_MIN || wide > INT32_MAX) {
+    *error = "invalid value '" + request.Get(key) + "' for field '" + key +
+             "' (out of int range)";
+    return false;
+  }
+  *value = static_cast<int>(wide);
+  return true;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6f", value);
+  return buffer;
+}
+
+// Every tuple entry must be a vertex of `graph`: the training set and the
+// model file are external input and must not reach the library's CHECKs.
+Status ValidateTuples(const Graph& graph, const TrainingSet& examples) {
+  for (const LabeledExample& example : examples) {
+    for (Vertex v : example.tuple) {
+      if (!graph.IsValidVertex(v)) {
+        return DataLossError("example names vertex " + std::to_string(v) +
+                             " outside the session graph (order " +
+                             std::to_string(graph.order()) + ")");
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+// Per-session state kept warm across requests. All fields are guarded by
+// `mu` — requests touching one session serialise; different sessions run
+// in parallel.
+struct Server::Session {
+  explicit Session(Graph g, int64_t ball_cache_bytes)
+      : graph(std::move(g)),
+        registry(std::make_shared<TypeRegistry>(
+            Vocabulary(graph.vocabulary()))),
+        ball_cache(graph, ball_cache_bytes) {}
+
+  Graph graph;
+  std::shared_ptr<TypeRegistry> registry;
+  BallCache ball_cache;
+
+  // Warm per-graph evaluators, keyed by plan identity (the plan cache
+  // hands out stable shared_ptrs; a recompiled plan gets a fresh
+  // evaluator). Holding the plan alongside keeps it alive even if the
+  // plan cache evicts it. Bounded: cleared wholesale when it outgrows
+  // kMaxWarmEvaluators — per-graph memos are cheap to rebuild.
+  static constexpr size_t kMaxWarmEvaluators = 64;
+  std::unordered_map<const CompiledFormula*,
+                     std::pair<std::shared_ptr<const CompiledFormula>,
+                               std::unique_ptr<CompiledEvaluator>>>
+      evaluators;
+
+  CompiledEvaluator* WarmEvaluator(
+      std::shared_ptr<const CompiledFormula> plan,
+      const EvalOptions& options) {
+    auto it = evaluators.find(plan.get());
+    if (it != evaluators.end()) return it->second.second.get();
+    if (evaluators.size() >= kMaxWarmEvaluators) evaluators.clear();
+    const CompiledFormula* key = plan.get();
+    auto evaluator =
+        std::make_unique<CompiledEvaluator>(*plan, graph, options);
+    CompiledEvaluator* raw = evaluator.get();
+    evaluators.emplace(
+        key, std::make_pair(std::move(plan), std::move(evaluator)));
+    return raw;
+  }
+
+  std::mutex mu;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), plan_cache_(options_.plan_cache_bytes) {
+  FOLEARN_CHECK_GE(options_.max_inflight, 1)
+      << "max_inflight must admit at least one request";
+}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status Server::Start() {
+  if (options_.socket_path.empty()) {
+    return InvalidArgumentError("socket path must not be empty");
+  }
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path too long: " +
+                                options_.socket_path);
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return UnavailableError(std::string("pipe failed: ") +
+                            std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return UnavailableError(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a past run
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return UnavailableError("bind failed on " + options_.socket_path + ": " +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return UnavailableError(std::string("listen failed: ") +
+                            std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+void Server::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  // Wake every poller. The byte is never drained, so the pipe stays
+  // readable and all current and future polls return immediately. One
+  // write(2) — async-signal-safe.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::Serve() {
+  FOLEARN_CHECK_GE(listen_fd_, 0) << "Serve() before Start()";
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 ||
+        stopping_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    connections_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  }
+  // Drain: no new connections; unblock in-flight reads; join everything.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (std::thread& thread : connections) thread.join();
+}
+
+void Server::ConnectionLoop(int fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd fds[2] = {{fd, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0) break;  // graceful stop
+    if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    StatusOr<Message> request = ReadFrame(fd);
+    if (!request.ok()) {
+      // Clean close (kNotFound) ends the connection silently; a corrupt
+      // frame gets one last diagnostic — the stream position is
+      // untrusted afterwards, so the connection closes either way.
+      if (request.status().code() == StatusCode::kDataLoss) {
+        (void)WriteFrame(fd, MakeErrorFromStatus(request.status()));
+      }
+      break;
+    }
+    const bool is_shutdown = request->Get("op") == "shutdown";
+    Message response = Dispatch(*request);
+    if (!WriteFrame(fd, response).ok()) break;
+    if (is_shutdown) {
+      Shutdown();
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+Message Server::Dispatch(const Message& request) {
+  const std::string op = request.Get("op");
+  const bool substantive = IsSubstantive(op);
+  if (substantive) {
+    int current = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (current > options_.max_inflight) {
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      Message response;
+      response.Set("status", kStatusShed);
+      response.Set("code", "3");
+      response.Set("error",
+                   "server at max-inflight capacity; retry the request");
+      RecordOutcome(response);
+      return response;
+    }
+  }
+  Message response;
+  if (op == "ping") {
+    response = HandlePing(request);
+  } else if (op == "load-graph") {
+    response = HandleLoadGraph(request);
+  } else if (op == "close-session") {
+    response = HandleCloseSession(request);
+  } else if (op == "learn") {
+    response = HandleLearn(request);
+  } else if (op == "evaluate") {
+    response = HandleEvaluate(request);
+  } else if (op == "query") {
+    response = HandleQuery(request);
+  } else if (op == "stats") {
+    response = HandleStats(request);
+  } else if (op == "shutdown") {
+    response = MakeOk();
+  } else {
+    response = MakeError(kExitUsage, "unknown op '" + op + "'");
+  }
+  if (substantive) inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  RecordOutcome(response);
+  return response;
+}
+
+void Server::RecordOutcome(const Message& response) {
+  const std::string status = response.Get("status");
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.requests;
+  if (status == kStatusOk) {
+    ++stats_.ok;
+  } else if (status == kStatusPartial) {
+    ++stats_.partial;
+  } else if (status == kStatusShed) {
+    ++stats_.shed;
+  } else {
+    ++stats_.errors;
+  }
+}
+
+Message Server::HandlePing(const Message& request) {
+  Message response = MakeOk();
+  response.Set("payload", request.Get("payload"));
+  return response;
+}
+
+Message Server::HandleLoadGraph(const Message& request) {
+  const std::string* text = request.Find("graph");
+  if (text == nullptr) {
+    return MakeError(kExitUsage, "load-graph requires a 'graph' field");
+  }
+  StatusOr<Graph> graph = ParseGraph(*text);
+  if (!graph.ok()) return MakeErrorFromStatus(graph.status());
+  auto session = std::make_shared<Session>(*std::move(graph),
+                                           options_.ball_cache_bytes);
+  uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_session_id_++;
+    sessions_.emplace(id, session);
+    ++stats_.sessions_opened;
+  }
+  Message response = MakeOk();
+  response.Set("session", std::to_string(id));
+  response.Set("order", std::to_string(session->graph.order()));
+  return response;
+}
+
+std::shared_ptr<Server::Session> Server::FindSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+// Resolves the "session" field to an id; false + error response on a
+// missing or malformed field.
+bool ParseSessionId(const Message& request, uint64_t* id,
+                    Message* error_response) {
+  const std::string* raw = request.Find("session");
+  if (raw == nullptr) {
+    *error_response =
+        MakeError(kExitUsage, "request requires a 'session' field");
+    return false;
+  }
+  try {
+    size_t pos = 0;
+    unsigned long long wide = std::stoull(*raw, &pos);
+    if (pos != raw->size()) throw std::invalid_argument(*raw);
+    *id = wide;
+  } catch (const std::exception&) {
+    *error_response =
+        MakeError(kExitUsage, "invalid session id '" + *raw + "'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Message Server::HandleCloseSession(const Message& request) {
+  uint64_t id = 0;
+  Message error;
+  if (!ParseSessionId(request, &id, &error)) return error;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+  }
+  ++stats_.sessions_closed;
+  return MakeOk();
+}
+
+bool Server::RequestLimits(const Message& request, GovernorLimits* limits,
+                           bool* governed, std::string* error) const {
+  int64_t deadline_ms = kNoLimit;
+  int64_t max_work = kNoLimit;
+  if (!ParseInt64Field(request, "deadline-ms", kNoLimit, &deadline_ms,
+                       error) ||
+      !ParseInt64Field(request, "max-work", kNoLimit, &max_work, error)) {
+    return false;
+  }
+  if (deadline_ms != kNoLimit && deadline_ms < 0) {
+    *error = "field 'deadline-ms' must be >= 0";
+    return false;
+  }
+  if (max_work != kNoLimit && max_work <= 0) {
+    *error = "field 'max-work' must be positive";
+    return false;
+  }
+  // Server caps clamp the request; with a cap set, a request asking for
+  // nothing still runs capped — the caps are the operator's protection
+  // against a tenant monopolising the daemon.
+  if (options_.max_deadline_ms != kNoLimit &&
+      (deadline_ms == kNoLimit || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+  if (options_.max_work != kNoLimit &&
+      (max_work == kNoLimit || max_work > options_.max_work)) {
+    max_work = options_.max_work;
+  }
+  limits->deadline_ms = deadline_ms;
+  limits->max_work = max_work;
+  *governed = deadline_ms != kNoLimit || max_work != kNoLimit;
+  return true;
+}
+
+Message Server::HandleLearn(const Message& request) {
+  uint64_t id = 0;
+  Message error;
+  if (!ParseSessionId(request, &id, &error)) return error;
+  std::shared_ptr<Session> session = FindSession(id);
+  if (session == nullptr) {
+    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+  }
+  const std::string* data_text = request.Find("data");
+  if (data_text == nullptr) {
+    return MakeError(kExitUsage, "learn requires a 'data' field");
+  }
+  StatusOr<TrainingSet> data = ParseTrainingSet(*data_text);
+  if (!data.ok()) return MakeErrorFromStatus(data.status());
+
+  ErmOptions options;
+  std::string field_error;
+  int ell = 0;
+  if (!ParseIntField(request, "rank", 1, &options.rank, &field_error) ||
+      !ParseIntField(request, "radius", -1, &options.radius, &field_error) ||
+      !ParseIntField(request, "ell", 0, &ell, &field_error) ||
+      !ParseIntField(request, "threads", 1, &options.threads,
+                     &field_error)) {
+    return MakeError(kExitUsage, field_error);
+  }
+  if (options.rank < 0) {
+    return MakeError(kExitUsage, "field 'rank' must be >= 0");
+  }
+  if (options.radius < -1) {
+    return MakeError(kExitUsage,
+                     "field 'radius' must be >= 0 (or -1 for automatic)");
+  }
+  if (ell < 0) return MakeError(kExitUsage, "field 'ell' must be >= 0");
+  if (options.threads < 0) {
+    return MakeError(kExitUsage, "field 'threads' must be >= 0");
+  }
+  const std::string learner = request.Get("learner", "brute");
+  if (learner != "brute") {
+    return MakeError(kExitUsage,
+                     "unsupported learner '" + learner +
+                         "' (the server implements 'brute')");
+  }
+  GovernorLimits limits;
+  bool governed = false;
+  if (!RequestLimits(request, &limits, &governed, &field_error)) {
+    return MakeError(kExitUsage, field_error);
+  }
+
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  Status tuples_ok = ValidateTuples(session->graph, *data);
+  if (!tuples_ok.ok()) return MakeErrorFromStatus(tuples_ok);
+
+  std::optional<ResourceGovernor> governor;
+  if (governed) governor.emplace(limits);
+  options.governor = governor.has_value() ? &*governor : nullptr;
+  // The session ball cache is single-threaded state; the library only
+  // consults it on single-threaded scans anyway (parallel sweeps build
+  // per-worker caches), so it is attached exactly then.
+  if (options.threads == 1) options.ball_cache = &session->ball_cache;
+  options.cache_bytes = options_.ball_cache_bytes;
+
+  ErmResult result =
+      BruteForceErm(session->graph, *data, ell, options, session->registry);
+
+  Message response = MakeOk();
+  if (IsInterrupted(result.status)) {
+    response.Set("status", kStatusPartial);
+    response.Set("code", "3");
+    response.Set("run-status", RunStatusName(result.status));
+  }
+  response.Set("model", HypothesisToText(result.hypothesis.ToExplicit()));
+  response.Set("training-error", FormatDouble(result.training_error));
+  response.Set("types-seen", std::to_string(result.distinct_types_seen));
+  response.Set("tuples-tried",
+               std::to_string(result.parameter_tuples_tried));
+  if (governor.has_value()) {
+    response.Set("work-used", std::to_string(governor->work_used()));
+  }
+  return response;
+}
+
+Message Server::HandleEvaluate(const Message& request) {
+  uint64_t id = 0;
+  Message error;
+  if (!ParseSessionId(request, &id, &error)) return error;
+  std::shared_ptr<Session> session = FindSession(id);
+  if (session == nullptr) {
+    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+  }
+  const std::string* model_text = request.Find("model");
+  const std::string* data_text = request.Find("data");
+  if (model_text == nullptr || data_text == nullptr) {
+    return MakeError(kExitUsage,
+                     "evaluate requires 'model' and 'data' fields");
+  }
+  StatusOr<Hypothesis> hypothesis = ParseHypothesis(*model_text);
+  if (!hypothesis.ok()) return MakeErrorFromStatus(hypothesis.status());
+  StatusOr<TrainingSet> data = ParseTrainingSet(*data_text);
+  if (!data.ok()) return MakeErrorFromStatus(data.status());
+  GovernorLimits limits;
+  bool governed = false;
+  std::string field_error;
+  if (!RequestLimits(request, &limits, &governed, &field_error)) {
+    return MakeError(kExitUsage, field_error);
+  }
+
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  const Graph& graph = session->graph;
+  Status tuples_ok = ValidateTuples(graph, *data);
+  if (!tuples_ok.ok()) return MakeErrorFromStatus(tuples_ok);
+  for (Vertex w : hypothesis->parameters) {
+    if (!graph.IsValidVertex(w)) {
+      return MakeErrorFromStatus(DataLossError(
+          "model parameter vertex " + std::to_string(w) +
+          " outside the session graph"));
+    }
+  }
+  const int k = hypothesis->k();
+  for (const LabeledExample& example : *data) {
+    if (static_cast<int>(example.tuple.size()) != k) {
+      return MakeErrorFromStatus(DataLossError(
+          "example arity " + std::to_string(example.tuple.size()) +
+          " does not match the model's k=" + std::to_string(k)));
+    }
+  }
+
+  const std::vector<std::string> frame = hypothesis->AllVars();
+  std::shared_ptr<const CompiledFormula> plan =
+      plan_cache_.GetOrCompile(hypothesis->formula, frame);
+
+  EvalOptions eval_options;
+  eval_options.missing_color_is_false = true;  // external model files
+  std::optional<ResourceGovernor> governor;
+  if (governed) {
+    governor.emplace(limits);
+    eval_options.governor = &*governor;
+  }
+  // Warm path: the ungoverned evaluator (and its per-graph memo) is kept
+  // on the session. A governed request runs the mirrored slow lane on a
+  // throwaway evaluator so the warm one never observes a governor trip.
+  std::optional<CompiledEvaluator> scratch;
+  CompiledEvaluator* evaluator;
+  if (governed) {
+    scratch.emplace(*plan, graph, eval_options);
+    evaluator = &*scratch;
+  } else {
+    evaluator = session->WarmEvaluator(plan, eval_options);
+  }
+
+  std::vector<Vertex> env(frame.size());
+  int64_t wrong = 0;
+  int64_t seen = 0;
+  for (const LabeledExample& example : *data) {
+    std::copy(example.tuple.begin(), example.tuple.end(), env.begin());
+    std::copy(hypothesis->parameters.begin(), hypothesis->parameters.end(),
+              env.begin() + k);
+    bool verdict = evaluator->Eval(env);
+    if (governor.has_value() && governor->Interrupted()) break;
+    if (verdict != example.label) ++wrong;
+    ++seen;
+  }
+
+  Message response = MakeOk();
+  if (governor.has_value() && governor->Interrupted()) {
+    response.Set("status", kStatusPartial);
+    response.Set("code", "3");
+    response.Set("run-status", RunStatusName(governor->status()));
+  }
+  const double error_rate =
+      seen == 0 ? 1.0 : static_cast<double>(wrong) / static_cast<double>(seen);
+  response.Set("error", FormatDouble(error_rate));
+  response.Set("examples-seen", std::to_string(seen));
+  if (governor.has_value()) {
+    response.Set("work-used", std::to_string(governor->work_used()));
+  }
+  return response;
+}
+
+Message Server::HandleQuery(const Message& request) {
+  uint64_t id = 0;
+  Message error;
+  if (!ParseSessionId(request, &id, &error)) return error;
+  std::shared_ptr<Session> session = FindSession(id);
+  if (session == nullptr) {
+    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+  }
+  const std::string* sentence_text = request.Find("sentence");
+  if (sentence_text == nullptr) {
+    return MakeError(kExitUsage, "query requires a 'sentence' field");
+  }
+  std::string parse_error;
+  std::optional<FormulaRef> sentence =
+      ParseFormula(*sentence_text, &parse_error);
+  if (!sentence.has_value()) {
+    return MakeError(kExitDataError, "cannot parse sentence: " + parse_error);
+  }
+  if (!(*sentence)->free_variables().empty()) {
+    return MakeError(kExitDataError,
+                     "query requires a sentence; '" +
+                         (*sentence)->free_variables().front() +
+                         "' occurs free");
+  }
+  GovernorLimits limits;
+  bool governed = false;
+  std::string field_error;
+  if (!RequestLimits(request, &limits, &governed, &field_error)) {
+    return MakeError(kExitUsage, field_error);
+  }
+
+  std::shared_ptr<const CompiledFormula> plan =
+      plan_cache_.GetOrCompile(*sentence, {});
+
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  EvalOptions eval_options;
+  eval_options.missing_color_is_false = true;
+  std::optional<ResourceGovernor> governor;
+  if (governed) {
+    governor.emplace(limits);
+    eval_options.governor = &*governor;
+  }
+  std::optional<CompiledEvaluator> scratch;
+  CompiledEvaluator* evaluator;
+  if (governed) {
+    scratch.emplace(*plan, session->graph, eval_options);
+    evaluator = &*scratch;
+  } else {
+    // Warm path: a repeated sentence is a per-graph memo hit — the
+    // evaluator answers without touching the graph again.
+    evaluator = session->WarmEvaluator(plan, eval_options);
+  }
+  bool verdict = evaluator->Eval({});
+
+  Message response = MakeOk();
+  if (governor.has_value() && governor->Interrupted()) {
+    response.Set("status", kStatusPartial);
+    response.Set("code", "3");
+    response.Set("run-status", RunStatusName(governor->status()));
+    response.Set("result", "indeterminate");
+  } else {
+    response.Set("result", verdict ? "true" : "false");
+  }
+  if (governor.has_value()) {
+    response.Set("work-used", std::to_string(governor->work_used()));
+  }
+  return response;
+}
+
+Message Server::HandleStats(const Message& request) {
+  (void)request;
+  ServerStats stats = Snapshot();
+  Message response = MakeOk();
+  response.Set("requests", std::to_string(stats.requests));
+  response.Set("ok", std::to_string(stats.ok));
+  response.Set("partial", std::to_string(stats.partial));
+  response.Set("shed", std::to_string(stats.shed));
+  response.Set("errors", std::to_string(stats.errors));
+  response.Set("sessions-opened", std::to_string(stats.sessions_opened));
+  response.Set("sessions-closed", std::to_string(stats.sessions_closed));
+  response.Set("plan-hits", std::to_string(stats.plan_hits));
+  response.Set("plan-misses", std::to_string(stats.plan_misses));
+  response.Set("plan-bytes", std::to_string(plan_cache_.bytes()));
+  return response;
+}
+
+ServerStats Server::Snapshot() const {
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+  }
+  stats.plan_hits = plan_cache_.hits();
+  stats.plan_misses = plan_cache_.misses();
+  return stats;
+}
+
+}  // namespace folearn

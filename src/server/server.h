@@ -1,0 +1,162 @@
+#ifndef FOLEARN_SERVER_SERVER_H_
+#define FOLEARN_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/plan_cache.h"
+#include "server/protocol.h"
+#include "util/governor.h"
+#include "util/status.h"
+
+namespace folearn {
+
+// folearnd: a long-lived learn/evaluate/query server.
+//
+// The batch CLI pays the full setup cost — graph parsing, type-registry
+// population, ball materialisation, formula compilation — on every
+// invocation. The server loads a graph once per *session* and keeps the
+// derived state warm across requests:
+//
+//   * the session's TypeRegistry (canonical TypeIds across learns),
+//   * a byte-budgeted BallCache bound to the session graph,
+//   * per-session CompiledEvaluators (per-graph memo tables), and
+//   * a process-wide PlanCache of compiled formulas (shared across
+//     sessions — plans are graph-independent).
+//
+// Concurrency model: one thread per connection; requests on one
+// connection are sequential (frame in → frame out), requests on
+// different connections run in parallel. Requests touching the same
+// session serialise on the session mutex; cross-session requests share
+// nothing mutable but the plan cache (internally locked).
+//
+// Admission control and overload behaviour: at most
+// ServerOptions::max_inflight substantive requests (learn / evaluate /
+// query / load-graph) execute at once. Excess requests are *shed* — they
+// receive an immediate status=shed response on a healthy connection
+// instead of queueing without bound or having the connection dropped.
+// Per-request deadline-ms / max-work fields become a ResourceGovernor
+// (clamped by the server-wide caps), so an admitted request that runs
+// too long degrades to status=partial with best-so-far payload — the
+// same anytime semantics as the CLI, exit-code analogue 3.
+//
+// Protocol operations (see protocol.h for framing):
+//
+//   ping           echoes "payload" back
+//   load-graph     graph=<graph text> → session=<id>
+//   close-session  session=<id>
+//   learn          session, data=<training set text>, rank, radius, ell,
+//                  threads, deadline-ms, max-work →
+//                  model=<hypothesis text>, training-error, work-used
+//   evaluate       session, model=<hypothesis text>,
+//                  data=<training set text> → error=<fraction>
+//   query          session, sentence=<FO sentence> → result=true|false
+//                  (partial → result=indeterminate)
+//   stats          → request/session/cache counters
+//   shutdown       stops the serve loop after responding
+struct ServerOptions {
+  std::string socket_path;
+  // Concurrent substantive requests admitted before shedding; must be >= 1.
+  int max_inflight = 8;
+  // Server-wide caps on per-request governor limits (kNoLimit = uncapped).
+  // A request asking for more than the cap is clamped to the cap; with a
+  // cap set, requests that ask for nothing still run under it.
+  int64_t max_deadline_ms = kNoLimit;
+  int64_t max_work = kNoLimit;
+  // Byte budget of each session's BallCache (BallCache::kNoBudget = off).
+  int64_t ball_cache_bytes = 32 << 20;
+  // Byte budget of the shared compiled-plan cache.
+  int64_t plan_cache_bytes = 8 << 20;
+  // listen(2) backlog.
+  int backlog = 64;
+};
+
+// Monotonic counters, snapshot under the server lock.
+struct ServerStats {
+  int64_t requests = 0;         // frames dispatched (all ops)
+  int64_t ok = 0;
+  int64_t partial = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;
+  int64_t sessions_opened = 0;
+  int64_t sessions_closed = 0;
+  int64_t plan_hits = 0;        // PlanCache hits/misses at snapshot time
+  int64_t plan_misses = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds and listens on options.socket_path (removing a stale socket
+  // file first). kUnavailable on any socket-layer failure.
+  Status Start();
+
+  // Accepts and serves connections until Shutdown() (or a "shutdown"
+  // request) is observed, then drains: stops accepting, waits for every
+  // connection thread, removes the socket file. Call Start() first.
+  void Serve();
+
+  // Requests a graceful stop of Serve(). Safe from any thread and from
+  // signal handlers (one write(2) on a pre-opened pipe).
+  void Shutdown();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  ServerStats Snapshot() const;
+
+ private:
+  struct Session;
+
+  // Dispatches one decoded request to its handler; never throws, always
+  // returns a response message.
+  Message Dispatch(const Message& request);
+
+  Message HandlePing(const Message& request);
+  Message HandleLoadGraph(const Message& request);
+  Message HandleCloseSession(const Message& request);
+  Message HandleLearn(const Message& request);
+  Message HandleEvaluate(const Message& request);
+  Message HandleQuery(const Message& request);
+  Message HandleStats(const Message& request);
+
+  std::shared_ptr<Session> FindSession(uint64_t id);
+
+  // Builds the per-request governor limits from the request fields and
+  // the server caps. Returns false (with *error filled) on malformed
+  // values. *governed is false when neither the request nor the server
+  // imposes a limit.
+  bool RequestLimits(const Message& request, GovernorLimits* limits,
+                     bool* governed, std::string* error) const;
+
+  void ConnectionLoop(int fd);
+  void RecordOutcome(const Message& response);
+
+  ServerOptions options_;
+  PlanCache plan_cache_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: Shutdown() → poll wakeup
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_{0};
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+  ServerStats stats_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_SERVER_SERVER_H_

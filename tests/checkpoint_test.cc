@@ -437,22 +437,48 @@ TEST(BallCache, BudgetEvictsButNeverChangesResults) {
       const std::vector<Vertex>& want = unbounded.VertexBall(v, 2);
       const std::vector<Vertex>& got = bounded.VertexBall(v, 2);
       ASSERT_EQ(got, want) << "vertex " << v;
+      // The byte budget is a hard invariant after every call, not a
+      // payload-only approximation.
+      ASSERT_LE(bounded.bytes(), bounded.max_bytes());
     }
   }
   EXPECT_GT(bounded.evictions(), 0);
   EXPECT_EQ(unbounded.evictions(), 0);
-  // The budget holds between insertions (the just-inserted entry may
-  // overshoot transiently, but a tree ball of radius 2 is far below it).
-  EXPECT_LE(bounded.bytes(), 2048 + 64 * 64);
 }
 
-TEST(BallCache, SingleEntryLargerThanBudgetIsKept) {
+// Many small balls: the regime where payload-only accounting used to
+// overshoot the budget by the uncounted per-entry (key/map-node/queue)
+// overhead. The full footprint must stay within budget at every step.
+TEST(BallCache, ManySmallBallsRespectBudget) {
+  Graph g(400, Vocabulary{});  // edgeless: every radius-1 ball is {v}
+  const int64_t budget = 4096;
+  BallCache cache(g, budget);
+  for (Vertex v = 0; v < g.order(); ++v) {
+    const std::vector<Vertex>& ball = cache.VertexBall(v, 1);
+    ASSERT_EQ(ball, std::vector<Vertex>{v});
+    ASSERT_LE(cache.bytes(), budget);
+  }
+  // 400 singleton balls cannot all fit in 4 KiB once overhead is charged.
+  EXPECT_GT(cache.evictions(), 0);
+  EXPECT_LT(cache.cached_balls(), g.order());
+  // The cache is not degenerate either: a sensible fraction is retained.
+  EXPECT_GT(cache.cached_balls(), 8);
+}
+
+TEST(BallCache, SingleEntryLargerThanBudgetServedUncached) {
   Graph g = MakeStar(40);  // hub ball holds every vertex
+  BallCache unbounded(g);
   BallCache cache(g, /*max_bytes=*/1);
   const std::vector<Vertex>& ball = cache.VertexBall(0, 1);
-  EXPECT_EQ(static_cast<int>(ball.size()), g.order());
-  // The just-inserted entry survives even though it exceeds the budget.
-  EXPECT_GT(cache.bytes(), 1);
+  EXPECT_EQ(ball, unbounded.VertexBall(0, 1));
+  // An entry that alone exceeds the budget is served from scratch space:
+  // the invariant holds and nothing is retained.
+  EXPECT_EQ(cache.bytes(), 0);
+  EXPECT_EQ(cache.cached_balls(), 0);
+  EXPECT_EQ(cache.oversize_misses(), 1);
+  // TupleBall merges scratch-served balls safely (consumed immediately).
+  std::vector<Vertex> tuple = {0, 1};
+  EXPECT_EQ(cache.TupleBall(tuple, 1), unbounded.TupleBall(tuple, 1));
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+#!/bin/sh
+# End-to-end smoke test of the folearnd daemon: start it, drive a full
+# load-graph → learn → evaluate → query round trip with folearn_client,
+# exercise the stats counters, and require a signal-driven clean shutdown
+# (exit 0, socket file removed). Invoked by CI (and runnable by hand)
+# with the directory holding the folearnd / folearn_client / folearn_cli
+# binaries as $1.
+set -eu
+
+TOOLS="$1"
+DIR="$(mktemp -d)"
+SOCK="$DIR/folearnd.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+client() {
+  "$TOOLS/folearn_client" --socket "$SOCK" "$@"
+}
+
+# Problem setup: a coloured random tree and an "is Red" dataset, the same
+# shape as cli_test.sh.
+"$TOOLS/folearn_cli" generate --family tree --n 40 --seed 11 \
+    --color Red:0.3 --out "$DIR/g.txt"
+reds=$(grep '^color Red' "$DIR/g.txt" | cut -d' ' -f3-)
+{
+  echo "examples 1"
+  v=0
+  while [ "$v" -lt 40 ]; do
+    label="-"
+    for r in $reds; do
+      [ "$r" = "$v" ] && label="+"
+    done
+    echo "$label $v"
+    v=$((v + 1))
+  done
+} > "$DIR/d.txt"
+
+# 1. Start the daemon and wait for its socket to appear.
+"$TOOLS/folearnd" --socket "$SOCK" --max-inflight 4 2> "$DIR/daemon.log" &
+DAEMON_PID=$!
+tries=0
+while [ ! -S "$SOCK" ]; do
+  tries=$((tries + 1))
+  [ "$tries" -lt 100 ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+  kill -0 "$DAEMON_PID" 2>/dev/null || {
+    echo "daemon died at startup:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+  }
+  sleep 0.1
+done
+
+# 2. Control plane answers.
+client ping > /dev/null
+
+# 3. Load the graph into a session.
+client load-graph --graph-file "$DIR/g.txt" > "$DIR/load.out"
+grep -q '^session: ' "$DIR/load.out"
+session=$(sed -n 's/^session: //p' "$DIR/load.out")
+
+# 4. Learn over the wire; the labels are realisable, so training error 0.
+client learn --session "$session" --data-file "$DIR/d.txt" \
+    --rank 1 --radius 1 --out "$DIR/m.txt" > "$DIR/learn.out"
+grep -q '^training-error: 0.000000$' "$DIR/learn.out"
+grep -q '^hypothesis ' "$DIR/m.txt"
+
+# 5. The learned model evaluates to zero error on its own training set.
+client evaluate --session "$session" --model-file "$DIR/m.txt" \
+    --data-file "$DIR/d.txt" > "$DIR/eval.out"
+grep -q '^error: 0.000000$' "$DIR/eval.out"
+
+# 6. Queries answer, and the repeat hits the warm plan cache.
+client query --session "$session" --sentence 'exists x. Red(x)' \
+    > "$DIR/q1.out"
+grep -q '^result: true$' "$DIR/q1.out"
+client query --session "$session" --sentence 'exists x. Red(x)' \
+    > /dev/null
+client stats > "$DIR/stats.out"
+grep -q '^plan-hits: [1-9]' "$DIR/stats.out"
+
+# 7. Malformed input gets a well-formed error response, not a dropped
+# connection or a dead daemon.
+rc=0
+client learn --session "$session" --data-file "$DIR/d.txt" \
+    --rank 4x 2> "$DIR/bad.log" || rc=$?
+[ "$rc" -eq 64 ] || { echo "bad rank: expected 64, got $rc" >&2; exit 1; }
+client ping > /dev/null
+
+# 8. SIGTERM shuts the daemon down cleanly and removes the socket file.
+kill "$DAEMON_PID"
+daemon_rc=0
+wait "$DAEMON_PID" || daemon_rc=$?
+DAEMON_PID=""
+[ "$daemon_rc" -eq 0 ] || {
+  echo "daemon exit $daemon_rc:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+}
+grep -q 'shut down cleanly' "$DIR/daemon.log"
+[ ! -e "$SOCK" ] || { echo "socket file left behind" >&2; exit 1; }
+
+echo "server smoke test passed"

@@ -1,0 +1,501 @@
+// Tests for the folearnd server stack: protocol round trips, warm-state
+// request handling against the direct library calls, multi-tenant
+// concurrency determinism, admission control (shedding), deadline
+// degradation, and graceful shutdown. Runs the server in-process on a
+// unique unix socket per fixture; the TSan CI job runs this whole file
+// under ThreadSanitizer.
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "learn/erm.h"
+#include "learn/model_io.h"
+#include "mc/plan_cache.h"
+#include "fo/parser.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/rng.h"
+
+namespace folearn {
+namespace {
+
+std::string UniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/folearn_server_test_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+// A small coloured graph and a training set labelled "is Red", the same
+// shape as the CLI pipeline test.
+struct TestProblem {
+  Graph graph = Graph(0);
+  TrainingSet data;
+  std::string graph_text;
+  std::string data_text;
+};
+
+TestProblem MakeProblem(int n, int seed) {
+  Rng rng(seed);
+  TestProblem problem;
+  problem.graph = MakeRandomTree(n, rng);
+  ColorId red = problem.graph.AddColor("Red");
+  for (Vertex v = 0; v < n; v += 3) problem.graph.SetColor(v, red);
+  for (Vertex v = 0; v < n; ++v) {
+    problem.data.push_back({{v}, problem.graph.HasColor(v, red)});
+  }
+  problem.graph_text = ToText(problem.graph);
+  problem.data_text = TrainingSetToText(problem.data);
+  return problem;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    options.socket_path = UniqueSocketPath();
+    server_ = std::make_unique<Server>(std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Shutdown();
+      if (serve_thread_.joinable()) serve_thread_.join();
+    }
+  }
+
+  Client MustConnect() {
+    StatusOr<Client> client = Client::Connect(server_->socket_path());
+    EXPECT_TRUE(client.ok()) << client.status().message();
+    return *std::move(client);
+  }
+
+  std::unique_ptr<Server> server_;
+  std::thread serve_thread_;
+};
+
+TEST(ProtocolTest, MessageEncodeDecodeRoundTrip) {
+  Message message;
+  message.Set("op", "learn");
+  message.Set("data", std::string("binary\0bytes\xff", 13));
+  message.Set("empty", "");
+  StatusOr<Message> decoded = DecodeMessage(EncodeMessage(message));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->fields.size(), 3u);
+  EXPECT_EQ(decoded->Get("op"), "learn");
+  EXPECT_EQ(decoded->Get("data"), std::string("binary\0bytes\xff", 13));
+  EXPECT_TRUE(decoded->Has("empty"));
+}
+
+TEST(ProtocolTest, DecodeRejectsTruncatedPayloads) {
+  Message message;
+  message.Set("key", "value");
+  std::string payload = EncodeMessage(message);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    StatusOr<Message> decoded = DecodeMessage(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+  std::string trailing = payload + "x";
+  EXPECT_FALSE(DecodeMessage(trailing).ok());
+}
+
+TEST(PlanCacheTest, HitsAndBudgetInvariant) {
+  PlanCache cache(/*max_bytes=*/16 * 1024);
+  FormulaRef sentence = MustParseFormula("exists x. exists y. E(x, y)");
+  auto first = cache.GetOrCompile(sentence, {});
+  auto second = cache.GetOrCompile(sentence, {});
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  // Distinct formulas fill the budget; the invariant holds throughout.
+  for (int i = 0; i < 200; ++i) {
+    std::string text = "exists x. exists y" + std::to_string(i) +
+                       ". E(x, y" + std::to_string(i) + ")";
+    cache.GetOrCompile(MustParseFormula(text), {});
+    ASSERT_LE(cache.bytes(), cache.max_bytes());
+  }
+  EXPECT_GT(cache.evictions(), 0);
+}
+
+TEST(PlanCacheTest, OversizePlanServedUncached) {
+  PlanCache cache(/*max_bytes=*/1);
+  FormulaRef sentence = MustParseFormula("exists x. E(x, x)");
+  auto plan = cache.GetOrCompile(sentence, {});
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(cache.bytes(), 0);
+  EXPECT_EQ(cache.oversize_misses(), 1);
+}
+
+TEST_F(ServerTest, PingRoundTrip) {
+  StartServer(ServerOptions{});
+  Client client = MustConnect();
+  Message request;
+  request.Set("op", "ping");
+  request.Set("payload", "hello");
+  StatusOr<Message> response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->Get("status"), kStatusOk);
+  EXPECT_EQ(response->Get("payload"), "hello");
+  EXPECT_EQ(ResponseExitCode(*response), 0);
+}
+
+TEST_F(ServerTest, LearnEvaluateQueryMatchDirectLibraryCalls) {
+  StartServer(ServerOptions{});
+  TestProblem problem = MakeProblem(30, 5);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+
+  // learn over the wire == BruteForceErm called directly.
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  StatusOr<Message> learned = client.Call(learn);
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->Get("status"), kStatusOk) << learned->Get("error");
+
+  ErmOptions options;
+  options.rank = 1;
+  options.radius = 1;
+  ErmResult direct = BruteForceErm(problem.graph, problem.data, 0, options);
+  EXPECT_EQ(learned->Get("model"),
+            HypothesisToText(direct.hypothesis.ToExplicit()));
+  EXPECT_EQ(learned->Get("training-error"), "0.000000");
+
+  // evaluate the learned model over the wire == its direct error (0).
+  Message evaluate;
+  evaluate.Set("op", "evaluate");
+  evaluate.Set("session", std::to_string(*session));
+  evaluate.Set("model", learned->Get("model"));
+  evaluate.Set("data", problem.data_text);
+  StatusOr<Message> evaluated = client.Call(evaluate);
+  ASSERT_TRUE(evaluated.ok());
+  ASSERT_EQ(evaluated->Get("status"), kStatusOk) << evaluated->Get("error");
+  EXPECT_EQ(evaluated->Get("error"), "0.000000");
+
+  // query: a red vertex exists; repeated queries hit the warm memo and
+  // the shared plan cache.
+  for (int i = 0; i < 3; ++i) {
+    Message query;
+    query.Set("op", "query");
+    query.Set("session", std::to_string(*session));
+    query.Set("sentence", "exists x. Red(x)");
+    StatusOr<Message> answered = client.Call(query);
+    ASSERT_TRUE(answered.ok());
+    ASSERT_EQ(answered->Get("status"), kStatusOk) << answered->Get("error");
+    EXPECT_EQ(answered->Get("result"), "true");
+  }
+  ServerStats stats = server_->Snapshot();
+  EXPECT_GE(stats.plan_hits, 2);  // the two repeated query compilations
+  EXPECT_TRUE(client.CloseSession(*session).ok());
+}
+
+TEST_F(ServerTest, SecondLearnReusesWarmRegistryAndBallCache) {
+  StartServer(ServerOptions{});
+  TestProblem problem = MakeProblem(40, 7);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  StatusOr<Message> cold = client.Call(learn);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->Get("status"), kStatusOk);
+  StatusOr<Message> warm = client.Call(learn);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->Get("status"), kStatusOk);
+  // Warm state must never change answers — model bytes are identical.
+  EXPECT_EQ(cold->Get("model"), warm->Get("model"));
+  EXPECT_EQ(cold->Get("training-error"), warm->Get("training-error"));
+}
+
+// The multi-tenant determinism contract: N clients with their own
+// sessions, each running an interleaved learn/evaluate/query stream
+// concurrently, get byte-identical results to the same streams executed
+// sequentially against a fresh server.
+TEST_F(ServerTest, ConcurrentSessionsMatchSequentialBaselines) {
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+
+  // Sequential baselines, computed directly from the library.
+  std::vector<TestProblem> problems;
+  std::vector<std::string> baseline_models;
+  for (int c = 0; c < kClients; ++c) {
+    problems.push_back(MakeProblem(24 + 4 * c, 100 + c));
+    ErmOptions options;
+    options.rank = 1;
+    options.radius = 1;
+    ErmResult direct =
+        BruteForceErm(problems[c].graph, problems[c].data, 0, options);
+    baseline_models.push_back(
+        HypothesisToText(direct.hypothesis.ToExplicit()));
+  }
+
+  StartServer(ServerOptions{});
+  std::vector<std::thread> workers;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    workers.emplace_back([this, c, &problems, &baseline_models, &failures] {
+      StatusOr<Client> client = Client::Connect(server_->socket_path());
+      if (!client.ok()) {
+        failures[c] = client.status().message();
+        return;
+      }
+      StatusOr<uint64_t> session =
+          client->LoadGraph(problems[c].graph_text);
+      if (!session.ok()) {
+        failures[c] = session.status().message();
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        Message learn;
+        learn.Set("op", "learn");
+        learn.Set("session", std::to_string(*session));
+        learn.Set("data", problems[c].data_text);
+        learn.Set("rank", "1");
+        learn.Set("radius", "1");
+        StatusOr<Message> learned = client->Call(learn);
+        if (!learned.ok() || learned->Get("status") != kStatusOk ||
+            learned->Get("model") != baseline_models[c]) {
+          failures[c] = "learn mismatch in round " + std::to_string(round);
+          return;
+        }
+        Message evaluate;
+        evaluate.Set("op", "evaluate");
+        evaluate.Set("session", std::to_string(*session));
+        evaluate.Set("model", learned->Get("model"));
+        evaluate.Set("data", problems[c].data_text);
+        StatusOr<Message> evaluated = client->Call(evaluate);
+        if (!evaluated.ok() ||
+            evaluated->Get("error") != learned->Get("training-error")) {
+          failures[c] = "evaluate mismatch in round " + std::to_string(round);
+          return;
+        }
+        Message query;
+        query.Set("op", "query");
+        query.Set("session", std::to_string(*session));
+        query.Set("sentence", "exists x. Red(x)");
+        StatusOr<Message> answered = client->Call(query);
+        if (!answered.ok() || answered->Get("result") != "true") {
+          failures[c] = "query mismatch in round " + std::to_string(round);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+}
+
+// Overload: with max_inflight=1 and one slow request holding the slot,
+// concurrent requests are shed with a healthy response — never a dropped
+// or hung connection.
+TEST_F(ServerTest, OverloadShedsInsteadOfHangingOrSevering) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  StartServer(std::move(options));
+  // The slow leg must reliably occupy the single slot while the quick
+  // client hammers: periodic labels prevent the zero-error early stop,
+  // so the learn scans all n^ell candidates at radius 2.
+  TestProblem slow_problem = MakeProblem(120, 11);
+  for (Vertex v = 0; v < 120; ++v) {
+    slow_problem.data[v].label = v % 7 < 3;
+  }
+  slow_problem.data_text = TrainingSetToText(slow_problem.data);
+  TestProblem quick_problem = MakeProblem(10, 12);
+
+  Client slow_client = MustConnect();
+  StatusOr<uint64_t> slow_session =
+      slow_client.LoadGraph(slow_problem.graph_text);
+  ASSERT_TRUE(slow_session.ok());
+  Client quick_client = MustConnect();
+  StatusOr<uint64_t> quick_session =
+      quick_client.LoadGraph(quick_problem.graph_text);
+  ASSERT_TRUE(quick_session.ok());
+
+  std::thread slow_thread([&] {
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", std::to_string(*slow_session));
+    learn.Set("data", slow_problem.data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "2");
+    learn.Set("ell", "1");
+    StatusOr<Message> response = slow_client.Call(learn);
+    EXPECT_TRUE(response.ok());
+  });
+
+  // Hammer the busy server; every response must arrive, and at least one
+  // must be shed while the slow learn occupies the only slot.
+  int shed = 0;
+  int answered = 0;
+  for (int i = 0; i < 50; ++i) {
+    Message query;
+    query.Set("op", "query");
+    query.Set("session", std::to_string(*quick_session));
+    query.Set("sentence", "exists x. Red(x)");
+    StatusOr<Message> response = quick_client.Call(query);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    const std::string status = response->Get("status");
+    ASSERT_TRUE(status == kStatusOk || status == kStatusShed) << status;
+    if (status == kStatusShed) {
+      ++shed;
+      EXPECT_EQ(ResponseExitCode(*response), 3);
+    } else {
+      ++answered;
+      EXPECT_EQ(response->Get("result"), "true");
+    }
+  }
+  slow_thread.join();
+  EXPECT_GT(shed, 0) << "answered=" << answered;
+  // Control-plane requests are admitted even under full load.
+  EXPECT_TRUE(quick_client.Ping().ok());
+  ServerStats stats = server_->Snapshot();
+  EXPECT_EQ(stats.shed, shed);
+}
+
+TEST_F(ServerTest, DeadlineDegradesToPartialNotFailure) {
+  ServerOptions options;
+  options.max_deadline_ms = 0;  // every substantive request trips at once
+  StartServer(std::move(options));
+  TestProblem problem = MakeProblem(30, 13);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  learn.Set("ell", "1");
+  StatusOr<Message> response = client.Call(learn);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Get("status"), kStatusPartial);
+  EXPECT_EQ(ResponseExitCode(*response), 3);
+  EXPECT_EQ(response->Get("run-status"), "deadline-exceeded");
+  // Best-so-far payload is still a loadable model.
+  EXPECT_TRUE(ParseHypothesis(response->Get("model")).ok());
+}
+
+TEST_F(ServerTest, WorkBudgetPartialIsDeterministic) {
+  StartServer(ServerOptions{});
+  TestProblem problem = MakeProblem(30, 17);
+  // Periodic labels admit no zero-error hypothesis, so the budget trips
+  // mid-scan rather than early-stopping.
+  TrainingSet hard;
+  for (Vertex v = 0; v < 30; ++v) hard.push_back({{v}, v % 7 < 3});
+  const std::string hard_text = TrainingSetToText(hard);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", hard_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  learn.Set("ell", "1");
+  learn.Set("max-work", "40");
+  StatusOr<Message> first = client.Call(learn);
+  StatusOr<Message> second = client.Call(learn);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->Get("status"), kStatusPartial);
+  EXPECT_EQ(first->Get("run-status"), "budget-exhausted");
+  EXPECT_EQ(first->Get("model"), second->Get("model"));
+  EXPECT_EQ(first->Get("work-used"), second->Get("work-used"));
+}
+
+TEST_F(ServerTest, MalformedInputsGetSysexitsStyleCodes) {
+  StartServer(ServerOptions{});
+  Client client = MustConnect();
+
+  Message bad_graph;
+  bad_graph.Set("op", "load-graph");
+  bad_graph.Set("graph", "graph zz\n");
+  StatusOr<Message> response = client.Call(bad_graph);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Get("status"), kStatusError);
+  EXPECT_EQ(ResponseExitCode(*response), 65);
+
+  Message unknown_op;
+  unknown_op.Set("op", "frobnicate");
+  response = client.Call(unknown_op);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 64);
+
+  Message unknown_session;
+  unknown_session.Set("op", "learn");
+  unknown_session.Set("session", "999");
+  unknown_session.Set("data", "examples 1\n+ 0\n");
+  response = client.Call(unknown_session);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 64);
+
+  // A vertex outside the session graph must be an error, not a CHECK.
+  TestProblem problem = MakeProblem(10, 19);
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  Message out_of_range;
+  out_of_range.Set("op", "learn");
+  out_of_range.Set("session", std::to_string(*session));
+  out_of_range.Set("data", "examples 1\n+ 5000\n");
+  response = client.Call(out_of_range);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Get("status"), kStatusError);
+  EXPECT_EQ(ResponseExitCode(*response), 65);
+
+  // Malformed numeric fields mirror the CLI's exit-64 flag audit.
+  Message bad_field;
+  bad_field.Set("op", "learn");
+  bad_field.Set("session", std::to_string(*session));
+  bad_field.Set("data", problem.data_text);
+  bad_field.Set("rank", "4x");
+  response = client.Call(bad_field);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 64);
+
+  // A query with a free variable is rejected, not CHECK-failed.
+  Message open_query;
+  open_query.Set("op", "query");
+  open_query.Set("session", std::to_string(*session));
+  open_query.Set("sentence", "Red(x)");
+  response = client.Call(open_query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 65);
+}
+
+TEST_F(ServerTest, ShutdownOpStopsTheServeLoop) {
+  StartServer(ServerOptions{});
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.RequestShutdown().ok());
+  serve_thread_.join();
+  // The socket file is gone; new connections fail cleanly.
+  StatusOr<Client> late = Client::Connect(server_->socket_path());
+  EXPECT_FALSE(late.ok());
+}
+
+}  // namespace
+}  // namespace folearn

@@ -11,6 +11,10 @@
 //
 // Graph files use graph/io.h's text format, datasets/models learn/model_io.h.
 
+#include <atomic>
+#include <cerrno>
+#include <climits>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -45,6 +49,33 @@
 namespace folearn {
 namespace {
 
+// Cooperative SIGINT/SIGTERM handling. The first signal requests governor
+// cancellation, so a governed search loop unwinds through its normal
+// best-so-far path — the partial model is emitted, a final checkpoint is
+// written when --checkpoint is set, and the process exits 3 — instead of
+// the default disposition discarding the whole frontier. A second signal
+// (a stuck loop, an impatient operator), or any signal while no governed
+// loop is running, falls through to the default disposition and kills the
+// process the ordinary way.
+std::atomic<bool> g_cancel_requested{false};
+volatile std::sig_atomic_t g_governed_loop_active = 0;
+
+extern "C" void HandleTerminationSignal(int sig) {
+  // Only lock-free atomic stores and sig-safe libc calls in here.
+  if (g_governed_loop_active != 0 &&
+      !g_cancel_requested.load(std::memory_order_relaxed)) {
+    g_cancel_requested.store(true, std::memory_order_relaxed);
+    return;
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void InstallSignalHandlers() {
+  std::signal(SIGINT, HandleTerminationSignal);
+  std::signal(SIGTERM, HandleTerminationSignal);
+}
+
 // Minimal --flag value parser: flags may appear in any order, each at most
 // once (a repeated flag is almost always a typo'd invocation, and silently
 // keeping one of the two values hides it).
@@ -75,8 +106,15 @@ class Args {
     return it == values_.end() ? fallback : it->second;
   }
 
+  // Narrowing accessor: a syntactically valid integer outside int range
+  // (e.g. --threads 4294967297, which a blind cast would silently truncate
+  // to 1) is as much a usage error as garbage text, and exits 64 too.
   int GetInt(const std::string& key, int fallback) const {
-    return static_cast<int>(GetInt64(key, fallback));
+    int64_t value = GetInt64(key, fallback);
+    if (value < INT_MIN || value > INT_MAX) {
+      DieInvalidValue(key, values_.find(key)->second);
+    }
+    return static_cast<int>(value);
   }
 
   int64_t GetInt64(const std::string& key, int64_t fallback) const {
@@ -85,6 +123,8 @@ class Args {
     try {
       size_t pos = 0;
       int64_t value = std::stoll(it->second, &pos);
+      // Trailing garbage ("4x") and embedded whitespace are rejected, as
+      // is anything std::stoll itself refuses (empty, overflow, text).
       if (pos != it->second.size()) throw std::invalid_argument(key);
       return value;
     } catch (const std::exception&) {
@@ -141,11 +181,16 @@ class Args {
 // (1) and from mc's "sentence is false" (2).
 constexpr int kExitDegraded = 3;
 
-// Builds the optional governor from --timeout-ms / --max-work. Returns
-// false (after printing an error) on invalid values; leaves `governor`
-// empty when neither flag is given.
+// Builds the optional governor from --timeout-ms / --max-work, wired to
+// the signal-driven cancellation flag. Returns false (after printing an
+// error) on invalid values. With `always` set a limitless governor is
+// created even when neither flag is given, so Ctrl-C can still cancel the
+// search cooperatively (learn uses this: its loops never route evaluation
+// through the governed slow lane, so an idle governor costs nothing but
+// checkpoint counting).
 bool MakeGovernor(const Args& args,
-                  std::optional<ResourceGovernor>& governor) {
+                  std::optional<ResourceGovernor>& governor,
+                  bool always = false) {
   int64_t timeout_ms = args.GetInt64("timeout-ms", kNoLimit);
   int64_t max_work = args.GetInt64("max-work", kNoLimit);
   if (timeout_ms != kNoLimit && timeout_ms < 0) {
@@ -156,9 +201,35 @@ bool MakeGovernor(const Args& args,
     std::fprintf(stderr, "--max-work must be positive\n");
     return false;
   }
-  if (timeout_ms == kNoLimit && max_work == kNoLimit) return true;
-  governor.emplace(GovernorLimits{timeout_ms, max_work});
+  if (!always && timeout_ms == kNoLimit && max_work == kNoLimit) return true;
+  governor.emplace(GovernorLimits{timeout_ms, max_work},
+                   &g_cancel_requested);
+  g_governed_loop_active = 1;
   return true;
+}
+
+// --cache-bytes must be a non-negative byte count; absent means unbounded.
+// The historical "-1 = unbounded" sentinel is no longer accepted from the
+// command line — a negative budget is always a typo, not a request.
+int64_t GetCacheBytes(const Args& args) {
+  if (!args.Has("cache-bytes")) return BallCache::kNoBudget;
+  int64_t bytes = args.GetInt64("cache-bytes", BallCache::kNoBudget);
+  if (bytes < 0) {
+    std::fprintf(stderr, "--cache-bytes must be >= 0\n");
+    std::exit(64);
+  }
+  return bytes;
+}
+
+// A non-negative small-int flag (rank, ell, ...): negative values would
+// CHECK-fail deep inside the library — reject them at the boundary.
+int GetNonNegativeInt(const Args& args, const char* key, int fallback) {
+  int value = args.GetInt(key, fallback);
+  if (value < 0) {
+    std::fprintf(stderr, "--%s must be >= 0\n", key);
+    std::exit(64);
+  }
+  return value;
 }
 
 // Parses --eval interpreted|compiled (default compiled) into
@@ -238,6 +309,10 @@ TrainingSet LoadData(const Args& args) {
 int CmdGenerate(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
   int n = args.GetInt("n", 50);
+  if (n < 1) {
+    std::fprintf(stderr, "--n must be >= 1\n");
+    return 64;
+  }
   std::string family = args.Get("family", "tree");
   Graph graph(0);
   if (family == "tree") {
@@ -251,30 +326,60 @@ int CmdGenerate(const Args& args) {
     while (side * side < n) ++side;
     graph = MakeGrid(side, side);
   } else if (family == "bounded-degree") {
-    graph = MakeBoundedDegree(n, args.GetInt("degree", 4), 3 * n / 2, rng);
+    graph = MakeBoundedDegree(n, GetNonNegativeInt(args, "degree", 4),
+                              3 * n / 2, rng);
   } else if (family == "er") {
-    graph = MakeErdosRenyi(n, args.GetDouble("p", 2.0 / n), rng);
+    double p = args.GetDouble("p", 2.0 / n);
+    if (!(p >= 0.0) || p > 1.0) {
+      std::fprintf(stderr, "--p must be a probability in [0, 1]\n");
+      return 64;
+    }
+    graph = MakeErdosRenyi(n, p, rng);
   } else if (family == "star") {
     graph = MakeStar(std::max(n - 1, 1));
   } else if (family == "pa") {
-    graph = MakePreferentialAttachment(n, args.GetInt("attach", 1), rng);
+    int attach = args.GetInt("attach", 1);
+    if (attach < 1) {
+      std::fprintf(stderr, "--attach must be >= 1\n");
+      return 64;
+    }
+    graph = MakePreferentialAttachment(n, attach, rng);
   } else {
     std::fprintf(stderr,
                  "unknown family '%s' (tree|path|cycle|grid|"
                  "bounded-degree|er|star|pa)\n",
                  family.c_str());
-    return 1;
+    return 64;
   }
-  // --color Name:prob, repeatable via comma.
+  // --color Name:prob, repeatable via comma. The probability is parsed
+  // with full validation (garbage like "Red:abc" or an out-of-range value
+  // is a usage error, not an uncaught std::stod exception).
   if (args.Has("color")) {
     for (const std::string& spec : Split(args.Get("color"), ',')) {
       std::vector<std::string> parts = Split(spec, ':');
-      if (parts.size() != 2) {
+      if (parts.size() != 2 || parts[0].empty()) {
         std::fprintf(stderr, "bad --color spec '%s' (Name:prob)\n",
                      spec.c_str());
-        return 1;
+        return 64;
       }
-      AddRandomColors(graph, {parts[0]}, std::stod(parts[1]), rng);
+      double prob = 0.0;
+      try {
+        size_t pos = 0;
+        prob = std::stod(parts[1], &pos);
+        if (pos != parts[1].size()) throw std::invalid_argument(spec);
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "bad --color probability '%s' in spec '%s'\n",
+                     parts[1].c_str(), spec.c_str());
+        return 64;
+      }
+      if (!(prob >= 0.0) || prob > 1.0) {
+        std::fprintf(stderr,
+                     "--color probability must be in [0, 1], got '%s'\n",
+                     parts[1].c_str());
+        return 64;
+      }
+      AddRandomColors(graph, {parts[0]}, prob, rng);
     }
   }
   std::string text = ToText(graph);
@@ -327,14 +432,22 @@ int CmdLearn(const Args& args, ResourceGovernor* governor) {
   }
 
   ErmOptions options;
-  options.rank = args.GetInt("rank", 1);
+  options.rank = GetNonNegativeInt(args, "rank", 1);
   options.radius = args.GetInt("radius", -1);
+  if (options.radius < -1) {
+    std::fprintf(stderr, "--radius must be >= 0 (or -1 for automatic)\n");
+    return 64;
+  }
   options.governor = governor;
   options.threads = GetThreads(args);
-  options.cache_bytes = args.GetInt64("cache-bytes", BallCache::kNoBudget);
-  int ell = args.GetInt("ell", 0);
+  options.cache_bytes = GetCacheBytes(args);
+  int ell = GetNonNegativeInt(args, "ell", 0);
   std::string learner = args.Get("learner", "brute");
   double epsilon = args.GetDouble("epsilon", 0.2);
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    std::fprintf(stderr, "--epsilon must be in (0, 1)\n");
+    return 64;
+  }
   if (learner != "brute" && learner != "sublinear" && learner != "nd") {
     std::fprintf(stderr, "unknown learner '%s' (brute|sublinear|nd)\n",
                  learner.c_str());
@@ -436,7 +549,7 @@ int CmdEval(const Args& args, ResourceGovernor* governor) {
   EvalOptions eval_options;
   eval_options.governor = governor;
   eval_options.force_interpreter = GetForceInterpreter(args);
-  eval_options.cache_bytes = args.GetInt64("cache-bytes", -1);
+  eval_options.cache_bytes = GetCacheBytes(args);
   double err = TrainingError(graph, *hypothesis, data, eval_options);
   std::printf("error: %.4f on %zu examples\n", err, data.size());
   if (GovernorInterrupted(governor)) {
@@ -472,7 +585,7 @@ int CmdMc(const Args& args, ResourceGovernor* governor) {
     EvalOptions eval_options;
     eval_options.governor = governor;
     eval_options.force_interpreter = GetForceInterpreter(args);
-    eval_options.cache_bytes = args.GetInt64("cache-bytes", -1);
+    eval_options.cache_bytes = GetCacheBytes(args);
     value = EvaluateSentence(graph, *sentence, eval_options);
   }
   if (GovernorInterrupted(governor)) {
@@ -534,9 +647,11 @@ int Usage() {
       "eval and mc also accept [--eval interpreted|compiled] (default\n"
       "compiled; results are identical, interpreted is the reference\n"
       "oracle); a run cut short by a limit emits its best-so-far result\n"
-      "and exits 3. learn --checkpoint persists the search frontier so a\n"
-      "killed run can be continued with --resume (byte-identical result\n"
-      "to an uninterrupted run, for any --threads). exit codes: 64 usage,\n"
+      "and exits 3; SIGINT/SIGTERM take the same path (best-so-far model\n"
+      "+ final checkpoint, exit 3). learn --checkpoint persists the\n"
+      "search frontier so a killed run can be continued with --resume\n"
+      "(byte-identical result to an uninterrupted run, for any\n"
+      "--threads). exit codes: 64 usage,\n"
       "65 corrupt/malformed input, 66 missing input file, 70 injected\n"
       "crash (--crash-at-save, tests only)\n");
   return 64;
@@ -582,17 +697,29 @@ int Main(int argc, char** argv) {
     return 64;
   }
 
+  InstallSignalHandlers();
+
+  // learn always runs governed (possibly limitless) so SIGINT/SIGTERM can
+  // cancel the scan cooperatively — best-so-far model, final checkpoint,
+  // exit 3. eval/mc attach the governor only when limits were requested,
+  // because a governor's mere presence routes formula evaluation through
+  // the slower mirrored lane; an ungoverned eval/mc dies on the signal's
+  // default disposition instead.
   std::optional<ResourceGovernor> governor;
-  if (!MakeGovernor(args, governor)) return 64;
+  if (!MakeGovernor(args, governor, /*always=*/command == "learn")) {
+    return 64;
+  }
   ResourceGovernor* gov = governor.has_value() ? &*governor : nullptr;
 
   // generate and profile run no governed search loops; the limits are
   // accepted for interface uniformity but cannot trip there.
-  if (command == "generate") return CmdGenerate(args);
+  if (command == "generate" || command == "profile") {
+    g_governed_loop_active = 0;  // Ctrl-C kills these the normal way
+    return command == "generate" ? CmdGenerate(args) : CmdProfile(args);
+  }
   if (command == "learn") return CmdLearn(args, gov);
   if (command == "eval") return CmdEval(args, gov);
-  if (command == "mc") return CmdMc(args, gov);
-  return CmdProfile(args);
+  return CmdMc(args, gov);
 }
 
 }  // namespace

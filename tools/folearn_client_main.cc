@@ -1,0 +1,134 @@
+// folearn_client: command-line client for the folearnd daemon.
+//
+//   folearn_client --socket <path> <op> [--field value]... [--*-file path]...
+//
+// The op becomes the request's "op" field and every --key value pair a
+// request field. Flags ending in "-file" read the named file and send its
+// contents under the key without the suffix, so the existing text formats
+// flow straight from disk to the daemon:
+//
+//   folearn_client --socket S load-graph --graph-file g.txt
+//   folearn_client --socket S learn --session 1 --data-file d.txt --rank 1
+//   folearn_client --socket S query --session 1 --sentence "exists x. Red(x)"
+//   folearn_client --socket S stats
+//   folearn_client --socket S shutdown
+//
+// Response fields print one per line as "key: value" (large payload
+// fields — model, graph — print to stdout verbatim with --out -, or are
+// written to the path given by --out). Exit code: 0 for status=ok, 3 for
+// partial/shed, the response "code" (64/65/66) for errors, 1 for
+// transport failures.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "util/checkpoint.h"
+#include "util/status.h"
+
+namespace folearn {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: folearn_client --socket <path> <op> [--field value]...\n"
+      "  ops: ping load-graph close-session learn evaluate query stats\n"
+      "       shutdown\n"
+      "  --<key>-file <path> sends the file contents as field <key>;\n"
+      "  --out <path> writes the response's model/payload field there\n"
+      "  (default: print all fields).\n");
+  return 64;
+}
+
+int Main(int argc, char** argv) {
+  std::string socket_path;
+  std::string op;
+  std::string out_path;
+  Message request;
+  std::vector<std::pair<std::string, std::string>> raw_flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag '%s' is missing its value\n", arg.c_str());
+        return 64;
+      }
+      raw_flags.emplace_back(arg.substr(2), argv[i + 1]);
+      ++i;
+    } else if (op.empty()) {
+      op = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return 64;
+    }
+  }
+  if (op.empty()) return Usage();
+  request.Set("op", op);
+  for (const auto& [key, value] : raw_flags) {
+    if (key == "socket") {
+      socket_path = value;
+    } else if (key == "out") {
+      out_path = value;
+    } else if (key.size() > 5 && key.rfind("-file") == key.size() - 5) {
+      StatusOr<std::string> contents = ReadFileToString(value);
+      if (!contents.ok()) {
+        std::fprintf(stderr, "%s\n", contents.status().message().c_str());
+        return StatusExitCode(contents.status());
+      }
+      request.Set(key.substr(0, key.size() - 5), *contents);
+    } else {
+      request.Set(key, value);
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "missing --socket <path>\n");
+    return 64;
+  }
+
+  StatusOr<Client> client = Client::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().message().c_str());
+    return 1;
+  }
+  StatusOr<Message> response = client->Call(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().message().c_str());
+    return 1;
+  }
+
+  // Large payloads (model text) go to --out; everything else prints as
+  // key: value lines, status metadata to stderr so pipelines stay clean.
+  // "error" is the diagnostic message on status=error, but a payload (the
+  // evaluated error fraction) on ok/partial responses — route accordingly.
+  const bool failed = response->Get("status") == kStatusError;
+  for (const auto& [key, value] : response->fields) {
+    if (key == "model" && !out_path.empty()) {
+      if (out_path == "-") {
+        std::fputs(value.c_str(), stdout);
+      } else {
+        std::ofstream out(out_path);
+        if (!out || !(out << value)) {
+          std::fprintf(stderr, "cannot write '%s'\n", out_path.c_str());
+          return 1;
+        }
+      }
+      continue;
+    }
+    if (key == "status" || key == "code" || key == "run-status" ||
+        (key == "error" && failed)) {
+      std::fprintf(stderr, "%s: %s\n", key.c_str(), value.c_str());
+    } else {
+      std::printf("%s: %s\n", key.c_str(), value.c_str());
+    }
+  }
+  return ResponseExitCode(*response);
+}
+
+}  // namespace
+}  // namespace folearn
+
+int main(int argc, char** argv) { return folearn::Main(argc, argv); }

@@ -1,0 +1,148 @@
+// folearnd: the long-lived folearn daemon. Loads graphs once per session
+// and serves learn / evaluate / query requests over a local stream socket
+// with warm type registries, ball caches, and compiled-plan memos (see
+// src/server/server.h for the protocol and concurrency model).
+//
+//   folearnd --socket /tmp/folearnd.sock [--max-inflight 8]
+//            [--max-deadline-ms N] [--max-work N]
+//            [--cache-bytes N] [--plan-cache-bytes N]
+//
+// SIGINT/SIGTERM stop the daemon gracefully: in-flight requests finish,
+// connections drain, the socket file is removed. Exit codes follow the
+// CLI conventions: 0 clean, 64 usage, 1 environment failure.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "server/server.h"
+#include "util/status.h"
+
+namespace folearn {
+namespace {
+
+Server* g_server = nullptr;
+
+extern "C" void HandleTerminationSignal(int sig) {
+  (void)sig;
+  if (g_server != nullptr) g_server->Shutdown();  // one write(2): safe
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: folearnd --socket <path> [--max-inflight N]\n"
+      "                [--max-deadline-ms N] [--max-work N]\n"
+      "                [--cache-bytes N] [--plan-cache-bytes N]\n"
+      "\n"
+      "Serves folearn learn/evaluate/query requests on a local socket.\n"
+      "--max-inflight caps concurrently executing requests (excess is\n"
+      "shed, not queued); --max-deadline-ms/--max-work cap per-request\n"
+      "governor limits; --cache-bytes budgets each session's ball cache\n"
+      "and --plan-cache-bytes the shared compiled-plan cache.\n");
+  return 64;
+}
+
+// Minimal --key value parser (same conventions as folearn_cli: each flag
+// at most once, malformed numbers exit 64).
+int64_t ParseInt64(const std::string& key, const std::string& value) {
+  try {
+    size_t pos = 0;
+    int64_t parsed = std::stoll(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "invalid value '%s' for flag '--%s'\n",
+                 value.c_str(), key.c_str());
+    std::exit(64);
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.size() < 3 || key[0] != '-' || key[1] != '-') return Usage();
+    if (!flags.emplace(key.substr(2), argv[i + 1]).second) {
+      std::fprintf(stderr, "duplicate flag '%s'\n", key.c_str());
+      return 64;
+    }
+  }
+  if ((argc - 1) % 2 != 0) return Usage();
+  for (const auto& [key, value] : flags) {
+    (void)value;
+    if (key != "socket" && key != "max-inflight" &&
+        key != "max-deadline-ms" && key != "max-work" &&
+        key != "cache-bytes" && key != "plan-cache-bytes") {
+      std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
+      return 64;
+    }
+  }
+  if (flags.count("socket") == 0) return Usage();
+
+  ServerOptions options;
+  options.socket_path = flags["socket"];
+  if (flags.count("max-inflight") != 0) {
+    int64_t n = ParseInt64("max-inflight", flags["max-inflight"]);
+    if (n < 1) {
+      std::fprintf(stderr, "--max-inflight must be >= 1\n");
+      return 64;
+    }
+    options.max_inflight = static_cast<int>(n);
+  }
+  if (flags.count("max-deadline-ms") != 0) {
+    options.max_deadline_ms =
+        ParseInt64("max-deadline-ms", flags["max-deadline-ms"]);
+    if (options.max_deadline_ms < 0) {
+      std::fprintf(stderr, "--max-deadline-ms must be >= 0\n");
+      return 64;
+    }
+  }
+  if (flags.count("max-work") != 0) {
+    options.max_work = ParseInt64("max-work", flags["max-work"]);
+    if (options.max_work <= 0) {
+      std::fprintf(stderr, "--max-work must be positive\n");
+      return 64;
+    }
+  }
+  if (flags.count("cache-bytes") != 0) {
+    options.ball_cache_bytes = ParseInt64("cache-bytes", flags["cache-bytes"]);
+    if (options.ball_cache_bytes < 0) {
+      std::fprintf(stderr, "--cache-bytes must be >= 0\n");
+      return 64;
+    }
+  }
+  if (flags.count("plan-cache-bytes") != 0) {
+    options.plan_cache_bytes =
+        ParseInt64("plan-cache-bytes", flags["plan-cache-bytes"]);
+    if (options.plan_cache_bytes < 0) {
+      std::fprintf(stderr, "--plan-cache-bytes must be >= 0\n");
+      return 64;
+    }
+  }
+
+  Server server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "folearnd: %s\n", started.message().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleTerminationSignal);
+  std::signal(SIGTERM, HandleTerminationSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::fprintf(stderr, "folearnd: listening on %s\n",
+               server.socket_path().c_str());
+  server.Serve();
+  g_server = nullptr;
+  std::fprintf(stderr, "folearnd: shut down cleanly\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace folearn
+
+int main(int argc, char** argv) { return folearn::Main(argc, argv); }

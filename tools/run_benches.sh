@@ -7,6 +7,9 @@
 #   output.json aggregated report (default: BENCH_parallel.json in the
 #               repo root)
 #
+# bench_server measures the folearnd daemon rather than the batch paths;
+# its records are split out into BENCH_server.json next to output.json.
+#
 # Compare mode: tools/run_benches.sh --compare baseline.json other.json
 #   joins two aggregated reports on (bench, config) and prints a per-row
 #   speedup table (baseline_ms / other_ms > 1 means `other` is faster).
@@ -64,6 +67,7 @@ if [ "${1:-}" = "--compare" ]; then
 fi
 build_dir=${1:-"$repo_root/build"}
 out=${2:-"$repo_root/BENCH_parallel.json"}
+server_out=$(dirname "$out")/BENCH_server.json
 
 if [ ! -d "$build_dir" ]; then
   echo "run_benches.sh: build dir '$build_dir' not found" >&2
@@ -117,26 +121,45 @@ if [ "$ran" -eq 0 ]; then
 fi
 
 # JSONL -> one JSON array. Pure shell: join all record lines with commas.
-{
-  printf '[\n'
-  first=1
-  for jsonl in "$tmpdir"/*.jsonl; do
-    [ -f "$jsonl" ] || continue
-    while IFS= read -r line; do
-      [ -n "$line" ] || continue
-      if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
-      printf '  %s' "$line"
-    done < "$jsonl"
-  done
-  printf '\n]\n'
-} > "$out"
+write_array() {
+  target=$1
+  shift
+  {
+    printf '[\n'
+    first=1
+    for jsonl in "$@"; do
+      [ -f "$jsonl" ] || continue
+      while IFS= read -r line; do
+        [ -n "$line" ] || continue
+        if [ "$first" -eq 1 ]; then first=0; else printf ',\n'; fi
+        printf '  %s' "$line"
+      done < "$jsonl"
+    done
+    printf '\n]\n'
+  } > "$target"
+  # The array must open, close, and hold at least one record.
+  if ! head -1 "$target" | grep -q '^\[' \
+      || ! tail -1 "$target" | grep -q '^\]' \
+      || ! grep -q '"bench"' "$target"; then
+    echo "run_benches.sh: aggregate $target is not a JSON array" >&2
+    exit 1
+  fi
+}
 
-# Final sanity pass over the aggregate: the array must open, close, and
-# contain exactly the validated record count.
-records=$(grep -c '"bench"' "$out" || true)
-if ! head -1 "$out" | grep -q '^\[' || ! tail -1 "$out" | grep -q '^\]'; then
-  echo "run_benches.sh: aggregate $out is not a JSON array" >&2
-  exit 1
+# The daemon report is split from the batch report (tmpdir paths come
+# from mktemp, so the unquoted list is safe).
+main_files=""
+for jsonl in "$tmpdir"/*.jsonl; do
+  [ -f "$jsonl" ] || continue
+  case $(basename "$jsonl") in
+    bench_server.jsonl) continue ;;
+  esac
+  main_files="$main_files $jsonl"
+done
+write_array "$out" $main_files
+echo "wrote $out ($ran benches, $(grep -c '"bench"' "$out") records)"
+
+if [ -f "$tmpdir/bench_server.jsonl" ]; then
+  write_array "$server_out" "$tmpdir/bench_server.jsonl"
+  echo "wrote $server_out ($(grep -c '"bench"' "$server_out") records)"
 fi
-
-echo "wrote $out ($ran benches, $records records)"
