@@ -8,11 +8,17 @@
 //     mutable but the internally-locked plan cache);
 //   * overload: more concurrent learns than max-inflight slots — every
 //     extra request must get a status=shed response on a healthy
-//     connection, never a hang or a severed one.
+//     connection, never a hang or a severed one;
+//   * handle-based evaluate vs shipping the full hypothesis text — the
+//     registered-model path must be measurably cheaper at p50 (it skips
+//     the per-request model parse and the model bytes on the wire);
+//   * recovery: journaled sessions re-indexed at startup and lazily
+//     re-warmed on first use, against the steady-state warm path.
 
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -376,6 +382,186 @@ int BenchOverload(const Problem& problem, BenchJsonWriter& json) {
   return 0;
 }
 
+// Evaluate by model handle vs by shipped hypothesis text, same session,
+// same data. The handle path skips the per-request ParseHypothesis and
+// keeps the model bytes off the wire; its p50 must come in below the
+// full-text path (the re-parse BENCH p50 was dominated by).
+int BenchHandleEvaluate(const Problem& problem, BenchJsonWriter& json) {
+  ServerHarness harness((ServerOptions()));
+  Client client = harness.Connect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  if (!session.ok()) return 1;
+  StatusOr<Message> learned = client.Call(LearnRequest(*session, problem));
+  if (!learned.ok() || learned->Get("status") != kStatusOk) return 1;
+  const std::string model = learned->Get("model");
+  const std::string model_id = learned->Get("model-id");
+
+  // A handful of examples: the evaluation itself is nearly free, so the
+  // measured gap is the cost the handle path removes — re-parsing the
+  // hypothesis on every request and shipping its bytes over the wire.
+  TrainingSet tiny;
+  for (Vertex v = 0; v < 4; ++v) tiny.push_back({{v}, v % 2 == 0});
+  const std::string tiny_data = TrainingSetToText(tiny);
+
+  Message by_text;
+  by_text.Set("op", "evaluate");
+  by_text.Set("session", std::to_string(*session));
+  by_text.Set("model", model);
+  by_text.Set("data", tiny_data);
+  Message by_handle;
+  by_handle.Set("op", "evaluate");
+  by_handle.Set("session", std::to_string(*session));
+  by_handle.Set("model-id", model_id);
+  by_handle.Set("data", tiny_data);
+
+  // Prime both paths (plan cache, session memo), then measure.
+  for (const Message* request : {&by_text, &by_handle}) {
+    StatusOr<Message> primed = client.Call(*request);
+    if (!primed.ok() || primed->Get("status") != kStatusOk) return 1;
+  }
+  const int kReps = 60;
+  std::vector<double> text_ms;
+  std::vector<double> handle_ms;
+  std::string text_error;
+  std::string handle_error;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch text_watch;
+    StatusOr<Message> text_response = client.Call(by_text);
+    text_ms.push_back(text_watch.ElapsedMillis());
+    if (!text_response.ok()) return 1;
+    text_error = text_response->Get("error");
+    Stopwatch handle_watch;
+    StatusOr<Message> handle_response = client.Call(by_handle);
+    handle_ms.push_back(handle_watch.ElapsedMillis());
+    if (!handle_response.ok()) return 1;
+    handle_error = handle_response->Get("error");
+  }
+  if (text_error != handle_error) {
+    std::printf("VIOLATION: handle evaluate disagrees with full text!\n");
+    return 1;
+  }
+  std::sort(text_ms.begin(), text_ms.end());
+  std::sort(handle_ms.begin(), handle_ms.end());
+  const double text_p50 = Percentile(text_ms, 50.0);
+  const double handle_p50 = Percentile(handle_ms, 50.0);
+
+  std::printf("\nevaluate: model handle vs full hypothesis text "
+              "(n = %d, %zu examples, %d reps):\n\n",
+              problem.n, tiny.size(), kReps);
+  Table table({"path", "p50 ms", "p99 ms"});
+  table.AddRow({"full text", FormatDouble(text_p50, 4),
+                FormatDouble(Percentile(text_ms, 99.0), 4)});
+  table.AddRow({"model-id", FormatDouble(handle_p50, 4),
+                FormatDouble(Percentile(handle_ms, 99.0), 4)});
+  table.Print();
+
+  std::string config = "n=" + std::to_string(problem.n);
+  json.Record("server/evaluate_fulltext_p50", config, text_p50, 1);
+  json.Record("server/evaluate_handle_p50", config, handle_p50, 1);
+  if (handle_p50 >= text_p50) {
+    std::printf("VIOLATION: handle evaluate p50 (%.4f ms) is not below "
+                "the full-text path (%.4f ms)!\n", handle_p50, text_p50);
+    return 1;
+  }
+  return 0;
+}
+
+// Restart cost with a journaled state dir: Start() re-indexes every
+// session without parsing anything, the first request on a recovered
+// session pays the lazy re-warm (graph + model parse), and the second is
+// back on the steady-state warm path.
+int BenchRecovery(const Problem& problem, BenchJsonWriter& json) {
+  const std::string state_dir =
+      "/tmp/folearn_bench_server_state_" + std::to_string(::getpid());
+  std::string scrub = "rm -rf '" + state_dir + "'";
+  if (std::system(scrub.c_str()) != 0) return 1;
+  ServerOptions options;
+  options.state_dir = state_dir;
+
+  const int kSessions = 8;
+  std::string model;
+  std::string model_id;
+  uint64_t first_session = 0;
+  {
+    ServerHarness harness(options);
+    Client client = harness.Connect();
+    for (int s = 0; s < kSessions; ++s) {
+      StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+      if (!session.ok()) return 1;
+      if (s == 0) first_session = *session;
+      StatusOr<Message> learned =
+          client.Call(LearnRequest(*session, problem));
+      if (!learned.ok() || learned->Get("status") != kStatusOk) return 1;
+      if (s == 0) {
+        model = learned->Get("model");
+        model_id = learned->Get("model-id");
+      }
+    }
+  }  // clean shutdown; every session lives only in the journal now
+
+  options.socket_path = UniqueSocketPath();
+  ServerOptions restart_options = options;
+  Server server(std::move(restart_options));
+  Stopwatch start_watch;
+  if (!server.Start().ok()) return 1;
+  const double start_ms = start_watch.ElapsedMillis();
+  std::thread serve([&server] { server.Serve(); });
+  StatusOr<Client> client = Client::Connect(server.socket_path());
+  if (!client.ok()) return 1;
+
+  // Tiny evaluation payload: the delta between the first and second
+  // request is then the lazy re-warm itself (journal read, graph parse,
+  // model parse), not the evaluation work.
+  TrainingSet tiny;
+  for (Vertex v = 0; v < 4; ++v) tiny.push_back({{v}, v % 2 == 0});
+  Message evaluate;
+  evaluate.Set("op", "evaluate");
+  evaluate.Set("session", std::to_string(first_session));
+  evaluate.Set("model-id", model_id);
+  evaluate.Set("data", TrainingSetToText(tiny));
+  Stopwatch first_watch;
+  StatusOr<Message> first = client->Call(evaluate);
+  const double first_ms = first_watch.ElapsedMillis();
+  if (!first.ok() || first->Get("status") != kStatusOk) return 1;
+  Stopwatch warm_watch;
+  StatusOr<Message> warm = client->Call(evaluate);
+  const double warm_ms = warm_watch.ElapsedMillis();
+  if (!warm.ok() || warm->Get("status") != kStatusOk) return 1;
+
+  // Recovery must be complete and byte-faithful before it is fast.
+  Message get;
+  get.Set("op", "get-model");
+  get.Set("session", std::to_string(first_session));
+  get.Set("model-id", model_id);
+  StatusOr<Message> fetched = client->Call(get);
+  ServerStats stats = server.Snapshot();
+  server.Shutdown();
+  serve.join();
+  if (std::system(scrub.c_str()) != 0) return 1;
+  if (!fetched.ok() || fetched->Get("model") != model) {
+    std::printf("VIOLATION: recovered model is not byte-identical!\n");
+    return 1;
+  }
+  if (stats.sessions_recovered != kSessions) {
+    std::printf("VIOLATION: recovered %lld of %d journaled sessions!\n",
+                static_cast<long long>(stats.sessions_recovered),
+                kSessions);
+    return 1;
+  }
+
+  std::printf("\nrecovery (%d journaled sessions, n = %d): "
+              "start %.3f ms, first evaluate (re-warm) %.3f ms, "
+              "steady-state %.3f ms\n",
+              kSessions, problem.n, start_ms, first_ms, warm_ms);
+  std::string config =
+      "sessions=" + std::to_string(kSessions) + " n=" +
+      std::to_string(problem.n);
+  json.Record("server/recovery_start", config, start_ms, kSessions);
+  json.Record("server/recovery_first_evaluate", config, first_ms, 1);
+  json.Record("server/recovery_warm_evaluate", config, warm_ms, 1);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -385,5 +571,7 @@ int main(int argc, char** argv) {
   Problem problem = MakeProblem(120, 2024);
   if (int rc = BenchColdVsWarm(problem, json); rc != 0) return rc;
   if (int rc = BenchThroughput(problem, json); rc != 0) return rc;
-  return BenchOverload(problem, json);
+  if (int rc = BenchOverload(problem, json); rc != 0) return rc;
+  if (int rc = BenchHandleEvaluate(problem, json); rc != 0) return rc;
+  return BenchRecovery(problem, json);
 }

@@ -4,18 +4,20 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace folearn {
 
 StatusOr<Client> Client::Connect(const std::string& socket_path) {
+  Status path_ok = ValidateSocketPath(socket_path);
+  if (!path_ok.ok()) return path_ok;
   sockaddr_un addr{};
-  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
-    return InvalidArgumentError("bad socket path: '" + socket_path + "'");
-  }
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return UnavailableError(std::string("socket failed: ") +
@@ -108,6 +110,69 @@ Status Client::RequestShutdown() {
   StatusOr<Message> response = Call(request);
   if (!response.ok()) return response.status();
   return OkStatus();
+}
+
+bool IsRetryableTransportFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+bool IsRetryableResponse(const Message& response) {
+  return response.Get("status") == kStatusShed;
+}
+
+RetryingClient::RetryingClient(std::string socket_path, RetryPolicy policy)
+    : socket_path_(std::move(socket_path)),
+      policy_(policy),
+      rng_(policy.jitter_seed) {}
+
+Status RetryingClient::EnsureConnected() {
+  if (client_.has_value()) return OkStatus();
+  StatusOr<Client> connected = Client::Connect(socket_path_);
+  if (!connected.ok()) return connected.status();
+  client_.emplace(*std::move(connected));
+  return OkStatus();
+}
+
+StatusOr<Message> RetryingClient::Call(const Message& request) {
+  Status last = OkStatus();
+  last_attempts_ = 0;
+  for (int attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Capped exponential backoff with uniform jitter on top.
+      int64_t backoff = policy_.backoff_ms;
+      for (int i = 1; i < attempt; ++i) {
+        backoff = std::min(backoff * 2, policy_.max_backoff_ms);
+      }
+      backoff = std::min(backoff, policy_.max_backoff_ms);
+      if (backoff > 0) backoff += rng_.UniformInt(0, backoff - 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    ++last_attempts_;
+    Status connected = EnsureConnected();
+    if (!connected.ok()) {
+      last = connected;
+      if (!IsRetryableTransportFailure(last) || !policy_.reconnect) {
+        return last;
+      }
+      continue;
+    }
+    StatusOr<Message> response = client_->Call(request);
+    if (response.ok()) {
+      if (!IsRetryableResponse(*response) ||
+          attempt == policy_.max_retries) {
+        return response;
+      }
+      last = UnavailableError("request shed by the server");
+      continue;  // shed: same healthy connection, just backed off
+    }
+    last = response.status();
+    if (!IsRetryableTransportFailure(last)) return last;
+    // Transport died mid-request: the connection is unusable either way;
+    // drop it, and re-dial on the next attempt if the policy allows.
+    client_.reset();
+    if (!policy_.reconnect) return last;
+  }
+  return last;
 }
 
 int ResponseExitCode(const Message& response) {

@@ -1,6 +1,7 @@
 #include "server/protocol.h"
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -127,6 +128,22 @@ StatusOr<Message> DecodeMessage(std::string_view payload) {
     return DataLossError("frame payload has trailing bytes");
   }
   return message;
+}
+
+Status ValidateSocketPath(const std::string& path) {
+  if (path.empty()) {
+    return InvalidArgumentError("socket path must not be empty");
+  }
+  // One byte of sun_path is the NUL terminator.
+  constexpr size_t kMax = sizeof(sockaddr_un{}.sun_path) - 1;
+  if (path.size() > kMax) {
+    return InvalidArgumentError(
+        "socket path is " + std::to_string(path.size()) +
+        " bytes; unix socket paths on this platform hold at most " +
+        std::to_string(kMax) +
+        " (binding would silently truncate): " + path);
+  }
+  return OkStatus();
 }
 
 Status WriteFrame(int fd, const Message& message) {

@@ -68,6 +68,12 @@ struct Message {
 std::string EncodeMessage(const Message& message);
 StatusOr<Message> DecodeMessage(std::string_view payload);
 
+// Validates a unix socket path against sockaddr_un::sun_path capacity.
+// kInvalidArgument (CLI exit-code analogue 64) with a diagnostic naming
+// the limit for empty or over-long paths; binding an over-long path would
+// otherwise silently truncate it.
+Status ValidateSocketPath(const std::string& path);
+
 // Blocking frame transfer over a connected stream socket fd. Both retry
 // EINTR and short transfers. ReadFrame distinguishes a clean close at a
 // frame boundary (kNotFound, the normal end of a connection) from a close

@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <map>
 #include <optional>
 #include <stdexcept>
 #include <utility>
@@ -27,8 +30,8 @@ namespace folearn {
 namespace {
 
 // Substantive operations count against max_inflight; control-plane ops
-// (ping, stats, close-session, shutdown) are always admitted so a loaded
-// server stays observable and stoppable.
+// (ping, stats, get-model, list-models, close-session, shutdown) are
+// always admitted so a loaded server stays observable and stoppable.
 bool IsSubstantive(const std::string& op) {
   return op == "learn" || op == "evaluate" || op == "query" ||
          op == "load-graph";
@@ -51,6 +54,22 @@ Message MakeOk() {
   response.Set("status", kStatusOk);
   response.Set("code", "0");
   return response;
+}
+
+// Maps an AcquireSession failure: an id that is neither live nor
+// journaled is a usage error (the CLI-exit-64 analogue); a corrupt or
+// unreadable journal keeps its own status semantics (65 / 1).
+Message MakeSessionError(uint64_t id, const Status& status) {
+  if (status.code() == StatusCode::kNotFound) {
+    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+  }
+  return MakeErrorFromStatus(status);
+}
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 // Parses a decimal int64 request field. Returns false (with *error named
@@ -87,6 +106,20 @@ bool ParseIntField(const Message& request, const char* key, int fallback,
   return true;
 }
 
+// Strict decimal uint64 (model ids, session ids in journal fields).
+bool ParseU64(std::string_view text, uint64_t* value) {
+  if (text.empty() || text.size() > 20) return false;
+  uint64_t result = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) return false;
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return true;
+}
+
 std::string FormatDouble(double value) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.6f", value);
@@ -114,15 +147,37 @@ Status ValidateTuples(const Graph& graph, const TrainingSet& examples) {
 // `mu` — requests touching one session serialise; different sessions run
 // in parallel.
 struct Server::Session {
-  explicit Session(Graph g, int64_t ball_cache_bytes)
+  Session(Graph g, std::string text, int64_t ball_cache_bytes)
       : graph(std::move(g)),
+        graph_text(std::move(text)),
         registry(std::make_shared<TypeRegistry>(
             Vocabulary(graph.vocabulary()))),
         ball_cache(graph, ball_cache_bytes) {}
 
+  uint64_t id = 0;
   Graph graph;
+  // The verbatim graph text, kept so journal writes never re-serialise
+  // (byte-stable journals across saves).
+  std::string graph_text;
   std::shared_ptr<TypeRegistry> registry;
   BallCache ball_cache;
+
+  // Registered model handles. `parsed` is filled lazily after a re-warm;
+  // on the learn path the already-built hypothesis is stored directly.
+  struct ModelEntry {
+    std::string text;
+    std::optional<Hypothesis> parsed;
+  };
+  std::map<uint64_t, ModelEntry> models;  // ordered: stable listing/journal
+  uint64_t next_model_id = 1;
+
+  // Bounded learn dedup window, oldest first: request-id → the encoded
+  // response payload that was acknowledged for it.
+  std::deque<std::pair<std::string, std::string>> learn_dedup;
+
+  // Set by close-session while an in-flight request still holds the
+  // object: suppresses journal writes that would resurrect the file.
+  bool closed = false;
 
   // Warm per-graph evaluators, keyed by plan identity (the plan cache
   // hands out stable shared_ptrs; a recompiled plan gets a fresh
@@ -150,13 +205,32 @@ struct Server::Session {
     return raw;
   }
 
+  // The durable view of this session, in journal layout.
+  SessionRecord ToRecord() const {
+    SessionRecord record;
+    record.id = id;
+    record.graph_text = graph_text;
+    record.next_model_id = next_model_id;
+    record.models.reserve(models.size());
+    for (const auto& [model_id, entry] : models) {
+      record.models.emplace_back(model_id, entry.text);
+    }
+    record.learns.assign(learn_dedup.begin(), learn_dedup.end());
+    return record;
+  }
+
   std::mutex mu;
 };
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), plan_cache_(options_.plan_cache_bytes) {
+    : options_(std::move(options)),
+      plan_cache_(options_.plan_cache_bytes),
+      store_(options_.state_dir) {
   FOLEARN_CHECK_GE(options_.max_inflight, 1)
       << "max_inflight must admit at least one request";
+  FOLEARN_CHECK_GE(options_.dedup_window, 1)
+      << "dedup_window must hold at least one entry";
+  store_.set_crash_at_journal_write(options_.crash_at_journal_write);
 }
 
 Server::~Server() {
@@ -166,14 +240,39 @@ Server::~Server() {
 }
 
 Status Server::Start() {
-  if (options_.socket_path.empty()) {
-    return InvalidArgumentError("socket path must not be empty");
+  Status path_ok = ValidateSocketPath(options_.socket_path);
+  if (!path_ok.ok()) return path_ok;
+  Status store_ok = store_.Init();
+  if (!store_ok.ok()) return store_ok;
+  if (store_.enabled()) {
+    // Recovery: index every journaled session as a cold slot. Graphs are
+    // parsed lazily on first use, so a daemon with thousands of journaled
+    // sessions still restarts instantly.
+    StatusOr<std::vector<uint64_t>> ids = store_.ListSessions();
+    if (!ids.ok()) return ids.status();
+    StatusOr<uint64_t> next = store_.LoadNextSessionId();
+    if (!next.ok()) return next.status();
+    const int64_t now = NowMs();
+    uint64_t max_id = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (uint64_t id : *ids) {
+        auto slot = std::make_shared<SessionSlot>();
+        slot->journaled = true;
+        slot->last_used_ms.store(now, std::memory_order_relaxed);
+        sessions_.emplace(id, std::move(slot));
+        max_id = std::max(max_id, id);
+      }
+      // Ids must never be reused across restarts — a stale client id
+      // must map to "unknown session", never to someone else's graph.
+      next_session_id_ = std::max(*next, max_id + 1);
+    }
+    if (!ids->empty()) {
+      BumpStat(&ServerStats::sessions_recovered,
+               static_cast<int64_t>(ids->size()));
+    }
   }
   sockaddr_un addr{};
-  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
-    return InvalidArgumentError("socket path too long: " +
-                                options_.socket_path);
-  }
   if (::pipe(wake_pipe_) != 0) {
     return UnavailableError(std::string("pipe failed: ") +
                             std::strerror(errno));
@@ -212,9 +311,17 @@ void Server::Shutdown() {
 
 void Server::Serve() {
   FOLEARN_CHECK_GE(listen_fd_, 0) << "Serve() before Start()";
+  // With a session TTL, the accept loop doubles as the eviction sweeper:
+  // poll wakes at a fraction of the TTL so idle sessions are demoted
+  // promptly even when no connection arrives.
+  int poll_timeout_ms = -1;
+  if (options_.session_ttl_ms != kNoLimit) {
+    poll_timeout_ms = static_cast<int>(std::clamp<int64_t>(
+        options_.session_ttl_ms / 2, 10, 1000));
+  }
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    int ready = ::poll(fds, 2, -1);
+    int ready = ::poll(fds, 2, poll_timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       break;
@@ -223,6 +330,7 @@ void Server::Serve() {
         stopping_.load(std::memory_order_acquire)) {
       break;
     }
+    if (options_.session_ttl_ms != kNoLimit) EvictIdleSessions();
     if ((fds[0].revents & POLLIN) == 0) continue;
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
@@ -254,16 +362,25 @@ void Server::ConnectionLoop(int fd) {
     StatusOr<Message> request = ReadFrame(fd);
     if (!request.ok()) {
       // Clean close (kNotFound) ends the connection silently; a corrupt
-      // frame gets one last diagnostic — the stream position is
-      // untrusted afterwards, so the connection closes either way.
-      if (request.status().code() == StatusCode::kDataLoss) {
-        (void)WriteFrame(fd, MakeErrorFromStatus(request.status()));
+      // or torn frame gets one last diagnostic — the stream position is
+      // untrusted afterwards, so the connection closes either way. Only
+      // the connection dies: sessions and admission slots are unharmed.
+      if (request.status().code() != StatusCode::kNotFound) {
+        if (request.status().code() == StatusCode::kDataLoss) {
+          (void)WriteFrame(fd, MakeErrorFromStatus(request.status()));
+        }
+        BumpStat(&ServerStats::disconnects);
       }
       break;
     }
     const bool is_shutdown = request->Get("op") == "shutdown";
     Message response = Dispatch(*request);
-    if (!WriteFrame(fd, response).ok()) break;
+    if (!WriteFrame(fd, response).ok()) {
+      // Peer vanished between request and response (EPIPE via
+      // MSG_NOSIGNAL, never SIGPIPE). Drop the connection only.
+      BumpStat(&ServerStats::disconnects);
+      break;
+    }
     if (is_shutdown) {
       Shutdown();
       break;
@@ -301,6 +418,10 @@ Message Server::Dispatch(const Message& request) {
     response = HandleEvaluate(request);
   } else if (op == "query") {
     response = HandleQuery(request);
+  } else if (op == "get-model") {
+    response = HandleGetModel(request);
+  } else if (op == "list-models") {
+    response = HandleListModels(request);
   } else if (op == "stats") {
     response = HandleStats(request);
   } else if (op == "shutdown") {
@@ -315,7 +436,7 @@ Message Server::Dispatch(const Message& request) {
 
 void Server::RecordOutcome(const Message& response) {
   const std::string status = response.Get("status");
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(stats_mu_);
   ++stats_.requests;
   if (status == kStatusOk) {
     ++stats_.ok;
@@ -328,10 +449,113 @@ void Server::RecordOutcome(const Message& response) {
   }
 }
 
+void Server::BumpStat(int64_t ServerStats::*counter, int64_t delta) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.*counter += delta;
+}
+
 Message Server::HandlePing(const Message& request) {
   Message response = MakeOk();
   response.Set("payload", request.Get("payload"));
+  // Heartbeat: a ping naming a session refreshes its idle clock without
+  // re-warming a cold slot (no graph parse on the control plane).
+  const std::string* raw = request.Find("session");
+  if (raw != nullptr) {
+    uint64_t id = 0;
+    bool known = false;
+    if (ParseU64(*raw, &id)) {
+      std::shared_ptr<SessionSlot> slot = FindSlot(id);
+      if (slot != nullptr) {
+        slot->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+        known = true;
+      }
+    }
+    response.Set("session-known", known ? "1" : "0");
+  }
   return response;
+}
+
+std::shared_ptr<Server::SessionSlot> Server::FindSlot(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+StatusOr<std::shared_ptr<Server::Session>> Server::AcquireSession(
+    uint64_t id) {
+  std::shared_ptr<SessionSlot> slot = FindSlot(id);
+  if (slot == nullptr) {
+    return NotFoundError("unknown session " + std::to_string(id));
+  }
+  slot->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> slot_lock(slot->mu);
+  if (slot->live != nullptr) return slot->live;
+  if (!slot->journaled) {
+    return NotFoundError("unknown session " + std::to_string(id));
+  }
+  // Cold journaled slot: re-warm from the store. The journal is our own
+  // acknowledged output, so corruption here is real data loss and is
+  // reported as such, not masked as "unknown session".
+  StatusOr<SessionRecord> record = store_.Load(id);
+  if (!record.ok()) {
+    if (record.status().code() == StatusCode::kNotFound) {
+      return NotFoundError("unknown session " + std::to_string(id));
+    }
+    return record.status();
+  }
+  StatusOr<Graph> graph = ParseGraph(record->graph_text);
+  if (!graph.ok()) {
+    return DataLossError("journaled graph for session " + std::to_string(id) +
+                         " does not parse: " + graph.status().message());
+  }
+  auto session = std::make_shared<Session>(*std::move(graph),
+                                           std::move(record->graph_text),
+                                           options_.ball_cache_bytes);
+  session->id = id;
+  session->next_model_id = record->next_model_id;
+  for (auto& [model_id, text] : record->models) {
+    session->models.emplace(model_id,
+                            Session::ModelEntry{std::move(text), {}});
+  }
+  for (auto& entry : record->learns) {
+    session->learn_dedup.push_back(std::move(entry));
+  }
+  slot->live = session;
+  BumpStat(&ServerStats::sessions_rewarmed);
+  return session;
+}
+
+Status Server::JournalSession(uint64_t id, const Session& session) {
+  (void)id;
+  if (!store_.enabled() || session.closed) return OkStatus();
+  return store_.Save(session.ToRecord());
+}
+
+void Server::EvictIdleSessions() {
+  const int64_t now = NowMs();
+  std::vector<uint64_t> to_erase;
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, slot] : sessions_) {
+      std::unique_lock<std::mutex> slot_lock(slot->mu, std::try_to_lock);
+      if (!slot_lock.owns_lock()) continue;  // busy: try next sweep
+      if (slot->live == nullptr) continue;   // already cold
+      if (now - slot->last_used_ms.load(std::memory_order_relaxed) <=
+          options_.session_ttl_ms) {
+        continue;
+      }
+      // use_count == 1 under the slot lock means no handler holds the
+      // session and none can acquire it while we hold the lock — the
+      // eviction cannot yank state from under an in-flight request.
+      if (slot->live.use_count() != 1) continue;
+      slot->live.reset();
+      ++evicted;
+      if (!slot->journaled) to_erase.push_back(id);
+    }
+    for (uint64_t id : to_erase) sessions_.erase(id);
+  }
+  if (evicted > 0) BumpStat(&ServerStats::sessions_evicted, evicted);
 }
 
 Message Server::HandleLoadGraph(const Message& request) {
@@ -341,25 +565,36 @@ Message Server::HandleLoadGraph(const Message& request) {
   }
   StatusOr<Graph> graph = ParseGraph(*text);
   if (!graph.ok()) return MakeErrorFromStatus(graph.status());
-  auto session = std::make_shared<Session>(*std::move(graph),
-                                           options_.ball_cache_bytes);
   uint64_t id = 0;
   {
+    // Allocation and the meta write stay under the table lock so the
+    // journaled next-session-id is monotone even under concurrent loads.
     std::lock_guard<std::mutex> lock(mu_);
     id = next_session_id_++;
-    sessions_.emplace(id, session);
-    ++stats_.sessions_opened;
+    Status meta = store_.SaveNextSessionId(next_session_id_);
+    if (!meta.ok()) return MakeErrorFromStatus(meta);
   }
+  auto session = std::make_shared<Session>(*std::move(graph), *text,
+                                           options_.ball_cache_bytes);
+  session->id = id;
+  // Journal before acknowledging: once the client sees the id, a restart
+  // must be able to serve it.
+  Status saved = store_.enabled() ? store_.Save(session->ToRecord())
+                                  : OkStatus();
+  if (!saved.ok()) return MakeErrorFromStatus(saved);
+  auto slot = std::make_shared<SessionSlot>();
+  slot->live = session;
+  slot->journaled = store_.enabled();
+  slot->last_used_ms.store(NowMs(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions_.emplace(id, std::move(slot));
+  }
+  BumpStat(&ServerStats::sessions_opened);
   Message response = MakeOk();
   response.Set("session", std::to_string(id));
   response.Set("order", std::to_string(session->graph.order()));
   return response;
-}
-
-std::shared_ptr<Server::Session> Server::FindSession(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = sessions_.find(id);
-  return it == sessions_.end() ? nullptr : it->second;
 }
 
 namespace {
@@ -387,17 +622,52 @@ bool ParseSessionId(const Message& request, uint64_t* id,
   return true;
 }
 
+// Resolves the "model-id" field; the caller has established it is present.
+bool ParseModelIdField(const Message& request, uint64_t* model_id,
+                       Message* error_response) {
+  const std::string raw = request.Get("model-id");
+  if (!ParseU64(raw, model_id)) {
+    *error_response =
+        MakeError(kExitUsage, "invalid model id '" + raw + "'");
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 Message Server::HandleCloseSession(const Message& request) {
   uint64_t id = 0;
   Message error;
   if (!ParseSessionId(request, &id, &error)) return error;
-  std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.erase(id) == 0) {
-    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+  std::shared_ptr<SessionSlot> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return MakeError(kExitUsage, "unknown session " + std::to_string(id));
+    }
+    slot = it->second;
+    sessions_.erase(it);
   }
-  ++stats_.sessions_closed;
+  std::shared_ptr<Session> live;
+  {
+    std::lock_guard<std::mutex> slot_lock(slot->mu);
+    live = std::move(slot->live);
+  }
+  Status removed;
+  if (live != nullptr) {
+    // Mark closed under the session lock so an in-flight learn that
+    // still holds the object cannot resurrect the journal file after the
+    // remove below.
+    std::lock_guard<std::mutex> session_lock(live->mu);
+    live->closed = true;
+    removed = store_.Remove(id);
+  } else {
+    removed = store_.Remove(id);
+  }
+  if (!removed.ok()) return MakeErrorFromStatus(removed);
+  BumpStat(&ServerStats::sessions_closed);
   return MakeOk();
 }
 
@@ -439,13 +709,16 @@ Message Server::HandleLearn(const Message& request) {
   uint64_t id = 0;
   Message error;
   if (!ParseSessionId(request, &id, &error)) return error;
-  std::shared_ptr<Session> session = FindSession(id);
-  if (session == nullptr) {
-    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
-  }
+  StatusOr<std::shared_ptr<Session>> acquired = AcquireSession(id);
+  if (!acquired.ok()) return MakeSessionError(id, acquired.status());
+  Session& session = **acquired;
   const std::string* data_text = request.Find("data");
   if (data_text == nullptr) {
     return MakeError(kExitUsage, "learn requires a 'data' field");
+  }
+  const std::string request_id = request.Get("request-id");
+  if (request_id.size() > 256) {
+    return MakeError(kExitUsage, "field 'request-id' exceeds 256 bytes");
   }
   StatusOr<TrainingSet> data = ParseTrainingSet(*data_text);
   if (!data.ok()) return MakeErrorFromStatus(data.status());
@@ -483,8 +756,25 @@ Message Server::HandleLearn(const Message& request) {
     return MakeError(kExitUsage, field_error);
   }
 
-  std::lock_guard<std::mutex> session_lock(session->mu);
-  Status tuples_ok = ValidateTuples(session->graph, *data);
+  std::lock_guard<std::mutex> session_lock(session.mu);
+  // Idempotent retries: a request-id the session has already acknowledged
+  // replays the original response byte-identically — the learn (and its
+  // model registration) must not run twice.
+  if (!request_id.empty()) {
+    for (const auto& [seen_id, payload] : session.learn_dedup) {
+      if (seen_id != request_id) continue;
+      StatusOr<Message> replay = DecodeMessage(payload);
+      if (!replay.ok()) {
+        return MakeErrorFromStatus(DataLossError(
+            "journaled response for request-id '" + request_id +
+            "' is corrupt: " + replay.status().message()));
+      }
+      BumpStat(&ServerStats::dedup_hits);
+      replay->Set("deduped", "1");
+      return *std::move(replay);
+    }
+  }
+  Status tuples_ok = ValidateTuples(session.graph, *data);
   if (!tuples_ok.ok()) return MakeErrorFromStatus(tuples_ok);
 
   std::optional<ResourceGovernor> governor;
@@ -493,11 +783,11 @@ Message Server::HandleLearn(const Message& request) {
   // The session ball cache is single-threaded state; the library only
   // consults it on single-threaded scans anyway (parallel sweeps build
   // per-worker caches), so it is attached exactly then.
-  if (options.threads == 1) options.ball_cache = &session->ball_cache;
+  if (options.threads == 1) options.ball_cache = &session.ball_cache;
   options.cache_bytes = options_.ball_cache_bytes;
 
   ErmResult result =
-      BruteForceErm(session->graph, *data, ell, options, session->registry);
+      BruteForceErm(session.graph, *data, ell, options, session.registry);
 
   Message response = MakeOk();
   if (IsInterrupted(result.status)) {
@@ -505,7 +795,9 @@ Message Server::HandleLearn(const Message& request) {
     response.Set("code", "3");
     response.Set("run-status", RunStatusName(result.status));
   }
-  response.Set("model", HypothesisToText(result.hypothesis.ToExplicit()));
+  Hypothesis hypothesis = result.hypothesis.ToExplicit();
+  const std::string model_text = HypothesisToText(hypothesis);
+  response.Set("model", model_text);
   response.Set("training-error", FormatDouble(result.training_error));
   response.Set("types-seen", std::to_string(result.distinct_types_seen));
   response.Set("tuples-tried",
@@ -513,25 +805,124 @@ Message Server::HandleLearn(const Message& request) {
   if (governor.has_value()) {
     response.Set("work-used", std::to_string(governor->work_used()));
   }
+
+  // Model registration. Identical model text reuses its handle, so
+  // repeated learns (warm benches, retried workloads) neither bloat the
+  // table nor grow the journal.
+  uint64_t model_id = 0;
+  bool new_model = true;
+  for (const auto& [existing_id, entry] : session.models) {
+    if (entry.text == model_text) {
+      model_id = existing_id;
+      new_model = false;
+      break;
+    }
+  }
+  if (new_model) model_id = session.next_model_id;
+  response.Set("model-id", std::to_string(model_id));
+
+  // Durability: journal the candidate state (current + this mutation)
+  // *before* mutating memory or acknowledging, so a journal failure
+  // leaves both the file and the in-memory session unchanged.
+  const bool new_dedup_entry = !request_id.empty();
+  if (new_model || new_dedup_entry) {
+    SessionRecord candidate = session.ToRecord();
+    if (new_model) {
+      candidate.next_model_id = model_id + 1;
+      candidate.models.emplace_back(model_id, model_text);
+    }
+    if (new_dedup_entry) {
+      while (static_cast<int>(candidate.learns.size()) >=
+             options_.dedup_window) {
+        candidate.learns.erase(candidate.learns.begin());
+      }
+      candidate.learns.emplace_back(request_id, EncodeMessage(response));
+    }
+    if (store_.enabled() && !session.closed) {
+      Status journaled = store_.Save(candidate);
+      if (!journaled.ok()) return MakeErrorFromStatus(journaled);
+    }
+    if (new_model) {
+      session.next_model_id = model_id + 1;
+      session.models.emplace(
+          model_id,
+          Session::ModelEntry{model_text, std::move(hypothesis)});
+      BumpStat(&ServerStats::models_registered);
+    }
+    if (new_dedup_entry) {
+      while (static_cast<int>(session.learn_dedup.size()) >=
+             options_.dedup_window) {
+        session.learn_dedup.pop_front();
+      }
+      session.learn_dedup.emplace_back(request_id,
+                                       EncodeMessage(response));
+    }
+  }
   return response;
 }
+
+namespace {
+
+// Parses a whitespace-separated vertex tuple ("3 17 4").
+bool ParseTupleField(const std::string& text, std::vector<Vertex>* tuple,
+                     std::string* error) {
+  tuple->clear();
+  size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    size_t end = pos;
+    while (end < text.size() && text[end] != ' ' && text[end] != '\t') {
+      ++end;
+    }
+    try {
+      size_t used = 0;
+      const std::string token = text.substr(pos, end - pos);
+      long long value = std::stoll(token, &used);
+      if (used != token.size() || value < 0) {
+        throw std::invalid_argument(token);
+      }
+      tuple->push_back(static_cast<Vertex>(value));
+    } catch (const std::exception&) {
+      *error = "invalid vertex '" + text.substr(pos, end - pos) +
+               "' in field 'tuple'";
+      return false;
+    }
+    pos = end;
+  }
+  if (tuple->empty()) {
+    *error = "field 'tuple' names no vertices";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Message Server::HandleEvaluate(const Message& request) {
   uint64_t id = 0;
   Message error;
   if (!ParseSessionId(request, &id, &error)) return error;
-  std::shared_ptr<Session> session = FindSession(id);
-  if (session == nullptr) {
-    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
-  }
+  StatusOr<std::shared_ptr<Session>> acquired = AcquireSession(id);
+  if (!acquired.ok()) return MakeSessionError(id, acquired.status());
+  Session& session = **acquired;
   const std::string* model_text = request.Find("model");
-  const std::string* data_text = request.Find("data");
-  if (model_text == nullptr || data_text == nullptr) {
+  const bool by_handle = request.Has("model-id");
+  if ((model_text == nullptr) == !by_handle) {
     return MakeError(kExitUsage,
-                     "evaluate requires 'model' and 'data' fields");
+                     "evaluate requires exactly one of 'model' and "
+                     "'model-id', plus 'data'");
   }
-  StatusOr<Hypothesis> hypothesis = ParseHypothesis(*model_text);
-  if (!hypothesis.ok()) return MakeErrorFromStatus(hypothesis.status());
+  const std::string* data_text = request.Find("data");
+  if (data_text == nullptr) {
+    return MakeError(kExitUsage, "evaluate requires a 'data' field");
+  }
+  uint64_t model_id = 0;
+  if (by_handle && !ParseModelIdField(request, &model_id, &error)) {
+    return error;
+  }
   StatusOr<TrainingSet> data = ParseTrainingSet(*data_text);
   if (!data.ok()) return MakeErrorFromStatus(data.status());
   GovernorLimits limits;
@@ -541,10 +932,40 @@ Message Server::HandleEvaluate(const Message& request) {
     return MakeError(kExitUsage, field_error);
   }
 
-  std::lock_guard<std::mutex> session_lock(session->mu);
-  const Graph& graph = session->graph;
+  std::lock_guard<std::mutex> session_lock(session.mu);
+  const Graph& graph = session.graph;
   Status tuples_ok = ValidateTuples(graph, *data);
   if (!tuples_ok.ok()) return MakeErrorFromStatus(tuples_ok);
+
+  // Resolve the hypothesis: the handle path reuses the registered,
+  // already-parsed model (the parse is the cost the handle eliminates);
+  // the text path parses per request, exactly as the CLI would.
+  std::optional<Hypothesis> parsed_from_text;
+  const Hypothesis* hypothesis = nullptr;
+  if (by_handle) {
+    auto it = session.models.find(model_id);
+    if (it == session.models.end()) {
+      return MakeError(kExitUsage, "unknown model-id " +
+                                       std::to_string(model_id) +
+                                       " in session " + std::to_string(id));
+    }
+    if (!it->second.parsed.has_value()) {
+      // First use after a re-warm: parse the journaled text once.
+      StatusOr<Hypothesis> reparsed = ParseHypothesis(it->second.text);
+      if (!reparsed.ok()) {
+        return MakeErrorFromStatus(DataLossError(
+            "journaled model " + std::to_string(model_id) +
+            " does not parse: " + reparsed.status().message()));
+      }
+      it->second.parsed = *std::move(reparsed);
+    }
+    hypothesis = &*it->second.parsed;
+  } else {
+    StatusOr<Hypothesis> from_text = ParseHypothesis(*model_text);
+    if (!from_text.ok()) return MakeErrorFromStatus(from_text.status());
+    parsed_from_text = *std::move(from_text);
+    hypothesis = &*parsed_from_text;
+  }
   for (Vertex w : hypothesis->parameters) {
     if (!graph.IsValidVertex(w)) {
       return MakeErrorFromStatus(DataLossError(
@@ -581,7 +1002,7 @@ Message Server::HandleEvaluate(const Message& request) {
     scratch.emplace(*plan, graph, eval_options);
     evaluator = &*scratch;
   } else {
-    evaluator = session->WarmEvaluator(plan, eval_options);
+    evaluator = session.WarmEvaluator(plan, eval_options);
   }
 
   std::vector<Vertex> env(frame.size());
@@ -607,6 +1028,7 @@ Message Server::HandleEvaluate(const Message& request) {
       seen == 0 ? 1.0 : static_cast<double>(wrong) / static_cast<double>(seen);
   response.Set("error", FormatDouble(error_rate));
   response.Set("examples-seen", std::to_string(seen));
+  if (by_handle) response.Set("model-id", std::to_string(model_id));
   if (governor.has_value()) {
     response.Set("work-used", std::to_string(governor->work_used()));
   }
@@ -617,14 +1039,113 @@ Message Server::HandleQuery(const Message& request) {
   uint64_t id = 0;
   Message error;
   if (!ParseSessionId(request, &id, &error)) return error;
-  std::shared_ptr<Session> session = FindSession(id);
-  if (session == nullptr) {
-    return MakeError(kExitUsage, "unknown session " + std::to_string(id));
-  }
+  StatusOr<std::shared_ptr<Session>> acquired = AcquireSession(id);
+  if (!acquired.ok()) return MakeSessionError(id, acquired.status());
+  Session& session = **acquired;
   const std::string* sentence_text = request.Find("sentence");
-  if (sentence_text == nullptr) {
-    return MakeError(kExitUsage, "query requires a 'sentence' field");
+  const bool by_handle = request.Has("model-id");
+  if ((sentence_text == nullptr) == !by_handle) {
+    return MakeError(kExitUsage,
+                     "query requires exactly one of 'sentence' and "
+                     "'model-id'");
   }
+  GovernorLimits limits;
+  bool governed = false;
+  std::string field_error;
+  if (!RequestLimits(request, &limits, &governed, &field_error)) {
+    return MakeError(kExitUsage, field_error);
+  }
+
+  std::shared_ptr<const CompiledFormula> plan;
+  std::vector<Vertex> env;
+  if (by_handle) {
+    // Handle form: result = the registered model's classification of the
+    // request tuple (h_{φ,w̄}(v̄)), with zero per-request parsing.
+    uint64_t model_id = 0;
+    if (!ParseModelIdField(request, &model_id, &error)) return error;
+    const std::string* tuple_text = request.Find("tuple");
+    if (tuple_text == nullptr) {
+      return MakeError(kExitUsage,
+                       "query by model-id requires a 'tuple' field");
+    }
+    std::vector<Vertex> tuple;
+    if (!ParseTupleField(*tuple_text, &tuple, &field_error)) {
+      return MakeError(kExitUsage, field_error);
+    }
+    std::lock_guard<std::mutex> session_lock(session.mu);
+    auto it = session.models.find(model_id);
+    if (it == session.models.end()) {
+      return MakeError(kExitUsage, "unknown model-id " +
+                                       std::to_string(model_id) +
+                                       " in session " + std::to_string(id));
+    }
+    if (!it->second.parsed.has_value()) {
+      StatusOr<Hypothesis> reparsed = ParseHypothesis(it->second.text);
+      if (!reparsed.ok()) {
+        return MakeErrorFromStatus(DataLossError(
+            "journaled model " + std::to_string(model_id) +
+            " does not parse: " + reparsed.status().message()));
+      }
+      it->second.parsed = *std::move(reparsed);
+    }
+    const Hypothesis& hypothesis = *it->second.parsed;
+    if (static_cast<int>(tuple.size()) != hypothesis.k()) {
+      return MakeErrorFromStatus(DataLossError(
+          "tuple arity " + std::to_string(tuple.size()) +
+          " does not match the model's k=" +
+          std::to_string(hypothesis.k())));
+    }
+    for (Vertex v : tuple) {
+      if (!session.graph.IsValidVertex(v)) {
+        return MakeErrorFromStatus(DataLossError(
+            "tuple names vertex " + std::to_string(v) +
+            " outside the session graph"));
+      }
+    }
+    for (Vertex w : hypothesis.parameters) {
+      if (!session.graph.IsValidVertex(w)) {
+        return MakeErrorFromStatus(DataLossError(
+            "model parameter vertex " + std::to_string(w) +
+            " outside the session graph"));
+      }
+    }
+    plan = plan_cache_.GetOrCompile(hypothesis.formula,
+                                    hypothesis.AllVars());
+    env = std::move(tuple);
+    env.insert(env.end(), hypothesis.parameters.begin(),
+               hypothesis.parameters.end());
+    EvalOptions eval_options;
+    eval_options.missing_color_is_false = true;
+    std::optional<ResourceGovernor> governor;
+    if (governed) {
+      governor.emplace(limits);
+      eval_options.governor = &*governor;
+    }
+    std::optional<CompiledEvaluator> scratch;
+    CompiledEvaluator* evaluator;
+    if (governed) {
+      scratch.emplace(*plan, session.graph, eval_options);
+      evaluator = &*scratch;
+    } else {
+      evaluator = session.WarmEvaluator(plan, eval_options);
+    }
+    bool verdict = evaluator->Eval(env);
+    Message response = MakeOk();
+    response.Set("model-id", std::to_string(model_id));
+    if (governor.has_value() && governor->Interrupted()) {
+      response.Set("status", kStatusPartial);
+      response.Set("code", "3");
+      response.Set("run-status", RunStatusName(governor->status()));
+      response.Set("result", "indeterminate");
+    } else {
+      response.Set("result", verdict ? "true" : "false");
+    }
+    if (governor.has_value()) {
+      response.Set("work-used", std::to_string(governor->work_used()));
+    }
+    return response;
+  }
+
   std::string parse_error;
   std::optional<FormulaRef> sentence =
       ParseFormula(*sentence_text, &parse_error);
@@ -637,17 +1158,10 @@ Message Server::HandleQuery(const Message& request) {
                          (*sentence)->free_variables().front() +
                          "' occurs free");
   }
-  GovernorLimits limits;
-  bool governed = false;
-  std::string field_error;
-  if (!RequestLimits(request, &limits, &governed, &field_error)) {
-    return MakeError(kExitUsage, field_error);
-  }
 
-  std::shared_ptr<const CompiledFormula> plan =
-      plan_cache_.GetOrCompile(*sentence, {});
+  plan = plan_cache_.GetOrCompile(*sentence, {});
 
-  std::lock_guard<std::mutex> session_lock(session->mu);
+  std::lock_guard<std::mutex> session_lock(session.mu);
   EvalOptions eval_options;
   eval_options.missing_color_is_false = true;
   std::optional<ResourceGovernor> governor;
@@ -658,12 +1172,12 @@ Message Server::HandleQuery(const Message& request) {
   std::optional<CompiledEvaluator> scratch;
   CompiledEvaluator* evaluator;
   if (governed) {
-    scratch.emplace(*plan, session->graph, eval_options);
+    scratch.emplace(*plan, session.graph, eval_options);
     evaluator = &*scratch;
   } else {
     // Warm path: a repeated sentence is a per-graph memo hit — the
     // evaluator answers without touching the graph again.
-    evaluator = session->WarmEvaluator(plan, eval_options);
+    evaluator = session.WarmEvaluator(plan, eval_options);
   }
   bool verdict = evaluator->Eval({});
 
@@ -682,6 +1196,50 @@ Message Server::HandleQuery(const Message& request) {
   return response;
 }
 
+Message Server::HandleGetModel(const Message& request) {
+  uint64_t id = 0;
+  Message error;
+  if (!ParseSessionId(request, &id, &error)) return error;
+  StatusOr<std::shared_ptr<Session>> acquired = AcquireSession(id);
+  if (!acquired.ok()) return MakeSessionError(id, acquired.status());
+  Session& session = **acquired;
+  if (!request.Has("model-id")) {
+    return MakeError(kExitUsage, "get-model requires a 'model-id' field");
+  }
+  uint64_t model_id = 0;
+  if (!ParseModelIdField(request, &model_id, &error)) return error;
+  std::lock_guard<std::mutex> session_lock(session.mu);
+  auto it = session.models.find(model_id);
+  if (it == session.models.end()) {
+    return MakeError(kExitUsage, "unknown model-id " +
+                                     std::to_string(model_id) +
+                                     " in session " + std::to_string(id));
+  }
+  Message response = MakeOk();
+  response.Set("model-id", std::to_string(model_id));
+  response.Set("model", it->second.text);
+  return response;
+}
+
+Message Server::HandleListModels(const Message& request) {
+  uint64_t id = 0;
+  Message error;
+  if (!ParseSessionId(request, &id, &error)) return error;
+  StatusOr<std::shared_ptr<Session>> acquired = AcquireSession(id);
+  if (!acquired.ok()) return MakeSessionError(id, acquired.status());
+  Session& session = **acquired;
+  std::lock_guard<std::mutex> session_lock(session.mu);
+  std::string ids;
+  for (const auto& [model_id, entry] : session.models) {
+    if (!ids.empty()) ids += ' ';
+    ids += std::to_string(model_id);
+  }
+  Message response = MakeOk();
+  response.Set("models", ids);
+  response.Set("count", std::to_string(session.models.size()));
+  return response;
+}
+
 Message Server::HandleStats(const Message& request) {
   (void)request;
   ServerStats stats = Snapshot();
@@ -693,6 +1251,17 @@ Message Server::HandleStats(const Message& request) {
   response.Set("errors", std::to_string(stats.errors));
   response.Set("sessions-opened", std::to_string(stats.sessions_opened));
   response.Set("sessions-closed", std::to_string(stats.sessions_closed));
+  response.Set("sessions-recovered",
+               std::to_string(stats.sessions_recovered));
+  response.Set("sessions-rewarmed",
+               std::to_string(stats.sessions_rewarmed));
+  response.Set("sessions-evicted", std::to_string(stats.sessions_evicted));
+  response.Set("models-registered",
+               std::to_string(stats.models_registered));
+  response.Set("dedup-hits", std::to_string(stats.dedup_hits));
+  response.Set("disconnects", std::to_string(stats.disconnects));
+  response.Set("journal-writes", std::to_string(stats.journal_writes));
+  response.Set("durable", store_.enabled() ? "1" : "0");
   response.Set("plan-hits", std::to_string(stats.plan_hits));
   response.Set("plan-misses", std::to_string(stats.plan_misses));
   response.Set("plan-bytes", std::to_string(plan_cache_.bytes()));
@@ -702,9 +1271,10 @@ Message Server::HandleStats(const Message& request) {
 ServerStats Server::Snapshot() const {
   ServerStats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(stats_mu_);
     stats = stats_;
   }
+  stats.journal_writes = store_.journal_writes();
   stats.plan_hits = plan_cache_.hits();
   stats.plan_misses = plan_cache_.misses();
   return stats;

@@ -12,6 +12,7 @@
 
 #include "mc/plan_cache.h"
 #include "server/protocol.h"
+#include "server/session_store.h"
 #include "util/governor.h"
 #include "util/status.h"
 
@@ -26,15 +27,34 @@ namespace folearn {
 //
 //   * the session's TypeRegistry (canonical TypeIds across learns),
 //   * a byte-budgeted BallCache bound to the session graph,
-//   * per-session CompiledEvaluators (per-graph memo tables), and
+//   * per-session CompiledEvaluators (per-graph memo tables),
 //   * a process-wide PlanCache of compiled formulas (shared across
-//     sessions — plans are graph-independent).
+//     sessions — plans are graph-independent), and
+//   * registered *model handles*: every learn registers its hypothesis
+//     under a session-scoped model-id, so evaluate/query can reference
+//     the already-parsed model instead of shipping its text every time.
+//
+// Durability: with ServerOptions::state_dir set, every acknowledged
+// session mutation (creation, learned model registration, close) is
+// journaled through the checkpoint envelope *before* the response frame
+// is written (src/server/session_store.h). A restarted daemon pointed at
+// the same state dir recovers every journaled session and model handle;
+// graphs are re-parsed lazily on first use, so restart is instant and an
+// idle-evicted session re-warms transparently. Learn requests may carry a
+// client-supplied "request-id": the acknowledged response is recorded in
+// a bounded per-session dedup window (journaled with the session), so a
+// client that retries a dropped learn — including across a daemon
+// restart — gets the byte-identical original response instead of a
+// duplicate side effect.
 //
 // Concurrency model: one thread per connection; requests on one
 // connection are sequential (frame in → frame out), requests on
 // different connections run in parallel. Requests touching the same
 // session serialise on the session mutex; cross-session requests share
-// nothing mutable but the plan cache (internally locked).
+// nothing mutable but the plan cache (internally locked). A client that
+// disconnects mid-request (or sends a torn frame) costs exactly its
+// connection: the session, its admission slot, and the daemon survive
+// (writes use MSG_NOSIGNAL, so a dead peer yields EPIPE, never SIGPIPE).
 //
 // Admission control and overload behaviour: at most
 // ServerOptions::max_inflight substantive requests (learn / evaluate /
@@ -46,22 +66,32 @@ namespace folearn {
 // too long degrades to status=partial with best-so-far payload — the
 // same anytime semantics as the CLI, exit-code analogue 3.
 //
-// Protocol operations (see protocol.h for framing):
+// Protocol operations (see protocol.h for framing and retry semantics):
 //
-//   ping           echoes "payload" back
+//   ping           echoes "payload"; with session=<id>, also refreshes
+//                  that session's idle clock (heartbeat) and reports
+//                  session-known=0|1
 //   load-graph     graph=<graph text> → session=<id>
-//   close-session  session=<id>
+//   close-session  session=<id> (also removes the session's journal)
 //   learn          session, data=<training set text>, rank, radius, ell,
-//                  threads, deadline-ms, max-work →
-//                  model=<hypothesis text>, training-error, work-used
-//   evaluate       session, model=<hypothesis text>,
+//                  threads, deadline-ms, max-work, [request-id] →
+//                  model=<hypothesis text>, model-id, training-error,
+//                  work-used; a repeated request-id replays the original
+//                  response with deduped=1
+//   evaluate       session, model=<hypothesis text> | model-id=<id>,
 //                  data=<training set text> → error=<fraction>
 //   query          session, sentence=<FO sentence> → result=true|false
-//                  (partial → result=indeterminate)
-//   stats          → request/session/cache counters
+//                  (partial → result=indeterminate); or model-id=<id>,
+//                  tuple=<v1 v2 …> → result=true|false (the model's
+//                  classification of the tuple)
+//   get-model      session, model-id → model=<hypothesis text>
+//   list-models    session → models=<space-separated ids>
+//   stats          → request/session/cache/journal counters
 //   shutdown       stops the serve loop after responding
 struct ServerOptions {
   std::string socket_path;
+  // Durable session journal directory; empty = sessions are memory-only.
+  std::string state_dir;
   // Concurrent substantive requests admitted before shedding; must be >= 1.
   int max_inflight = 8;
   // Server-wide caps on per-request governor limits (kNoLimit = uncapped).
@@ -69,15 +99,24 @@ struct ServerOptions {
   // cap set, requests that ask for nothing still run under it.
   int64_t max_deadline_ms = kNoLimit;
   int64_t max_work = kNoLimit;
+  // Idle-session TTL (kNoLimit = never evict). A session untouched for
+  // this long is evicted from memory: journaled sessions demote to cold
+  // entries that lazily re-warm on next use, memory-only sessions close.
+  int64_t session_ttl_ms = kNoLimit;
   // Byte budget of each session's BallCache (BallCache::kNoBudget = off).
   int64_t ball_cache_bytes = 32 << 20;
   // Byte budget of the shared compiled-plan cache.
   int64_t plan_cache_bytes = 8 << 20;
+  // Bound of the per-session learn dedup window (journaled with it).
+  int dedup_window = 64;
   // listen(2) backlog.
   int backlog = 64;
+  // Test hook (chaos harness): die with kCrashExitCode right after the
+  // Nth completed journal write; < 0 disables.
+  int64_t crash_at_journal_write = -1;
 };
 
-// Monotonic counters, snapshot under the server lock.
+// Monotonic counters, snapshot under the stats lock.
 struct ServerStats {
   int64_t requests = 0;         // frames dispatched (all ops)
   int64_t ok = 0;
@@ -86,7 +125,14 @@ struct ServerStats {
   int64_t errors = 0;
   int64_t sessions_opened = 0;
   int64_t sessions_closed = 0;
-  int64_t plan_hits = 0;        // PlanCache hits/misses at snapshot time
+  int64_t sessions_recovered = 0;  // journal entries indexed at Start()
+  int64_t sessions_rewarmed = 0;   // lazy journal loads on first use
+  int64_t sessions_evicted = 0;    // idle-TTL evictions (either kind)
+  int64_t models_registered = 0;
+  int64_t dedup_hits = 0;          // learn request-id replays
+  int64_t disconnects = 0;         // connections dropped mid-request
+  int64_t journal_writes = 0;      // SessionStore counter at snapshot time
+  int64_t plan_hits = 0;           // PlanCache hits/misses at snapshot time
   int64_t plan_misses = 0;
 };
 
@@ -98,13 +144,18 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds and listens on options.socket_path (removing a stale socket
-  // file first). kUnavailable on any socket-layer failure.
+  // Initialises the session journal (creating state_dir if needed),
+  // indexes every journaled session for lazy re-warm, then binds and
+  // listens on options.socket_path (removing a stale socket file first).
+  // kUnavailable on any socket-layer failure; kInvalidArgument on an
+  // over-long socket path; journal corruption of the meta file is
+  // kDataLoss.
   Status Start();
 
   // Accepts and serves connections until Shutdown() (or a "shutdown"
   // request) is observed, then drains: stops accepting, waits for every
   // connection thread, removes the socket file. Call Start() first.
+  // With session_ttl_ms set, also sweeps idle sessions.
   void Serve();
 
   // Requests a graceful stop of Serve(). Safe from any thread and from
@@ -118,6 +169,17 @@ class Server {
  private:
   struct Session;
 
+  // One entry in the session table. `live` is the warm in-memory state;
+  // a journaled slot with live == nullptr is *cold* and re-warms from the
+  // store on first use. `mu` guards `live`; the idle clock is atomic so
+  // heartbeats never take the slot lock.
+  struct SessionSlot {
+    std::mutex mu;
+    std::shared_ptr<Session> live;
+    bool journaled = false;
+    std::atomic<int64_t> last_used_ms{0};
+  };
+
   // Dispatches one decoded request to its handler; never throws, always
   // returns a response message.
   Message Dispatch(const Message& request);
@@ -128,9 +190,25 @@ class Server {
   Message HandleLearn(const Message& request);
   Message HandleEvaluate(const Message& request);
   Message HandleQuery(const Message& request);
+  Message HandleGetModel(const Message& request);
+  Message HandleListModels(const Message& request);
   Message HandleStats(const Message& request);
 
-  std::shared_ptr<Session> FindSession(uint64_t id);
+  // Resolves a session id to its warm state, lazily re-warming a cold
+  // journaled slot (parse graph, reinstall models and dedup window).
+  // NotFound for an id that is neither live nor journaled; kDataLoss for
+  // a corrupt journal file.
+  StatusOr<std::shared_ptr<Session>> AcquireSession(uint64_t id);
+
+  std::shared_ptr<SessionSlot> FindSlot(uint64_t id);
+
+  // Journals the session's current durable state; on failure the caller
+  // must roll back the in-memory mutation and fail the request.
+  Status JournalSession(uint64_t id, const Session& session);
+
+  // Demotes (journaled) or closes (memory-only) sessions idle longer
+  // than session_ttl_ms. Called from the accept loop's poll cadence.
+  void EvictIdleSessions();
 
   // Builds the per-request governor limits from the request fields and
   // the server caps. Returns false (with *error filled) on malformed
@@ -141,18 +219,23 @@ class Server {
 
   void ConnectionLoop(int fd);
   void RecordOutcome(const Message& response);
+  void BumpStat(int64_t ServerStats::*counter, int64_t delta = 1);
 
   ServerOptions options_;
   PlanCache plan_cache_;
+  SessionStore store_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: Shutdown() → poll wakeup
   std::atomic<bool> stopping_{false};
   std::atomic<int> inflight_{0};
 
+  // Lock order: mu_ (session table) → SessionSlot::mu → Session::mu →
+  // stats_mu_ / the store's internal mutex. Never the reverse.
   mutable std::mutex mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::unordered_map<uint64_t, std::shared_ptr<SessionSlot>> sessions_;
   uint64_t next_session_id_ = 1;
+  mutable std::mutex stats_mu_;
   ServerStats stats_;
   std::vector<std::thread> connections_;
 };

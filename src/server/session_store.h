@@ -1,0 +1,101 @@
+#ifndef FOLEARN_SERVER_SESSION_STORE_H_
+#define FOLEARN_SERVER_SESSION_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace folearn {
+
+// Durable session journal for folearnd (write-ahead, per-session files).
+//
+// Everything the daemon acknowledges about a session — the graph binding,
+// every registered model handle, and the learn dedup window — is recorded
+// in a per-session journal file *before* the response frame leaves the
+// process, so a crash or restart never loses acknowledged state:
+//
+//   <state-dir>/meta.ckpt           next-session-id (ids never reused)
+//   <state-dir>/session-<id>.ckpt   one complete SessionRecord
+//
+// Each file is a checkpoint envelope (util/checkpoint.h: version line,
+// length, FNV-1a checksum, temp-file + atomic rename), so a reader — or a
+// restart racing a crash mid-write — observes either the previous complete
+// record or the new one, never a torn file. The payload inside the
+// envelope is the wire Message encoding (server/protocol.h), which already
+// round-trips arbitrary bytes and rejects truncation as kDataLoss; a
+// "journal-version" field guards against future layout skew the same way
+// the frontier fingerprint does for checkpoints.
+//
+// Journal writes serialise on an internal mutex (they are per-request
+// rare: session creation, learn, close). The crash hook mirrors the
+// checkpointer's --crash-at-save: after the Nth completed journal write
+// the process dies with kCrashExitCode, which is how the chaos harness
+// kills the daemon at every journal-write point.
+
+// The durable state of one session. Models and learns are kept in
+// insertion order; `learns` is the bounded request-id dedup window, oldest
+// first, mapping a client-supplied request id to the encoded response
+// payload that was acknowledged for it.
+struct SessionRecord {
+  uint64_t id = 0;
+  std::string graph_text;
+  uint64_t next_model_id = 1;
+  std::vector<std::pair<uint64_t, std::string>> models;  // id -> model text
+  std::vector<std::pair<std::string, std::string>> learns;
+};
+
+class SessionStore {
+ public:
+  // A store with an empty directory is disabled: every mutation succeeds
+  // as a no-op and recovery finds nothing.
+  SessionStore() = default;
+  explicit SessionStore(std::string dir) : dir_(std::move(dir)) {}
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+
+  // Creates the state directory if missing and verifies it is writable
+  // (by round-tripping a probe through the atomic-write path).
+  Status Init();
+
+  // Ids of every journaled session, ascending. Files that are not
+  // session-<id>.ckpt are ignored (the meta file, editor droppings).
+  StatusOr<std::vector<uint64_t>> ListSessions() const;
+
+  // Loads and validates one session record. NotFound when the session was
+  // never journaled; kDataLoss with a diagnostic for corrupt bytes or
+  // journal-version skew.
+  StatusOr<SessionRecord> Load(uint64_t id) const;
+
+  // Journal writes. Each completed write counts toward the crash hook.
+  Status Save(const SessionRecord& record);
+  Status Remove(uint64_t id);
+  Status SaveNextSessionId(uint64_t next_session_id);
+  // 1 when no meta file exists yet.
+  StatusOr<uint64_t> LoadNextSessionId() const;
+
+  int64_t journal_writes() const;
+
+  // Test hook: die (exit kCrashExitCode) immediately after the Nth
+  // completed journal write, 1-based; < 0 disables.
+  void set_crash_at_journal_write(int64_t n) { crash_at_ = n; }
+
+ private:
+  std::string SessionPath(uint64_t id) const;
+  std::string MetaPath() const;
+  // Called with mu_ held, after a successful write/unlink.
+  void CountWriteLocked();
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  int64_t journal_writes_ = 0;
+  int64_t crash_at_ = -1;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_SERVER_SESSION_STORE_H_

@@ -1,0 +1,233 @@
+#!/bin/sh
+# Chaos test of folearnd durability: kill the daemon at every journal
+# write point (--crash-at-journal-write), and kill -9 it at pseudo-random
+# mid-request instants, restarting each time and asserting that
+#   * every acknowledged session and model is recovered byte-identically,
+#   * retried learns are idempotent (request-id dedup: zero duplicate
+#     side effects across forced restarts),
+#   * the retrying client completes its workload across a restart, and
+#   * over-long socket paths are rejected with exit 64 by both binaries.
+# Invoked with the directory holding the folearnd / folearn_client /
+# folearn_cli binaries as $1.
+set -eu
+
+TOOLS="$1"
+DIR="$(mktemp -d)"
+SOCK="$DIR/folearnd.sock"
+STATE="$DIR/state"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+client() {
+  "$TOOLS/folearn_client" --socket "$SOCK" "$@"
+}
+
+# Starts folearnd with the given extra flags; waits for the socket. A
+# crashed daemon leaves its socket file behind — remove it first so the
+# readiness wait observes the *new* daemon's bind, not the stale file.
+start_daemon() {
+  rm -f "$SOCK"
+  "$TOOLS/folearnd" --socket "$SOCK" --state-dir "$STATE" "$@" \
+      2> "$DIR/daemon.log" &
+  DAEMON_PID=$!
+  tries=0
+  while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -lt 100 ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "daemon died at startup:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+    }
+    sleep 0.1
+  done
+}
+
+stop_daemon_clean() {
+  kill "$DAEMON_PID"
+  rc=0
+  wait "$DAEMON_PID" || rc=$?
+  DAEMON_PID=""
+  [ "$rc" -eq 0 ] || {
+    echo "daemon exit $rc:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+  }
+}
+
+# Problem setup: a coloured random tree, an "is Red" dataset, and its
+# label-flipped twin (so the workload registers two distinct models).
+"$TOOLS/folearn_cli" generate --family tree --n 30 --seed 21 \
+    --color Red:0.3 --out "$DIR/g.txt"
+reds=$(grep '^color Red' "$DIR/g.txt" | cut -d' ' -f3-)
+{
+  echo "examples 1"
+  v=0
+  while [ "$v" -lt 30 ]; do
+    label="-"
+    for r in $reds; do
+      [ "$r" = "$v" ] && label="+"
+    done
+    echo "$label $v"
+    v=$((v + 1))
+  done
+} > "$DIR/d.txt"
+sed 'y/+-/-+/' "$DIR/d.txt" > "$DIR/d2.txt"
+
+# The four-step workload every chaos iteration replays:
+#   load-graph → learn(rid-1, d) → learn(rid-2, d2).
+# Step outputs land in $DIR; a step whose client call fails (daemon died
+# mid-request) leaves its marker file absent — only ACKED steps are
+# verified after restart.
+
+# --- Reference run (no fault injection): the expected model bytes. -----
+rm -rf "$STATE"
+start_daemon
+client load-graph --graph-file "$DIR/g.txt" > "$DIR/load.out"
+session=$(sed -n 's/^session: //p' "$DIR/load.out")
+client learn --session "$session" --data-file "$DIR/d.txt" \
+    --rank 1 --radius 1 --request-id rid-1 --out "$DIR/m1.ref" > /dev/null
+client learn --session "$session" --data-file "$DIR/d2.txt" \
+    --rank 1 --radius 1 --request-id rid-2 --out "$DIR/m2.ref" > /dev/null
+grep -q '^hypothesis ' "$DIR/m1.ref"
+grep -q '^hypothesis ' "$DIR/m2.ref"
+cmp -s "$DIR/m1.ref" "$DIR/m2.ref" && {
+  echo "reference models unexpectedly identical" >&2; exit 1; }
+stop_daemon_clean
+
+# --- Phase A: kill at every journal-write point. -----------------------
+# N sweeps upward until the daemon survives the whole workload; each
+# crashed run restarts on the same state dir and must serve every ACKED
+# model byte-identically, and re-running the workload with the same
+# request-ids must produce zero duplicate registrations.
+N=1
+while :; do
+  [ "$N" -le 12 ] || { echo "journal-write sweep never ended" >&2; exit 1; }
+  rm -rf "$STATE"
+  rm -f "$DIR/ack.session" "$DIR/ack.m1" "$DIR/ack.m2"
+  start_daemon --crash-at-journal-write "$N"
+
+  rc=0
+  client load-graph --graph-file "$DIR/g.txt" > "$DIR/load.out" || rc=$?
+  if [ "$rc" -eq 0 ]; then
+    sed -n 's/^session: //p' "$DIR/load.out" > "$DIR/ack.session"
+    rc=0
+    client learn --session "$(cat "$DIR/ack.session")" \
+        --data-file "$DIR/d.txt" --rank 1 --radius 1 \
+        --request-id rid-1 --out "$DIR/m1.ack" > /dev/null || rc=$?
+    [ "$rc" -eq 0 ] && mv "$DIR/m1.ack" "$DIR/ack.m1"
+    rc=0
+    client learn --session "$(cat "$DIR/ack.session")" \
+        --data-file "$DIR/d2.txt" --rank 1 --radius 1 \
+        --request-id rid-2 --out "$DIR/m2.ack" > /dev/null || rc=$?
+    [ "$rc" -eq 0 ] && mv "$DIR/m2.ack" "$DIR/ack.m2"
+  fi
+
+  if [ -f "$DIR/ack.m2" ]; then
+    # Workload completed: this N is past the last journal write. The
+    # daemon must still be alive and shut down cleanly.
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "daemon dead after a completed workload (N=$N)" >&2; exit 1; }
+    stop_daemon_clean
+    break
+  fi
+  # The daemon must have died from the injected crash (exit 70), not
+  # anything else.
+  rc=0
+  wait "$DAEMON_PID" || rc=$?
+  DAEMON_PID=""
+  [ "$rc" -eq 70 ] || {
+    echo "N=$N: expected injected crash (70), got $rc" >&2
+    cat "$DIR/daemon.log" >&2; exit 1
+  }
+
+  # Restart on the same journal; every ACKED artefact must be served
+  # byte-identically, and replaying the workload must dedup, not
+  # duplicate.
+  start_daemon
+  if [ -f "$DIR/ack.session" ]; then
+    session=$(cat "$DIR/ack.session")
+    if [ -f "$DIR/ack.m1" ]; then
+      client get-model --session "$session" --model-id 1 \
+          --out "$DIR/m1.rec" > /dev/null
+      cmp "$DIR/ack.m1" "$DIR/m1.rec" || {
+        echo "N=$N: recovered model 1 differs" >&2; exit 1; }
+    fi
+    # Replay both learns with the original request-ids: the result must
+    # match the reference bytes whether it was deduped or re-learned.
+    client learn --session "$session" --data-file "$DIR/d.txt" \
+        --rank 1 --radius 1 --request-id rid-1 \
+        --out "$DIR/m1.replay" > "$DIR/replay1.out"
+    cmp "$DIR/m1.ref" "$DIR/m1.replay" || {
+      echo "N=$N: replayed model 1 differs from reference" >&2; exit 1; }
+    if [ -f "$DIR/ack.m1" ]; then
+      grep -q '^deduped: 1$' "$DIR/replay1.out" || {
+        echo "N=$N: acked learn rid-1 was not deduped" >&2; exit 1; }
+    fi
+    client learn --session "$session" --data-file "$DIR/d2.txt" \
+        --rank 1 --radius 1 --request-id rid-2 \
+        --out "$DIR/m2.replay" > /dev/null
+    cmp "$DIR/m2.ref" "$DIR/m2.replay" || {
+      echo "N=$N: replayed model 2 differs from reference" >&2; exit 1; }
+    # Zero duplicate side effects: exactly the two distinct models.
+    client list-models --session "$session" > "$DIR/list.out"
+    grep -q '^count: 2$' "$DIR/list.out" || {
+      echo "N=$N: duplicate models after replay:" >&2
+      cat "$DIR/list.out" >&2; exit 1
+    }
+  fi
+  stop_daemon_clean
+  N=$((N + 1))
+done
+echo "phase A passed: $((N - 1)) crashed journal-write points recovered"
+
+# --- Phase B: kill -9 at pseudo-random mid-request instants. -----------
+# A retrying client runs the learn workload while the daemon is killed
+# under it and restarted; the client must complete, and the journal must
+# end with exactly one model (every learn carries the same data).
+rm -rf "$STATE"
+start_daemon
+client load-graph --graph-file "$DIR/g.txt" > "$DIR/load.out"
+session=$(sed -n 's/^session: //p' "$DIR/load.out")
+i=1
+while [ "$i" -le 5 ]; do
+  rc=0
+  client learn --session "$session" --data-file "$DIR/d.txt" \
+      --rank 1 --radius 1 --request-id "rid-b$i" \
+      --retries 100 --backoff-ms 20 \
+      --out "$DIR/mb.$i" > /dev/null 2> "$DIR/client.$i.log" &
+  CLIENT_PID=$!
+  # Deterministic pseudo-random kill delay in [0, 200) ms.
+  delay_ms=$(( (i * 67) % 200 ))
+  sleep "$(printf '0.%03d' "$delay_ms")"
+  kill -9 "$DAEMON_PID" 2>/dev/null || true
+  wait "$DAEMON_PID" 2>/dev/null || true
+  DAEMON_PID=""
+  start_daemon
+  wait "$CLIENT_PID" || rc=$?
+  [ "$rc" -eq 0 ] || {
+    echo "iteration $i: retrying client failed ($rc)" >&2
+    cat "$DIR/client.$i.log" >&2; exit 1
+  }
+  cmp "$DIR/m1.ref" "$DIR/mb.$i" || {
+    echo "iteration $i: model differs from reference" >&2; exit 1; }
+  i=$((i + 1))
+done
+client list-models --session "$session" > "$DIR/list.out"
+grep -q '^count: 1$' "$DIR/list.out" || {
+  echo "duplicate side effects after mid-request kills:" >&2
+  cat "$DIR/list.out" >&2; exit 1
+}
+stop_daemon_clean
+echo "phase B passed: retrying client survived 5 mid-request kills"
+
+# --- Phase C: over-long socket paths exit 64 in both binaries. ---------
+LONG_SOCK="$DIR/$(printf 'x%.0s' $(seq 1 200)).sock"
+rc=0
+"$TOOLS/folearnd" --socket "$LONG_SOCK" 2> /dev/null || rc=$?
+[ "$rc" -eq 64 ] || { echo "folearnd long path: got $rc" >&2; exit 1; }
+rc=0
+"$TOOLS/folearn_client" --socket "$LONG_SOCK" ping 2> /dev/null || rc=$?
+[ "$rc" -eq 64 ] || { echo "folearn_client long path: got $rc" >&2; exit 1; }
+
+echo "server chaos test passed"

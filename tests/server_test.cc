@@ -1,17 +1,25 @@
 // Tests for the folearnd server stack: protocol round trips, warm-state
 // request handling against the direct library calls, multi-tenant
 // concurrency determinism, admission control (shedding), deadline
-// degradation, and graceful shutdown. Runs the server in-process on a
-// unique unix socket per fixture; the TSan CI job runs this whole file
-// under ThreadSanitizer.
+// degradation, graceful shutdown, durability (journaled sessions and
+// model handles surviving a restart), request-id dedup, idle-TTL
+// eviction with lazy re-warm, client-disconnect robustness, and the
+// retrying client. Runs the server in-process on a unique unix socket
+// per fixture; the TSan CI job runs this whole file under
+// ThreadSanitizer.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "graph/generators.h"
@@ -57,11 +65,38 @@ TestProblem MakeProblem(int n, int seed) {
   return problem;
 }
 
+// A throwaway state directory for durability tests, removed on teardown.
+std::string MakeStateDir() {
+  static std::atomic<int> counter{0};
+  std::string dir = "/tmp/folearn_server_test_state_" +
+                    std::to_string(::getpid()) + "_" +
+                    std::to_string(counter.fetch_add(1));
+  return dir;
+}
+
+void RemoveTreeBestEffort(const std::string& dir) {
+  if (dir.empty() || dir.rfind("/tmp/", 0) != 0) return;
+  std::string cmd = "rm -rf '" + dir + "'";
+  [[maybe_unused]] int rc = std::system(cmd.c_str());
+}
+
 class ServerTest : public ::testing::Test {
  protected:
   void StartServer(ServerOptions options) {
     options.socket_path = UniqueSocketPath();
+    options_ = options;
     server_ = std::make_unique<Server>(std::move(options));
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  }
+
+  // Stops the daemon and brings up a fresh Server instance on the *same*
+  // socket path and state dir — the in-process analogue of a daemon
+  // restart.
+  void RestartServer() {
+    server_->Shutdown();
+    serve_thread_.join();
+    server_ = std::make_unique<Server>(ServerOptions(options_));
     ASSERT_TRUE(server_->Start().ok());
     serve_thread_ = std::thread([this] { server_->Serve(); });
   }
@@ -71,6 +106,7 @@ class ServerTest : public ::testing::Test {
       server_->Shutdown();
       if (serve_thread_.joinable()) serve_thread_.join();
     }
+    RemoveTreeBestEffort(options_.state_dir);
   }
 
   Client MustConnect() {
@@ -79,6 +115,21 @@ class ServerTest : public ::testing::Test {
     return *std::move(client);
   }
 
+  // A raw connected socket, bypassing Client, for torn-frame tests.
+  int RawConnect() {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, server_->socket_path().c_str(),
+                server_->socket_path().size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+  }
+
+  ServerOptions options_;
   std::unique_ptr<Server> server_;
   std::thread serve_thread_;
 };
@@ -484,6 +535,502 @@ TEST_F(ServerTest, MalformedInputsGetSysexitsStyleCodes) {
   response = client.Call(open_query);
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(ResponseExitCode(*response), 65);
+}
+
+TEST(ProtocolTest, SocketPathValidation) {
+  EXPECT_FALSE(ValidateSocketPath("").ok());
+  EXPECT_TRUE(ValidateSocketPath("/tmp/ok.sock").ok());
+  const std::string long_path = "/tmp/" + std::string(200, 'x') + ".sock";
+  Status status = ValidateSocketPath(long_path);
+  ASSERT_FALSE(status.ok());
+  // The tool binaries translate this into their exit-64 flag audit.
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The client refuses the same paths before touching the socket layer.
+  EXPECT_EQ(Client::Connect(long_path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, ModelHandleRoundTrip) {
+  StartServer(ServerOptions{});
+  TestProblem problem = MakeProblem(30, 23);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  StatusOr<Message> learned = client.Call(learn);
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->Get("status"), kStatusOk) << learned->Get("error");
+  const std::string model_id = learned->Get("model-id");
+  ASSERT_FALSE(model_id.empty());
+
+  // get-model returns the registered model byte-identically.
+  Message get;
+  get.Set("op", "get-model");
+  get.Set("session", std::to_string(*session));
+  get.Set("model-id", model_id);
+  StatusOr<Message> fetched = client.Call(get);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->Get("status"), kStatusOk) << fetched->Get("error");
+  EXPECT_EQ(fetched->Get("model"), learned->Get("model"));
+
+  // Repeating the identical learn reuses the handle: no second model.
+  StatusOr<Message> again = client.Call(learn);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->Get("model-id"), model_id);
+  Message list;
+  list.Set("op", "list-models");
+  list.Set("session", std::to_string(*session));
+  StatusOr<Message> listed = client.Call(list);
+  ASSERT_TRUE(listed.ok());
+  EXPECT_EQ(listed->Get("count"), "1");
+  EXPECT_EQ(listed->Get("models"), model_id);
+
+  // evaluate by handle == evaluate by shipped text.
+  Message eval_text;
+  eval_text.Set("op", "evaluate");
+  eval_text.Set("session", std::to_string(*session));
+  eval_text.Set("model", learned->Get("model"));
+  eval_text.Set("data", problem.data_text);
+  StatusOr<Message> by_text = client.Call(eval_text);
+  ASSERT_TRUE(by_text.ok());
+  ASSERT_EQ(by_text->Get("status"), kStatusOk) << by_text->Get("error");
+  Message eval_handle;
+  eval_handle.Set("op", "evaluate");
+  eval_handle.Set("session", std::to_string(*session));
+  eval_handle.Set("model-id", model_id);
+  eval_handle.Set("data", problem.data_text);
+  StatusOr<Message> by_handle = client.Call(eval_handle);
+  ASSERT_TRUE(by_handle.ok());
+  ASSERT_EQ(by_handle->Get("status"), kStatusOk) << by_handle->Get("error");
+  EXPECT_EQ(by_handle->Get("error"), by_text->Get("error"));
+  EXPECT_EQ(by_handle->Get("examples-seen"), by_text->Get("examples-seen"));
+
+  // query by handle classifies tuples like the evaluated model.
+  StatusOr<Hypothesis> hypothesis =
+      ParseHypothesis(learned->Get("model"));
+  ASSERT_TRUE(hypothesis.ok());
+  for (Vertex v : {Vertex{0}, Vertex{1}, Vertex{2}}) {
+    Message query;
+    query.Set("op", "query");
+    query.Set("session", std::to_string(*session));
+    query.Set("model-id", model_id);
+    query.Set("tuple", std::to_string(v));
+    StatusOr<Message> answered = client.Call(query);
+    ASSERT_TRUE(answered.ok());
+    ASSERT_EQ(answered->Get("status"), kStatusOk) << answered->Get("error");
+    // Training error was 0, so the model agrees with the labels.
+    EXPECT_EQ(answered->Get("result"),
+              problem.data[v].label ? "true" : "false");
+  }
+
+  // Handle misuse: unknown ids and ambiguous forms are usage errors.
+  Message unknown;
+  unknown.Set("op", "evaluate");
+  unknown.Set("session", std::to_string(*session));
+  unknown.Set("model-id", "999");
+  unknown.Set("data", problem.data_text);
+  StatusOr<Message> response = client.Call(unknown);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 64);
+  Message ambiguous;
+  ambiguous.Set("op", "evaluate");
+  ambiguous.Set("session", std::to_string(*session));
+  ambiguous.Set("model", learned->Get("model"));
+  ambiguous.Set("model-id", model_id);
+  ambiguous.Set("data", problem.data_text);
+  response = client.Call(ambiguous);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 64);
+}
+
+TEST_F(ServerTest, DurableSessionsSurviveRestartByteIdentically) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  StartServer(options);
+  TestProblem problem = MakeProblem(30, 29);
+  std::string model_text;
+  std::string model_id;
+  std::string eval_error;
+  uint64_t session_id = 0;
+  {
+    Client client = MustConnect();
+    StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+    ASSERT_TRUE(session.ok());
+    session_id = *session;
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", std::to_string(session_id));
+    learn.Set("data", problem.data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "1");
+    learn.Set("request-id", "learn-once");
+    StatusOr<Message> learned = client.Call(learn);
+    ASSERT_TRUE(learned.ok());
+    ASSERT_EQ(learned->Get("status"), kStatusOk) << learned->Get("error");
+    EXPECT_FALSE(learned->Has("deduped"));
+    model_text = learned->Get("model");
+    model_id = learned->Get("model-id");
+    Message evaluate;
+    evaluate.Set("op", "evaluate");
+    evaluate.Set("session", std::to_string(session_id));
+    evaluate.Set("model-id", model_id);
+    evaluate.Set("data", problem.data_text);
+    StatusOr<Message> evaluated = client.Call(evaluate);
+    ASSERT_TRUE(evaluated.ok());
+    eval_error = evaluated->Get("error");
+  }
+
+  RestartServer();
+  ServerStats stats = server_->Snapshot();
+  EXPECT_EQ(stats.sessions_recovered, 1);
+
+  Client client = MustConnect();
+  // The recovered session serves the model byte-identically, through the
+  // handle and through get-model, after a lazy re-warm.
+  Message get;
+  get.Set("op", "get-model");
+  get.Set("session", std::to_string(session_id));
+  get.Set("model-id", model_id);
+  StatusOr<Message> fetched = client.Call(get);
+  ASSERT_TRUE(fetched.ok());
+  ASSERT_EQ(fetched->Get("status"), kStatusOk) << fetched->Get("error");
+  EXPECT_EQ(fetched->Get("model"), model_text);
+  Message evaluate;
+  evaluate.Set("op", "evaluate");
+  evaluate.Set("session", std::to_string(session_id));
+  evaluate.Set("model-id", model_id);
+  evaluate.Set("data", problem.data_text);
+  StatusOr<Message> evaluated = client.Call(evaluate);
+  ASSERT_TRUE(evaluated.ok());
+  ASSERT_EQ(evaluated->Get("status"), kStatusOk) << evaluated->Get("error");
+  EXPECT_EQ(evaluated->Get("error"), eval_error);
+  stats = server_->Snapshot();
+  EXPECT_EQ(stats.sessions_rewarmed, 1);
+
+  // The dedup window also survived: the same request-id replays the
+  // acknowledged response instead of learning again.
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(session_id));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  learn.Set("request-id", "learn-once");
+  StatusOr<Message> replayed = client.Call(learn);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->Get("deduped"), "1");
+  EXPECT_EQ(replayed->Get("model"), model_text);
+  EXPECT_EQ(replayed->Get("model-id"), model_id);
+  EXPECT_EQ(server_->Snapshot().dedup_hits, 1);
+
+  // New sessions never reuse a recovered id.
+  StatusOr<uint64_t> fresh = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(*fresh, session_id);
+
+  // close-session removes the journal: another restart forgets it.
+  ASSERT_TRUE(client.CloseSession(session_id).ok());
+  RestartServer();
+  Client after = MustConnect();
+  Message gone;
+  gone.Set("op", "get-model");
+  gone.Set("session", std::to_string(session_id));
+  gone.Set("model-id", model_id);
+  StatusOr<Message> missing = after.Call(gone);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(ResponseExitCode(*missing), 64);
+}
+
+TEST_F(ServerTest, DedupWindowIsBounded) {
+  ServerOptions options;
+  options.dedup_window = 2;
+  StartServer(options);
+  TestProblem problem = MakeProblem(20, 31);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  auto send = [&](const std::string& rid) {
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", std::to_string(*session));
+    learn.Set("data", problem.data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "1");
+    learn.Set("request-id", rid);
+    StatusOr<Message> response = client.Call(learn);
+    EXPECT_TRUE(response.ok());
+    return *std::move(response);
+  };
+  send("a");
+  send("b");
+  send("c");  // evicts "a" from the window of 2
+  EXPECT_EQ(send("c").Get("deduped"), "1");
+  EXPECT_EQ(send("b").Get("deduped"), "1");
+  EXPECT_FALSE(send("a").Has("deduped"));  // evicted: runs afresh
+}
+
+// A client that vanishes mid-request costs its connection and nothing
+// else: the session stays usable and the admission slot is released
+// (with max_inflight=1, a leak would shed everything afterwards).
+TEST_F(ServerTest, DisconnectMidRequestDropsConnectionOnly) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  StartServer(options);
+  TestProblem problem = MakeProblem(20, 37);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+
+  // Torn frame: a header promising 100 bytes, then 10, then close.
+  for (int i = 0; i < 3; ++i) {
+    int fd = RawConnect();
+    const unsigned char torn[14] = {100, 0, 0, 0, 'p', 'a', 'r', 't', 'i',
+                                    'a', 'l', 'x', 'y', 'z'};
+    ASSERT_EQ(::send(fd, torn, sizeof(torn), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(torn)));
+    ::close(fd);
+  }
+  // Full substantive request, then close without reading the response:
+  // the server runs it and hits a dead peer on the write.
+  for (int i = 0; i < 3; ++i) {
+    int fd = RawConnect();
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", std::to_string(*session));
+    learn.Set("data", problem.data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "1");
+    ASSERT_TRUE(WriteFrame(fd, learn).ok());
+    ::close(fd);
+  }
+
+  // The daemon is unharmed: the session still answers, substantive
+  // requests are admitted (no leaked inflight slot), and the torn frames
+  // were counted as disconnects.
+  bool learned_after_storm = false;
+  for (int attempt = 0; attempt < 100 && !learned_after_storm; ++attempt) {
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", std::to_string(*session));
+    learn.Set("data", problem.data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "1");
+    StatusOr<Message> response = client.Call(learn);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    if (response->Get("status") == kStatusShed) {
+      // An abandoned learn may still hold the only slot; give it a beat.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    ASSERT_EQ(response->Get("status"), kStatusOk) << response->Get("error");
+    learned_after_storm = true;
+  }
+  EXPECT_TRUE(learned_after_storm) << "inflight slot appears leaked";
+  ServerStats stats = server_->Snapshot();
+  EXPECT_GE(stats.disconnects, 3);
+  EXPECT_EQ(stats.sessions_closed, 0);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, IdleTtlEvictsAndJournaledSessionsRewarm) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  options.session_ttl_ms = 50;
+  StartServer(options);
+  TestProblem problem = MakeProblem(20, 41);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  StatusOr<Message> learned = client.Call(learn);
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->Get("status"), kStatusOk);
+
+  // Idle well past the TTL: the sweeper demotes the session to cold.
+  for (int i = 0; i < 100 && server_->Snapshot().sessions_evicted == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server_->Snapshot().sessions_evicted, 1);
+
+  // The evicted session transparently re-warms on next use, with the
+  // model handle intact.
+  Message evaluate;
+  evaluate.Set("op", "evaluate");
+  evaluate.Set("session", std::to_string(*session));
+  evaluate.Set("model-id", learned->Get("model-id"));
+  evaluate.Set("data", problem.data_text);
+  StatusOr<Message> evaluated = client.Call(evaluate);
+  ASSERT_TRUE(evaluated.ok());
+  ASSERT_EQ(evaluated->Get("status"), kStatusOk) << evaluated->Get("error");
+  EXPECT_GE(server_->Snapshot().sessions_rewarmed, 1);
+}
+
+TEST_F(ServerTest, IdleTtlClosesMemoryOnlySessions) {
+  ServerOptions options;
+  options.session_ttl_ms = 50;  // no state dir: eviction is closure
+  StartServer(options);
+  TestProblem problem = MakeProblem(15, 43);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  for (int i = 0; i < 100 && server_->Snapshot().sessions_evicted == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server_->Snapshot().sessions_evicted, 1);
+  Message query;
+  query.Set("op", "query");
+  query.Set("session", std::to_string(*session));
+  query.Set("sentence", "exists x. Red(x)");
+  StatusOr<Message> response = client.Call(query);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 64);  // unknown session now
+}
+
+TEST_F(ServerTest, HeartbeatKeepsIdleSessionAlive) {
+  ServerOptions options;
+  options.session_ttl_ms = 1000;
+  StartServer(options);
+  TestProblem problem = MakeProblem(15, 47);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  // Heartbeats at a fraction of the TTL hold the session in memory.
+  for (int i = 0; i < 6; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Message ping;
+    ping.Set("op", "ping");
+    ping.Set("session", std::to_string(*session));
+    StatusOr<Message> response = client.Call(ping);
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->Get("session-known"), "1");
+  }
+  EXPECT_EQ(server_->Snapshot().sessions_evicted, 0);
+  Message ping;
+  ping.Set("op", "ping");
+  ping.Set("session", "12345");
+  StatusOr<Message> response = client.Call(ping);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->Get("session-known"), "0");
+}
+
+TEST_F(ServerTest, RetryingClientRidesThroughShed) {
+  ServerOptions options;
+  options.max_inflight = 1;
+  StartServer(options);
+  TestProblem slow_problem = MakeProblem(120, 53);
+  for (Vertex v = 0; v < 120; ++v) {
+    slow_problem.data[v].label = v % 7 < 3;
+  }
+  slow_problem.data_text = TrainingSetToText(slow_problem.data);
+  Client slow_client = MustConnect();
+  StatusOr<uint64_t> slow_session =
+      slow_client.LoadGraph(slow_problem.graph_text);
+  ASSERT_TRUE(slow_session.ok());
+
+  TestProblem quick_problem = MakeProblem(10, 54);
+  Client setup = MustConnect();
+  StatusOr<uint64_t> quick_session =
+      setup.LoadGraph(quick_problem.graph_text);
+  ASSERT_TRUE(quick_session.ok());
+
+  std::thread slow_thread([&] {
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", std::to_string(*slow_session));
+    learn.Set("data", slow_problem.data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "2");
+    learn.Set("ell", "1");
+    EXPECT_TRUE(slow_client.Call(learn).ok());
+  });
+
+  RetryPolicy policy;
+  policy.max_retries = 200;
+  policy.backoff_ms = 2;
+  policy.max_backoff_ms = 20;
+  RetryingClient retrying(server_->socket_path(), policy);
+  // Substantive requests keep succeeding against the saturated server —
+  // sheds are absorbed by the retry loop, never surfaced.
+  for (int i = 0; i < 10; ++i) {
+    Message query;
+    query.Set("op", "query");
+    query.Set("session", std::to_string(*quick_session));
+    query.Set("sentence", "exists x. Red(x)");
+    StatusOr<Message> response = retrying.Call(query);
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    ASSERT_EQ(response->Get("status"), kStatusOk) << response->Get("error");
+    EXPECT_EQ(response->Get("result"), "true");
+  }
+  slow_thread.join();
+
+  // Terminal responses surface immediately: no retry budget is burned on
+  // a request that is itself at fault.
+  Message bad;
+  bad.Set("op", "query");
+  bad.Set("session", std::to_string(*quick_session));
+  bad.Set("sentence", "Red(x)");  // free variable: data error
+  StatusOr<Message> response = retrying.Call(bad);
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(ResponseExitCode(*response), 65);
+  EXPECT_EQ(retrying.last_attempts(), 1);
+}
+
+TEST_F(ServerTest, RetryingClientReconnectsAcrossRestart) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  StartServer(options);
+  TestProblem problem = MakeProblem(20, 59);
+  Client setup = MustConnect();
+  StatusOr<uint64_t> session = setup.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+
+  RetryPolicy policy;
+  policy.max_retries = 100;
+  policy.backoff_ms = 5;
+  policy.max_backoff_ms = 50;
+  RetryingClient retrying(server_->socket_path(), policy);
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  learn.Set("request-id", "across-restart");
+  StatusOr<Message> first = retrying.Call(learn);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->Get("status"), kStatusOk) << first->Get("error");
+
+  // Kill the daemon; re-issue the same request while a restart lands.
+  server_->Shutdown();
+  serve_thread_.join();
+  std::thread restarter([this] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server_ = std::make_unique<Server>(ServerOptions(options_));
+    ASSERT_TRUE(server_->Start().ok());
+    serve_thread_ = std::thread([this] { server_->Serve(); });
+  });
+  StatusOr<Message> second = retrying.Call(learn);
+  restarter.join();
+  ASSERT_TRUE(second.ok()) << second.status().message();
+  ASSERT_EQ(second->Get("status"), kStatusOk) << second->Get("error");
+  EXPECT_GT(retrying.last_attempts(), 1);
+  // The journaled dedup window made the cross-restart retry idempotent.
+  EXPECT_EQ(second->Get("deduped"), "1");
+  EXPECT_EQ(second->Get("model"), first->Get("model"));
+  EXPECT_EQ(second->Get("model-id"), first->Get("model-id"));
 }
 
 TEST_F(ServerTest, ShutdownOpStopsTheServeLoop) {

@@ -17,11 +17,20 @@
 // fields — model, graph — print to stdout verbatim with --out -, or are
 // written to the path given by --out). Exit code: 0 for status=ok, 3 for
 // partial/shed, the response "code" (64/65/66) for errors, 1 for
-// transport failures.
+// transport failures (65 when the transport failure is data loss).
+//
+// Fault tolerance: --retries N re-sends retry-safe failures (shed
+// responses, daemon down or restarting) with capped exponential backoff
+// (--backoff-ms, jittered); --reconnect 0 disables re-dialing the socket.
+// A learn sent with retries and no explicit --request-id gets a generated
+// one, so a retry that crosses a daemon restart is deduplicated
+// server-side instead of learning twice.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -36,18 +45,49 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: folearn_client --socket <path> <op> [--field value]...\n"
-      "  ops: ping load-graph close-session learn evaluate query stats\n"
-      "       shutdown\n"
+      "  ops: ping load-graph close-session learn evaluate query\n"
+      "       get-model list-models stats shutdown\n"
       "  --<key>-file <path> sends the file contents as field <key>;\n"
       "  --out <path> writes the response's model/payload field there\n"
-      "  (default: print all fields).\n");
+      "  (default: print all fields).\n"
+      "  --retries N retries shed/unavailable failures with capped\n"
+      "  exponential backoff (--backoff-ms, default 50) and jitter;\n"
+      "  --reconnect 0 disables re-dialing after a transport failure.\n");
   return 64;
+}
+
+// Parses a decimal int64 flag value; exits 64 on malformed input, the
+// same convention as the daemon's flag parser.
+int64_t ParseInt64Flag(const std::string& key, const std::string& value) {
+  try {
+    size_t pos = 0;
+    int64_t parsed = std::stoll(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "invalid value '%s' for flag '--%s'\n",
+                 value.c_str(), key.c_str());
+    std::exit(64);
+  }
+}
+
+// A request-id unique enough for the dedup window: wall-clock nanos plus
+// entropy, generated only when the user asked for retries but supplied no
+// id of their own.
+std::string GenerateRequestId() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const uint64_t nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+  std::random_device entropy;
+  return "auto-" + std::to_string(nanos) + "-" +
+         std::to_string(static_cast<uint64_t>(entropy()));
 }
 
 int Main(int argc, char** argv) {
   std::string socket_path;
   std::string op;
   std::string out_path;
+  RetryPolicy policy;
   Message request;
   std::vector<std::pair<std::string, std::string>> raw_flags;
   for (int i = 1; i < argc; ++i) {
@@ -68,11 +108,32 @@ int Main(int argc, char** argv) {
   }
   if (op.empty()) return Usage();
   request.Set("op", op);
+  bool retries_requested = false;
   for (const auto& [key, value] : raw_flags) {
     if (key == "socket") {
       socket_path = value;
     } else if (key == "out") {
       out_path = value;
+    } else if (key == "retries") {
+      int64_t n = ParseInt64Flag(key, value);
+      if (n < 0) {
+        std::fprintf(stderr, "--retries must be >= 0\n");
+        return 64;
+      }
+      policy.max_retries = static_cast<int>(n);
+      retries_requested = true;
+    } else if (key == "backoff-ms") {
+      policy.backoff_ms = ParseInt64Flag(key, value);
+      if (policy.backoff_ms < 0) {
+        std::fprintf(stderr, "--backoff-ms must be >= 0\n");
+        return 64;
+      }
+    } else if (key == "reconnect") {
+      if (value != "0" && value != "1") {
+        std::fprintf(stderr, "--reconnect takes 0 or 1\n");
+        return 64;
+      }
+      policy.reconnect = value == "1";
     } else if (key.size() > 5 && key.rfind("-file") == key.size() - 5) {
       StatusOr<std::string> contents = ReadFileToString(value);
       if (!contents.ok()) {
@@ -88,16 +149,24 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "missing --socket <path>\n");
     return 64;
   }
-
-  StatusOr<Client> client = Client::Connect(socket_path);
-  if (!client.ok()) {
-    std::fprintf(stderr, "%s\n", client.status().message().c_str());
-    return 1;
+  Status path_ok = ValidateSocketPath(socket_path);
+  if (!path_ok.ok()) {
+    std::fprintf(stderr, "%s\n", path_ok.message().c_str());
+    return 64;
   }
-  StatusOr<Message> response = client->Call(request);
+  // Retried learns need a request-id to be idempotent across a daemon
+  // restart; generate one when the user didn't supply their own.
+  if (retries_requested && op == "learn" && !request.Has("request-id")) {
+    request.Set("request-id", GenerateRequestId());
+  }
+
+  RetryingClient client(socket_path, policy);
+  StatusOr<Message> response = client.Call(request);
   if (!response.ok()) {
     std::fprintf(stderr, "%s\n", response.status().message().c_str());
-    return 1;
+    // Terminal data loss keeps its sysexits analogue; every other
+    // transport failure is the generic environment failure.
+    return response.status().code() == StatusCode::kDataLoss ? 65 : 1;
   }
 
   // Large payloads (model text) go to --out; everything else prints as

@@ -6,6 +6,14 @@
 //   folearnd --socket /tmp/folearnd.sock [--max-inflight 8]
 //            [--max-deadline-ms N] [--max-work N]
 //            [--cache-bytes N] [--plan-cache-bytes N]
+//            [--state-dir DIR] [--session-ttl-ms N]
+//            [--dedup-window N] [--crash-at-journal-write N]
+//
+// With --state-dir, sessions and learned-model handles are journaled
+// through the checkpoint envelope and recovered on restart; see
+// src/server/session_store.h. --session-ttl-ms evicts idle sessions
+// (journaled ones re-warm lazily on next use). --crash-at-journal-write
+// is the chaos-test hook: die after the Nth completed journal write.
 //
 // SIGINT/SIGTERM stop the daemon gracefully: in-flight requests finish,
 // connections drain, the socket file is removed. Exit codes follow the
@@ -37,12 +45,18 @@ int Usage() {
       "usage: folearnd --socket <path> [--max-inflight N]\n"
       "                [--max-deadline-ms N] [--max-work N]\n"
       "                [--cache-bytes N] [--plan-cache-bytes N]\n"
+      "                [--state-dir DIR] [--session-ttl-ms N]\n"
+      "                [--dedup-window N] [--crash-at-journal-write N]\n"
       "\n"
       "Serves folearn learn/evaluate/query requests on a local socket.\n"
       "--max-inflight caps concurrently executing requests (excess is\n"
       "shed, not queued); --max-deadline-ms/--max-work cap per-request\n"
       "governor limits; --cache-bytes budgets each session's ball cache\n"
-      "and --plan-cache-bytes the shared compiled-plan cache.\n");
+      "and --plan-cache-bytes the shared compiled-plan cache.\n"
+      "--state-dir journals sessions/models for crash recovery;\n"
+      "--session-ttl-ms evicts idle sessions (journaled ones re-warm\n"
+      "lazily); --dedup-window bounds the per-session learn request-id\n"
+      "window; --crash-at-journal-write is a fault-injection test hook.\n");
   return 64;
 }
 
@@ -76,7 +90,9 @@ int Main(int argc, char** argv) {
     (void)value;
     if (key != "socket" && key != "max-inflight" &&
         key != "max-deadline-ms" && key != "max-work" &&
-        key != "cache-bytes" && key != "plan-cache-bytes") {
+        key != "cache-bytes" && key != "plan-cache-bytes" &&
+        key != "state-dir" && key != "session-ttl-ms" &&
+        key != "dedup-window" && key != "crash-at-journal-write") {
       std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
       return 64;
     }
@@ -85,6 +101,16 @@ int Main(int argc, char** argv) {
 
   ServerOptions options;
   options.socket_path = flags["socket"];
+  {
+    // Catch over-long paths before they reach bind(2): sun_path would
+    // silently truncate them.
+    Status path_ok = ValidateSocketPath(options.socket_path);
+    if (!path_ok.ok()) {
+      std::fprintf(stderr, "folearnd: %s\n", path_ok.message().c_str());
+      return 64;
+    }
+  }
+  if (flags.count("state-dir") != 0) options.state_dir = flags["state-dir"];
   if (flags.count("max-inflight") != 0) {
     int64_t n = ParseInt64("max-inflight", flags["max-inflight"]);
     if (n < 1) {
@@ -123,17 +149,41 @@ int Main(int argc, char** argv) {
       return 64;
     }
   }
+  if (flags.count("session-ttl-ms") != 0) {
+    options.session_ttl_ms =
+        ParseInt64("session-ttl-ms", flags["session-ttl-ms"]);
+    if (options.session_ttl_ms <= 0) {
+      std::fprintf(stderr, "--session-ttl-ms must be positive\n");
+      return 64;
+    }
+  }
+  if (flags.count("dedup-window") != 0) {
+    int64_t n = ParseInt64("dedup-window", flags["dedup-window"]);
+    if (n < 1) {
+      std::fprintf(stderr, "--dedup-window must be >= 1\n");
+      return 64;
+    }
+    options.dedup_window = static_cast<int>(n);
+  }
+  if (flags.count("crash-at-journal-write") != 0) {
+    options.crash_at_journal_write =
+        ParseInt64("crash-at-journal-write", flags["crash-at-journal-write"]);
+  }
 
   Server server(std::move(options));
+  // Handlers go in before Start(): the socket file becomes visible (and
+  // connectable) during Start(), so a supervisor may signal us the moment
+  // it appears. Shutdown() before Serve() just makes Serve() return
+  // immediately.
+  g_server = &server;
+  std::signal(SIGINT, HandleTerminationSignal);
+  std::signal(SIGTERM, HandleTerminationSignal);
+  std::signal(SIGPIPE, SIG_IGN);
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "folearnd: %s\n", started.message().c_str());
     return 1;
   }
-  g_server = &server;
-  std::signal(SIGINT, HandleTerminationSignal);
-  std::signal(SIGTERM, HandleTerminationSignal);
-  std::signal(SIGPIPE, SIG_IGN);
   std::fprintf(stderr, "folearnd: listening on %s\n",
                server.socket_path().c_str());
   server.Serve();
