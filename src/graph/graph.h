@@ -132,6 +132,16 @@ class Graph {
   // All vertices carrying `color`, in increasing order.
   std::vector<Vertex> VerticesWithColor(ColorId color) const;
 
+  // Raw membership bitmap of `color`, indexed by vertex (size order()).
+  // For hot inner loops that validate their vertices once up front and
+  // then want unchecked O(1) membership tests (the bytecode VM's atom
+  // runs); everything else should go through HasColor.
+  const std::vector<bool>& ColorBitmap(ColorId color) const {
+    FOLEARN_CHECK_GE(color, 0);
+    FOLEARN_CHECK_LT(color, vocabulary_.size());
+    return color_members_[color];
+  }
+
   bool IsValidVertex(Vertex v) const { return v >= 0 && v < order(); }
 
  private:

@@ -8,8 +8,10 @@
 #include <deque>
 
 #include "learn/search_state.h"
+#include "mc/bytecode.h"
 #include "mc/compiled_eval.h"
 #include "mc/compiler.h"
+#include "mc/vm.h"
 #include "util/combinatorics.h"
 #include "util/parallel.h"
 
@@ -257,15 +259,19 @@ EnumerationErmResult EnumerationErmSequential(
 }
 
 // Per-worker compiled-plan cache for the enumeration grid: each worker
-// compiles a candidate formula at most once and keeps the evaluator (with
-// its per-graph memo) alive across all parameter tuples and examples.
-// With a byte budget (EvalOptions::cache_bytes ≥ 0) the oldest compiled
-// plans are dropped FIFO when the estimated footprint exceeds it — they
-// recompile on next use, so only speed, never results, depends on the
-// budget.
+// compiles (and, for the VM engine, lowers) a candidate formula at most
+// once and keeps the evaluator (with its per-graph memo) alive across all
+// parameter tuples and examples. With a byte budget
+// (EvalOptions::cache_bytes ≥ 0) the oldest self-compiled plans are
+// dropped FIFO when the estimated footprint exceeds it — they recompile
+// on next use, so only speed, never results, depends on the budget.
+// Prepared (caller-owned) plans are never charged or evicted; only their
+// per-graph evaluators live here.
 struct EnumerationPlanCache {
   std::vector<std::unique_ptr<CompiledFormula>> plans;
+  std::vector<std::shared_ptr<const LoweredPlan>> lowered;  // VM engine only
   std::vector<std::unique_ptr<CompiledEvaluator>> evaluators;
+  std::vector<std::unique_ptr<VmEvaluator>> vms;
   std::vector<Vertex> env;
   std::deque<int64_t> compiled_order;  // oldest formula index at the front
   int64_t bytes = 0;
@@ -276,19 +282,196 @@ struct EnumerationPlanCache {
     return static_cast<int64_t>(plan.nodes().size()) * 64 + 512;
   }
 
+  // Budget footprint of a self-compiled entry: the tree plan plus its
+  // bytecode, when lowered.
+  int64_t EntryBytes(int64_t index) const {
+    int64_t total = PlanBytes(*plans[index]);
+    if (lowered[index] != nullptr) total += lowered[index]->bytes();
+    return total;
+  }
+
   void EnforceBudget(int64_t max_bytes) {
     if (max_bytes < 0) return;
     // The entry just compiled (at the back) always survives its own call.
     while (bytes > max_bytes && compiled_order.size() > 1) {
       const int64_t oldest = compiled_order.front();
       compiled_order.pop_front();
-      bytes -= PlanBytes(*plans[oldest]);
-      evaluators[oldest].reset();  // references the plan: drop it first
+      bytes -= EntryBytes(oldest);
+      // Evaluators reference the plan and bytecode: drop them first.
+      vms[oldest].reset();
+      evaluators[oldest].reset();
+      lowered[oldest].reset();
       plans[oldest].reset();
       ++evictions;
     }
   }
 };
+
+// Shared implementation of the enumeration grid overloads. Exactly one of
+// `formulas` / `prepared` is populated; with `prepared` the compile/lower
+// step is skipped (plans are caller-owned).
+EnumerationErmResult EnumerationErmGrid(
+    const Graph& graph, const TrainingSet& examples, int ell,
+    std::span<const FormulaRef> formulas,
+    std::span<const PreparedFormula> prepared, ResourceGovernor* governor,
+    int threads, const EvalOptions& eval, const ScanHooks& hooks) {
+  const bool use_prepared = !prepared.empty();
+  const int k = examples.empty() ? 0
+                                 : static_cast<int>(examples[0].tuple.size());
+  std::vector<std::string> query_vars = QueryVars(k);
+  std::vector<std::string> param_vars = ParamVars(ell);
+  // The grid governor is the budget; per-candidate evaluation is always
+  // ungoverned (matching the TrainingError default of the PR 2 code).
+  EvalOptions candidate_eval = eval;
+  candidate_eval.governor = nullptr;
+  const EvalEngine engine = ResolveEngine(candidate_eval);
+  const auto formula_at = [&](int64_t index) -> const FormulaRef& {
+    return use_prepared ? prepared[index].formula : formulas[index];
+  };
+
+  // Flattened grid in scan order: index = tuple_index · |formulas| +
+  // formula_index. One sequential checkpoint per grid item.
+  const int64_t num_formulas =
+      use_prepared ? static_cast<int64_t>(prepared.size())
+                   : static_cast<int64_t>(formulas.size());
+  const int64_t num_tuples = SaturatingPow(graph.order(), ell);
+  const int64_t n_items =
+      num_formulas == 0 ? 0 : SaturatingMul(num_tuples, num_formulas);
+  if (hooks.resume == nullptr) {
+    const int64_t allowance =
+        governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
+    const int64_t full =
+        allowance == kNoLimit ? n_items : std::min(n_items, allowance);
+    if (full == 0) {
+      if (!use_prepared) {
+        return EnumerationErmSequential(graph, examples, ell, formulas,
+                                        query_vars, param_vars, governor,
+                                        candidate_eval);
+      }
+      std::vector<FormulaRef> plain;
+      plain.reserve(prepared.size());
+      for (const PreparedFormula& p : prepared) plain.push_back(p.formula);
+      return EnumerationErmSequential(graph, examples, ell, plain,
+                                      query_vars, param_vars, governor,
+                                      candidate_eval);
+    }
+  }
+
+  std::vector<std::string> all_vars = query_vars;
+  all_vars.insert(all_vars.end(), param_vars.begin(), param_vars.end());
+  const int64_t m = static_cast<int64_t>(examples.size());
+
+  ScanSpec spec;
+  spec.n_items = n_items;
+  spec.unit = 1;
+  spec.early_stop = true;  // the sequential loop always stops at zero
+  spec.threads = EffectiveThreads(threads);
+  spec.chunk_size = 64;
+  spec.governor = governor;
+  spec.checkpointer = hooks.checkpointer;
+  spec.resume = hooks.resume;
+  spec.learner = "enumeration";
+  spec.fingerprint = hooks.fingerprint;
+  std::vector<EnumerationPlanCache> plan_caches(spec.threads);
+  // One dense adjacency index for the whole grid: every worker's
+  // VmEvaluators share it read-only (per-evaluator auto-builds would
+  // multiply its footprint by the candidate count).
+  const std::shared_ptr<const VmGraphIndex> vm_index =
+      engine == EvalEngine::kVm ? VmGraphIndex::Build(graph) : nullptr;
+  ScanOutcome outcome = RunResumableScan(
+      spec, [&](int64_t index, int worker) -> std::pair<double, bool> {
+        const int64_t formula_index = index % num_formulas;
+        std::vector<int64_t> raw =
+            NthTuple(graph.order(), ell, index / num_formulas);
+        if (engine == EvalEngine::kInterpreted) {
+          std::vector<Vertex> parameters(raw.begin(), raw.end());
+          Hypothesis candidate{formula_at(formula_index), query_vars,
+                               param_vars, parameters};
+          double error =
+              TrainingError(graph, candidate, examples, candidate_eval);
+          return {error, error == 0.0};
+        }
+        EnumerationPlanCache& cache = plan_caches[worker];
+        if (cache.plans.empty()) {
+          cache.plans.resize(num_formulas);
+          cache.lowered.resize(num_formulas);
+          cache.evaluators.resize(num_formulas);
+          cache.vms.resize(num_formulas);
+          cache.env.resize(all_vars.size());
+        }
+        const bool is_vm = engine == EvalEngine::kVm;
+        const bool have = is_vm ? cache.vms[formula_index] != nullptr
+                                : cache.evaluators[formula_index] != nullptr;
+        if (!have) {
+          const CompiledFormula* plan;
+          if (use_prepared) {
+            plan = prepared[formula_index].plan.get();
+            if (is_vm) {
+              cache.lowered[formula_index] = prepared[formula_index].lowered;
+              if (cache.lowered[formula_index] == nullptr) {
+                cache.lowered[formula_index] =
+                    std::make_shared<const LoweredPlan>(LowerPlan(*plan));
+              }
+            }
+          } else {
+            cache.plans[formula_index] = std::make_unique<CompiledFormula>(
+                CompileFormula(formula_at(formula_index), all_vars));
+            plan = cache.plans[formula_index].get();
+            if (is_vm) {
+              cache.lowered[formula_index] =
+                  std::make_shared<const LoweredPlan>(LowerPlan(*plan));
+            }
+            cache.compiled_order.push_back(formula_index);
+            cache.bytes += cache.EntryBytes(formula_index);
+            cache.EnforceBudget(candidate_eval.cache_bytes);
+          }
+          if (is_vm) {
+            cache.vms[formula_index] = std::make_unique<VmEvaluator>(
+                *plan, *cache.lowered[formula_index], graph, candidate_eval,
+                vm_index);
+          } else {
+            cache.evaluators[formula_index] =
+                std::make_unique<CompiledEvaluator>(*plan, graph,
+                                                    candidate_eval);
+          }
+        }
+        for (int j = 0; j < ell; ++j) {
+          cache.env[k + j] = static_cast<Vertex>(raw[j]);
+        }
+        const auto sweep = [&](auto& evaluator) -> int64_t {
+          int64_t wrong = 0;
+          for (const LabeledExample& example : examples) {
+            FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), k);
+            std::copy(example.tuple.begin(), example.tuple.end(),
+                      cache.env.begin());
+            if (evaluator.Eval(cache.env) != example.label) ++wrong;
+          }
+          return wrong;
+        };
+        const int64_t wrong = is_vm ? sweep(*cache.vms[formula_index])
+                                    : sweep(*cache.evaluators[formula_index]);
+        double error =
+            m == 0 ? 0.0
+                   : static_cast<double>(wrong) / static_cast<double>(m);
+        return {error, error == 0.0};
+      });
+
+  EnumerationErmResult best;
+  best.formulas_tried = outcome.tried;
+  for (const EnumerationPlanCache& cache : plan_caches) {
+    best.plan_cache_evictions += cache.evictions;
+  }
+  if (outcome.winner >= 0) {
+    std::vector<int64_t> raw =
+        NthTuple(graph.order(), ell, outcome.winner / num_formulas);
+    std::vector<Vertex> parameters(raw.begin(), raw.end());
+    best.hypothesis = Hypothesis{formula_at(outcome.winner % num_formulas),
+                                 query_vars, param_vars, parameters};
+    best.training_error = outcome.best_error;
+  }
+  best.status = GovernorStatus(governor);
+  return best;
+}
 
 }  // namespace
 
@@ -316,111 +499,43 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
                                     ResourceGovernor* governor, int threads,
                                     const EvalOptions& eval,
                                     const ScanHooks& hooks) {
-  const int k = examples.empty() ? 0
-                                 : static_cast<int>(examples[0].tuple.size());
-  std::vector<std::string> query_vars = QueryVars(k);
+  return EnumerationErmGrid(graph, examples, ell, formulas, {}, governor,
+                            threads, eval, hooks);
+}
+
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    std::span<const PreparedFormula> formulas,
+                                    ResourceGovernor* governor, int threads,
+                                    const EvalOptions& eval,
+                                    const ScanHooks& hooks) {
+  if (formulas.empty()) {
+    return EnumerationErmGrid(graph, examples, ell, {}, {}, governor,
+                              threads, eval, hooks);
+  }
+  return EnumerationErmGrid(graph, examples, ell, {}, formulas, governor,
+                            threads, eval, hooks);
+}
+
+std::vector<PreparedFormula> PrepareFormulas(
+    std::span<const FormulaRef> formulas, int k, int ell,
+    EvalEngine engine) {
+  std::vector<std::string> all_vars = QueryVars(k);
   std::vector<std::string> param_vars = ParamVars(ell);
-  // The grid governor is the budget; per-candidate evaluation is always
-  // ungoverned (matching the TrainingError default of the PR 2 code).
-  EvalOptions candidate_eval = eval;
-  candidate_eval.governor = nullptr;
-
-  // Flattened grid in scan order: index = tuple_index · |formulas| +
-  // formula_index. One sequential checkpoint per grid item.
-  const int64_t num_formulas = static_cast<int64_t>(formulas.size());
-  const int64_t num_tuples = SaturatingPow(graph.order(), ell);
-  const int64_t n_items =
-      num_formulas == 0 ? 0 : SaturatingMul(num_tuples, num_formulas);
-  if (hooks.resume == nullptr) {
-    const int64_t allowance =
-        governor == nullptr ? kNoLimit : governor->DeterministicAllowance();
-    const int64_t full =
-        allowance == kNoLimit ? n_items : std::min(n_items, allowance);
-    if (full == 0) {
-      return EnumerationErmSequential(graph, examples, ell, formulas,
-                                      query_vars, param_vars, governor,
-                                      candidate_eval);
-    }
-  }
-
-  std::vector<std::string> all_vars = query_vars;
   all_vars.insert(all_vars.end(), param_vars.begin(), param_vars.end());
-  const int64_t m = static_cast<int64_t>(examples.size());
-
-  ScanSpec spec;
-  spec.n_items = n_items;
-  spec.unit = 1;
-  spec.early_stop = true;  // the sequential loop always stops at zero
-  spec.threads = EffectiveThreads(threads);
-  spec.chunk_size = 64;
-  spec.governor = governor;
-  spec.checkpointer = hooks.checkpointer;
-  spec.resume = hooks.resume;
-  spec.learner = "enumeration";
-  spec.fingerprint = hooks.fingerprint;
-  std::vector<EnumerationPlanCache> plan_caches(spec.threads);
-  ScanOutcome outcome = RunResumableScan(
-      spec, [&](int64_t index, int worker) -> std::pair<double, bool> {
-        const int64_t formula_index = index % num_formulas;
-        std::vector<int64_t> raw =
-            NthTuple(graph.order(), ell, index / num_formulas);
-        if (candidate_eval.force_interpreter) {
-          std::vector<Vertex> parameters(raw.begin(), raw.end());
-          Hypothesis candidate{formulas[formula_index], query_vars,
-                               param_vars, parameters};
-          double error =
-              TrainingError(graph, candidate, examples, candidate_eval);
-          return {error, error == 0.0};
-        }
-        EnumerationPlanCache& cache = plan_caches[worker];
-        if (cache.plans.empty()) {
-          cache.plans.resize(num_formulas);
-          cache.evaluators.resize(num_formulas);
-          cache.env.resize(all_vars.size());
-        }
-        if (cache.evaluators[formula_index] == nullptr) {
-          cache.plans[formula_index] = std::make_unique<CompiledFormula>(
-              CompileFormula(formulas[formula_index], all_vars));
-          cache.evaluators[formula_index] =
-              std::make_unique<CompiledEvaluator>(
-                  *cache.plans[formula_index], graph, candidate_eval);
-          cache.compiled_order.push_back(formula_index);
-          cache.bytes +=
-              EnumerationPlanCache::PlanBytes(*cache.plans[formula_index]);
-          cache.EnforceBudget(candidate_eval.cache_bytes);
-        }
-        CompiledEvaluator& evaluator = *cache.evaluators[formula_index];
-        for (int j = 0; j < ell; ++j) {
-          cache.env[k + j] = static_cast<Vertex>(raw[j]);
-        }
-        int64_t wrong = 0;
-        for (const LabeledExample& example : examples) {
-          FOLEARN_CHECK_EQ(static_cast<int>(example.tuple.size()), k);
-          std::copy(example.tuple.begin(), example.tuple.end(),
-                    cache.env.begin());
-          if (evaluator.Eval(cache.env) != example.label) ++wrong;
-        }
-        double error =
-            m == 0 ? 0.0
-                   : static_cast<double>(wrong) / static_cast<double>(m);
-        return {error, error == 0.0};
-      });
-
-  EnumerationErmResult best;
-  best.formulas_tried = outcome.tried;
-  for (const EnumerationPlanCache& cache : plan_caches) {
-    best.plan_cache_evictions += cache.evictions;
+  std::vector<PreparedFormula> prepared;
+  prepared.reserve(formulas.size());
+  for (const FormulaRef& formula : formulas) {
+    PreparedFormula p;
+    p.formula = formula;
+    p.plan = std::make_shared<const CompiledFormula>(
+        CompileFormula(formula, all_vars));
+    if (engine == EvalEngine::kVm) {
+      p.lowered = std::make_shared<const LoweredPlan>(LowerPlan(*p.plan));
+    }
+    prepared.push_back(std::move(p));
   }
-  if (outcome.winner >= 0) {
-    std::vector<int64_t> raw =
-        NthTuple(graph.order(), ell, outcome.winner / num_formulas);
-    std::vector<Vertex> parameters(raw.begin(), raw.end());
-    best.hypothesis = Hypothesis{formulas[outcome.winner % num_formulas],
-                                 query_vars, param_vars, parameters};
-    best.training_error = outcome.best_error;
-  }
-  best.status = GovernorStatus(governor);
-  return best;
+  return prepared;
 }
 
 }  // namespace folearn

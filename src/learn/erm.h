@@ -10,6 +10,8 @@
 #include "learn/dataset.h"
 #include "learn/hypothesis.h"
 #include "learn/search_state.h"
+#include "mc/bytecode.h"
+#include "mc/compiler.h"
 #include "types/type.h"
 #include "util/governor.h"
 
@@ -155,6 +157,36 @@ EnumerationErmResult EnumerationErm(const Graph& graph,
 EnumerationErmResult EnumerationErm(const Graph& graph,
                                     const TrainingSet& examples, int ell,
                                     std::span<const FormulaRef> formulas,
+                                    ResourceGovernor* governor = nullptr,
+                                    int threads = 1,
+                                    const EvalOptions& eval = {},
+                                    const ScanHooks& hooks = {});
+
+// A candidate with its graph-independent compilation artifacts hoisted out
+// of the grid scan: the tree plan and, when prepared for EvalEngine::kVm,
+// the lowered bytecode. Produced by PrepareFormulas; consumed by the
+// overload below. Prepared plans are caller-owned — the per-worker plan
+// caches neither count them against EvalOptions::cache_bytes nor evict
+// them (per-graph evaluators are still built, and evicted, per worker).
+struct PreparedFormula {
+  FormulaRef formula;
+  std::shared_ptr<const CompiledFormula> plan;
+  std::shared_ptr<const LoweredPlan> lowered;  // null unless VM-prepared
+};
+
+// Compiles (and for EvalEngine::kVm lowers) every candidate against the
+// canonical frame QueryVars(k) · ParamVars(ell). Lets callers amortise
+// plan construction across repeated runs and keep it out of benches' timed
+// regions; graph binding still happens inside EnumerationErm.
+std::vector<PreparedFormula> PrepareFormulas(
+    std::span<const FormulaRef> formulas, int k, int ell, EvalEngine engine);
+
+// Grid search over pre-compiled candidates: identical results to the
+// FormulaRef overload on the same formulas, minus the per-worker
+// compile/lower work (and minus its cache_bytes eviction telemetry).
+EnumerationErmResult EnumerationErm(const Graph& graph,
+                                    const TrainingSet& examples, int ell,
+                                    std::span<const PreparedFormula> formulas,
                                     ResourceGovernor* governor = nullptr,
                                     int threads = 1,
                                     const EvalOptions& eval = {},

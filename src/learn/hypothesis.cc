@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "mc/bytecode.h"
 #include "mc/compiled_eval.h"
 #include "mc/compiler.h"
+#include "mc/vm.h"
 #include "types/hintikka.h"
 
 namespace folearn {
@@ -18,7 +20,7 @@ bool Hypothesis::Classify(const Graph& graph, std::span<const Vertex> tuple,
                           const EvalOptions& options) const {
   FOLEARN_CHECK_EQ(tuple.size(), query_vars.size());
   FOLEARN_CHECK_EQ(parameters.size(), param_vars.size());
-  if (options.force_interpreter) {
+  if (ResolveEngine(options) == EvalEngine::kInterpreted) {
     Assignment assignment(query_vars, tuple);
     for (size_t i = 0; i < param_vars.size(); ++i) {
       assignment.Bind(param_vars[i], parameters[i]);
@@ -34,7 +36,8 @@ double TrainingError(const Graph& graph, const Hypothesis& hypothesis,
                      const TrainingSet& examples, const EvalOptions& options) {
   if (examples.empty()) return 0.0;
   int64_t wrong = 0;
-  if (options.force_interpreter) {
+  const EvalEngine engine = ResolveEngine(options);
+  if (engine == EvalEngine::kInterpreted) {
     for (const LabeledExample& example : examples) {
       if (hypothesis.Classify(graph, example.tuple, options) !=
           example.label) {
@@ -48,15 +51,24 @@ double TrainingError(const Graph& graph, const Hypothesis& hypothesis,
                      hypothesis.param_vars.size());
     CompiledFormula plan =
         CompileFormula(hypothesis.formula, hypothesis.AllVars());
-    CompiledEvaluator evaluator(plan, graph, options);
     const size_t k = hypothesis.query_vars.size();
     std::vector<Vertex> env(k + hypothesis.parameters.size());
     std::copy(hypothesis.parameters.begin(), hypothesis.parameters.end(),
               env.begin() + static_cast<ptrdiff_t>(k));
-    for (const LabeledExample& example : examples) {
-      FOLEARN_CHECK_EQ(example.tuple.size(), k);
-      std::copy(example.tuple.begin(), example.tuple.end(), env.begin());
-      if (evaluator.Eval(env) != example.label) ++wrong;
+    auto sweep = [&](auto& evaluator) {
+      for (const LabeledExample& example : examples) {
+        FOLEARN_CHECK_EQ(example.tuple.size(), k);
+        std::copy(example.tuple.begin(), example.tuple.end(), env.begin());
+        if (evaluator.Eval(env) != example.label) ++wrong;
+      }
+    };
+    if (engine == EvalEngine::kVm) {
+      LoweredPlan lowered = LowerPlan(plan);
+      VmEvaluator evaluator(plan, lowered, graph, options);
+      sweep(evaluator);
+    } else {
+      CompiledEvaluator evaluator(plan, graph, options);
+      sweep(evaluator);
     }
   }
   return static_cast<double>(wrong) / static_cast<double>(examples.size());

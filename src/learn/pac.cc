@@ -3,9 +3,10 @@
 #include <cmath>
 #include <set>
 
-#include "mc/compiled_eval.h"
+#include "mc/bytecode.h"
 #include "mc/compiler.h"
 #include "mc/evaluator.h"
+#include "mc/vm.h"
 #include "types/type.h"
 
 namespace folearn {
@@ -24,9 +25,12 @@ class QueryDistribution : public ExampleDistribution {
     FOLEARN_CHECK_GT(graph.order(), 0);
     FOLEARN_CHECK(noise_rate >= 0.0 && noise_rate <= 1.0);
     // The hidden query is fixed for the distribution's lifetime: compile
-    // it once and label every sample through the same plan.
+    // and lower it once and label every sample through the same bytecode
+    // (ungoverned and unstatted, so the engine choice is unobservable
+    // beyond speed).
     plan_ = std::make_unique<CompiledFormula>(CompileFormula(query_, vars_));
-    evaluator_ = std::make_unique<CompiledEvaluator>(*plan_, graph_);
+    lowered_ = std::make_unique<LoweredPlan>(LowerPlan(*plan_));
+    evaluator_ = std::make_unique<VmEvaluator>(*plan_, *lowered_, graph_);
   }
 
   LabeledExample Sample(Rng& rng) override {
@@ -46,7 +50,8 @@ class QueryDistribution : public ExampleDistribution {
   FormulaRef query_;
   std::vector<std::string> vars_;
   std::unique_ptr<CompiledFormula> plan_;
-  std::unique_ptr<CompiledEvaluator> evaluator_;
+  std::unique_ptr<LoweredPlan> lowered_;
+  std::unique_ptr<VmEvaluator> evaluator_;
   int k_;
   double noise_rate_;
 };

@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <chrono>
 
+#include "mc/bytecode.h"
 #include "mc/compiled_eval.h"
 #include "mc/compiler.h"
+#include "mc/vm.h"
 
 namespace folearn {
+
+const char* EvalEngineName(EvalEngine engine) {
+  switch (engine) {
+    case EvalEngine::kVm: return "vm";
+    case EvalEngine::kCompiled: return "compiled";
+    case EvalEngine::kInterpreted: return "interpreted";
+  }
+  return "unknown";
+}
+
+std::optional<EvalEngine> ParseEvalEngine(const std::string& name) {
+  if (name == "vm") return EvalEngine::kVm;
+  if (name == "compiled") return EvalEngine::kCompiled;
+  if (name == "interpreted") return EvalEngine::kInterpreted;
+  return std::nullopt;
+}
 
 Assignment::Assignment(std::span<const std::string> vars,
                        std::span<const Vertex> values) {
@@ -228,20 +246,36 @@ double MsSince(SteadyClock::time_point start) {
       .count();
 }
 
-// Compile-then-evaluate for the one-shot entry points. The clock is read
-// only when a stats sink is attached.
-bool CompiledEvalOnce(const Graph& graph, const FormulaRef& formula,
-                      std::span<const std::string> vars,
-                      std::span<const Vertex> tuple,
-                      const EvalOptions& options, EvalStats* stats) {
+// Compile-then-evaluate for the one-shot entry points, routed to the tree
+// engine or the bytecode VM per ResolveEngine (the interpreted path never
+// reaches here). The clock is read only when a stats sink is attached.
+bool PlanEvalOnce(const Graph& graph, const FormulaRef& formula,
+                  std::span<const std::string> vars,
+                  std::span<const Vertex> tuple, const EvalOptions& options,
+                  EvalStats* stats) {
   SteadyClock::time_point start;
   if (stats != nullptr) start = SteadyClock::now();
   CompiledFormula plan = CompileFormula(formula, vars);
-  CompiledEvaluator evaluator(plan, graph, options);
   if (stats != nullptr) {
     stats->compile_ms += MsSince(start);
     start = SteadyClock::now();
   }
+  if (ResolveEngine(options) == EvalEngine::kVm) {
+    LoweredPlan lowered = LowerPlan(plan);
+    VmEvaluator evaluator(plan, lowered, graph, options);
+    if (stats != nullptr) {
+      stats->lower_ms += MsSince(start);
+      start = SteadyClock::now();
+    }
+    bool value = evaluator.Eval(tuple, stats);
+    if (stats != nullptr) {
+      const double ms = MsSince(start);
+      stats->eval_ms += ms;
+      stats->exec_ms += ms;
+    }
+    return value;
+  }
+  CompiledEvaluator evaluator(plan, graph, options);
   bool value = evaluator.Eval(tuple, stats);
   if (stats != nullptr) stats->eval_ms += MsSince(start);
   return value;
@@ -265,22 +299,22 @@ bool EvaluateSentence(const Graph& graph, const FormulaRef& sentence,
       << "sentence expected, but formula has free variables";
   FOLEARN_CHECK(sentence->free_set_variables().empty())
       << "sentence expected, but formula has free set variables";
-  if (options.force_interpreter) {
+  if (ResolveEngine(options) == EvalEngine::kInterpreted) {
     return Evaluate(graph, sentence, Assignment(), options, stats);
   }
-  return CompiledEvalOnce(graph, sentence, {}, {}, options, stats);
+  return PlanEvalOnce(graph, sentence, {}, {}, options, stats);
 }
 
 bool EvaluateQuery(const Graph& graph, const FormulaRef& formula,
                    std::span<const std::string> vars,
                    std::span<const Vertex> tuple, const EvalOptions& options,
                    EvalStats* stats) {
-  if (options.force_interpreter) {
+  if (ResolveEngine(options) == EvalEngine::kInterpreted) {
     return Evaluate(graph, formula, Assignment(vars, tuple), options, stats);
   }
   FOLEARN_CHECK(formula != nullptr);
   FOLEARN_CHECK_EQ(vars.size(), tuple.size());
-  return CompiledEvalOnce(graph, formula, vars, tuple, options, stats);
+  return PlanEvalOnce(graph, formula, vars, tuple, options, stats);
 }
 
 std::vector<bool> EvaluateOnTuples(
@@ -293,16 +327,35 @@ std::vector<bool> EvaluateOnTuples(
   results.reserve(tuples.size());
   if (tuples.empty()) return results;
 
-  if (!options.force_interpreter) {
+  const EvalEngine engine = ResolveEngine(options);
+  if (engine != EvalEngine::kInterpreted) {
     // One plan, one evaluator, all tuples — the batched fast path.
     SteadyClock::time_point start;
     if (stats != nullptr) start = SteadyClock::now();
     CompiledFormula plan = CompileFormula(formula, vars);
-    CompiledEvaluator evaluator(plan, graph, options);
     if (stats != nullptr) {
       stats->compile_ms += MsSince(start);
       start = SteadyClock::now();
     }
+    if (engine == EvalEngine::kVm) {
+      LoweredPlan lowered = LowerPlan(plan);
+      VmEvaluator evaluator(plan, lowered, graph, options);
+      if (stats != nullptr) {
+        stats->lower_ms += MsSince(start);
+        start = SteadyClock::now();
+      }
+      for (const std::vector<Vertex>& tuple : tuples) {
+        FOLEARN_CHECK_EQ(tuple.size(), vars.size());
+        results.push_back(evaluator.Eval(tuple, stats));
+      }
+      if (stats != nullptr) {
+        const double ms = MsSince(start);
+        stats->eval_ms += ms;
+        stats->exec_ms += ms;
+      }
+      return results;
+    }
+    CompiledEvaluator evaluator(plan, graph, options);
     for (const std::vector<Vertex>& tuple : tuples) {
       FOLEARN_CHECK_EQ(tuple.size(), vars.size());
       results.push_back(evaluator.Eval(tuple, stats));

@@ -78,6 +78,27 @@ class Assignment {
   mutable size_t last_hit_ = 0;
 };
 
+// Which engine executes compiled-path evaluations. All three produce
+// byte-identical verdicts, EvalStats counters, and governor cut points
+// (enforced by the three-way differential grid in
+// compiled_vs_interpreted_test); they differ only in speed:
+//  * kVm — plans are lowered to register bytecode (mc/bytecode.h) run by a
+//    threaded-dispatch VM (mc/vm.h). The default and the fastest.
+//  * kCompiled — the PR 3 tree engine (mc/compiled_eval.h): flattened
+//    node-tree walk, retained as the VM's differential oracle and as the
+//    fallback for plans the lowering rejects.
+//  * kInterpreted — the recursive reference interpreter.
+enum class EvalEngine : uint8_t {
+  kVm,
+  kCompiled,
+  kInterpreted,
+};
+
+// CLI-facing engine names: "vm", "compiled", "interpreted".
+const char* EvalEngineName(EvalEngine engine);
+// Inverse of EvalEngineName; nullopt for unknown names.
+std::optional<EvalEngine> ParseEvalEngine(const std::string& name);
+
 // Optional instrumentation for the evaluation experiments (E6).
 struct EvalStats {
   int64_t atom_evaluations = 0;
@@ -88,6 +109,15 @@ struct EvalStats {
   // clock is never read at all).
   double compile_ms = 0.0;
   double eval_ms = 0.0;
+  // Finer-grained split for the VM engine: bytecode lowering (part of plan
+  // construction, amortized across calls when plans are cached) vs bytecode
+  // execution (also included in eval_ms). Zero on the other engines.
+  double lower_ms = 0.0;
+  double exec_ms = 0.0;
+  // Per-opcode dispatch tallies from the VM's counting lane, indexed by
+  // VmOp (mc/bytecode.h; names via VmOpName). Empty until a VM evaluation
+  // ran with this sink; sized kNumVmOps afterwards.
+  std::vector<int64_t> vm_op_dispatches;
   // Memo-table entries dropped to honour EvalOptions::cache_bytes
   // (compiled path only; stays 0 when the budget is unlimited). Purely a
   // performance signal: verdicts and work counts are identical with any
@@ -104,12 +134,15 @@ struct EvalOptions {
   // evaluate to false (used after vocabulary-erasing transformations); if
   // false, such atoms CHECK-fail — the safer default for catching bugs.
   bool missing_color_is_false = false;
-  // Escape hatch: route EvaluateSentence/EvaluateQuery/EvaluateOnTuples
-  // (and everything layered on them — training error, dataset labelling,
-  // enumeration ERM) through the interpreted reference evaluator instead of
-  // compiled plans. Verdicts, work counts, and governor cut points are
-  // identical either way (enforced by compiled_vs_interpreted_test); the
-  // interpreter is simply slower.
+  // Engine for EvaluateSentence/EvaluateQuery/EvaluateOnTuples and
+  // everything layered on them (training error, dataset labelling,
+  // enumeration ERM). Verdicts, work counts, and governor cut points are
+  // identical across engines; they differ only in speed. See ResolveEngine
+  // for the interaction with force_interpreter.
+  EvalEngine engine = EvalEngine::kVm;
+  // Escape hatch predating `engine`: when set, routes everything through
+  // the interpreted reference evaluator regardless of `engine`. Kept so
+  // existing call sites (and saved configs) keep their meaning.
   bool force_interpreter = false;
   // Optional resource governor (nullptr = ungoverned). Work unit: one
   // quantifier branch (one vertex binding or one MSO subset). On a trip the
@@ -124,6 +157,13 @@ struct EvalOptions {
   // EvalStats::cache_evictions.
   int64_t cache_bytes = -1;
 };
+
+// The engine that actually runs under `options`: force_interpreter wins,
+// otherwise options.engine.
+inline EvalEngine ResolveEngine(const EvalOptions& options) {
+  return options.force_interpreter ? EvalEngine::kInterpreted
+                                   : options.engine;
+}
 
 // The FO-MC substrate (paper §4): decides G ⊨ φ under `assignment` by the
 // standard recursive semantics. All free variables of φ must be bound.

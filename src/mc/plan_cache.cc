@@ -1,5 +1,6 @@
 #include "mc/plan_cache.h"
 
+#include <chrono>
 #include <utility>
 
 #include "fo/printer.h"
@@ -9,13 +10,23 @@ namespace folearn {
 
 namespace {
 
+// Key = printed formula + frame + engine + options fingerprint, separated
+// by the unit separator (which cannot occur in formula text or variable
+// names). The engine/fingerprint suffix keeps a tree-only entry and a
+// tree+bytecode entry for the same formula distinct, so neither collides
+// with nor double-counts the other's byte budget.
 std::string MakeKey(const FormulaRef& formula,
-                    std::span<const std::string> free_var_order) {
+                    std::span<const std::string> free_var_order,
+                    const EvalOptions& options) {
   std::string key = ToString(formula);
   for (const std::string& var : free_var_order) {
-    key.push_back('\x1f');  // unit separator: cannot occur in formula text
+    key.push_back('\x1f');
     key.append(var);
   }
+  key.push_back('\x1f');
+  key.append(EvalEngineName(ResolveEngine(options)));
+  key.push_back('\x1f');
+  key.append(options.missing_color_is_false ? "mcf1" : "mcf0");
   return key;
 }
 
@@ -46,18 +57,22 @@ int64_t PlanPayloadBytes(const CompiledFormula& plan) {
 }  // namespace
 
 int64_t PlanCache::EntryBytes(const std::string& key,
-                              const CompiledFormula& plan) {
+                              const CachedPlan& entry) {
   // Key is stored twice (map key + FIFO queue), plus hash-map node and
   // control-block overhead, estimated the same way BallCache does.
   constexpr int64_t kPerEntryOverhead =
-      4 * sizeof(void*) + sizeof(std::shared_ptr<const CompiledFormula>) +
-      2 * sizeof(int64_t);
-  return PlanPayloadBytes(plan) + 2 * StringBytes(key) + kPerEntryOverhead;
+      4 * sizeof(void*) + sizeof(CachedPlan) + 2 * sizeof(int64_t);
+  FOLEARN_CHECK(entry.plan != nullptr);
+  int64_t bytes =
+      PlanPayloadBytes(*entry.plan) + 2 * StringBytes(key) + kPerEntryOverhead;
+  if (entry.bytecode != nullptr) bytes += entry.bytecode->bytes();
+  return bytes;
 }
 
-std::shared_ptr<const CompiledFormula> PlanCache::GetOrCompile(
-    const FormulaRef& formula, std::span<const std::string> free_var_order) {
-  std::string key = MakeKey(formula, free_var_order);
+CachedPlan PlanCache::GetOrCompile(const FormulaRef& formula,
+                                   std::span<const std::string> free_var_order,
+                                   const EvalOptions& options) {
+  std::string key = MakeKey(formula, free_var_order, options);
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = cache_.find(key);
@@ -67,17 +82,26 @@ std::shared_ptr<const CompiledFormula> PlanCache::GetOrCompile(
     }
     ++misses_;
   }
-  // Compile outside the lock: plans can take a while and the cache must
-  // not serialise unrelated requests behind one compilation.
-  auto plan = std::make_shared<const CompiledFormula>(
+  // Compile (and for the VM engine, lower) outside the lock: plans can
+  // take a while and the cache must not serialise unrelated requests
+  // behind one compilation.
+  CachedPlan entry;
+  entry.plan = std::make_shared<const CompiledFormula>(
       CompileFormula(formula, free_var_order));
-  const int64_t cost = EntryBytes(key, *plan);
+  if (ResolveEngine(options) == EvalEngine::kVm) {
+    const auto start = std::chrono::steady_clock::now();
+    entry.bytecode = std::make_shared<const LoweredPlan>(LowerPlan(*entry.plan));
+    entry.lower_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  }
+  const int64_t cost = EntryBytes(key, entry);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;  // a racing compile won
   if (max_bytes_ >= 0 && cost > max_bytes_) {
     ++oversize_misses_;
-    return plan;  // caller keeps it alive; too big to ever cache
+    return entry;  // caller keeps it alive; too big to ever cache
   }
   if (max_bytes_ >= 0) {
     while (bytes_ + cost > max_bytes_) {
@@ -85,15 +109,15 @@ std::shared_ptr<const CompiledFormula> PlanCache::GetOrCompile(
       auto old_it = cache_.find(insertion_order_.front());
       insertion_order_.pop_front();
       FOLEARN_CHECK(old_it != cache_.end());
-      bytes_ -= EntryBytes(old_it->first, *old_it->second);
+      bytes_ -= EntryBytes(old_it->first, old_it->second);
       cache_.erase(old_it);
       ++evictions_;
     }
   }
   insertion_order_.push_back(key);
   bytes_ += cost;
-  cache_.emplace(std::move(key), plan);
-  return plan;
+  cache_.emplace(std::move(key), entry);
+  return entry;
 }
 
 int64_t PlanCache::hits() const {

@@ -10,9 +10,22 @@
 #include <unordered_map>
 
 #include "fo/formula.h"
+#include "mc/bytecode.h"
 #include "mc/compiler.h"
+#include "mc/evaluator.h"
 
 namespace folearn {
+
+// One cached compilation artefact: the tree plan, plus — for
+// EvalEngine::kVm entries — its lowered bytecode and how long the lowering
+// took (amortised across every reuse; surfaced by the server's get-model
+// stats). All members are immutable and shareable across threads and
+// graphs; per-graph state lives in the evaluators.
+struct CachedPlan {
+  std::shared_ptr<const CompiledFormula> plan;
+  std::shared_ptr<const LoweredPlan> bytecode;  // null for non-VM entries
+  double lower_ms = 0.0;
+};
 
 // A thread-safe, byte-budgeted cache of compiled evaluation plans.
 //
@@ -23,17 +36,21 @@ namespace folearn {
 // Plans are immutable and explicitly shareable across threads and graphs
 // (mc/compiler.h), which makes them the one compilation artefact a server
 // can safely keep warm globally; the per-graph state (memo tables, colour
-// classes) lives in each CompiledEvaluator instead.
+// classes) lives in each CompiledEvaluator/VmEvaluator instead.
 //
-// Keying: (printed formula, free-variable frame). Printing canonicalises
-// structurally equal formulas parsed from different requests, and the
-// frame is part of the key because slot assignment depends on it.
+// Keying: (printed formula, free-variable frame, engine kind,
+// eval-options fingerprint). Printing canonicalises structurally equal
+// formulas parsed from different requests; the frame is part of the key
+// because slot assignment depends on it; the engine and options
+// fingerprint keep tree-only and tree+bytecode entries from colliding or
+// double-counting their byte budgets when a server mixes engines.
 //
 // Budgeting mirrors BallCache: `bytes() <= max_bytes` is a hard invariant
 // maintained by FIFO eviction, the accounting covers the plan's node and
-// string payloads plus per-entry key/metadata overhead, and a single plan
-// larger than the whole budget is returned uncached (shared_ptr keeps it
-// alive for the caller; the cache remembers only that it happened).
+// string payloads, the bytecode (when present), and per-entry
+// key/metadata overhead, and a single entry larger than the whole budget
+// is returned uncached (the shared_ptrs keep it alive for the caller; the
+// cache remembers only that it happened).
 class PlanCache {
  public:
   static constexpr int64_t kNoBudget = -1;
@@ -43,14 +60,15 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  // Returns the cached plan for (formula, free_var_order), compiling and
-  // (budget permitting) inserting it on a miss. Safe to call from any
-  // number of threads; compilation happens outside the lock, so two
+  // Returns the cached artefacts for (formula, free_var_order,
+  // ResolveEngine(options), options fingerprint), compiling — and for the
+  // VM engine lowering — on a miss (budget permitting). Safe to call from
+  // any number of threads; compilation happens outside the lock, so two
   // threads racing on the same key may both compile — the first insert
-  // wins and both get a usable plan.
-  std::shared_ptr<const CompiledFormula> GetOrCompile(
-      const FormulaRef& formula,
-      std::span<const std::string> free_var_order);
+  // wins and both get usable artefacts.
+  CachedPlan GetOrCompile(const FormulaRef& formula,
+                          std::span<const std::string> free_var_order,
+                          const EvalOptions& options);
 
   // Diagnostics (snapshot under the lock).
   int64_t hits() const;
@@ -61,17 +79,16 @@ class PlanCache {
   int64_t entries() const;
   int64_t max_bytes() const { return max_bytes_; }
 
-  // Full footprint of one cache entry: plan payload + key string + map and
-  // FIFO bookkeeping. Exposed for tests asserting the budget invariant.
-  static int64_t EntryBytes(const std::string& key,
-                            const CompiledFormula& plan);
+  // Full footprint of one cache entry: plan payload + bytecode payload (if
+  // any) + key string + map and FIFO bookkeeping. Exposed for tests
+  // asserting the budget invariant.
+  static int64_t EntryBytes(const std::string& key, const CachedPlan& entry);
 
  private:
   const int64_t max_bytes_;
 
   mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const CompiledFormula>>
-      cache_;
+  std::unordered_map<std::string, CachedPlan> cache_;
   std::deque<std::string> insertion_order_;  // FIFO eviction
   int64_t bytes_ = 0;
   int64_t hits_ = 0;

@@ -1,0 +1,195 @@
+#ifndef FOLEARN_MC_VM_H_
+#define FOLEARN_MC_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "mc/bytecode.h"
+#include "mc/compiled_eval.h"
+#include "mc/compiler.h"
+#include "mc/evaluator.h"
+
+// Dispatch strategy for the VM's inner loop: computed goto (one indirect
+// branch per handler, the branch predictor sees per-opcode history) under
+// GCC/Clang, a plain switch loop everywhere else or when the portable
+// fallback is forced with -DFOLEARN_VM_SWITCH_DISPATCH=ON. Both paths are
+// byte-identical in behaviour (CI builds and tests the switch leg).
+#if !defined(FOLEARN_VM_SWITCH_DISPATCH) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define FOLEARN_VM_COMPUTED_GOTO 1
+#else
+#define FOLEARN_VM_COMPUTED_GOTO 0
+#endif
+
+namespace folearn {
+
+// Dense bit-matrix adjacency index: one row of ⌈order/64⌉ words per
+// vertex, so an edge atom is a single unchecked bit test instead of
+// Graph::HasEdge's bounds-checked binary search — the VM validates every
+// vertex once at bind/scan time, so the per-atom checks are pure
+// overhead. Immutable after Build; share one instance across every
+// evaluator bound to the same graph (the enumeration-ERM grid keeps
+// thousands alive at once — per-evaluator copies would multiply the
+// O(order²/8) footprint by the candidate count).
+struct VmGraphIndex {
+  int32_t order = 0;
+  int32_t stride = 0;           // uint64 words per row
+  std::vector<uint64_t> bits;   // order × stride, row-major
+  // One row per graph colour (vocabulary order): the same bitmaps as
+  // Graph::ColorBitmap, repacked into words so quantifier bodies can be
+  // combined with bitset algebra alongside adjacency rows.
+  std::vector<uint64_t> color_bits;  // vocabulary.size() × stride
+
+  // Orders above this would cost > 32 MiB; Build then returns nullptr and
+  // the VM keeps using Graph::HasEdge (still correct, just slower).
+  static constexpr int32_t kMaxOrder = 1 << 14;
+  // VmEvaluator builds a private index this large on its own when the
+  // caller does not pass a shared one (≤ 2 MiB; cheap for a single
+  // evaluator, wasteful if the caller meant to share).
+  static constexpr int32_t kAutoBuildOrder = 1 << 12;
+
+  static std::shared_ptr<const VmGraphIndex> Build(const Graph& graph);
+
+  bool Test(Vertex u, Vertex v) const {
+    return (bits[static_cast<size_t>(u) * stride + (v >> 6)] >>
+            (v & 63)) & 1;
+  }
+
+  const uint64_t* AdjacencyRow(Vertex v) const {
+    return bits.data() + static_cast<size_t>(v) * stride;
+  }
+  const uint64_t* ColorRow(ColorId color) const {
+    return color_bits.data() + static_cast<size_t>(color) * stride;
+  }
+  // All-ones mask for the last word of a row (rows keep the bits past
+  // `order` zero; complements must re-apply this).
+  uint64_t TailMask() const {
+    const int rem = order & 63;
+    return rem == 0 ? ~uint64_t{0} : (uint64_t{1} << rem) - 1;
+  }
+};
+
+// Executes a lowered bytecode plan (mc/bytecode.h) against one graph.
+// Drop-in peer of CompiledEvaluator with the same contract: construction
+// binds plan + bytecode to the graph (colour names resolve once, buffers
+// allocate once), then Eval serves any number of tuples. The same two-lane
+// rules apply — ungoverned, unstatted calls run the `fast` program
+// (superinstructions, guard domains, memos); calls with a governor or an
+// EvalStats sink run the `counting` program, whose counters and governor
+// cut points are byte-identical to the interpreter and the tree engine.
+//
+// Plans the lowering rejects (MSO set quantifiers, oversized programs) and
+// graphs that cannot resolve a fast-lane guard colour delegate every call
+// to an internal tree-engine fallback, so verdicts never depend on which
+// engine actually ran.
+//
+// Not thread-safe: one evaluator per thread (plans and LoweredPlans may be
+// shared freely).
+class VmEvaluator {
+ public:
+  // `plan`, `lowered` (the result of LowerPlan(plan)), and `graph` must
+  // outlive the evaluator. `edge_index`, when given, must have been built
+  // from this graph; without one the evaluator builds its own for graphs
+  // up to VmGraphIndex::kAutoBuildOrder (callers binding many evaluators
+  // to one graph should Build once and share).
+  VmEvaluator(const CompiledFormula& plan, const LoweredPlan& lowered,
+              const Graph& graph, const EvalOptions& options = {},
+              std::shared_ptr<const VmGraphIndex> edge_index = nullptr);
+
+  // Decides G ⊨ φ(tuple); same signature and semantics as
+  // CompiledEvaluator::Eval. With `stats`, the VM additionally accumulates
+  // per-opcode dispatch counts into stats->vm_op_dispatches.
+  bool Eval(std::span<const Vertex> tuple, EvalStats* stats = nullptr);
+
+  // Drops memoized subformula verdicts and colour-member lists (needed
+  // only if the bound graph is mutated between calls).
+  void ResetMemo();
+
+  const CompiledFormula& plan() const { return plan_; }
+  const LoweredPlan& lowered() const { return lowered_; }
+  // True when this evaluator delegates to the tree engine (unsupported
+  // plan or unresolved guard colour on this graph).
+  bool uses_fallback() const { return fallback_.has_value(); }
+
+ private:
+  template <bool kCounting>
+  bool Run(const BytecodeProgram& program, EvalStats* stats);
+
+  // Unchecked bit-test atom primitives over the dense adjacency index and
+  // the graph's raw colour bitmaps; ColorHolds keeps the interpreter's
+  // lazy missing-colour semantics (CHECK or false).
+  bool EdgeHolds(Vertex u, Vertex v);
+  bool ColorHolds(int32_t index, Vertex v);
+
+  // Word-parallel quantifier bodies (fast lane only; the counting lane
+  // replays the interpreter instruction for instruction). BodySet fills
+  // scratch_body_ with the set of scan-variable values satisfying the
+  // atom run — colour atoms contribute their bitmap row, edge atoms the
+  // pivot's adjacency row, equalities a singleton, scan-free atoms a
+  // scalar full/empty — combined by AND (conjunctive) or OR (disjunctive).
+  const uint64_t* BodySet(int32_t scan_slot, const VmAtom* first,
+                          int32_t count, bool disj);
+  // Single-word BodySet for order ≤ 64 (stride 1): no scratch traffic.
+  uint64_t BodyWord(int32_t scan_slot, const VmAtom* first, int32_t count,
+                    bool disj);
+  // ∃/∀ over `domain` (nullptr = all vertices) of the atom-run body.
+  bool VectorQuantifier(const uint64_t* domain, int32_t scan_slot,
+                        const VmAtom* first, int32_t count, bool disj,
+                        bool is_exists);
+  // ∃^{≥needed} over all vertices: popcount of the body set.
+  bool VectorCountAtLeast(int32_t scan_slot, const VmAtom* first,
+                          int32_t count, bool disj, int64_t needed);
+  // One atom of a fused run; returns whether the literal is satisfied
+  // (value == expect), with the interpreter's lazy missing-colour
+  // semantics (CHECK or false) for colour atoms.
+  bool AtomHolds(const VmAtom& atom);
+  // Evaluates atoms [first, first + count) as a conjunction (disj=false)
+  // or disjunction (disj=true). Fast-lane superinstructions only — does
+  // not count atom evaluations.
+  bool RunAtoms(const VmAtom* first, int32_t count, bool disj);
+
+  // Colour-member lists with the tree engine's exact byte-budget
+  // semantics (transient marking over EvalOptions::cache_bytes, dropped at
+  // the next call boundary, evictions reported monotonically).
+  const std::vector<Vertex>& ColorMembers(int32_t index);
+  void DropTransientColorMembers();
+
+  // Per-loop-site scan state for guard-fused and counting loops.
+  struct Frame {
+    const Vertex* cur = nullptr;
+    const Vertex* end = nullptr;
+    int64_t needed = 0;
+  };
+
+  const CompiledFormula& plan_;
+  const LoweredPlan& lowered_;
+  const Graph& graph_;
+  EvalOptions options_;
+  // Engaged when the lowered plan is unsupported or a guard colour is
+  // unresolved on this graph; then every call delegates wholesale.
+  std::optional<CompiledEvaluator> fallback_;
+  // Bit-test atom domains: the shared (or auto-built) adjacency matrix and
+  // one raw membership row per resolved plan colour (nullptr otherwise).
+  std::shared_ptr<const VmGraphIndex> edge_index_;
+  bool auto_built_index_ = false;  // rebuild in ResetMemo (graph mutated)
+  std::vector<uint64_t> scratch_body_;  // one row for BodySet
+  std::vector<const std::vector<bool>*> color_rows_;
+  std::vector<ColorId> colors_;  // per plan colour name; -1 = unresolved
+  std::vector<Vertex> env_;
+  std::vector<int8_t> memo_;  // -1 unknown, else the cached verdict
+  std::vector<Frame> frames_;
+  std::vector<std::vector<Vertex>> color_members_;
+  std::vector<bool> color_members_ready_;
+  int64_t color_member_bytes_ = 0;
+  std::vector<int32_t> color_members_transient_;
+  int64_t cache_evictions_ = 0;
+  int64_t reported_evictions_ = 0;
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_MC_VM_H_

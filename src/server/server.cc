@@ -14,6 +14,7 @@
 #include <map>
 #include <optional>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "fo/parser.h"
@@ -22,7 +23,9 @@
 #include "learn/erm.h"
 #include "learn/hypothesis.h"
 #include "learn/model_io.h"
+#include "mc/bytecode.h"
 #include "mc/compiled_eval.h"
+#include "mc/vm.h"
 #include "types/type.h"
 
 namespace folearn {
@@ -141,6 +144,40 @@ Status ValidateTuples(const Graph& graph, const TrainingSet& examples) {
   return OkStatus();
 }
 
+// One evaluator of whichever engine the server runs, bound to one graph.
+// Holds the plan-cache entry so the plan (and bytecode) stay alive even
+// after the shared cache evicts them. The VM lane is taken only when the
+// entry actually carries supported bytecode; anything else (tree-engine
+// server, MSO plan the lowerer rejected) runs the compiled tree.
+struct EngineEvaluator {
+  CachedPlan cached;
+  std::unique_ptr<CompiledEvaluator> tree;
+  std::unique_ptr<VmEvaluator> vm;
+
+  EngineEvaluator(const CachedPlan& entry, const Graph& graph,
+                  const EvalOptions& options)
+      : cached(entry) {
+    if (ResolveEngine(options) == EvalEngine::kVm &&
+        cached.bytecode != nullptr) {
+      vm = std::make_unique<VmEvaluator>(*cached.plan, *cached.bytecode,
+                                         graph, options);
+    } else {
+      tree = std::make_unique<CompiledEvaluator>(*cached.plan, graph,
+                                                 options);
+    }
+  }
+
+  bool Eval(std::span<const Vertex> tuple) {
+    return vm != nullptr ? vm->Eval(tuple) : tree->Eval(tuple);
+  }
+};
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 // Per-session state kept warm across requests. All fields are guarded by
@@ -167,6 +204,15 @@ struct Server::Session {
   struct ModelEntry {
     std::string text;
     std::optional<Hypothesis> parsed;
+    // Per-model evaluation telemetry, surfaced by get-model. Wall-clock
+    // only: attaching an EvalStats sink would route the hot path through
+    // the engines' slow counting lane.
+    int64_t evals = 0;             // example/tuple evaluations so far
+    double exec_ms = 0.0;          // cumulative evaluation wall time
+    double lower_ms = 0.0;         // bytecode lowering cost (VM, once)
+    std::string engine;            // engine of the most recent evaluation
+    int64_t vm_instructions = 0;   // fast-lane program size (VM only)
+    int64_t vm_superinstructions = 0;
   };
   std::map<uint64_t, ModelEntry> models;  // ordered: stable listing/journal
   uint64_t next_model_id = 1;
@@ -181,28 +227,24 @@ struct Server::Session {
 
   // Warm per-graph evaluators, keyed by plan identity (the plan cache
   // hands out stable shared_ptrs; a recompiled plan gets a fresh
-  // evaluator). Holding the plan alongside keeps it alive even if the
-  // plan cache evicts it. Bounded: cleared wholesale when it outgrows
-  // kMaxWarmEvaluators — per-graph memos are cheap to rebuild.
+  // evaluator). The EngineEvaluator holds the whole cache entry, so plan
+  // and bytecode stay alive even if the plan cache evicts them. Bounded:
+  // cleared wholesale when it outgrows kMaxWarmEvaluators — per-graph
+  // memos are cheap to rebuild.
   static constexpr size_t kMaxWarmEvaluators = 64;
-  std::unordered_map<const CompiledFormula*,
-                     std::pair<std::shared_ptr<const CompiledFormula>,
-                               std::unique_ptr<CompiledEvaluator>>>
-      evaluators;
+  std::unordered_map<const CompiledFormula*, EngineEvaluator> evaluators;
 
-  CompiledEvaluator* WarmEvaluator(
-      std::shared_ptr<const CompiledFormula> plan,
-      const EvalOptions& options) {
-    auto it = evaluators.find(plan.get());
-    if (it != evaluators.end()) return it->second.second.get();
+  EngineEvaluator* WarmEvaluator(const CachedPlan& cached,
+                                 const EvalOptions& options) {
+    auto it = evaluators.find(cached.plan.get());
+    if (it != evaluators.end()) return &it->second;
     if (evaluators.size() >= kMaxWarmEvaluators) evaluators.clear();
-    const CompiledFormula* key = plan.get();
-    auto evaluator =
-        std::make_unique<CompiledEvaluator>(*plan, graph, options);
-    CompiledEvaluator* raw = evaluator.get();
-    evaluators.emplace(
-        key, std::make_pair(std::move(plan), std::move(evaluator)));
-    return raw;
+    auto [pos, inserted] = evaluators.emplace(
+        std::piecewise_construct,
+        std::forward_as_tuple(cached.plan.get()),
+        std::forward_as_tuple(cached, graph, options));
+    (void)inserted;
+    return &pos->second;
   }
 
   // The durable view of this session, in journal layout.
@@ -942,6 +984,7 @@ Message Server::HandleEvaluate(const Message& request) {
   // the text path parses per request, exactly as the CLI would.
   std::optional<Hypothesis> parsed_from_text;
   const Hypothesis* hypothesis = nullptr;
+  Session::ModelEntry* model_entry = nullptr;
   if (by_handle) {
     auto it = session.models.find(model_id);
     if (it == session.models.end()) {
@@ -960,6 +1003,7 @@ Message Server::HandleEvaluate(const Message& request) {
       it->second.parsed = *std::move(reparsed);
     }
     hypothesis = &*it->second.parsed;
+    model_entry = &it->second;
   } else {
     StatusOr<Hypothesis> from_text = ParseHypothesis(*model_text);
     if (!from_text.ok()) return MakeErrorFromStatus(from_text.status());
@@ -983,11 +1027,12 @@ Message Server::HandleEvaluate(const Message& request) {
   }
 
   const std::vector<std::string> frame = hypothesis->AllVars();
-  std::shared_ptr<const CompiledFormula> plan =
-      plan_cache_.GetOrCompile(hypothesis->formula, frame);
-
   EvalOptions eval_options;
   eval_options.missing_color_is_false = true;  // external model files
+  eval_options.engine = options_.eval_engine;
+  const CachedPlan cached =
+      plan_cache_.GetOrCompile(hypothesis->formula, frame, eval_options);
+
   std::optional<ResourceGovernor> governor;
   if (governed) {
     governor.emplace(limits);
@@ -996,18 +1041,19 @@ Message Server::HandleEvaluate(const Message& request) {
   // Warm path: the ungoverned evaluator (and its per-graph memo) is kept
   // on the session. A governed request runs the mirrored slow lane on a
   // throwaway evaluator so the warm one never observes a governor trip.
-  std::optional<CompiledEvaluator> scratch;
-  CompiledEvaluator* evaluator;
+  std::optional<EngineEvaluator> scratch;
+  EngineEvaluator* evaluator;
   if (governed) {
-    scratch.emplace(*plan, graph, eval_options);
+    scratch.emplace(cached, graph, eval_options);
     evaluator = &*scratch;
   } else {
-    evaluator = session.WarmEvaluator(plan, eval_options);
+    evaluator = session.WarmEvaluator(cached, eval_options);
   }
 
   std::vector<Vertex> env(frame.size());
   int64_t wrong = 0;
   int64_t seen = 0;
+  const auto exec_start = std::chrono::steady_clock::now();
   for (const LabeledExample& example : *data) {
     std::copy(example.tuple.begin(), example.tuple.end(), env.begin());
     std::copy(hypothesis->parameters.begin(), hypothesis->parameters.end(),
@@ -1016,6 +1062,17 @@ Message Server::HandleEvaluate(const Message& request) {
     if (governor.has_value() && governor->Interrupted()) break;
     if (verdict != example.label) ++wrong;
     ++seen;
+  }
+  if (model_entry != nullptr) {
+    model_entry->evals += seen;
+    model_entry->exec_ms += MsSince(exec_start);
+    model_entry->engine = EvalEngineName(ResolveEngine(eval_options));
+    model_entry->lower_ms = cached.lower_ms;
+    if (cached.bytecode != nullptr && cached.bytecode->supported) {
+      model_entry->vm_instructions =
+          static_cast<int64_t>(cached.bytecode->fast.code.size());
+      model_entry->vm_superinstructions = cached.bytecode->superinstructions;
+    }
   }
 
   Message response = MakeOk();
@@ -1056,7 +1113,6 @@ Message Server::HandleQuery(const Message& request) {
     return MakeError(kExitUsage, field_error);
   }
 
-  std::shared_ptr<const CompiledFormula> plan;
   std::vector<Vertex> env;
   if (by_handle) {
     // Handle form: result = the registered model's classification of the
@@ -1109,27 +1165,39 @@ Message Server::HandleQuery(const Message& request) {
             " outside the session graph"));
       }
     }
-    plan = plan_cache_.GetOrCompile(hypothesis.formula,
-                                    hypothesis.AllVars());
+    EvalOptions eval_options;
+    eval_options.missing_color_is_false = true;
+    eval_options.engine = options_.eval_engine;
+    const CachedPlan cached = plan_cache_.GetOrCompile(
+        hypothesis.formula, hypothesis.AllVars(), eval_options);
     env = std::move(tuple);
     env.insert(env.end(), hypothesis.parameters.begin(),
                hypothesis.parameters.end());
-    EvalOptions eval_options;
-    eval_options.missing_color_is_false = true;
     std::optional<ResourceGovernor> governor;
     if (governed) {
       governor.emplace(limits);
       eval_options.governor = &*governor;
     }
-    std::optional<CompiledEvaluator> scratch;
-    CompiledEvaluator* evaluator;
+    std::optional<EngineEvaluator> scratch;
+    EngineEvaluator* evaluator;
     if (governed) {
-      scratch.emplace(*plan, session.graph, eval_options);
+      scratch.emplace(cached, session.graph, eval_options);
       evaluator = &*scratch;
     } else {
-      evaluator = session.WarmEvaluator(plan, eval_options);
+      evaluator = session.WarmEvaluator(cached, eval_options);
     }
+    const auto exec_start = std::chrono::steady_clock::now();
     bool verdict = evaluator->Eval(env);
+    Session::ModelEntry& entry = it->second;
+    entry.evals += 1;
+    entry.exec_ms += MsSince(exec_start);
+    entry.engine = EvalEngineName(ResolveEngine(eval_options));
+    entry.lower_ms = cached.lower_ms;
+    if (cached.bytecode != nullptr && cached.bytecode->supported) {
+      entry.vm_instructions =
+          static_cast<int64_t>(cached.bytecode->fast.code.size());
+      entry.vm_superinstructions = cached.bytecode->superinstructions;
+    }
     Message response = MakeOk();
     response.Set("model-id", std::to_string(model_id));
     if (governor.has_value() && governor->Interrupted()) {
@@ -1159,25 +1227,27 @@ Message Server::HandleQuery(const Message& request) {
                          "' occurs free");
   }
 
-  plan = plan_cache_.GetOrCompile(*sentence, {});
-
-  std::lock_guard<std::mutex> session_lock(session.mu);
   EvalOptions eval_options;
   eval_options.missing_color_is_false = true;
+  eval_options.engine = options_.eval_engine;
+  const CachedPlan cached =
+      plan_cache_.GetOrCompile(*sentence, {}, eval_options);
+
+  std::lock_guard<std::mutex> session_lock(session.mu);
   std::optional<ResourceGovernor> governor;
   if (governed) {
     governor.emplace(limits);
     eval_options.governor = &*governor;
   }
-  std::optional<CompiledEvaluator> scratch;
-  CompiledEvaluator* evaluator;
+  std::optional<EngineEvaluator> scratch;
+  EngineEvaluator* evaluator;
   if (governed) {
-    scratch.emplace(*plan, session.graph, eval_options);
+    scratch.emplace(cached, session.graph, eval_options);
     evaluator = &*scratch;
   } else {
     // Warm path: a repeated sentence is a per-graph memo hit — the
     // evaluator answers without touching the graph again.
-    evaluator = session.WarmEvaluator(plan, eval_options);
+    evaluator = session.WarmEvaluator(cached, eval_options);
   }
   bool verdict = evaluator->Eval({});
 
@@ -1215,9 +1285,23 @@ Message Server::HandleGetModel(const Message& request) {
                                      std::to_string(model_id) +
                                      " in session " + std::to_string(id));
   }
+  const Session::ModelEntry& entry = it->second;
   Message response = MakeOk();
   response.Set("model-id", std::to_string(model_id));
-  response.Set("model", it->second.text);
+  response.Set("model", entry.text);
+  // Evaluation telemetry accumulated by evaluate/query on this handle.
+  // `engine` is the engine of the most recent evaluation (the server
+  // default before any); lower-ms and the vm-* fields stay 0 unless the
+  // handle has run through the bytecode VM.
+  response.Set("engine", entry.engine.empty()
+                             ? EvalEngineName(options_.eval_engine)
+                             : entry.engine.c_str());
+  response.Set("evals", std::to_string(entry.evals));
+  response.Set("exec-ms", FormatDouble(entry.exec_ms));
+  response.Set("lower-ms", FormatDouble(entry.lower_ms));
+  response.Set("vm-instructions", std::to_string(entry.vm_instructions));
+  response.Set("vm-superinstructions",
+               std::to_string(entry.vm_superinstructions));
   return response;
 }
 
@@ -1265,6 +1349,7 @@ Message Server::HandleStats(const Message& request) {
   response.Set("plan-hits", std::to_string(stats.plan_hits));
   response.Set("plan-misses", std::to_string(stats.plan_misses));
   response.Set("plan-bytes", std::to_string(plan_cache_.bytes()));
+  response.Set("eval-engine", EvalEngineName(options_.eval_engine));
   return response;
 }
 

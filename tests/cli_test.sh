@@ -54,18 +54,22 @@ reduced=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
 [ "$direct" = "true" ]
 [ "$direct" = "$reduced" ]
 
-# 5b. The interpreted reference evaluator agrees with the compiled
-#     default, for both eval and mc; a bad --eval value exits 64.
-"$CLI" eval --graph "$DIR/g.txt" --data "$DIR/d.txt" \
-    --model "$DIR/m.txt" --eval interpreted | grep -q 'error: 0.0000'
-interp=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
-    --eval interpreted || true)
-[ "$interp" = "$direct" ]
+# 5b. All three engines agree — the interpreted reference oracle and the
+#     compiled tree match the VM default, for both eval and mc; a bad
+#     --eval value exits 64.
+for engine in interpreted compiled vm; do
+  "$CLI" eval --graph "$DIR/g.txt" --data "$DIR/d.txt" \
+      --model "$DIR/m.txt" --eval "$engine" | grep -q 'error: 0.0000'
+  verdict=$("$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
+      --eval "$engine" || true)
+  [ "$verdict" = "$direct" ]
+done
 rc=0
 "$CLI" mc --graph "$DIR/g.txt" --sentence "exists x. Red(x)" \
     --eval fast 2> "$DIR/badeval.log" || rc=$?
 [ "$rc" -eq 64 ]
-grep -q "\-\-eval must be 'interpreted' or 'compiled'" "$DIR/badeval.log"
+grep -q "\-\-eval must be 'vm', 'compiled', or 'interpreted'" \
+    "$DIR/badeval.log"
 
 # 6. Profile prints the invariants table.
 "$CLI" profile --graph "$DIR/g.txt" --radius 2 | grep -q 'degeneracy'

@@ -1,11 +1,13 @@
-// Differential testing of the compiled evaluation engine (mc/compiler.h,
-// mc/compiled_eval.h) against the recursive interpreter it replaces on
-// the hot paths. The contract under test: for every formula, graph, and
-// tuple, the two engines return identical verdicts, identical EvalStats
-// work counts, and — under a governor — identical cut points (status,
-// work_used, checkpoints_passed), including trips injected at every
-// single checkpoint of a run. The ERM grid must likewise be bit-for-bit
-// reproducible across eval modes and thread counts.
+// Differential testing of the plan-based evaluation engines — the
+// compiled tree walker (mc/compiler.h, mc/compiled_eval.h) and the
+// register bytecode VM (mc/bytecode.h, mc/vm.h) — against the recursive
+// interpreter they replace on the hot paths. The contract under test: for
+// every formula, graph, and tuple, all three engines return identical
+// verdicts, identical EvalStats work counts, and — under a governor —
+// identical cut points (status, work_used, checkpoints_passed), including
+// trips injected at every single checkpoint of a run. The ERM grid must
+// likewise be bit-for-bit reproducible across eval engines and thread
+// counts.
 
 #include <gtest/gtest.h>
 
@@ -20,9 +22,11 @@
 #include "learn/dataset.h"
 #include "learn/erm.h"
 #include "learn/model_io.h"
+#include "mc/bytecode.h"
 #include "mc/compiled_eval.h"
 #include "mc/compiler.h"
 #include "mc/evaluator.h"
+#include "mc/vm.h"
 #include "test_helpers.h"
 #include "util/governor.h"
 #include "util/rng.h"
@@ -36,11 +40,23 @@ EvalOptions Interpreted() {
   return options;
 }
 
-// Runs one query through both engines and checks verdict + work counts.
-// The compiled engine is exercised twice: once with a stats sink (the
-// counting lane, which must mirror the interpreter's loop structure
-// exactly) and once bare (the fast lane with guard specialisation and
-// subformula memoization, which must still agree on the verdict).
+EvalOptions WithEngine(EvalEngine engine) {
+  EvalOptions options;
+  options.engine = engine;
+  return options;
+}
+
+// The two plan-based engines, each differentialled against the
+// interpreter below.
+constexpr EvalEngine kPlanEngines[] = {EvalEngine::kCompiled,
+                                       EvalEngine::kVm};
+
+// Runs one query through all three engines and checks verdict + work
+// counts. Each plan engine is exercised twice: once with a stats sink
+// (the counting lane, which must mirror the interpreter's loop structure
+// exactly) and once bare (the fast lane with guard specialisation,
+// subformula memoization, and — for the VM — superinstructions, which
+// must still agree on the verdict).
 void ExpectQueryParity(const Graph& graph, const FormulaRef& formula,
                        const std::vector<std::string>& vars,
                        const std::vector<Vertex>& tuple,
@@ -48,21 +64,25 @@ void ExpectQueryParity(const Graph& graph, const FormulaRef& formula,
   EvalStats interpreted_stats;
   bool interpreted = EvaluateQuery(graph, formula, vars, tuple, Interpreted(),
                                    &interpreted_stats);
-  EvalStats compiled_stats;
-  bool compiled =
-      EvaluateQuery(graph, formula, vars, tuple, {}, &compiled_stats);
-  EXPECT_EQ(compiled, interpreted) << label;
-  EXPECT_EQ(compiled_stats.atom_evaluations,
-            interpreted_stats.atom_evaluations)
-      << label;
-  EXPECT_EQ(compiled_stats.quantifier_branches,
-            interpreted_stats.quantifier_branches)
-      << label;
-  // The interpreted path never touches the compiled-path timers.
+  // The interpreted path never touches the plan-path timers.
   EXPECT_EQ(interpreted_stats.compile_ms, 0.0) << label;
   EXPECT_EQ(interpreted_stats.eval_ms, 0.0) << label;
-  bool fast_lane = EvaluateQuery(graph, formula, vars, tuple);
-  EXPECT_EQ(fast_lane, interpreted) << label << " (fast lane)";
+  for (EvalEngine engine : kPlanEngines) {
+    const std::string tag =
+        label + " [" + EvalEngineName(engine) + "]";
+    EvalStats stats;
+    bool verdict =
+        EvaluateQuery(graph, formula, vars, tuple, WithEngine(engine), &stats);
+    EXPECT_EQ(verdict, interpreted) << tag;
+    EXPECT_EQ(stats.atom_evaluations, interpreted_stats.atom_evaluations)
+        << tag;
+    EXPECT_EQ(stats.quantifier_branches,
+              interpreted_stats.quantifier_branches)
+        << tag;
+    bool fast_lane =
+        EvaluateQuery(graph, formula, vars, tuple, WithEngine(engine));
+    EXPECT_EQ(fast_lane, interpreted) << tag << " (fast lane)";
+  }
 }
 
 TEST(CompiledVsInterpreted, RandomFormulasAcrossFamilies) {
@@ -111,23 +131,32 @@ TEST(CompiledVsInterpreted, EnumeratedSliceOnAllTuplesAgrees) {
     EvalStats interpreted_stats;
     std::vector<bool> interpreted = EvaluateOnTuples(
         graph, formula, vars, tuples, Interpreted(), &interpreted_stats);
-    EvalStats compiled_stats;
-    std::vector<bool> compiled =
-        EvaluateOnTuples(graph, formula, vars, tuples, {}, &compiled_stats);
-    EXPECT_EQ(compiled, interpreted) << ToString(formula);
-    EXPECT_EQ(compiled_stats.atom_evaluations,
-              interpreted_stats.atom_evaluations)
-        << ToString(formula);
-    EXPECT_EQ(compiled_stats.quantifier_branches,
-              interpreted_stats.quantifier_branches)
-        << ToString(formula);
+    for (EvalEngine engine : kPlanEngines) {
+      const std::string tag =
+          ToString(formula) + " [" + EvalEngineName(engine) + "]";
+      EvalStats stats;
+      std::vector<bool> verdicts = EvaluateOnTuples(
+          graph, formula, vars, tuples, WithEngine(engine), &stats);
+      EXPECT_EQ(verdicts, interpreted) << tag;
+      EXPECT_EQ(stats.atom_evaluations, interpreted_stats.atom_evaluations)
+          << tag;
+      EXPECT_EQ(stats.quantifier_branches,
+                interpreted_stats.quantifier_branches)
+          << tag;
+    }
   }
-  // Batched and tuple-at-a-time compiled evaluation agree too.
+  // Batched and tuple-at-a-time evaluation agree too, for both engines.
   const FormulaRef spot = formulas[formulas.size() / 2];
-  std::vector<bool> batched = EvaluateOnTuples(graph, spot, vars, tuples);
-  for (size_t i = 0; i < tuples.size(); ++i) {
-    EXPECT_EQ(EvaluateQuery(graph, spot, vars, tuples[i]), batched[i])
-        << ToString(spot) << " tuple " << i;
+  for (EvalEngine engine : kPlanEngines) {
+    std::vector<bool> batched =
+        EvaluateOnTuples(graph, spot, vars, tuples, WithEngine(engine));
+    for (size_t i = 0; i < tuples.size(); ++i) {
+      EXPECT_EQ(
+          EvaluateQuery(graph, spot, vars, tuples[i], WithEngine(engine)),
+          batched[i])
+          << ToString(spot) << " tuple " << i << " ["
+          << EvalEngineName(engine) << "]";
+    }
   }
 }
 
@@ -234,9 +263,10 @@ TEST(CompiledVsInterpreted, CountingAndMsoQuantifiersAgree) {
 }
 
 // Sweeps a fault injector over EVERY checkpoint of a run: at each trip
-// point the two engines must latch the same status after the same number
-// of checkpoints and work units — the governed compiled path may not
-// reorder, batch, or skip a single checkpoint the interpreter performs.
+// point every plan engine must latch the same status as the interpreter
+// after the same number of checkpoints and work units — a governed plan
+// path may not reorder, batch, or skip a single checkpoint the
+// interpreter performs.
 void ExpectCutPointParity(const Graph& graph, const FormulaRef& formula,
                           const std::vector<std::string>& vars,
                           const std::vector<Vertex>& tuple) {
@@ -254,34 +284,37 @@ void ExpectCutPointParity(const Graph& graph, const FormulaRef& formula,
     iopts.governor = &interpreted_governor;
     EvalStats istats;
     bool iverdict = EvaluateQuery(graph, formula, vars, tuple, iopts, &istats);
-
-    FaultInjector compiled_injector(trip);
-    ResourceGovernor compiled_governor(GovernorLimits{}, nullptr,
-                                       &compiled_injector);
-    EvalOptions copts;
-    copts.governor = &compiled_governor;
-    EvalStats cstats;
-    bool cverdict = EvaluateQuery(graph, formula, vars, tuple, copts, &cstats);
-
-    const std::string label = ToString(formula) + " trip=" +
-                              std::to_string(trip) + "/" +
-                              std::to_string(total);
-    EXPECT_EQ(cstats.status, istats.status) << label;
-    EXPECT_EQ(compiled_governor.status(), interpreted_governor.status())
-        << label;
-    EXPECT_EQ(compiled_governor.work_used(),
-              interpreted_governor.work_used())
-        << label;
-    EXPECT_EQ(compiled_governor.checkpoints_passed(),
-              interpreted_governor.checkpoints_passed())
-        << label;
-    EXPECT_EQ(cstats.quantifier_branches, istats.quantifier_branches)
-        << label;
-    EXPECT_EQ(cstats.atom_evaluations, istats.atom_evaluations) << label;
     if (!interpreted_governor.Interrupted()) {
       // Past the last checkpoint the run completes and the verdict binds.
-      EXPECT_EQ(iverdict, complete_verdict) << label;
-      EXPECT_EQ(cverdict, complete_verdict) << label;
+      EXPECT_EQ(iverdict, complete_verdict)
+          << ToString(formula) << " trip=" << trip;
+    }
+
+    for (EvalEngine engine : kPlanEngines) {
+      FaultInjector injector(trip);
+      ResourceGovernor governor(GovernorLimits{}, nullptr, &injector);
+      EvalOptions copts = WithEngine(engine);
+      copts.governor = &governor;
+      EvalStats cstats;
+      bool cverdict =
+          EvaluateQuery(graph, formula, vars, tuple, copts, &cstats);
+
+      const std::string label =
+          ToString(formula) + " trip=" + std::to_string(trip) + "/" +
+          std::to_string(total) + " [" + EvalEngineName(engine) + "]";
+      EXPECT_EQ(cstats.status, istats.status) << label;
+      EXPECT_EQ(governor.status(), interpreted_governor.status()) << label;
+      EXPECT_EQ(governor.work_used(), interpreted_governor.work_used())
+          << label;
+      EXPECT_EQ(governor.checkpoints_passed(),
+                interpreted_governor.checkpoints_passed())
+          << label;
+      EXPECT_EQ(cstats.quantifier_branches, istats.quantifier_branches)
+          << label;
+      EXPECT_EQ(cstats.atom_evaluations, istats.atom_evaluations) << label;
+      if (!interpreted_governor.Interrupted()) {
+        EXPECT_EQ(cverdict, complete_verdict) << label;
+      }
     }
   }
 }
@@ -319,22 +352,23 @@ TEST(CompiledVsInterpreted, WorkBudgetsTripIdentically) {
     EvalOptions iopts = Interpreted();
     iopts.governor = &interpreted_governor;
     EvaluateSentence(graph, formula, iopts);
-    ResourceGovernor compiled_governor(GovernorLimits{kNoLimit, budget});
-    EvalOptions copts;
-    copts.governor = &compiled_governor;
-    EvaluateSentence(graph, formula, copts);
-    const std::string label = "budget=" + std::to_string(budget);
-    EXPECT_EQ(compiled_governor.status(), interpreted_governor.status())
-        << label;
-    EXPECT_EQ(compiled_governor.work_used(),
-              interpreted_governor.work_used())
-        << label;
+    for (EvalEngine engine : kPlanEngines) {
+      ResourceGovernor governor(GovernorLimits{kNoLimit, budget});
+      EvalOptions copts = WithEngine(engine);
+      copts.governor = &governor;
+      EvaluateSentence(graph, formula, copts);
+      const std::string label = "budget=" + std::to_string(budget) + " [" +
+                                EvalEngineName(engine) + "]";
+      EXPECT_EQ(governor.status(), interpreted_governor.status()) << label;
+      EXPECT_EQ(governor.work_used(), interpreted_governor.work_used())
+          << label;
+    }
   }
 }
 
 // The E9 grid: training error, formulas tried, run status, and serialised
-// model bytes must be identical across {interpreted, compiled} × {1, 4}
-// threads, with and without an injected governor trip mid-grid.
+// model bytes must be identical across {interpreted, compiled, vm} ×
+// {1, 2, 8} threads, with and without an injected governor trip mid-grid.
 TEST(CompiledVsInterpreted, EnumerationErmGridIsModeAndThreadInvariant) {
   Rng rng(321);
   Graph graph = MakeRandomTree(12, rng);
@@ -354,20 +388,20 @@ TEST(CompiledVsInterpreted, EnumerationErmGridIsModeAndThreadInvariant) {
   for (int64_t trip : {int64_t{0}, int64_t{57}}) {  // 0 = no fault
     EnumerationErmResult base;
     bool first = true;
-    for (int threads : {1, 4}) {
-      for (bool interpreted : {false, true}) {
+    for (int threads : {1, 2, 8}) {
+      for (EvalEngine engine : {EvalEngine::kInterpreted,
+                                EvalEngine::kCompiled, EvalEngine::kVm}) {
         FaultInjector injector(trip > 0 ? trip : 1);
         ResourceGovernor governor(GovernorLimits{}, nullptr,
                                   trip > 0 ? &injector : nullptr);
-        EvalOptions eval;
-        eval.force_interpreter = interpreted;
+        EvalOptions eval = WithEngine(engine);
         EnumerationErmResult result =
             EnumerationErm(graph, examples, 0, enumeration,
                            trip > 0 ? &governor : nullptr, threads, eval);
         const std::string label =
             "trip=" + std::to_string(trip) +
-            " threads=" + std::to_string(threads) +
-            (interpreted ? " interpreted" : " compiled");
+            " threads=" + std::to_string(threads) + " " +
+            EvalEngineName(engine);
         if (trip > 0) {
           EXPECT_TRUE(IsInterrupted(result.status)) << label;
         } else {
@@ -408,12 +442,112 @@ TEST(CompiledVsInterpreted, TrainingErrorMatchesAcrossModes) {
   hypothesis.param_vars = {"y1"};
   hypothesis.parameters = {Vertex{2}};
   hypothesis.formula = MustParseFormula("E(x1, y1) | Red(x1)");
-  EvalOptions compiled;
-  EXPECT_EQ(TrainingError(graph, hypothesis, examples, compiled),
-            TrainingError(graph, hypothesis, examples, Interpreted()));
-  for (const LabeledExample& example : examples) {
-    EXPECT_EQ(hypothesis.Classify(graph, example.tuple, compiled),
-              hypothesis.Classify(graph, example.tuple, Interpreted()));
+  const double reference =
+      TrainingError(graph, hypothesis, examples, Interpreted());
+  for (EvalEngine engine : kPlanEngines) {
+    EvalOptions options = WithEngine(engine);
+    EXPECT_EQ(TrainingError(graph, hypothesis, examples, options), reference)
+        << EvalEngineName(engine);
+    for (const LabeledExample& example : examples) {
+      EXPECT_EQ(hypothesis.Classify(graph, example.tuple, options),
+                hypothesis.Classify(graph, example.tuple, Interpreted()))
+          << EvalEngineName(engine);
+    }
+  }
+}
+
+// VM-specific surfaces: per-opcode dispatch counters, the lower/exec
+// timing split, superinstruction coverage, and the whole-evaluator
+// fallback for plans the lowerer rejects (MSO set quantifiers).
+TEST(CompiledVsInterpreted, VmStatsExposeDispatchCountersAndTimers) {
+  Rng rng(23);
+  Graph graph = MakeErdosRenyi(10, 0.3, rng);
+  AddRandomColors(graph, {"Red"}, 0.5, rng);
+  FormulaRef formula =
+      MustParseFormula("exists y. (E(x, y) & exists z. (Red(z) & E(y, z)))");
+  const std::vector<std::string> vars = {"x"};
+  const std::vector<Vertex> tuple = {0};
+  EvalStats vm_stats;
+  EvaluateQuery(graph, formula, vars, tuple, WithEngine(EvalEngine::kVm),
+                &vm_stats);
+  ASSERT_EQ(vm_stats.vm_op_dispatches.size(),
+            static_cast<size_t>(kNumVmOps));
+  int64_t dispatched = 0;
+  for (int64_t count : vm_stats.vm_op_dispatches) dispatched += count;
+  EXPECT_GT(dispatched, 0);
+  EXPECT_GE(vm_stats.lower_ms, 0.0);
+  EXPECT_GT(vm_stats.exec_ms, 0.0);
+  EXPECT_EQ(vm_stats.exec_ms, vm_stats.eval_ms);
+  // The tree engine never populates the VM surfaces.
+  EvalStats tree_stats;
+  EvaluateQuery(graph, formula, vars, tuple,
+                WithEngine(EvalEngine::kCompiled), &tree_stats);
+  EXPECT_TRUE(tree_stats.vm_op_dispatches.empty());
+  EXPECT_EQ(tree_stats.lower_ms, 0.0);
+  EXPECT_EQ(tree_stats.exec_ms, 0.0);
+}
+
+TEST(CompiledVsInterpreted, VmLowersSuperinstructionsForGuardedShapes) {
+  const std::vector<std::string> vars = {"x"};
+  // Neighbour scan with a foldable body, colour-class scan, equality
+  // bind, counting loop: each should fuse into a superinstruction.
+  for (const char* text :
+       {"exists y. (E(x, y) & Red(y))", "exists y. (Red(y) & E(x, y))",
+        "exists y. (y = x & Red(y))", "exists>=2 y. E(x, y)"}) {
+    CompiledFormula plan = CompileFormula(MustParseFormula(text), vars);
+    LoweredPlan lowered = LowerPlan(plan);
+    ASSERT_TRUE(lowered.supported) << text;
+    EXPECT_GT(lowered.superinstructions, 0) << text;
+  }
+}
+
+TEST(CompiledVsInterpreted, VmFallsBackOnMsoPlans) {
+  Graph graph = MakeCycle(5);
+  FormulaRef mso = Formula::ExistsSet(
+      "S", Formula::Exists("y", Formula::SetMember("y", "S")));
+  CompiledFormula plan = CompileFormula(mso, {});
+  LoweredPlan lowered = LowerPlan(plan);
+  EXPECT_FALSE(lowered.supported);
+  VmEvaluator evaluator(plan, lowered, graph);
+  EXPECT_TRUE(evaluator.uses_fallback());
+  EXPECT_EQ(evaluator.Eval({}),
+            EvaluateSentence(graph, mso, Interpreted()));
+}
+
+// PrepareFormulas + the prepared-span EnumerationErm overload must give
+// the byte-identical result of the FormulaRef overload on every engine.
+TEST(CompiledVsInterpreted, PreparedFormulasMatchUnpreparedGrid) {
+  Rng rng(77);
+  Graph graph = MakeRandomTree(10, rng);
+  AddRandomColors(graph, {"Red"}, 0.4, rng);
+  std::vector<std::vector<Vertex>> tuples =
+      SampleTuples(graph.order(), 1, graph.order(), rng);
+  TrainingSet examples = LabelByQuery(
+      graph, MustParseFormula("exists z. E(x1, z)"), QueryVars(1), tuples);
+  FlipLabels(examples, 0.3, rng);
+  EnumerationOptions enumeration;
+  enumeration.colors = {"Red"};
+  enumeration.max_quantifier_rank = 1;
+  enumeration.max_boolean_depth = 1;
+  enumeration.max_count = 150;
+  std::vector<FormulaRef> formulas = EnumerateFormulas(enumeration);
+  ASSERT_GT(formulas.size(), 20u);
+  for (EvalEngine engine : kPlanEngines) {
+    EvalOptions eval = WithEngine(engine);
+    EnumerationErmResult plain = EnumerationErm(
+        graph, examples, 0, std::span<const FormulaRef>(formulas), nullptr,
+        /*threads=*/2, eval);
+    std::vector<PreparedFormula> prepared =
+        PrepareFormulas(formulas, /*k=*/1, /*ell=*/0, engine);
+    EnumerationErmResult from_prepared = EnumerationErm(
+        graph, examples, 0, std::span<const PreparedFormula>(prepared),
+        nullptr, /*threads=*/2, eval);
+    const std::string label = EvalEngineName(engine);
+    EXPECT_EQ(from_prepared.training_error, plain.training_error) << label;
+    EXPECT_EQ(from_prepared.formulas_tried, plain.formulas_tried) << label;
+    EXPECT_EQ(HypothesisToText(from_prepared.hypothesis),
+              HypothesisToText(plain.hypothesis))
+        << label;
   }
 }
 

@@ -163,26 +163,59 @@ TEST(ProtocolTest, DecodeRejectsTruncatedPayloads) {
 TEST(PlanCacheTest, HitsAndBudgetInvariant) {
   PlanCache cache(/*max_bytes=*/16 * 1024);
   FormulaRef sentence = MustParseFormula("exists x. exists y. E(x, y)");
-  auto first = cache.GetOrCompile(sentence, {});
-  auto second = cache.GetOrCompile(sentence, {});
-  EXPECT_EQ(first.get(), second.get());
+  EvalOptions options;
+  CachedPlan first = cache.GetOrCompile(sentence, {}, options);
+  CachedPlan second = cache.GetOrCompile(sentence, {}, options);
+  EXPECT_EQ(first.plan.get(), second.plan.get());
+  EXPECT_EQ(first.bytecode.get(), second.bytecode.get());
+  EXPECT_NE(first.bytecode, nullptr);  // default engine is the VM
   EXPECT_EQ(cache.hits(), 1);
   EXPECT_EQ(cache.misses(), 1);
   // Distinct formulas fill the budget; the invariant holds throughout.
   for (int i = 0; i < 200; ++i) {
     std::string text = "exists x. exists y" + std::to_string(i) +
                        ". E(x, y" + std::to_string(i) + ")";
-    cache.GetOrCompile(MustParseFormula(text), {});
+    cache.GetOrCompile(MustParseFormula(text), {}, options);
     ASSERT_LE(cache.bytes(), cache.max_bytes());
   }
   EXPECT_GT(cache.evictions(), 0);
 }
 
+TEST(PlanCacheTest, EngineKeyedEntriesDoNotCollide) {
+  PlanCache cache;
+  FormulaRef sentence = MustParseFormula("exists x. E(x, x)");
+  EvalOptions vm;
+  vm.engine = EvalEngine::kVm;
+  EvalOptions tree;
+  tree.engine = EvalEngine::kCompiled;
+  CachedPlan vm_entry = cache.GetOrCompile(sentence, {}, vm);
+  CachedPlan tree_entry = cache.GetOrCompile(sentence, {}, tree);
+  // Same formula, different engines: two distinct entries, the VM one
+  // carrying bytecode, the tree one not — neither evicts or shadows the
+  // other, and each is billed its own bytes.
+  EXPECT_EQ(cache.misses(), 2);
+  EXPECT_EQ(cache.entries(), 2);
+  EXPECT_NE(vm_entry.plan.get(), tree_entry.plan.get());
+  EXPECT_NE(vm_entry.bytecode, nullptr);
+  EXPECT_EQ(tree_entry.bytecode, nullptr);
+  // An options fingerprint change is a distinct entry too.
+  EvalOptions vm_mcf = vm;
+  vm_mcf.missing_color_is_false = true;
+  cache.GetOrCompile(sentence, {}, vm_mcf);
+  EXPECT_EQ(cache.misses(), 3);
+  EXPECT_EQ(cache.entries(), 3);
+  // Repeats of every variant hit.
+  cache.GetOrCompile(sentence, {}, vm);
+  cache.GetOrCompile(sentence, {}, tree);
+  cache.GetOrCompile(sentence, {}, vm_mcf);
+  EXPECT_EQ(cache.hits(), 3);
+}
+
 TEST(PlanCacheTest, OversizePlanServedUncached) {
   PlanCache cache(/*max_bytes=*/1);
   FormulaRef sentence = MustParseFormula("exists x. E(x, x)");
-  auto plan = cache.GetOrCompile(sentence, {});
-  ASSERT_NE(plan, nullptr);
+  CachedPlan entry = cache.GetOrCompile(sentence, {}, EvalOptions{});
+  ASSERT_NE(entry.plan, nullptr);
   EXPECT_EQ(cache.entries(), 0);
   EXPECT_EQ(cache.bytes(), 0);
   EXPECT_EQ(cache.oversize_misses(), 1);

@@ -232,18 +232,22 @@ int GetNonNegativeInt(const Args& args, const char* key, int fallback) {
   return value;
 }
 
-// Parses --eval interpreted|compiled (default compiled) into
-// EvalOptions::force_interpreter. Verdicts, stats, and governor cut
-// points are identical in both modes; the interpreter is the slow
-// reference oracle. Exits 64 on any other value.
-bool GetForceInterpreter(const Args& args) {
-  std::string mode = args.Get("eval", "compiled");
-  if (mode == "compiled") return false;
-  if (mode == "interpreted") return true;
-  std::fprintf(stderr,
-               "--eval must be 'interpreted' or 'compiled', got '%s'\n",
-               mode.c_str());
-  std::exit(64);
+// Parses --eval vm|compiled|interpreted (default vm) into
+// EvalOptions::engine. Verdicts, stats, and governor cut points are
+// identical in all three modes; the interpreter is the slow reference
+// oracle, the compiled tree the mid lane, and the bytecode VM the
+// default. Exits 64 on any other value.
+EvalEngine GetEvalEngine(const Args& args) {
+  std::string mode = args.Get("eval", "vm");
+  std::optional<EvalEngine> engine = ParseEvalEngine(mode);
+  if (!engine.has_value()) {
+    std::fprintf(
+        stderr,
+        "--eval must be 'vm', 'compiled', or 'interpreted', got '%s'\n",
+        mode.c_str());
+    std::exit(64);
+  }
+  return *engine;
 }
 
 // Worker threads for the parallel sweeps (0 = hardware concurrency).
@@ -548,7 +552,7 @@ int CmdEval(const Args& args, ResourceGovernor* governor) {
   if (!hypothesis.ok()) DieStatus(hypothesis.status());
   EvalOptions eval_options;
   eval_options.governor = governor;
-  eval_options.force_interpreter = GetForceInterpreter(args);
+  eval_options.engine = GetEvalEngine(args);
   eval_options.cache_bytes = GetCacheBytes(args);
   double err = TrainingError(graph, *hypothesis, data, eval_options);
   std::printf("error: %.4f on %zu examples\n", err, data.size());
@@ -584,7 +588,7 @@ int CmdMc(const Args& args, ResourceGovernor* governor) {
   } else {
     EvalOptions eval_options;
     eval_options.governor = governor;
-    eval_options.force_interpreter = GetForceInterpreter(args);
+    eval_options.engine = GetEvalEngine(args);
     eval_options.cache_bytes = GetCacheBytes(args);
     value = EvaluateSentence(graph, *sentence, eval_options);
   }
@@ -644,9 +648,9 @@ int Usage() {
       "  profile  --graph g.txt [--radius r]\n"
       "every command accepts [--timeout-ms T] [--max-work W] and\n"
       "[--threads N] (0 = all cores; results are identical for any N);\n"
-      "eval and mc also accept [--eval interpreted|compiled] (default\n"
-      "compiled; results are identical, interpreted is the reference\n"
-      "oracle); a run cut short by a limit emits its best-so-far result\n"
+      "eval and mc also accept [--eval vm|compiled|interpreted] (default\n"
+      "vm; results are identical, interpreted is the reference oracle,\n"
+      "vm is the bytecode engine); a run cut short emits best-so-far\n"
       "and exits 3; SIGINT/SIGTERM take the same path (best-so-far model\n"
       "+ final checkpoint, exit 3). learn --checkpoint persists the\n"
       "search frontier so a killed run can be continued with --resume\n"

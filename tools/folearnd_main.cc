@@ -24,6 +24,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 
 #include "server/server.h"
@@ -45,10 +46,14 @@ int Usage() {
       "usage: folearnd --socket <path> [--max-inflight N]\n"
       "                [--max-deadline-ms N] [--max-work N]\n"
       "                [--cache-bytes N] [--plan-cache-bytes N]\n"
-      "                [--state-dir DIR] [--session-ttl-ms N]\n"
-      "                [--dedup-window N] [--crash-at-journal-write N]\n"
+      "                [--eval vm|compiled] [--state-dir DIR]\n"
+      "                [--session-ttl-ms N] [--dedup-window N]\n"
+      "                [--crash-at-journal-write N]\n"
       "\n"
       "Serves folearn learn/evaluate/query requests on a local socket.\n"
+      "--eval picks the evaluation engine for evaluate/query (default\n"
+      "vm: compiled plans lowered to bytecode; verdicts are identical in\n"
+      "both modes).\n"
       "--max-inflight caps concurrently executing requests (excess is\n"
       "shed, not queued); --max-deadline-ms/--max-work cap per-request\n"
       "governor limits; --cache-bytes budgets each session's ball cache\n"
@@ -91,7 +96,7 @@ int Main(int argc, char** argv) {
     if (key != "socket" && key != "max-inflight" &&
         key != "max-deadline-ms" && key != "max-work" &&
         key != "cache-bytes" && key != "plan-cache-bytes" &&
-        key != "state-dir" && key != "session-ttl-ms" &&
+        key != "eval" && key != "state-dir" && key != "session-ttl-ms" &&
         key != "dedup-window" && key != "crash-at-journal-write") {
       std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
       return 64;
@@ -164,6 +169,18 @@ int Main(int argc, char** argv) {
       return 64;
     }
     options.dedup_window = static_cast<int>(n);
+  }
+  if (flags.count("eval") != 0) {
+    // The daemon's warm-evaluator architecture is built on the compiled
+    // engines; the interpreter has no per-graph state worth keeping warm,
+    // so it is not offered here (the CLI has it as the reference oracle).
+    std::optional<EvalEngine> engine = ParseEvalEngine(flags["eval"]);
+    if (!engine.has_value() || *engine == EvalEngine::kInterpreted) {
+      std::fprintf(stderr, "--eval must be 'vm' or 'compiled', got '%s'\n",
+                   flags["eval"].c_str());
+      return 64;
+    }
+    options.eval_engine = *engine;
   }
   if (flags.count("crash-at-journal-write") != 0) {
     options.crash_at_journal_write =

@@ -9,10 +9,16 @@
 #
 # bench_server measures the folearnd daemon rather than the batch paths;
 # its records are split out into BENCH_server.json next to output.json.
+# bench_vm (the bytecode-VM E9 grid) is likewise split into BENCH_vm.json,
+# and the run FAILS if any of its E9 rows has the VM slower than the tree
+# engine — the VM's whole reason to exist is that row.
 #
 # Compare mode: tools/run_benches.sh --compare baseline.json other.json
 #   joins two aggregated reports on (bench, config) and prints a per-row
 #   speedup table (baseline_ms / other_ms > 1 means `other` is faster).
+#   Reports carrying vm/e9_grid records additionally get a tree-vs-VM
+#   speedup table per file, with the same VM ≥ tree gate applied to
+#   `other` (a regression exits non-zero).
 #
 # A binary that fails (a VIOLATION self-check, a crash) aborts the whole
 # run immediately — a partial aggregate silently missing benches has
@@ -23,6 +29,48 @@
 set -u
 
 repo_root=$(dirname "$0")/..
+
+# Tree-vs-VM speedup columns from a report's vm/e9_grid records (one row
+# per n), printed only when such records exist. With `enforce` non-empty,
+# exits 1 if any row has the VM slower than the tree engine.
+vm_speedup_table() {
+  file=$1
+  enforce=${2:-}
+  grep -q '"vm/e9_grid"' "$file" 2>/dev/null || return 0
+  echo ""
+  echo "tree-vs-VM E9 grid speedups in $file:"
+  awk -v enforce="$enforce" '
+    function field(line, name,    rest) {
+      rest = line
+      if (!sub(".*\"" name "\": \"?", "", rest)) return ""
+      sub("\"?[,}].*", "", rest)
+      return rest
+    }
+    /"vm\/e9_grid"/ {
+      config = field($0, "config")
+      ms = field($0, "wall_ms") + 0
+      n = config; sub(".*n=", "", n)
+      engine = config; sub(".*engine=", "", engine); sub(" .*", "", engine)
+      if (engine == "compiled") tree[n] = ms
+      if (engine == "vm") { if (!(n in vm)) order[cnt++] = n; vm[n] = ms }
+    }
+    END {
+      printf "%-6s %12s %12s %9s\n", "n", "tree ms", "vm ms", "vm/tree"
+      bad = 0
+      for (i = 0; i < cnt; i++) {
+        n = order[i]
+        if (!(n in tree)) continue
+        ratio = vm[n] > 0 ? tree[n] / vm[n] : 0
+        printf "%-6s %12.3f %12.3f %8.2fx\n", n, tree[n], vm[n], ratio
+        if (vm[n] > tree[n]) bad = 1
+      }
+      if (bad && enforce != "") {
+        print "VM E9 row regressed below the tree engine" > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$file" || return 1
+}
 
 if [ "${1:-}" = "--compare" ]; then
   baseline=${2:-}
@@ -63,11 +111,14 @@ if [ "${1:-}" = "--compare" ]; then
       }
     }
   ' "$baseline" "$other"
+  vm_speedup_table "$baseline" || exit 1
+  vm_speedup_table "$other" enforce || exit 1
   exit 0
 fi
 build_dir=${1:-"$repo_root/build"}
 out=${2:-"$repo_root/BENCH_parallel.json"}
 server_out=$(dirname "$out")/BENCH_server.json
+vm_out=$(dirname "$out")/BENCH_vm.json
 
 if [ ! -d "$build_dir" ]; then
   echo "run_benches.sh: build dir '$build_dir' not found" >&2
@@ -153,6 +204,7 @@ for jsonl in "$tmpdir"/*.jsonl; do
   [ -f "$jsonl" ] || continue
   case $(basename "$jsonl") in
     bench_server.jsonl) continue ;;
+    bench_vm.jsonl) continue ;;
   esac
   main_files="$main_files $jsonl"
 done
@@ -162,4 +214,13 @@ echo "wrote $out ($ran benches, $(grep -c '"bench"' "$out") records)"
 if [ -f "$tmpdir/bench_server.jsonl" ]; then
   write_array "$server_out" "$tmpdir/bench_server.jsonl"
   echo "wrote $server_out ($(grep -c '"bench"' "$server_out") records)"
+fi
+
+if [ -f "$tmpdir/bench_vm.jsonl" ]; then
+  write_array "$vm_out" "$tmpdir/bench_vm.jsonl"
+  echo "wrote $vm_out ($(grep -c '"bench"' "$vm_out") records)"
+  if ! vm_speedup_table "$vm_out" enforce; then
+    echo "run_benches.sh: VM E9 grid regressed below the tree engine" >&2
+    exit 1
+  fi
 fi
