@@ -59,7 +59,41 @@ std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
   return ball;
 }
 
-const std::vector<Vertex>& BallCache::VertexBall(Vertex v, int radius) {
+std::span<const Vertex> BallCollector::Collect(
+    std::span<const Vertex> sources, int radius) {
+  FOLEARN_CHECK_GE(radius, 0);
+  if (++epoch_ == 0) {  // epoch counter wrapped: invalidate all stamps
+    std::fill(mark_.begin(), mark_.end(), 0);
+    epoch_ = 1;
+  }
+  ball_.clear();
+  frontier_.clear();
+  for (Vertex s : sources) {
+    FOLEARN_CHECK(graph_->IsValidVertex(s));
+    if (mark_[s] != epoch_) {
+      mark_[s] = epoch_;
+      frontier_.push_back(s);
+      ball_.push_back(s);
+    }
+  }
+  for (int level = 0; level < radius && !frontier_.empty(); ++level) {
+    next_.clear();
+    for (Vertex v : frontier_) {
+      for (Vertex u : graph_->Neighbors(v)) {
+        if (mark_[u] != epoch_) {
+          mark_[u] = epoch_;
+          next_.push_back(u);
+          ball_.push_back(u);
+        }
+      }
+    }
+    frontier_.swap(next_);
+  }
+  std::sort(ball_.begin(), ball_.end());
+  return {ball_.data(), ball_.size()};
+}
+
+std::span<const Vertex> BallCache::VertexBall(Vertex v, int radius) {
   FOLEARN_CHECK_GE(radius, 0);
   FOLEARN_CHECK(graph_->IsValidVertex(v));
   const int64_t key =
@@ -67,47 +101,71 @@ const std::vector<Vertex>& BallCache::VertexBall(Vertex v, int radius) {
   auto it = cache_.find(key);
   if (it != cache_.end()) {
     ++hits_;
-    return it->second;
+    return {arena_.data() + it->second.offset, it->second.length};
   }
   ++misses_;
-  Vertex sources[] = {v};
-  if (max_bytes_ < 0) {
-    return cache_.emplace(key, Ball(*graph_, sources, radius)).first->second;
+  if (collector_ == nullptr) {
+    collector_ = std::make_unique<BallCollector>(*graph_);
   }
-  // Budgeted path: materialise the ball first (trimmed — the BFS builder
-  // may over-reserve) and charge its accurate footprint before deciding
-  // whether it may live in the cache at all.
-  std::vector<Vertex> ball = Ball(*graph_, sources, radius);
-  ball.shrink_to_fit();
-  const int64_t cost = EntryBytes(ball);
-  if (cost > max_bytes_) {
+  Vertex sources[] = {v};
+  const std::span<const Vertex> ball = collector_->Collect(sources, radius);
+  const auto length = static_cast<uint32_t>(ball.size());
+  const int64_t cost = EntryBytes(length);
+  if (max_bytes_ >= 0 && cost > max_bytes_) {
     // This one ball is bigger than the whole budget: serve it from the
     // scratch slot instead of breaking the bytes() <= max_bytes invariant.
     ++oversize_misses_;
-    scratch_ = std::move(ball);
-    return scratch_;
+    scratch_.assign(ball.begin(), ball.end());
+    return {scratch_.data(), scratch_.size()};
   }
   // FIFO eviction until the new entry fits. The loop always terminates
   // below budget because cost <= max_bytes_.
-  while (bytes_ + cost > max_bytes_) {
+  while (max_bytes_ >= 0 && bytes_ + cost > max_bytes_) {
     FOLEARN_CHECK(!insertion_order_.empty());
     const int64_t oldest = insertion_order_.front();
     insertion_order_.pop_front();
     auto old_it = cache_.find(oldest);
-    bytes_ -= EntryBytes(old_it->second);
+    bytes_ -= EntryBytes(old_it->second.length);
+    dead_payload_bytes_ += static_cast<int64_t>(old_it->second.length) *
+                           static_cast<int64_t>(sizeof(Vertex));
     cache_.erase(old_it);
     ++evictions_;
   }
+  const int64_t live_payload_bytes =
+      static_cast<int64_t>(arena_.size()) *
+          static_cast<int64_t>(sizeof(Vertex)) -
+      dead_payload_bytes_;
+  if (dead_payload_bytes_ > 0 && dead_payload_bytes_ >= live_payload_bytes) {
+    Compact();
+  }
+  Slice slice{arena_.size(), length};
+  arena_.insert(arena_.end(), ball.begin(), ball.end());
   insertion_order_.push_back(key);
   bytes_ += cost;
-  return cache_.emplace(key, std::move(ball)).first->second;
+  const Slice& stored = cache_.emplace(key, slice).first->second;
+  return {arena_.data() + stored.offset, stored.length};
+}
+
+void BallCache::Compact() {
+  std::vector<Vertex> packed;
+  packed.reserve(arena_.size() -
+                 static_cast<size_t>(dead_payload_bytes_ / sizeof(Vertex)));
+  for (const int64_t key : insertion_order_) {
+    Slice& slice = cache_.at(key);
+    const uint64_t offset = packed.size();
+    packed.insert(packed.end(), arena_.begin() + slice.offset,
+                  arena_.begin() + slice.offset + slice.length);
+    slice.offset = offset;
+  }
+  arena_ = std::move(packed);
+  dead_payload_bytes_ = 0;
 }
 
 std::vector<Vertex> BallCache::TupleBall(std::span<const Vertex> tuple,
                                          int radius) {
   std::vector<Vertex> merged;
   for (Vertex v : tuple) {
-    const std::vector<Vertex>& ball = VertexBall(v, radius);
+    const std::span<const Vertex> ball = VertexBall(v, radius);
     merged.insert(merged.end(), ball.begin(), ball.end());
   }
   std::sort(merged.begin(), merged.end());
@@ -154,6 +212,67 @@ InducedSubgraph BuildInducedSubgraph(const Graph& graph,
       }
     }
   }
+  result.graph.Finalize();
+  return result;
+}
+
+NeighborhoodExtractor::Result NeighborhoodExtractor::Extract(
+    std::span<const Vertex> tuple, int radius) {
+  const std::span<const Vertex> ball = collector_.Collect(tuple, radius);
+  const auto order = static_cast<int32_t>(ball.size());
+  // The BFS only expanded rows of vertices at distance < radius; the
+  // perimeter rows are about to be read cold. The ball is known up front,
+  // so overlap those scattered reads: one sweep requesting every offset
+  // pair, one requesting every row start.
+  if (graph_->finalized()) {
+    const std::span<const uint64_t> host_offsets = graph_->CsrOffsets();
+    const std::span<const Vertex> host_neighbors = graph_->CsrNeighbors();
+    for (Vertex v : ball) {
+      __builtin_prefetch(&host_offsets[static_cast<uint32_t>(v)], 0, 1);
+    }
+    for (Vertex v : ball) {
+      // data() + offset: an empty final row's offset is one-past-the-end,
+      // where operator[] would be out of bounds.
+      __builtin_prefetch(
+          host_neighbors.data() + host_offsets[static_cast<uint32_t>(v)], 0,
+          1);
+    }
+  }
+  // Host rows are sorted and the sorted ball maps original ids to local
+  // ids monotonically, so every induced row comes out sorted by
+  // construction — the CSR columns can be emitted directly.
+  std::vector<uint64_t> offsets(static_cast<size_t>(order) + 1, 0);
+  std::vector<Vertex> neighbors;
+  auto local_id = [ball](Vertex original) -> Vertex {
+    const auto it = std::lower_bound(ball.begin(), ball.end(), original);
+    if (it == ball.end() || *it != original) return kNoVertex;
+    return static_cast<Vertex>(it - ball.begin());
+  };
+  for (int32_t i = 0; i < order; ++i) {
+    offsets[i] = neighbors.size();
+    for (Vertex u : graph_->Neighbors(ball[i])) {
+      const Vertex mapped = local_id(u);
+      if (mapped != kNoVertex) neighbors.push_back(mapped);
+    }
+  }
+  offsets[order] = neighbors.size();
+  Result result;
+  result.graph = Graph::FromCsr(order, std::move(offsets),
+                                std::move(neighbors),
+                                Vocabulary(graph_->vocabulary()));
+  for (int32_t i = 0; i < order; ++i) {
+    for (ColorId c = 0; c < graph_->vocabulary().size(); ++c) {
+      if (graph_->HasColor(ball[i], c)) result.graph.SetColor(i, c);
+    }
+  }
+  result.graph.Finalize();  // refresh member columns touched by SetColor
+  result.to_original.assign(ball.begin(), ball.end());
+  result.tuple.reserve(tuple.size());
+  for (Vertex v : tuple) {
+    const Vertex mapped = local_id(v);
+    FOLEARN_CHECK_NE(mapped, kNoVertex);
+    result.tuple.push_back(mapped);
+  }
   return result;
 }
 
@@ -182,6 +301,7 @@ Graph DisjointCopies(const Graph& graph, int copies) {
       }
     }
   }
+  result.Finalize();
   return result;
 }
 
@@ -199,6 +319,7 @@ Graph DisjointUnion(const Graph& a, const Graph& b) {
       if (u > v) result.AddEdge(offset + v, offset + u);
     }
   }
+  result.Finalize();
   return result;
 }
 

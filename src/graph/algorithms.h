@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -33,6 +34,38 @@ int TupleDistance(const Graph& graph, std::span<const Vertex> us,
 std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
                          int radius);
 
+// Frontier BFS with reusable O(order) scratch: collects the sorted r-ball
+// of a source set in O(|ball| log |ball|) per call — no per-call O(order)
+// allocation or memset, which is what makes repeated ball queries viable
+// on million-vertex graphs. Epoch-stamped visit marks make re-use free;
+// the scratch vectors are recycled across calls.
+//
+// Not thread-safe; the graph must outlive the collector and collectors
+// must be rebuilt if the graph mutates or grows.
+class BallCollector {
+ public:
+  explicit BallCollector(const Graph& graph)
+      : graph_(&graph), mark_(graph.order(), 0) {}
+
+  // N_radius(sources), sorted increasingly — set-equal to
+  // Ball(graph, sources, radius). The span is valid until the next call.
+  std::span<const Vertex> Collect(std::span<const Vertex> sources,
+                                  int radius);
+
+ private:
+  const Graph* graph_;
+  // Visited iff mark_[v] == epoch_. One byte per vertex, not four: the BFS
+  // probes this array once per directed edge endpoint, and at n = 10^6 the
+  // byte array stays cache-resident where a wider stamp would not. The
+  // narrow epoch wraps every 255 calls, which costs one O(n) clear —
+  // amortised noise.
+  std::vector<uint8_t> mark_;
+  std::vector<Vertex> frontier_;
+  std::vector<Vertex> next_;
+  std::vector<Vertex> ball_;
+  uint8_t epoch_ = 0;
+};
+
 // Memoises single-source balls per (vertex, radius), so the BFS for a
 // recurring vertex is paid once and reused across examples and parameter
 // candidates. A tuple ball N_r(v̄) is the union of the per-entry balls
@@ -41,21 +74,23 @@ std::vector<Vertex> Ball(const Graph& graph, std::span<const Vertex> sources,
 // multi-source BFS — the dominant saving in the ERM sweeps, where every
 // example tuple reappears under each of the n^ℓ parameter candidates.
 //
-// Memory: one sorted vertex vector per cached (vertex, radius) pair, so at
-// most (distinct radii) · n vectors of ≤ n entries — unbounded by default.
-// With `max_bytes` ≥ 0 the cache never holds more than that many bytes,
-// where each entry is charged its full footprint — payload, vector header,
-// hash-map node (key, hash links, bucket share), and insertion-queue slot —
-// so `bytes() <= max_bytes` is an invariant after every call, not just a
-// payload approximation (many small balls previously overshot the budget
-// by the uncounted per-entry overhead). When an insertion would push the
-// cache over budget, the oldest entries (insertion order — a deterministic
-// FIFO independent of hash iteration order) are evicted until it fits; a
-// single ball whose footprint alone exceeds the budget is served from a
-// scratch slot and never cached at all. Eviction (and the scratch slot)
-// invalidate references returned by *earlier* VertexBall calls, so under a
-// budget a returned reference is only valid until the next call (TupleBall
-// consumes each ball immediately and is always safe).
+// Storage is columnar: every cached ball is an (offset, length) slice into
+// one packed arena vector, so a cache of many small balls costs one
+// allocation instead of one vector per ball, and a hit returns a span over
+// contiguous memory. Evicted slices are reclaimed by compacting the arena
+// once dead bytes exceed live bytes, so real memory stays within 2× the
+// accounted bytes.
+//
+// With `max_bytes` ≥ 0 the accounted footprint (payload + per-entry map
+// node, key, and insertion-queue overhead) never exceeds the budget:
+// `bytes() <= max_bytes` is an invariant after every call. When an
+// insertion would push the cache over budget, the oldest entries
+// (insertion order — a deterministic FIFO independent of hash iteration
+// order) are evicted until it fits; a single ball whose footprint alone
+// exceeds the budget is served from a scratch slot and never cached.
+// Appends, evictions, and compaction can move the arena, so a returned
+// span is only valid until the next call (TupleBall consumes each ball
+// immediately and is always safe).
 //
 // Not thread-safe — parallel sweeps keep one cache per worker. The graph
 // must outlive the cache, and the cache must be dropped when the graph
@@ -68,8 +103,9 @@ class BallCache {
   explicit BallCache(const Graph& graph, int64_t max_bytes = kNoBudget)
       : graph_(&graph), max_bytes_(max_bytes) {}
 
-  // N_radius(v), sorted increasingly; computed on first use.
-  const std::vector<Vertex>& VertexBall(Vertex v, int radius);
+  // N_radius(v), sorted increasingly; computed on first use. The span is
+  // valid until the next call on this cache.
+  std::span<const Vertex> VertexBall(Vertex v, int radius);
 
   // N_radius(tuple), sorted increasingly — set-equal to
   // Ball(graph, tuple, radius).
@@ -87,28 +123,42 @@ class BallCache {
   int64_t max_bytes() const { return max_bytes_; }
 
  private:
+  // An arena slice: `length` vertices starting at arena_[offset].
+  struct Slice {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+  };
+
   // Accounted footprint of one cached entry. Beyond the payload this
-  // charges the vector header, the unordered_map node (int64 key + hash
+  // charges the slice record, the unordered_map node (int64 key + hash
   // link + cached hash + bucket-array share, libstdc++ layout) and the
   // insertion-order queue slot — the overhead that dominates on
   // many-small-ball workloads.
   static constexpr int64_t kPerEntryOverhead =
-      static_cast<int64_t>(sizeof(std::vector<Vertex>))  // map node payload
+      static_cast<int64_t>(sizeof(Slice))  // map node payload
       + 4 * sizeof(void*)   // hash node header + bucket share
       + sizeof(int64_t)     // key
       + sizeof(int64_t);    // insertion_order_ slot
-  static int64_t EntryBytes(const std::vector<Vertex>& ball) {
-    return static_cast<int64_t>(ball.capacity()) *
+  static int64_t EntryBytes(uint64_t length) {
+    return static_cast<int64_t>(length) *
                static_cast<int64_t>(sizeof(Vertex)) +
            kPerEntryOverhead;
   }
 
+  // Squeezes evicted slices out of the arena (entries keep their
+  // insertion order; offsets are rewritten).
+  void Compact();
+
   const Graph* graph_;
   int64_t max_bytes_;
+  // Lazily built on the first miss (its scratch is O(order)).
+  std::unique_ptr<BallCollector> collector_;
   // Key: radius * order + vertex (both bounded by the graph order for all
   // realistic radii; radius values are small constants here).
-  std::unordered_map<int64_t, std::vector<Vertex>> cache_;
+  std::unordered_map<int64_t, Slice> cache_;
   std::deque<int64_t> insertion_order_;  // oldest key at the front
+  std::vector<Vertex> arena_;            // packed payloads of live slices
+  int64_t dead_payload_bytes_ = 0;       // evicted bytes still in the arena
   // Holds the most recent over-budget ball (see class comment).
   std::vector<Vertex> scratch_;
   int64_t hits_ = 0;
@@ -146,6 +196,32 @@ struct NeighborhoodGraph {
 NeighborhoodGraph BuildNeighborhoodGraph(const Graph& graph,
                                          std::span<const Vertex> tuple,
                                          int radius);
+
+// Repeated-query variant of BuildNeighborhoodGraph for large graphs: owns
+// a BallCollector (reusable O(order) scratch, allocated once) and builds
+// the induced neighbourhood's CSR columns directly from the host graph's
+// CSR rows — per query it costs O(|ball| · d · log |ball|), independent of
+// the host order, instead of the free function's O(order) per call. The
+// result omits the O(order) `from_original` column; the tuple is mapped
+// for the caller.
+//
+// Not thread-safe; one extractor per worker, rebuilt if the graph mutates.
+class NeighborhoodExtractor {
+ public:
+  explicit NeighborhoodExtractor(const Graph& graph)
+      : graph_(&graph), collector_(graph) {}
+
+  struct Result {
+    Graph graph;                      // finalized induced subgraph
+    std::vector<Vertex> to_original;  // sorted ball (new id -> original)
+    std::vector<Vertex> tuple;        // the tuple's image in `graph`
+  };
+  Result Extract(std::span<const Vertex> tuple, int radius);
+
+ private:
+  const Graph* graph_;
+  BallCollector collector_;
+};
 
 // Disjoint union of `copies` copies of `graph` (used by Lemma 7's general
 // case: Ĝ = union of 2ℓ copies of G). Copy i occupies vertex range

@@ -1,0 +1,481 @@
+#include "graph/fog.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/io.h"
+#include "util/checkpoint.h"
+
+namespace folearn {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'O', 'G', 'R', 'A', 'P', 'H', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 64;
+// Colour count sanity bound — far above anything real, low enough that the
+// section-size arithmetic below cannot overflow.
+constexpr uint64_t kMaxColors = uint64_t{1} << 20;
+
+uint64_t Pad8(uint64_t bytes) { return (bytes + 7) & ~uint64_t{7}; }
+
+void AppendBytes(std::string& out, const void* data, size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+void AppendU32(std::string& out, uint32_t value) {
+  AppendBytes(out, &value, sizeof(value));
+}
+
+void AppendU64(std::string& out, uint64_t value) {
+  AppendBytes(out, &value, sizeof(value));
+}
+
+uint64_t ReadU64(const char* base) {
+  uint64_t value;
+  std::memcpy(&value, base, sizeof(value));
+  return value;
+}
+
+uint32_t ReadU32(const char* base) {
+  uint32_t value;
+  std::memcpy(&value, base, sizeof(value));
+  return value;
+}
+
+// One memory-mapped, fully validated .fog file. Graphs built over it keep
+// it alive through their GraphStorage handle; the process-wide registry
+// below shares one mapping (and one validation pass) per distinct inode.
+class FogMapping : public GraphStorage {
+ public:
+  FogMapping(void* data, size_t size) : data_(data), size_(size) {}
+  FogMapping(const FogMapping&) = delete;
+  FogMapping& operator=(const FogMapping&) = delete;
+  ~FogMapping() override {
+    if (data_ != nullptr) ::munmap(data_, size_);
+  }
+
+  const char* bytes() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+
+  // Filled by Validate(); spans point into the mapping.
+  int32_t order = 0;
+  uint64_t checksum = 0;
+  std::vector<std::string> color_names;
+  std::span<const uint64_t> offsets;
+  std::span<const Vertex> neighbors;
+  std::vector<Graph::MappedColor> colors;
+
+ private:
+  void* data_;
+  size_t size_;
+};
+
+// Structural validation of a mapped file. Everything here guards external
+// bytes from reaching library CHECKs: after an OK return the columns
+// satisfy the Graph::FromCsr contract (monotone offsets, strictly sorted
+// in-range irreflexive symmetric rows, consistent colour columns).
+Status Validate(FogMapping& m, const std::string& path) {
+  auto corrupt = [&](const std::string& what) {
+    return DataLossError(path + ": " + what);
+  };
+  if (m.size() < kHeaderBytes) return corrupt("truncated header");
+  const char* base = m.bytes();
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return corrupt("not a .fog file (bad magic)");
+  }
+  const uint32_t version = ReadU32(base + 8);
+  if (version != kVersion) {
+    return corrupt("unsupported .fog version " + std::to_string(version) +
+                   " (expected " + std::to_string(kVersion) + ")");
+  }
+  const uint32_t flags = ReadU32(base + 12);
+  if (flags != 0) {
+    // No flags are defined in version 1; a reader must not guess at bits
+    // a future writer may have given meaning.
+    return corrupt("unsupported flags " + std::to_string(flags));
+  }
+  const uint64_t order = ReadU64(base + 16);
+  const uint64_t num_colors = ReadU64(base + 24);
+  const uint64_t neighbor_entries = ReadU64(base + 32);
+  const uint64_t names_bytes = ReadU64(base + 40);
+  const uint64_t payload_bytes = ReadU64(base + 48);
+  m.checksum = ReadU64(base + 56);
+  if (payload_bytes != m.size() - kHeaderBytes) {
+    return corrupt("payload length mismatch (header says " +
+                   std::to_string(payload_bytes) + ", file holds " +
+                   std::to_string(m.size() - kHeaderBytes) + ")");
+  }
+  if (order > static_cast<uint64_t>(kMaxGraphOrder)) {
+    return corrupt("order " + std::to_string(order) +
+                   " exceeds the 32-bit id limit");
+  }
+  if (num_colors > kMaxColors) {
+    return corrupt("implausible colour count " + std::to_string(num_colors));
+  }
+  if (neighbor_entries >= kMaxNeighborEntries) {
+    return corrupt("neighbour entries " + std::to_string(neighbor_entries) +
+                   " exceed the format limit");
+  }
+  if (neighbor_entries % 2 != 0) {
+    return corrupt("odd neighbour entry count (undirected graphs have an "
+                   "even number of directed entries)");
+  }
+  const char* payload = base + kHeaderBytes;
+  if (Fnv1a64(std::string_view(payload, payload_bytes)) != m.checksum) {
+    return corrupt("payload checksum mismatch");
+  }
+
+  // Section arithmetic: all multiplicands are bounded above (order < 2^31,
+  // num_colors <= 2^20, neighbor_entries < 2^32), so no uint64 overflow.
+  const uint64_t words_per_color = (order + 63) / 64;
+  uint64_t cursor = 0;
+  auto take = [&](uint64_t bytes, const char* what,
+                  const char** out) -> Status {
+    if (bytes > payload_bytes - cursor) {
+      return corrupt(std::string("truncated ") + what + " section");
+    }
+    *out = payload + cursor;
+    cursor += bytes;
+    return OkStatus();
+  };
+  const char* offsets_ptr = nullptr;
+  const char* neighbors_ptr = nullptr;
+  const char* words_ptr = nullptr;
+  const char* counts_ptr = nullptr;
+  const char* members_ptr = nullptr;
+  const char* names_ptr = nullptr;
+  Status section = take((order + 1) * 8, "offsets", &offsets_ptr);
+  if (section.ok()) section = take(neighbor_entries * 4, "neighbors",
+                                   &neighbors_ptr);
+  if (section.ok()) {
+    cursor = Pad8(cursor);
+    if (cursor > payload_bytes) return corrupt("truncated neighbor padding");
+    section = take(num_colors * words_per_color * 8, "colour words",
+                   &words_ptr);
+  }
+  if (section.ok()) section = take(num_colors * 8, "member counts",
+                                   &counts_ptr);
+  if (!section.ok()) return section;
+  const auto* counts = reinterpret_cast<const uint64_t*>(counts_ptr);
+  uint64_t total_members = 0;
+  for (uint64_t c = 0; c < num_colors; ++c) {
+    if (counts[c] > order) return corrupt("colour member count exceeds order");
+    total_members += counts[c];
+  }
+  section = take(total_members * 4, "members", &members_ptr);
+  if (section.ok()) {
+    cursor = Pad8(cursor);
+    if (cursor > payload_bytes) return corrupt("truncated member padding");
+    section = take(names_bytes, "names", &names_ptr);
+  }
+  if (!section.ok()) return section;
+  if (cursor != payload_bytes) {
+    return corrupt("trailing bytes after the names section");
+  }
+
+  // CSR structure.
+  const auto* offsets = reinterpret_cast<const uint64_t*>(offsets_ptr);
+  const auto* neighbors = reinterpret_cast<const Vertex*>(neighbors_ptr);
+  if (offsets[0] != 0) return corrupt("CSR offsets do not start at 0");
+  if (offsets[order] != neighbor_entries) {
+    return corrupt("CSR offsets do not end at the neighbour count");
+  }
+  // The whole chain must be monotone BEFORE any row is scanned: a forged
+  // offset larger than the neighbour section would otherwise drive the
+  // row scan below out of the mapping.
+  for (uint64_t v = 0; v < order; ++v) {
+    if (offsets[v] > offsets[v + 1]) return corrupt("CSR offsets not monotone");
+  }
+  // Symmetry rides along as an order-invariant accumulator instead of a
+  // per-entry mirror lookup: hash each entry's unordered pair {v, u} and
+  // xor the hashes. Rows are strictly sorted (checked below), so a pair
+  // can occur at most twice — once per endpoint row — which makes "the
+  // accumulator returns to zero" equivalent to "every entry has its
+  // mirror", up to a 64-bit hash collision between distinct pairs: the
+  // same failure class the payload checksum already accepts. The mirror
+  // lookup it replaces cost one scattered read per directed entry, which
+  // dominated cold-load time at n = 10^6.
+  const auto signed_order = static_cast<Vertex>(order);
+  uint64_t symmetry = 0;
+  for (uint64_t v = 0; v < order; ++v) {
+    Vertex previous = kNoVertex;
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      const Vertex u = neighbors[i];
+      if (u < 0 || u >= signed_order) return corrupt("neighbour out of range");
+      if (u <= previous) return corrupt("CSR row not strictly sorted");
+      if (static_cast<uint64_t>(u) == v) return corrupt("self-loop stored");
+      previous = u;
+      const uint64_t lo =
+          std::min(v, static_cast<uint64_t>(u));
+      const uint64_t hi =
+          std::max(v, static_cast<uint64_t>(u));
+      uint64_t x = lo * 0x9e3779b97f4a7c15ULL ^ (hi + 0x165667b19e3779f9ULL);
+      x ^= x >> 29;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 32;
+      symmetry ^= x;
+    }
+  }
+  if (symmetry != 0) return corrupt("edge relation not symmetric");
+
+  // Colour columns: names, words, and member arrays must agree.
+  std::string_view names_blob(names_ptr, names_bytes);
+  std::vector<std::string> names;
+  if (num_colors > 0) {
+    size_t start = 0;
+    while (names.size() < num_colors) {
+      size_t split = names_blob.find('\n', start);
+      if (names.size() + 1 == num_colors) {
+        if (split != std::string_view::npos) {
+          return corrupt("too many colour names");
+        }
+        split = names_blob.size();
+      } else if (split == std::string_view::npos) {
+        return corrupt("too few colour names");
+      }
+      names.emplace_back(names_blob.substr(start, split - start));
+      start = split + 1;
+    }
+  } else if (names_bytes != 0) {
+    return corrupt("names blob present with zero colours");
+  }
+  std::unordered_set<std::string_view> seen_names;
+  for (const std::string& name : names) {
+    if (name.empty()) return corrupt("empty colour name");
+    if (name.find(' ') != std::string::npos) {
+      return corrupt("colour name contains whitespace");
+    }
+    if (!seen_names.insert(name).second) {
+      return corrupt("duplicate colour name '" + name + "'");
+    }
+  }
+  const auto* words = reinterpret_cast<const uint64_t*>(words_ptr);
+  const auto* members = reinterpret_cast<const Vertex*>(members_ptr);
+  uint64_t member_cursor = 0;
+  m.colors.clear();
+  for (uint64_t c = 0; c < num_colors; ++c) {
+    const uint64_t* color_words = words + c * words_per_color;
+    uint64_t popcount = 0;
+    for (uint64_t w = 0; w < words_per_color; ++w) {
+      popcount += std::popcount(color_words[w]);
+    }
+    if (words_per_color > 0 && order % 64 != 0) {
+      const uint64_t tail_mask = ~uint64_t{0} << (order % 64);
+      if ((color_words[words_per_color - 1] & tail_mask) != 0) {
+        return corrupt("colour bits set beyond the vertex range");
+      }
+    }
+    if (popcount != counts[c]) {
+      return corrupt("colour member count disagrees with its bitset");
+    }
+    const Vertex* column = members + member_cursor;
+    Vertex previous = kNoVertex;
+    for (uint64_t i = 0; i < counts[c]; ++i) {
+      const Vertex v = column[i];
+      if (v < 0 || v >= signed_order) {
+        return corrupt("colour member out of range");
+      }
+      if (v <= previous) return corrupt("colour members not strictly sorted");
+      if ((color_words[static_cast<uint32_t>(v) >> 6] &
+           (uint64_t{1} << (v & 63))) == 0) {
+        return corrupt("colour member missing from its bitset");
+      }
+      previous = v;
+    }
+    m.colors.push_back(Graph::MappedColor{
+        std::span<const uint64_t>(color_words, words_per_color),
+        std::span<const Vertex>(column, counts[c])});
+    member_cursor += counts[c];
+  }
+
+  m.order = static_cast<int32_t>(order);
+  m.color_names = std::move(names);
+  m.offsets = {offsets, static_cast<size_t>(order) + 1};
+  m.neighbors = {neighbors, static_cast<size_t>(neighbor_entries)};
+  return OkStatus();
+}
+
+// Process-wide mapping registry keyed by file identity, so every session
+// (and repeated load) of the same unchanged file shares one mapping and
+// pays validation once. Weak pointers: a mapping lives exactly as long as
+// some Graph views it.
+std::mutex g_registry_mu;
+std::unordered_map<std::string, std::weak_ptr<const FogMapping>>&
+Registry() {
+  static auto* registry =
+      new std::unordered_map<std::string, std::weak_ptr<const FogMapping>>();
+  return *registry;
+}
+
+std::string FileKey(const struct stat& st) {
+  return std::to_string(st.st_dev) + ":" + std::to_string(st.st_ino) + ":" +
+         std::to_string(st.st_size) + ":" + std::to_string(st.st_mtim.tv_sec) +
+         "." + std::to_string(st.st_mtim.tv_nsec);
+}
+
+StatusOr<std::shared_ptr<const FogMapping>> MapFogFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return NotFoundError(path + ": cannot open: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return UnavailableError(path + ": fstat failed: " + std::strerror(err));
+  }
+  const std::string key = FileKey(st);
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    auto it = Registry().find(key);
+    if (it != Registry().end()) {
+      if (std::shared_ptr<const FogMapping> live = it->second.lock()) {
+        ::close(fd);
+        return live;
+      }
+    }
+  }
+  if (st.st_size < static_cast<off_t>(kHeaderBytes)) {
+    ::close(fd);
+    return DataLossError(path + ": truncated header");
+  }
+  void* data = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (data == MAP_FAILED) {
+    return UnavailableError(path + ": mmap failed: " + std::strerror(errno));
+  }
+  auto mapping =
+      std::make_shared<FogMapping>(data, static_cast<size_t>(st.st_size));
+  Status valid = Validate(*mapping, path);
+  if (!valid.ok()) return valid;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    Registry()[key] = mapping;
+    // Drop dead registry entries opportunistically so repeated loads of
+    // ever-changing files do not grow the map without bound.
+    for (auto it = Registry().begin(); it != Registry().end();) {
+      it = it->second.expired() ? Registry().erase(it) : std::next(it);
+    }
+  }
+  return std::shared_ptr<const FogMapping>(std::move(mapping));
+}
+
+Graph GraphFromMapping(std::shared_ptr<const FogMapping> mapping) {
+  Vocabulary vocabulary;
+  for (const std::string& name : mapping->color_names) {
+    vocabulary.AddColor(name);
+  }
+  const FogMapping& m = *mapping;
+  return Graph::FromMappedCsr(m.order, m.offsets, m.neighbors,
+                              std::move(vocabulary), m.colors,
+                              std::move(mapping));
+}
+
+}  // namespace
+
+bool LooksLikeFog(std::string_view bytes) {
+  return bytes.size() >= sizeof(kMagic) &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0;
+}
+
+Status WriteFogFile(const std::string& path, const Graph& graph) {
+  FOLEARN_CHECK(graph.finalized())
+      << "WriteFogFile requires a finalized graph";
+  const std::span<const uint64_t> offsets = graph.CsrOffsets();
+  const std::span<const Vertex> neighbors = graph.CsrNeighbors();
+  if (neighbors.size() >= kMaxNeighborEntries) {
+    return InvalidArgumentError(
+        path + ": graph exceeds the .fog neighbour-entry limit (" +
+        std::to_string(neighbors.size()) + " entries)");
+  }
+  const int num_colors = graph.vocabulary().size();
+  std::string names_blob;
+  for (ColorId c = 0; c < num_colors; ++c) {
+    if (c > 0) names_blob += '\n';
+    names_blob += graph.vocabulary().Name(c);
+  }
+
+  std::string payload;
+  AppendBytes(payload, offsets.data(), offsets.size_bytes());
+  AppendBytes(payload, neighbors.data(), neighbors.size_bytes());
+  payload.resize(Pad8(payload.size()), '\0');
+  for (ColorId c = 0; c < num_colors; ++c) {
+    const std::span<const uint64_t> words = graph.ColorWords(c);
+    AppendBytes(payload, words.data(), words.size_bytes());
+  }
+  uint64_t total_members = 0;
+  for (ColorId c = 0; c < num_colors; ++c) {
+    const uint64_t count = graph.ColorMembers(c).size();
+    AppendU64(payload, count);
+    total_members += count;
+  }
+  (void)total_members;
+  for (ColorId c = 0; c < num_colors; ++c) {
+    const std::span<const Vertex> members = graph.ColorMembers(c);
+    AppendBytes(payload, members.data(), members.size_bytes());
+  }
+  payload.resize(Pad8(payload.size()), '\0');
+  payload += names_blob;
+
+  std::string file;
+  file.reserve(kHeaderBytes + payload.size());
+  AppendBytes(file, kMagic, sizeof(kMagic));
+  AppendU32(file, kVersion);
+  AppendU32(file, 0);  // flags
+  AppendU64(file, static_cast<uint64_t>(graph.order()));
+  AppendU64(file, static_cast<uint64_t>(num_colors));
+  AppendU64(file, static_cast<uint64_t>(neighbors.size()));
+  AppendU64(file, static_cast<uint64_t>(names_blob.size()));
+  AppendU64(file, static_cast<uint64_t>(payload.size()));
+  AppendU64(file, Fnv1a64(payload));
+  FOLEARN_CHECK_EQ(file.size(), kHeaderBytes);
+  file += payload;
+  return WriteFileAtomic(path, file);
+}
+
+StatusOr<Graph> LoadFogFile(const std::string& path, uint64_t* fingerprint) {
+  StatusOr<std::shared_ptr<const FogMapping>> mapping = MapFogFile(path);
+  if (!mapping.ok()) return mapping.status();
+  if (fingerprint != nullptr) *fingerprint = (*mapping)->checksum;
+  return GraphFromMapping(*std::move(mapping));
+}
+
+StatusOr<Graph> LoadGraphAuto(const std::string& path, uint64_t* fingerprint) {
+  char magic[sizeof(kMagic)] = {};
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      return NotFoundError(path + ": cannot open: " + std::strerror(errno));
+    }
+    const ssize_t got = ::read(fd, magic, sizeof(magic));
+    ::close(fd);
+    if (got == static_cast<ssize_t>(sizeof(magic)) &&
+        LooksLikeFog(std::string_view(magic, sizeof(magic)))) {
+      return LoadFogFile(path, fingerprint);
+    }
+  }
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  if (fingerprint != nullptr) *fingerprint = Fnv1a64(*text);
+  StatusOr<Graph> graph = ParseGraph(*text);
+  if (!graph.ok()) {
+    return Status(graph.status().code(),
+                  path + ": " + graph.status().message());
+  }
+  return graph;
+}
+
+}  // namespace folearn

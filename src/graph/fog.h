@@ -1,0 +1,69 @@
+#ifndef FOLEARN_GRAPH_FOG_H_
+#define FOLEARN_GRAPH_FOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace folearn {
+
+// .fog — the versioned, checksummed binary graph format.
+//
+// A .fog file is the columnar Graph representation written out verbatim, so
+// loading is a read-only memory map plus validation — no parsing, no
+// per-vertex allocations, and concurrent sessions on the same file share
+// the page cache. Layout (little-endian, all sections 8-byte aligned):
+//
+//   header (64 bytes):
+//     0  magic            "FOGRAPH1"
+//     8  u32 version      (currently 1)
+//     12 u32 flags        (reserved, 0)
+//     16 u64 order        |V|
+//     24 u64 num_colors   ℓ
+//     32 u64 neighbor_entries   2·|E| (directed CSR entries)
+//     40 u64 names_bytes  length of the colour-name blob
+//     48 u64 payload_bytes
+//     56 u64 checksum     FNV-1a 64 of the payload
+//   payload:
+//     offsets        (order+1) × u64   CSR row offsets
+//     neighbors      neighbor_entries × i32, zero-padded to 8
+//     colour words   num_colors × ⌈order/64⌉ × u64 membership bitsets
+//     member counts  num_colors × u64
+//     members        (Σ counts) × i32 sorted member columns, padded to 8
+//     names          '\n'-joined colour names (names_bytes, no trailing \n)
+//
+// Every loader failure mode — truncation, bit flips, version skew, bad
+// checksum, structurally inconsistent columns — returns a kDataLoss Status
+// with a diagnostic (exit 65 at the CLI), never UB. Mappings are shared
+// process-wide: loading the same (unchanged) file twice revalidates nothing
+// and reuses the same pages, which is what makes folearnd session re-warm
+// on a large graph near-instant.
+
+// True iff `bytes` starts with the .fog magic (used to sniff binary vs
+// text graph files).
+bool LooksLikeFog(std::string_view bytes);
+
+// Serialises a finalized graph to `path` (temp file + atomic rename).
+// Graphs exceeding the format limits (order > kMaxGraphOrder or
+// neighbour entries ≥ 2^32) are rejected with a Status, never truncated.
+Status WriteFogFile(const std::string& path, const Graph& graph);
+
+// Memory-maps and validates `path`, returning a finalized Graph that views
+// the mapped columns zero-copy (the mapping lives as long as any Graph
+// copy). If `fingerprint` is non-null it receives the payload checksum.
+StatusOr<Graph> LoadFogFile(const std::string& path,
+                            uint64_t* fingerprint = nullptr);
+
+// Loads `path` as .fog if it carries the magic, as text otherwise. The
+// fingerprint is the payload checksum (.fog) or the FNV-1a of the text
+// bytes — either way it identifies the loaded content for session
+// journaling.
+StatusOr<Graph> LoadGraphAuto(const std::string& path,
+                              uint64_t* fingerprint = nullptr);
+
+}  // namespace folearn
+
+#endif  // FOLEARN_GRAPH_FOG_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_set>
+#include <utility>
 
 namespace folearn {
 
@@ -200,6 +202,95 @@ Graph MakeHypercube(int dimensions) {
     }
   }
   return graph;
+}
+
+namespace {
+// Canonical packed key of an undirected edge for duplicate detection.
+uint64_t EdgeKey(Vertex u, Vertex v) {
+  const auto lo = static_cast<uint64_t>(std::min(u, v));
+  const auto hi = static_cast<uint64_t>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+}  // namespace
+
+Graph MakeBoundedDegreeAtScale(int64_t n, int max_degree,
+                               int64_t target_edges, Rng& rng) {
+  FOLEARN_CHECK_GE(n, 2);
+  FOLEARN_CHECK_GE(max_degree, 1);
+  FOLEARN_CHECK_GE(target_edges, 0);
+  const Vertex order = CheckedVertex(n);
+  std::vector<int32_t> degree(n, 0);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(static_cast<size_t>(2 * target_edges));
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(static_cast<size_t>(target_edges));
+  int64_t attempts = 0;
+  const int64_t max_attempts = 20 * std::max<int64_t>(target_edges, 1);
+  while (static_cast<int64_t>(edges.size()) < target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    const auto u = static_cast<Vertex>(rng.UniformIndex(n));
+    const auto v = static_cast<Vertex>(rng.UniformIndex(n));
+    if (u == v) continue;
+    if (degree[u] >= max_degree || degree[v] >= max_degree) continue;
+    if (!seen.insert(EdgeKey(u, v)).second) continue;
+    edges.emplace_back(u, v);
+    ++degree[u];
+    ++degree[v];
+  }
+  return Graph::FromEdges(order, edges);
+}
+
+Graph MakeGridAtScale(int64_t width, int64_t height) {
+  FOLEARN_CHECK_GE(width, 1);
+  FOLEARN_CHECK_GE(height, 1);
+  const Vertex order = CheckedVertex(width * height);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(static_cast<size_t>(2 * width * height));
+  auto id = [width](int64_t x, int64_t y) {
+    return static_cast<Vertex>(x + y * width);
+  };
+  for (int64_t y = 0; y < height; ++y) {
+    for (int64_t x = 0; x < width; ++x) {
+      if (x + 1 < width) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < height) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return Graph::FromEdges(order, edges);
+}
+
+Graph MakePreferentialAttachmentAtScale(int64_t n, int attach, Rng& rng) {
+  FOLEARN_CHECK_GE(n, 1);
+  FOLEARN_CHECK_GE(attach, 1);
+  const Vertex order = CheckedVertex(n);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(static_cast<size_t>(attach) * static_cast<size_t>(n));
+  // Repeated-endpoint list: each vertex appears degree+1 times.
+  std::vector<Vertex> endpoints;
+  endpoints.reserve(2 * static_cast<size_t>(attach) * static_cast<size_t>(n) +
+                    static_cast<size_t>(n));
+  endpoints.push_back(0);
+  std::vector<Vertex> chosen;
+  for (Vertex v = 1; v < order; ++v) {
+    const int links = std::min<int>(attach, v);
+    chosen.clear();
+    while (static_cast<int>(chosen.size()) < links) {
+      Vertex target = endpoints[rng.UniformIndex(
+          static_cast<int64_t>(endpoints.size()))];
+      if (target == v) continue;
+      if (std::find(chosen.begin(), chosen.end(), target) != chosen.end()) {
+        continue;
+      }
+      chosen.push_back(target);
+    }
+    for (Vertex target : chosen) {
+      edges.emplace_back(v, target);
+      endpoints.push_back(target);
+      endpoints.push_back(v);
+    }
+    endpoints.push_back(v);
+  }
+  return Graph::FromEdges(order, edges);
 }
 
 std::vector<ColorId> AddRandomColors(Graph& graph,

@@ -68,6 +68,27 @@ Graph MakeSubdividedComplete(int n);
 // unbounded degree as d grows but locally sparse.
 Graph MakeHypercube(int dimensions);
 
+// --- At-scale sparse families ----------------------------------------------
+//
+// Million-vertex variants of the sparse generators above: they accumulate a
+// flat edge list and pack it straight into the CSR columns via
+// Graph::FromEdges — no per-vertex heap allocations, memory linear in the
+// edge count, and the result comes back finalized. Orders are int64 and
+// checked against the 32-bit id limit (CHECK — these are internal
+// builders, not external-input loaders). The small-n generators keep their
+// exact RNG call sequences; these are separate families, not replacements.
+
+// Random graph with maximum degree ≤ max_degree (same sampling scheme as
+// MakeBoundedDegree: rejected candidates count against a 20× attempt cap).
+Graph MakeBoundedDegreeAtScale(int64_t n, int max_degree,
+                               int64_t target_edges, Rng& rng);
+
+// width × height grid (planar, degree ≤ 4); vertex (x, y) is x + y·width.
+Graph MakeGridAtScale(int64_t width, int64_t height);
+
+// Preferential attachment (Barabási–Albert), as MakePreferentialAttachment.
+Graph MakePreferentialAttachmentAtScale(int64_t n, int attach, Rng& rng);
+
 // Declares the colours in `names` on `graph` and assigns each vertex to each
 // colour independently with probability `probability`.
 std::vector<ColorId> AddRandomColors(Graph& graph,

@@ -1,6 +1,7 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -38,7 +39,7 @@ namespace {
 bool ParseInt(const std::string& token, int* out) {
   if (token.empty()) return false;
   size_t pos = 0;
-  int value = 0;
+  int64_t value = 0;
   bool negative = false;
   if (token[pos] == '-') {
     negative = true;
@@ -48,8 +49,11 @@ bool ParseInt(const std::string& token, int* out) {
   for (; pos < token.size(); ++pos) {
     if (token[pos] < '0' || token[pos] > '9') return false;
     value = value * 10 + (token[pos] - '0');
+    // Reject overflow instead of wrapping: a vertex id beyond the 32-bit
+    // range is malformed input, not UB.
+    if (value > std::numeric_limits<int32_t>::max()) return false;
   }
-  *out = negative ? -value : value;
+  *out = static_cast<int>(negative ? -value : value);
   return true;
 }
 
@@ -79,6 +83,9 @@ std::optional<Graph> FromText(std::string_view text, std::string* error) {
       int order = 0;
       if (tokens.size() != 2 || !ParseInt(tokens[1], &order) || order < 0) {
         return fail("malformed 'graph' line: " + line);
+      }
+      if (static_cast<int64_t>(order) > kMaxGraphOrder) {
+        return fail("order exceeds the 32-bit id limit");
       }
       graph.emplace(order);
     } else if (!graph.has_value()) {
@@ -114,7 +121,12 @@ std::optional<Graph> FromText(std::string_view text, std::string* error) {
       return fail("unknown keyword: " + keyword);
     }
   }
-  if (!graph.has_value()) Fail(error, "empty input");
+  if (!graph.has_value()) {
+    Fail(error, "empty input");
+  } else {
+    // Loaders hand out finalized (CSR-packed) graphs.
+    graph->Finalize();
+  }
   return graph;
 }
 

@@ -234,9 +234,12 @@ bool CompiledEvaluator::EvalGuarded(const CompiledNode& node) {
     const Vertex pinned = env_[node.b];
     const Vertex* first = &pinned;
     size_t count = 1;
-    if (!is_equals) {
-      const std::vector<Vertex>& members =
-          is_color ? ColorMembers(node.b) : graph_.Neighbors(pinned);
+    if (!is_equals && is_color) {
+      const std::vector<Vertex>& members = ColorMembers(node.b);
+      first = members.data();
+      count = members.size();
+    } else if (!is_equals) {
+      const std::span<const Vertex> members = graph_.Neighbors(pinned);
       first = members.data();
       count = members.size();
     }

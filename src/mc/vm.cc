@@ -27,12 +27,13 @@ std::shared_ptr<const VmGraphIndex> VmGraphIndex::Build(const Graph& graph) {
   index->color_bits.assign(
       static_cast<size_t>(num_colors) * index->stride, 0);
   for (ColorId c = 0; c < num_colors; ++c) {
-    const std::vector<bool>& bitmap = graph.ColorBitmap(c);
-    uint64_t* row = index->color_bits.data() +
-                    static_cast<size_t>(c) * index->stride;
-    for (Vertex v = 0; v < order; ++v) {
-      if (bitmap[v]) row[v >> 6] |= uint64_t{1} << (v & 63);
-    }
+    // The graph stores colour classes as word bitsets in exactly this
+    // layout, so a row is a straight copy instead of a bit-by-bit repack.
+    const std::span<const uint64_t> words = graph.ColorWords(c);
+    FOLEARN_CHECK_EQ(words.size(), static_cast<size_t>(index->stride));
+    std::copy(words.begin(), words.end(),
+              index->color_bits.data() +
+                  static_cast<size_t>(c) * index->stride);
   }
   return index;
 }
@@ -51,8 +52,8 @@ VmEvaluator::VmEvaluator(const CompiledFormula& plan,
   for (const std::string& name : plan.color_names()) {
     std::optional<ColorId> color = graph.FindColor(name);
     colors_.push_back(color.has_value() ? *color : ColorId{-1});
-    color_rows_.push_back(color.has_value() ? &graph.ColorBitmap(*color)
-                                            : nullptr);
+    color_rows_.push_back(
+        color.has_value() ? graph.ColorWords(*color).data() : nullptr);
   }
   bool runnable = lowered.supported;
   if (runnable) {
@@ -172,14 +173,14 @@ bool VmEvaluator::EdgeHolds(Vertex u, Vertex v) {
 }
 
 bool VmEvaluator::ColorHolds(int32_t index, Vertex v) {
-  const std::vector<bool>* row = color_rows_[index];
+  const uint64_t* row = color_rows_[index];
   if (row == nullptr) {
     FOLEARN_CHECK(options_.missing_color_is_false)
         << "colour '" << plan_.color_names()[index]
         << "' not in the graph's vocabulary";
     return false;
   }
-  return (*row)[v];
+  return (row[static_cast<uint32_t>(v) >> 6] >> (v & 63)) & 1;
 }
 
 bool VmEvaluator::AtomHolds(const VmAtom& atom) {
@@ -591,7 +592,7 @@ vm_dispatch:
   VM_CASE(kNScanBegin) {
     FOLEARN_CHECK_GT(graph_.order(), 0)
         << "quantifier evaluated on the empty graph";
-    const std::vector<Vertex>& members = graph_.Neighbors(env_[ip->b]);
+    const std::span<const Vertex> members = graph_.Neighbors(env_[ip->b]);
     Frame& frame = frames_[ip->c];
     frame.cur = members.data();
     frame.end = frame.cur + members.size();
@@ -714,7 +715,7 @@ vm_dispatch:
     const bool is_exists = (ip->flags & kFlagExists) != 0;
     const bool disj = (ip->flags & kFlagDisjunctive) != 0;
     const VmAtom* const first = atoms + ip->c;
-    const std::vector<Vertex>& neighbors = graph_.Neighbors(env_[ip->b]);
+    const std::span<const Vertex> neighbors = graph_.Neighbors(env_[ip->b]);
     bool verdict;
     if (!kCounting && edge_index_ != nullptr &&
         static_cast<int32_t>(neighbors.size()) > edge_index_->stride) {

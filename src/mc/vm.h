@@ -39,8 +39,8 @@ struct VmGraphIndex {
   int32_t order = 0;
   int32_t stride = 0;           // uint64 words per row
   std::vector<uint64_t> bits;   // order × stride, row-major
-  // One row per graph colour (vocabulary order): the same bitmaps as
-  // Graph::ColorBitmap, repacked into words so quantifier bodies can be
+  // One row per graph colour (vocabulary order): a straight copy of
+  // Graph::ColorWords (same word layout), so quantifier bodies can be
   // combined with bitset algebra alongside adjacency rows.
   std::vector<uint64_t> color_bits;  // vocabulary.size() × stride
 
@@ -177,7 +177,8 @@ class VmEvaluator {
   std::shared_ptr<const VmGraphIndex> edge_index_;
   bool auto_built_index_ = false;  // rebuild in ResetMemo (graph mutated)
   std::vector<uint64_t> scratch_body_;  // one row for BodySet
-  std::vector<const std::vector<bool>*> color_rows_;
+  // Raw word-bitset rows (Graph::ColorWords) per plan colour name.
+  std::vector<const uint64_t*> color_rows_;
   std::vector<ColorId> colors_;  // per plan colour name; -1 = unresolved
   std::vector<Vertex> env_;
   std::vector<int8_t> memo_;  // -1 unknown, else the cached verdict

@@ -19,6 +19,7 @@
 
 #include "fo/parser.h"
 #include "graph/algorithms.h"
+#include "graph/fog.h"
 #include "graph/io.h"
 #include "learn/erm.h"
 #include "learn/hypothesis.h"
@@ -194,8 +195,12 @@ struct Server::Session {
   uint64_t id = 0;
   Graph graph;
   // The verbatim graph text, kept so journal writes never re-serialise
-  // (byte-stable journals across saves).
+  // (byte-stable journals across saves). Empty for file-backed sessions,
+  // which journal `graph_file` + `graph_fingerprint` instead and re-warm
+  // by (memory-mapped, for .fog) reload.
   std::string graph_text;
+  std::string graph_file;
+  uint64_t graph_fingerprint = 0;
   std::shared_ptr<TypeRegistry> registry;
   BallCache ball_cache;
 
@@ -252,6 +257,8 @@ struct Server::Session {
     SessionRecord record;
     record.id = id;
     record.graph_text = graph_text;
+    record.graph_file = graph_file;
+    record.graph_fingerprint = graph_fingerprint;
     record.next_model_id = next_model_id;
     record.models.reserve(models.size());
     for (const auto& [model_id, entry] : models) {
@@ -545,15 +552,32 @@ StatusOr<std::shared_ptr<Server::Session>> Server::AcquireSession(
     }
     return record.status();
   }
-  StatusOr<Graph> graph = ParseGraph(record->graph_text);
+  StatusOr<Graph> graph = [&]() -> StatusOr<Graph> {
+    if (record->graph_file.empty()) return ParseGraph(record->graph_text);
+    // File-backed session: reload (mmap for .fog) and verify the
+    // fingerprint — a swapped file must not silently answer for the graph
+    // the client registered.
+    uint64_t fingerprint = 0;
+    StatusOr<Graph> loaded = LoadGraphAuto(record->graph_file, &fingerprint);
+    if (loaded.ok() && fingerprint != record->graph_fingerprint) {
+      return DataLossError(
+          "graph file '" + record->graph_file + "' for session " +
+          std::to_string(id) + " has fingerprint " +
+          std::to_string(fingerprint) + ", journal recorded " +
+          std::to_string(record->graph_fingerprint));
+    }
+    return loaded;
+  }();
   if (!graph.ok()) {
     return DataLossError("journaled graph for session " + std::to_string(id) +
-                         " does not parse: " + graph.status().message());
+                         " does not load: " + graph.status().message());
   }
   auto session = std::make_shared<Session>(*std::move(graph),
                                            std::move(record->graph_text),
                                            options_.ball_cache_bytes);
   session->id = id;
+  session->graph_file = std::move(record->graph_file);
+  session->graph_fingerprint = record->graph_fingerprint;
   session->next_model_id = record->next_model_id;
   for (auto& [model_id, text] : record->models) {
     session->models.emplace(model_id,
@@ -602,10 +626,19 @@ void Server::EvictIdleSessions() {
 
 Message Server::HandleLoadGraph(const Message& request) {
   const std::string* text = request.Find("graph");
-  if (text == nullptr) {
-    return MakeError(kExitUsage, "load-graph requires a 'graph' field");
+  const std::string* file = request.Find("graph-file");
+  if (text == nullptr && file == nullptr) {
+    return MakeError(kExitUsage,
+                     "load-graph requires a 'graph' or 'graph-file' field");
   }
-  StatusOr<Graph> graph = ParseGraph(*text);
+  if (text != nullptr && file != nullptr) {
+    return MakeError(kExitUsage,
+                     "load-graph takes 'graph' or 'graph-file', not both");
+  }
+  uint64_t fingerprint = 0;
+  StatusOr<Graph> graph =
+      file != nullptr ? LoadGraphAuto(*file, &fingerprint)
+                      : ParseGraph(*text);
   if (!graph.ok()) return MakeErrorFromStatus(graph.status());
   uint64_t id = 0;
   {
@@ -616,9 +649,14 @@ Message Server::HandleLoadGraph(const Message& request) {
     Status meta = store_.SaveNextSessionId(next_session_id_);
     if (!meta.ok()) return MakeErrorFromStatus(meta);
   }
-  auto session = std::make_shared<Session>(*std::move(graph), *text,
-                                           options_.ball_cache_bytes);
+  auto session = std::make_shared<Session>(
+      *std::move(graph), text != nullptr ? *text : std::string(),
+      options_.ball_cache_bytes);
   session->id = id;
+  if (file != nullptr) {
+    session->graph_file = *file;
+    session->graph_fingerprint = fingerprint;
+  }
   // Journal before acknowledging: once the client sees the id, a restart
   // must be able to serve it.
   Status saved = store_.enabled() ? store_.Save(session->ToRecord())
@@ -1349,6 +1387,7 @@ Message Server::HandleStats(const Message& request) {
   response.Set("plan-hits", std::to_string(stats.plan_hits));
   response.Set("plan-misses", std::to_string(stats.plan_misses));
   response.Set("plan-bytes", std::to_string(plan_cache_.bytes()));
+  response.Set("inflight", std::to_string(stats.inflight));
   response.Set("eval-engine", EvalEngineName(options_.eval_engine));
   return response;
 }
@@ -1362,6 +1401,7 @@ ServerStats Server::Snapshot() const {
   stats.journal_writes = store_.journal_writes();
   stats.plan_hits = plan_cache_.hits();
   stats.plan_misses = plan_cache_.misses();
+  stats.inflight = inflight_.load(std::memory_order_acquire);
   return stats;
 }
 

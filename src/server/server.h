@@ -141,6 +141,7 @@ struct ServerStats {
   int64_t journal_writes = 0;      // SessionStore counter at snapshot time
   int64_t plan_hits = 0;           // PlanCache hits/misses at snapshot time
   int64_t plan_misses = 0;
+  int64_t inflight = 0;            // gauge: substantive requests in flight
 };
 
 class Server {

@@ -117,6 +117,14 @@ StatusOr<SessionRecord> SessionStore::Load(uint64_t id) const {
   if (version != kJournalVersion) return VersionSkew(path, version);
   SessionRecord record;
   record.graph_text = fields->Get("graph");
+  record.graph_file = fields->Get("graph-file");
+  if (!record.graph_file.empty()) {
+    if (!ParseU64(fields->Get("graph-fingerprint"),
+                  &record.graph_fingerprint)) {
+      return DataLossError("journal '" + path + "' has a file-backed graph "
+                           "but a malformed graph-fingerprint field");
+    }
+  }
   uint64_t recorded_id = 0;
   if (!ParseU64(fields->Get("session"), &recorded_id) || recorded_id != id) {
     return DataLossError("journal '" + path + "' names session '" +
@@ -157,6 +165,11 @@ Status SessionStore::Save(const SessionRecord& record) {
   fields.Set("journal-version", kJournalVersion);
   fields.Set("session", std::to_string(record.id));
   fields.Set("graph", record.graph_text);
+  if (!record.graph_file.empty()) {
+    fields.Set("graph-file", record.graph_file);
+    fields.Set("graph-fingerprint",
+               std::to_string(record.graph_fingerprint));
+  }
   fields.Set("next-model", std::to_string(record.next_model_id));
   for (const auto& [model_id, text] : record.models) {
     fields.fields.emplace_back("model-" + std::to_string(model_id), text);

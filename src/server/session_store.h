@@ -43,6 +43,13 @@ namespace folearn {
 struct SessionRecord {
   uint64_t id = 0;
   std::string graph_text;
+  // File-backed sessions journal a path plus the payload fingerprint of
+  // the graph instead of inlining the text: `graph_file` non-empty means
+  // re-warm loads (and, for .fog files, memory-maps) the file and verifies
+  // the fingerprint, so a swapped or rewritten file surfaces as data loss
+  // rather than silently answering for the wrong graph.
+  std::string graph_file;
+  uint64_t graph_fingerprint = 0;
   uint64_t next_model_id = 1;
   std::vector<std::pair<uint64_t, std::string>> models;  // id -> model text
   std::vector<std::pair<std::string, std::string>> learns;

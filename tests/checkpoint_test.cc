@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -434,8 +435,12 @@ TEST(BallCache, BudgetEvictsButNeverChangesResults) {
   BallCache bounded(g, /*max_bytes=*/2048);
   for (int round = 0; round < 3; ++round) {
     for (Vertex v = 0; v < g.order(); ++v) {
-      const std::vector<Vertex>& want = unbounded.VertexBall(v, 2);
-      const std::vector<Vertex>& got = bounded.VertexBall(v, 2);
+      // Spans are only valid until the next call on the same cache; copy
+      // the first before querying the second.
+      const std::span<const Vertex> want_span = unbounded.VertexBall(v, 2);
+      const std::vector<Vertex> want(want_span.begin(), want_span.end());
+      const std::span<const Vertex> got_span = bounded.VertexBall(v, 2);
+      const std::vector<Vertex> got(got_span.begin(), got_span.end());
       ASSERT_EQ(got, want) << "vertex " << v;
       // The byte budget is a hard invariant after every call, not a
       // payload-only approximation.
@@ -454,7 +459,8 @@ TEST(BallCache, ManySmallBallsRespectBudget) {
   const int64_t budget = 4096;
   BallCache cache(g, budget);
   for (Vertex v = 0; v < g.order(); ++v) {
-    const std::vector<Vertex>& ball = cache.VertexBall(v, 1);
+    const std::span<const Vertex> ball_span = cache.VertexBall(v, 1);
+    const std::vector<Vertex> ball(ball_span.begin(), ball_span.end());
     ASSERT_EQ(ball, std::vector<Vertex>{v});
     ASSERT_LE(cache.bytes(), budget);
   }
@@ -469,8 +475,10 @@ TEST(BallCache, SingleEntryLargerThanBudgetServedUncached) {
   Graph g = MakeStar(40);  // hub ball holds every vertex
   BallCache unbounded(g);
   BallCache cache(g, /*max_bytes=*/1);
-  const std::vector<Vertex>& ball = cache.VertexBall(0, 1);
-  EXPECT_EQ(ball, unbounded.VertexBall(0, 1));
+  const std::span<const Vertex> ball_span = cache.VertexBall(0, 1);
+  const std::vector<Vertex> ball(ball_span.begin(), ball_span.end());
+  const std::span<const Vertex> want = unbounded.VertexBall(0, 1);
+  EXPECT_EQ(ball, std::vector<Vertex>(want.begin(), want.end()));
   // An entry that alone exceeds the budget is served from scratch space:
   // the invariant holds and nothing is retained.
   EXPECT_EQ(cache.bytes(), 0);

@@ -87,6 +87,18 @@ TEST(CorruptInput, GraphLoaderNeverAborts) {
   });
 }
 
+// The 32-bit vertex-id boundary: orders past kMaxGraphOrder must come
+// back as a parse error (exit-65 semantics), not wrap or abort — whether
+// they fit in an int or overflow the integer parser itself.
+TEST(CorruptInput, GraphLoaderRejectsOversizedOrders) {
+  for (const char* text :
+       {"graph 2147483647\n", "graph 4294967296\n", "graph 99999999999\n"}) {
+    StatusOr<Graph> graph = ParseGraph(text);
+    ASSERT_FALSE(graph.ok()) << text;
+    EXPECT_FALSE(graph.status().message().empty());
+  }
+}
+
 TEST(CorruptInput, ModelLoaderNeverAborts) {
   ExhaustivelyMangle(ValidModelText(), [](const std::string& bytes) {
     StatusOr<Hypothesis> hypothesis = ParseHypothesis(bytes);

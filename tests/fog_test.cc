@@ -1,0 +1,361 @@
+#include "graph/fog.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/checkpoint.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace folearn {
+namespace {
+
+// The `.fog` binary graph format: text↔binary round trips, the
+// memory-mapped loader's sharing semantics, and the corrupt-input matrix
+// (truncation, bit flips, version skew, bad checksum). The format is
+// checksummed, so — like the checkpoint envelope and unlike the free-text
+// parsers — anything but the pristine bytes must be refused with exit
+// code 65 semantics, never UB. corrupt_input_test.cc is the model.
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// A zoo of structurally diverse graphs, colours included.
+std::vector<Graph> SampleGraphs() {
+  std::vector<Graph> graphs;
+  graphs.push_back(Graph(0));
+  graphs.push_back(Graph(1));
+  graphs.push_back(MakePath(17));
+  graphs.push_back(MakeGrid(5, 7));
+  graphs.push_back(MakeCompleteBipartite(4, 9));
+  graphs.push_back(MakeHypercube(5));
+  {
+    Rng rng(11);
+    Graph g = MakeRandomTree(64, rng);
+    AddRandomColors(g, {"Red", "Blue", "Green"}, 0.3, rng);
+    graphs.push_back(std::move(g));
+  }
+  {
+    Rng rng(13);
+    Graph g = MakeErdosRenyi(40, 0.15, rng);
+    AddPeriodicColor(g, "Odd", 2, 1);
+    AddPeriodicColor(g, "Zero", 40, 0);
+    graphs.push_back(std::move(g));
+  }
+  {
+    // Exactly 64 vertices tests the tail-mask boundary of the colour
+    // bitset words; 65 tests the first bit of a second word.
+    Graph g = MakeCycle(65);
+    AddPeriodicColor(g, "Red", 3, 0);
+    graphs.push_back(std::move(g));
+  }
+  for (Graph& g : graphs) g.Finalize();
+  return graphs;
+}
+
+void ExpectSameGraph(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.order(), b.order());
+  ASSERT_EQ(a.EdgeCount(), b.EdgeCount());
+  ASSERT_EQ(a.vocabulary().names(), b.vocabulary().names());
+  for (Vertex v = 0; v < a.order(); ++v) {
+    const std::span<const Vertex> left = a.Neighbors(v);
+    const std::span<const Vertex> right = b.Neighbors(v);
+    ASSERT_TRUE(std::equal(left.begin(), left.end(), right.begin(),
+                           right.end()))
+        << "adjacency differs at vertex " << v;
+    for (ColorId c = 0; c < a.vocabulary().size(); ++c) {
+      ASSERT_EQ(a.HasColor(v, c), b.HasColor(v, c))
+          << "colour " << a.vocabulary().Name(c) << " differs at " << v;
+    }
+  }
+}
+
+TEST(FogFormat, RoundTripsEverySampleGraph) {
+  const std::string path = TempPath("roundtrip.fog");
+  int index = 0;
+  for (const Graph& graph : SampleGraphs()) {
+    SCOPED_TRACE("sample " + std::to_string(index++));
+    ASSERT_TRUE(WriteFogFile(path, graph).ok());
+    StatusOr<Graph> loaded = LoadFogFile(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_TRUE(loaded->finalized());
+    ExpectSameGraph(graph, *loaded);
+    // The text serialisation is the canonical witness: binary round trip
+    // must be invisible to it.
+    EXPECT_EQ(ToText(graph), ToText(*loaded));
+  }
+  std::remove(path.c_str());
+}
+
+// Property test: text -> binary -> text is the identity on random
+// generator output, across families and colourings.
+TEST(FogFormat, TextBinaryTextIsIdentity) {
+  Rng rng(29);
+  const std::string path = TempPath("property.fog");
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const int n = 2 + static_cast<int>(rng.UniformIndex(60));
+    Graph graph(0);
+    switch (trial % 4) {
+      case 0: graph = MakeRandomTree(n, rng); break;
+      case 1: graph = MakeErdosRenyi(n, 0.2, rng); break;
+      case 2: graph = MakeBoundedDegree(n, 3, 2 * n, rng); break;
+      default: graph = MakePreferentialAttachment(n, 2, rng); break;
+    }
+    AddRandomColors(graph, {"Red", "Blue"}, 0.4, rng);
+    graph.Finalize();
+    const std::string text = ToText(graph);
+    ASSERT_TRUE(WriteFogFile(path, graph).ok());
+    uint64_t fingerprint = 0;
+    StatusOr<Graph> loaded = LoadGraphAuto(path, &fingerprint);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    EXPECT_NE(fingerprint, 0u);
+    EXPECT_EQ(text, ToText(*loaded));
+    // And back through the text parser for the full cycle.
+    StatusOr<Graph> reparsed = ParseGraph(ToText(*loaded));
+    ASSERT_TRUE(reparsed.ok());
+    ExpectSameGraph(*loaded, *reparsed);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, AtScaleGeneratorsRoundTrip) {
+  Rng rng(31);
+  const std::string path = TempPath("atscale.fog");
+  Graph graph = MakeBoundedDegreeAtScale(5000, 6, 9000, rng);
+  AddPeriodicColor(graph, "Red", 7, 0);
+  graph.Finalize();
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<Graph> loaded = LoadFogFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+  ExpectSameGraph(graph, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, LoadGraphAutoSniffsBothFormats) {
+  Rng rng(17);
+  Graph graph = MakeRandomTree(20, rng);
+  AddPeriodicColor(graph, "Red", 2, 0);
+  graph.Finalize();
+  const std::string text_path = TempPath("auto.graph");
+  const std::string fog_path = TempPath("auto.fog");
+  ASSERT_TRUE(WriteFileAtomic(text_path, ToText(graph)).ok());
+  ASSERT_TRUE(WriteFogFile(fog_path, graph).ok());
+  uint64_t text_fp = 0;
+  uint64_t fog_fp = 0;
+  StatusOr<Graph> from_text = LoadGraphAuto(text_path, &text_fp);
+  StatusOr<Graph> from_fog = LoadGraphAuto(fog_path, &fog_fp);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().message();
+  ASSERT_TRUE(from_fog.ok()) << from_fog.status().message();
+  ExpectSameGraph(*from_text, *from_fog);
+  // Fingerprints are per-encoding (text hash vs payload checksum) but
+  // must be stable across loads of the same file.
+  uint64_t text_fp2 = 0;
+  ASSERT_TRUE(LoadGraphAuto(text_path, &text_fp2).ok());
+  EXPECT_EQ(text_fp, text_fp2);
+  uint64_t fog_fp2 = 0;
+  ASSERT_TRUE(LoadGraphAuto(fog_path, &fog_fp2).ok());
+  EXPECT_EQ(fog_fp, fog_fp2);
+  EXPECT_EQ(LoadGraphAuto(TempPath("missing.fog")).status().code(),
+            StatusCode::kNotFound);
+  std::remove(text_path.c_str());
+  std::remove(fog_path.c_str());
+}
+
+TEST(FogFormat, MappedGraphsShareOneMapping) {
+  Rng rng(19);
+  Graph graph = MakeGrid(30, 30);
+  graph.Finalize();
+  const std::string path = TempPath("shared.fog");
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<Graph> first = LoadFogFile(path);
+  StatusOr<Graph> second = LoadFogFile(path);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Registry hit: both graphs view the same mapped bytes.
+  EXPECT_EQ(first->CsrNeighbors().data(), second->CsrNeighbors().data());
+  ExpectSameGraph(*first, *second);
+  // Copies of a mapped graph stay views (same mapping, no deep copy of
+  // the CSR columns)...
+  Graph copy(*first);
+  EXPECT_EQ(copy.CsrNeighbors().data(), first->CsrNeighbors().data());
+  ExpectSameGraph(copy, *first);
+  // ...until a mutation, which unpacks to owned storage.
+  copy.AddEdge(0, 2);
+  copy.Finalize();
+  EXPECT_NE(copy.CsrNeighbors().data(), first->CsrNeighbors().data());
+  EXPECT_EQ(copy.EdgeCount(), first->EdgeCount() + 1);
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, MappedGraphServesAlgorithms) {
+  Rng rng(23);
+  Graph graph = MakeRandomTree(200, rng);
+  AddRandomColors(graph, {"Red"}, 0.3, rng);
+  graph.Finalize();
+  const std::string path = TempPath("algos.fog");
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<Graph> loaded = LoadFogFile(path);
+  ASSERT_TRUE(loaded.ok());
+  // Balls and induced neighbourhoods off the mapped columns agree with
+  // the owned-storage original.
+  BallCache original_cache(graph);
+  BallCache mapped_cache(*loaded);
+  for (Vertex v = 0; v < graph.order(); v += 17) {
+    const std::span<const Vertex> a = original_cache.VertexBall(v, 2);
+    std::vector<Vertex> expected(a.begin(), a.end());
+    const std::span<const Vertex> b = mapped_cache.VertexBall(v, 2);
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), b.begin(),
+                           b.end()));
+  }
+  NeighborhoodExtractor extractor(*loaded);
+  const Vertex tuple[] = {5};
+  NeighborhoodExtractor::Result local = extractor.Extract(tuple, 2);
+  EXPECT_TRUE(local.graph.finalized());
+  EXPECT_EQ(local.to_original.size(),
+            static_cast<size_t>(local.graph.order()));
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, RejectsEveryTruncationAndBitFlip) {
+  Rng rng(37);
+  Graph graph = MakeRandomTree(9, rng);
+  AddPeriodicColor(graph, "Red", 2, 0);
+  graph.Finalize();
+  const std::string path = TempPath("mangled.fog");
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<std::string> pristine = ReadFileToString(path);
+  ASSERT_TRUE(pristine.ok());
+
+  auto probe = [&](const std::string& bytes, const std::string& what) {
+    ASSERT_TRUE(WriteFileAtomic(path, bytes).ok());
+    StatusOr<Graph> loaded = LoadFogFile(path);
+    if (bytes == *pristine) {
+      EXPECT_TRUE(loaded.ok()) << loaded.status().message();
+      return;
+    }
+    ASSERT_FALSE(loaded.ok()) << what;
+    EXPECT_EQ(StatusExitCode(loaded.status()), 65) << what;
+    EXPECT_FALSE(loaded.status().message().empty());
+    // Diagnostics name the offending file.
+    EXPECT_NE(loaded.status().message().find(path), std::string::npos);
+  };
+
+  for (size_t len = 0; len < pristine->size(); ++len) {
+    probe(pristine->substr(0, len),
+          "truncation to " + std::to_string(len) + " bytes");
+  }
+  for (size_t i = 0; i < pristine->size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = *pristine;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      probe(mutated, "bit " + std::to_string(bit) + " of byte " +
+                         std::to_string(i));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, RejectsVersionSkewWithDiagnostic) {
+  Graph graph = MakePath(4);
+  graph.Finalize();
+  const std::string path = TempPath("skew.fog");
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  // The version field is the u32 at offset 8.
+  std::string skewed = *bytes;
+  skewed[8] = 2;
+  ASSERT_TRUE(WriteFileAtomic(path, skewed).ok());
+  StatusOr<Graph> loaded = LoadFogFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(StatusExitCode(loaded.status()), 65);
+  EXPECT_NE(loaded.status().message().find("version"), std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, RejectsChecksumMismatchWithDiagnostic) {
+  Graph graph = MakePath(4);
+  graph.Finalize();
+  const std::string path = TempPath("checksum.fog");
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  // The checksum field is the u64 at offset 56.
+  std::string forged = *bytes;
+  forged[56] = static_cast<char>(forged[56] ^ 0x01);
+  ASSERT_TRUE(WriteFileAtomic(path, forged).ok());
+  StatusOr<Graph> loaded = LoadFogFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(StatusExitCode(loaded.status()), 65);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+// Forged-but-checksummed payloads: recompute the checksum after the edit
+// so only the structural validators stand between the bytes and the
+// library CHECKs.
+TEST(FogFormat, RejectsStructurallyInvalidButChecksummedPayloads) {
+  Graph graph = MakePath(6);
+  graph.Finalize();
+  const std::string path = TempPath("forged.fog");
+  ASSERT_TRUE(WriteFogFile(path, graph).ok());
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  constexpr size_t kHeaderBytes = 64;
+
+  auto reseal_and_expect_rejection = [&](std::string file,
+                                         const std::string& what) {
+    const uint64_t checksum =
+        Fnv1a64(std::string_view(file).substr(kHeaderBytes));
+    for (int b = 0; b < 8; ++b) {
+      file[56 + b] = static_cast<char>((checksum >> (8 * b)) & 0xff);
+    }
+    ASSERT_TRUE(WriteFileAtomic(path, file).ok());
+    StatusOr<Graph> loaded = LoadFogFile(path);
+    ASSERT_FALSE(loaded.ok()) << what;
+    EXPECT_EQ(StatusExitCode(loaded.status()), 65) << what;
+  };
+
+  {
+    // Break symmetry: rewrite vertex 0's sole neighbour (1) to 3. The
+    // neighbours section follows the 7 u64 offsets.
+    std::string forged = *bytes;
+    const size_t neighbors_start = kHeaderBytes + 7 * 8;
+    forged[neighbors_start] = 3;
+    reseal_and_expect_rejection(forged, "asymmetric edge");
+  }
+  {
+    // Out-of-range neighbour id.
+    std::string forged = *bytes;
+    const size_t neighbors_start = kHeaderBytes + 7 * 8;
+    forged[neighbors_start] = 100;
+    reseal_and_expect_rejection(forged, "out-of-range neighbour");
+  }
+  {
+    // Non-monotone offsets.
+    std::string forged = *bytes;
+    forged[kHeaderBytes + 8] = 120;
+    reseal_and_expect_rejection(forged, "non-monotone offsets");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FogFormat, WriterRefusesUnfinalizedGraphViaDeathTest) {
+  Graph graph = MakePath(3);  // build mode, never finalized
+  EXPECT_DEATH(
+      { (void)WriteFogFile(TempPath("unfinalized.fog"), graph); },
+      "finalized");
+}
+
+}  // namespace
+}  // namespace folearn

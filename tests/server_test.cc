@@ -22,6 +22,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "graph/fog.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "learn/erm.h"
@@ -429,6 +430,18 @@ TEST_F(ServerTest, OverloadShedsInsteadOfHangingOrSevering) {
     EXPECT_TRUE(response.ok());
   });
 
+  // Wait until the slow learn actually occupies the slot — the inflight
+  // gauge flips to 1 once the request is admitted. Without this the
+  // hammer loop can race ahead of the slow thread's connect+write and
+  // observe zero sheds.
+  const auto admit_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server_->Snapshot().inflight < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), admit_deadline)
+        << "slow learn was never admitted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
   // Hammer the busy server; every response must arrive, and at least one
   // must be shed while the slow learn occupies the only slot.
   int shed = 0;
@@ -780,6 +793,63 @@ TEST_F(ServerTest, DurableSessionsSurviveRestartByteIdentically) {
   EXPECT_EQ(ResponseExitCode(*missing), 64);
 }
 
+TEST_F(ServerTest, FileBackedSessionSurvivesRestartAndDetectsSwaps) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  StartServer(options);
+  TestProblem problem = MakeProblem(40, 30);
+  problem.graph.Finalize();
+  // The state dir exists once the server started; park the graph file
+  // there so teardown sweeps it too.
+  const std::string fog_path = options_.state_dir + "/session.fog";
+  ASSERT_TRUE(WriteFogFile(fog_path, problem.graph).ok());
+
+  Client client = MustConnect();
+  Message load;
+  load.Set("op", "load-graph");
+  load.Set("graph-file", fog_path);
+  StatusOr<Message> loaded = client.Call(load);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->Get("status"), kStatusOk) << loaded->Get("error");
+  const std::string session = loaded->Get("session");
+  EXPECT_EQ(loaded->Get("order"), "40");
+
+  auto query = [&](Client& c) -> StatusOr<Message> {
+    Message request;
+    request.Set("op", "query");
+    request.Set("session", session);
+    request.Set("sentence", "exists x. Red(x)");
+    return c.Call(request);
+  };
+  StatusOr<Message> answer = query(client);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->Get("status"), kStatusOk) << answer->Get("error");
+  EXPECT_EQ(answer->Get("result"), "true");
+
+  // Restart: the journal references the file by path + fingerprint, and
+  // the re-warm memory-maps it back in.
+  RestartServer();
+  Client warm = MustConnect();
+  StatusOr<Message> after = query(warm);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->Get("status"), kStatusOk) << after->Get("error");
+  EXPECT_EQ(after->Get("result"), "true");
+  EXPECT_EQ(server_->Snapshot().sessions_rewarmed, 1);
+
+  // Swap the file for a different graph: the next re-warm must refuse
+  // with a data-loss error, not silently answer for the wrong graph.
+  TestProblem other = MakeProblem(12, 31);
+  other.graph.Finalize();
+  ASSERT_TRUE(WriteFogFile(fog_path, other.graph).ok());
+  RestartServer();
+  Client swapped = MustConnect();
+  StatusOr<Message> refused = query(swapped);
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(ResponseExitCode(*refused), 65);
+  const std::string error = refused->Get("error");
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+}
+
 TEST_F(ServerTest, DedupWindowIsBounded) {
   ServerOptions options;
   options.dedup_window = 2;
@@ -865,7 +935,17 @@ TEST_F(ServerTest, DisconnectMidRequestDropsConnectionOnly) {
     learned_after_storm = true;
   }
   EXPECT_TRUE(learned_after_storm) << "inflight slot appears leaked";
+  // The torn connections' threads race this snapshot: closing our end of
+  // the socket returns before the server thread observes EOF and bumps
+  // the counter, so poll until the storm has been fully accounted for.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
   ServerStats stats = server_->Snapshot();
+  while (stats.disconnects < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    stats = server_->Snapshot();
+  }
   EXPECT_GE(stats.disconnects, 3);
   EXPECT_EQ(stats.sessions_closed, 0);
   EXPECT_TRUE(client.Ping().ok());
@@ -934,7 +1014,9 @@ TEST_F(ServerTest, IdleTtlClosesMemoryOnlySessions) {
 
 TEST_F(ServerTest, HeartbeatKeepsIdleSessionAlive) {
   ServerOptions options;
-  options.session_ttl_ms = 1000;
+  // Generous TTL: under parallel ctest load a 100ms sleep can stretch far
+  // past its nominal duration, and the session must still look fresh.
+  options.session_ttl_ms = 5000;
   StartServer(options);
   TestProblem problem = MakeProblem(15, 47);
   Client client = MustConnect();

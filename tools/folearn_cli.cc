@@ -27,6 +27,7 @@
 
 #include "fo/parser.h"
 #include "fo/printer.h"
+#include "graph/fog.h"
 #include "graph/generators.h"
 #include "graph/invariants.h"
 #include "graph/io.h"
@@ -296,11 +297,27 @@ std::string GetRequiredPath(const Args& args, const char* key) {
   return path;
 }
 
-// Reads + parses --graph; exits 64/65/66 on failure (see DieStatus).
+// Reads --graph in either format (text, or memory-mapped .fog binary —
+// sniffed by magic, not extension); exits 64/65/66 on failure (see
+// DieStatus).
 Graph LoadGraph(const Args& args) {
-  StatusOr<Graph> graph = LoadGraphFile(GetRequiredPath(args, "graph"));
+  StatusOr<Graph> graph = LoadGraphAuto(GetRequiredPath(args, "graph"));
   if (!graph.ok()) DieStatus(graph.status());
   return *std::move(graph);
+}
+
+// graph-pack --graph g.txt --out g.fog: converts either input format to
+// the versioned, checksummed `.fog` binary that loaders memory-map.
+int CmdGraphPack(const Args& args) {
+  Graph graph = LoadGraph(args);
+  graph.Finalize();
+  const std::string out = GetRequiredPath(args, "out");
+  Status written = WriteFogFile(out, graph);
+  if (!written.ok()) DieStatus(written);
+  std::fprintf(stderr, "packed %d vertices / %lld edges into %s\n",
+               graph.order(), static_cast<long long>(graph.EdgeCount()),
+               out.c_str());
+  return 0;
 }
 
 TrainingSet LoadData(const Args& args) {
@@ -309,6 +326,11 @@ TrainingSet LoadData(const Args& args) {
   if (!data.ok()) DieStatus(data.status());
   return *std::move(data);
 }
+
+// Above this order, generate switches the sparse families to the
+// at-scale CSR builders (different RNG call sequence, so small-n outputs
+// stay byte-stable across versions).
+constexpr int kAtScaleThreshold = 100000;
 
 int CmdGenerate(const Args& args) {
   Rng rng(args.GetInt("seed", 1));
@@ -328,10 +350,15 @@ int CmdGenerate(const Args& args) {
   } else if (family == "grid") {
     int side = 1;
     while (side * side < n) ++side;
-    graph = MakeGrid(side, side);
+    // The at-scale builder packs straight into CSR; above the threshold
+    // the per-vertex build-mode lists would dominate generation time.
+    graph = n >= kAtScaleThreshold ? MakeGridAtScale(side, side)
+                                   : MakeGrid(side, side);
   } else if (family == "bounded-degree") {
-    graph = MakeBoundedDegree(n, GetNonNegativeInt(args, "degree", 4),
-                              3 * n / 2, rng);
+    const int degree = GetNonNegativeInt(args, "degree", 4);
+    graph = n >= kAtScaleThreshold
+                ? MakeBoundedDegreeAtScale(n, degree, 3ll * n / 2, rng)
+                : MakeBoundedDegree(n, degree, 3 * n / 2, rng);
   } else if (family == "er") {
     double p = args.GetDouble("p", 2.0 / n);
     if (!(p >= 0.0) || p > 1.0) {
@@ -347,7 +374,9 @@ int CmdGenerate(const Args& args) {
       std::fprintf(stderr, "--attach must be >= 1\n");
       return 64;
     }
-    graph = MakePreferentialAttachment(n, attach, rng);
+    graph = n >= kAtScaleThreshold
+                ? MakePreferentialAttachmentAtScale(n, attach, rng)
+                : MakePreferentialAttachment(n, attach, rng);
   } else {
     std::fprintf(stderr,
                  "unknown family '%s' (tree|path|cycle|grid|"
@@ -402,11 +431,15 @@ int CmdGenerate(const Args& args) {
 // mode, and resource limits are deliberately excluded — they never change
 // the scan's semantics, so a checkpoint written under one of them resumes
 // under another (e.g. save with --threads 8, resume with --threads 1).
-uint64_t ProblemFingerprint(const std::string& graph_text,
+uint64_t ProblemFingerprint(uint64_t graph_fingerprint,
                             const std::string& data_text,
                             const std::string& learner, int rank, int radius,
                             int ell, double epsilon) {
-  uint64_t fp = Fnv1a64(graph_text);
+  // For text graphs LoadGraphAuto's fingerprint is Fnv1a64 of the file
+  // bytes — the value this function hashed directly before the binary
+  // format existed — so problem fingerprints (and therefore resumable
+  // checkpoints) are unchanged for text inputs.
+  uint64_t fp = graph_fingerprint;
   fp = Fnv1a64(data_text, fp);
   char knobs[160];
   std::snprintf(knobs, sizeof(knobs),
@@ -416,19 +449,16 @@ uint64_t ProblemFingerprint(const std::string& graph_text,
 }
 
 int CmdLearn(const Args& args, ResourceGovernor* governor) {
-  // learn reads the raw file bytes itself (rather than using the one-shot
-  // Load*File wrappers) because they feed the problem fingerprint below.
+  // learn loads through LoadGraphAuto (text or .fog, sniffed by content)
+  // and keeps the returned fingerprint: it feeds the problem fingerprint
+  // below. The data file is still read raw for the same reason.
   const std::string graph_path = GetRequiredPath(args, "graph");
   const std::string data_path = GetRequiredPath(args, "data");
-  StatusOr<std::string> graph_text = ReadFileToString(graph_path);
-  if (!graph_text.ok()) DieStatus(graph_text.status());
+  uint64_t graph_fingerprint = 0;
+  StatusOr<Graph> graph = LoadGraphAuto(graph_path, &graph_fingerprint);
   StatusOr<std::string> data_text = ReadFileToString(data_path);
   if (!data_text.ok()) DieStatus(data_text.status());
-  StatusOr<Graph> graph = ParseGraph(*graph_text);
-  if (!graph.ok()) {
-    DieStatus(Status(graph.status().code(),
-                     graph_path + ": " + graph.status().message()));
-  }
+  if (!graph.ok()) DieStatus(graph.status());  // message already names the path
   StatusOr<TrainingSet> data = ParseTrainingSet(*data_text);
   if (!data.ok()) {
     DieStatus(Status(data.status().code(),
@@ -475,8 +505,8 @@ int CmdLearn(const Args& args, ResourceGovernor* governor) {
     return 64;
   }
   const uint64_t fingerprint = ProblemFingerprint(
-      *graph_text, *data_text, learner, options.rank, options.radius, ell,
-      epsilon);
+      graph_fingerprint, *data_text, learner, options.rank, options.radius,
+      ell, epsilon);
   std::optional<SearchFrontier> frontier;
   if (args.Has("resume")) {
     StatusOr<SearchFrontier> loaded = LoadFrontier(args.Get("resume"));
@@ -646,6 +676,9 @@ int Usage() {
       "  eval     --graph g.txt --data d.txt --model m.txt [--cache-bytes B]\n"
       "  mc       --graph g.txt --sentence \"...\" [--via-erm 1]\n"
       "  profile  --graph g.txt [--radius r]\n"
+      "  graph-pack --graph g.txt --out g.fog   (pack into the mmap-able\n"
+      "           binary graph format; --graph flags everywhere accept\n"
+      "           either format, sniffed by content)\n"
       "every command accepts [--timeout-ms T] [--max-work W] and\n"
       "[--threads N] (0 = all cores; results are identical for any N);\n"
       "eval and mc also accept [--eval vm|compiled|interpreted] (default\n"
@@ -692,6 +725,9 @@ int Main(int argc, char** argv) {
   } else if (command == "profile") {
     unknown = args.FirstUnknown({"graph", "radius", "timeout-ms",
                                  "max-work", "threads"});
+  } else if (command == "graph-pack") {
+    unknown = args.FirstUnknown({"graph", "out", "timeout-ms", "max-work",
+                                 "threads"});
   } else {
     return Usage();
   }
@@ -717,9 +753,11 @@ int Main(int argc, char** argv) {
 
   // generate and profile run no governed search loops; the limits are
   // accepted for interface uniformity but cannot trip there.
-  if (command == "generate" || command == "profile") {
+  if (command == "generate" || command == "profile" ||
+      command == "graph-pack") {
     g_governed_loop_active = 0;  // Ctrl-C kills these the normal way
-    return command == "generate" ? CmdGenerate(args) : CmdProfile(args);
+    if (command == "generate") return CmdGenerate(args);
+    return command == "profile" ? CmdProfile(args) : CmdGraphPack(args);
   }
   if (command == "learn") return CmdLearn(args, gov);
   if (command == "eval") return CmdEval(args, gov);

@@ -11,7 +11,11 @@
 # its records are split out into BENCH_server.json next to output.json.
 # bench_vm (the bytecode-VM E9 grid) is likewise split into BENCH_vm.json,
 # and the run FAILS if any of its E9 rows has the VM slower than the tree
-# engine — the VM's whole reason to exist is that row.
+# engine — the VM's whole reason to exist is that row. bench_graph_scale
+# (the million-vertex CSR/.fog sweep) splits into BENCH_graph.json, and
+# the run FAILS if the memory-mapped .fog load at the largest measured n
+# is not at least 10x faster than the text parse — the binary format's
+# whole reason to exist is that row.
 #
 # Compare mode: tools/run_benches.sh --compare baseline.json other.json
 #   joins two aggregated reports on (bench, config) and prints a per-row
@@ -72,6 +76,50 @@ vm_speedup_table() {
   ' "$file" || return 1
 }
 
+# Text-parse vs mmap load columns from a report's graph_scale/load
+# records (one row per n). With `enforce` non-empty, exits 1 if the fog
+# load at the largest n is not at least 10x faster than the text parse.
+graph_load_table() {
+  file=$1
+  enforce=${2:-}
+  grep -q '"graph_scale/load"' "$file" 2>/dev/null || return 0
+  echo ""
+  echo "text-vs-mmap graph load speedups in $file:"
+  awk -v enforce="$enforce" '
+    function field(line, name,    rest) {
+      rest = line
+      if (!sub(".*\"" name "\": \"?", "", rest)) return ""
+      sub("\"?[,}].*", "", rest)
+      return rest
+    }
+    /"graph_scale\/load"/ {
+      config = field($0, "config")
+      ms = field($0, "wall_ms") + 0
+      n = config; sub(".*n=", "", n)
+      mode = config; sub(".*mode=", "", mode); sub(" .*", "", mode)
+      if (mode == "text") text[n] = ms
+      if (mode == "fog") { if (!(n in fog)) order[cnt++] = n; fog[n] = ms }
+      if (n + 0 > max_n) max_n = n + 0
+    }
+    END {
+      printf "%-9s %12s %12s %9s\n", "n", "text ms", "fog ms", "text/fog"
+      bad = 0
+      for (i = 0; i < cnt; i++) {
+        n = order[i]
+        if (!(n in text)) continue
+        ratio = fog[n] > 0 ? text[n] / fog[n] : 0
+        printf "%-9s %12.3f %12.3f %8.2fx\n", n, text[n], fog[n], ratio
+        if (n + 0 == max_n && ratio < 10) bad = 1
+      }
+      if (bad && enforce != "") {
+        print "mmap .fog load is under 10x the text parse at the " \
+              "largest n" > "/dev/stderr"
+        exit 1
+      }
+    }
+  ' "$file" || return 1
+}
+
 if [ "${1:-}" = "--compare" ]; then
   baseline=${2:-}
   other=${3:-}
@@ -113,12 +161,15 @@ if [ "${1:-}" = "--compare" ]; then
   ' "$baseline" "$other"
   vm_speedup_table "$baseline" || exit 1
   vm_speedup_table "$other" enforce || exit 1
+  graph_load_table "$baseline" || exit 1
+  graph_load_table "$other" enforce || exit 1
   exit 0
 fi
 build_dir=${1:-"$repo_root/build"}
 out=${2:-"$repo_root/BENCH_parallel.json"}
 server_out=$(dirname "$out")/BENCH_server.json
 vm_out=$(dirname "$out")/BENCH_vm.json
+graph_out=$(dirname "$out")/BENCH_graph.json
 
 if [ ! -d "$build_dir" ]; then
   echo "run_benches.sh: build dir '$build_dir' not found" >&2
@@ -205,6 +256,7 @@ for jsonl in "$tmpdir"/*.jsonl; do
   case $(basename "$jsonl") in
     bench_server.jsonl) continue ;;
     bench_vm.jsonl) continue ;;
+    bench_graph_scale.jsonl) continue ;;
   esac
   main_files="$main_files $jsonl"
 done
@@ -221,6 +273,15 @@ if [ -f "$tmpdir/bench_vm.jsonl" ]; then
   echo "wrote $vm_out ($(grep -c '"bench"' "$vm_out") records)"
   if ! vm_speedup_table "$vm_out" enforce; then
     echo "run_benches.sh: VM E9 grid regressed below the tree engine" >&2
+    exit 1
+  fi
+fi
+
+if [ -f "$tmpdir/bench_graph_scale.jsonl" ]; then
+  write_array "$graph_out" "$tmpdir/bench_graph_scale.jsonl"
+  echo "wrote $graph_out ($(grep -c '"bench"' "$graph_out") records)"
+  if ! graph_load_table "$graph_out" enforce; then
+    echo "run_benches.sh: .fog mmap load floor violated" >&2
     exit 1
   fi
 fi
