@@ -19,6 +19,8 @@
 // untouched for the binary's own parsing (bench_type_computation hands
 // the remainder to google-benchmark).
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -67,19 +69,29 @@ class BenchJsonWriter {
   // One measurement: `bench` names the experiment, `config` the knob
   // setting (free-form "key=value key=value" text), `wall_ms` the wall
   // time, `work_units` the size of the work done (items scanned, types
-  // computed, …) so speedups can be normalised.
+  // computed, …) so speedups can be normalised. Every record also carries
+  // the process's peak RSS at write time, so memory regressions show up
+  // in the same BENCH_*.json diffs that catch latency regressions.
   void Record(const std::string& bench, const std::string& config,
               double wall_ms, long long work_units) {
     if (file_ == nullptr) return;
     std::fprintf(file_,
                  "{\"bench\": \"%s\", \"config\": \"%s\", \"wall_ms\": %.3f, "
-                 "\"work_units\": %lld}\n",
+                 "\"work_units\": %lld, \"peak_rss_bytes\": %lld}\n",
                  Escaped(bench).c_str(), Escaped(config).c_str(), wall_ms,
-                 work_units);
+                 work_units, PeakRssBytes());
     std::fflush(file_);
   }
 
  private:
+  // ru_maxrss is kilobytes on Linux; high-water mark, so monotone across
+  // a binary's records (the last record carries the binary's peak).
+  static long long PeakRssBytes() {
+    rusage usage{};
+    if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+    return static_cast<long long>(usage.ru_maxrss) * 1024;
+  }
+
   // The fields are programmer-chosen ASCII; escape just enough to keep
   // the output valid JSON if a quote or backslash ever slips in.
   static std::string Escaped(const std::string& text) {

@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include "bench_json.h"
+#include "graph/fog.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "learn/model_io.h"
@@ -562,6 +563,126 @@ int BenchRecovery(const Problem& problem, BenchJsonWriter& json) {
   return 0;
 }
 
+// Pressure ladder: the same evaluate workload at green, yellow and red —
+// the degraded tiers must answer identically, just slower (yellow: caches
+// frozen read-through; red: idle warm state demoted between requests).
+// The session rides a .fog pack, the one graph form admitted under
+// pressure. Then the black-tier contract: every substantive request is
+// shed retry-safe while heartbeats answer — a daemon that computes at
+// black is one OOM kill away from losing every session.
+int BenchPressureTiers(BenchJsonWriter& json) {
+  const int n = 120;
+  Rng rng(2024);
+  Graph graph = MakeRandomTree(n, rng);
+  ColorId red = graph.AddColor("Red");
+  for (Vertex v = 0; v < n; v += 3) graph.SetColor(v, red);
+  TrainingSet data;
+  for (Vertex v = 0; v < n; ++v) data.push_back({{v}, v % 7 < 3});
+  const std::string data_text = TrainingSetToText(data);
+  graph.Finalize();
+  const std::string fog_path = "/tmp/folearn_bench_pressure_" +
+                               std::to_string(::getpid()) + ".fog";
+  if (!WriteFogFile(fog_path, graph).ok()) return 1;
+
+  const int kRequests = 60;
+  Table table({"tier", "evaluate p50 ms", "p99 ms"});
+  for (int tier = 0; tier <= 2; ++tier) {
+    ServerOptions options;
+    options.force_tier = tier;
+    options.mem_watchdog_ms = 20;  // red: demotions actually interleave
+    ServerHarness harness(std::move(options));
+    Client client = harness.Connect();
+    Message load;
+    load.Set("op", "load-graph");
+    load.Set("graph-file", fog_path);
+    StatusOr<Message> loaded = client.Call(load);
+    if (!loaded.ok() || loaded->Get("status") != kStatusOk) {
+      std::remove(fog_path.c_str());
+      return 1;
+    }
+    const std::string session = loaded->Get("session");
+    Message learn;
+    learn.Set("op", "learn");
+    learn.Set("session", session);
+    learn.Set("data", data_text);
+    learn.Set("rank", "1");
+    learn.Set("radius", "1");
+    StatusOr<Message> learned = client.Call(learn);
+    if (!learned.ok() || learned->Get("status") != kStatusOk) {
+      std::remove(fog_path.c_str());
+      return 1;
+    }
+    Message evaluate;
+    evaluate.Set("op", "evaluate");
+    evaluate.Set("session", session);
+    evaluate.Set("model", learned->Get("model"));
+    evaluate.Set("data", data_text);
+    std::vector<double> ms;
+    for (int i = 0; i < kRequests; ++i) {
+      Stopwatch watch;
+      StatusOr<Message> response = client.Call(evaluate);
+      ms.push_back(watch.ElapsedMillis());
+      if (!response.ok() || response->Get("status") != kStatusOk) {
+        std::printf("VIOLATION: evaluate failed under tier %d!\n", tier);
+        std::remove(fog_path.c_str());
+        return 1;
+      }
+    }
+    std::sort(ms.begin(), ms.end());
+    const double p50 = Percentile(ms, 50.0);
+    const double p99 = Percentile(ms, 99.0);
+    const char* name = PressureTierName(static_cast<PressureTier>(tier));
+    table.AddRow({name, FormatDouble(p50, 4), FormatDouble(p99, 4)});
+    json.Record("server/pressure_evaluate_p50",
+                std::string("tier=") + name + " n=" + std::to_string(n),
+                p50, 1);
+    json.Record("server/pressure_evaluate_p99",
+                std::string("tier=") + name + " n=" + std::to_string(n),
+                p99, 1);
+  }
+  std::printf("\nevaluate latency across pressure tiers "
+              "(n=%d, .fog-backed session):\n", n);
+  table.Print();
+
+  // Black: count substantive answers that are anything but a retry-safe
+  // shed. The aggregate gate in run_benches.sh fails the run when this
+  // record's work_units is non-zero.
+  int nonshed = 0;
+  bool ping_ok = false;
+  Stopwatch watch;
+  {
+    ServerOptions options;
+    options.force_tier = static_cast<int>(PressureTier::kBlack);
+    ServerHarness harness(std::move(options));
+    Client client = harness.Connect();
+    for (int i = 0; i < 10; ++i) {
+      Message load;
+      load.Set("op", "load-graph");
+      load.Set("graph-file", fog_path);
+      StatusOr<Message> response = client.Call(load);
+      if (!response.ok() || response->Get("status") != kStatusShed) {
+        ++nonshed;
+      }
+    }
+    Message ping;
+    ping.Set("op", "ping");
+    StatusOr<Message> pinged = client.Call(ping);
+    ping_ok = pinged.ok() && pinged->Get("status") == kStatusOk;
+  }
+  const double black_ms = watch.ElapsedMillis();
+  std::remove(fog_path.c_str());
+  std::printf("black tier: %d/10 substantive requests shed, heartbeat %s\n",
+              10 - nonshed, ping_ok ? "ok" : "FAILED");
+  json.Record("server/pressure_black_nonshed", "requests=10", black_ms,
+              nonshed);
+  if (nonshed != 0 || !ping_ok) {
+    std::printf("VIOLATION: black tier must shed substantive work and "
+                "keep heartbeats!\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -573,5 +694,6 @@ int main(int argc, char** argv) {
   if (int rc = BenchThroughput(problem, json); rc != 0) return rc;
   if (int rc = BenchOverload(problem, json); rc != 0) return rc;
   if (int rc = BenchHandleEvaluate(problem, json); rc != 0) return rc;
+  if (int rc = BenchPressureTiers(json); rc != 0) return rc;
   return BenchRecovery(problem, json);
 }

@@ -111,6 +111,13 @@ std::span<const Vertex> BallCache::VertexBall(Vertex v, int radius) {
   const std::span<const Vertex> ball = collector_->Collect(sources, radius);
   const auto length = static_cast<uint32_t>(ball.size());
   const int64_t cost = EntryBytes(length);
+  if (read_through_ != nullptr &&
+      read_through_->load(std::memory_order_relaxed)) {
+    // Pressure tier says: stop growing warm state. Serve uncached.
+    ++shed_inserts_;
+    scratch_.assign(ball.begin(), ball.end());
+    return {scratch_.data(), scratch_.size()};
+  }
   if (max_bytes_ >= 0 && cost > max_bytes_) {
     // This one ball is bigger than the whole budget: serve it from the
     // scratch slot instead of breaking the bytes() <= max_bytes invariant.
@@ -125,11 +132,20 @@ std::span<const Vertex> BallCache::VertexBall(Vertex v, int radius) {
     const int64_t oldest = insertion_order_.front();
     insertion_order_.pop_front();
     auto old_it = cache_.find(oldest);
-    bytes_ -= EntryBytes(old_it->second.length);
+    const int64_t freed = EntryBytes(old_it->second.length);
+    bytes_ -= freed;
+    if (account_ != nullptr) account_->Release(freed);
     dead_payload_bytes_ += static_cast<int64_t>(old_it->second.length) *
                            static_cast<int64_t>(sizeof(Vertex));
     cache_.erase(old_it);
     ++evictions_;
+  }
+  if (account_ != nullptr && !account_->TryCharge(cost)) {
+    // The session/process byte budget refused the growth: degrade to
+    // read-through for this ball rather than fail the query.
+    ++shed_inserts_;
+    scratch_.assign(ball.begin(), ball.end());
+    return {scratch_.data(), scratch_.size()};
   }
   const int64_t live_payload_bytes =
       static_cast<int64_t>(arena_.size()) *
@@ -144,6 +160,17 @@ std::span<const Vertex> BallCache::VertexBall(Vertex v, int radius) {
   bytes_ += cost;
   const Slice& stored = cache_.emplace(key, slice).first->second;
   return {arena_.data() + stored.offset, stored.length};
+}
+
+void BallCache::Clear() {
+  if (account_ != nullptr) account_->Release(bytes_);
+  evictions_ += static_cast<int64_t>(cache_.size());
+  cache_.clear();
+  insertion_order_.clear();
+  std::vector<Vertex>().swap(arena_);
+  std::vector<Vertex>().swap(scratch_);
+  dead_payload_bytes_ = 0;
+  bytes_ = 0;
 }
 
 void BallCache::Compact() {

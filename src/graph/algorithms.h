@@ -1,6 +1,7 @@
 #ifndef FOLEARN_GRAPH_ALGORITHMS_H_
 #define FOLEARN_GRAPH_ALGORITHMS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/mem_budget.h"
 
 namespace folearn {
 
@@ -103,6 +105,33 @@ class BallCache {
   explicit BallCache(const Graph& graph, int64_t max_bytes = kNoBudget)
       : graph_(&graph), max_bytes_(max_bytes) {}
 
+  ~BallCache() {
+    if (account_ != nullptr) account_->Release(bytes_);
+  }
+
+  // Mirrors the accounted bytes into a MemBudget account (must outlive
+  // the cache; bytes already cached are charged on attach). Every insert
+  // then goes through MemBudget::TryCharge: a refused charge serves the
+  // ball uncached from the scratch slot instead — caching is semantically
+  // transparent, so results are byte-identical either way.
+  void set_mem_account(MemBudget* account) {
+    if (account_ != nullptr) account_->Release(bytes_);
+    account_ = account;
+    if (account_ != nullptr && bytes_ > 0) account_->Charge(bytes_);
+  }
+
+  // Read-through mode (the server's yellow/red pressure tiers): while
+  // *flag is true, misses are served from scratch and never cached —
+  // existing entries keep serving hits, but the cache stops growing.
+  void set_read_through(const std::atomic<bool>* flag) {
+    read_through_ = flag;
+  }
+
+  // Drops every cached entry and frees the arena (accounted bytes fall to
+  // zero). The red pressure tier's reclamation hook: semantically a cold
+  // cache, so results after a Clear() are byte-identical, just slower.
+  void Clear();
+
   // N_radius(v), sorted increasingly; computed on first use. The span is
   // valid until the next call on this cache.
   std::span<const Vertex> VertexBall(Vertex v, int radius);
@@ -120,6 +149,8 @@ class BallCache {
   int64_t evictions() const { return evictions_; }
   // Balls whose footprint alone exceeded the budget, served uncached.
   int64_t oversize_misses() const { return oversize_misses_; }
+  // Inserts refused by read-through mode or the memory account.
+  int64_t shed_inserts() const { return shed_inserts_; }
   int64_t max_bytes() const { return max_bytes_; }
 
  private:
@@ -166,6 +197,9 @@ class BallCache {
   int64_t bytes_ = 0;
   int64_t evictions_ = 0;
   int64_t oversize_misses_ = 0;
+  int64_t shed_inserts_ = 0;
+  MemBudget* account_ = nullptr;
+  const std::atomic<bool>* read_through_ = nullptr;
 };
 
 // An induced subgraph G[S] together with the vertex renaming in both

@@ -16,6 +16,7 @@
 
 #include "graph/io.h"
 #include "util/checkpoint.h"
+#include "util/mem_budget.h"
 
 namespace folearn {
 namespace {
@@ -350,6 +351,10 @@ StatusOr<std::shared_ptr<const FogMapping>> MapFogFile(
   if (st.st_size < static_cast<off_t>(kHeaderBytes)) {
     ::close(fd);
     return DataLossError(path + ": truncated header");
+  }
+  if (ResourceFaults::Instance().ShouldFailMmap()) {
+    ::close(fd);
+    return UnavailableError(path + ": mmap failed: injected ENOMEM");
   }
   void* data = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
                       MAP_PRIVATE, fd, 0);

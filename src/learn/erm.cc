@@ -192,6 +192,13 @@ ErmResult BruteForceErm(const Graph& graph, const TrainingSet& examples,
           shards[worker] = std::make_shared<TypeRegistry>(graph.vocabulary());
           caches[worker] =
               std::make_unique<BallCache>(graph, options.cache_bytes);
+          if (options.mem_budget != nullptr) {
+            // Shard accounting: worker-local registries and caches charge
+            // the caller's budget while they live (they are torn down
+            // before the sweep returns, releasing their bytes).
+            shards[worker]->set_mem_account(options.mem_budget);
+            caches[worker]->set_mem_account(options.mem_budget);
+          }
         }
         std::vector<int64_t> raw = NthTuple(graph.order(), ell, index);
         std::vector<Vertex> parameters(raw.begin(), raw.end());

@@ -49,6 +49,13 @@ struct ErmOptions {
   // (BallCache::kNoBudget = unbounded). Purely a memory/perf knob —
   // results are identical with any budget.
   int64_t cache_bytes = BallCache::kNoBudget;
+  // Optional memory account (nullptr = unaccounted; must outlive the
+  // call). The per-worker registry shards and ball caches the parallel
+  // sweep creates charge it; pair it with GovernorLimits::mem_budget on
+  // the same budget so an overflowing sweep is cut with
+  // kResourceExhausted and returns best-so-far. Accounting never changes
+  // results — only whether and when the governor cuts.
+  MemBudget* mem_budget = nullptr;
   // Checkpoint/resume hooks for BruteForceErm's parameter scan (default:
   // off). With a checkpointer the scan persists its frontier between
   // candidate segments; with `scan.resume` it continues a saved scan and

@@ -69,6 +69,42 @@ int64_t PlanCache::EntryBytes(const std::string& key,
   return bytes;
 }
 
+PlanCache::~PlanCache() {
+  if (account_ != nullptr) account_->Release(bytes_);
+}
+
+void PlanCache::set_mem_account(MemBudget* account) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (account_ != nullptr) account_->Release(bytes_);
+  account_ = account;
+  if (account_ != nullptr && bytes_ > 0) account_->Charge(bytes_);
+}
+
+void PlanCache::set_read_through(const std::atomic<bool>* flag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_through_ = flag;
+}
+
+void PlanCache::EvictOneLocked() {
+  FOLEARN_CHECK(!insertion_order_.empty());
+  auto old_it = cache_.find(insertion_order_.front());
+  insertion_order_.pop_front();
+  FOLEARN_CHECK(old_it != cache_.end());
+  const int64_t freed = EntryBytes(old_it->first, old_it->second);
+  bytes_ -= freed;
+  if (account_ != nullptr) account_->Release(freed);
+  cache_.erase(old_it);
+  ++evictions_;
+}
+
+void PlanCache::Trim(int64_t target_bytes) {
+  if (target_bytes < 0) target_bytes = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  while (bytes_ > target_bytes && !insertion_order_.empty()) {
+    EvictOneLocked();
+  }
+}
+
 CachedPlan PlanCache::GetOrCompile(const FormulaRef& formula,
                                    std::span<const std::string> free_var_order,
                                    const EvalOptions& options) {
@@ -99,20 +135,23 @@ CachedPlan PlanCache::GetOrCompile(const FormulaRef& formula,
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) return it->second;  // a racing compile won
+  if (read_through_ != nullptr &&
+      read_through_->load(std::memory_order_relaxed)) {
+    ++shed_inserts_;
+    return entry;  // pressure tier says: serve, but do not grow
+  }
   if (max_bytes_ >= 0 && cost > max_bytes_) {
     ++oversize_misses_;
     return entry;  // caller keeps it alive; too big to ever cache
   }
   if (max_bytes_ >= 0) {
     while (bytes_ + cost > max_bytes_) {
-      FOLEARN_CHECK(!insertion_order_.empty());
-      auto old_it = cache_.find(insertion_order_.front());
-      insertion_order_.pop_front();
-      FOLEARN_CHECK(old_it != cache_.end());
-      bytes_ -= EntryBytes(old_it->first, old_it->second);
-      cache_.erase(old_it);
-      ++evictions_;
+      EvictOneLocked();
     }
+  }
+  if (account_ != nullptr && !account_->TryCharge(cost)) {
+    ++shed_inserts_;
+    return entry;  // byte budget refused the growth; serve uncached
   }
   insertion_order_.push_back(key);
   bytes_ += cost;
@@ -138,6 +177,11 @@ int64_t PlanCache::evictions() const {
 int64_t PlanCache::oversize_misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return oversize_misses_;
+}
+
+int64_t PlanCache::shed_inserts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_inserts_;
 }
 
 int64_t PlanCache::bytes() const {

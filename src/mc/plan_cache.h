@@ -1,6 +1,7 @@
 #ifndef FOLEARN_MC_PLAN_CACHE_H_
 #define FOLEARN_MC_PLAN_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "mc/bytecode.h"
 #include "mc/compiler.h"
 #include "mc/evaluator.h"
+#include "util/mem_budget.h"
 
 namespace folearn {
 
@@ -57,8 +59,23 @@ class PlanCache {
 
   explicit PlanCache(int64_t max_bytes = kNoBudget) : max_bytes_(max_bytes) {}
 
+  ~PlanCache();
+
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
+
+  // Mirrors accounted bytes into a MemBudget account (must outlive the
+  // cache). Inserts go through TryCharge; a refused charge returns the
+  // compiled entry uncached — identical results, colder cache.
+  void set_mem_account(MemBudget* account);
+
+  // Read-through mode (yellow/red pressure): while *flag is true, misses
+  // compile but are not inserted; hits still serve.
+  void set_read_through(const std::atomic<bool>* flag);
+
+  // Evicts FIFO-oldest entries until bytes() <= target_bytes (the red
+  // tier drops the cache to a floor without destroying it).
+  void Trim(int64_t target_bytes);
 
   // Returns the cached artefacts for (formula, free_var_order,
   // ResolveEngine(options), options fingerprint), compiling — and for the
@@ -75,6 +92,8 @@ class PlanCache {
   int64_t misses() const;
   int64_t evictions() const;
   int64_t oversize_misses() const;
+  // Inserts refused by read-through mode or the memory account.
+  int64_t shed_inserts() const;
   int64_t bytes() const;
   int64_t entries() const;
   int64_t max_bytes() const { return max_bytes_; }
@@ -85,6 +104,9 @@ class PlanCache {
   static int64_t EntryBytes(const std::string& key, const CachedPlan& entry);
 
  private:
+  // Evicts the FIFO-oldest entry; mu_ must be held.
+  void EvictOneLocked();
+
   const int64_t max_bytes_;
 
   mutable std::mutex mu_;
@@ -95,6 +117,9 @@ class PlanCache {
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
   int64_t oversize_misses_ = 0;
+  int64_t shed_inserts_ = 0;
+  MemBudget* account_ = nullptr;
+  const std::atomic<bool>* read_through_ = nullptr;
 };
 
 }  // namespace folearn

@@ -1,6 +1,7 @@
 #include "server/client.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -14,14 +15,33 @@
 
 namespace folearn {
 
-StatusOr<Client> Client::Connect(const std::string& socket_path) {
+StatusOr<Client> Client::Connect(const std::string& socket_path,
+                                 int64_t io_timeout_ms) {
   Status path_ok = ValidateSocketPath(socket_path);
   if (!path_ok.ok()) return path_ok;
+  if (io_timeout_ms < 0) {
+    return InvalidArgumentError("io-timeout-ms must be >= 0");
+  }
   sockaddr_un addr{};
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return UnavailableError(std::string("socket failed: ") +
                             std::strerror(errno));
+  }
+  if (io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms % 1000) * 1000);
+    // Receive timeout turns a hung server into a retry-safe kUnavailable
+    // (protocol.cc names the EAGAIN); the send timeout bounds the
+    // symmetric hazard of a peer that stops draining its socket buffer.
+    if (::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+      int saved = errno;
+      ::close(fd);
+      return UnavailableError(std::string("setsockopt failed: ") +
+                              std::strerror(saved));
+    }
   }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
@@ -127,7 +147,8 @@ RetryingClient::RetryingClient(std::string socket_path, RetryPolicy policy)
 
 Status RetryingClient::EnsureConnected() {
   if (client_.has_value()) return OkStatus();
-  StatusOr<Client> connected = Client::Connect(socket_path_);
+  StatusOr<Client> connected =
+      Client::Connect(socket_path_, policy_.io_timeout_ms);
   if (!connected.ok()) return connected.status();
   client_.emplace(*std::move(connected));
   return OkStatus();

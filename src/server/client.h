@@ -18,8 +18,13 @@ namespace folearn {
 class Client {
  public:
   // Connects to a folearnd socket. kUnavailable if the daemon is not
-  // listening there.
-  static StatusOr<Client> Connect(const std::string& socket_path);
+  // listening there. With io_timeout_ms > 0 every socket receive (and
+  // send) is bounded by SO_RCVTIMEO/SO_SNDTIMEO: a server that accepted
+  // the connection but never answers turns into a retry-safe kUnavailable
+  // ("socket read timed out") instead of blocking the caller forever.
+  // 0 = no timeout (the historical behaviour).
+  static StatusOr<Client> Connect(const std::string& socket_path,
+                                  int64_t io_timeout_ms = 0);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -74,6 +79,11 @@ struct RetryPolicy {
   int64_t max_backoff_ms = 2000;
   // Re-dial the socket after a transport failure (daemon restart).
   bool reconnect = true;
+  // Per-receive socket timeout for every dialed connection (see
+  // Client::Connect); 0 = wait forever. A timeout is a retry-safe
+  // transport failure, so it composes with max_retries: a hung server
+  // costs io_timeout_ms per attempt instead of hanging the workload.
+  int64_t io_timeout_ms = 0;
   // Jitter seed — deterministic for reproducible tests.
   uint64_t jitter_seed = 0x5eed5eed;
 };

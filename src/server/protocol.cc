@@ -158,10 +158,17 @@ Status WriteFrame(int fd, const Message& message) {
   return WriteFull(fd, frame.data(), frame.size());
 }
 
+// A receive timeout (SO_RCVTIMEO armed by Client::Connect) surfaces from
+// read(2) as EAGAIN/EWOULDBLOCK; it is named explicitly and is
+// kUnavailable — retry-safe by the client's classification, exactly like
+// a daemon that died mid-request (learn dedup absorbs the replay).
 StatusOr<Message> ReadFrame(int fd) {
   char header[4];
   ssize_t n = ReadFull(fd, header, sizeof(header));
   if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return UnavailableError("socket read timed out (io-timeout)");
+    }
     return UnavailableError(std::string("socket read failed: ") +
                             std::strerror(errno));
   }
@@ -179,6 +186,9 @@ StatusOr<Message> ReadFrame(int fd) {
   std::string payload(length, '\0');
   n = ReadFull(fd, payload.data(), payload.size());
   if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return UnavailableError("socket read timed out (io-timeout)");
+    }
     return UnavailableError(std::string("socket read failed: ") +
                             std::strerror(errno));
   }

@@ -179,12 +179,36 @@ double MsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+// Approximate serialised footprint of a session record: what journal
+// compaction compares against ServerOptions::journal_compact_bytes and
+// what a session's journal share charges to its memory account. An
+// estimate (string payloads + small per-entry headers) — both consumers
+// only need monotonicity in the payload sizes.
+int64_t ApproxRecordBytes(const SessionRecord& record) {
+  int64_t bytes = 64 + static_cast<int64_t>(record.graph_text.size()) +
+                  static_cast<int64_t>(record.graph_file.size());
+  for (const auto& [model_id, text] : record.models) {
+    bytes += 24 + static_cast<int64_t>(text.size());
+  }
+  for (const auto& [request_id, payload] : record.learns) {
+    bytes += 16 + static_cast<int64_t>(request_id.size()) +
+             static_cast<int64_t>(payload.size());
+  }
+  return bytes;
+}
+
 }  // namespace
 
 // Per-session state kept warm across requests. All fields are guarded by
 // `mu` — requests touching one session serialise; different sessions run
 // in parallel.
 struct Server::Session {
+  // Declared first so it is destroyed last: registry and ball_cache
+  // release their charges through this child budget on the way down, and
+  // the budget's own destructor then returns any residual (the journal
+  // share) to the process root.
+  std::unique_ptr<MemBudget> mem;
+
   Session(Graph g, std::string text, int64_t ball_cache_bytes)
       : graph(std::move(g)),
         graph_text(std::move(text)),
@@ -230,6 +254,10 @@ struct Server::Session {
   // object: suppresses journal writes that would resurrect the file.
   bool closed = false;
 
+  // Bytes of the last journaled record charged against `mem` (the durable
+  // state is part of the session's footprint; re-charged on every save).
+  int64_t journal_charged = 0;
+
   // Warm per-graph evaluators, keyed by plan identity (the plan cache
   // hands out stable shared_ptrs; a recompiled plan gets a fresh
   // evaluator). The EngineEvaluator holds the whole cache entry, so plan
@@ -273,13 +301,27 @@ struct Server::Session {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
+      mem_budget_(options_.mem_budget_bytes),
       plan_cache_(options_.plan_cache_bytes),
       store_(options_.state_dir) {
   FOLEARN_CHECK_GE(options_.max_inflight, 1)
       << "max_inflight must admit at least one request";
   FOLEARN_CHECK_GE(options_.dedup_window, 1)
       << "dedup_window must hold at least one entry";
+  FOLEARN_CHECK_GE(options_.mem_watchdog_ms, 1)
+      << "mem_watchdog_ms must be positive";
   store_.set_crash_at_journal_write(options_.crash_at_journal_write);
+  plan_cache_.set_mem_account(&mem_budget_);
+  plan_cache_.set_read_through(&cache_read_through_);
+  // A pinned tier gates requests from the very first dispatch, before the
+  // watchdog's first tick.
+  if (options_.force_tier >= 0) {
+    tier_.store(std::min(options_.force_tier,
+                         static_cast<int>(PressureTier::kBlack)),
+                std::memory_order_relaxed);
+    cache_read_through_.store(
+        CurrentTier() >= PressureTier::kYellow, std::memory_order_relaxed);
+  }
 }
 
 Server::~Server() {
@@ -360,6 +402,9 @@ void Server::Shutdown() {
 
 void Server::Serve() {
   FOLEARN_CHECK_GE(listen_fd_, 0) << "Serve() before Start()";
+  // The memory watchdog runs for the lifetime of the serve loop. It is
+  // started even when ungoverned: it then only refreshes the RSS gauge.
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
   // With a session TTL, the accept loop doubles as the eviction sweeper:
   // poll wakes at a fraction of the TTL so idle sessions are demoted
   // promptly even when no connection arrives.
@@ -396,6 +441,128 @@ void Server::Serve() {
     connections.swap(connections_);
   }
   for (std::thread& thread : connections) thread.join();
+  stopping_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Server::WatchdogLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    UpdatePressure();
+    // Sleep in small slices so Shutdown() is prompt at any cadence.
+    int64_t slept = 0;
+    while (slept < options_.mem_watchdog_ms &&
+           !stopping_.load(std::memory_order_acquire)) {
+      const int64_t slice = std::min<int64_t>(
+          20, options_.mem_watchdog_ms - slept);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+  }
+}
+
+void Server::UpdatePressure() {
+  const int64_t accounted = mem_budget_.used();
+  const int64_t rss = ReadRssBytes();
+  // Classify the *worse* of what we account and what the kernel charges
+  // us for: accounted bytes catch growth RSS hasn't paged in yet, RSS
+  // catches everything the accounts cannot see (mmap'd graphs aside —
+  // their pages are reclaimable, which is exactly why mmap-backed
+  // load-graph stays admitted under pressure).
+  const int64_t used = std::max(accounted, rss);
+  PressureTier tier;
+  if (options_.force_tier >= 0) {
+    tier = static_cast<PressureTier>(std::min(
+        options_.force_tier, static_cast<int>(PressureTier::kBlack)));
+  } else {
+    tier = ClassifyPressure(used, options_.mem_budget_bytes,
+                            options_.pressure);
+  }
+  const auto previous = static_cast<PressureTier>(tier_.exchange(
+      static_cast<int>(tier), std::memory_order_relaxed));
+  // Yellow and above: caches serve hits but stop growing.
+  cache_read_through_.store(tier >= PressureTier::kYellow,
+                            std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.rss_bytes = rss;
+    stats_.mem_used_bytes = accounted;
+    stats_.mem_tier = static_cast<int64_t>(tier);
+    if (tier != previous) ++stats_.tier_transitions;
+  }
+  if (tier >= PressureTier::kRed) {
+    // Reclaim: shrink the shared plan cache to a floor and demote idle
+    // warm state. Both are idempotent, so re-running them every tick at
+    // red costs nothing once the state is drained.
+    plan_cache_.Trim(options_.plan_cache_bytes >= 0
+                         ? options_.plan_cache_bytes / 4
+                         : 0);
+    EvictWarmStateUnderPressure();
+  }
+}
+
+void Server::EvictWarmStateUnderPressure() {
+  // Oldest-idle first. The red threshold is the reclamation target; with
+  // a pinned tier (tests) or no budget there is no target and every idle
+  // session is swept.
+  const int64_t target =
+      options_.mem_budget_bytes != kNoLimit && options_.force_tier < 0
+          ? static_cast<int64_t>(static_cast<double>(
+                                     options_.mem_budget_bytes) *
+                                 options_.pressure.red)
+          : 0;
+  std::vector<std::pair<int64_t, std::shared_ptr<SessionSlot>>> idle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    idle.reserve(sessions_.size());
+    for (auto& [id, slot] : sessions_) {
+      idle.emplace_back(
+          slot->last_used_ms.load(std::memory_order_relaxed), slot);
+    }
+  }
+  std::sort(idle.begin(), idle.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  int64_t evicted = 0;
+  for (auto& [last_used, slot] : idle) {
+    if (target > 0 && mem_budget_.used() <= target) break;
+    std::unique_lock<std::mutex> slot_lock(slot->mu, std::try_to_lock);
+    if (!slot_lock.owns_lock()) continue;  // busy: next tick
+    if (slot->live == nullptr) continue;   // already cold
+    // Same safety argument as EvictIdleSessions: use_count == 1 under the
+    // slot lock means no request holds the session.
+    if (slot->live.use_count() != 1) continue;
+    if (slot->journaled) {
+      // Demote to cold; re-warms lazily from the journal on next use.
+      slot->live.reset();
+    } else {
+      // Memory-only sessions must keep graph + models (dropping them is
+      // data loss, which red never inflicts); shed the rebuildable warm
+      // state instead.
+      std::lock_guard<std::mutex> session_lock(slot->live->mu);
+      slot->live->evaluators.clear();
+      slot->live->ball_cache.Clear();
+    }
+    ++evicted;
+  }
+  if (evicted > 0) BumpStat(&ServerStats::warm_evictions, evicted);
+}
+
+void Server::AttachSessionMemory(Session* session) {
+  session->mem = std::make_unique<MemBudget>(
+      options_.session_mem_bytes == kNoLimit ? kNoMemLimit
+                                             : options_.session_mem_bytes,
+      &mem_budget_);
+  // Correctness state (interned types) charges forcibly; the governor
+  // turns overshoot into a kResourceExhausted cut. The ball cache is pure
+  // cache: refused charges serve uncached, and the read-through flag
+  // freezes growth at yellow.
+  session->registry->set_mem_account(session->mem.get());
+  session->ball_cache.set_mem_account(session->mem.get());
+  session->ball_cache.set_read_through(&cache_read_through_);
+  // The graph itself: text graphs own their parse; .fog graphs are mmap'd
+  // and reclaimable, so only the text share is charged.
+  const int64_t graph_share =
+      static_cast<int64_t>(session->graph_text.size());
+  if (graph_share > 0) session->mem->Charge(graph_share);
 }
 
 void Server::ConnectionLoop(int fd) {
@@ -441,6 +608,22 @@ void Server::ConnectionLoop(int fd) {
 Message Server::Dispatch(const Message& request) {
   const std::string op = request.Get("op");
   const bool substantive = IsSubstantive(op);
+  // Black tier: memory is critically scarce, so every substantive request
+  // is shed retry-safe (status=shed, the client's existing retry
+  // classification) while heartbeats, stats, close-session and shutdown —
+  // the ops that observe, relieve, or end the pressure — stay admitted.
+  if (substantive && CurrentTier() == PressureTier::kBlack) {
+    Message response;
+    response.Set("status", kStatusShed);
+    response.Set("code", std::to_string(kExitTempFail));
+    response.Set("tier", PressureTierName(PressureTier::kBlack));
+    response.Set("error",
+                 "memory pressure (black): serving heartbeats only; "
+                 "retry the request");
+    BumpStat(&ServerStats::mem_shed);
+    RecordOutcome(response);
+    return response;
+  }
   if (substantive) {
     int current = inflight_.fetch_add(1, std::memory_order_acq_rel) + 1;
     if (current > options_.max_inflight) {
@@ -572,6 +755,7 @@ StatusOr<std::shared_ptr<Server::Session>> Server::AcquireSession(
     return DataLossError("journaled graph for session " + std::to_string(id) +
                          " does not load: " + graph.status().message());
   }
+  const int64_t record_bytes = ApproxRecordBytes(*record);
   auto session = std::make_shared<Session>(*std::move(graph),
                                            std::move(record->graph_text),
                                            options_.ball_cache_bytes);
@@ -586,6 +770,9 @@ StatusOr<std::shared_ptr<Server::Session>> Server::AcquireSession(
   for (auto& entry : record->learns) {
     session->learn_dedup.push_back(std::move(entry));
   }
+  AttachSessionMemory(session.get());
+  session->journal_charged = record_bytes;
+  session->mem->Charge(record_bytes);
   slot->live = session;
   BumpStat(&ServerStats::sessions_rewarmed);
   return session;
@@ -635,6 +822,35 @@ Message Server::HandleLoadGraph(const Message& request) {
     return MakeError(kExitUsage,
                      "load-graph takes 'graph' or 'graph-file', not both");
   }
+  // Yellow and above: refuse new *heap-resident* graphs retry-safe. A
+  // .fog file is memory-mapped — its pages are shared and reclaimable —
+  // so mmap-backed loads stay admitted until black.
+  const PressureTier tier = CurrentTier();
+  if (tier >= PressureTier::kYellow) {
+    bool mmap_backed = false;
+    if (file != nullptr) {
+      char magic[8] = {};
+      FILE* probe = std::fopen(file->c_str(), "rb");
+      if (probe != nullptr) {
+        const size_t got = std::fread(magic, 1, sizeof(magic), probe);
+        std::fclose(probe);
+        mmap_backed = LooksLikeFog(std::string_view(magic, got));
+      }
+    }
+    if (!mmap_backed) {
+      Message response;
+      response.Set("status", kStatusShed);
+      response.Set("code", std::to_string(kExitTempFail));
+      response.Set("tier", PressureTierName(tier));
+      response.Set("error",
+                   std::string("memory pressure (") +
+                       PressureTierName(tier) +
+                       "): non-mmap load-graph shed; retry later or load "
+                       "a .fog file");
+      BumpStat(&ServerStats::mem_shed);
+      return response;
+    }
+  }
   uint64_t fingerprint = 0;
   StatusOr<Graph> graph =
       file != nullptr ? LoadGraphAuto(*file, &fingerprint)
@@ -657,10 +873,18 @@ Message Server::HandleLoadGraph(const Message& request) {
     session->graph_file = *file;
     session->graph_fingerprint = fingerprint;
   }
+  AttachSessionMemory(session.get());
   // Journal before acknowledging: once the client sees the id, a restart
   // must be able to serve it.
-  Status saved = store_.enabled() ? store_.Save(session->ToRecord())
-                                  : OkStatus();
+  Status saved = OkStatus();
+  if (store_.enabled()) {
+    SessionRecord record = session->ToRecord();
+    saved = store_.Save(record);
+    if (saved.ok()) {
+      session->journal_charged = ApproxRecordBytes(record);
+      session->mem->Charge(session->journal_charged);
+    }
+  }
   if (!saved.ok()) return MakeErrorFromStatus(saved);
   auto slot = std::make_shared<SessionSlot>();
   slot->live = session;
@@ -835,6 +1059,16 @@ Message Server::HandleLearn(const Message& request) {
   if (!RequestLimits(request, &limits, &governed, &field_error)) {
     return MakeError(kExitUsage, field_error);
   }
+  // Memory governance: with a session or process byte budget the learn
+  // runs governed against the session's account — an overflowing sweep is
+  // cut at its next checkpoint with run-status=resource-exhausted and the
+  // best hypothesis so far, the same anytime contract as deadline/work.
+  if (session.mem != nullptr &&
+      (options_.session_mem_bytes != kNoLimit ||
+       options_.mem_budget_bytes != kNoLimit)) {
+    limits.mem_budget = session.mem.get();
+    governed = true;
+  }
 
   std::lock_guard<std::mutex> session_lock(session.mu);
   // Idempotent retries: a request-id the session has already acknowledged
@@ -865,6 +1099,9 @@ Message Server::HandleLearn(const Message& request) {
   // per-worker caches), so it is attached exactly then.
   if (options.threads == 1) options.ball_cache = &session.ball_cache;
   options.cache_bytes = options_.ball_cache_bytes;
+  // Per-worker registry shards and ball caches of a parallel sweep charge
+  // the session account too (released when the sweep returns).
+  options.mem_budget = session.mem != nullptr ? session.mem.get() : nullptr;
 
   ErmResult result =
       BruteForceErm(session.graph, *data, ell, options, session.registry);
@@ -918,9 +1155,49 @@ Message Server::HandleLearn(const Message& request) {
       }
       candidate.learns.emplace_back(request_id, EncodeMessage(response));
     }
+    // Journal compaction: a record over either cap sheds its oldest model
+    // handles — never the one this response references — before the
+    // atomic rewrite below. Session journals otherwise grow without
+    // bound under long-lived learn workloads; this keeps both the file
+    // and the re-warm cost flat. The memory table mirrors the drop after
+    // a successful save, so handles and journal never diverge.
+    std::vector<uint64_t> compacted;
+    if (options_.max_session_models != kNoLimit ||
+        options_.journal_compact_bytes != kNoLimit) {
+      const auto over_caps = [&]() {
+        return (options_.max_session_models != kNoLimit &&
+                static_cast<int64_t>(candidate.models.size()) >
+                    options_.max_session_models) ||
+               (options_.journal_compact_bytes != kNoLimit &&
+                ApproxRecordBytes(candidate) >
+                    options_.journal_compact_bytes);
+      };
+      size_t scan = 0;  // candidate.models is id-ordered: oldest first
+      while (over_caps() && scan < candidate.models.size()) {
+        if (candidate.models[scan].first == model_id) {
+          ++scan;
+          continue;
+        }
+        compacted.push_back(candidate.models[scan].first);
+        candidate.models.erase(candidate.models.begin() +
+                               static_cast<ptrdiff_t>(scan));
+      }
+    }
     if (store_.enabled() && !session.closed) {
       Status journaled = store_.Save(candidate);
       if (!journaled.ok()) return MakeErrorFromStatus(journaled);
+      if (session.mem != nullptr) {
+        // Re-charge the session's journal share at its new size.
+        session.mem->Release(session.journal_charged);
+        session.journal_charged = ApproxRecordBytes(candidate);
+        session.mem->Charge(session.journal_charged);
+      }
+    }
+    for (uint64_t dropped : compacted) session.models.erase(dropped);
+    if (!compacted.empty()) {
+      BumpStat(&ServerStats::models_compacted,
+               static_cast<int64_t>(compacted.size()));
+      BumpStat(&ServerStats::journal_compactions);
     }
     if (new_model) {
       session.next_model_id = model_id + 1;
@@ -1389,6 +1666,22 @@ Message Server::HandleStats(const Message& request) {
   response.Set("plan-bytes", std::to_string(plan_cache_.bytes()));
   response.Set("inflight", std::to_string(stats.inflight));
   response.Set("eval-engine", EvalEngineName(options_.eval_engine));
+  // Memory governance: the current tier, its counters, and the gauges the
+  // watchdog published at its last tick (rss/mem-used are refreshed here
+  // so `stats` is accurate even between ticks).
+  response.Set("mem-tier",
+               PressureTierName(static_cast<PressureTier>(stats.mem_tier)));
+  response.Set("mem-shed", std::to_string(stats.mem_shed));
+  response.Set("tier-transitions", std::to_string(stats.tier_transitions));
+  response.Set("warm-evictions", std::to_string(stats.warm_evictions));
+  response.Set("models-compacted", std::to_string(stats.models_compacted));
+  response.Set("journal-compactions",
+               std::to_string(stats.journal_compactions));
+  response.Set("mem-budget-bytes",
+               std::to_string(options_.mem_budget_bytes));
+  response.Set("mem-used-bytes", std::to_string(stats.mem_used_bytes));
+  response.Set("mem-peak-bytes", std::to_string(mem_budget_.peak()));
+  response.Set("rss-bytes", std::to_string(stats.rss_bytes));
   return response;
 }
 
@@ -1402,6 +1695,9 @@ ServerStats Server::Snapshot() const {
   stats.plan_hits = plan_cache_.hits();
   stats.plan_misses = plan_cache_.misses();
   stats.inflight = inflight_.load(std::memory_order_acquire);
+  stats.mem_tier = tier_.load(std::memory_order_relaxed);
+  stats.mem_used_bytes = mem_budget_.used();
+  stats.rss_bytes = ReadRssBytes();
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #include "server/protocol.h"
 #include "server/session_store.h"
 #include "util/governor.h"
+#include "util/mem_budget.h"
 #include "util/status.h"
 
 namespace folearn {
@@ -121,6 +122,39 @@ struct ServerOptions {
   // Test hook (chaos harness): die with kCrashExitCode right after the
   // Nth completed journal write; < 0 disables.
   int64_t crash_at_journal_write = -1;
+
+  // ---- Memory governance (tentpole: pressure-aware degradation). ----
+  //
+  // Process-wide byte budget. kNoLimit = ungoverned: the watchdog still
+  // publishes RSS/accounted gauges but the tier stays green. With a
+  // budget, the watchdog classifies max(RSS, accounted bytes) against it
+  // every mem_watchdog_ms and the server *degrades* instead of dying:
+  //   yellow  caches flip to read-through; non-mmap load-graph is shed
+  //   red     + idle warm state evicted LRU-first, plan cache trimmed to
+  //             a floor
+  //   black   every substantive request is shed (code 75, retry-safe);
+  //             heartbeats, stats, close-session and shutdown still work
+  // The daemon never aborts on memory pressure.
+  int64_t mem_budget_bytes = kNoLimit;
+  // Per-session byte cap (child account of the process budget; kNoLimit =
+  // only the process budget governs). A session whose registry + caches +
+  // journal footprint exceed it has its learns cut with
+  // status=partial run-status=resource-exhausted at the next governor
+  // checkpoint — best-so-far results, never an abort.
+  int64_t session_mem_bytes = kNoLimit;
+  // Watchdog poll cadence.
+  int64_t mem_watchdog_ms = 200;
+  // Tier thresholds as fractions of mem_budget_bytes.
+  PressureThresholds pressure;
+  // Test hook: pin the pressure tier (0=green 1=yellow 2=red 3=black)
+  // regardless of measured memory; < 0 disables. The pinned tier drives
+  // the same degradation paths as a measured one.
+  int force_tier = -1;
+  // Journal compaction: a session whose journaled record would exceed
+  // either cap drops its oldest model handles (never the one being
+  // registered) before the atomic rewrite. kNoLimit = unbounded.
+  int64_t max_session_models = kNoLimit;
+  int64_t journal_compact_bytes = kNoLimit;
 };
 
 // Monotonic counters, snapshot under the stats lock.
@@ -142,6 +176,15 @@ struct ServerStats {
   int64_t plan_hits = 0;           // PlanCache hits/misses at snapshot time
   int64_t plan_misses = 0;
   int64_t inflight = 0;            // gauge: substantive requests in flight
+  // Memory governance.
+  int64_t mem_shed = 0;            // requests shed for memory pressure
+  int64_t tier_transitions = 0;    // watchdog tier changes
+  int64_t warm_evictions = 0;      // red-tier warm-state demotions
+  int64_t models_compacted = 0;    // model handles dropped by compaction
+  int64_t journal_compactions = 0; // journal rewrites that dropped handles
+  int64_t mem_tier = 0;            // gauge: current pressure tier
+  int64_t rss_bytes = 0;           // gauge: RSS at snapshot time
+  int64_t mem_used_bytes = 0;      // gauge: accounted bytes at snapshot
 };
 
 class Server {
@@ -218,6 +261,32 @@ class Server {
   // than session_ttl_ms. Called from the accept loop's poll cadence.
   void EvictIdleSessions();
 
+  // Red-tier back-pressure: demotes idle journaled sessions (LRU-first)
+  // and drops memory-only sessions' warm evaluators/ball entries until
+  // accounted bytes fall back under the red threshold. Never touches a
+  // session a request currently holds. Data is never lost — journaled
+  // sessions re-warm lazily, memory-only sessions keep graph and models.
+  void EvictWarmStateUnderPressure();
+
+  // Watchdog body: classifies pressure every mem_watchdog_ms until
+  // Shutdown(). Runs for the lifetime of Serve().
+  void WatchdogLoop();
+
+  // One watchdog tick: measure, classify (or honour force_tier), publish
+  // the tier, flip caches to read-through at >= yellow, run red-tier
+  // reclamation. Also called once from Start() so a pinned force_tier
+  // gates requests before the first tick.
+  void UpdatePressure();
+
+  PressureTier CurrentTier() const {
+    return static_cast<PressureTier>(
+        tier_.load(std::memory_order_relaxed));
+  }
+
+  // Attaches a freshly built session to the memory-governance tree
+  // (child budget, registry/ball-cache accounts, read-through flag).
+  void AttachSessionMemory(Session* session);
+
   // Builds the per-request governor limits from the request fields and
   // the server caps. Returns false (with *error filled) on malformed
   // values. *governed is false when neither the request nor the server
@@ -230,6 +299,10 @@ class Server {
   void BumpStat(int64_t ServerStats::*counter, int64_t delta = 1);
 
   ServerOptions options_;
+  // Root of the memory-governance tree; session budgets are children.
+  // Declared before plan_cache_ and the session table so every account
+  // that charges it is destroyed first.
+  MemBudget mem_budget_;
   PlanCache plan_cache_;
   SessionStore store_;
 
@@ -237,6 +310,11 @@ class Server {
   int wake_pipe_[2] = {-1, -1};  // self-pipe: Shutdown() → poll wakeup
   std::atomic<bool> stopping_{false};
   std::atomic<int> inflight_{0};
+
+  // Published by the watchdog, read lock-free on every dispatch.
+  std::atomic<int> tier_{0};
+  std::atomic<bool> cache_read_through_{false};
+  std::thread watchdog_;
 
   // Lock order: mu_ (session table) → SessionSlot::mu → Session::mu →
   // stats_mu_ / the store's internal mutex. Never the reverse.

@@ -79,6 +79,19 @@ std::vector<int64_t> TypeRegistry::EncodeKey(const TypeNode& node) {
   return key;
 }
 
+int64_t TypeRegistry::ApproxNodeBytes(const TypeNode& node,
+                                      size_t key_words) {
+  // Node payload + the index entry (key vector stored in the map, hash
+  // node header, bucket share) — the same estimation style BallCache's
+  // kPerEntryOverhead uses.
+  return static_cast<int64_t>(sizeof(TypeNode)) +
+         static_cast<int64_t>(node.atomic.bits().capacity() *
+                              sizeof(uint64_t)) +
+         static_cast<int64_t>(node.children.capacity() * sizeof(TypeId)) +
+         static_cast<int64_t>(key_words * sizeof(int64_t)) +
+         static_cast<int64_t>(4 * sizeof(void*) + sizeof(TypeId));
+}
+
 TypeId TypeRegistry::Intern(TypeNode node) {
   FOLEARN_CHECK(std::is_sorted(node.children.begin(), node.children.end()));
   FOLEARN_CHECK(std::adjacent_find(node.children.begin(),
@@ -88,6 +101,9 @@ TypeId TypeRegistry::Intern(TypeNode node) {
   auto it = index_.find(key);
   if (it != index_.end()) return it->second;
   TypeId id = static_cast<TypeId>(nodes_.size());
+  const int64_t cost = ApproxNodeBytes(node, key.size());
+  charged_bytes_ += cost;
+  if (account_ != nullptr) account_->Charge(cost);
   nodes_.push_back(std::move(node));
   index_.emplace(std::move(key), id);
   return id;

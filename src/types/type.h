@@ -86,7 +86,29 @@ class TypeRegistry {
   explicit TypeRegistry(Vocabulary vocabulary)
       : vocabulary_(std::move(vocabulary)) {}
 
+  ~TypeRegistry() {
+    if (account_ != nullptr) account_->Release(charged_bytes_);
+  }
+
   TypeId Intern(TypeNode node);
+
+  // Mirrors the registry's approximate footprint into a MemBudget account
+  // (must outlive the registry; existing nodes are charged on attach).
+  // Interned types are correctness state, not cache — growth uses forced
+  // Charge, and an over-limit budget surfaces as the governor's
+  // kResourceExhausted cut at the next checkpoint rather than a refusal
+  // here.
+  void set_mem_account(MemBudget* account) {
+    if (account_ != nullptr) account_->Release(charged_bytes_);
+    account_ = account;
+    if (account_ != nullptr && charged_bytes_ > 0) {
+      account_->Charge(charged_bytes_);
+    }
+  }
+
+  // Approximate accounted footprint: node payloads plus hash-index
+  // overhead, the same estimation style BallCache uses.
+  int64_t approx_bytes() const { return charged_bytes_; }
 
   // Re-interns every node of `other` (same vocabulary) into this registry,
   // children before parents (registry ids are topologically ordered by
@@ -112,11 +134,14 @@ class TypeRegistry {
 
  private:
   static std::vector<int64_t> EncodeKey(const TypeNode& node);
+  static int64_t ApproxNodeBytes(const TypeNode& node, size_t key_words);
 
   Vocabulary vocabulary_;
   std::vector<TypeNode> nodes_;
   std::unordered_map<std::vector<int64_t>, TypeId, VectorHash<int64_t>>
       index_;
+  int64_t charged_bytes_ = 0;
+  MemBudget* account_ = nullptr;
 };
 
 // Computes rank-q types of tuples over a fixed graph, memoising across

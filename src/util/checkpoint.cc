@@ -1,9 +1,15 @@
 #include "util/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "util/mem_budget.h"
 #include "util/strings.h"
 
 namespace folearn {
@@ -75,25 +81,72 @@ uint64_t Fnv1a64(std::string_view bytes) {
   return Fnv1a64(bytes, 0xcbf29ce484222325ULL);
 }
 
+// Every durable artefact in the code base — checkpoint files, session
+// journals, .fog graph packs — funnels through here, which makes this the
+// single choke point for both the durability discipline (write temp,
+// fsync, rename — a crash or ENOSPC at any instant leaves either the old
+// file or the new one at `path`, never a torn hybrid) and for
+// deterministic disk-fault injection (ResourceFaults::ArmDiskFailure
+// fails the Nth write in any of four modes). Every failure path removes
+// the temp file and reports kUnavailable: the caller's file at the final
+// path is untouched and the operation is retry-safe.
 Status WriteFileAtomic(const std::string& path, std::string_view content) {
   const std::string temp = path + ".tmp";
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return UnavailableError("cannot open '" + temp + "' for writing");
-    }
-    out.write(content.data(),
-              static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) {
-      std::remove(temp.c_str());
-      return UnavailableError("short write to '" + temp + "'");
-    }
+  using DiskMode = ResourceFaults::DiskMode;
+  const DiskMode fault = ResourceFaults::Instance().ShouldFailDiskWrite();
+  if (fault == DiskMode::kOpenFail) {
+    return UnavailableError("cannot open '" + temp +
+                            "' for writing: injected ENOSPC");
   }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return UnavailableError("cannot rename '" + temp + "' to '" + path +
-                            "'");
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return UnavailableError("cannot open '" + temp +
+                            "' for writing: " + std::strerror(errno));
+  }
+  // A short-write fault stops partway through the payload, modelling the
+  // disk filling mid-write; the partial temp file is removed below and
+  // must never become visible at `path`.
+  const size_t goal =
+      fault == DiskMode::kShortWrite ? content.size() / 2 : content.size();
+  size_t written = 0;
+  bool write_failed = false;
+  while (written < goal) {
+    const ssize_t n = ::write(fd, content.data() + written, goal - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      write_failed = true;
+      break;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (write_failed || goal != content.size()) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return UnavailableError("short write to '" + temp + "'" +
+                            (fault == DiskMode::kShortWrite
+                                 ? ": injected ENOSPC"
+                                 : ": " + std::string(std::strerror(errno))));
+  }
+  if (fault == DiskMode::kSyncFail || ::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return UnavailableError("cannot sync '" + temp + "'" +
+                            (fault == DiskMode::kSyncFail
+                                 ? ": injected fsync failure"
+                                 : ": " + std::string(std::strerror(errno))));
+  }
+  if (::close(fd) != 0) {
+    ::unlink(temp.c_str());
+    return UnavailableError("cannot close '" + temp +
+                            "': " + std::string(std::strerror(errno)));
+  }
+  if (fault == DiskMode::kRenameFail || std::rename(temp.c_str(), path.c_str()) != 0) {
+    ::unlink(temp.c_str());
+    return UnavailableError("cannot rename '" + temp + "' to '" + path + "'" +
+                            (fault == DiskMode::kRenameFail
+                                 ? ": injected rename failure"
+                                 : ""));
   }
   return OkStatus();
 }

@@ -22,6 +22,8 @@ const char* RunStatusName(RunStatus status) {
       return "budget-exhausted";
     case RunStatus::kCancelled:
       return "cancelled";
+    case RunStatus::kResourceExhausted:
+      return "resource-exhausted";
   }
   FOLEARN_CHECK(false) << "unreachable";
   return "unknown";

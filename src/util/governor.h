@@ -7,6 +7,7 @@
 #include <cstdint>
 
 #include "util/check.h"
+#include "util/mem_budget.h"
 
 namespace folearn {
 
@@ -36,6 +37,7 @@ enum class RunStatus {
   kDeadlineExceeded = 1,  // wall-clock deadline hit; best-so-far result
   kBudgetExhausted = 2,   // work-unit budget hit; best-so-far result
   kCancelled = 3,         // external cancellation flag; best-so-far result
+  kResourceExhausted = 4, // memory budget hit; best-so-far result
 };
 
 // Stable lower-case name ("complete", "deadline-exceeded", …) for logs and
@@ -58,6 +60,15 @@ struct GovernorLimits {
   // zero budget would make every governed call trip before doing anything,
   // which is always a caller bug.
   int64_t max_work = kNoLimit;
+  // Optional memory budget (nullptr disables; must outlive the governor).
+  // Probed at the clock-probe stride: when the budget (or any of its
+  // ancestors) reports OverLimit(), the run is cut with
+  // kResourceExhausted and returns best-so-far — the byte-dimension
+  // analogue of a deadline cut. Like the deadline, the probe is
+  // allocation-pattern-dependent, not deterministic; tests that need a
+  // deterministic memory trip use ResourceFaults or a FaultInjector with
+  // RunStatus::kResourceExhausted instead.
+  const MemBudget* mem_budget = nullptr;
 };
 
 // Exit code of a process killed by crash-point injection (FaultInjector::
@@ -152,13 +163,20 @@ class ResourceGovernor {
       status_ = RunStatus::kCancelled;
       return false;
     }
-    if (limits_.deadline_ms != kNoLimit && checkpoints_ >= next_clock_probe_) {
+    if ((limits_.deadline_ms != kNoLimit || limits_.mem_budget != nullptr) &&
+        checkpoints_ >= next_clock_probe_) {
       next_clock_probe_ = checkpoints_ + kClockProbeStride;
-      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-                         Clock::now() - start_)
-                         .count();
-      if (elapsed >= limits_.deadline_ms) {
-        status_ = RunStatus::kDeadlineExceeded;
+      if (limits_.deadline_ms != kNoLimit) {
+        auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           Clock::now() - start_)
+                           .count();
+        if (elapsed >= limits_.deadline_ms) {
+          status_ = RunStatus::kDeadlineExceeded;
+          return false;
+        }
+      }
+      if (limits_.mem_budget != nullptr && limits_.mem_budget->OverLimit()) {
+        status_ = RunStatus::kResourceExhausted;
         return false;
       }
     }
@@ -226,6 +244,10 @@ class ResourceGovernor {
         return count - 1;
       }
     }
+    if (limits_.mem_budget != nullptr && limits_.mem_budget->OverLimit()) {
+      status_ = RunStatus::kResourceExhausted;
+      return count - 1;
+    }
     return count;
   }
 
@@ -243,6 +265,9 @@ class ResourceGovernor {
                          Clock::now() - start_)
                          .count();
       if (elapsed >= limits_.deadline_ms) return true;
+    }
+    if (limits_.mem_budget != nullptr && limits_.mem_budget->OverLimit()) {
+      return true;
     }
     return false;
   }

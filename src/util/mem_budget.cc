@@ -1,0 +1,149 @@
+#include "util/mem_budget.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace folearn {
+
+bool MemBudget::TryCharge(int64_t bytes) {
+  FOLEARN_CHECK_GE(bytes, 0);
+  if (ResourceFaults::Instance().ShouldFailAlloc()) {
+    denied_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  // Charge leaf-to-root, rolling back the prefix on the first refusal.
+  for (MemBudget* node = this; node != nullptr; node = node->parent_) {
+    const int64_t now =
+        node->used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    if (node->limit_ != kNoMemLimit && now > node->limit_) {
+      for (MemBudget* undo = this; ; undo = undo->parent_) {
+        undo->used_.fetch_sub(bytes, std::memory_order_relaxed);
+        if (undo == node) break;
+      }
+      node->denied_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    node->BumpPeak(now);
+  }
+  return true;
+}
+
+void MemBudget::Charge(int64_t bytes) {
+  FOLEARN_CHECK_GE(bytes, 0);
+  for (MemBudget* node = this; node != nullptr; node = node->parent_) {
+    const int64_t now =
+        node->used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    node->BumpPeak(now);
+  }
+}
+
+void MemBudget::Release(int64_t bytes) {
+  FOLEARN_CHECK_GE(bytes, 0);
+  for (MemBudget* node = this; node != nullptr; node = node->parent_) {
+    node->used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+}
+
+const char* PressureTierName(PressureTier tier) {
+  switch (tier) {
+    case PressureTier::kGreen:
+      return "green";
+    case PressureTier::kYellow:
+      return "yellow";
+    case PressureTier::kRed:
+      return "red";
+    case PressureTier::kBlack:
+      return "black";
+  }
+  FOLEARN_CHECK(false) << "unreachable";
+  return "unknown";
+}
+
+PressureTier ClassifyPressure(int64_t used_bytes, int64_t budget_bytes,
+                              const PressureThresholds& thresholds) {
+  if (budget_bytes <= 0) return PressureTier::kGreen;
+  const double load =
+      static_cast<double>(used_bytes) / static_cast<double>(budget_bytes);
+  if (load >= thresholds.black) return PressureTier::kBlack;
+  if (load >= thresholds.red) return PressureTier::kRed;
+  if (load >= thresholds.yellow) return PressureTier::kYellow;
+  return PressureTier::kGreen;
+}
+
+int64_t ReadRssBytes() {
+  // /proc/self/statm: "size resident shared text lib data dt" in pages.
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm == nullptr) return -1;
+  long long size_pages = 0;
+  long long resident_pages = 0;
+  const int parsed =
+      std::fscanf(statm, "%lld %lld", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (parsed != 2) return -1;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return -1;
+  return static_cast<int64_t>(resident_pages) * static_cast<int64_t>(page);
+}
+
+ResourceFaults& ResourceFaults::Instance() {
+  static ResourceFaults* instance = new ResourceFaults();
+  return *instance;
+}
+
+void ResourceFaults::ArmAllocFailure(int64_t nth) {
+  FOLEARN_CHECK_GE(nth, 1) << "fault must be armed at a positive site";
+  alloc_at_.store(alloc_count_.load(std::memory_order_relaxed) + nth,
+                  std::memory_order_relaxed);
+}
+
+void ResourceFaults::ArmDiskFailure(int64_t nth, DiskMode mode) {
+  FOLEARN_CHECK_GE(nth, 1) << "fault must be armed at a positive site";
+  FOLEARN_CHECK(mode != DiskMode::kNone) << "arming a no-op disk fault";
+  disk_mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+  disk_at_.store(disk_count_.load(std::memory_order_relaxed) + nth,
+                 std::memory_order_relaxed);
+}
+
+void ResourceFaults::ArmMmapFailure(int64_t nth) {
+  FOLEARN_CHECK_GE(nth, 1) << "fault must be armed at a positive site";
+  mmap_at_.store(mmap_count_.load(std::memory_order_relaxed) + nth,
+                 std::memory_order_relaxed);
+}
+
+void ResourceFaults::Reset() {
+  alloc_at_.store(0, std::memory_order_relaxed);
+  disk_at_.store(0, std::memory_order_relaxed);
+  mmap_at_.store(0, std::memory_order_relaxed);
+  disk_mode_.store(0, std::memory_order_relaxed);
+  alloc_count_.store(0, std::memory_order_relaxed);
+  disk_count_.store(0, std::memory_order_relaxed);
+  mmap_count_.store(0, std::memory_order_relaxed);
+}
+
+bool ResourceFaults::CountAndMaybeFire(std::atomic<int64_t>* counter,
+                                       std::atomic<int64_t>* armed_at) {
+  const int64_t seen = counter->fetch_add(1, std::memory_order_relaxed) + 1;
+  int64_t at = armed_at->load(std::memory_order_relaxed);
+  if (at == 0 || seen != at) return false;
+  // One-shot: the thread that reaches the trip point disarms it. The
+  // exchange makes exactly one caller observe the fault even if several
+  // race past the counter.
+  return armed_at->compare_exchange_strong(at, 0,
+                                           std::memory_order_relaxed);
+}
+
+bool ResourceFaults::ShouldFailAlloc() {
+  return CountAndMaybeFire(&alloc_count_, &alloc_at_);
+}
+
+ResourceFaults::DiskMode ResourceFaults::ShouldFailDiskWrite() {
+  if (!CountAndMaybeFire(&disk_count_, &disk_at_)) return DiskMode::kNone;
+  return static_cast<DiskMode>(disk_mode_.load(std::memory_order_relaxed));
+}
+
+bool ResourceFaults::ShouldFailMmap() {
+  return CountAndMaybeFire(&mmap_count_, &mmap_at_);
+}
+
+}  // namespace folearn

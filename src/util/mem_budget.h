@@ -1,0 +1,212 @@
+#ifndef FOLEARN_UTIL_MEM_BUDGET_H_
+#define FOLEARN_UTIL_MEM_BUDGET_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace folearn {
+
+// Process-wide memory governance.
+//
+// The governor (util/governor.h) budgets time and work; nothing budgeted
+// bytes. A long-lived folearnd warming BallCache/TypeRegistry/PlanCache
+// state over million-vertex graphs can walk straight into the OOM killer —
+// and the kernel's verdict is neither graceful nor deterministic. This
+// header adds the byte dimension:
+//
+//   * `MemBudget` — a hierarchical byte accountant (process cap →
+//     per-session caps → per-arena sub-accounts). Charging is two relaxed
+//     atomic adds per level; the tree is at most three levels deep here.
+//   * `PressureTier` — the degradation ladder the server's RSS watchdog
+//     walks: green (normal) → yellow (stop admitting warm-state growth) →
+//     red (evict idle warm state, shrink caches) → black (shed everything
+//     but heartbeats). Never abort.
+//   * `ResourceFaults` — deterministic *resource* fault injection
+//     (allocation failure at the Nth charge site, ENOSPC/short-write/
+//     fsync/rename failure at the Nth durable write, mmap failure),
+//     mirroring FaultInjector's trip-at-Nth-checkpoint discipline so
+//     tests can prove byte-identical recovery at every injection point.
+//
+// Accounting philosophy: caches (BallCache, PlanCache) use `TryCharge`
+// and degrade to read-through when refused — caching is semantically
+// transparent, so a refused charge never changes a result. Correctness
+// state (TypeRegistry nodes, session journals) uses forced `Charge`; the
+// governor notices `OverLimit()` at its next probe and cuts the run with
+// RunStatus::kResourceExhausted, returning best-so-far — exactly how
+// deadline and work cuts already behave.
+
+// Sentinel for "no byte limit" (matches kNoLimit in util/governor.h; kept
+// local to avoid an include cycle).
+inline constexpr int64_t kNoMemLimit = -1;
+
+class MemBudget {
+ public:
+  // `parent`, when given, must outlive this budget. A limit of kNoMemLimit
+  // disables the local cap (charges still aggregate upward).
+  explicit MemBudget(int64_t limit_bytes = kNoMemLimit,
+                     MemBudget* parent = nullptr)
+      : limit_(limit_bytes), parent_(parent) {
+    FOLEARN_CHECK(limit_bytes == kNoMemLimit || limit_bytes >= 0)
+        << "negative memory limit: " << limit_bytes;
+  }
+
+  // A budget may die with residual charges its accounts never released
+  // (e.g. a session's journal share); they return to the parent so the
+  // surviving ledger stays exact.
+  ~MemBudget() {
+    const int64_t residual = used_.load(std::memory_order_relaxed);
+    if (parent_ != nullptr && residual > 0) parent_->Release(residual);
+  }
+
+  MemBudget(const MemBudget&) = delete;
+  MemBudget& operator=(const MemBudget&) = delete;
+
+  // All-or-nothing: charges this node and every ancestor, or rolls back
+  // and returns false if any level would exceed its limit (or an armed
+  // allocation fault fires — see ResourceFaults). Thread-safe; two relaxed
+  // atomic RMWs per level on the success path.
+  bool TryCharge(int64_t bytes);
+
+  // Forced accounting: always succeeds, may push used() past limit().
+  // Used for correctness state that cannot be refused mid-operation; the
+  // governor's memory probe turns the overshoot into a governed
+  // kResourceExhausted cut at the next checkpoint.
+  void Charge(int64_t bytes);
+
+  // Returns bytes to this node and every ancestor. Pairs with a
+  // successful TryCharge or a Charge of the same amount.
+  void Release(int64_t bytes);
+
+  int64_t used() const { return used_.load(std::memory_order_relaxed); }
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  int64_t limit() const { return limit_; }
+  // Charges refused at this node (not counting ancestor refusals).
+  int64_t denied() const { return denied_.load(std::memory_order_relaxed); }
+
+  // True iff this node or any ancestor is over its own limit. The
+  // governor's memory probe polls this.
+  bool OverLimit() const {
+    for (const MemBudget* node = this; node != nullptr;
+         node = node->parent_) {
+      if (node->limit_ != kNoMemLimit && node->used() > node->limit_) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  void BumpPeak(int64_t used_now) {
+    int64_t seen = peak_.load(std::memory_order_relaxed);
+    while (used_now > seen &&
+           !peak_.compare_exchange_weak(seen, used_now,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  const int64_t limit_;
+  MemBudget* const parent_;
+  std::atomic<int64_t> used_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> denied_{0};
+};
+
+// The server's degradation ladder. Ordered: comparisons like
+// `tier >= kRed` are meaningful.
+enum class PressureTier {
+  kGreen = 0,   // normal service
+  kYellow = 1,  // stop admitting warm-state growth (caches read-through,
+                // non-mmap load-graph shed retry-safe)
+  kRed = 2,     // evict idle sessions' warm state, shrink shared caches
+  kBlack = 3,   // shed all non-heartbeat requests; never abort
+};
+
+// Stable lower-case name ("green", "yellow", "red", "black").
+const char* PressureTierName(PressureTier tier);
+
+// Fractions of the budget at which each tier engages.
+struct PressureThresholds {
+  double yellow = 0.70;
+  double red = 0.85;
+  double black = 0.95;
+};
+
+// Classifies `used_bytes` against `budget_bytes`. A non-positive budget
+// (or kNoMemLimit) means ungoverned: always green.
+PressureTier ClassifyPressure(int64_t used_bytes, int64_t budget_bytes,
+                              const PressureThresholds& thresholds = {});
+
+// Resident set size of the calling process in bytes (/proc/self/statm),
+// or -1 where unavailable — callers fall back to accounted bytes.
+int64_t ReadRssBytes();
+
+// Process-wide deterministic resource fault injection. Each site class
+// keeps a monotone acquisition counter; arming "fail at N" makes exactly
+// the Nth acquisition after arming fail, then the site disarms (a
+// transient fault — the system must degrade, recover, and keep serving).
+// Counters run even while disarmed so sweeps can first count a workload's
+// sites, then replay it once per site index — FaultInjector's
+// trip-at-Nth-checkpoint discipline applied to bytes and disk.
+//
+// Thread-safe. Tests must Reset() between cases; production never arms.
+class ResourceFaults {
+ public:
+  enum class DiskMode {
+    kNone = 0,       // no fault
+    kOpenFail = 1,   // temp file cannot be created (ENOSPC on open)
+    kShortWrite = 2, // write stops partway (ENOSPC mid-write)
+    kSyncFail = 3,   // data written but fsync fails
+    kRenameFail = 4, // durable temp written but the atomic rename fails
+  };
+
+  static ResourceFaults& Instance();
+
+  // Arm exactly one failure at the Nth (1-based) future acquisition.
+  void ArmAllocFailure(int64_t nth);
+  void ArmDiskFailure(int64_t nth, DiskMode mode);
+  void ArmMmapFailure(int64_t nth);
+  // Disarms everything and zeroes the site counters.
+  void Reset();
+
+  // Called by MemBudget::TryCharge. True = this charge must fail.
+  bool ShouldFailAlloc();
+  // Called by WriteFileAtomic once per durable write. kNone = proceed.
+  DiskMode ShouldFailDiskWrite();
+  // Called by the .fog mapper before mmap. True = the mapping must fail.
+  bool ShouldFailMmap();
+
+  // Acquisitions seen so far per site class (for sweep sizing).
+  int64_t alloc_sites() const {
+    return alloc_count_.load(std::memory_order_relaxed);
+  }
+  int64_t disk_writes() const {
+    return disk_count_.load(std::memory_order_relaxed);
+  }
+  int64_t mmaps() const {
+    return mmap_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ResourceFaults() = default;
+
+  // Counter handling shared by the three site classes: bump the site
+  // counter; fire iff armed and the counter just reached the trip point,
+  // disarming in the same atomic exchange.
+  static bool CountAndMaybeFire(std::atomic<int64_t>* counter,
+                                std::atomic<int64_t>* armed_at);
+
+  std::atomic<int64_t> alloc_count_{0};
+  std::atomic<int64_t> disk_count_{0};
+  std::atomic<int64_t> mmap_count_{0};
+  // 0 = disarmed; otherwise the absolute counter value that fails.
+  std::atomic<int64_t> alloc_at_{0};
+  std::atomic<int64_t> disk_at_{0};
+  std::atomic<int64_t> mmap_at_{0};
+  std::atomic<int> disk_mode_{0};
+};
+
+}  // namespace folearn
+
+#endif  // FOLEARN_UTIL_MEM_BUDGET_H_

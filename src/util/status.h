@@ -31,12 +31,17 @@ enum class StatusCode {
   kDataLoss = 3,
   // The environment refused an operation (e.g. a file write failed).
   kUnavailable = 4,
+  // A byte budget or memory-pressure tier refused the operation. Always
+  // retry-safe: nothing was acknowledged, and a retry after pressure
+  // subsides (or against a bigger budget) can succeed.
+  kResourceExhausted = 5,
 };
 
 // sysexits(3)-style process exit codes used by the CLI for input errors.
 inline constexpr int kExitUsage = 64;      // EX_USAGE: bad invocation
 inline constexpr int kExitDataError = 65;  // EX_DATAERR: corrupt input
 inline constexpr int kExitNoInput = 66;    // EX_NOINPUT: missing input
+inline constexpr int kExitTempFail = 75;   // EX_TEMPFAIL: retry later
 
 class Status {
  public:
@@ -74,9 +79,15 @@ inline Status DataLossError(std::string message) {
 inline Status UnavailableError(std::string message) {
   return Status(StatusCode::kUnavailable, std::move(message));
 }
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
 
 // Maps a non-OK status onto the CLI exit-code convention: missing input is
-// EX_NOINPUT, everything malformed or mismatched is EX_DATAERR.
+// EX_NOINPUT, everything malformed or mismatched is EX_DATAERR, and a
+// refused-by-budget operation is EX_TEMPFAIL (75) — the classic "try
+// again later" code, distinct from every data-error code so retry loops
+// can key on it.
 inline int StatusExitCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk:
@@ -86,6 +97,8 @@ inline int StatusExitCode(const Status& status) {
     case StatusCode::kInvalidArgument:
     case StatusCode::kDataLoss:
       return kExitDataError;
+    case StatusCode::kResourceExhausted:
+      return kExitTempFail;
     case StatusCode::kUnavailable:
       return 1;
   }

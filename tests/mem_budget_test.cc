@@ -1,0 +1,374 @@
+// Memory governance: the hierarchical byte accountant, pressure-tier
+// classification, resource-fault injection, the governor's
+// kResourceExhausted cut, and the caches' accounted / read-through modes
+// (which must never change results — only whether bytes are retained).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "learn/dataset.h"
+#include "learn/erm.h"
+#include "learn/hypothesis.h"
+#include "learn/model_io.h"
+#include "types/type.h"
+#include "util/governor.h"
+#include "util/mem_budget.h"
+#include "util/status.h"
+
+namespace folearn {
+namespace {
+
+// ---------------------------------------------------------------------
+// MemBudget: hierarchy, rollback, forced charges, residual release.
+
+TEST(MemBudget, TryChargeAndReleaseTrackUsage) {
+  MemBudget budget(100);
+  EXPECT_TRUE(budget.TryCharge(60));
+  EXPECT_EQ(budget.used(), 60);
+  EXPECT_TRUE(budget.TryCharge(40));
+  EXPECT_EQ(budget.used(), 100);
+  EXPECT_FALSE(budget.TryCharge(1));
+  EXPECT_EQ(budget.used(), 100);  // refused charge leaves usage intact
+  EXPECT_EQ(budget.denied(), 1);
+  budget.Release(50);
+  EXPECT_EQ(budget.used(), 50);
+  EXPECT_TRUE(budget.TryCharge(50));
+  EXPECT_EQ(budget.peak(), 100);
+}
+
+TEST(MemBudget, HierarchyChargesEveryLevelAllOrNothing) {
+  MemBudget process(1000);
+  MemBudget session(100, &process);
+  MemBudget arena(kNoMemLimit, &session);
+
+  EXPECT_TRUE(arena.TryCharge(80));
+  EXPECT_EQ(arena.used(), 80);
+  EXPECT_EQ(session.used(), 80);
+  EXPECT_EQ(process.used(), 80);
+
+  // The session cap refuses; the rollback must leave every level exactly
+  // where it was — including the unlimited leaf.
+  EXPECT_FALSE(arena.TryCharge(30));
+  EXPECT_EQ(arena.used(), 80);
+  EXPECT_EQ(session.used(), 80);
+  EXPECT_EQ(process.used(), 80);
+
+  arena.Release(80);
+  EXPECT_EQ(process.used(), 0);
+}
+
+TEST(MemBudget, AncestorCapRefusesEvenWhenLeafIsUnbounded) {
+  MemBudget process(50);
+  MemBudget leaf(kNoMemLimit, &process);
+  EXPECT_TRUE(leaf.TryCharge(50));
+  EXPECT_FALSE(leaf.TryCharge(1));
+  EXPECT_EQ(process.used(), 50);
+}
+
+TEST(MemBudget, ForcedChargeOvershootsAndOverLimitSeesIt) {
+  MemBudget process(100);
+  MemBudget session(40, &process);
+  EXPECT_FALSE(session.OverLimit());
+  session.Charge(60);  // correctness state: cannot be refused
+  EXPECT_EQ(session.used(), 60);
+  EXPECT_TRUE(session.OverLimit());
+  // A child under its own (absent) limit still reports an over-limit
+  // ancestor — the governor probes from the leaf.
+  MemBudget arena(kNoMemLimit, &session);
+  EXPECT_TRUE(arena.OverLimit());
+  session.Release(60);
+  EXPECT_FALSE(session.OverLimit());
+}
+
+TEST(MemBudget, DestructorReturnsResidualToParent) {
+  MemBudget process(kNoMemLimit);
+  {
+    MemBudget session(kNoMemLimit, &process);
+    session.Charge(1234);  // e.g. a journal share never explicitly freed
+    EXPECT_EQ(process.used(), 1234);
+  }
+  EXPECT_EQ(process.used(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Pressure tiers.
+
+TEST(PressureTier, ClassifiesAgainstThresholds) {
+  PressureThresholds t;  // 0.70 / 0.85 / 0.95
+  EXPECT_EQ(ClassifyPressure(0, 1000, t), PressureTier::kGreen);
+  EXPECT_EQ(ClassifyPressure(699, 1000, t), PressureTier::kGreen);
+  EXPECT_EQ(ClassifyPressure(700, 1000, t), PressureTier::kYellow);
+  EXPECT_EQ(ClassifyPressure(850, 1000, t), PressureTier::kRed);
+  EXPECT_EQ(ClassifyPressure(950, 1000, t), PressureTier::kBlack);
+  EXPECT_EQ(ClassifyPressure(5000, 1000, t), PressureTier::kBlack);
+}
+
+TEST(PressureTier, NoBudgetIsAlwaysGreen) {
+  EXPECT_EQ(ClassifyPressure(1 << 30, kNoMemLimit), PressureTier::kGreen);
+  EXPECT_EQ(ClassifyPressure(1 << 30, 0), PressureTier::kGreen);
+}
+
+TEST(PressureTier, NamesAreStable) {
+  EXPECT_STREQ(PressureTierName(PressureTier::kGreen), "green");
+  EXPECT_STREQ(PressureTierName(PressureTier::kYellow), "yellow");
+  EXPECT_STREQ(PressureTierName(PressureTier::kRed), "red");
+  EXPECT_STREQ(PressureTierName(PressureTier::kBlack), "black");
+}
+
+TEST(PressureTier, ReadRssReportsSomethingPlausible) {
+  const int64_t rss = ReadRssBytes();
+  // /proc is available on every platform this suite runs on; a running
+  // test binary is at least a megabyte and well under a terabyte.
+  EXPECT_GT(rss, 1 << 20);
+  EXPECT_LT(rss, int64_t{1} << 40);
+}
+
+// ---------------------------------------------------------------------
+// ResourceFaults: deterministic one-shot resource failures.
+
+class ResourceFaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResourceFaults::Instance().Reset(); }
+  void TearDown() override { ResourceFaults::Instance().Reset(); }
+};
+
+TEST_F(ResourceFaultsTest, AllocFailureFiresExactlyOnce) {
+  MemBudget budget(kNoMemLimit);
+  EXPECT_TRUE(budget.TryCharge(1));  // site 1
+  ResourceFaults::Instance().ArmAllocFailure(2);  // 2nd future charge
+  EXPECT_TRUE(budget.TryCharge(1));   // 1st after arming: passes
+  EXPECT_FALSE(budget.TryCharge(1));  // 2nd after arming: injected failure
+  EXPECT_TRUE(budget.TryCharge(1));   // disarmed again
+  EXPECT_EQ(budget.used(), 3);        // the failed charge left no trace
+  EXPECT_EQ(budget.denied(), 1);
+}
+
+TEST_F(ResourceFaultsTest, CountersRunWhileDisarmed) {
+  MemBudget budget(kNoMemLimit);
+  const int64_t before = ResourceFaults::Instance().alloc_sites();
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(budget.TryCharge(1));
+  EXPECT_EQ(ResourceFaults::Instance().alloc_sites(), before + 5);
+}
+
+// ---------------------------------------------------------------------
+// Governor: the memory probe cuts with kResourceExhausted.
+
+TEST(GovernorMemory, OverLimitBudgetCutsWithResourceExhausted) {
+  MemBudget budget(100);
+  budget.Charge(200);  // forced past the limit
+  GovernorLimits limits;
+  limits.mem_budget = &budget;
+  ResourceGovernor governor(limits);
+  // The memory probe runs at the clock-probe stride; the run must be cut
+  // within one stride of checkpoints.
+  bool cut = false;
+  for (int i = 0; i < 300; ++i) {
+    if (!governor.Checkpoint()) {
+      cut = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(cut);
+  EXPECT_EQ(governor.status(), RunStatus::kResourceExhausted);
+  EXPECT_TRUE(governor.Interrupted());
+  EXPECT_STREQ(RunStatusName(RunStatus::kResourceExhausted),
+               "resource-exhausted");
+}
+
+TEST(GovernorMemory, UnderLimitBudgetNeverTrips) {
+  MemBudget budget(1 << 20);
+  budget.Charge(100);
+  GovernorLimits limits;
+  limits.mem_budget = &budget;
+  ResourceGovernor governor(limits);
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(governor.Checkpoint());
+  EXPECT_EQ(governor.status(), RunStatus::kComplete);
+}
+
+TEST(GovernorMemory, PassiveLimitSeesMemoryPressure) {
+  MemBudget budget(10);
+  GovernorLimits limits;
+  limits.mem_budget = &budget;
+  ResourceGovernor governor(limits);
+  EXPECT_FALSE(governor.PassiveLimitHit());
+  budget.Charge(20);
+  EXPECT_TRUE(governor.PassiveLimitHit());
+}
+
+TEST(GovernorMemory, ResourceExhaustedMapsToTempFailExitCode) {
+  EXPECT_EQ(StatusExitCode(ResourceExhaustedError("over budget")),
+            kExitTempFail);
+  EXPECT_EQ(kExitTempFail, 75);
+}
+
+// ---------------------------------------------------------------------
+// BallCache accounting: attach, refuse, read-through — byte-identical
+// results in every mode.
+
+std::vector<Vertex> CollectBall(BallCache* cache, Vertex v, int radius) {
+  const std::span<const Vertex> ball = cache->VertexBall(v, radius);
+  return std::vector<Vertex>(ball.begin(), ball.end());
+}
+
+TEST(BallCacheAccounting, AccountMirrorsBytesAndReleasesOnDestruction) {
+  Graph g = MakeCycle(32);
+  MemBudget budget(kNoMemLimit);
+  {
+    BallCache cache(g);
+    cache.set_mem_account(&budget);
+    for (Vertex v = 0; v < 16; ++v) CollectBall(&cache, v, 2);
+    EXPECT_GT(cache.bytes(), 0);
+    EXPECT_EQ(budget.used(), cache.bytes());
+  }
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(BallCacheAccounting, RefusedChargeServesUncachedIdentically) {
+  Graph g = MakeCycle(64);
+  BallCache reference(g);
+  // A parent so tight that only a few entries fit: inserts beyond it are
+  // shed, but every returned ball must equal the unaccounted reference.
+  MemBudget tight(256);
+  BallCache accounted(g);
+  accounted.set_mem_account(&tight);
+  for (Vertex v = 0; v < 64; ++v) {
+    EXPECT_EQ(CollectBall(&accounted, v, 2), CollectBall(&reference, v, 2))
+        << "vertex " << v;
+  }
+  EXPECT_GT(accounted.shed_inserts(), 0);
+  EXPECT_LE(tight.used(), 256);
+}
+
+TEST(BallCacheAccounting, ReadThroughFreezesGrowthNotResults) {
+  Graph g = MakeCycle(64);
+  BallCache reference(g);
+  std::atomic<bool> read_through{false};
+  BallCache cache(g);
+  cache.set_read_through(&read_through);
+  for (Vertex v = 0; v < 8; ++v) CollectBall(&cache, v, 2);
+  const int64_t frozen_bytes = cache.bytes();
+  const int64_t frozen_entries = cache.cached_balls();
+  read_through.store(true);
+  for (Vertex v = 8; v < 32; ++v) {
+    EXPECT_EQ(CollectBall(&cache, v, 2), CollectBall(&reference, v, 2));
+  }
+  EXPECT_EQ(cache.bytes(), frozen_bytes);
+  EXPECT_EQ(cache.cached_balls(), frozen_entries);
+  EXPECT_GT(cache.shed_inserts(), 0);
+  // Frozen entries still serve hits.
+  const int64_t hits_before = cache.hits();
+  CollectBall(&cache, 0, 2);
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+  // Unfreezing resumes growth.
+  read_through.store(false);
+  CollectBall(&cache, 40, 2);
+  EXPECT_GT(cache.cached_balls(), frozen_entries);
+}
+
+TEST(BallCacheAccounting, ClearDropsEverythingAndReleasesAccount) {
+  Graph g = MakeCycle(32);
+  MemBudget budget(kNoMemLimit);
+  BallCache cache(g);
+  cache.set_mem_account(&budget);
+  for (Vertex v = 0; v < 8; ++v) CollectBall(&cache, v, 1);
+  EXPECT_GT(budget.used(), 0);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes(), 0);
+  EXPECT_EQ(cache.cached_balls(), 0);
+  EXPECT_EQ(budget.used(), 0);
+  // A cleared cache is just cold, not broken.
+  BallCache reference(g);
+  EXPECT_EQ(CollectBall(&cache, 3, 2), CollectBall(&reference, 3, 2));
+}
+
+// ---------------------------------------------------------------------
+// TypeRegistry accounting: forced charges for correctness state.
+
+TEST(TypeRegistryAccounting, InternChargesAndDestructorReleases) {
+  Graph g = MakeCycle(8);
+  MemBudget budget(kNoMemLimit);
+  {
+    TypeRegistry registry(g.vocabulary());
+    registry.set_mem_account(&budget);
+    Vertex tuple[] = {0};
+    ComputeType(g, tuple, 1, &registry);
+    EXPECT_GT(registry.approx_bytes(), 0);
+    EXPECT_EQ(budget.used(), registry.approx_bytes());
+  }
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(TypeRegistryAccounting, AttachAfterGrowthChargesExistingNodes) {
+  Graph g = MakeCycle(8);
+  TypeRegistry registry(g.vocabulary());
+  Vertex tuple[] = {0};
+  ComputeType(g, tuple, 1, &registry);
+  MemBudget budget(kNoMemLimit);
+  registry.set_mem_account(&budget);
+  EXPECT_EQ(budget.used(), registry.approx_bytes());
+  registry.set_mem_account(nullptr);
+  EXPECT_EQ(budget.used(), 0);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a memory-governed ERM sweep is cut with best-so-far and
+// an accounted sweep returns byte-identical results.
+
+TrainingSet SmallTrainingSet() {
+  TrainingSet examples;
+  examples.push_back({{0}, true});
+  examples.push_back({{1}, false});
+  examples.push_back({{2}, true});
+  examples.push_back({{3}, false});
+  return examples;
+}
+
+TEST(ErmMemoryGovernance, AccountingNeverChangesResults) {
+  Graph g = MakeCycle(12);
+  TrainingSet examples = SmallTrainingSet();
+  ErmOptions plain;
+  plain.rank = 1;
+  plain.radius = 1;
+  ErmResult reference = BruteForceErm(g, examples, 1, plain);
+
+  MemBudget budget(kNoMemLimit);
+  ErmOptions accounted = plain;
+  accounted.mem_budget = &budget;
+  ErmResult governed = BruteForceErm(g, examples, 1, accounted);
+
+  EXPECT_EQ(governed.training_error, reference.training_error);
+  EXPECT_EQ(governed.status, RunStatus::kComplete);
+  EXPECT_EQ(HypothesisToText(governed.hypothesis.ToExplicit()),
+            HypothesisToText(reference.hypothesis.ToExplicit()));
+  // Worker shards and caches died with the sweep: everything released.
+  EXPECT_EQ(budget.used(), 0);
+}
+
+TEST(ErmMemoryGovernance, OverBudgetSweepCutsWithResourceExhausted) {
+  Graph g = MakeCycle(24);
+  TrainingSet examples = SmallTrainingSet();
+  // Correctness state forced past the cap before the sweep: the governor's
+  // memory probe (which fires at the very first checkpoint) cuts the run
+  // with the governed status instead of letting it keep allocating.
+  MemBudget budget(1);
+  budget.Charge(64);
+  GovernorLimits limits;
+  limits.mem_budget = &budget;
+  ResourceGovernor governor(limits);
+  ErmOptions options;
+  options.rank = 1;
+  options.radius = 1;
+  options.governor = &governor;
+  options.mem_budget = &budget;
+  ErmResult result = BruteForceErm(g, examples, 1, options);
+  EXPECT_EQ(result.status, RunStatus::kResourceExhausted);
+  // Anytime contract: interrupted early, not crashed.
+  EXPECT_LT(result.parameter_tuples_tried, static_cast<int64_t>(g.order()));
+}
+
+}  // namespace
+}  // namespace folearn

@@ -1,0 +1,171 @@
+#!/bin/sh
+# Memory-governance soak for folearnd. Phase 1 runs a roomy budget and
+# requires normal service — including a query against a memory-mapped
+# 10^5-vertex .fog session — plus live accounting in stats. Phase 2
+# pins an impossibly tight budget and hammers the daemon with four
+# concurrent clients mixing mmap-backed at-scale loads, heap-building
+# text loads, and learns: every response must be a well-formed success
+# (0) or a retry-safe shed/partial (3) — never a crash, a hung
+# connection, or a daemon death — the watchdog must record the tier
+# transition, and the heartbeat path must stay open throughout. Both
+# daemons must still shut down cleanly on SIGTERM. $1 is the directory
+# holding the binaries.
+set -eu
+
+TOOLS="$1"
+DIR="$(mktemp -d)"
+SOCK="$DIR/folearnd.sock"
+DAEMON_PID=""
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+client() {
+  "$TOOLS/folearn_client" --socket "$SOCK" "$@"
+}
+
+start_daemon() {
+  rm -f "$SOCK"
+  "$TOOLS/folearnd" --socket "$SOCK" "$@" 2> "$DIR/daemon.log" &
+  DAEMON_PID=$!
+  tries=0
+  while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    [ "$tries" -lt 100 ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+      echo "daemon died at startup:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+    }
+    sleep 0.1
+  done
+}
+
+stop_daemon() {
+  kill "$DAEMON_PID"
+  daemon_rc=0
+  wait "$DAEMON_PID" || daemon_rc=$?
+  DAEMON_PID=""
+  [ "$daemon_rc" -eq 0 ] || {
+    echo "daemon exit $daemon_rc:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+  }
+}
+
+# Shared problem setup: a small coloured tree with an "is Red" dataset
+# (the learn workload), plus a 10^5-vertex bounded-degree graph packed
+# to .fog (the mmap-backed at-scale session the pressure tiers must
+# keep admitting below black).
+"$TOOLS/folearn_cli" generate --family bounded-degree --n 100000 \
+    --degree 8 --seed 11 --color Red:0.2 --out "$DIR/big.txt"
+"$TOOLS/folearn_cli" graph-pack --graph "$DIR/big.txt" \
+    --out "$DIR/big.fog"
+rm -f "$DIR/big.txt"
+"$TOOLS/folearn_cli" generate --family tree --n 30 --seed 7 \
+    --color Red:0.3 --out "$DIR/g.txt"
+reds=$(grep '^color Red' "$DIR/g.txt" | cut -d' ' -f3-)
+{
+  echo "examples 1"
+  v=0
+  while [ "$v" -lt 30 ]; do
+    label="-"
+    for r in $reds; do
+      [ "$r" = "$v" ] && label="+"
+    done
+    echo "$label $v"
+    v=$((v + 1))
+  done
+} > "$DIR/d.txt"
+
+# ---------------------------------------------------------------------
+# Phase 1: a roomy budget must not change behaviour, and the accounting
+# gauges must be live.
+start_daemon --mem-budget-bytes 2147483648 --mem-watchdog-ms 20
+client load-graph --graph-file "$DIR/g.txt" > "$DIR/load.out"
+session=$(sed -n 's/^session: //p' "$DIR/load.out")
+[ -n "$session" ] || { echo "phase 1: no session id" >&2; exit 1; }
+client learn --session "$session" --data-file "$DIR/d.txt" \
+    --rank 1 --radius 1 --out "$DIR/m.txt" > "$DIR/learn.out"
+grep -q '^training-error: 0.000000$' "$DIR/learn.out"
+# A memory-mapped 10^5-vertex session must serve queries normally.
+client load-graph --graph-path "$DIR/big.fog" > "$DIR/bigload.out"
+big=$(sed -n 's/^session: //p' "$DIR/bigload.out")
+[ -n "$big" ] || { echo "phase 1: no big session id" >&2; exit 1; }
+client query --session "$big" --sentence 'exists x. Red(x)' \
+    > "$DIR/bigquery.out"
+grep -q '^result: true$' "$DIR/bigquery.out"
+client stats > "$DIR/stats1.out"
+grep -q '^mem-tier: green$' "$DIR/stats1.out"
+grep -q '^mem-budget-bytes: 2147483648$' "$DIR/stats1.out"
+grep -q '^mem-used-bytes: [1-9]' "$DIR/stats1.out"
+grep -q '^rss-bytes: [1-9]' "$DIR/stats1.out"
+stop_daemon
+
+# ---------------------------------------------------------------------
+# Phase 2: a 2 MiB budget is below any live RSS, so the watchdog walks
+# the daemon to black almost immediately. Hammer it.
+start_daemon --mem-budget-bytes 2097152 --mem-watchdog-ms 20
+sleep 0.3   # a few watchdog ticks: let the tier settle
+
+# Four concurrent clients hammer a mixed workload: even iterations try
+# to open an mmap-backed 10^5-vertex session, odd ones a heap-building
+# text graph followed (if admitted) by a governed learn.
+soak_loop() {
+  who=$1
+  i=0
+  while [ "$i" -lt 25 ]; do
+    rc=0
+    if [ $((i % 2)) -eq 0 ]; then
+      client load-graph --graph-path "$DIR/big.fog" \
+          > "$DIR/soak_load.$who" 2> "$DIR/soak_err.$who" || rc=$?
+    else
+      client load-graph --graph-file "$DIR/g.txt" \
+          > "$DIR/soak_load.$who" 2> "$DIR/soak_err.$who" || rc=$?
+    fi
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || {
+      echo "soak client $who load iteration $i: exit $rc" >&2
+      cat "$DIR/soak_err.$who" >&2
+      return 1
+    }
+    if [ "$rc" -eq 0 ] && [ $((i % 2)) -eq 1 ]; then
+      # Admitted: the learn on that session must itself finish
+      # governed — complete or partial, never a crash.
+      s=$(sed -n 's/^session: //p' "$DIR/soak_load.$who")
+      rc=0
+      client learn --session "$s" --data-file "$DIR/d.txt" \
+          --rank 1 --radius 1 --out /dev/null > /dev/null 2>&1 || rc=$?
+      [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] || {
+        echo "soak client $who learn iteration $i: exit $rc" >&2
+        return 1
+      }
+    fi
+    # The heartbeat path stays open at every tier.
+    client ping > /dev/null 2>&1
+    i=$((i + 1))
+  done
+}
+
+pids=""
+for who in 1 2 3 4; do
+  soak_loop "$who" &
+  pids="$pids $!"
+done
+soak_rc=0
+for pid in $pids; do
+  wait "$pid" || soak_rc=1
+done
+[ "$soak_rc" -eq 0 ] || { echo "soak client failed" >&2; exit 1; }
+kill -0 "$DAEMON_PID" 2>/dev/null || {
+  echo "daemon died during soak:" >&2; cat "$DIR/daemon.log" >&2; exit 1
+}
+
+# The watchdog saw the pressure: the tier moved off green and said so.
+client stats > "$DIR/stats2.out"
+grep -q '^tier-transitions: [1-9]' "$DIR/stats2.out"
+grep -q '^mem-tier: ' "$DIR/stats2.out"
+grep -q '^mem-shed: [1-9]' "$DIR/stats2.out"
+
+# Still alive, still polite.
+client ping > /dev/null 2>&1
+stop_daemon
+
+echo "server mem soak test passed"

@@ -1148,6 +1148,253 @@ TEST_F(ServerTest, RetryingClientReconnectsAcrossRestart) {
   EXPECT_EQ(second->Get("model-id"), first->Get("model-id"));
 }
 
+// ---------------------------------------------------------------------
+// Memory governance: pressure-tier gating, per-session budgets, journal
+// compaction, and the stats surface. Tiers are pinned with force_tier so
+// every behaviour here is deterministic.
+
+TEST_F(ServerTest, BlackTierShedsSubstantiveButServesHeartbeats) {
+  ServerOptions options;
+  options.force_tier = static_cast<int>(PressureTier::kBlack);
+  StartServer(std::move(options));
+  Client client = MustConnect();
+  // The ops that observe or relieve the pressure stay admitted.
+  ASSERT_TRUE(client.Ping().ok());
+  Message stats;
+  stats.Set("op", "stats");
+  StatusOr<Message> observed = client.Call(stats);
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(observed->Get("status"), kStatusOk);
+  EXPECT_EQ(observed->Get("mem-tier"), "black");
+  // Every substantive request is shed retry-safe with the temp-fail code.
+  TestProblem problem = MakeProblem(10, 41);
+  Message load;
+  load.Set("op", "load-graph");
+  load.Set("graph", problem.graph_text);
+  StatusOr<Message> shed = client.Call(load);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->Get("status"), kStatusShed);
+  EXPECT_EQ(shed->Get("code"), "75");
+  EXPECT_EQ(shed->Get("tier"), "black");
+  EXPECT_TRUE(IsRetryableResponse(*shed));
+  EXPECT_EQ(ResponseExitCode(*shed), 3);
+  EXPECT_GE(server_->Snapshot().mem_shed, 1);
+  // Shedding is stateless: the daemon still answers after it.
+  ASSERT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, YellowTierShedsHeapGraphsButAdmitsMmapPacks) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  options.force_tier = static_cast<int>(PressureTier::kYellow);
+  StartServer(std::move(options));
+  TestProblem problem = MakeProblem(24, 42);
+  problem.graph.Finalize();
+  const std::string fog_path = options_.state_dir + "/pressure.fog";
+  ASSERT_TRUE(WriteFogFile(fog_path, problem.graph).ok());
+
+  Client client = MustConnect();
+  // Inline text would become a heap-resident parse: shed retry-safe.
+  Message inline_load;
+  inline_load.Set("op", "load-graph");
+  inline_load.Set("graph", problem.graph_text);
+  StatusOr<Message> shed = client.Call(inline_load);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->Get("status"), kStatusShed);
+  EXPECT_EQ(shed->Get("tier"), "yellow");
+  // The .fog pack is memory-mapped — reclaimable pages — so it loads.
+  Message pack_load;
+  pack_load.Set("op", "load-graph");
+  pack_load.Set("graph-file", fog_path);
+  StatusOr<Message> loaded = client.Call(pack_load);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->Get("status"), kStatusOk) << loaded->Get("error");
+  const std::string session = loaded->Get("session");
+  // And the admitted session serves substantive work under yellow.
+  Message query;
+  query.Set("op", "query");
+  query.Set("session", session);
+  query.Set("sentence", "exists x. Red(x)");
+  StatusOr<Message> answer = client.Call(query);
+  ASSERT_TRUE(answer.ok());
+  ASSERT_EQ(answer->Get("status"), kStatusOk) << answer->Get("error");
+  EXPECT_EQ(answer->Get("result"), "true");
+}
+
+TEST_F(ServerTest, RedTierEvictsIdleWarmStateAndRewarmsOnUse) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  options.force_tier = static_cast<int>(PressureTier::kRed);
+  options.mem_watchdog_ms = 10;
+  StartServer(std::move(options));
+  TestProblem problem = MakeProblem(24, 43);
+  problem.graph.Finalize();
+  const std::string fog_path = options_.state_dir + "/red.fog";
+  ASSERT_TRUE(WriteFogFile(fog_path, problem.graph).ok());
+
+  Client client = MustConnect();
+  Message load;
+  load.Set("op", "load-graph");
+  load.Set("graph-file", fog_path);
+  StatusOr<Message> loaded = client.Call(load);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->Get("status"), kStatusOk) << loaded->Get("error");
+  const std::string session = loaded->Get("session");
+
+  auto query = [&]() -> StatusOr<Message> {
+    Message request;
+    request.Set("op", "query");
+    request.Set("session", session);
+    request.Set("sentence", "exists x. Red(x)");
+    return client.Call(request);
+  };
+  StatusOr<Message> warm = query();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->Get("status"), kStatusOk) << warm->Get("error");
+
+  // The watchdog sweeps the now-idle journaled session back to cold.
+  ServerStats snapshot;
+  for (int i = 0; i < 200; ++i) {
+    snapshot = server_->Snapshot();
+    if (snapshot.warm_evictions >= 1) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(snapshot.warm_evictions, 1) << "red tier never demoted the "
+                                           "idle journaled session";
+
+  // Demotion, not loss: the next request lazily re-warms and answers
+  // identically.
+  StatusOr<Message> rewarmed = query();
+  ASSERT_TRUE(rewarmed.ok());
+  ASSERT_EQ(rewarmed->Get("status"), kStatusOk) << rewarmed->Get("error");
+  EXPECT_EQ(rewarmed->Get("result"), warm->Get("result"));
+}
+
+TEST_F(ServerTest, SessionMemBudgetCutsLearnToGovernedPartial) {
+  ServerOptions options;
+  // A cap no session stays under: the graph text's forced charge alone
+  // overshoots it, so the learn's governor cuts at its first probe.
+  options.session_mem_bytes = 64;
+  StartServer(std::move(options));
+  TestProblem problem = MakeProblem(30, 44);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok()) << session.status().message();
+  Message learn;
+  learn.Set("op", "learn");
+  learn.Set("session", std::to_string(*session));
+  learn.Set("data", problem.data_text);
+  learn.Set("rank", "1");
+  learn.Set("radius", "1");
+  StatusOr<Message> cut = client.Call(learn);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ(cut->Get("status"), kStatusPartial) << cut->Get("error");
+  EXPECT_EQ(cut->Get("run-status"), "resource-exhausted");
+  EXPECT_EQ(ResponseExitCode(*cut), 3);
+  // Governed, not broken: the session keeps serving.
+  ASSERT_TRUE(client.Ping().ok());
+}
+
+TEST_F(ServerTest, JournalCompactionDropsOldestModelsAndSurvivesRestart) {
+  ServerOptions options;
+  options.state_dir = MakeStateDir();
+  options.max_session_models = 2;
+  StartServer(options);
+  TestProblem problem = MakeProblem(24, 45);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+
+  // Identical model text reuses its handle, so distinct labelings are
+  // needed to actually grow the model table past the cap.
+  auto relabel = [&](int mode) {
+    TrainingSet data = problem.data;
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i].label = mode == 0   ? data[i].label
+                      : mode == 1 ? true
+                                  : false;
+    }
+    return TrainingSetToText(data);
+  };
+  auto learn = [&](const std::string& request_id,
+                   const std::string& data_text) -> std::string {
+    Message request;
+    request.Set("op", "learn");
+    request.Set("session", std::to_string(*session));
+    request.Set("data", data_text);
+    request.Set("rank", "1");
+    request.Set("radius", "1");
+    request.Set("request-id", request_id);
+    StatusOr<Message> learned = client.Call(request);
+    EXPECT_TRUE(learned.ok());
+    EXPECT_EQ(learned->Get("status"), kStatusOk) << learned->Get("error");
+    return learned->Get("model-id");
+  };
+  const std::string first = learn("compact-1", relabel(0));
+  const std::string second = learn("compact-2", relabel(1));
+  const std::string third = learn("compact-3", relabel(2));
+  ASSERT_NE(first, second);
+  ASSERT_NE(second, third);
+  ASSERT_NE(first, third);
+
+  auto get_model = [&](Client& c, const std::string& id) -> StatusOr<Message> {
+    Message request;
+    request.Set("op", "get-model");
+    request.Set("session", std::to_string(*session));
+    request.Set("model-id", id);
+    return c.Call(request);
+  };
+  // The cap is 2: the third learn compacted the oldest handle away.
+  StatusOr<Message> dropped = get_model(client, first);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_NE(dropped->Get("status"), kStatusOk);
+  StatusOr<Message> kept = get_model(client, third);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_EQ(kept->Get("status"), kStatusOk) << kept->Get("error");
+  const std::string third_text = kept->Get("model");
+  ServerStats stats = server_->Snapshot();
+  EXPECT_GE(stats.models_compacted, 1);
+  EXPECT_GE(stats.journal_compactions, 1);
+
+  // The compacted journal is what restarts recover: the dropped handle
+  // stays dropped, the survivors stay byte-identical.
+  RestartServer();
+  Client recovered = MustConnect();
+  StatusOr<Message> still_dropped = get_model(recovered, first);
+  ASSERT_TRUE(still_dropped.ok());
+  EXPECT_NE(still_dropped->Get("status"), kStatusOk);
+  StatusOr<Message> still_kept = get_model(recovered, third);
+  ASSERT_TRUE(still_kept.ok());
+  ASSERT_EQ(still_kept->Get("status"), kStatusOk)
+      << still_kept->Get("error");
+  EXPECT_EQ(still_kept->Get("model"), third_text);
+  (void)second;
+}
+
+TEST_F(ServerTest, StatsExposeMemoryGovernanceGauges) {
+  ServerOptions options;
+  options.mem_budget_bytes = int64_t{4} << 30;  // roomy: stays green
+  options.mem_watchdog_ms = 10;
+  StartServer(std::move(options));
+  TestProblem problem = MakeProblem(20, 46);
+  Client client = MustConnect();
+  StatusOr<uint64_t> session = client.LoadGraph(problem.graph_text);
+  ASSERT_TRUE(session.ok());
+  Message stats;
+  stats.Set("op", "stats");
+  StatusOr<Message> observed = client.Call(stats);
+  ASSERT_TRUE(observed.ok());
+  ASSERT_EQ(observed->Get("status"), kStatusOk);
+  EXPECT_EQ(observed->Get("mem-tier"), "green");
+  EXPECT_EQ(observed->Get("mem-budget-bytes"),
+            std::to_string(int64_t{4} << 30));
+  // The loaded graph's forced charge is visible in the accounted gauge.
+  EXPECT_GT(std::stoll(observed->Get("mem-used-bytes")), 0);
+  EXPECT_GT(std::stoll(observed->Get("mem-peak-bytes")), 0);
+  EXPECT_GT(std::stoll(observed->Get("rss-bytes")), 0);
+  EXPECT_EQ(observed->Get("mem-shed"), "0");
+}
+
 TEST_F(ServerTest, ShutdownOpStopsTheServeLoop) {
   StartServer(ServerOptions{});
   Client client = MustConnect();

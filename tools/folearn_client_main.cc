@@ -8,6 +8,8 @@
 // flow straight from disk to the daemon:
 //
 //   folearn_client --socket S load-graph --graph-file g.txt
+//   folearn_client --socket S load-graph --graph-path g.fog   # daemon-side
+//                                                             # open + mmap
 //   folearn_client --socket S learn --session 1 --data-file d.txt --rank 1
 //   folearn_client --socket S query --session 1 --sentence "exists x. Red(x)"
 //   folearn_client --socket S stats
@@ -48,11 +50,15 @@ int Usage() {
       "  ops: ping load-graph close-session learn evaluate query\n"
       "       get-model list-models stats shutdown\n"
       "  --<key>-file <path> sends the file contents as field <key>;\n"
+      "  --graph-path <path> sends the path itself (the daemon opens it:\n"
+      "  .fog files are memory-mapped and journaled by path);\n"
       "  --out <path> writes the response's model/payload field there\n"
       "  (default: print all fields).\n"
       "  --retries N retries shed/unavailable failures with capped\n"
       "  exponential backoff (--backoff-ms, default 50) and jitter;\n"
-      "  --reconnect 0 disables re-dialing after a transport failure.\n");
+      "  --reconnect 0 disables re-dialing after a transport failure;\n"
+      "  --io-timeout-ms N bounds every socket receive (default 0 = wait\n"
+      "  forever); a timeout is retry-safe kUnavailable.\n");
   return 64;
 }
 
@@ -134,6 +140,17 @@ int Main(int argc, char** argv) {
         return 64;
       }
       policy.reconnect = value == "1";
+    } else if (key == "io-timeout-ms") {
+      policy.io_timeout_ms = ParseInt64Flag(key, value);
+      if (policy.io_timeout_ms < 0) {
+        std::fprintf(stderr, "--io-timeout-ms must be >= 0\n");
+        return 64;
+      }
+    } else if (key == "graph-path") {
+      // The path itself, not the contents: the daemon memory-maps .fog
+      // files and journals file-backed sessions by path + fingerprint,
+      // which only works if it opens the file on its side of the socket.
+      request.Set("graph-file", value);
     } else if (key.size() > 5 && key.rfind("-file") == key.size() - 5) {
       StatusOr<std::string> contents = ReadFileToString(value);
       if (!contents.ok()) {

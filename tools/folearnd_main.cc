@@ -49,6 +49,9 @@ int Usage() {
       "                [--eval vm|compiled] [--state-dir DIR]\n"
       "                [--session-ttl-ms N] [--dedup-window N]\n"
       "                [--crash-at-journal-write N]\n"
+      "                [--mem-budget-bytes N] [--session-mem-bytes N]\n"
+      "                [--mem-watchdog-ms N] [--max-session-models N]\n"
+      "                [--journal-compact-bytes N] [--force-tier 0..3]\n"
       "\n"
       "Serves folearn learn/evaluate/query requests on a local socket.\n"
       "--eval picks the evaluation engine for evaluate/query (default\n"
@@ -61,7 +64,16 @@ int Usage() {
       "--state-dir journals sessions/models for crash recovery;\n"
       "--session-ttl-ms evicts idle sessions (journaled ones re-warm\n"
       "lazily); --dedup-window bounds the per-session learn request-id\n"
-      "window; --crash-at-journal-write is a fault-injection test hook.\n");
+      "window; --crash-at-journal-write is a fault-injection test hook.\n"
+      "--mem-budget-bytes caps the daemon's memory: an RSS watchdog\n"
+      "(--mem-watchdog-ms cadence) degrades service through pressure\n"
+      "tiers (yellow: caches stop growing; red: idle warm state evicted;\n"
+      "black: substantive requests shed retry-safe) instead of dying.\n"
+      "--session-mem-bytes caps each session; an over-budget learn\n"
+      "returns partial with run-status=resource-exhausted.\n"
+      "--max-session-models/--journal-compact-bytes compact a session's\n"
+      "journal by dropping its oldest model handles. --force-tier pins\n"
+      "the pressure tier (testing).\n");
   return 64;
 }
 
@@ -97,7 +109,10 @@ int Main(int argc, char** argv) {
         key != "max-deadline-ms" && key != "max-work" &&
         key != "cache-bytes" && key != "plan-cache-bytes" &&
         key != "eval" && key != "state-dir" && key != "session-ttl-ms" &&
-        key != "dedup-window" && key != "crash-at-journal-write") {
+        key != "dedup-window" && key != "crash-at-journal-write" &&
+        key != "mem-budget-bytes" && key != "session-mem-bytes" &&
+        key != "mem-watchdog-ms" && key != "max-session-models" &&
+        key != "journal-compact-bytes" && key != "force-tier") {
       std::fprintf(stderr, "unknown flag '--%s'\n", key.c_str());
       return 64;
     }
@@ -185,6 +200,55 @@ int Main(int argc, char** argv) {
   if (flags.count("crash-at-journal-write") != 0) {
     options.crash_at_journal_write =
         ParseInt64("crash-at-journal-write", flags["crash-at-journal-write"]);
+  }
+  if (flags.count("mem-budget-bytes") != 0) {
+    options.mem_budget_bytes =
+        ParseInt64("mem-budget-bytes", flags["mem-budget-bytes"]);
+    if (options.mem_budget_bytes <= 0) {
+      std::fprintf(stderr, "--mem-budget-bytes must be positive\n");
+      return 64;
+    }
+  }
+  if (flags.count("session-mem-bytes") != 0) {
+    options.session_mem_bytes =
+        ParseInt64("session-mem-bytes", flags["session-mem-bytes"]);
+    if (options.session_mem_bytes <= 0) {
+      std::fprintf(stderr, "--session-mem-bytes must be positive\n");
+      return 64;
+    }
+  }
+  if (flags.count("mem-watchdog-ms") != 0) {
+    options.mem_watchdog_ms =
+        ParseInt64("mem-watchdog-ms", flags["mem-watchdog-ms"]);
+    if (options.mem_watchdog_ms < 1) {
+      std::fprintf(stderr, "--mem-watchdog-ms must be >= 1\n");
+      return 64;
+    }
+  }
+  if (flags.count("max-session-models") != 0) {
+    options.max_session_models =
+        ParseInt64("max-session-models", flags["max-session-models"]);
+    if (options.max_session_models < 1) {
+      std::fprintf(stderr, "--max-session-models must be >= 1\n");
+      return 64;
+    }
+  }
+  if (flags.count("journal-compact-bytes") != 0) {
+    options.journal_compact_bytes =
+        ParseInt64("journal-compact-bytes", flags["journal-compact-bytes"]);
+    if (options.journal_compact_bytes <= 0) {
+      std::fprintf(stderr, "--journal-compact-bytes must be positive\n");
+      return 64;
+    }
+  }
+  if (flags.count("force-tier") != 0) {
+    int64_t tier = ParseInt64("force-tier", flags["force-tier"]);
+    if (tier < 0 || tier > 3) {
+      std::fprintf(stderr,
+                   "--force-tier must be 0 (green) .. 3 (black)\n");
+      return 64;
+    }
+    options.force_tier = static_cast<int>(tier);
   }
 
   Server server(std::move(options));

@@ -8,7 +8,12 @@
 #               repo root)
 #
 # bench_server measures the folearnd daemon rather than the batch paths;
-# its records are split out into BENCH_server.json next to output.json.
+# its records are split out into BENCH_server.json next to output.json,
+# and the run FAILS if the black-pressure-tier record shows any
+# substantive request answered with anything but a retry-safe shed — a
+# daemon that computes at black is one OOM kill from losing every
+# session. Every record also carries peak_rss_bytes (the binary's RSS
+# high-water mark), so --compare diffs catch memory regressions too.
 # bench_vm (the bytecode-VM E9 grid) is likewise split into BENCH_vm.json,
 # and the run FAILS if any of its E9 rows has the VM slower than the tree
 # engine — the VM's whole reason to exist is that row. bench_graph_scale
@@ -266,6 +271,31 @@ echo "wrote $out ($ran benches, $(grep -c '"bench"' "$out") records)"
 if [ -f "$tmpdir/bench_server.jsonl" ]; then
   write_array "$server_out" "$tmpdir/bench_server.jsonl"
   echo "wrote $server_out ($(grep -c '"bench"' "$server_out") records)"
+  # Black-tier contract: the pressure bench counts substantive responses
+  # that were NOT a retry-safe shed into this record's work_units. Any
+  # non-zero count fails the whole run.
+  if ! awk '
+    function field(line, name,    rest) {
+      rest = line
+      if (!sub(".*\"" name "\": \"?", "", rest)) return ""
+      sub("\"?[,}].*", "", rest)
+      return rest
+    }
+    /"server\/pressure_black_nonshed"/ {
+      seen = 1
+      if (field($0, "work_units") + 0 != 0) bad = 1
+    }
+    END {
+      if (!seen) { print "no black-tier record in report" > "/dev/stderr"
+                   exit 1 }
+      if (bad) { print "black tier answered substantive work instead " \
+                       "of shedding" > "/dev/stderr"
+                 exit 1 }
+    }
+  ' "$server_out"; then
+    echo "run_benches.sh: black-pressure-tier shed contract violated" >&2
+    exit 1
+  fi
 fi
 
 if [ -f "$tmpdir/bench_vm.jsonl" ]; then
